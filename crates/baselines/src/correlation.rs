@@ -1,0 +1,229 @@
+//! Alternative attribute-correlation measures and candidate orderings.
+//!
+//! Appendix B of the paper compares LSI against three simpler co-occurrence
+//! statistics as a way of *ordering* the candidate matches (the ordering
+//! drives Algorithm 1, so a measure that ranks correct matches first reduces
+//! error propagation):
+//!
+//! * `X1 = Opq`
+//! * `X2 = (1 + Opq/Op) · (1 + Opq/Oq)`
+//! * `X3 = (Opq · Opq) / (Op + Oq)`
+//!
+//! where `Op`, `Oq` are the occurrence counts of the attributes and `Opq`
+//! their co-occurrence count over the dual-language infoboxes. A random
+//! ordering serves as the floor. The quality of each ordering is measured
+//! with mean average precision (Table 7).
+
+use wiki_corpus::Language;
+use wikimatch::{DualSchema, SimilarityTable};
+
+/// The candidate-ordering measures compared in Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrelationMeasure {
+    /// The LSI score used by WikiMatch.
+    Lsi,
+    /// Raw co-occurrence count `Opq`.
+    X1,
+    /// `(1 + Opq/Op)(1 + Opq/Oq)`.
+    X2,
+    /// `Opq² / (Op + Oq)`.
+    X3,
+    /// Deterministic pseudo-random ordering (baseline floor).
+    Random,
+}
+
+impl CorrelationMeasure {
+    /// All measures in the order reported by Table 7.
+    pub fn all() -> &'static [CorrelationMeasure] {
+        &[
+            CorrelationMeasure::Lsi,
+            CorrelationMeasure::X1,
+            CorrelationMeasure::X2,
+            CorrelationMeasure::X3,
+            CorrelationMeasure::Random,
+        ]
+    }
+
+    /// The label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CorrelationMeasure::Lsi => "LSI",
+            CorrelationMeasure::X1 => "X1",
+            CorrelationMeasure::X2 => "X2",
+            CorrelationMeasure::X3 => "X3",
+            CorrelationMeasure::Random => "Random",
+        }
+    }
+
+    /// The score of a pair `(p, q)` under this measure.
+    pub fn score(
+        &self,
+        schema: &DualSchema,
+        table: &SimilarityTable,
+        p: usize,
+        q: usize,
+        seed: u64,
+    ) -> f64 {
+        let a = schema.attribute(p);
+        let b = schema.attribute(q);
+        let op = a.occurrences as f64;
+        let oq = b.occurrences as f64;
+        let opq = a.co_occurrences(b) as f64;
+        match self {
+            CorrelationMeasure::Lsi => table.pair(p, q).map(|pair| pair.lsi).unwrap_or(0.0),
+            CorrelationMeasure::X1 => opq,
+            CorrelationMeasure::X2 => {
+                if op == 0.0 || oq == 0.0 {
+                    0.0
+                } else {
+                    (1.0 + opq / op) * (1.0 + opq / oq)
+                }
+            }
+            CorrelationMeasure::X3 => {
+                if op + oq == 0.0 {
+                    0.0
+                } else {
+                    opq * opq / (op + oq)
+                }
+            }
+            CorrelationMeasure::Random => pseudo_random(p as u64, q as u64, seed),
+        }
+    }
+}
+
+/// A deterministic hash-based pseudo-random score in `[0, 1)`.
+fn pseudo_random(p: u64, q: u64, seed: u64) -> f64 {
+    let mut z = p
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(q.rotate_left(17))
+        .wrapping_add(seed.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// For every foreign-language attribute, the English candidates ranked by
+/// the requested measure (highest score first).
+///
+/// The result pairs each foreign attribute name with the ranked list of
+/// English attribute names — ready to be turned into a correctness ranking
+/// for the MAP computation of Table 7.
+pub fn ranked_candidates(
+    schema: &DualSchema,
+    table: &SimilarityTable,
+    measure: CorrelationMeasure,
+    seed: u64,
+) -> Vec<(String, Vec<String>)> {
+    let (other, english) = (&schema.languages.0, &Language::En);
+    let mut out = Vec::new();
+    for p in schema.attributes_in(other) {
+        let mut candidates: Vec<(usize, f64)> = schema
+            .attributes_in(english)
+            .into_iter()
+            .map(|q| (q, measure.score(schema, table, p, q, seed)))
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out.push((
+            schema.attribute(p).name.clone(),
+            candidates
+                .into_iter()
+                .map(|(q, _)| schema.attribute(q).name.clone())
+                .collect(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::{Dataset, SyntheticConfig};
+    use wikimatch::WikiMatch;
+
+    fn schema_and_table() -> (DualSchema, SimilarityTable) {
+        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+        let matcher = WikiMatch::default();
+        matcher.prepare_type(&dataset, dataset.type_pairing("actor").unwrap())
+    }
+
+    #[test]
+    fn measures_are_finite_and_nonnegative() {
+        let (schema, table) = schema_and_table();
+        let p = schema.attributes_in(&Language::Pt)[0];
+        let q = schema.attributes_in(&Language::En)[0];
+        for measure in CorrelationMeasure::all() {
+            let s = measure.score(&schema, &table, p, q, 3);
+            assert!(s.is_finite());
+            assert!(s >= 0.0, "{} produced {s}", measure.label());
+        }
+    }
+
+    #[test]
+    fn rankings_cover_all_english_attributes() {
+        let (schema, table) = schema_and_table();
+        let english_count = schema.attributes_in(&Language::En).len();
+        for measure in CorrelationMeasure::all() {
+            let ranked = ranked_candidates(&schema, &table, *measure, 3);
+            assert_eq!(ranked.len(), schema.attributes_in(&Language::Pt).len());
+            for (_, candidates) in &ranked {
+                assert_eq!(candidates.len(), english_count);
+            }
+        }
+    }
+
+    #[test]
+    fn random_ordering_is_deterministic_per_seed() {
+        let (schema, table) = schema_and_table();
+        let a = ranked_candidates(&schema, &table, CorrelationMeasure::Random, 7);
+        let b = ranked_candidates(&schema, &table, CorrelationMeasure::Random, 7);
+        assert_eq!(a, b);
+        let c = ranked_candidates(&schema, &table, CorrelationMeasure::Random, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn x_measures_reward_co_occurrence() {
+        let (schema, table) = schema_and_table();
+        // Find a pair with high co-occurrence and one with zero.
+        let pt = schema.attributes_in(&Language::Pt);
+        let en = schema.attributes_in(&Language::En);
+        let mut best = (0, 0, 0usize);
+        let mut worst = (0, 0, usize::MAX);
+        for &p in &pt {
+            for &q in &en {
+                let co = schema.attribute(p).co_occurrences(schema.attribute(q));
+                if co > best.2 {
+                    best = (p, q, co);
+                }
+                if co < worst.2 {
+                    worst = (p, q, co);
+                }
+            }
+        }
+        if best.2 > worst.2 {
+            for measure in [
+                CorrelationMeasure::X1,
+                CorrelationMeasure::X2,
+                CorrelationMeasure::X3,
+            ] {
+                let s_best = measure.score(&schema, &table, best.0, best.1, 0);
+                let s_worst = measure.score(&schema, &table, worst.0, worst.1, 0);
+                assert!(
+                    s_best >= s_worst,
+                    "{}: {s_best} < {s_worst}",
+                    measure.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CorrelationMeasure::Lsi.label(), "LSI");
+        assert_eq!(CorrelationMeasure::all().len(), 5);
+    }
+}

@@ -1,0 +1,126 @@
+//! The plain-LSI baseline.
+//!
+//! Latent Semantic Indexing was one of the first techniques applied to
+//! cross-language term matching (Littman, Dumais & Landauer). Used on its
+//! own, it only exploits co-occurrence: for every attribute of the foreign
+//! language the `k` highest-scoring English attributes are reported as
+//! matches. The paper evaluates `k ∈ {1, 3, 5, 10}` (Figure 6) and reports
+//! the best F-measure configuration (`k = 1`) in Table 2; recall grows with
+//! `k` while precision drops.
+
+use wiki_corpus::Language;
+use wikimatch::{DualSchema, SimilarityTable};
+
+use crate::Matcher;
+
+/// LSI-only matcher reporting the top-`k` English candidates per foreign
+/// attribute.
+#[derive(Debug, Clone, Copy)]
+pub struct LsiTopKMatcher {
+    /// Number of English candidates reported per foreign attribute.
+    pub k: usize,
+    /// Minimum LSI score for a candidate to be reported at all.
+    pub min_score: f64,
+}
+
+impl Default for LsiTopKMatcher {
+    fn default() -> Self {
+        Self {
+            k: 1,
+            min_score: 1e-6,
+        }
+    }
+}
+
+impl LsiTopKMatcher {
+    /// Creates a matcher reporting the top `k` candidates.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+}
+
+impl Matcher for LsiTopKMatcher {
+    fn name(&self) -> String {
+        format!("LSI top-{}", self.k)
+    }
+
+    fn align(&self, schema: &DualSchema, table: &SimilarityTable) -> Vec<(String, String)> {
+        let (other, english) = (&schema.languages.0, &Language::En);
+        let mut pairs = Vec::new();
+        for p in schema.attributes_in(other) {
+            let mut candidates: Vec<(usize, f64)> = schema
+                .attributes_in(english)
+                .into_iter()
+                .filter_map(|q| table.pair(p, q).map(|pair| (q, pair.lsi)))
+                .filter(|(_, score)| *score > self.min_score)
+                .collect();
+            candidates.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            for (q, _) in candidates.into_iter().take(self.k) {
+                pairs.push((
+                    schema.attribute(p).name.clone(),
+                    schema.attribute(q).name.clone(),
+                ));
+            }
+        }
+        pairs.sort();
+        pairs.dedup();
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::{Dataset, SyntheticConfig};
+    use wikimatch::WikiMatch;
+
+    fn schema_and_table() -> (DualSchema, SimilarityTable) {
+        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+        let matcher = WikiMatch::default();
+        matcher.prepare_type(&dataset, dataset.type_pairing("actor").unwrap())
+    }
+
+    #[test]
+    fn reports_at_most_k_candidates_per_attribute() {
+        let (schema, table) = schema_and_table();
+        for k in [1, 3] {
+            let pairs = LsiTopKMatcher::new(k).align(&schema, &table);
+            let mut per_attr = std::collections::HashMap::new();
+            for (pt, _) in &pairs {
+                *per_attr.entry(pt.clone()).or_insert(0usize) += 1;
+            }
+            assert!(per_attr.values().all(|&n| n <= k), "k = {k}");
+            assert!(!pairs.is_empty());
+        }
+    }
+
+    #[test]
+    fn recall_grows_with_k() {
+        let (schema, table) = schema_and_table();
+        let p1 = LsiTopKMatcher::new(1).align(&schema, &table).len();
+        let p5 = LsiTopKMatcher::new(5).align(&schema, &table).len();
+        assert!(p5 >= p1);
+    }
+
+    #[test]
+    fn pairs_are_cross_language_only() {
+        let (schema, table) = schema_and_table();
+        let pairs = LsiTopKMatcher::new(3).align(&schema, &table);
+        for (pt, en) in &pairs {
+            assert!(schema.index_of(&Language::Pt, pt).is_some());
+            assert!(schema.index_of(&Language::En, en).is_some());
+        }
+    }
+
+    #[test]
+    fn name_reflects_k() {
+        assert_eq!(LsiTopKMatcher::new(5).name(), "LSI top-5");
+    }
+}

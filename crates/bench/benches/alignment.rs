@@ -1,0 +1,60 @@
+//! End-to-end benchmarks: aligning one entity type and the full dataset with
+//! WikiMatch and the baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wiki_baselines::{BoumaMatcher, ComaConfiguration, ComaMatcher, LsiTopKMatcher, Matcher};
+use wiki_corpus::{Dataset, SyntheticConfig};
+use wikimatch::{AttributeAlignment, WikiMatch, WikiMatchConfig};
+
+fn bench_alignment(c: &mut Criterion) {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let matcher = WikiMatch::new(WikiMatchConfig::default());
+    let pairing = dataset.type_pairing("film").unwrap().clone();
+    let (schema, table) = matcher.prepare_type(&dataset, &pairing);
+
+    c.bench_function("attribute_alignment_film", |b| {
+        b.iter(|| {
+            AttributeAlignment::new(
+                std::hint::black_box(&schema),
+                std::hint::black_box(&table),
+                WikiMatchConfig::default(),
+            )
+            .run()
+        })
+    });
+
+    c.bench_function("wikimatch_align_type_film", |b| {
+        b.iter(|| matcher.align_type(std::hint::black_box(&dataset), &pairing))
+    });
+
+    let baselines: Vec<(&str, Box<dyn Matcher>)> = vec![
+        ("bouma", Box::new(BoumaMatcher::default())),
+        (
+            "coma_ng_id",
+            Box::new(ComaMatcher::new(
+                ComaConfiguration::NameTranslatedInstanceTranslated,
+            )),
+        ),
+        ("lsi_top1", Box::new(LsiTopKMatcher::new(1))),
+    ];
+    for (name, baseline) in &baselines {
+        c.bench_function(&format!("baseline_{name}_film"), |b| {
+            b.iter(|| baseline.align(std::hint::black_box(&schema), std::hint::black_box(&table)))
+        });
+    }
+
+    let vn = Dataset::vn_en(&SyntheticConfig::tiny());
+    c.bench_function("wikimatch_align_all_vn", |b| {
+        b.iter(|| matcher.align_all(std::hint::black_box(&vn)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_alignment
+}
+criterion_main!(benches);

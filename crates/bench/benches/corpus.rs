@@ -1,0 +1,48 @@
+//! Benchmarks for corpus generation and wikitext parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wiki_corpus::wikitext::{parse_infobox, render_infobox};
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("generate_pt_en_tiny", |b| {
+        b.iter(|| Dataset::pt_en(std::hint::black_box(&SyntheticConfig::tiny())))
+    });
+    c.bench_function("generate_vn_en_tiny", |b| {
+        b.iter(|| Dataset::vn_en(std::hint::black_box(&SyntheticConfig::tiny())))
+    });
+}
+
+fn bench_wikitext(c: &mut Criterion) {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let sources: Vec<String> = dataset
+        .corpus
+        .articles_in(&Language::En)
+        .take(200)
+        .map(|a| render_infobox(&a.infobox))
+        .collect();
+    c.bench_function("parse_infobox_200", |b| {
+        b.iter(|| {
+            let mut attributes = 0usize;
+            for source in &sources {
+                if let Some(infobox) = parse_infobox(std::hint::black_box(source)) {
+                    attributes += infobox.len();
+                }
+            }
+            std::hint::black_box(attributes)
+        })
+    });
+    c.bench_function("entity_clusters", |b| {
+        b.iter(|| std::hint::black_box(&dataset.corpus).entity_clusters())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_generation, bench_wikitext
+}
+criterion_main!(benches);

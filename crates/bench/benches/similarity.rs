@@ -1,0 +1,60 @@
+//! Benchmarks for schema construction and pairwise similarity computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wiki_corpus::{Dataset, SyntheticConfig};
+use wiki_linalg::LsiConfig;
+use wiki_translate::TitleDictionary;
+use wikimatch::{DualSchema, SimilarityTable};
+
+fn bench_schema_and_similarity(c: &mut Criterion) {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let pairing = dataset.type_pairing("film").unwrap().clone();
+    let dictionary = TitleDictionary::from_corpus(
+        &dataset.corpus,
+        dataset.other_language(),
+        dataset.english(),
+    );
+
+    c.bench_function("title_dictionary_build", |b| {
+        b.iter(|| {
+            TitleDictionary::from_corpus(
+                std::hint::black_box(&dataset.corpus),
+                dataset.other_language(),
+                dataset.english(),
+            )
+        })
+    });
+
+    c.bench_function("dual_schema_build_film", |b| {
+        b.iter(|| {
+            DualSchema::build(
+                std::hint::black_box(&dataset.corpus),
+                dataset.other_language(),
+                &pairing.label_other,
+                &pairing.label_en,
+                &dictionary,
+            )
+        })
+    });
+
+    let schema = DualSchema::build(
+        &dataset.corpus,
+        dataset.other_language(),
+        &pairing.label_other,
+        &pairing.label_en,
+        &dictionary,
+    );
+    c.bench_function("similarity_table_film", |b| {
+        b.iter(|| SimilarityTable::compute(std::hint::black_box(&schema), LsiConfig::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_schema_and_similarity
+}
+criterion_main!(benches);

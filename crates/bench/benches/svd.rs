@@ -1,0 +1,63 @@
+//! Microbenchmarks for the SVD / LSI numerical core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wiki_linalg::{svd::jacobi_svd, LsiConfig, LsiModel, Matrix};
+
+/// Builds a deterministic pseudo-random binary occurrence matrix.
+fn occurrence_matrix(rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut state = 0x2545F4914F6CDD1Du64;
+    for r in 0..rows {
+        for c in 0..cols {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state % 10 < 4 {
+                m.set(r, c, 1.0);
+            }
+        }
+    }
+    m
+}
+
+fn bench_jacobi_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_svd");
+    for (rows, cols) in [(20, 50), (40, 90), (60, 200)] {
+        let m = occurrence_matrix(rows, cols);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &m,
+            |b, m| b.iter(|| jacobi_svd(std::hint::black_box(m))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lsi_fit_and_query(c: &mut Criterion) {
+    let m = occurrence_matrix(40, 90);
+    c.bench_function("lsi_fit_40x90", |b| {
+        b.iter(|| LsiModel::fit(std::hint::black_box(&m), LsiConfig::default()))
+    });
+    let model = LsiModel::fit(&m, LsiConfig::default());
+    c.bench_function("lsi_similarity_all_pairs_40", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..model.len() {
+                for j in (i + 1)..model.len() {
+                    total += model.similarity(i, j);
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_jacobi_svd, bench_lsi_fit_and_query
+}
+criterion_main!(benches);

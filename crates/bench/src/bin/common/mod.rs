@@ -1,0 +1,22 @@
+//! Helpers shared by the reproduction binaries.
+
+use wiki_bench::{ExperimentContext, StandardDatasets};
+
+/// Builds the experiment context, honouring a `--quick` command-line flag
+/// that switches to the reduced datasets (useful for smoke runs).
+pub fn context_from_args() -> ExperimentContext {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        eprintln!("(running on the reduced --quick datasets)");
+        ExperimentContext::new(StandardDatasets::quick())
+    } else {
+        ExperimentContext::new(StandardDatasets::standard())
+    }
+}
+
+/// The two language-pair names in report order.
+///
+/// Not every binary iterates over both pairs (e.g. `table1` picks its own
+/// sample), hence the allow.
+#[allow(dead_code)]
+pub const PAIRS: [&str; 2] = ["Portuguese-English", "Vietnamese-English"];

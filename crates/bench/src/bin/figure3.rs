@@ -1,0 +1,43 @@
+//! Figure 3 — impact of `ReviseUncertain`: precision and recall of WikiMatch
+//! (WM) versus WikiMatch without `ReviseUncertain` (WM*) when each
+//! similarity feature is removed.
+
+mod common;
+
+use wiki_bench::report::f2;
+use wiki_bench::{format_table, write_report};
+use wikimatch::WikiMatchConfig;
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let base = WikiMatchConfig::default();
+    let variants = [
+        ("no vsim", base.without_vsim()),
+        ("no lsim", base.without_lsim()),
+        ("no LSI", base.without_lsi()),
+    ];
+    let mut report = Vec::new();
+    let header: Vec<String> = ["pair", "feature removed", "WM* P", "WM* R", "WM P", "WM R"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for pair in common::PAIRS {
+        for (label, config) in variants {
+            let wm = ctx.average_for_config(pair, config);
+            let wm_star = ctx.average_for_config(pair, config.without_revise_uncertain());
+            rows.push(vec![
+                pair.to_string(),
+                label.to_string(),
+                f2(wm_star.precision),
+                f2(wm_star.recall),
+                f2(wm.precision),
+                f2(wm.recall),
+            ]);
+            report.push((pair.to_string(), label.to_string(), wm_star, wm));
+        }
+    }
+    println!("=== Figure 3 — impact of ReviseUncertain ===");
+    println!("{}", format_table(&header, &rows));
+    write_report("figure3", &report);
+}

@@ -1,0 +1,34 @@
+//! Figure 4 — cumulative gain of the top-k answers for the multilingual
+//! query case study (Pt, Pt→En, Vn, Vn→En).
+
+mod common;
+
+use wiki_bench::write_report;
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let mut report = Vec::new();
+    println!("=== Figure 4 — cumulative gain of k answers ===");
+    for pair in common::PAIRS {
+        let curves = ctx.figure4(pair);
+        for curve in &curves {
+            let series: Vec<String> = curve
+                .curve
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + 1) % 4 == 0 || *i == 0)
+                .map(|(i, cg)| format!("k={:<2} {:>7.1}", i + 1, cg))
+                .collect();
+            println!(
+                "{:<8} total CG {:>8.1}  answers {:<4} relaxed {:<3} | {}",
+                curve.label,
+                curve.total_gain(),
+                curve.answers,
+                curve.relaxed_constraints,
+                series.join("  ")
+            );
+        }
+        report.push((pair.to_string(), curves));
+    }
+    write_report("figure4", &report);
+}

@@ -1,0 +1,25 @@
+//! Figure 5 — sensitivity of the F-measure to the thresholds `Tsim` and
+//! `TLSI`.
+
+mod common;
+
+use wiki_bench::write_report;
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let steps: Vec<f64> = (0..=9).map(|i| i as f64 / 10.0).collect();
+    let mut report = Vec::new();
+    println!("=== Figure 5 — impact of different thresholds (average F-measure) ===");
+    for pair in common::PAIRS {
+        for curve in ctx.figure5(pair, &steps) {
+            let series: Vec<String> = curve
+                .points
+                .iter()
+                .map(|(x, f)| format!("{x:.1}:{f:.2}"))
+                .collect();
+            println!("{:<22} {:<5} {}", curve.pair, curve.threshold, series.join("  "));
+            report.push(curve);
+        }
+    }
+    write_report("figure5", &report);
+}

@@ -1,0 +1,32 @@
+//! Figure 6 — precision and recall of the LSI baseline for top-k
+//! configurations (k = 1, 3, 5, 10).
+
+mod common;
+
+use wiki_bench::report::f2;
+use wiki_bench::{format_table, write_report};
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let mut report = Vec::new();
+    println!("=== Figure 6 — top-k LSI results ===");
+    let header: Vec<String> = ["pair", "k", "P", "R", "F"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for pair in common::PAIRS {
+        for point in ctx.figure6(pair) {
+            rows.push(vec![
+                pair.to_string(),
+                point.k.to_string(),
+                f2(point.scores.precision),
+                f2(point.scores.recall),
+                f2(point.scores.f1),
+            ]);
+            report.push(point);
+        }
+    }
+    println!("{}", format_table(&header, &rows));
+    write_report("figure6", &report);
+}

@@ -1,0 +1,32 @@
+//! Figure 7 — precision, recall and F-measure of the COMA++-style matcher
+//! configurations (N, I, NI, N+G, I+D, N+D, NG+ID).
+
+mod common;
+
+use wiki_bench::report::f2;
+use wiki_bench::{format_table, write_report};
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let mut report = Vec::new();
+    println!("=== Figure 7 — COMA++ configurations ===");
+    let header: Vec<String> = ["pair", "configuration", "P", "R", "F"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for pair in common::PAIRS {
+        for point in ctx.figure7(pair) {
+            rows.push(vec![
+                pair.to_string(),
+                point.configuration.clone(),
+                f2(point.scores.precision),
+                f2(point.scores.recall),
+                f2(point.scores.f1),
+            ]);
+            report.push(point);
+        }
+    }
+    println!("{}", format_table(&header, &rows));
+    write_report("figure7", &report);
+}

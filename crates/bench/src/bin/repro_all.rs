@@ -1,0 +1,148 @@
+//! Runs every table/figure reproduction in one pass and writes all JSON
+//! reports to `reports/`.
+//!
+//! ```text
+//! cargo run --release -p wiki-bench --bin repro_all            # full scale
+//! cargo run --release -p wiki-bench --bin repro_all -- --quick # smoke run
+//! ```
+
+mod common;
+
+use wiki_bench::report::f2;
+use wiki_bench::write_report;
+
+fn main() {
+    let mut ctx = common::context_from_args();
+
+    println!("## Table 1 — example alignments");
+    let table1 = ctx.table1();
+    for (pair, type_id, pairs) in &table1 {
+        println!("{pair} / {type_id}: {} correspondences", pairs.len());
+        for (other, en) in pairs.iter().take(5) {
+            println!("    {other} ~ {en}");
+        }
+    }
+    write_report("table1", &table1);
+
+    println!("\n## Table 2 — comparison against existing approaches");
+    let mut table2 = Vec::new();
+    for pair in common::PAIRS {
+        let table = ctx.table2(pair);
+        println!(
+            "{pair}: WikiMatch F {} | Bouma F {} | COMA++ F {} | LSI F {}",
+            f2(table.average.wikimatch.f1),
+            f2(table.average.bouma.f1),
+            f2(table.average.coma.f1),
+            f2(table.average.lsi.f1)
+        );
+        table2.push(table);
+    }
+    write_report("table2", &table2);
+
+    println!("\n## Table 3 — component contributions (average F)");
+    let table3 = ctx.table3();
+    for row in &table3 {
+        println!(
+            "{:<32} Pt F {}  Vn F {}",
+            row.configuration,
+            f2(row.pt.f1),
+            f2(row.vn.f1)
+        );
+    }
+    write_report("table3", &table3);
+
+    println!("\n## Table 5 — attribute overlap");
+    let mut table5 = Vec::new();
+    for pair in common::PAIRS {
+        let overlaps = ctx.table5(pair);
+        let avg: f64 =
+            overlaps.iter().map(|(_, o)| o).sum::<f64>() / overlaps.len().max(1) as f64;
+        println!("{pair}: average overlap {:.0}%", avg * 100.0);
+        table5.push((pair.to_string(), overlaps));
+    }
+    write_report("table5", &table5);
+
+    println!("\n## Table 6 — macro-averaging");
+    let mut table6 = Vec::new();
+    for pair in common::PAIRS {
+        let results = ctx.table6(pair);
+        for (approach, scores) in &results {
+            println!("{pair:<22} {approach:<10} F {}", f2(scores.f1));
+        }
+        table6.push((pair.to_string(), results));
+    }
+    write_report("table6", &table6);
+
+    println!("\n## Table 7 — MAP of candidate orderings");
+    let mut table7 = Vec::new();
+    for pair in common::PAIRS {
+        let row = ctx.table7(pair);
+        let cells: Vec<String> = row
+            .map
+            .iter()
+            .map(|(label, value)| format!("{label} {value:.2}"))
+            .collect();
+        println!("{pair}: {}", cells.join("  "));
+        table7.push(row);
+    }
+    write_report("table7", &table7);
+
+    println!("\n## Figure 3 — impact of ReviseUncertain (see figure3 binary for detail)");
+    println!("\n## Figure 4 — case study cumulative gain");
+    let mut figure4 = Vec::new();
+    for pair in common::PAIRS {
+        let curves = ctx.figure4(pair);
+        for curve in &curves {
+            println!("{:<8} total CG {:>8.1}", curve.label, curve.total_gain());
+        }
+        figure4.push((pair.to_string(), curves));
+    }
+    write_report("figure4", &figure4);
+
+    println!("\n## Figure 5 — threshold sensitivity");
+    let steps: Vec<f64> = (0..=9).map(|i| i as f64 / 10.0).collect();
+    let mut figure5 = Vec::new();
+    for pair in common::PAIRS {
+        for curve in ctx.figure5(pair, &steps) {
+            let min = curve.points.iter().map(|(_, f)| *f).fold(f64::MAX, f64::min);
+            let max = curve.points.iter().map(|(_, f)| *f).fold(0.0, f64::max);
+            println!(
+                "{:<22} {:<5} F ranges {:.2}–{:.2}",
+                curve.pair, curve.threshold, min, max
+            );
+            figure5.push(curve);
+        }
+    }
+    write_report("figure5", &figure5);
+
+    println!("\n## Figure 6 — LSI top-k");
+    let mut figure6 = Vec::new();
+    for pair in common::PAIRS {
+        for point in ctx.figure6(pair) {
+            println!(
+                "{pair:<22} k={:<2} P {} R {}",
+                point.k,
+                f2(point.scores.precision),
+                f2(point.scores.recall)
+            );
+            figure6.push(point);
+        }
+    }
+    write_report("figure6", &figure6);
+
+    println!("\n## Figure 7 — COMA++ configurations");
+    let mut figure7 = Vec::new();
+    for pair in common::PAIRS {
+        for point in ctx.figure7(pair) {
+            println!(
+                "{pair:<22} {:<6} F {}",
+                point.configuration,
+                f2(point.scores.f1)
+            );
+            figure7.push(point);
+        }
+    }
+    write_report("figure7", &figure7);
+
+    println!("\nAll reports written to reports/*.json");
+}

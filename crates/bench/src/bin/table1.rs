@@ -1,0 +1,21 @@
+//! Table 1 — examples of alignments identified by WikiMatch.
+
+mod common;
+
+use wiki_bench::write_report;
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let samples = ctx.table1();
+    println!("=== Table 1 — example alignments identified by WikiMatch ===");
+    for (pair, type_id, pairs) in &samples {
+        println!("\n{pair} / {type_id}:");
+        for (other, en) in pairs.iter().take(12) {
+            println!("  {other:<28} ~ {en}");
+        }
+        if pairs.len() > 12 {
+            println!("  ... ({} correspondences in total)", pairs.len());
+        }
+    }
+    write_report("table1", &samples);
+}

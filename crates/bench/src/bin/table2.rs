@@ -1,0 +1,44 @@
+//! Table 2 — weighted precision, recall and F-measure of WikiMatch, Bouma,
+//! COMA++ and LSI for every entity type of both language pairs.
+
+mod common;
+
+use wiki_bench::report::f2;
+use wiki_bench::{format_table, write_report};
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let mut reports = Vec::new();
+    for pair in common::PAIRS {
+        let table = ctx.table2(pair);
+        println!("\n=== Table 2 — {pair} ===");
+        let header: Vec<String> = [
+            "type", "WM P", "WM R", "WM F", "Bouma P", "Bouma R", "Bouma F", "COMA P", "COMA R",
+            "COMA F", "LSI P", "LSI R", "LSI F",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut rows = Vec::new();
+        for row in table.rows.iter().chain(std::iter::once(&table.average)) {
+            rows.push(vec![
+                row.type_id.clone(),
+                f2(row.wikimatch.precision),
+                f2(row.wikimatch.recall),
+                f2(row.wikimatch.f1),
+                f2(row.bouma.precision),
+                f2(row.bouma.recall),
+                f2(row.bouma.f1),
+                f2(row.coma.precision),
+                f2(row.coma.recall),
+                f2(row.coma.f1),
+                f2(row.lsi.precision),
+                f2(row.lsi.recall),
+                f2(row.lsi.f1),
+            ]);
+        }
+        println!("{}", format_table(&header, &rows));
+        reports.push(table);
+    }
+    write_report("table2", &reports);
+}

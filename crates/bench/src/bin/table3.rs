@@ -1,0 +1,52 @@
+//! Table 3 — contribution of the different WikiMatch components
+//! (ablation study), including the `WikiMatch*` variants plotted in
+//! Figure 3.
+
+mod common;
+
+use wiki_bench::report::f2;
+use wiki_bench::{format_table, write_report};
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let rows = ctx.table3();
+    println!("=== Table 3 — contribution of different components ===");
+    let header: Vec<String> = ["configuration", "Pt P", "Pt R", "Pt F", "Vn P", "Vn R", "Vn F"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.configuration.clone(),
+                f2(row.pt.precision),
+                f2(row.pt.recall),
+                f2(row.pt.f1),
+                f2(row.vn.precision),
+                f2(row.vn.recall),
+                f2(row.vn.f1),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &table));
+
+    // The "% change without" rows of the paper's Table 3.
+    if let Some(base) = rows.first() {
+        println!("% change relative to full WikiMatch (F-measure):");
+        for row in rows.iter().skip(1) {
+            let pt = if base.pt.f1 > 0.0 {
+                100.0 * (row.pt.f1 - base.pt.f1) / base.pt.f1
+            } else {
+                0.0
+            };
+            let vn = if base.vn.f1 > 0.0 {
+                100.0 * (row.vn.f1 - base.vn.f1) / base.vn.f1
+            } else {
+                0.0
+            };
+            println!("  {:<32} Pt {pt:>+6.0}%   Vn {vn:>+6.0}%", row.configuration);
+        }
+    }
+    write_report("table3", &rows);
+}

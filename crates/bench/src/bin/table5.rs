@@ -1,0 +1,26 @@
+//! Table 5 — cross-language attribute overlap of dual infoboxes per entity
+//! type.
+
+mod common;
+
+use wiki_bench::{format_table, write_report};
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let mut report = Vec::new();
+    println!("=== Table 5 — overlap in infoboxes ===");
+    for pair in common::PAIRS {
+        let overlaps = ctx.table5(pair);
+        let header = vec!["type".to_string(), "overlap".to_string()];
+        let rows: Vec<Vec<String>> = overlaps
+            .iter()
+            .map(|(type_id, overlap)| {
+                vec![type_id.clone(), format!("{:.0}%", overlap * 100.0)]
+            })
+            .collect();
+        println!("\n{pair}:");
+        println!("{}", format_table(&header, &rows));
+        report.push((pair.to_string(), overlaps));
+    }
+    write_report("table5", &report);
+}

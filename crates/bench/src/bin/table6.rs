@@ -1,0 +1,33 @@
+//! Table 6 — macro-averaged precision, recall and F-measure of the four
+//! approaches.
+
+mod common;
+
+use wiki_bench::report::f2;
+use wiki_bench::{format_table, write_report};
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let mut report = Vec::new();
+    println!("=== Table 6 — macro-averaging results ===");
+    let header: Vec<String> = ["pair", "approach", "P", "R", "F"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for pair in common::PAIRS {
+        let results = ctx.table6(pair);
+        for (approach, scores) in &results {
+            rows.push(vec![
+                pair.to_string(),
+                approach.clone(),
+                f2(scores.precision),
+                f2(scores.recall),
+                f2(scores.f1),
+            ]);
+        }
+        report.push((pair.to_string(), results));
+    }
+    println!("{}", format_table(&header, &rows));
+    write_report("table6", &report);
+}

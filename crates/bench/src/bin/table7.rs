@@ -1,0 +1,35 @@
+//! Table 7 — mean average precision of the candidate orderings produced by
+//! LSI and the alternative correlation measures X1, X2, X3 (plus a random
+//! ordering).
+
+mod common;
+
+use wiki_bench::{format_table, write_report};
+
+fn main() {
+    let mut ctx = common::context_from_args();
+    let mut report = Vec::new();
+    println!("=== Table 7 — MAP for different sources of correlation ===");
+    let header: Vec<String> = ["pair", "LSI", "X1", "X2", "X3", "Random"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for pair in common::PAIRS {
+        let row = ctx.table7(pair);
+        let mut cells = vec![pair.to_string()];
+        for label in ["LSI", "X1", "X2", "X3", "Random"] {
+            let value = row
+                .map
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0);
+            cells.push(format!("{value:.2}"));
+        }
+        rows.push(cells);
+        report.push(row);
+    }
+    println!("{}", format_table(&header, &rows));
+    write_report("table7", &report);
+}

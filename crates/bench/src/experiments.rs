@@ -1,0 +1,648 @@
+//! The reproduction experiments, one function per table/figure of the paper.
+//!
+//! All experiments run over the [`StandardDatasets`]: a Portuguese-English
+//! corpus with 14 entity types and a Vietnamese-English corpus with 4 types,
+//! generated with the default [`SyntheticConfig`] (the laptop-scale
+//! substitute for the paper's Wikipedia dump — see `DESIGN.md`). The
+//! expensive part of every experiment — building the dual-language schema
+//! and its similarity table per entity type — is computed once per type and
+//! shared by WikiMatch, its ablations and every baseline, exactly as the
+//! paper feeds the same grouped attribute input to every approach.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use wiki_baselines::{
+    ranked_candidates, BoumaMatcher, ComaConfiguration, ComaMatcher, CorrelationMeasure,
+    LsiTopKMatcher, Matcher,
+};
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_eval::{
+    mean_average_precision, type_overlap, weighted_scores, MacroAggregator, Scores,
+};
+use wiki_query::{run_case_study, CaseStudyCurve};
+use wikimatch::{AttributeAlignment, DualSchema, SimilarityTable, WikiMatch, WikiMatchConfig};
+
+/// The two evaluation datasets used throughout the paper.
+#[derive(Debug, Clone)]
+pub struct StandardDatasets {
+    /// Portuguese-English (14 entity types).
+    pub pt: Dataset,
+    /// Vietnamese-English (4 entity types).
+    pub vn: Dataset,
+}
+
+impl StandardDatasets {
+    /// Generates both datasets with the given configuration.
+    pub fn generate(config: &SyntheticConfig) -> Self {
+        Self {
+            pt: Dataset::pt_en(config),
+            vn: Dataset::vn_en(config),
+        }
+    }
+
+    /// The default experiment-scale datasets.
+    pub fn standard() -> Self {
+        Self::generate(&SyntheticConfig::default())
+    }
+
+    /// Reduced datasets for quick runs and tests.
+    pub fn quick() -> Self {
+        Self::generate(&SyntheticConfig::tiny())
+    }
+
+    /// Both datasets with their display names.
+    pub fn pairs(&self) -> [(&'static str, &Dataset); 2] {
+        [("Portuguese-English", &self.pt), ("Vietnamese-English", &self.vn)]
+    }
+}
+
+/// Shared per-type preparation (schema + similarity table) reused by every
+/// approach.
+pub struct ExperimentContext {
+    /// The datasets under evaluation.
+    pub datasets: StandardDatasets,
+    matcher: WikiMatch,
+    prepared: HashMap<(String, String), (DualSchema, SimilarityTable)>,
+}
+
+/// Scores of every approach for one entity type (a row of Table 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApproachRow {
+    /// Entity-type identifier.
+    pub type_id: String,
+    /// WikiMatch scores.
+    pub wikimatch: Scores,
+    /// Bouma scores.
+    pub bouma: Scores,
+    /// Best COMA++ configuration scores.
+    pub coma: Scores,
+    /// LSI top-1 scores.
+    pub lsi: Scores,
+}
+
+/// Table 2 for one language pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2 {
+    /// Language-pair name.
+    pub pair: String,
+    /// Per-type rows.
+    pub rows: Vec<ApproachRow>,
+    /// Average row.
+    pub average: ApproachRow,
+}
+
+/// One ablation configuration's average scores (a row of Table 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub configuration: String,
+    /// Average scores over all types, Pt-En.
+    pub pt: Scores,
+    /// Average scores over all types, Vn-En.
+    pub vn: Scores,
+}
+
+/// Threshold-sensitivity curves (Figure 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdCurve {
+    /// Which threshold is swept (`"Tsim"` or `"TLSI"`).
+    pub threshold: String,
+    /// Language pair.
+    pub pair: String,
+    /// `(threshold value, average F-measure)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Top-k LSI results (Figure 6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopKPoint {
+    /// Language pair.
+    pub pair: String,
+    /// k.
+    pub k: usize,
+    /// Average scores over all types.
+    pub scores: Scores,
+}
+
+/// COMA++ configuration results (Figure 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComaPoint {
+    /// Language pair.
+    pub pair: String,
+    /// Configuration label (N, I, NI, ...).
+    pub configuration: String,
+    /// Average scores over all types.
+    pub scores: Scores,
+}
+
+/// MAP of the candidate orderings (Table 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MapRow {
+    /// Language pair.
+    pub pair: String,
+    /// MAP per measure, in the order LSI, X1, X2, X3, Random.
+    pub map: Vec<(String, f64)>,
+}
+
+impl ExperimentContext {
+    /// Creates the context over the given datasets.
+    pub fn new(datasets: StandardDatasets) -> Self {
+        Self {
+            datasets,
+            matcher: WikiMatch::new(WikiMatchConfig::default()),
+            prepared: HashMap::new(),
+        }
+    }
+
+    /// Creates the context over the standard experiment datasets.
+    pub fn standard() -> Self {
+        Self::new(StandardDatasets::standard())
+    }
+
+    /// Creates a reduced context for quick runs and unit tests.
+    pub fn quick() -> Self {
+        Self::new(StandardDatasets::quick())
+    }
+
+    fn dataset(&self, pair: &str) -> &Dataset {
+        if pair.starts_with("Viet") {
+            &self.datasets.vn
+        } else {
+            &self.datasets.pt
+        }
+    }
+
+    /// The prepared schema and similarity table of one entity type.
+    pub fn prepared(&mut self, pair: &str, type_id: &str) -> &(DualSchema, SimilarityTable) {
+        let key = (pair.to_string(), type_id.to_string());
+        if !self.prepared.contains_key(&key) {
+            let dataset = self.dataset(pair);
+            let pairing = dataset
+                .type_pairing(type_id)
+                .unwrap_or_else(|| panic!("unknown type {type_id} for {pair}"))
+                .clone();
+            let prepared = self.matcher.prepare_type(dataset, &pairing);
+            self.prepared.insert(key.clone(), prepared);
+        }
+        &self.prepared[&key]
+    }
+
+    /// Evaluates derived pairs for a type with the weighted metrics.
+    pub fn evaluate(
+        &mut self,
+        pair: &str,
+        type_id: &str,
+        derived: &[(String, String)],
+    ) -> Scores {
+        let dataset = self.dataset(pair);
+        let other = dataset.other_language().clone();
+        let gold = dataset
+            .ground_truth
+            .for_type(type_id)
+            .cloned()
+            .unwrap_or_default();
+        let (schema, _) = self.prepared(pair, type_id);
+        let freq_other = schema.frequencies(&other);
+        let freq_en = schema.frequencies(&Language::En);
+        weighted_scores(derived, &gold, &other, &Language::En, &freq_other, &freq_en)
+    }
+
+    /// Runs WikiMatch (with an arbitrary configuration) on one type.
+    pub fn run_wikimatch(
+        &mut self,
+        pair: &str,
+        type_id: &str,
+        config: WikiMatchConfig,
+    ) -> Vec<(String, String)> {
+        let dataset_other = self.dataset(pair).other_language().clone();
+        let (schema, table) = self.prepared(pair, type_id);
+        let matches = AttributeAlignment::new(schema, table, config).run();
+        matches.cross_language_pairs(schema, &dataset_other, &Language::En)
+    }
+
+    /// Runs a baseline matcher on one type.
+    pub fn run_baseline(
+        &mut self,
+        pair: &str,
+        type_id: &str,
+        baseline: &dyn Matcher,
+    ) -> Vec<(String, String)> {
+        let (schema, table) = self.prepared(pair, type_id);
+        baseline.align(schema, table)
+    }
+
+    /// The type identifiers of a pair.
+    pub fn type_ids(&self, pair: &str) -> Vec<String> {
+        self.dataset(pair)
+            .types
+            .iter()
+            .map(|t| t.type_id.clone())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Table 1 — example alignments.
+    // ------------------------------------------------------------------
+
+    /// A sample of discovered alignments for Table 1 (Pt-En actor/film and
+    /// Vn-En film/actor, as in the paper).
+    pub fn table1(&mut self) -> Vec<(String, String, Vec<(String, String)>)> {
+        let mut out = Vec::new();
+        for (pair, types) in [
+            ("Portuguese-English", vec!["actor", "film"]),
+            ("Vietnamese-English", vec!["film", "actor"]),
+        ] {
+            for type_id in types {
+                let pairs = self.run_wikimatch(pair, type_id, WikiMatchConfig::default());
+                out.push((pair.to_string(), type_id.to_string(), pairs));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Table 2 — comparison against existing approaches.
+    // ------------------------------------------------------------------
+
+    /// Runs the Table 2 comparison for one language pair.
+    pub fn table2(&mut self, pair: &str) -> Table2 {
+        // The best COMA++ configuration differs per pair, as in the paper:
+        // NG+ID for Pt-En, I+D for Vn-En.
+        let coma_config = if pair.starts_with("Viet") {
+            ComaConfiguration::InstanceTranslated
+        } else {
+            ComaConfiguration::NameTranslatedInstanceTranslated
+        };
+        let mut rows = Vec::new();
+        for type_id in self.type_ids(pair) {
+            let wikimatch_pairs =
+                self.run_wikimatch(pair, &type_id, WikiMatchConfig::default());
+            let bouma_pairs = self.run_baseline(pair, &type_id, &BoumaMatcher::default());
+            let coma_pairs = self.run_baseline(pair, &type_id, &ComaMatcher::new(coma_config));
+            let lsi_pairs = self.run_baseline(pair, &type_id, &LsiTopKMatcher::new(1));
+            rows.push(ApproachRow {
+                wikimatch: self.evaluate(pair, &type_id, &wikimatch_pairs),
+                bouma: self.evaluate(pair, &type_id, &bouma_pairs),
+                coma: self.evaluate(pair, &type_id, &coma_pairs),
+                lsi: self.evaluate(pair, &type_id, &lsi_pairs),
+                type_id,
+            });
+        }
+        let average = ApproachRow {
+            type_id: "Avg".to_string(),
+            wikimatch: Scores::average(rows.iter().map(|r| &r.wikimatch)),
+            bouma: Scores::average(rows.iter().map(|r| &r.bouma)),
+            coma: Scores::average(rows.iter().map(|r| &r.coma)),
+            lsi: Scores::average(rows.iter().map(|r| &r.lsi)),
+        };
+        Table2 {
+            pair: pair.to_string(),
+            rows,
+            average,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table 3 / Figure 3 — contribution of the components.
+    // ------------------------------------------------------------------
+
+    /// The ablation configurations of Table 3 (and the starred `WM*`
+    /// variants of Figure 3, which also drop `ReviseUncertain`).
+    pub fn ablation_configs() -> Vec<(String, WikiMatchConfig)> {
+        let base = WikiMatchConfig::default();
+        vec![
+            ("WikiMatch".to_string(), base),
+            (
+                "WikiMatch-ReviseUncertain".to_string(),
+                base.without_revise_uncertain(),
+            ),
+            (
+                "WikiMatch-IntegrateMatches".to_string(),
+                base.without_integrate_constraint(),
+            ),
+            ("WikiMatch random".to_string(), base.with_random_ordering()),
+            ("WikiMatch single step".to_string(), base.single_step()),
+            ("WikiMatch-vsim".to_string(), base.without_vsim()),
+            ("WikiMatch-lsim".to_string(), base.without_lsim()),
+            ("WikiMatch-LSI".to_string(), base.without_lsi()),
+            (
+                "WikiMatch-inductive grouping".to_string(),
+                base.without_inductive_grouping(),
+            ),
+            (
+                "WikiMatch*-vsim".to_string(),
+                base.without_revise_uncertain().without_vsim(),
+            ),
+            (
+                "WikiMatch*-lsim".to_string(),
+                base.without_revise_uncertain().without_lsim(),
+            ),
+            (
+                "WikiMatch*-LSI".to_string(),
+                base.without_revise_uncertain().without_lsi(),
+            ),
+            (
+                "WikiMatch* random".to_string(),
+                base.without_revise_uncertain().with_random_ordering(),
+            ),
+        ]
+    }
+
+    /// Average scores of one configuration over all types of a pair.
+    pub fn average_for_config(&mut self, pair: &str, config: WikiMatchConfig) -> Scores {
+        let mut per_type = Vec::new();
+        for type_id in self.type_ids(pair) {
+            let pairs = self.run_wikimatch(pair, &type_id, config);
+            per_type.push(self.evaluate(pair, &type_id, &pairs));
+        }
+        Scores::average(per_type.iter())
+    }
+
+    /// Runs the full ablation study (Table 3 / Figure 3).
+    pub fn table3(&mut self) -> Vec<AblationRow> {
+        Self::ablation_configs()
+            .into_iter()
+            .map(|(configuration, config)| AblationRow {
+                pt: self.average_for_config("Portuguese-English", config),
+                vn: self.average_for_config("Vietnamese-English", config),
+                configuration,
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Table 5 — structural heterogeneity (attribute overlap).
+    // ------------------------------------------------------------------
+
+    /// Attribute overlap per type for one pair.
+    pub fn table5(&mut self, pair: &str) -> Vec<(String, f64)> {
+        let dataset = self.dataset(pair);
+        dataset
+            .types
+            .iter()
+            .map(|pairing| {
+                let gold = dataset
+                    .ground_truth
+                    .for_type(&pairing.type_id)
+                    .cloned()
+                    .unwrap_or_default();
+                let overlap = type_overlap(
+                    &dataset.corpus,
+                    &gold,
+                    dataset.other_language(),
+                    &pairing.label_other,
+                    &pairing.label_en,
+                );
+                (pairing.type_id.clone(), overlap)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Table 6 — macro-averaging.
+    // ------------------------------------------------------------------
+
+    /// Macro-averaged scores of the four approaches for one pair.
+    pub fn table6(&mut self, pair: &str) -> Vec<(String, Scores)> {
+        let coma_config = if pair.starts_with("Viet") {
+            ComaConfiguration::InstanceTranslated
+        } else {
+            ComaConfiguration::NameTranslatedInstanceTranslated
+        };
+        let systems: Vec<(String, Box<dyn Fn(&mut Self, &str) -> Vec<(String, String)>>)> = vec![
+            (
+                "WikiMatch".to_string(),
+                Box::new(|ctx: &mut Self, type_id: &str| {
+                    ctx.run_wikimatch(pair, type_id, WikiMatchConfig::default())
+                }),
+            ),
+            (
+                "Bouma".to_string(),
+                Box::new(|ctx: &mut Self, type_id: &str| {
+                    ctx.run_baseline(pair, type_id, &BoumaMatcher::default())
+                }),
+            ),
+            (
+                "COMA++".to_string(),
+                Box::new(move |ctx: &mut Self, type_id: &str| {
+                    ctx.run_baseline(pair, type_id, &ComaMatcher::new(coma_config))
+                }),
+            ),
+            (
+                "LSI".to_string(),
+                Box::new(|ctx: &mut Self, type_id: &str| {
+                    ctx.run_baseline(pair, type_id, &LsiTopKMatcher::new(1))
+                }),
+            ),
+        ];
+
+        let other = self.dataset(pair).other_language().clone();
+        let mut out = Vec::new();
+        for (name, runner) in systems {
+            let mut aggregator = MacroAggregator::new();
+            for type_id in self.type_ids(pair) {
+                let derived = runner(self, &type_id);
+                let gold = self
+                    .dataset(pair)
+                    .ground_truth
+                    .for_type(&type_id)
+                    .cloned()
+                    .unwrap_or_default();
+                aggregator.add_type(&derived, &gold, &other, &Language::En);
+            }
+            out.push((name, aggregator.scores()));
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Table 7 — MAP of the candidate orderings.
+    // ------------------------------------------------------------------
+
+    /// MAP of LSI, X1, X2, X3 and random orderings for one pair.
+    pub fn table7(&mut self, pair: &str) -> MapRow {
+        let other = self.dataset(pair).other_language().clone();
+        let mut map = Vec::new();
+        for measure in CorrelationMeasure::all() {
+            let mut rankings: Vec<Vec<bool>> = Vec::new();
+            for type_id in self.type_ids(pair) {
+                let gold = self
+                    .dataset(pair)
+                    .ground_truth
+                    .for_type(&type_id)
+                    .cloned()
+                    .unwrap_or_default();
+                let (schema, table) = self.prepared(pair, &type_id);
+                for (attribute, candidates) in
+                    ranked_candidates(schema, table, *measure, 11)
+                {
+                    let ranking: Vec<bool> = candidates
+                        .iter()
+                        .map(|c| gold.is_correct(&other, &attribute, &Language::En, c))
+                        .collect();
+                    if ranking.iter().any(|&b| b) {
+                        rankings.push(ranking);
+                    }
+                }
+            }
+            map.push((measure.label().to_string(), mean_average_precision(&rankings)));
+        }
+        MapRow {
+            pair: pair.to_string(),
+            map,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 4 — case study.
+    // ------------------------------------------------------------------
+
+    /// Runs the cumulative-gain case study for one pair.
+    pub fn figure4(&mut self, pair: &str) -> Vec<CaseStudyCurve> {
+        let dataset = self.dataset(pair).clone();
+        let matcher = WikiMatch::new(WikiMatchConfig::default());
+        let alignments = matcher.align_all(&dataset);
+        run_case_study(&dataset, &alignments, 20)
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 5 — threshold sensitivity.
+    // ------------------------------------------------------------------
+
+    /// Sweeps `Tsim` and `TLSI` and reports the average F-measure.
+    pub fn figure5(&mut self, pair: &str, steps: &[f64]) -> Vec<ThresholdCurve> {
+        let mut tsim_points = Vec::new();
+        let mut tlsi_points = Vec::new();
+        for &value in steps {
+            let config = WikiMatchConfig {
+                t_sim: value,
+                ..WikiMatchConfig::default()
+            };
+            tsim_points.push((value, self.average_for_config(pair, config).f1));
+            let config = WikiMatchConfig {
+                t_lsi: value,
+                ..WikiMatchConfig::default()
+            };
+            tlsi_points.push((value, self.average_for_config(pair, config).f1));
+        }
+        vec![
+            ThresholdCurve {
+                threshold: "Tsim".to_string(),
+                pair: pair.to_string(),
+                points: tsim_points,
+            },
+            ThresholdCurve {
+                threshold: "TLSI".to_string(),
+                pair: pair.to_string(),
+                points: tlsi_points,
+            },
+        ]
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 6 — LSI top-k.
+    // ------------------------------------------------------------------
+
+    /// Average LSI top-k scores for `k ∈ {1, 3, 5, 10}`.
+    pub fn figure6(&mut self, pair: &str) -> Vec<TopKPoint> {
+        [1usize, 3, 5, 10]
+            .into_iter()
+            .map(|k| {
+                let mut per_type = Vec::new();
+                for type_id in self.type_ids(pair) {
+                    let pairs = self.run_baseline(pair, &type_id, &LsiTopKMatcher::new(k));
+                    per_type.push(self.evaluate(pair, &type_id, &pairs));
+                }
+                TopKPoint {
+                    pair: pair.to_string(),
+                    k,
+                    scores: Scores::average(per_type.iter()),
+                }
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Figure 7 — COMA++ configurations.
+    // ------------------------------------------------------------------
+
+    /// Average scores of every COMA++ configuration.
+    pub fn figure7(&mut self, pair: &str) -> Vec<ComaPoint> {
+        ComaConfiguration::all()
+            .iter()
+            .map(|config| {
+                let mut per_type = Vec::new();
+                for type_id in self.type_ids(pair) {
+                    let pairs = self.run_baseline(pair, &type_id, &ComaMatcher::new(*config));
+                    per_type.push(self.evaluate(pair, &type_id, &pairs));
+                }
+                ComaPoint {
+                    pair: pair.to_string(),
+                    configuration: config.label().to_string(),
+                    scores: Scores::average(per_type.iter()),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_prepares_and_caches_types() {
+        let mut ctx = ExperimentContext::quick();
+        assert_eq!(ctx.type_ids("Portuguese-English").len(), 14);
+        assert_eq!(ctx.type_ids("Vietnamese-English").len(), 4);
+        let first = ctx.prepared("Portuguese-English", "film").0.dual_count;
+        let second = ctx.prepared("Portuguese-English", "film").0.dual_count;
+        assert_eq!(first, second);
+        assert!(first > 0);
+    }
+
+    #[test]
+    fn table2_produces_rows_for_every_type() {
+        let mut ctx = ExperimentContext::quick();
+        let table = ctx.table2("Vietnamese-English");
+        assert_eq!(table.rows.len(), 4);
+        assert!(table.average.wikimatch.f1 > 0.0);
+        for row in &table.rows {
+            for scores in [&row.wikimatch, &row.bouma, &row.coma, &row.lsi] {
+                assert!((0.0..=1.0).contains(&scores.precision));
+                assert!((0.0..=1.0).contains(&scores.recall));
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_configs_cover_the_paper_rows() {
+        let configs = ExperimentContext::ablation_configs();
+        assert!(configs.len() >= 9);
+        assert_eq!(configs[0].0, "WikiMatch");
+    }
+
+    #[test]
+    fn table5_overlap_within_bounds() {
+        let mut ctx = ExperimentContext::quick();
+        for (_, overlap) in ctx.table5("Portuguese-English") {
+            assert!((0.0..=1.0).contains(&overlap));
+        }
+    }
+
+    #[test]
+    fn table7_orders_lsi_above_random() {
+        let mut ctx = ExperimentContext::quick();
+        let row = ctx.table7("Vietnamese-English");
+        let get = |label: &str| {
+            row.map
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(get("LSI") >= get("Random"), "{:?}", row.map);
+    }
+}

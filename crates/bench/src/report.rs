@@ -1,0 +1,105 @@
+//! Report rendering and persistence helpers.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Renders a simple aligned text table.
+///
+/// `header` and every row must have the same number of columns; the column
+/// widths adapt to the content.
+pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .take(columns)
+            .map(|(i, cell)| format!("{:<width$}", cell, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Directory where JSON reports are written (workspace-relative `reports/`).
+pub fn reports_dir() -> PathBuf {
+    // The binaries run from the workspace root under `cargo run`; fall back
+    // to the current directory otherwise.
+    let candidate = Path::new("reports");
+    candidate.to_path_buf()
+}
+
+/// Serialises an experiment result to `reports/<name>.json`.
+///
+/// Failures are reported but not fatal — the text output on stdout is the
+/// primary artefact.
+pub fn write_report<T: Serialize>(name: &str, value: &T) {
+    let dir = reports_dir();
+    if let Err(err) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(err) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {err}", path.display());
+            } else {
+                eprintln!("(report written to {})", path.display());
+            }
+        }
+        Err(err) => eprintln!("warning: cannot serialise report {name}: {err}"),
+    }
+}
+
+/// Formats a float with two decimals (the precision the paper reports).
+pub fn f2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let header = vec!["type".to_string(), "P".to_string(), "R".to_string()];
+        let rows = vec![
+            vec!["film".to_string(), "0.97".to_string(), "0.95".to_string()],
+            vec!["fictional ch.".to_string(), "1.00".to_string(), "0.69".to_string()],
+        ];
+        let table = format_table(&header, &rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("type"));
+        assert!(lines[3].starts_with("fictional ch."));
+        // Columns line up: "P" column starts at the same offset everywhere.
+        let offset = lines[0].find('P').unwrap();
+        assert_eq!(&lines[2][offset..offset + 4], "0.97");
+    }
+
+    #[test]
+    fn f2_formats_two_decimals() {
+        assert_eq!(f2(0.5), "0.50");
+        assert_eq!(f2(1.0), "1.00");
+    }
+}

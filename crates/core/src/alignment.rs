@@ -1,0 +1,439 @@
+//! The `AttributeAlignment` algorithm (Algorithm 1 of the paper), its
+//! `IntegrateMatches` helper (Algorithm 2) and the `ReviseUncertain` step
+//! (Section 3.4).
+//!
+//! The algorithm proceeds in two phases:
+//!
+//! 1. **Certain phase.** Candidate pairs whose LSI correlation exceeds
+//!    `TLSI` are processed in decreasing LSI order. A pair whose
+//!    `max(vsim, lsim)` exceeds `Tsim` is a *certain* correspondence and is
+//!    integrated into the match set; other pairs are buffered as
+//!    *uncertain*. Integration enforces a pairwise-correlation constraint: a
+//!    new attribute may join an existing cluster only if its LSI score with
+//!    every current member exceeds `TLSI` (this is what keeps `morte` out of
+//!    the `born ~ nascimento` cluster in the paper's Example 2).
+//! 2. **Revision phase (`ReviseUncertain`).** Buffered uncertain pairs whose
+//!    attributes co-occur strongly with already-matched attributes — as
+//!    measured by the *inductive grouping score* — are integrated as well,
+//!    recovering correct correspondences whose value/link similarity is low
+//!    (the `other names ~ outros nomes` case).
+//!
+//! All the ablation switches of [`WikiMatchConfig`](crate::config::WikiMatchConfig)
+//! act here, which is what the component-contribution experiments (Table 3 /
+//! Figure 3) exercise.
+
+use crate::config::{CandidateOrdering, WikiMatchConfig};
+use crate::matches::MatchSet;
+use crate::schema::DualSchema;
+use crate::similarity::{CandidatePair, SimilarityTable};
+
+/// The attribute-alignment algorithm over one dual-language schema.
+#[derive(Debug, Clone)]
+pub struct AttributeAlignment<'a> {
+    schema: &'a DualSchema,
+    table: &'a SimilarityTable,
+    config: WikiMatchConfig,
+}
+
+impl<'a> AttributeAlignment<'a> {
+    /// Creates the aligner for a schema and its similarity table.
+    pub fn new(
+        schema: &'a DualSchema,
+        table: &'a SimilarityTable,
+        config: WikiMatchConfig,
+    ) -> Self {
+        Self {
+            schema,
+            table,
+            config,
+        }
+    }
+
+    /// Runs the full algorithm and returns the set of matches.
+    pub fn run(&self) -> MatchSet {
+        let mut matches = MatchSet::new();
+        let mut uncertain: Vec<CandidatePair> = Vec::new();
+
+        for pair in self.ordered_candidates() {
+            let evidence = self.evidence(&pair);
+            let accept = if self.config.single_step {
+                evidence > 0.0
+            } else {
+                evidence > self.config.t_sim
+            };
+            if accept {
+                self.integrate(&pair, &mut matches);
+            } else {
+                uncertain.push(pair);
+            }
+        }
+
+        if self.config.use_revise_uncertain && !self.config.single_step {
+            for pair in self.revise_uncertain(&uncertain, &matches) {
+                self.integrate(&pair, &mut matches);
+            }
+        }
+        matches
+    }
+
+    /// The direct-evidence score used to accept a candidate, honouring the
+    /// feature-ablation switches.
+    fn evidence(&self, pair: &CandidatePair) -> f64 {
+        let v = if self.config.use_vsim { pair.vsim } else { 0.0 };
+        let l = if self.config.use_lsim { pair.lsim } else { 0.0 };
+        v.max(l)
+    }
+
+    /// Builds the candidate queue: pairs above `TLSI`, ordered according to
+    /// the configuration.
+    fn ordered_candidates(&self) -> Vec<CandidatePair> {
+        match self.config.ordering {
+            CandidateOrdering::Lsi => self.table.above_lsi(self.config.t_lsi),
+            CandidateOrdering::MaxSimilarity => {
+                let mut pairs: Vec<CandidatePair> = self
+                    .table
+                    .pairs()
+                    .iter()
+                    .filter(|p| self.evidence(p) > 0.0)
+                    .copied()
+                    .collect();
+                pairs.sort_by(|a, b| {
+                    self.evidence(b)
+                        .partial_cmp(&self.evidence(a))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| (a.p, a.q).cmp(&(b.p, b.q)))
+                });
+                pairs
+            }
+            CandidateOrdering::Random => {
+                let mut pairs = self.table.above_lsi(self.config.t_lsi);
+                deterministic_shuffle(&mut pairs, self.config.ordering_seed);
+                pairs
+            }
+        }
+    }
+
+    /// `IntegrateMatches` (Algorithm 2): decides whether the candidate pair
+    /// creates a new cluster, extends an existing one, or is ignored.
+    fn integrate(&self, pair: &CandidatePair, matches: &mut MatchSet) {
+        let in_p = matches.cluster_of(pair.p);
+        let in_q = matches.cluster_of(pair.q);
+        match (in_p, in_q) {
+            (None, None) => {
+                matches.add_cluster(pair.p, pair.q);
+            }
+            (Some(cluster), None) => {
+                if self.correlated_with_all(pair.q, cluster, matches) {
+                    matches.add_to_cluster(cluster, pair.q);
+                }
+            }
+            (None, Some(cluster)) => {
+                if self.correlated_with_all(pair.p, cluster, matches) {
+                    matches.add_to_cluster(cluster, pair.p);
+                }
+            }
+            // Both attributes already matched (possibly in different
+            // clusters): the paper's algorithm leaves them untouched.
+            (Some(_), Some(_)) => {}
+        }
+    }
+
+    /// The pairwise-correlation constraint of `IntegrateMatches`: the new
+    /// attribute must have an LSI score above `TLSI` with every member of
+    /// the target cluster. Disabled by the `-IntegrateMatches` ablation.
+    fn correlated_with_all(&self, attr: usize, cluster: usize, matches: &MatchSet) -> bool {
+        if !self.config.use_integrate_constraint {
+            return true;
+        }
+        matches.clusters()[cluster].members.iter().all(|&member| {
+            self.table
+                .pair(attr, member)
+                .map(|p| p.lsi > self.config.t_lsi)
+                .unwrap_or(false)
+        })
+    }
+
+    /// `ReviseUncertain`: selects the buffered pairs whose attributes are
+    /// strongly co-grouped with already-matched attributes.
+    fn revise_uncertain(
+        &self,
+        uncertain: &[CandidatePair],
+        matches: &MatchSet,
+    ) -> Vec<CandidatePair> {
+        if !self.config.use_inductive_grouping {
+            return uncertain.to_vec();
+        }
+        let mut revised: Vec<(f64, CandidatePair)> = uncertain
+            .iter()
+            .filter_map(|pair| {
+                // Revision reinforces *weak* evidence; pairs with no direct
+                // evidence at all (zero value and link similarity) stay
+                // rejected regardless of how well they co-occur with the
+                // existing matches.
+                if self.evidence(pair) <= 0.0 {
+                    return None;
+                }
+                let score = self.inductive_grouping_score(pair, matches);
+                (score > self.config.t_eg).then_some((score, *pair))
+            })
+            .collect();
+        // Integrate the strongest revisions first.
+        revised.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.1.p, a.1.q).cmp(&(b.1.p, b.1.q)))
+        });
+        revised.into_iter().map(|(_, pair)| pair).collect()
+    }
+
+    /// The inductive grouping score `eg(a, a')` of Section 3.4: the average
+    /// product of grouping scores between each attribute and the matched
+    /// attributes it co-occurs with in its own language, restricted to
+    /// matched attribute pairs `(ca ~ c'a)` that belong to the same cluster.
+    fn inductive_grouping_score(&self, pair: &CandidatePair, matches: &MatchSet) -> f64 {
+        let a = pair.p;
+        let b = pair.q;
+        let lang_a = &self.schema.attribute(a).language;
+        let lang_b = &self.schema.attribute(b).language;
+
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for cluster in matches.clusters() {
+            // Matched attributes of a's language and of b's language within
+            // the same cluster (i.e. ca ~ c'a holds).
+            let ca: Vec<usize> = cluster
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| &self.schema.attribute(m).language == lang_a && m != a)
+                .collect();
+            let cb: Vec<usize> = cluster
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| &self.schema.attribute(m).language == lang_b && m != b)
+                .collect();
+            for &x in &ca {
+                for &y in &cb {
+                    let ga = self.schema.grouping_score(a, x);
+                    let gb = self.schema.grouping_score(b, y);
+                    if ga > 0.0 || gb > 0.0 {
+                        total += ga * gb;
+                        count += 1;
+                    }
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+/// Deterministic Fisher-Yates shuffle driven by a splitmix64 stream; used by
+/// the random-ordering ablation so results stay reproducible.
+fn deterministic_shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::{Article, AttributeValue, Corpus, Infobox, Language, Link};
+    use wiki_linalg::LsiConfig;
+    use wiki_translate::TitleDictionary;
+
+    /// A corpus engineered so that:
+    /// * `born`/`nascimento` is a certain match (shared values),
+    /// * `directed by`/`direção` is a certain match (shared links),
+    /// * `other names`/`outros nomes` is correct but value-dissimilar
+    ///   (uncertain: values are unrelated free text), and
+    /// * `died`/`falecimento`/`morte` includes an intra-language synonym.
+    fn corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+        let countries = [("United States", "Estados Unidos"), ("Ireland", "Irlanda")];
+        for (en, pt) in countries {
+            let mut a = Article::new(en, Language::En, "Country", Infobox::new("c"));
+            a.add_cross_link(Language::Pt, pt);
+            corpus.insert(a);
+            corpus.insert(Article::new(pt, Language::Pt, "Country", Infobox::new("c")));
+        }
+        let mut person = Article::new("Some Director", Language::En, "Person", Infobox::new("p"));
+        person.add_cross_link(Language::Pt, "Some Director");
+        corpus.insert(person);
+        corpus.insert(Article::new(
+            "Some Director",
+            Language::Pt,
+            "Person",
+            Infobox::new("p"),
+        ));
+
+        for i in 0..8 {
+            let country = countries[i % 2];
+            let mut en_box = Infobox::new("Infobox Actor");
+            en_box.push(AttributeValue::linked(
+                "born",
+                country.0,
+                vec![Link::plain(country.0)],
+            ));
+            en_box.push(AttributeValue::linked(
+                "directed by",
+                "Some Director",
+                vec![Link::plain("Some Director")],
+            ));
+            en_box.push(AttributeValue::text("other names", format!("Falcon {i}")));
+            if i < 4 {
+                en_box.push(AttributeValue::text("died", format!("{}", 1990 + i)));
+            }
+            let mut en = Article::new(format!("Actor {i}"), Language::En, "Actor", en_box);
+            en.add_cross_link(Language::Pt, format!("Ator {i}"));
+
+            let mut pt_box = Infobox::new("Infobox Ator");
+            pt_box.push(AttributeValue::linked(
+                "nascimento",
+                country.1,
+                vec![Link::plain(country.1)],
+            ));
+            pt_box.push(AttributeValue::linked(
+                "direção",
+                "Some Director",
+                vec![Link::plain("Some Director")],
+            ));
+            // Mostly different alias strings: value similarity is positive
+            // but far below the certainty threshold, so the pair can only be
+            // recovered by ReviseUncertain.
+            let alias = if i == 0 { "Falcon 0".to_string() } else { format!("Vega {i}") };
+            pt_box.push(AttributeValue::text("outros nomes", alias));
+            if i < 4 {
+                let name = if i % 2 == 0 { "falecimento" } else { "morte" };
+                pt_box.push(AttributeValue::text(name, format!("{}", 1990 + i)));
+            }
+            let mut pt = Article::new(format!("Ator {i}"), Language::Pt, "Ator", pt_box);
+            pt.add_cross_link(Language::En, format!("Actor {i}"));
+            corpus.insert(en);
+            corpus.insert(pt);
+        }
+        corpus
+    }
+
+    fn setup(config: WikiMatchConfig) -> (DualSchema, MatchSet) {
+        let corpus = corpus();
+        let dict = TitleDictionary::from_corpus(&corpus, &Language::Pt, &Language::En);
+        let schema = DualSchema::build(&corpus, &Language::Pt, "Ator", "Actor", &dict);
+        let table = SimilarityTable::compute(&schema, LsiConfig::default());
+        let matches = AttributeAlignment::new(&schema, &table, config).run();
+        (schema, matches)
+    }
+
+    fn has_pair(schema: &DualSchema, matches: &MatchSet, pt: &str, en: &str) -> bool {
+        matches
+            .cross_language_pairs(schema, &Language::Pt, &Language::En)
+            .contains(&(pt.to_string(), en.to_string()))
+    }
+
+    #[test]
+    fn finds_certain_value_and_link_matches() {
+        let (schema, matches) = setup(WikiMatchConfig::default());
+        // Derived pairs use normalised labels ("direcao", not "direção").
+        assert!(has_pair(&schema, &matches, "nascimento", "born"));
+        assert!(has_pair(&schema, &matches, "direcao", "directed by"));
+    }
+
+    #[test]
+    fn revise_uncertain_recovers_low_similarity_matches() {
+        let with = setup(WikiMatchConfig::default());
+        let without = setup(WikiMatchConfig::default().without_revise_uncertain());
+        // The alias attribute has disjoint values, so it can only be found by
+        // the revision phase.
+        assert!(has_pair(&with.0, &with.1, "outros nomes", "other names"));
+        assert!(!has_pair(&without.0, &without.1, "outros nomes", "other names"));
+        // Removing the phase never *adds* correspondences.
+        let n_with = with
+            .1
+            .cross_language_pairs(&with.0, &Language::Pt, &Language::En)
+            .len();
+        let n_without = without
+            .1
+            .cross_language_pairs(&without.0, &Language::Pt, &Language::En)
+            .len();
+        assert!(n_with >= n_without);
+    }
+
+    #[test]
+    fn incorrect_cross_pairs_are_not_produced() {
+        let (schema, matches) = setup(WikiMatchConfig::default());
+        assert!(!has_pair(&schema, &matches, "direção", "born"));
+        assert!(!has_pair(&schema, &matches, "nascimento", "directed by"));
+        assert!(!has_pair(&schema, &matches, "outros nomes", "born"));
+    }
+
+    #[test]
+    fn single_step_accepts_any_positive_evidence() {
+        let (schema, single) = setup(WikiMatchConfig::default().single_step());
+        let pairs = single.cross_language_pairs(&schema, &Language::Pt, &Language::En);
+        // The single-step ablation accepts every candidate with positive
+        // vsim/lsim, so the strongly corroborated matches are still present…
+        assert!(pairs.contains(&("nascimento".to_string(), "born".to_string())));
+        assert!(pairs.contains(&("direcao".to_string(), "directed by".to_string())));
+        // …and weakly corroborated (date-overlap) pairs are accepted too,
+        // which is what erodes precision in the paper's Table 3.
+        assert!(
+            pairs.iter().any(|(pt, en)| en == "died" && (pt == "falecimento" || pt == "morte")),
+            "expected a death-date pair among {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn random_ordering_is_deterministic_per_seed() {
+        let config = WikiMatchConfig::default().with_random_ordering();
+        let (schema_a, a) = setup(config);
+        let (_, b) = setup(config);
+        assert_eq!(
+            a.cross_language_pairs(&schema_a, &Language::Pt, &Language::En),
+            b.cross_language_pairs(&schema_a, &Language::Pt, &Language::En)
+        );
+    }
+
+    #[test]
+    fn ablations_do_not_panic_and_stay_consistent() {
+        for config in [
+            WikiMatchConfig::default().without_vsim(),
+            WikiMatchConfig::default().without_lsim(),
+            WikiMatchConfig::default().without_lsi(),
+            WikiMatchConfig::default().without_integrate_constraint(),
+            WikiMatchConfig::default().without_inductive_grouping(),
+        ] {
+            let (schema, matches) = setup(config);
+            for (pt, en) in matches.cross_language_pairs(&schema, &Language::Pt, &Language::En) {
+                // Every reported pair references attributes that exist.
+                assert!(schema.index_of(&Language::Pt, &pt).is_some());
+                assert!(schema.index_of(&Language::En, &en).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_shuffle_is_stable() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b: Vec<u32> = (0..20).collect();
+        deterministic_shuffle(&mut a, 5);
+        deterministic_shuffle(&mut b, 5);
+        assert_eq!(a, b);
+        let mut c: Vec<u32> = (0..20).collect();
+        deterministic_shuffle(&mut c, 6);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,203 @@
+//! Configuration of the WikiMatch matcher.
+//!
+//! Two thresholds govern the alignment algorithm (Section 3.3 of the paper):
+//!
+//! * `Tsim` — the *certainty* threshold. A candidate pair whose
+//!   `max(vsim, lsim)` exceeds `Tsim` is accepted immediately; the paper sets
+//!   it high (0.6) so that only well-corroborated pairs are selected early.
+//! * `TLSI` — the *correlation* threshold. Only pairs with LSI score above
+//!   `TLSI` enter the candidate queue, and a new attribute may join an
+//!   existing match cluster only if its LSI score with every member exceeds
+//!   `TLSI`. The paper sets it low (0.1) because heterogeneity weakens
+//!   correlations.
+//!
+//! The remaining switches implement the ablation configurations of Table 3 /
+//! Figure 3 (removing `ReviseUncertain`, `IntegrateMatches`, individual
+//! similarity features, the LSI ordering, or collapsing the two-phase
+//! algorithm into a single step).
+
+use serde::{Deserialize, Serialize};
+use wiki_linalg::LsiConfig;
+
+/// Which score orders the candidate queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CandidateOrdering {
+    /// Decreasing LSI score (the paper's default).
+    Lsi,
+    /// Decreasing `max(vsim, lsim)` — used by the `WikiMatch-LSI` ablation.
+    MaxSimilarity,
+    /// A deterministic pseudo-random permutation — used by the
+    /// `WikiMatch random` ablation.
+    Random,
+}
+
+/// Full configuration of the matcher.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WikiMatchConfig {
+    /// Certainty threshold `Tsim` applied to `max(vsim, lsim)`.
+    pub t_sim: f64,
+    /// Correlation threshold `TLSI` applied to the LSI score.
+    pub t_lsi: f64,
+    /// Threshold on the inductive grouping score used by `ReviseUncertain`.
+    pub t_eg: f64,
+    /// LSI (truncated SVD) settings.
+    pub lsi: LsiConfig,
+    /// Use value similarity as evidence (`false` = `WikiMatch-vsim`).
+    pub use_vsim: bool,
+    /// Use link-structure similarity as evidence (`false` = `WikiMatch-lsim`).
+    pub use_lsim: bool,
+    /// Candidate ordering (LSI, max-similarity, or random).
+    pub ordering: CandidateOrdering,
+    /// Run the `ReviseUncertain` step (`false` = `WikiMatch-ReviseUncertain`).
+    pub use_revise_uncertain: bool,
+    /// Enforce the pairwise-correlation constraint when integrating matches
+    /// (`false` = `WikiMatch-IntegrateMatches`).
+    pub use_integrate_constraint: bool,
+    /// Collapse the algorithm into a single step that accepts every candidate
+    /// with positive `vsim`/`lsim` (`true` = `WikiMatch single step`).
+    pub single_step: bool,
+    /// Filter uncertain pairs by the inductive grouping score
+    /// (`false` = the "WikiMatch − inductive grouping" row of Table 3).
+    pub use_inductive_grouping: bool,
+    /// Seed of the deterministic permutation used by
+    /// [`CandidateOrdering::Random`].
+    pub ordering_seed: u64,
+}
+
+impl Default for WikiMatchConfig {
+    fn default() -> Self {
+        Self {
+            // Values used throughout the paper's evaluation (Section 4):
+            // Tsim = 0.6 for both vsim and lsim, TLSI = 0.1.
+            t_sim: 0.6,
+            t_lsi: 0.1,
+            t_eg: 0.25,
+            lsi: LsiConfig::default(),
+            use_vsim: true,
+            use_lsim: true,
+            ordering: CandidateOrdering::Lsi,
+            use_revise_uncertain: true,
+            use_integrate_constraint: true,
+            single_step: false,
+            use_inductive_grouping: true,
+            ordering_seed: 17,
+        }
+    }
+}
+
+impl WikiMatchConfig {
+    /// The `WikiMatch-ReviseUncertain` ablation (no second phase).
+    pub fn without_revise_uncertain(self) -> Self {
+        Self {
+            use_revise_uncertain: false,
+            ..self
+        }
+    }
+
+    /// The `WikiMatch-IntegrateMatches` ablation (no pairwise-correlation
+    /// constraint when merging into clusters).
+    pub fn without_integrate_constraint(self) -> Self {
+        Self {
+            use_integrate_constraint: false,
+            ..self
+        }
+    }
+
+    /// The `WikiMatch random` ablation (random candidate ordering).
+    pub fn with_random_ordering(self) -> Self {
+        Self {
+            ordering: CandidateOrdering::Random,
+            ..self
+        }
+    }
+
+    /// The `WikiMatch single step` ablation.
+    pub fn single_step(self) -> Self {
+        Self {
+            single_step: true,
+            ..self
+        }
+    }
+
+    /// The `WikiMatch-vsim` ablation (no value similarity).
+    pub fn without_vsim(self) -> Self {
+        Self {
+            use_vsim: false,
+            ..self
+        }
+    }
+
+    /// The `WikiMatch-lsim` ablation (no link-structure similarity).
+    pub fn without_lsim(self) -> Self {
+        Self {
+            use_lsim: false,
+            ..self
+        }
+    }
+
+    /// The `WikiMatch-LSI` ablation: candidates are ordered and validated by
+    /// `max(vsim, lsim)` instead of the LSI score.
+    pub fn without_lsi(self) -> Self {
+        Self {
+            ordering: CandidateOrdering::MaxSimilarity,
+            // With no meaningful LSI, the correlation gates are disabled.
+            t_lsi: f64::MIN,
+            use_integrate_constraint: false,
+            ..self
+        }
+    }
+
+    /// The "WikiMatch − inductive grouping" ablation: `ReviseUncertain`
+    /// integrates every buffered uncertain pair instead of only the highly
+    /// correlated ones.
+    pub fn without_inductive_grouping(self) -> Self {
+        Self {
+            use_inductive_grouping: false,
+            ..self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_thresholds() {
+        let config = WikiMatchConfig::default();
+        assert!((config.t_sim - 0.6).abs() < 1e-12);
+        assert!((config.t_lsi - 0.1).abs() < 1e-12);
+        assert!(config.use_vsim && config.use_lsim);
+        assert_eq!(config.ordering, CandidateOrdering::Lsi);
+        assert!(config.use_revise_uncertain);
+        assert!(!config.single_step);
+    }
+
+    #[test]
+    fn ablation_builders_flip_the_right_switches() {
+        let base = WikiMatchConfig::default();
+        assert!(!base.without_revise_uncertain().use_revise_uncertain);
+        assert!(!base.without_integrate_constraint().use_integrate_constraint);
+        assert_eq!(
+            base.with_random_ordering().ordering,
+            CandidateOrdering::Random
+        );
+        assert!(base.single_step().single_step);
+        assert!(!base.without_vsim().use_vsim);
+        assert!(!base.without_lsim().use_lsim);
+        assert_eq!(
+            base.without_lsi().ordering,
+            CandidateOrdering::MaxSimilarity
+        );
+        assert!(!base.without_inductive_grouping().use_inductive_grouping);
+        // Builders leave unrelated fields untouched.
+        assert!((base.without_vsim().t_sim - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_serialises() {
+        let config = WikiMatchConfig::default();
+        let json = serde_json::to_string(&config).unwrap();
+        assert!(json.contains("t_sim"));
+    }
+}

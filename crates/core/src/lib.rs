@@ -1,0 +1,76 @@
+//! # wikimatch
+//!
+//! A from-scratch Rust implementation of **WikiMatch** — the multilingual
+//! schema-matching approach for Wikipedia infoboxes introduced by Nguyen,
+//! Moreira, Nguyen, Nguyen and Freire, *"Multilingual Schema Matching for
+//! Wikipedia Infoboxes"*, PVLDB 5(2), 2011.
+//!
+//! WikiMatch finds correspondences between infobox attributes coming from
+//! articles in different languages, without training data, external
+//! dictionaries or machine translation. It combines four sources of
+//! similarity evidence:
+//!
+//! 1. **Value similarity** ([`similarity`]): cosine between attribute value
+//!    vectors, after translating values through an automatically derived
+//!    bilingual title dictionary (built from cross-language links).
+//! 2. **Link-structure similarity**: cosine between the sets of articles an
+//!    attribute's values link to, with targets unified through the corpus'
+//!    cross-language entity clusters.
+//! 3. **Attribute correlation via LSI** ([`similarity::SimilarityTable`]):
+//!    cosine between reduced attribute vectors obtained by a truncated SVD
+//!    of the attribute × dual-language-infobox occurrence matrix.
+//! 4. **Inductive grouping** ([`alignment`]): co-occurrence of unmatched
+//!    attributes with already-matched ones, used by the `ReviseUncertain`
+//!    step to recover correct-but-low-confidence matches.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wiki_corpus::{Dataset, SyntheticConfig};
+//! use wikimatch::{WikiMatch, WikiMatchConfig};
+//!
+//! // Generate a small Portuguese-English corpus with ground truth.
+//! let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+//!
+//! // Align the attributes of the "film" entity type.
+//! let matcher = WikiMatch::new(WikiMatchConfig::default());
+//! let pairing = dataset.type_pairing("film").unwrap();
+//! let alignment = matcher.align_type(&dataset, pairing);
+//!
+//! // Cross-language correspondences, e.g. ("direcao", "directed by").
+//! assert!(!alignment.cross_pairs().is_empty());
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`config`] — thresholds (`Tsim`, `TLSI`), LSI settings and ablation
+//!   switches used by the component-contribution experiments (Table 3).
+//! * [`schema`] — builds the dual-language schema of an entity type:
+//!   attribute groups with value vectors, link vectors and occurrence
+//!   patterns.
+//! * [`similarity`] — `vsim`, `lsim` and the LSI correlation table.
+//! * [`matches`] — match clusters (synonym sets spanning both languages).
+//! * [`alignment`] — the `AttributeAlignment`, `IntegrateMatches` and
+//!   `ReviseUncertain` algorithms (Algorithms 1 and 2 of the paper).
+//! * [`types`] — cross-language entity-type matching (Section 3.1).
+//! * [`pipeline`] — the end-to-end [`WikiMatch`] matcher over a
+//!   [`wiki_corpus::Dataset`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod config;
+pub mod matches;
+pub mod pipeline;
+pub mod schema;
+pub mod similarity;
+pub mod types;
+
+pub use alignment::AttributeAlignment;
+pub use config::WikiMatchConfig;
+pub use matches::{MatchCluster, MatchSet};
+pub use pipeline::{TypeAlignment, WikiMatch};
+pub use schema::{AttributeStats, DualSchema};
+pub use similarity::{CandidatePair, SimilarityTable};
+pub use types::match_entity_types;

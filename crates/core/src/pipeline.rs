@@ -1,0 +1,227 @@
+//! The end-to-end WikiMatch pipeline over a [`Dataset`].
+//!
+//! [`WikiMatch`] orchestrates the three steps of the paper:
+//!
+//! 1. match entity types across languages ([`crate::types`]);
+//! 2. build, per matched type, the dual-language schema with its similarity
+//!    evidence ([`crate::schema`], [`crate::similarity`]);
+//! 3. run the alignment algorithm ([`crate::alignment`]) and expose the
+//!    derived correspondences.
+
+use serde::{Deserialize, Serialize};
+
+use wiki_corpus::{Dataset, Language, TypePairing};
+use wiki_translate::TitleDictionary;
+
+use crate::alignment::AttributeAlignment;
+use crate::config::WikiMatchConfig;
+use crate::matches::MatchSet;
+use crate::schema::DualSchema;
+use crate::similarity::SimilarityTable;
+use crate::types::{match_entity_types, TypeMatch};
+
+/// The result of aligning one entity type.
+#[derive(Debug, Clone)]
+pub struct TypeAlignment {
+    /// Language-independent type identifier.
+    pub type_id: String,
+    /// The dual-language schema the alignment was computed on.
+    pub schema: DualSchema,
+    /// The pairwise similarity evidence.
+    pub table: SimilarityTable,
+    /// The discovered match clusters.
+    pub matches: MatchSet,
+    /// Language pair `(foreign, English)`.
+    pub languages: (Language, Language),
+}
+
+impl TypeAlignment {
+    /// Derived cross-language correspondences as
+    /// `(foreign-language attribute, English attribute)` pairs.
+    pub fn cross_pairs(&self) -> Vec<(String, String)> {
+        self.matches
+            .cross_language_pairs(&self.schema, &self.languages.0, &self.languages.1)
+    }
+
+    /// Derived intra-language synonym pairs for one language.
+    pub fn intra_pairs(&self, language: &Language) -> Vec<(String, String)> {
+        self.matches.intra_language_pairs(&self.schema, language)
+    }
+
+    /// Human-readable rendering of the match clusters
+    /// (e.g. `"died ~ falecimento ~ morte"`).
+    pub fn rendered_clusters(&self) -> Vec<String> {
+        self.matches.render(&self.schema)
+    }
+}
+
+/// A serialisable summary of a type alignment (used by the experiment
+/// harness to persist results).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlignmentSummary {
+    /// Type identifier.
+    pub type_id: String,
+    /// Number of dual-language infoboxes.
+    pub dual_infoboxes: usize,
+    /// Number of attribute groups in the dual schema.
+    pub attributes: usize,
+    /// Number of match clusters.
+    pub clusters: usize,
+    /// Derived cross-language pairs.
+    pub cross_pairs: Vec<(String, String)>,
+}
+
+impl From<&TypeAlignment> for AlignmentSummary {
+    fn from(alignment: &TypeAlignment) -> Self {
+        Self {
+            type_id: alignment.type_id.clone(),
+            dual_infoboxes: alignment.schema.dual_count,
+            attributes: alignment.schema.len(),
+            clusters: alignment.matches.len(),
+            cross_pairs: alignment.cross_pairs(),
+        }
+    }
+}
+
+/// The WikiMatch matcher.
+#[derive(Debug, Clone, Default)]
+pub struct WikiMatch {
+    config: WikiMatchConfig,
+}
+
+impl WikiMatch {
+    /// Creates a matcher with the given configuration.
+    pub fn new(config: WikiMatchConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WikiMatchConfig {
+        &self.config
+    }
+
+    /// Step 1: discover the entity-type correspondences of the dataset's
+    /// language pair from cross-language links.
+    pub fn match_types(&self, dataset: &Dataset) -> Vec<TypeMatch> {
+        match_entity_types(
+            &dataset.corpus,
+            dataset.other_language(),
+            dataset.english(),
+        )
+    }
+
+    /// Builds the dual-language schema and similarity table for one type
+    /// pairing (exposed separately because the baselines reuse it).
+    pub fn prepare_type(&self, dataset: &Dataset, pairing: &TypePairing) -> (DualSchema, SimilarityTable) {
+        let dictionary = TitleDictionary::from_corpus(
+            &dataset.corpus,
+            dataset.other_language(),
+            dataset.english(),
+        );
+        let schema = DualSchema::build(
+            &dataset.corpus,
+            dataset.other_language(),
+            &pairing.label_other,
+            &pairing.label_en,
+            &dictionary,
+        );
+        let table = SimilarityTable::compute(&schema, self.config.lsi);
+        (schema, table)
+    }
+
+    /// Aligns the attributes of one entity type.
+    pub fn align_type(&self, dataset: &Dataset, pairing: &TypePairing) -> TypeAlignment {
+        let (schema, table) = self.prepare_type(dataset, pairing);
+        let matches = AttributeAlignment::new(&schema, &table, self.config).run();
+        TypeAlignment {
+            type_id: pairing.type_id.clone(),
+            schema,
+            table,
+            matches,
+            languages: dataset.languages.clone(),
+        }
+    }
+
+    /// Aligns every entity type of the dataset.
+    pub fn align_all(&self, dataset: &Dataset) -> Vec<TypeAlignment> {
+        dataset
+            .types
+            .iter()
+            .map(|pairing| self.align_type(dataset, pairing))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::SyntheticConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::pt_en(&SyntheticConfig::tiny())
+    }
+
+    #[test]
+    fn type_matching_recovers_the_catalog_pairings() {
+        let dataset = dataset();
+        let matcher = WikiMatch::default();
+        let type_matches = matcher.match_types(&dataset);
+        // Every catalog pairing should be recovered by majority voting.
+        for pairing in &dataset.types {
+            let found = type_matches
+                .iter()
+                .find(|m| m.label_a == pairing.label_other)
+                .unwrap_or_else(|| panic!("no type match for {}", pairing.label_other));
+            assert_eq!(
+                found.label_b, pairing.label_en,
+                "wrong match for {}",
+                pairing.label_other
+            );
+        }
+    }
+
+    #[test]
+    fn film_alignment_contains_expected_pairs() {
+        let dataset = dataset();
+        let matcher = WikiMatch::default();
+        let pairing = dataset.type_pairing("film").unwrap();
+        let alignment = matcher.align_type(&dataset, pairing);
+        let pairs = alignment.cross_pairs();
+        assert!(
+            pairs.contains(&("direcao".to_string(), "directed by".to_string())),
+            "direcao ~ directed by not found in {pairs:?}"
+        );
+        assert!(
+            pairs.contains(&("pais".to_string(), "country".to_string())),
+            "pais ~ country not found"
+        );
+        // Every derived pair maps existing attributes.
+        for (pt, en) in &pairs {
+            assert!(alignment.schema.index_of(&Language::Pt, pt).is_some());
+            assert!(alignment.schema.index_of(&Language::En, en).is_some());
+        }
+    }
+
+    #[test]
+    fn alignment_summary_serialises() {
+        let dataset = dataset();
+        let matcher = WikiMatch::default();
+        let alignment = matcher.align_type(&dataset, dataset.type_pairing("actor").unwrap());
+        let summary = AlignmentSummary::from(&alignment);
+        assert_eq!(summary.type_id, "actor");
+        assert!(summary.dual_infoboxes > 0);
+        let json = serde_json::to_string(&summary).unwrap();
+        assert!(json.contains("cross_pairs"));
+    }
+
+    #[test]
+    fn align_all_covers_every_type() {
+        let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
+        let matcher = WikiMatch::default();
+        let alignments = matcher.align_all(&dataset);
+        assert_eq!(alignments.len(), 4);
+        for alignment in &alignments {
+            assert!(alignment.schema.dual_count > 0, "{}", alignment.type_id);
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Dual-language schema construction.
+//!
+//! For one entity type and one language pair, the matcher works on the
+//! *dual-language schema*: the union of the attributes observed in the
+//! English and foreign-language infoboxes of cross-linked article pairs
+//! (Section 2 of the paper). Attributes with the same (normalised) label are
+//! grouped together and their evidence is pooled (the paper's attribute
+//! groups `AG`):
+//!
+//! * a **value vector** — canonical tokens of every value recorded for the
+//!   attribute, plus a variant translated into English through the bilingual
+//!   title dictionary (used by `vsim`);
+//! * a **link vector** — the cross-language entity clusters reached by the
+//!   hyperlinks inside the attribute's values (used by `lsim`);
+//! * an **occurrence pattern** — which dual-language infoboxes contain the
+//!   attribute (used by LSI and the grouping scores).
+
+use std::collections::HashMap;
+
+use wiki_corpus::{Corpus, Language};
+use wiki_text::tokenize::split_value_atoms;
+use wiki_text::{tokenize_value, TermVector};
+use wiki_translate::TitleDictionary;
+
+/// Pooled evidence for one attribute label of one language.
+#[derive(Debug, Clone)]
+pub struct AttributeStats {
+    /// Language the attribute belongs to.
+    pub language: Language,
+    /// Normalised attribute label.
+    pub name: String,
+    /// Number of infoboxes (of this type and language) containing the
+    /// attribute.
+    pub occurrences: usize,
+    /// Canonical value tokens with raw frequencies (dates and numbers are
+    /// normalised to language-independent tokens).
+    pub values: TermVector,
+    /// Canonical value tokens translated into English via the title
+    /// dictionary (identical to `values` for English attributes).
+    pub translated_values: TermVector,
+    /// Raw value atoms (normalised surface strings, *no* date/number
+    /// canonicalisation). Baselines that match literal values — Bouma's
+    /// value equality, COMA++'s instance matcher — operate on these.
+    pub raw_values: TermVector,
+    /// Raw value atoms translated into English via the title dictionary
+    /// (the "+D" instance configurations of COMA++).
+    pub translated_raw_values: TermVector,
+    /// Cross-language entity clusters reached by hyperlinks in the values.
+    pub links: TermVector,
+    /// Occurrence pattern over the dual-language infoboxes (`true` when the
+    /// attribute appears in dual infobox `j`).
+    pub occurrence_pattern: Vec<bool>,
+}
+
+impl AttributeStats {
+    fn new(language: Language, name: String, dual_count: usize) -> Self {
+        Self {
+            language,
+            name,
+            occurrences: 0,
+            values: TermVector::new(),
+            translated_values: TermVector::new(),
+            raw_values: TermVector::new(),
+            translated_raw_values: TermVector::new(),
+            links: TermVector::new(),
+            occurrence_pattern: vec![false; dual_count],
+        }
+    }
+
+    /// Number of dual infoboxes in which this attribute co-occurs with
+    /// `other` (both marked present).
+    pub fn co_occurrences(&self, other: &AttributeStats) -> usize {
+        self.occurrence_pattern
+            .iter()
+            .zip(&other.occurrence_pattern)
+            .filter(|(a, b)| **a && **b)
+            .count()
+    }
+}
+
+/// The dual-language schema of one entity type.
+#[derive(Debug, Clone)]
+pub struct DualSchema {
+    /// Language pair `(foreign, English)`.
+    pub languages: (Language, Language),
+    /// Foreign-language type label.
+    pub label_other: String,
+    /// English type label.
+    pub label_en: String,
+    /// Attribute groups of both languages.
+    pub attributes: Vec<AttributeStats>,
+    /// Number of dual-language infoboxes the schema was built from.
+    pub dual_count: usize,
+    index: HashMap<(Language, String), usize>,
+}
+
+impl DualSchema {
+    /// Builds the dual schema of the entity type labelled `label_other` /
+    /// `label_en` from the corpus.
+    ///
+    /// `dictionary` must translate titles from the foreign language into
+    /// English (see [`TitleDictionary::from_corpus`]).
+    pub fn build(
+        corpus: &Corpus,
+        other: &Language,
+        label_other: &str,
+        label_en: &str,
+        dictionary: &TitleDictionary,
+    ) -> Self {
+        let english = Language::En;
+        let clusters = corpus.entity_clusters();
+
+        // Collect the dual-language infobox pairs of this type.
+        let pairs: Vec<_> = corpus
+            .cross_language_pairs(&english, other)
+            .into_iter()
+            .filter_map(|(en_id, other_id)| {
+                let en_article = corpus.get(en_id)?;
+                let other_article = corpus.get(other_id)?;
+                (en_article.entity_type == label_en && other_article.entity_type == label_other)
+                    .then_some((en_article, other_article))
+            })
+            .collect();
+        let dual_count = pairs.len();
+
+        let mut attributes: Vec<AttributeStats> = Vec::new();
+        let mut index: HashMap<(Language, String), usize> = HashMap::new();
+
+        for (j, (en_article, other_article)) in pairs.iter().enumerate() {
+            for (language, article) in [(&english, en_article), (other, other_article)] {
+                // Attributes present in this infobox (deduplicated labels).
+                let mut seen_in_infobox: Vec<usize> = Vec::new();
+                for attr in &article.infobox.attributes {
+                    let name = attr.normalized_name();
+                    if name.is_empty() {
+                        continue;
+                    }
+                    let key = (language.clone(), name.clone());
+                    let idx = *index.entry(key).or_insert_with(|| {
+                        attributes.push(AttributeStats::new(
+                            language.clone(),
+                            name.clone(),
+                            dual_count,
+                        ));
+                        attributes.len() - 1
+                    });
+                    let stats = &mut attributes[idx];
+                    if !stats.occurrence_pattern[j] {
+                        stats.occurrence_pattern[j] = true;
+                        stats.occurrences += 1;
+                        seen_in_infobox.push(idx);
+                    }
+                    // Canonical value tokens (dates/numbers normalised).
+                    for token in tokenize_value(&attr.value) {
+                        stats.values.add(token.clone(), 1.0);
+                        let translated = if language == other {
+                            dictionary.translate(&token).unwrap_or(token)
+                        } else {
+                            token
+                        };
+                        stats.translated_values.add(translated, 1.0);
+                    }
+                    // Raw value atoms (surface strings as written).
+                    for atom in split_value_atoms(&attr.value) {
+                        stats.raw_values.add(atom.clone(), 1.0);
+                        let translated = if language == other {
+                            dictionary.translate(&atom).unwrap_or(atom)
+                        } else {
+                            atom
+                        };
+                        stats.translated_raw_values.add(translated, 1.0);
+                    }
+                    // Link tokens: the cross-language cluster of the landing
+                    // article, so the same real-world entity yields the same
+                    // token regardless of language.
+                    for link in &attr.links {
+                        if let Some(target) = corpus.get_by_title(language, &link.target) {
+                            if let Some(cluster) = clusters.cluster_of(target.id) {
+                                stats.links.add(format!("e{}", cluster.0), 1.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Self {
+            languages: (other.clone(), english),
+            label_other: label_other.to_string(),
+            label_en: label_en.to_string(),
+            attributes,
+            dual_count,
+            index,
+        }
+    }
+
+    /// Number of attribute groups (both languages).
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Index of an attribute by `(language, normalised name)`.
+    pub fn index_of(&self, language: &Language, name: &str) -> Option<usize> {
+        self.index
+            .get(&(language.clone(), wiki_text::normalize_label(name)))
+            .copied()
+    }
+
+    /// The attribute at `idx`.
+    pub fn attribute(&self, idx: usize) -> &AttributeStats {
+        &self.attributes[idx]
+    }
+
+    /// Indices of the attributes of one language.
+    pub fn attributes_in(&self, language: &Language) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| &a.language == language)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Attribute occurrence frequencies of one language
+    /// (`normalised name → count`), used by the weighted evaluation metrics.
+    pub fn frequencies(&self, language: &Language) -> HashMap<String, f64> {
+        self.attributes
+            .iter()
+            .filter(|a| &a.language == language)
+            .map(|a| (a.name.clone(), a.occurrences as f64))
+            .collect()
+    }
+
+    /// The grouping score `g(ap, aq) = Opq / min(Op, Oq)` of the paper's
+    /// `ReviseUncertain` step (computed over dual infoboxes; for attributes
+    /// of the same language this equals the monolingual co-occurrence rate).
+    pub fn grouping_score(&self, p: usize, q: usize) -> f64 {
+        let a = &self.attributes[p];
+        let b = &self.attributes[q];
+        let denom = a.occurrences.min(b.occurrences);
+        if denom == 0 {
+            return 0.0;
+        }
+        a.co_occurrences(b) as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::{Article, AttributeValue, Infobox, Link};
+
+    /// Builds a miniature two-entity Pt-En film corpus by hand.
+    fn tiny_corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+
+        // Referenced entities with cross-language links.
+        let mut person_en = Article::new(
+            "Bernardo Bertolucci",
+            Language::En,
+            "Person",
+            Infobox::new("Infobox person"),
+        );
+        person_en.add_cross_link(Language::Pt, "Bernardo Bertolucci");
+        let person_pt = Article::new(
+            "Bernardo Bertolucci",
+            Language::Pt,
+            "Person",
+            Infobox::new("Infobox person"),
+        );
+        let mut country_en =
+            Article::new("Italy", Language::En, "Country", Infobox::new("Infobox country"));
+        country_en.add_cross_link(Language::Pt, "Itália");
+        let country_pt =
+            Article::new("Itália", Language::Pt, "Country", Infobox::new("Infobox country"));
+        corpus.insert(person_en);
+        corpus.insert(person_pt);
+        corpus.insert(country_en);
+        corpus.insert(country_pt);
+
+        for i in 0..2 {
+            let mut en_box = Infobox::new("Infobox Film");
+            en_box.push(AttributeValue::linked(
+                "Directed by",
+                "Bernardo Bertolucci",
+                vec![Link::plain("Bernardo Bertolucci")],
+            ));
+            en_box.push(AttributeValue::linked(
+                "Country",
+                "Italy",
+                vec![Link::plain("Italy")],
+            ));
+            en_box.push(AttributeValue::text("Running time", "160 minutes"));
+            let mut en_article =
+                Article::new(format!("Film {i}"), Language::En, "Film", en_box);
+            en_article.add_cross_link(Language::Pt, format!("Filme {i}"));
+
+            let mut pt_box = Infobox::new("Infobox Filme");
+            pt_box.push(AttributeValue::linked(
+                "Direção",
+                "Bernardo Bertolucci",
+                vec![Link::plain("Bernardo Bertolucci")],
+            ));
+            pt_box.push(AttributeValue::linked(
+                "País",
+                "Itália",
+                vec![Link::plain("Itália")],
+            ));
+            pt_box.push(AttributeValue::text("Duração", "160 minutos"));
+            let mut pt_article =
+                Article::new(format!("Filme {i}"), Language::Pt, "Filme", pt_box);
+            pt_article.add_cross_link(Language::En, format!("Film {i}"));
+
+            corpus.insert(en_article);
+            corpus.insert(pt_article);
+        }
+        corpus
+    }
+
+    fn build_schema(corpus: &Corpus) -> DualSchema {
+        let dictionary = TitleDictionary::from_corpus(corpus, &Language::Pt, &Language::En);
+        DualSchema::build(corpus, &Language::Pt, "Filme", "Film", &dictionary)
+    }
+
+    #[test]
+    fn groups_attributes_by_language_and_label() {
+        let corpus = tiny_corpus();
+        let schema = build_schema(&corpus);
+        assert_eq!(schema.dual_count, 2);
+        assert_eq!(schema.len(), 6);
+        assert_eq!(schema.attributes_in(&Language::En).len(), 3);
+        assert_eq!(schema.attributes_in(&Language::Pt).len(), 3);
+        let directed = schema.index_of(&Language::En, "Directed by").unwrap();
+        assert_eq!(schema.attribute(directed).occurrences, 2);
+    }
+
+    #[test]
+    fn translated_values_use_the_dictionary() {
+        let corpus = tiny_corpus();
+        let schema = build_schema(&corpus);
+        let pais = schema.index_of(&Language::Pt, "país").unwrap();
+        let stats = schema.attribute(pais);
+        // Raw value keeps the Portuguese form; the translated vector holds
+        // the English title.
+        assert!(stats.values.get("italia") > 0.0);
+        assert!(stats.translated_values.get("italy") > 0.0);
+        // English attributes translate to themselves.
+        let country = schema.index_of(&Language::En, "country").unwrap();
+        assert!(schema.attribute(country).translated_values.get("italy") > 0.0);
+    }
+
+    #[test]
+    fn link_vectors_share_cluster_tokens_across_languages() {
+        let corpus = tiny_corpus();
+        let schema = build_schema(&corpus);
+        let direcao = schema.index_of(&Language::Pt, "direção").unwrap();
+        let directed = schema.index_of(&Language::En, "directed by").unwrap();
+        let a = &schema.attribute(direcao).links;
+        let b = &schema.attribute(directed).links;
+        assert!(a.cosine(b) > 0.99, "cosine = {}", a.cosine(b));
+    }
+
+    #[test]
+    fn occurrence_patterns_and_grouping_scores() {
+        let corpus = tiny_corpus();
+        let schema = build_schema(&corpus);
+        let directed = schema.index_of(&Language::En, "directed by").unwrap();
+        let country = schema.index_of(&Language::En, "country").unwrap();
+        assert_eq!(
+            schema.attribute(directed).co_occurrences(schema.attribute(country)),
+            2
+        );
+        assert!((schema.grouping_score(directed, country) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_cover_only_requested_language() {
+        let corpus = tiny_corpus();
+        let schema = build_schema(&corpus);
+        let freq = schema.frequencies(&Language::Pt);
+        assert_eq!(freq.len(), 3);
+        // Keys are normalised labels (diacritics folded).
+        assert_eq!(freq["direcao"], 2.0);
+        assert!(!freq.contains_key("directed by"));
+    }
+
+    #[test]
+    fn missing_type_yields_empty_schema() {
+        let corpus = tiny_corpus();
+        let dictionary = TitleDictionary::from_corpus(&corpus, &Language::Pt, &Language::En);
+        let schema = DualSchema::build(&corpus, &Language::Pt, "Livro", "Book", &dictionary);
+        assert!(schema.is_empty());
+        assert_eq!(schema.dual_count, 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Similarity measures: `vsim`, `lsim` and the LSI correlation table.
+//!
+//! * **Cross-language value similarity** (`vsim`, Section 3.2): the cosine of
+//!   the attributes' value vectors, computed on the *translated* vectors so
+//!   that "Estados Unidos" and "United States" land on the same term.
+//! * **Link-structure similarity** (`lsim`): the cosine of the attributes'
+//!   link vectors; link targets were already unified into cross-language
+//!   entity clusters by [`crate::schema::DualSchema::build`], so two
+//!   attributes that link to the same real-world entities score high even
+//!   though the anchor texts differ.
+//! * **LSI attribute correlation**: the occurrence matrix over dual-language
+//!   infoboxes is decomposed with a truncated SVD and attribute correlation
+//!   is measured as the cosine of the reduced vectors, with the paper's sign
+//!   conventions: cross-language pairs use the cosine directly, co-occurring
+//!   same-language pairs are forced to 0 (they cannot be synonyms), and
+//!   non-co-occurring same-language pairs use the complement of the cosine.
+
+use serde::{Deserialize, Serialize};
+
+use wiki_linalg::{LsiConfig, LsiModel, Matrix};
+
+use crate::schema::DualSchema;
+
+/// A candidate attribute pair with its similarity evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidatePair {
+    /// Index of the first attribute in the [`DualSchema`].
+    pub p: usize,
+    /// Index of the second attribute in the [`DualSchema`].
+    pub q: usize,
+    /// Cross-language value similarity.
+    pub vsim: f64,
+    /// Link-structure similarity.
+    pub lsim: f64,
+    /// LSI correlation score (paper's sign conventions applied).
+    pub lsi: f64,
+}
+
+impl CandidatePair {
+    /// The strongest of the two direct-evidence scores.
+    pub fn max_sim(&self) -> f64 {
+        self.vsim.max(self.lsim)
+    }
+}
+
+/// Value similarity between two attributes of a dual schema.
+///
+/// For cross-language pairs the cosine is computed on the dictionary
+/// translated vectors; for same-language pairs the raw vectors are used.
+pub fn vsim(schema: &DualSchema, p: usize, q: usize) -> f64 {
+    let a = schema.attribute(p);
+    let b = schema.attribute(q);
+    if a.language == b.language {
+        a.values.cosine(&b.values)
+    } else {
+        a.translated_values.cosine(&b.translated_values)
+    }
+}
+
+/// Link-structure similarity between two attributes of a dual schema.
+pub fn lsim(schema: &DualSchema, p: usize, q: usize) -> f64 {
+    schema
+        .attribute(p)
+        .links
+        .cosine(&schema.attribute(q).links)
+}
+
+/// All pairwise similarity evidence for one dual-language schema.
+#[derive(Debug, Clone)]
+pub struct SimilarityTable {
+    /// Candidate pairs for every unordered attribute pair `(p < q)`.
+    pairs: Vec<CandidatePair>,
+    /// Number of attributes in the schema the table was built for.
+    len: usize,
+}
+
+impl SimilarityTable {
+    /// Computes `vsim`, `lsim` and LSI scores for every attribute pair of
+    /// the schema.
+    pub fn compute(schema: &DualSchema, lsi_config: LsiConfig) -> Self {
+        let n = schema.len();
+        let lsi_model = Self::fit_lsi(schema, lsi_config);
+
+        let mut pairs = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let lsi = Self::lsi_score(schema, &lsi_model, p, q);
+                pairs.push(CandidatePair {
+                    p,
+                    q,
+                    vsim: vsim(schema, p, q),
+                    lsim: lsim(schema, p, q),
+                    lsi,
+                });
+            }
+        }
+        Self { pairs, len: n }
+    }
+
+    /// Fits the LSI model on the attribute × dual-infobox occurrence matrix.
+    fn fit_lsi(schema: &DualSchema, config: LsiConfig) -> LsiModel {
+        let n = schema.len();
+        let m = schema.dual_count;
+        let mut occurrence = Matrix::zeros(n, m);
+        for (i, attr) in schema.attributes.iter().enumerate() {
+            for (j, present) in attr.occurrence_pattern.iter().enumerate() {
+                if *present {
+                    occurrence.set(i, j, 1.0);
+                }
+            }
+        }
+        LsiModel::fit(&occurrence, config)
+    }
+
+    /// The paper's LSI score with its sign conventions.
+    fn lsi_score(schema: &DualSchema, model: &LsiModel, p: usize, q: usize) -> f64 {
+        if model.is_empty() || model.rank() == 0 {
+            return 0.0;
+        }
+        let a = schema.attribute(p);
+        let b = schema.attribute(q);
+        let cosine = model.similarity(p, q);
+        if a.language != b.language {
+            // Cross-language pair: similar occurrence patterns indicate
+            // cross-language synonymy.
+            cosine.clamp(0.0, 1.0)
+        } else if a.co_occurrences(b) > 0 {
+            // Same-language attributes that co-occur in an infobox are not
+            // synonyms.
+            0.0
+        } else {
+            // Same-language attributes that never co-occur: the *less*
+            // similar their occurrence patterns, the more likely they are
+            // intra-language synonyms.
+            (1.0 - cosine).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Number of attributes the table covers.
+    pub fn attribute_count(&self) -> usize {
+        self.len
+    }
+
+    /// All candidate pairs (unordered, `p < q`).
+    pub fn pairs(&self) -> &[CandidatePair] {
+        &self.pairs
+    }
+
+    /// The candidate pair for `(p, q)` (order-insensitive).
+    pub fn pair(&self, p: usize, q: usize) -> Option<&CandidatePair> {
+        if p == q {
+            return None;
+        }
+        let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+        // Pairs are generated in lexicographic order; index arithmetic:
+        // offset(lo) = lo*len - lo*(lo+1)/2, then + (hi - lo - 1).
+        let offset = lo * self.len - lo * (lo + 1) / 2 + (hi - lo - 1);
+        self.pairs.get(offset)
+    }
+
+    /// Candidate pairs with an LSI score above `threshold`, sorted by
+    /// decreasing LSI score (deterministic tie-break by indices).
+    pub fn above_lsi(&self, threshold: f64) -> Vec<CandidatePair> {
+        let mut out: Vec<CandidatePair> = self
+            .pairs
+            .iter()
+            .filter(|pair| pair.lsi > threshold)
+            .copied()
+            .collect();
+        out.sort_by(|a, b| {
+            b.lsi
+                .partial_cmp(&a.lsi)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.p, a.q).cmp(&(b.p, b.q)))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::{Article, AttributeValue, Corpus, Infobox, Language, Link};
+    use wiki_translate::TitleDictionary;
+
+    /// Corpus where `born`/`nascimento` share values (via translation),
+    /// `directed by`/`direção` share links, and `died`/`morte` share only
+    /// occurrence patterns.
+    fn corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+        let mut usa_en =
+            Article::new("United States", Language::En, "Country", Infobox::new("c"));
+        usa_en.add_cross_link(Language::Pt, "Estados Unidos");
+        corpus.insert(usa_en);
+        corpus.insert(Article::new(
+            "Estados Unidos",
+            Language::Pt,
+            "Country",
+            Infobox::new("c"),
+        ));
+        let mut person_en =
+            Article::new("Bernardo Bertolucci", Language::En, "Person", Infobox::new("p"));
+        person_en.add_cross_link(Language::Pt, "Bernardo Bertolucci");
+        corpus.insert(person_en);
+        corpus.insert(Article::new(
+            "Bernardo Bertolucci",
+            Language::Pt,
+            "Person",
+            Infobox::new("p"),
+        ));
+
+        for i in 0..4 {
+            let mut en_box = Infobox::new("Infobox Actor");
+            en_box.push(AttributeValue::linked(
+                "born",
+                "United States",
+                vec![Link::plain("United States")],
+            ));
+            en_box.push(AttributeValue::linked(
+                "directed by",
+                "Bernardo Bertolucci",
+                vec![Link::plain("Bernardo Bertolucci")],
+            ));
+            if i % 2 == 0 {
+                en_box.push(AttributeValue::text("died", "June 4, 1975"));
+            }
+            let mut en = Article::new(format!("Actor {i}"), Language::En, "Actor", en_box);
+            en.add_cross_link(Language::Pt, format!("Ator {i}"));
+
+            let mut pt_box = Infobox::new("Infobox Ator");
+            pt_box.push(AttributeValue::linked(
+                "nascimento",
+                "Estados Unidos",
+                vec![Link::plain("Estados Unidos")],
+            ));
+            pt_box.push(AttributeValue::linked(
+                "direção",
+                "Bernardo Bertolucci",
+                vec![Link::plain("Bernardo Bertolucci")],
+            ));
+            if i % 2 == 0 {
+                pt_box.push(AttributeValue::text("morte", "4 de Junho de 1975"));
+            } else {
+                pt_box.push(AttributeValue::text("falecimento", "4 de Junho de 1975"));
+            }
+            let mut pt = Article::new(format!("Ator {i}"), Language::Pt, "Ator", pt_box);
+            pt.add_cross_link(Language::En, format!("Actor {i}"));
+
+            corpus.insert(en);
+            corpus.insert(pt);
+        }
+        corpus
+    }
+
+    fn schema_and_table() -> (DualSchema, SimilarityTable) {
+        let corpus = corpus();
+        let dict = TitleDictionary::from_corpus(&corpus, &Language::Pt, &Language::En);
+        let schema = DualSchema::build(&corpus, &Language::Pt, "Ator", "Actor", &dict);
+        let table = SimilarityTable::compute(&schema, LsiConfig::default());
+        (schema, table)
+    }
+
+    #[test]
+    fn vsim_fires_after_dictionary_translation() {
+        let (schema, _) = schema_and_table();
+        let born = schema.index_of(&Language::En, "born").unwrap();
+        let nascimento = schema.index_of(&Language::Pt, "nascimento").unwrap();
+        let died = schema.index_of(&Language::En, "died").unwrap();
+        assert!(vsim(&schema, born, nascimento) > 0.9);
+        assert!(vsim(&schema, born, died) < 0.1);
+    }
+
+    #[test]
+    fn vsim_canonicalises_dates_across_languages() {
+        let (schema, _) = schema_and_table();
+        let died = schema.index_of(&Language::En, "died").unwrap();
+        let morte = schema.index_of(&Language::Pt, "morte").unwrap();
+        // "June 4, 1975" and "4 de Junho de 1975" map to the same token.
+        assert!(vsim(&schema, died, morte) > 0.9);
+    }
+
+    #[test]
+    fn lsim_uses_cross_language_entity_clusters() {
+        let (schema, _) = schema_and_table();
+        let directed = schema.index_of(&Language::En, "directed by").unwrap();
+        let direcao = schema.index_of(&Language::Pt, "direção").unwrap();
+        let born = schema.index_of(&Language::En, "born").unwrap();
+        assert!(lsim(&schema, directed, direcao) > 0.99);
+        assert!(lsim(&schema, directed, born) < 0.01);
+    }
+
+    #[test]
+    fn lsi_sign_conventions() {
+        let (schema, table) = schema_and_table();
+        let born = schema.index_of(&Language::En, "born").unwrap();
+        let directed = schema.index_of(&Language::En, "directed by").unwrap();
+        let morte = schema.index_of(&Language::Pt, "morte").unwrap();
+        let falecimento = schema.index_of(&Language::Pt, "falecimento").unwrap();
+
+        // Same-language co-occurring attributes get exactly 0.
+        assert_eq!(table.pair(born, directed).unwrap().lsi, 0.0);
+        // Same-language attributes that never co-occur (morte/falecimento)
+        // get the complement — a high score here.
+        let intra = table.pair(morte, falecimento).unwrap().lsi;
+        assert!(intra > 0.5, "intra-language synonym LSI = {intra}");
+        // Cross-language pair with aligned occurrence patterns scores high.
+        let nascimento = schema.index_of(&Language::Pt, "nascimento").unwrap();
+        let cross = table.pair(born, nascimento).unwrap().lsi;
+        assert!(cross > 0.8, "cross-language LSI = {cross}");
+        // All scores are bounded.
+        for pair in table.pairs() {
+            assert!((0.0..=1.0).contains(&pair.lsi), "lsi = {}", pair.lsi);
+            assert!((0.0..=1.0 + 1e-9).contains(&pair.vsim));
+            assert!((0.0..=1.0 + 1e-9).contains(&pair.lsim));
+        }
+    }
+
+    #[test]
+    fn pair_lookup_is_order_insensitive_and_complete() {
+        let (schema, table) = schema_and_table();
+        let n = schema.len();
+        assert_eq!(table.pairs().len(), n * (n - 1) / 2);
+        for p in 0..n {
+            assert!(table.pair(p, p).is_none());
+            for q in 0..n {
+                if p == q {
+                    continue;
+                }
+                let a = table.pair(p, q).unwrap();
+                let b = table.pair(q, p).unwrap();
+                assert_eq!((a.p, a.q), (b.p, b.q));
+                assert_eq!(a.p.min(a.q), p.min(q));
+                assert_eq!(a.p.max(a.q), p.max(q));
+            }
+        }
+    }
+
+    #[test]
+    fn above_lsi_is_sorted_and_filtered() {
+        let (_, table) = schema_and_table();
+        let ranked = table.above_lsi(0.1);
+        assert!(!ranked.is_empty());
+        for w in ranked.windows(2) {
+            assert!(w[0].lsi >= w[1].lsi);
+        }
+        for pair in &ranked {
+            assert!(pair.lsi > 0.1);
+        }
+        // A prohibitive threshold removes everything.
+        assert!(table.above_lsi(1.1).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-language entity-type matching (Section 3.1 of the paper).
+//!
+//! Wikipedia's type system (categories, infobox templates) differs per
+//! language edition, so before attributes can be aligned the matcher must
+//! discover that e.g. the English type "Film" corresponds to the Portuguese
+//! type "Filme". WikiMatch uses a simple but effective signal: if the
+//! articles of type `T` in language `L` predominantly cross-link to articles
+//! of type `T'` in language `L'`, the two types are equivalent.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use wiki_corpus::{Corpus, Language};
+
+/// A discovered correspondence between entity-type labels of two languages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeMatch {
+    /// Type label in the first language.
+    pub label_a: String,
+    /// Type label in the second language.
+    pub label_b: String,
+    /// Number of cross-language article pairs supporting the match.
+    pub support: usize,
+    /// Fraction of `label_a`'s cross-linked articles that land on `label_b`.
+    pub confidence: f64,
+}
+
+/// Matches entity types between `lang_a` and `lang_b` by majority voting
+/// over cross-language links.
+///
+/// For every type label of `lang_a`, the label of `lang_b` that receives the
+/// most cross-links is reported, together with its support (vote count) and
+/// confidence (fraction of votes). Types with no cross-linked articles are
+/// omitted.
+///
+/// ```
+/// use wiki_corpus::{Dataset, Language, SyntheticConfig};
+/// use wikimatch::match_entity_types;
+///
+/// let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+/// let matches = match_entity_types(&dataset.corpus, &Language::Pt, &Language::En);
+/// let film = matches.iter().find(|m| m.label_a == "Filme").unwrap();
+/// assert_eq!(film.label_b, "Film");
+/// ```
+pub fn match_entity_types(corpus: &Corpus, lang_a: &Language, lang_b: &Language) -> Vec<TypeMatch> {
+    // votes[label_a][label_b] = number of cross-linked article pairs.
+    let mut votes: HashMap<String, HashMap<String, usize>> = HashMap::new();
+    for (a_id, b_id) in corpus.cross_language_pairs(lang_a, lang_b) {
+        let (Some(a), Some(b)) = (corpus.get(a_id), corpus.get(b_id)) else {
+            continue;
+        };
+        *votes
+            .entry(a.entity_type.clone())
+            .or_default()
+            .entry(b.entity_type.clone())
+            .or_insert(0) += 1;
+    }
+
+    let mut matches: Vec<TypeMatch> = votes
+        .into_iter()
+        .filter_map(|(label_a, counts)| {
+            let total: usize = counts.values().sum();
+            let (label_b, support) = counts.into_iter().max_by_key(|(label, n)| (*n, std::cmp::Reverse(label.clone())))?;
+            (total > 0).then(|| TypeMatch {
+                label_a,
+                label_b,
+                support,
+                confidence: support as f64 / total as f64,
+            })
+        })
+        .collect();
+    matches.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.label_a.cmp(&b.label_a)));
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::{Article, Infobox};
+
+    fn corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+        // Three film pairs, one mislabelled on the Portuguese side.
+        for i in 0..3 {
+            let mut en = Article::new(
+                format!("Film {i}"),
+                Language::En,
+                "Film",
+                Infobox::new("Infobox Film"),
+            );
+            en.add_cross_link(Language::Pt, format!("Filme {i}"));
+            let label = if i == 2 { "Obra" } else { "Filme" };
+            let mut pt = Article::new(
+                format!("Filme {i}"),
+                Language::Pt,
+                label,
+                Infobox::new("Infobox Filme"),
+            );
+            pt.add_cross_link(Language::En, format!("Film {i}"));
+            corpus.insert(en);
+            corpus.insert(pt);
+        }
+        // One actor pair.
+        let mut en = Article::new("Actor 0", Language::En, "Actor", Infobox::new("Infobox Actor"));
+        en.add_cross_link(Language::Pt, "Ator 0");
+        let mut pt = Article::new("Ator 0", Language::Pt, "Ator", Infobox::new("Infobox Ator"));
+        pt.add_cross_link(Language::En, "Actor 0");
+        corpus.insert(en);
+        corpus.insert(pt);
+        // An article with no cross link.
+        corpus.insert(Article::new(
+            "Orphan",
+            Language::En,
+            "Film",
+            Infobox::new("Infobox Film"),
+        ));
+        corpus
+    }
+
+    #[test]
+    fn majority_vote_wins() {
+        let corpus = corpus();
+        let matches = match_entity_types(&corpus, &Language::En, &Language::Pt);
+        let film = matches.iter().find(|m| m.label_a == "Film").unwrap();
+        assert_eq!(film.label_b, "Filme");
+        assert_eq!(film.support, 2);
+        assert!((film.confidence - 2.0 / 3.0).abs() < 1e-9);
+        let actor = matches.iter().find(|m| m.label_a == "Actor").unwrap();
+        assert_eq!(actor.label_b, "Ator");
+        assert_eq!(actor.confidence, 1.0);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let corpus = corpus();
+        let matches = match_entity_types(&corpus, &Language::Pt, &Language::En);
+        let filme = matches.iter().find(|m| m.label_a == "Filme").unwrap();
+        assert_eq!(filme.label_b, "Film");
+        // "Obra" maps to Film as well (its only vote).
+        let obra = matches.iter().find(|m| m.label_a == "Obra").unwrap();
+        assert_eq!(obra.label_b, "Film");
+        assert_eq!(obra.support, 1);
+    }
+
+    #[test]
+    fn empty_corpus_yields_no_matches() {
+        let corpus = Corpus::new();
+        assert!(match_entity_types(&corpus, &Language::En, &Language::Pt).is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted_by_support() {
+        let corpus = corpus();
+        let matches = match_entity_types(&corpus, &Language::En, &Language::Pt);
+        for w in matches.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+    }
+}

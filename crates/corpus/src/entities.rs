@@ -1,0 +1,502 @@
+//! Pools of named entities with per-language titles.
+//!
+//! Attribute values in infoboxes frequently reference other Wikipedia
+//! entities — directors, countries, genres, companies — and those references
+//! are what the bilingual dictionary (built from cross-language links of the
+//! referenced articles) and the link-structure similarity feed on. The
+//! [`EntityPool`] provides a deterministic, seedable supply of such entities:
+//! a static multilingual gazetteer for entity kinds whose names genuinely
+//! differ across languages (countries, genres, awards, occupations, ...) and
+//! generated person names (personal names are typically identical across
+//! editions).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::lang::Language;
+
+/// Kinds of named entities the generator can reference from infobox values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// A person (director, actor, author, musician, ...).
+    Person,
+    /// A country.
+    Country,
+    /// A city.
+    City,
+    /// A film/TV genre.
+    FilmGenre,
+    /// A music genre.
+    MusicGenre,
+    /// A literary genre.
+    BookGenre,
+    /// A company (studio, label, publisher, network owner, ...).
+    Company,
+    /// An award.
+    Award,
+    /// A natural language used as an attribute value ("English", "Inglês").
+    LanguageName,
+    /// An occupation ("actor", "político", "chính khách").
+    Occupation,
+    /// A TV network / channel.
+    Network,
+}
+
+impl EntityKind {
+    /// All kinds, for iteration in tests.
+    pub fn all() -> &'static [EntityKind] {
+        &[
+            EntityKind::Person,
+            EntityKind::Country,
+            EntityKind::City,
+            EntityKind::FilmGenre,
+            EntityKind::MusicGenre,
+            EntityKind::BookGenre,
+            EntityKind::Company,
+            EntityKind::Award,
+            EntityKind::LanguageName,
+            EntityKind::Occupation,
+            EntityKind::Network,
+        ]
+    }
+}
+
+/// A named entity with a title in each corpus language.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NamedEntity {
+    /// What kind of entity this is.
+    pub kind: EntityKind,
+    /// English title.
+    pub en: String,
+    /// Portuguese title.
+    pub pt: String,
+    /// Vietnamese title.
+    pub vn: String,
+}
+
+impl NamedEntity {
+    /// Title in the requested language (falls back to English for
+    /// [`Language::Other`] editions).
+    pub fn title(&self, language: &Language) -> &str {
+        match language {
+            Language::En => &self.en,
+            Language::Pt => &self.pt,
+            Language::Vn => &self.vn,
+            Language::Other(_) => &self.en,
+        }
+    }
+}
+
+/// Index of an entity inside an [`EntityPool`].
+pub type EntityRef = usize;
+
+/// A deterministic pool of named entities.
+#[derive(Debug, Clone)]
+pub struct EntityPool {
+    entities: Vec<NamedEntity>,
+    by_kind: Vec<(EntityKind, Vec<EntityRef>)>,
+}
+
+macro_rules! gazetteer {
+    ($kind:expr, $( ($en:expr, $pt:expr, $vn:expr) ),+ $(,)?) => {
+        vec![ $( NamedEntity { kind: $kind, en: $en.to_string(), pt: $pt.to_string(), vn: $vn.to_string() } ),+ ]
+    };
+}
+
+impl EntityPool {
+    /// Builds the standard pool: the static gazetteer plus `person_count`
+    /// generated people.
+    pub fn standard(person_count: usize, rng: &mut StdRng) -> Self {
+        let mut entities = Vec::new();
+        entities.extend(countries());
+        entities.extend(cities());
+        entities.extend(film_genres());
+        entities.extend(music_genres());
+        entities.extend(book_genres());
+        entities.extend(companies());
+        entities.extend(awards());
+        entities.extend(language_names());
+        entities.extend(occupations());
+        entities.extend(networks());
+        entities.extend(generate_people(person_count, rng));
+
+        let mut by_kind: Vec<(EntityKind, Vec<EntityRef>)> = EntityKind::all()
+            .iter()
+            .map(|k| (*k, Vec::new()))
+            .collect();
+        for (i, e) in entities.iter().enumerate() {
+            if let Some((_, refs)) = by_kind.iter_mut().find(|(k, _)| *k == e.kind) {
+                refs.push(i);
+            }
+        }
+        Self { entities, by_kind }
+    }
+
+    /// Number of entities in the pool.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// The entity stored at `r`.
+    pub fn get(&self, r: EntityRef) -> &NamedEntity {
+        &self.entities[r]
+    }
+
+    /// All entities of a kind.
+    pub fn of_kind(&self, kind: EntityKind) -> &[EntityRef] {
+        self.by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, refs)| refs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Samples a uniformly random entity of a kind.
+    ///
+    /// # Panics
+    /// Panics if the pool holds no entity of that kind.
+    pub fn sample(&self, kind: EntityKind, rng: &mut StdRng) -> EntityRef {
+        let refs = self.of_kind(kind);
+        assert!(!refs.is_empty(), "no entities of kind {kind:?} in the pool");
+        refs[rng.gen_range(0..refs.len())]
+    }
+
+    /// Samples `n` distinct entities of a kind (or fewer if the pool is
+    /// smaller).
+    pub fn sample_distinct(&self, kind: EntityKind, n: usize, rng: &mut StdRng) -> Vec<EntityRef> {
+        let refs = self.of_kind(kind);
+        if refs.is_empty() {
+            return Vec::new();
+        }
+        let mut chosen = Vec::new();
+        let mut attempts = 0;
+        while chosen.len() < n.min(refs.len()) && attempts < n * 20 {
+            let candidate = refs[rng.gen_range(0..refs.len())];
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+            attempts += 1;
+        }
+        chosen
+    }
+}
+
+fn countries() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::Country,
+        ("United States", "Estados Unidos", "Hoa Kỳ"),
+        ("United Kingdom", "Reino Unido", "Vương quốc Anh"),
+        ("Brazil", "Brasil", "Brasil"),
+        ("Portugal", "Portugal", "Bồ Đào Nha"),
+        ("Vietnam", "Vietnã", "Việt Nam"),
+        ("France", "França", "Pháp"),
+        ("Italy", "Itália", "Ý"),
+        ("Germany", "Alemanha", "Đức"),
+        ("Spain", "Espanha", "Tây Ban Nha"),
+        ("Japan", "Japão", "Nhật Bản"),
+        ("China", "China", "Trung Quốc"),
+        ("India", "Índia", "Ấn Độ"),
+        ("Canada", "Canadá", "Canada"),
+        ("Australia", "Austrália", "Úc"),
+        ("Ireland", "Irlanda", "Ireland"),
+        ("Mexico", "México", "México"),
+        ("Argentina", "Argentina", "Argentina"),
+        ("Russia", "Rússia", "Nga"),
+        ("South Korea", "Coreia do Sul", "Hàn Quốc"),
+        ("England", "Inglaterra", "Anh"),
+        ("Netherlands", "Países Baixos", "Hà Lan"),
+        ("Sweden", "Suécia", "Thụy Điển"),
+        ("Norway", "Noruega", "Na Uy"),
+        ("Poland", "Polônia", "Ba Lan"),
+        ("Greece", "Grécia", "Hy Lạp"),
+    )
+}
+
+fn cities() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::City,
+        ("New York City", "Nova Iorque", "Thành phố New York"),
+        ("London", "Londres", "Luân Đôn"),
+        ("Los Angeles", "Los Angeles", "Los Angeles"),
+        ("Paris", "Paris", "Paris"),
+        ("Rome", "Roma", "Roma"),
+        ("Lisbon", "Lisboa", "Lisboa"),
+        ("São Paulo", "São Paulo", "São Paulo"),
+        ("Rio de Janeiro", "Rio de Janeiro", "Rio de Janeiro"),
+        ("Hanoi", "Hanói", "Hà Nội"),
+        ("Ho Chi Minh City", "Cidade de Ho Chi Minh", "Thành phố Hồ Chí Minh"),
+        ("Tokyo", "Tóquio", "Tokyo"),
+        ("Berlin", "Berlim", "Berlin"),
+        ("Madrid", "Madri", "Madrid"),
+        ("Moscow", "Moscou", "Moskva"),
+        ("Beijing", "Pequim", "Bắc Kinh"),
+    )
+}
+
+fn film_genres() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::FilmGenre,
+        ("Drama", "Drama", "Chính kịch"),
+        ("Comedy", "Comédia", "Hài"),
+        ("Action", "Ação", "Hành động"),
+        ("Thriller", "Suspense", "Giật gân"),
+        ("Horror", "Terror", "Kinh dị"),
+        ("Romance", "Romance", "Lãng mạn"),
+        ("Science fiction", "Ficção científica", "Khoa học viễn tưởng"),
+        ("Documentary", "Documentário", "Phim tài liệu"),
+        ("Animation", "Animação", "Hoạt hình"),
+        ("Adventure", "Aventura", "Phiêu lưu"),
+        ("Crime", "Crime", "Hình sự"),
+        ("Fantasy", "Fantasia", "Giả tưởng"),
+        ("Western", "Faroeste", "Viễn Tây"),
+        ("Musical", "Musical", "Ca nhạc"),
+    )
+}
+
+fn music_genres() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::MusicGenre,
+        ("Rock", "Rock", "Rock"),
+        ("Progressive rock", "Rock progressivo", "Rock tiến bộ"),
+        ("Jazz", "Jazz", "Nhạc jazz"),
+        ("Pop", "Pop", "Nhạc pop"),
+        ("Hip hop", "Hip hop", "Hip hop"),
+        ("Classical music", "Música clássica", "Nhạc cổ điển"),
+        ("Blues", "Blues", "Blues"),
+        ("Folk music", "Música folclórica", "Nhạc dân gian"),
+        ("Electronic music", "Música eletrônica", "Nhạc điện tử"),
+        ("Samba", "Samba", "Samba"),
+        ("Heavy metal", "Heavy metal", "Heavy metal"),
+        ("Country music", "Música country", "Nhạc đồng quê"),
+    )
+}
+
+fn book_genres() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::BookGenre,
+        ("Novel", "Romance literário", "Tiểu thuyết"),
+        ("Poetry", "Poesia", "Thơ"),
+        ("Biography", "Biografia", "Tiểu sử"),
+        ("Short story", "Conto", "Truyện ngắn"),
+        ("Essay", "Ensaio", "Tiểu luận"),
+        ("Fantasy literature", "Literatura fantástica", "Văn học giả tưởng"),
+        ("Historical fiction", "Ficção histórica", "Tiểu thuyết lịch sử"),
+        ("Mystery fiction", "Ficção policial", "Truyện trinh thám"),
+    )
+}
+
+fn companies() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::Company,
+        ("Columbia Pictures", "Columbia Pictures", "Columbia Pictures"),
+        ("Warner Bros.", "Warner Bros.", "Warner Bros."),
+        ("Paramount Pictures", "Paramount Pictures", "Paramount Pictures"),
+        ("Universal Studios", "Universal Studios", "Universal Studios"),
+        ("Metro-Goldwyn-Mayer", "Metro-Goldwyn-Mayer", "Metro-Goldwyn-Mayer"),
+        ("Globo Filmes", "Globo Filmes", "Globo Filmes"),
+        ("EMI Records", "EMI Records", "EMI Records"),
+        ("Sony Music", "Sony Music", "Sony Music"),
+        ("Penguin Books", "Penguin Books", "Penguin Books"),
+        ("Companhia das Letras", "Companhia das Letras", "Companhia das Letras"),
+        ("Marvel Comics", "Marvel Comics", "Marvel Comics"),
+        ("DC Comics", "DC Comics", "DC Comics"),
+        ("HBO", "HBO", "HBO"),
+        ("Netflix", "Netflix", "Netflix"),
+        ("BBC", "BBC", "BBC"),
+        ("Rede Globo", "Rede Globo", "Rede Globo"),
+        ("Editora Abril", "Editora Abril", "Editora Abril"),
+        ("Kim Dong Publishing House", "Kim Dong", "Nhà xuất bản Kim Đồng"),
+    )
+}
+
+fn awards() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::Award,
+        ("Academy Award for Best Picture", "Óscar de melhor filme", "Giải Oscar cho phim hay nhất"),
+        ("Academy Award for Best Director", "Óscar de melhor realização", "Giải Oscar cho đạo diễn xuất sắc nhất"),
+        ("Golden Globe Award", "Prémio Globo de Ouro", "Giải Quả cầu vàng"),
+        ("BAFTA Award", "Prémio BAFTA", "Giải BAFTA"),
+        ("Cannes Film Festival Palme d'Or", "Palma de Ouro", "Cành cọ vàng"),
+        ("Grammy Award", "Grammy Award", "Giải Grammy"),
+        ("Emmy Award", "Prémio Emmy", "Giải Emmy"),
+        ("Nobel Prize in Literature", "Prémio Nobel de Literatura", "Giải Nobel Văn học"),
+    )
+}
+
+fn language_names() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::LanguageName,
+        ("English language", "Língua inglesa", "Tiếng Anh"),
+        ("Portuguese language", "Língua portuguesa", "Tiếng Bồ Đào Nha"),
+        ("Vietnamese language", "Língua vietnamita", "Tiếng Việt"),
+        ("French language", "Língua francesa", "Tiếng Pháp"),
+        ("Spanish language", "Língua espanhola", "Tiếng Tây Ban Nha"),
+        ("Italian language", "Língua italiana", "Tiếng Ý"),
+        ("Japanese language", "Língua japonesa", "Tiếng Nhật"),
+        ("Mandarin Chinese", "Mandarim", "Tiếng Quan Thoại"),
+        ("German language", "Língua alemã", "Tiếng Đức"),
+        ("Russian language", "Língua russa", "Tiếng Nga"),
+    )
+}
+
+fn occupations() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::Occupation,
+        ("Actor", "Ator", "Diễn viên"),
+        ("Film director", "Diretor de cinema", "Đạo diễn"),
+        ("Screenwriter", "Roteirista", "Biên kịch"),
+        ("Producer", "Produtor", "Nhà sản xuất"),
+        ("Singer", "Cantor", "Ca sĩ"),
+        ("Musician", "Músico", "Nhạc sĩ"),
+        ("Writer", "Escritor", "Nhà văn"),
+        ("Politician", "Político", "Chính khách"),
+        ("Journalist", "Jornalista", "Nhà báo"),
+        ("Model", "Modelo", "Người mẫu"),
+        ("Comedian", "Comediante", "Diễn viên hài"),
+        ("Businessperson", "Empresário", "Doanh nhân"),
+    )
+}
+
+fn networks() -> Vec<NamedEntity> {
+    gazetteer!(
+        EntityKind::Network,
+        ("American Broadcasting Company", "American Broadcasting Company", "American Broadcasting Company"),
+        ("NBC", "NBC", "NBC"),
+        ("CBS", "CBS", "CBS"),
+        ("Fox Broadcasting Company", "Fox Broadcasting Company", "Fox Broadcasting Company"),
+        ("Rede Globo", "Rede Globo", "Rede Globo"),
+        ("SBT", "SBT", "SBT"),
+        ("VTV", "VTV", "Đài Truyền hình Việt Nam"),
+        ("HTV", "HTV", "Đài Truyền hình Thành phố Hồ Chí Minh"),
+        ("BBC One", "BBC One", "BBC One"),
+        ("Channel 4", "Channel 4", "Channel 4"),
+    )
+}
+
+/// First names used to synthesise people.
+const FIRST_NAMES: &[&str] = &[
+    "Bernardo", "Maria", "John", "Joan", "Peter", "Ryuichi", "David", "Ana", "Carlos", "Sofia",
+    "Nguyen", "Linh", "Minh", "Huong", "James", "Emma", "Lucas", "Julia", "Antonio", "Clara",
+    "Thomas", "Alice", "Marco", "Helena", "Pedro", "Laura", "Hiroshi", "Marie", "Paulo", "Teresa",
+    "Daniel", "Camila", "Andre", "Beatriz", "Victor", "Isabel", "Rafael", "Fernanda", "Hugo",
+    "Patricia",
+];
+
+/// Last names used to synthesise people.
+const LAST_NAMES: &[&str] = &[
+    "Bertolucci", "Silva", "Lone", "Chen", "Sakamoto", "Byrne", "Santos", "Oliveira", "Tran",
+    "Pham", "Le", "Hoang", "Smith", "Johnson", "Costa", "Pereira", "Almeida", "Ferreira",
+    "Rodrigues", "Martins", "Rossi", "Moreau", "Tanaka", "Kim", "Park", "Souza", "Lima", "Araujo",
+    "Carvalho", "Gomes", "Nakamura", "Dubois", "Müller", "García", "López", "Nguyen", "Vo", "Dang",
+    "Bui", "Do",
+];
+
+/// Generates `count` synthetic people. Person names are kept identical
+/// across languages (as is overwhelmingly the case on Wikipedia), so their
+/// contribution to matching comes from link structure rather than from the
+/// dictionary.
+fn generate_people(count: usize, rng: &mut StdRng) -> Vec<NamedEntity> {
+    let mut seen = std::collections::HashSet::new();
+    let mut people = Vec::with_capacity(count);
+    while people.len() < count {
+        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+        let mut name = format!("{first} {last}");
+        // Disambiguate collisions the way Wikipedia does.
+        let mut suffix = 1;
+        while seen.contains(&name) {
+            suffix += 1;
+            name = format!("{first} {last} ({suffix})");
+        }
+        seen.insert(name.clone());
+        people.push(NamedEntity {
+            kind: EntityKind::Person,
+            en: name.clone(),
+            pt: name.clone(),
+            vn: name,
+        });
+    }
+    people
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pool() -> EntityPool {
+        let mut rng = StdRng::seed_from_u64(7);
+        EntityPool::standard(100, &mut rng)
+    }
+
+    #[test]
+    fn pool_has_all_kinds() {
+        let pool = pool();
+        for kind in EntityKind::all() {
+            assert!(
+                !pool.of_kind(*kind).is_empty(),
+                "no entities of kind {kind:?}"
+            );
+        }
+        assert!(pool.len() > 150);
+    }
+
+    #[test]
+    fn titles_differ_across_languages_for_countries() {
+        let pool = pool();
+        let usa = pool
+            .of_kind(EntityKind::Country)
+            .iter()
+            .map(|&r| pool.get(r))
+            .find(|e| e.en == "United States")
+            .unwrap();
+        assert_eq!(usa.title(&Language::Pt), "Estados Unidos");
+        assert_eq!(usa.title(&Language::Vn), "Hoa Kỳ");
+        assert_eq!(usa.title(&Language::Other("de".into())), "United States");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut rng1 = StdRng::seed_from_u64(42);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let pool1 = EntityPool::standard(50, &mut rng1);
+        let pool2 = EntityPool::standard(50, &mut rng2);
+        assert_eq!(pool1.len(), pool2.len());
+        let a = pool1.sample(EntityKind::Person, &mut rng1);
+        let b = pool2.sample(EntityKind::Person, &mut rng2);
+        assert_eq!(pool1.get(a).en, pool2.get(b).en);
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_entities() {
+        let pool = pool();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampled = pool.sample_distinct(EntityKind::FilmGenre, 5, &mut rng);
+        assert_eq!(sampled.len(), 5);
+        let mut dedup = sampled.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn person_names_are_unique() {
+        let pool = pool();
+        let people: Vec<&str> = pool
+            .of_kind(EntityKind::Person)
+            .iter()
+            .map(|&r| pool.get(r).en.as_str())
+            .collect();
+        let mut dedup: Vec<&str> = people.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(people.len(), dedup.len());
+        assert_eq!(people.len(), 100);
+    }
+}

@@ -1,0 +1,84 @@
+//! Languages of the corpus.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Wikipedia language edition.
+///
+/// The paper works with English, Portuguese and Vietnamese; [`Language::Other`]
+/// keeps the model open for additional editions without touching the core
+/// algorithms (none of which enumerate languages).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Language {
+    /// English (`en.wikipedia.org`).
+    En,
+    /// Portuguese (`pt.wikipedia.org`).
+    Pt,
+    /// Vietnamese (`vi.wikipedia.org`).
+    Vn,
+    /// Any other language edition, identified by its wiki code.
+    Other(String),
+}
+
+impl Language {
+    /// The wiki code ("en", "pt", "vi", ...).
+    pub fn code(&self) -> &str {
+        match self {
+            Language::En => "en",
+            Language::Pt => "pt",
+            Language::Vn => "vi",
+            Language::Other(code) => code,
+        }
+    }
+
+    /// Parses a wiki code.
+    pub fn from_code(code: &str) -> Self {
+        match code {
+            "en" => Language::En,
+            "pt" => Language::Pt,
+            "vi" | "vn" => Language::Vn,
+            other => Language::Other(other.to_string()),
+        }
+    }
+
+    /// Human-readable English name of the language.
+    pub fn name(&self) -> &str {
+        match self {
+            Language::En => "English",
+            Language::Pt => "Portuguese",
+            Language::Vn => "Vietnamese",
+            Language::Other(code) => code,
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for lang in [Language::En, Language::Pt, Language::Vn] {
+            assert_eq!(Language::from_code(lang.code()), lang);
+        }
+        assert_eq!(Language::from_code("de"), Language::Other("de".into()));
+        assert_eq!(Language::from_code("vn"), Language::Vn);
+    }
+
+    #[test]
+    fn display_uses_code() {
+        assert_eq!(Language::Pt.to_string(), "pt");
+        assert_eq!(Language::Other("nl".into()).to_string(), "nl");
+    }
+
+    #[test]
+    fn names_are_human_readable() {
+        assert_eq!(Language::Vn.name(), "Vietnamese");
+    }
+}

@@ -1,0 +1,68 @@
+//! # wiki-corpus
+//!
+//! The Wikipedia substrate for the WikiMatch reproduction: article and
+//! infobox data model, a wikitext infobox parser, and a synthetic
+//! multilingual corpus generator with built-in ground truth.
+//!
+//! ## Why a synthetic corpus?
+//!
+//! The paper evaluates on infoboxes crawled from the English, Portuguese and
+//! Vietnamese Wikipedias (8,898 Pt-En infoboxes across 14 entity types and
+//! 659 Vn-En infoboxes across 4 types). Those dumps are not redistributable
+//! and cannot be downloaded in this environment, so this crate generates a
+//! corpus with the same structural phenomena:
+//!
+//! * **schema drift** — infoboxes of the same entity type use different
+//!   subsets of attributes;
+//! * **intra-language synonymy** — the same concept appears under several
+//!   surface names within one language (e.g. *falecimento* / *morte*);
+//! * **polysemy** — one surface name can denote different concepts
+//!   (e.g. *born* as a date or as a place);
+//! * **cross-language heterogeneity** — per-type attribute overlap between
+//!   language editions is calibrated to the paper's Table 5;
+//! * **value heterogeneity** — dates, numbers and entity references are
+//!   rendered using language-specific conventions and carry noise;
+//! * **link structure** — entity-valued attributes link to articles that are
+//!   themselves connected by cross-language links.
+//!
+//! The generator knows which language-independent *concept* every surface
+//! attribute name came from, so the gold standard used by the evaluation
+//! (cross-language attribute correspondences, including one-to-many cases)
+//! is produced alongside the corpus.
+//!
+//! ## Module map
+//!
+//! * [`lang`] — the [`Language`](lang::Language) enum.
+//! * [`model`] — articles, infoboxes, attribute/value pairs, links.
+//! * [`store`] — the [`Corpus`](store::Corpus) container with title and
+//!   cross-language indexes.
+//! * [`wikitext`] — parser from `{{Infobox ...}}` wikitext to the model.
+//! * [`entities`] — pools of named entities (people, places, genres, ...)
+//!   with per-language titles.
+//! * [`catalog`] — the domain catalog: entity types and attribute concepts
+//!   with per-language surface names.
+//! * [`synthetic`] — the corpus generator.
+//! * [`ground_truth`] — gold alignments produced by the generator.
+//! * [`dataset`] — convenience bundles (`Dataset::pt_en`, `Dataset::vn_en`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod dataset;
+pub mod entities;
+pub mod ground_truth;
+pub mod lang;
+pub mod model;
+pub mod store;
+pub mod synthetic;
+pub mod wikitext;
+
+pub use catalog::{Catalog, ConceptSpec, EntityTypeSpec, ValueKind};
+pub use dataset::{Dataset, TypePairing};
+pub use ground_truth::GroundTruth;
+pub use lang::Language;
+pub use model::{Article, ArticleId, AttributeValue, Infobox, Link};
+pub use store::Corpus;
+pub use synthetic::{SyntheticConfig, SyntheticGenerator};
+pub use wikitext::parse_infobox;

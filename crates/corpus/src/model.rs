@@ -1,0 +1,290 @@
+//! Core data model: articles, infoboxes, attribute-value pairs and links.
+//!
+//! This mirrors the problem definition in Section 2 of the paper. An article
+//! `A` in language `L` describes an entity `E` and carries a *title*, an
+//! *infobox* (a structured record of attribute-value pairs) and
+//! *cross-language links* to the articles describing `E` in other language
+//! editions. Attribute values may embed hyperlinks to other articles of the
+//! same language; those are the raw material of the link-structure similarity
+//! (`lsim`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::lang::Language;
+use wiki_text::normalize_label;
+
+/// Identifier of an article inside a [`Corpus`](crate::store::Corpus).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ArticleId(pub u32);
+
+impl ArticleId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArticleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// A hyperlink embedded in an attribute value.
+///
+/// `target` is the title of the landing article *in the same language* as the
+/// article that contains the link; `anchor` is the anchor text shown to the
+/// reader (they may differ: `[[United States|USA]]`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Title of the landing article (same language edition).
+    pub target: String,
+    /// Anchor text.
+    pub anchor: String,
+}
+
+impl Link {
+    /// A link whose anchor equals its target title.
+    pub fn plain<S: Into<String>>(target: S) -> Self {
+        let target = target.into();
+        Link {
+            anchor: target.clone(),
+            target,
+        }
+    }
+
+    /// A link with distinct anchor text.
+    pub fn with_anchor<S: Into<String>, T: Into<String>>(target: S, anchor: T) -> Self {
+        Link {
+            target: target.into(),
+            anchor: anchor.into(),
+        }
+    }
+}
+
+/// One attribute-value pair of an infobox.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeValue {
+    /// Attribute name as written in the infobox (template parameter name or
+    /// rendered label).
+    pub name: String,
+    /// Raw textual value (wikitext markup already stripped).
+    pub value: String,
+    /// Hyperlinks embedded in the value.
+    pub links: Vec<Link>,
+}
+
+impl AttributeValue {
+    /// Creates a link-free attribute-value pair.
+    pub fn text<S: Into<String>, T: Into<String>>(name: S, value: T) -> Self {
+        AttributeValue {
+            name: name.into(),
+            value: value.into(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Creates an attribute-value pair with hyperlinks.
+    pub fn linked<S: Into<String>, T: Into<String>>(name: S, value: T, links: Vec<Link>) -> Self {
+        AttributeValue {
+            name: name.into(),
+            value: value.into(),
+            links,
+        }
+    }
+
+    /// The normalised attribute label used by the matching pipeline.
+    pub fn normalized_name(&self) -> String {
+        normalize_label(&self.name)
+    }
+}
+
+/// A structured record summarising the entity described by an article.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Infobox {
+    /// Infobox template name (e.g. `Infobox film`).
+    pub template: String,
+    /// Attribute-value pairs in article order.
+    pub attributes: Vec<AttributeValue>,
+}
+
+impl Infobox {
+    /// Creates an empty infobox for a template.
+    pub fn new<S: Into<String>>(template: S) -> Self {
+        Infobox {
+            template: template.into(),
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Adds an attribute-value pair.
+    pub fn push(&mut self, attribute: AttributeValue) {
+        self.attributes.push(attribute);
+    }
+
+    /// Number of attribute-value pairs.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the infobox carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// The *schema* of the infobox: its set of normalised attribute names
+    /// (duplicates removed, order of first appearance preserved).
+    pub fn schema(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for attr in &self.attributes {
+            let name = attr.normalized_name();
+            if !name.is_empty() && !seen.contains(&name) {
+                seen.push(name);
+            }
+        }
+        seen
+    }
+
+    /// Looks up the first value recorded for a (normalised) attribute name.
+    pub fn value_of(&self, name: &str) -> Option<&AttributeValue> {
+        let wanted = normalize_label(name);
+        self.attributes
+            .iter()
+            .find(|a| a.normalized_name() == wanted)
+    }
+
+    /// Iterates over all values recorded for a (normalised) attribute name.
+    pub fn values_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a AttributeValue> + 'a {
+        let wanted = normalize_label(name);
+        self.attributes
+            .iter()
+            .filter(move |a| a.normalized_name() == wanted)
+    }
+}
+
+/// A Wikipedia article restricted to the components the paper uses: title,
+/// infobox, entity type and cross-language links.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Article {
+    /// Identifier within the corpus.
+    pub id: ArticleId,
+    /// Article title (unique per language edition).
+    pub title: String,
+    /// Language edition the article belongs to.
+    pub language: Language,
+    /// Entity-type label *in the article's own language* (e.g. "Filme" for a
+    /// Portuguese film article). Derived from the infobox template or the
+    /// article's categories.
+    pub entity_type: String,
+    /// The article's infobox.
+    pub infobox: Infobox,
+    /// Cross-language links: language and title of the article describing the
+    /// same entity in another edition.
+    pub cross_links: Vec<(Language, String)>,
+}
+
+impl Article {
+    /// Creates an article; the `id` is assigned by the corpus when inserted.
+    pub fn new<S: Into<String>, T: Into<String>>(
+        title: S,
+        language: Language,
+        entity_type: T,
+        infobox: Infobox,
+    ) -> Self {
+        Article {
+            id: ArticleId::default(),
+            title: title.into(),
+            language,
+            entity_type: entity_type.into(),
+            infobox,
+            cross_links: Vec::new(),
+        }
+    }
+
+    /// Adds a cross-language link.
+    pub fn add_cross_link<S: Into<String>>(&mut self, language: Language, title: S) {
+        self.cross_links.push((language, title.into()));
+    }
+
+    /// Returns the cross-language link to `language`, if any.
+    pub fn cross_link_to(&self, language: &Language) -> Option<&str> {
+        self.cross_links
+            .iter()
+            .find(|(l, _)| l == language)
+            .map(|(_, t)| t.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_infobox() -> Infobox {
+        let mut ib = Infobox::new("Infobox film");
+        ib.push(AttributeValue::linked(
+            "Directed by",
+            "Bernardo Bertolucci",
+            vec![Link::plain("Bernardo Bertolucci")],
+        ));
+        ib.push(AttributeValue::text("Running time", "160 minutes"));
+        ib.push(AttributeValue::text("Starring", "John Lone"));
+        ib.push(AttributeValue::text("starring2", "Joan Chen"));
+        ib
+    }
+
+    #[test]
+    fn schema_normalises_and_dedups() {
+        let ib = sample_infobox();
+        assert_eq!(
+            ib.schema(),
+            vec!["directed by", "running time", "starring"]
+        );
+        assert_eq!(ib.len(), 4);
+    }
+
+    #[test]
+    fn value_lookup_uses_normalised_names() {
+        let ib = sample_infobox();
+        assert_eq!(
+            ib.value_of("directed_by").unwrap().value,
+            "Bernardo Bertolucci"
+        );
+        assert_eq!(ib.values_of("Starring").count(), 2);
+        assert!(ib.value_of("budget").is_none());
+    }
+
+    #[test]
+    fn cross_links() {
+        let mut article = Article::new(
+            "The Last Emperor",
+            Language::En,
+            "Film",
+            sample_infobox(),
+        );
+        article.add_cross_link(Language::Pt, "O Último Imperador");
+        assert_eq!(
+            article.cross_link_to(&Language::Pt),
+            Some("O Último Imperador")
+        );
+        assert_eq!(article.cross_link_to(&Language::Vn), None);
+    }
+
+    #[test]
+    fn links_constructors() {
+        let l = Link::plain("United States");
+        assert_eq!(l.anchor, "United States");
+        let l = Link::with_anchor("United States", "USA");
+        assert_eq!(l.anchor, "USA");
+        assert_eq!(l.target, "United States");
+    }
+
+    #[test]
+    fn empty_infobox() {
+        let ib = Infobox::new("Infobox person");
+        assert!(ib.is_empty());
+        assert!(ib.schema().is_empty());
+    }
+}

@@ -1,0 +1,318 @@
+//! The [`Corpus`]: a container of articles with the indexes the matching
+//! pipeline needs.
+//!
+//! Besides plain storage the corpus maintains:
+//!
+//! * a *title index* `(language, title) → article`,
+//! * the set of *cross-language pairs* for any two languages,
+//! * an *entity clustering* that unions articles connected (directly or
+//!   transitively) by cross-language links — the clustering is what makes two
+//!   link targets "equal" for the link-structure similarity and what the
+//!   bilingual title dictionary is derived from.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lang::Language;
+use crate::model::{Article, ArticleId};
+
+/// An in-memory collection of Wikipedia articles across language editions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    articles: Vec<Article>,
+    #[serde(skip)]
+    title_index: HashMap<(Language, String), ArticleId>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an article, assigning and returning its [`ArticleId`].
+    ///
+    /// Titles must be unique within a language edition; inserting a duplicate
+    /// title replaces nothing and returns the existing article's id.
+    pub fn insert(&mut self, mut article: Article) -> ArticleId {
+        let key = (article.language.clone(), article.title.clone());
+        if let Some(&existing) = self.title_index.get(&key) {
+            return existing;
+        }
+        let id = ArticleId(self.articles.len() as u32);
+        article.id = id;
+        self.title_index.insert(key, id);
+        self.articles.push(article);
+        id
+    }
+
+    /// Number of articles.
+    pub fn len(&self) -> usize {
+        self.articles.len()
+    }
+
+    /// True when the corpus holds no articles.
+    pub fn is_empty(&self) -> bool {
+        self.articles.is_empty()
+    }
+
+    /// Looks up an article by id.
+    pub fn get(&self, id: ArticleId) -> Option<&Article> {
+        self.articles.get(id.index())
+    }
+
+    /// Looks up an article by `(language, title)`.
+    pub fn get_by_title(&self, language: &Language, title: &str) -> Option<&Article> {
+        self.title_index
+            .get(&(language.clone(), title.to_string()))
+            .and_then(|&id| self.get(id))
+    }
+
+    /// Iterates over all articles.
+    pub fn articles(&self) -> impl Iterator<Item = &Article> {
+        self.articles.iter()
+    }
+
+    /// Iterates over the articles of one language edition.
+    pub fn articles_in<'a>(&'a self, language: &'a Language) -> impl Iterator<Item = &'a Article> + 'a {
+        self.articles.iter().filter(move |a| &a.language == language)
+    }
+
+    /// Rebuilds the title index (needed after deserialisation).
+    pub fn rebuild_index(&mut self) {
+        self.title_index = self
+            .articles
+            .iter()
+            .map(|a| ((a.language.clone(), a.title.clone()), a.id))
+            .collect();
+    }
+
+    /// All pairs of articles `(a, b)` such that `a` is in `l1`, `b` is in
+    /// `l2` and `a` has a cross-language link to `b` (or vice versa).
+    pub fn cross_language_pairs(&self, l1: &Language, l2: &Language) -> Vec<(ArticleId, ArticleId)> {
+        let mut pairs = Vec::new();
+        let mut seen: HashMap<(ArticleId, ArticleId), ()> = HashMap::new();
+        for article in &self.articles {
+            if &article.language != l1 {
+                continue;
+            }
+            if let Some(title) = article.cross_link_to(l2) {
+                if let Some(other) = self.get_by_title(l2, title) {
+                    if seen.insert((article.id, other.id), ()).is_none() {
+                        pairs.push((article.id, other.id));
+                    }
+                }
+            }
+        }
+        // Also honour links recorded only on the l2 side.
+        for article in &self.articles {
+            if &article.language != l2 {
+                continue;
+            }
+            if let Some(title) = article.cross_link_to(l1) {
+                if let Some(other) = self.get_by_title(l1, title) {
+                    if seen.insert((other.id, article.id), ()).is_none() {
+                        pairs.push((other.id, article.id));
+                    }
+                }
+            }
+        }
+        pairs.sort();
+        pairs
+    }
+
+    /// Unions articles connected by cross-language links into entity
+    /// clusters and returns, for each article, its cluster representative.
+    ///
+    /// Two link targets are considered "the same entity" by `lsim` when they
+    /// map to the same cluster.
+    pub fn entity_clusters(&self) -> EntityClusters {
+        let n = self.articles.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            // Path compression.
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+
+        for article in &self.articles {
+            for (lang, title) in &article.cross_links {
+                if let Some(other) = self.get_by_title(lang, title) {
+                    let a = find(&mut parent, article.id.index());
+                    let b = find(&mut parent, other.id.index());
+                    if a != b {
+                        parent[a.max(b)] = a.min(b);
+                    }
+                }
+            }
+        }
+        let roots: Vec<u32> = (0..n).map(|i| find(&mut parent, i) as u32).collect();
+        EntityClusters { roots }
+    }
+
+    /// Distinct entity-type labels used by articles of a language.
+    pub fn entity_types_in(&self, language: &Language) -> Vec<String> {
+        let mut types: Vec<String> = self
+            .articles_in(language)
+            .map(|a| a.entity_type.clone())
+            .collect();
+        types.sort();
+        types.dedup();
+        types
+    }
+
+    /// Articles of a language edition with a given entity-type label.
+    pub fn articles_of_type<'a>(
+        &'a self,
+        language: &'a Language,
+        entity_type: &'a str,
+    ) -> impl Iterator<Item = &'a Article> + 'a {
+        self.articles_in(language)
+            .filter(move |a| a.entity_type == entity_type)
+    }
+}
+
+/// Result of [`Corpus::entity_clusters`]: maps every article to the
+/// representative of its cross-language entity cluster.
+#[derive(Debug, Clone)]
+pub struct EntityClusters {
+    roots: Vec<u32>,
+}
+
+impl EntityClusters {
+    /// The cluster representative of an article.
+    pub fn cluster_of(&self, id: ArticleId) -> Option<ArticleId> {
+        self.roots.get(id.index()).map(|&r| ArticleId(r))
+    }
+
+    /// Whether two articles describe the same entity.
+    pub fn same_entity(&self, a: ArticleId, b: ArticleId) -> bool {
+        match (self.cluster_of(a), self.cluster_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of articles covered.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True when no articles are covered.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AttributeValue, Infobox};
+
+    fn article(title: &str, lang: Language, ty: &str) -> Article {
+        let mut ib = Infobox::new(format!("Infobox {ty}"));
+        ib.push(AttributeValue::text("name", title));
+        Article::new(title, lang, ty, ib)
+    }
+
+    fn linked_corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+        let mut en = article("The Last Emperor", Language::En, "Film");
+        en.add_cross_link(Language::Pt, "O Último Imperador");
+        en.add_cross_link(Language::Vn, "Hoàng đế cuối cùng");
+        let mut pt = article("O Último Imperador", Language::Pt, "Filme");
+        pt.add_cross_link(Language::En, "The Last Emperor");
+        let vn = article("Hoàng đế cuối cùng", Language::Vn, "Phim");
+        corpus.insert(en);
+        corpus.insert(pt);
+        corpus.insert(vn);
+        corpus.insert(article("Unrelated", Language::En, "Film"));
+        corpus
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let corpus = linked_corpus();
+        assert_eq!(corpus.len(), 4);
+        let a = corpus.get_by_title(&Language::Pt, "O Último Imperador").unwrap();
+        assert_eq!(a.entity_type, "Filme");
+        assert!(corpus.get_by_title(&Language::Pt, "missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_titles_are_not_reinserted() {
+        let mut corpus = linked_corpus();
+        let before = corpus.len();
+        let id1 = corpus
+            .get_by_title(&Language::En, "Unrelated")
+            .unwrap()
+            .id;
+        let id2 = corpus.insert(article("Unrelated", Language::En, "Film"));
+        assert_eq!(id1, id2);
+        assert_eq!(corpus.len(), before);
+    }
+
+    #[test]
+    fn cross_language_pairs_found_in_both_directions() {
+        let corpus = linked_corpus();
+        let pairs = corpus.cross_language_pairs(&Language::En, &Language::Pt);
+        assert_eq!(pairs.len(), 1);
+        let (en, pt) = pairs[0];
+        assert_eq!(corpus.get(en).unwrap().language, Language::En);
+        assert_eq!(corpus.get(pt).unwrap().language, Language::Pt);
+
+        // The Vn link is only recorded on the English side but still found.
+        let pairs = corpus.cross_language_pairs(&Language::En, &Language::Vn);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn entity_clusters_union_transitively() {
+        let corpus = linked_corpus();
+        let clusters = corpus.entity_clusters();
+        let en = corpus.get_by_title(&Language::En, "The Last Emperor").unwrap().id;
+        let pt = corpus.get_by_title(&Language::Pt, "O Último Imperador").unwrap().id;
+        let vn = corpus
+            .get_by_title(&Language::Vn, "Hoàng đế cuối cùng")
+            .unwrap()
+            .id;
+        let other = corpus.get_by_title(&Language::En, "Unrelated").unwrap().id;
+        assert!(clusters.same_entity(en, pt));
+        assert!(clusters.same_entity(pt, vn));
+        assert!(!clusters.same_entity(en, other));
+    }
+
+    #[test]
+    fn type_listing() {
+        let corpus = linked_corpus();
+        assert_eq!(corpus.entity_types_in(&Language::En), vec!["Film"]);
+        assert_eq!(
+            corpus.articles_of_type(&Language::En, "Film").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut corpus = linked_corpus();
+        let json = serde_json::to_string(&corpus).unwrap();
+        let mut restored: Corpus = serde_json::from_str(&json).unwrap();
+        assert!(restored.get_by_title(&Language::En, "Unrelated").is_none());
+        restored.rebuild_index();
+        assert!(restored.get_by_title(&Language::En, "Unrelated").is_some());
+        // The original is untouched.
+        assert!(corpus.get_by_title(&Language::En, "Unrelated").is_some());
+        corpus.rebuild_index();
+    }
+}

@@ -1,0 +1,361 @@
+//! A pragmatic wikitext infobox parser.
+//!
+//! Wikipedia infoboxes are written as template invocations:
+//!
+//! ```text
+//! {{Infobox film
+//! | name          = The Last Emperor
+//! | directed by   = [[Bernardo Bertolucci]]
+//! | starring      = [[John Lone]]<br>[[Joan Chen]]
+//! | running time  = 160 minutes
+//! }}
+//! ```
+//!
+//! [`parse_infobox`] extracts the template name and the attribute-value
+//! pairs, resolving `[[target|anchor]]` links, stripping nested templates
+//! and HTML tags, and converting `<br>`-separated lists into comma-separated
+//! values. The parser is intentionally tolerant: real infobox wikitext is
+//! messy and the matcher only needs names, plain-text values and link
+//! targets.
+
+use crate::model::{AttributeValue, Infobox, Link};
+
+/// Parses the first infobox template found in `source`.
+///
+/// Returns `None` when no `{{...}}` template is present.
+///
+/// ```
+/// use wiki_corpus::parse_infobox;
+/// let src = "{{Infobox film\n| directed by = [[Bernardo Bertolucci]]\n| running time = 160 minutes\n}}";
+/// let ib = parse_infobox(src).unwrap();
+/// assert_eq!(ib.template, "Infobox film");
+/// assert_eq!(ib.attributes.len(), 2);
+/// assert_eq!(ib.attributes[0].links[0].target, "Bernardo Bertolucci");
+/// ```
+pub fn parse_infobox(source: &str) -> Option<Infobox> {
+    let body = extract_template_body(source)?;
+    let mut parts = split_top_level(&body, '|');
+    if parts.is_empty() {
+        return None;
+    }
+    let template = parts.remove(0).trim().to_string();
+    let mut infobox = Infobox::new(template);
+    for part in parts {
+        if let Some((raw_name, raw_value)) = part.split_once('=') {
+            let name = raw_name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            let (value, links) = render_value(raw_value.trim());
+            if value.is_empty() && links.is_empty() {
+                continue;
+            }
+            infobox.push(AttributeValue {
+                name: name.to_string(),
+                value,
+                links,
+            });
+        }
+    }
+    Some(infobox)
+}
+
+/// Extracts the text between the outermost `{{` and its matching `}}`.
+fn extract_template_body(source: &str) -> Option<String> {
+    let start = source.find("{{")?;
+    let chars: Vec<char> = source[start..].chars().collect();
+    let mut depth = 0usize;
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if i + 1 < chars.len() && chars[i] == '{' && chars[i + 1] == '{' {
+            depth += 1;
+            if depth > 1 {
+                out.push_str("{{");
+            }
+            i += 2;
+            continue;
+        }
+        if i + 1 < chars.len() && chars[i] == '}' && chars[i + 1] == '}' {
+            depth -= 1;
+            if depth == 0 {
+                return Some(out);
+            }
+            out.push_str("}}");
+            i += 2;
+            continue;
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    // Unbalanced braces: treat everything after the opening braces as body.
+    Some(out)
+}
+
+/// Splits on `sep` but only at nesting depth 0 with respect to `[[..]]` and
+/// `{{..}}` pairs, so that pipes inside links or nested templates do not
+/// split the value.
+fn split_top_level(body: &str, sep: char) -> Vec<String> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut link_depth = 0usize;
+    let mut template_depth = 0usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        if i + 1 < chars.len() {
+            match (chars[i], chars[i + 1]) {
+                ('[', '[') => {
+                    link_depth += 1;
+                    current.push_str("[[");
+                    i += 2;
+                    continue;
+                }
+                (']', ']') => {
+                    link_depth = link_depth.saturating_sub(1);
+                    current.push_str("]]");
+                    i += 2;
+                    continue;
+                }
+                ('{', '{') => {
+                    template_depth += 1;
+                    current.push_str("{{");
+                    i += 2;
+                    continue;
+                }
+                ('}', '}') => {
+                    template_depth = template_depth.saturating_sub(1);
+                    current.push_str("}}");
+                    i += 2;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if chars[i] == sep && link_depth == 0 && template_depth == 0 {
+            parts.push(std::mem::take(&mut current));
+        } else {
+            current.push(chars[i]);
+        }
+        i += 1;
+    }
+    parts.push(current);
+    parts
+}
+
+/// Renders a raw wikitext value: resolves links, drops nested templates and
+/// HTML markup, converts `<br>` to a comma separator.
+fn render_value(raw: &str) -> (String, Vec<Link>) {
+    let mut links = Vec::new();
+    let mut text = String::new();
+    let chars: Vec<char> = raw.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // Wiki link.
+        if i + 1 < chars.len() && chars[i] == '[' && chars[i + 1] == '[' {
+            if let Some(end) = find_close(&chars, i + 2, ']') {
+                let inner: String = chars[i + 2..end].iter().collect();
+                let (target, anchor) = match inner.split_once('|') {
+                    Some((t, a)) => (t.trim().to_string(), a.trim().to_string()),
+                    None => (inner.trim().to_string(), inner.trim().to_string()),
+                };
+                if !target.is_empty() {
+                    text.push_str(&anchor);
+                    links.push(Link { target, anchor });
+                }
+                i = end + 2;
+                continue;
+            }
+        }
+        // Nested template: skip entirely.
+        if i + 1 < chars.len() && chars[i] == '{' && chars[i + 1] == '{' {
+            if let Some(end) = find_close(&chars, i + 2, '}') {
+                i = end + 2;
+                continue;
+            }
+        }
+        // HTML tag: <br>, <br/>, <small>, <ref>...</ref> etc. A <br> becomes
+        // a separator; other tags are dropped.
+        if chars[i] == '<' {
+            if let Some(end) = chars[i..].iter().position(|&c| c == '>') {
+                let tag: String = chars[i + 1..i + end].iter().collect();
+                let tag_lower = tag.to_lowercase();
+                if tag_lower.starts_with("br") {
+                    text.push_str(", ");
+                }
+                i += end + 1;
+                continue;
+            }
+        }
+        // Bold/italic markup.
+        if chars[i] == '\'' {
+            i += 1;
+            continue;
+        }
+        text.push(chars[i]);
+        i += 1;
+    }
+    let cleaned = text
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .trim_matches(|c| c == ',' || c == ' ')
+        .to_string();
+    (cleaned, links)
+}
+
+/// Finds the index of the first `close close` pair starting at `from`.
+fn find_close(chars: &[char], from: usize, close: char) -> Option<usize> {
+    let mut i = from;
+    while i + 1 < chars.len() {
+        if chars[i] == close && chars[i + 1] == close {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Renders an [`Infobox`] back to wikitext. Useful for tests and for
+/// persisting generated corpora in a human-inspectable form.
+pub fn render_infobox(infobox: &Infobox) -> String {
+    let mut out = String::new();
+    out.push_str("{{");
+    out.push_str(&infobox.template);
+    out.push('\n');
+    for attr in &infobox.attributes {
+        out.push_str("| ");
+        out.push_str(&attr.name);
+        out.push_str(" = ");
+        if attr.links.is_empty() {
+            out.push_str(&attr.value);
+        } else {
+            // Re-link the anchors we know about; text between links is kept.
+            let mut remaining = attr.value.clone();
+            for link in &attr.links {
+                if let Some(pos) = remaining.find(&link.anchor) {
+                    let before = &remaining[..pos];
+                    out.push_str(before);
+                    if link.anchor == link.target {
+                        out.push_str(&format!("[[{}]]", link.target));
+                    } else {
+                        out.push_str(&format!("[[{}|{}]]", link.target, link.anchor));
+                    }
+                    remaining = remaining[pos + link.anchor.len()..].to_string();
+                } else {
+                    out.push_str(&format!("[[{}]]", link.target));
+                }
+            }
+            out.push_str(&remaining);
+        }
+        out.push('\n');
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+Some article text before the box.
+{{Infobox film
+| name          = The Last Emperor
+| directed by   = [[Bernardo Bertolucci]]
+| produced by   = [[Jeremy Thomas]]
+| starring      = [[John Lone]]<br>[[Joan Chen]]<br>[[Peter O'Toole|Peter O´Toole]]
+| music by      = [[Ryuichi Sakamoto]], [[David Byrne]]
+| running time  = 160 minutes
+| budget        = {{US$|23.8 million}}
+| country       = [[Italy]], [[United Kingdom]]
+| language      = English
+}}
+Rest of the article.
+"#;
+
+    #[test]
+    fn parses_template_name_and_attribute_count() {
+        let ib = parse_infobox(SAMPLE).unwrap();
+        assert_eq!(ib.template, "Infobox film");
+        // The budget value is a nested template that renders to empty text,
+        // so 8 of the 9 listed attributes survive.
+        assert_eq!(ib.len(), 8);
+    }
+
+    #[test]
+    fn resolves_simple_and_piped_links() {
+        let ib = parse_infobox(SAMPLE).unwrap();
+        let starring = ib.value_of("starring").unwrap();
+        assert_eq!(starring.links.len(), 3);
+        assert_eq!(starring.links[2].target, "Peter O'Toole");
+        assert_eq!(starring.links[2].anchor, "Peter O´Toole");
+        assert!(starring.value.contains("John Lone"));
+        assert!(starring.value.contains(','));
+    }
+
+    #[test]
+    fn drops_nested_templates_but_keeps_attribute() {
+        let ib = parse_infobox(SAMPLE).unwrap();
+        // The budget value is a nested template and renders to empty text,
+        // so the attribute is skipped entirely.
+        assert!(ib.value_of("budget").is_none());
+    }
+
+    #[test]
+    fn plain_values_survive() {
+        let ib = parse_infobox(SAMPLE).unwrap();
+        assert_eq!(ib.value_of("running time").unwrap().value, "160 minutes");
+        assert_eq!(ib.value_of("language").unwrap().value, "English");
+    }
+
+    #[test]
+    fn pipes_inside_links_do_not_split_attributes() {
+        let src = "{{Infobox person | spouse = [[Jane Doe|Jane]] | born = 1970 }}";
+        let ib = parse_infobox(src).unwrap();
+        assert_eq!(ib.len(), 2);
+        assert_eq!(ib.value_of("spouse").unwrap().links[0].target, "Jane Doe");
+    }
+
+    #[test]
+    fn portuguese_infobox() {
+        let src = "{{Info/Filme\n| título = O Último Imperador\n| direção = [[Bernardo Bertolucci]]\n| elenco original = [[John Lone]], [[Joan Chen]]\n| duração = 165 minutos\n}}";
+        let ib = parse_infobox(src).unwrap();
+        assert_eq!(ib.template, "Info/Filme");
+        assert_eq!(ib.value_of("duração").unwrap().value, "165 minutos");
+        assert_eq!(ib.value_of("direção").unwrap().links[0].target, "Bernardo Bertolucci");
+    }
+
+    #[test]
+    fn missing_template_returns_none() {
+        assert!(parse_infobox("no template here").is_none());
+        assert!(parse_infobox("").is_none());
+    }
+
+    #[test]
+    fn unbalanced_braces_are_tolerated() {
+        let src = "{{Infobox book\n| author = [[Someone]]\n";
+        let ib = parse_infobox(src).unwrap();
+        assert_eq!(ib.template, "Infobox book");
+        assert_eq!(ib.len(), 1);
+    }
+
+    #[test]
+    fn empty_values_are_skipped() {
+        let src = "{{Infobox film | name = | year = 1987 }}";
+        let ib = parse_infobox(src).unwrap();
+        assert_eq!(ib.len(), 1);
+        assert!(ib.value_of("year").is_some());
+    }
+
+    #[test]
+    fn render_roundtrip_preserves_schema_and_links() {
+        let ib = parse_infobox(SAMPLE).unwrap();
+        let rendered = render_infobox(&ib);
+        let reparsed = parse_infobox(&rendered).unwrap();
+        assert_eq!(ib.schema(), reparsed.schema());
+        let a = ib.value_of("directed by").unwrap();
+        let b = reparsed.value_of("directed by").unwrap();
+        assert_eq!(a.links, b.links);
+    }
+}

@@ -1,0 +1,59 @@
+//! Cumulative gain of ranked answer lists (Figure 4).
+//!
+//! The case study of Section 5 evaluates multilingual query answers with
+//! cumulative gain (Järvelin & Kekäläinen): the sum of the graded relevance
+//! scores of the top-`k` answers. Unlike nDCG there is no position discount
+//! — the paper uses plain CG, and so do we.
+
+/// Cumulative gain of the top-`k` answers.
+///
+/// `relevances` holds the graded relevance of each returned answer in rank
+/// order; answers beyond `k` are ignored, and a `k` larger than the list
+/// simply sums everything.
+pub fn cumulative_gain(relevances: &[f64], k: usize) -> f64 {
+    relevances.iter().take(k).sum()
+}
+
+/// The full CG curve: `curve[i]` is the cumulative gain of the top `i + 1`
+/// answers. Useful for plotting Figure 4.
+pub fn cumulative_gain_curve(relevances: &[f64], max_k: usize) -> Vec<f64> {
+    let mut curve = Vec::with_capacity(max_k);
+    let mut acc = 0.0;
+    for k in 0..max_k {
+        if let Some(r) = relevances.get(k) {
+            acc += r;
+        }
+        curve.push(acc);
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_accumulates() {
+        let rel = [3.0, 2.0, 0.0, 1.0];
+        assert_eq!(cumulative_gain(&rel, 1), 3.0);
+        assert_eq!(cumulative_gain(&rel, 2), 5.0);
+        assert_eq!(cumulative_gain(&rel, 4), 6.0);
+        assert_eq!(cumulative_gain(&rel, 10), 6.0);
+        assert_eq!(cumulative_gain(&[], 5), 0.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_padded() {
+        let rel = [3.0, 2.0, 1.0];
+        let curve = cumulative_gain_curve(&rel, 5);
+        assert_eq!(curve, vec![3.0, 5.0, 6.0, 6.0, 6.0]);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn curve_of_empty_list_is_flat_zero() {
+        assert_eq!(cumulative_gain_curve(&[], 3), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # wiki-eval
+//!
+//! Evaluation machinery for the WikiMatch reproduction, implementing every
+//! metric used in the paper's experimental section:
+//!
+//! * [`weighted`] — frequency-weighted precision, recall and F-measure
+//!   (Equations 1–4, used for Table 2 and Table 3);
+//! * [`macro_avg`] — unweighted ("macro") precision/recall over distinct
+//!   attribute-name pairs (Table 6);
+//! * [`map`] — mean average precision of candidate orderings (Table 7);
+//! * [`gain`] — cumulative gain of ranked answer lists (Figure 4);
+//! * [`overlap`] — cross-language attribute overlap of dual infoboxes
+//!   (Table 5, Appendix A);
+//! * [`correlation`] — Pearson correlation between overlap and F-measure
+//!   (the heterogeneity analysis of Section 4.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod gain;
+pub mod macro_avg;
+pub mod map;
+pub mod overlap;
+pub mod weighted;
+
+pub use correlation::pearson;
+pub use gain::{cumulative_gain, cumulative_gain_curve};
+pub use macro_avg::MacroAggregator;
+pub use map::mean_average_precision;
+pub use overlap::type_overlap;
+pub use weighted::{weighted_scores, Scores};

@@ -1,0 +1,92 @@
+//! Mean average precision (MAP) of candidate orderings.
+//!
+//! Appendix B compares LSI against the simpler correlation measures X1–X3 by
+//! asking which one orders the candidate matches best: the correct matches
+//! of every attribute should appear before the incorrect ones. MAP is the
+//! standard ranking metric for this:
+//!
+//! ```text
+//! MAP(A) = 1/|A| Σ_j  1/m_j Σ_k P(R_jk)
+//! ```
+//!
+//! where `m_j` is the number of correct matches of attribute `j` and
+//! `P(R_jk)` is the precision of the ranking truncated at the position of
+//! its `k`-th correct match.
+
+/// Average precision of one ranked correctness list.
+///
+/// `ranking[i]` is `true` when the candidate at rank `i` (0-based) is a
+/// correct match. Returns `None` when the ranking contains no correct match
+/// (such attributes are excluded from MAP).
+pub fn average_precision(ranking: &[bool]) -> Option<f64> {
+    let mut correct_so_far = 0usize;
+    let mut sum = 0.0;
+    for (i, &is_correct) in ranking.iter().enumerate() {
+        if is_correct {
+            correct_so_far += 1;
+            sum += correct_so_far as f64 / (i + 1) as f64;
+        }
+    }
+    (correct_so_far > 0).then(|| sum / correct_so_far as f64)
+}
+
+/// Mean average precision over a set of per-attribute rankings.
+///
+/// Attributes without any correct match are skipped; an empty input yields
+/// 0.0.
+pub fn mean_average_precision(rankings: &[Vec<bool>]) -> f64 {
+    let aps: Vec<f64> = rankings
+        .iter()
+        .filter_map(|r| average_precision(r))
+        .collect();
+    if aps.is_empty() {
+        0.0
+    } else {
+        aps.iter().sum::<f64>() / aps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ordering_scores_one() {
+        assert_eq!(average_precision(&[true, true, false, false]), Some(1.0));
+        assert_eq!(mean_average_precision(&[vec![true], vec![true, false]]), 1.0);
+    }
+
+    #[test]
+    fn worst_ordering_scores_low() {
+        // Single correct match at the last of four positions.
+        assert_eq!(average_precision(&[false, false, false, true]), Some(0.25));
+    }
+
+    #[test]
+    fn mixed_ordering() {
+        // Correct at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+        let ap = average_precision(&[true, false, true]).unwrap();
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attributes_without_correct_matches_are_skipped() {
+        assert_eq!(average_precision(&[false, false]), None);
+        let map = mean_average_precision(&[vec![false, false], vec![true, false]]);
+        assert!((map - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(average_precision(&[]), None);
+        assert_eq!(mean_average_precision(&[]), 0.0);
+        assert_eq!(mean_average_precision(&[vec![]]), 0.0);
+    }
+
+    #[test]
+    fn better_orderings_score_higher() {
+        let good = vec![vec![true, false, false], vec![true, true, false]];
+        let bad = vec![vec![false, false, true], vec![false, true, true]];
+        assert!(mean_average_precision(&good) > mean_average_precision(&bad));
+    }
+}

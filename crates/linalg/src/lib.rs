@@ -1,0 +1,73 @@
+//! # wiki-linalg
+//!
+//! Small, dependency-free dense linear algebra used by the Latent Semantic
+//! Indexing (LSI) component of WikiMatch.
+//!
+//! The paper applies a truncated singular value decomposition to the
+//! attribute × dual-language-infobox occurrence matrix and measures cosine
+//! similarity between the reduced attribute vectors (Section 3.2). The
+//! matrices involved are tiny by numerical-linear-algebra standards (tens of
+//! attributes × hundreds of infoboxes), so a robust one-sided Jacobi SVD is
+//! more than adequate and keeps the workspace free of heavyweight BLAS
+//! dependencies.
+//!
+//! Modules:
+//!
+//! * [`matrix`] — row-major dense matrices with the handful of operations the
+//!   pipeline needs (transpose, multiply, row/column access).
+//! * [`svd`] — one-sided Jacobi SVD and truncation helpers.
+//! * [`lsi`] — the LSI model: builds the reduced attribute representation and
+//!   serves cosine similarities between attribute vectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lsi;
+pub mod matrix;
+pub mod svd;
+
+pub use lsi::{LsiConfig, LsiModel};
+pub use matrix::Matrix;
+pub use svd::{truncated_svd, Svd};
+
+/// Cosine similarity between two dense vectors.
+///
+/// Returns 0.0 when either vector has zero norm or the lengths differ (the
+/// latter is a programming error in release builds but should never poison a
+/// similarity score with `NaN`).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basic() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine(&[1.0, 1.0], &[1.0, 0.0]) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert_eq!(cosine(&[1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_can_be_negative() {
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,318 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The one-sided Jacobi method repeatedly applies plane rotations to the
+//! columns of the working matrix until all column pairs are mutually
+//! orthogonal. At convergence the column norms are the singular values, the
+//! normalised columns form `U`, and the accumulated rotations form `V`. It is
+//! slower than bidiagonalisation-based methods but numerically robust,
+//! simple, and easily fast enough for the occurrence matrices WikiMatch
+//! builds (tens × hundreds).
+
+use crate::matrix::Matrix;
+
+/// The result of a (possibly truncated) singular value decomposition
+/// `A ≈ U · diag(S) · Vᵀ` with singular values sorted in decreasing order.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, one column per retained singular value
+    /// (`m × k` for an `m × n` input).
+    pub u: Matrix,
+    /// Singular values in decreasing order (length `k`).
+    pub s: Vec<f64>,
+    /// Right singular vectors (`n × k`).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Number of retained singular values.
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Reconstructs `U · diag(S) · Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let us = self.u.scale_columns(&self.s);
+        us.matmul(&self.v.transpose())
+    }
+
+    /// Returns a copy truncated to the top `k` singular values.
+    pub fn truncate(&self, k: usize) -> Svd {
+        let k = k.min(self.rank());
+        let take_cols = |m: &Matrix| {
+            let mut out = Matrix::zeros(m.rows(), k);
+            for r in 0..m.rows() {
+                for c in 0..k {
+                    out.set(r, c, m.get(r, c));
+                }
+            }
+            out
+        };
+        Svd {
+            u: take_cols(&self.u),
+            s: self.s[..k].to_vec(),
+            v: take_cols(&self.v),
+        }
+    }
+
+    /// Smallest rank whose cumulative squared singular values capture at
+    /// least `energy` (in `(0, 1]`) of the total spectral energy.
+    pub fn rank_for_energy(&self, energy: f64) -> usize {
+        let total: f64 = self.s.iter().map(|s| s * s).sum();
+        if total == 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, s) in self.s.iter().enumerate() {
+            acc += s * s;
+            if acc / total >= energy {
+                return i + 1;
+            }
+        }
+        self.rank()
+    }
+}
+
+/// Computes the full SVD of `a` using one-sided Jacobi rotations.
+///
+/// Singular values below `tol * max_singular_value` are dropped (together
+/// with their vectors), so the returned rank never exceeds
+/// `min(rows, cols)` and is usually the numerical rank of the input.
+pub fn jacobi_svd(a: &Matrix) -> Svd {
+    const MAX_SWEEPS: usize = 60;
+    const EPS: f64 = 1e-12;
+
+    if a.is_empty() {
+        return Svd {
+            u: Matrix::zeros(a.rows(), 0),
+            s: Vec::new(),
+            v: Matrix::zeros(a.cols(), 0),
+        };
+    }
+
+    // Work on the tall orientation (rows >= cols); transpose back at the end.
+    let transposed = a.rows() < a.cols();
+    let mut work = if transposed { a.transpose() } else { a.clone() };
+    let n = work.cols();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off_diagonal = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Compute the 2x2 Gram sub-matrix for columns p and q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = 0.0;
+                for r in 0..work.rows() {
+                    let x = work.get(r, p);
+                    let y = work.get(r, q);
+                    app += x * x;
+                    aqq += y * y;
+                    apq += x * y;
+                }
+                if apq.abs() <= EPS * (app * aqq).sqrt() || apq == 0.0 {
+                    continue;
+                }
+                off_diagonal = off_diagonal.max(apq.abs());
+
+                // Jacobi rotation annihilating the (p, q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+
+                for r in 0..work.rows() {
+                    let x = work.get(r, p);
+                    let y = work.get(r, q);
+                    work.set(r, p, c * x - s * y);
+                    work.set(r, q, s * x + c * y);
+                }
+                for r in 0..n {
+                    let x = v.get(r, p);
+                    let y = v.get(r, q);
+                    v.set(r, p, c * x - s * y);
+                    v.set(r, q, s * x + c * y);
+                }
+            }
+        }
+        if off_diagonal < EPS {
+            break;
+        }
+    }
+
+    // Singular values are the column norms of the rotated matrix.
+    let mut order: Vec<(usize, f64)> = (0..n)
+        .map(|c| {
+            let norm = (0..work.rows())
+                .map(|r| work.get(r, c).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            (c, norm)
+        })
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let max_sv = order.first().map(|(_, s)| *s).unwrap_or(0.0);
+    let keep: Vec<(usize, f64)> = order
+        .into_iter()
+        .filter(|(_, s)| *s > 1e-10 * max_sv.max(1.0))
+        .collect();
+
+    let k = keep.len();
+    let mut u = Matrix::zeros(work.rows(), k);
+    let mut vv = Matrix::zeros(n, k);
+    let mut s = Vec::with_capacity(k);
+    for (out_c, (c, sv)) in keep.iter().enumerate() {
+        s.push(*sv);
+        for r in 0..work.rows() {
+            u.set(r, out_c, work.get(r, *c) / sv);
+        }
+        for r in 0..n {
+            vv.set(r, out_c, v.get(r, *c));
+        }
+    }
+
+    if transposed {
+        // A = (Aᵀ)ᵀ = (U S Vᵀ)ᵀ = V S Uᵀ, so swap the roles of U and V.
+        Svd { u: vv, s, v: u }
+    } else {
+        Svd { u, s, v: vv }
+    }
+}
+
+/// Computes a truncated SVD keeping the top `k` singular values.
+pub fn truncated_svd(a: &Matrix, k: usize) -> Svd {
+    jacobi_svd(a).truncate(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_reconstructs(a: &Matrix, tol: f64) {
+        let svd = jacobi_svd(a);
+        let rec = svd.reconstruct();
+        assert!(
+            a.max_abs_diff(&rec) < tol,
+            "reconstruction error {} exceeds {}",
+            a.max_abs_diff(&rec),
+            tol
+        );
+    }
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        let svd = jacobi_svd(&a);
+        assert_eq!(svd.rank(), 2);
+        assert!((svd.s[0] - 4.0).abs() < 1e-9);
+        assert!((svd.s[1] - 3.0).abs() < 1e-9);
+        assert_reconstructs(&a, 1e-9);
+    }
+
+    #[test]
+    fn known_rank_one_matrix() {
+        // Outer product has exactly one non-zero singular value.
+        let a = Matrix::from_rows(&[vec![2.0, 4.0], vec![1.0, 2.0], vec![3.0, 6.0]]);
+        let svd = jacobi_svd(&a);
+        assert_eq!(svd.rank(), 1);
+        // ||a||_F equals the single singular value for rank-1 matrices.
+        assert!((svd.s[0] - a.frobenius_norm()).abs() < 1e-9);
+        assert_reconstructs(&a, 1e-9);
+    }
+
+    #[test]
+    fn wide_matrix_is_handled() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 2.0, 0.0, 3.0], vec![0.0, 1.0, 0.0, 2.0, 0.0]]);
+        let svd = jacobi_svd(&a);
+        assert_eq!(svd.u.rows(), 2);
+        assert_eq!(svd.v.rows(), 5);
+        assert_reconstructs(&a, 1e-9);
+    }
+
+    #[test]
+    fn orthonormal_singular_vectors() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0, 0.0],
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0, 1.0],
+        ]);
+        let svd = jacobi_svd(&a);
+        // Columns of U are orthonormal.
+        for i in 0..svd.rank() {
+            for j in 0..svd.rank() {
+                let dot: f64 = (0..svd.u.rows())
+                    .map(|r| svd.u.get(r, i) * svd.u.get(r, j))
+                    .sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-8, "U not orthonormal at ({i},{j})");
+            }
+        }
+        assert_reconstructs(&a, 1e-8);
+    }
+
+    #[test]
+    fn truncation_keeps_top_values() {
+        let a = Matrix::from_rows(&[
+            vec![10.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 0.1],
+        ]);
+        let svd = truncated_svd(&a, 2);
+        assert_eq!(svd.rank(), 2);
+        assert!((svd.s[0] - 10.0).abs() < 1e-9);
+        assert!((svd.s[1] - 5.0).abs() < 1e-9);
+        // Truncating beyond the rank is a no-op.
+        let full = jacobi_svd(&a);
+        assert_eq!(full.truncate(10).rank(), full.rank());
+    }
+
+    #[test]
+    fn rank_for_energy() {
+        let a = Matrix::from_rows(&[
+            vec![10.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.5],
+        ]);
+        let svd = jacobi_svd(&a);
+        assert_eq!(svd.rank_for_energy(0.9), 1);
+        assert_eq!(svd.rank_for_energy(0.99), 2);
+        assert_eq!(svd.rank_for_energy(1.0), 3);
+    }
+
+    #[test]
+    fn empty_and_zero_matrices() {
+        let empty = Matrix::zeros(0, 0);
+        let svd = jacobi_svd(&empty);
+        assert_eq!(svd.rank(), 0);
+
+        let zeros = Matrix::zeros(3, 4);
+        let svd = jacobi_svd(&zeros);
+        assert_eq!(svd.rank(), 0);
+    }
+
+    #[test]
+    fn random_like_binary_matrix_reconstructs() {
+        // A deterministic pseudo-random 0/1 matrix resembling an LSI
+        // occurrence matrix.
+        let rows = 12;
+        let cols = 20;
+        let mut m = Matrix::zeros(rows, cols);
+        let mut state = 12345u64;
+        for r in 0..rows {
+            for c in 0..cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (state >> 33) % 3 == 0 {
+                    m.set(r, c, 1.0);
+                }
+            }
+        }
+        assert_reconstructs(&m, 1e-7);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use wiki_linalg::{cosine, Matrix, LsiConfig, LsiModel};
+use wiki_linalg::svd::jacobi_svd;
+
+/// Strategy producing small random matrices with entries in [-3, 3].
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-3.0f64..3.0, r * c).prop_map(move |data| {
+            let rows: Vec<Vec<f64>> = data.chunks(c).map(|ch| ch.to_vec()).collect();
+            Matrix::from_rows(&rows)
+        })
+    })
+}
+
+/// Strategy producing small binary occurrence matrices.
+fn occurrence_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(0u8..=1, r * c).prop_map(move |data| {
+            let rows: Vec<Vec<f64>> = data
+                .chunks(c)
+                .map(|ch| ch.iter().map(|&b| b as f64).collect())
+                .collect();
+            Matrix::from_rows(&rows)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SVD reconstructs the original matrix.
+    #[test]
+    fn svd_reconstructs(m in matrix_strategy(8, 8)) {
+        let svd = jacobi_svd(&m);
+        let rec = svd.reconstruct();
+        prop_assert!(m.max_abs_diff(&rec) < 1e-6, "err = {}", m.max_abs_diff(&rec));
+    }
+
+    /// Singular values are non-negative and sorted in decreasing order, and
+    /// their squared sum equals the squared Frobenius norm.
+    #[test]
+    fn singular_values_sorted_and_energy_preserved(m in matrix_strategy(8, 8)) {
+        let svd = jacobi_svd(&m);
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for s in &svd.s {
+            prop_assert!(*s >= 0.0);
+        }
+        let energy: f64 = svd.s.iter().map(|s| s * s).sum();
+        let frob = m.frobenius_norm().powi(2);
+        prop_assert!((energy - frob).abs() < 1e-6 * frob.max(1.0));
+    }
+
+    /// The rank never exceeds min(rows, cols).
+    #[test]
+    fn rank_bounded(m in matrix_strategy(7, 9)) {
+        let svd = jacobi_svd(&m);
+        prop_assert!(svd.rank() <= m.rows().min(m.cols()));
+    }
+
+    /// Transposing twice is the identity; matmul with identity is identity.
+    #[test]
+    fn matrix_algebra_identities(m in matrix_strategy(6, 6)) {
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let i = Matrix::identity(m.cols());
+        let prod = m.matmul(&i);
+        prop_assert!(m.max_abs_diff(&prod) < 1e-12);
+    }
+
+    /// LSI similarities are bounded, symmetric, and 1 on the diagonal for
+    /// non-zero rows.
+    #[test]
+    fn lsi_similarity_properties(m in occurrence_strategy(8, 12)) {
+        let model = LsiModel::fit(&m, LsiConfig::default());
+        for i in 0..model.len() {
+            for j in 0..model.len() {
+                let s = model.similarity(i, j);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+                prop_assert!((s - model.similarity(j, i)).abs() < 1e-9);
+            }
+            let row_norm: f64 = m.row(i).iter().map(|v| v * v).sum();
+            if row_norm > 0.0 && model.rank() > 0 {
+                // Rows that survive truncation should be self-similar; rows
+                // fully outside the retained subspace may legitimately be 0.
+                let s = model.similarity(i, i);
+                prop_assert!(s >= -1e-9 && s <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    /// Cosine of a vector with itself is 1 (when non-zero) and cosine is
+    /// invariant to positive scaling.
+    #[test]
+    fn cosine_scale_invariance(v in proptest::collection::vec(-5.0f64..5.0, 1..10), k in 0.1f64..10.0) {
+        let norm: f64 = v.iter().map(|x| x * x).sum();
+        prop_assume!(norm > 1e-6);
+        let scaled: Vec<f64> = v.iter().map(|x| x * k).collect();
+        prop_assert!((cosine(&v, &v) - 1.0).abs() < 1e-9);
+        prop_assert!((cosine(&v, &scaled) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! The end-to-end cumulative-gain case study (Section 5, Figure 4).
+//!
+//! For every workload query the experiment:
+//!
+//! 1. answers the query in its source language over the foreign-language
+//!    infoboxes and grades the top-`k` answers with the relevance oracle;
+//! 2. translates the query into English through the WikiMatch
+//!    correspondences (relaxing untranslatable constraints), answers it over
+//!    the English infoboxes and grades those answers against the *original*
+//!    query.
+//!
+//! The reported curves are the cumulative gain at each rank, summed over the
+//! ten queries — the quantity plotted in Figure 4 (`Pt`, `Pt→En`, `Vn`,
+//! `Vn→En`).
+
+use serde::{Deserialize, Serialize};
+
+use wiki_corpus::Dataset;
+use wiki_eval::cumulative_gain_curve;
+use wikimatch::TypeAlignment;
+
+use crate::engine::QueryEngine;
+use crate::relevance::RelevanceOracle;
+use crate::translate::CorrespondenceDictionary;
+use crate::workload::case_study_queries;
+
+/// One cumulative-gain curve of the case study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CaseStudyCurve {
+    /// Curve label ("Pt", "Pt->En", ...).
+    pub label: String,
+    /// Cumulative gain at ranks `1..=k`, summed over the workload queries.
+    pub curve: Vec<f64>,
+    /// Number of answers graded (over all queries).
+    pub answers: usize,
+    /// Number of constraints relaxed during translation (0 for the source
+    /// run).
+    pub relaxed_constraints: usize,
+}
+
+impl CaseStudyCurve {
+    /// The total cumulative gain (the value at the last rank).
+    pub fn total_gain(&self) -> f64 {
+        self.curve.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Runs the case study over a dataset and the WikiMatch alignments for it.
+///
+/// Returns two curves: answers in the source language, and answers for the
+/// queries translated into English.
+pub fn run_case_study(
+    dataset: &Dataset,
+    alignments: &[TypeAlignment],
+    k: usize,
+) -> Vec<CaseStudyCurve> {
+    let engine = QueryEngine::new(&dataset.corpus);
+    let oracle = RelevanceOracle::new(&dataset.corpus, &dataset.ground_truth);
+    let dictionary = CorrespondenceDictionary::build(dataset, alignments);
+    let queries = case_study_queries(dataset.other_language());
+
+    let source_label = capitalise(dataset.other_language().code());
+    let mut source_curve = vec![0.0; k];
+    let mut source_answers = 0usize;
+    let mut translated_curve = vec![0.0; k];
+    let mut translated_answers = 0usize;
+    let mut relaxed = 0usize;
+
+    for query in &queries {
+        // Source-language run.
+        let answers = engine.answer(query, dataset.other_language(), k);
+        let relevances: Vec<f64> = answers
+            .iter()
+            .map(|a| oracle.grade(a.article, query, dataset.other_language()))
+            .collect();
+        source_answers += answers.len();
+        accumulate(&mut source_curve, &cumulative_gain_curve(&relevances, k));
+
+        // Translated run over the English infoboxes.
+        let (translated, stats) = dictionary.translate_query(query);
+        relaxed += stats.relaxed;
+        let answers = engine.answer(&translated, dataset.english(), k);
+        let relevances: Vec<f64> = answers
+            .iter()
+            .map(|a| oracle.grade(a.article, query, dataset.other_language()))
+            .collect();
+        translated_answers += answers.len();
+        accumulate(
+            &mut translated_curve,
+            &cumulative_gain_curve(&relevances, k),
+        );
+    }
+
+    vec![
+        CaseStudyCurve {
+            label: source_label.clone(),
+            curve: source_curve,
+            answers: source_answers,
+            relaxed_constraints: 0,
+        },
+        CaseStudyCurve {
+            label: format!("{source_label}->En"),
+            curve: translated_curve,
+            answers: translated_answers,
+            relaxed_constraints: relaxed,
+        },
+    ]
+}
+
+fn accumulate(total: &mut [f64], curve: &[f64]) {
+    for (t, c) in total.iter_mut().zip(curve.iter()) {
+        *t += c;
+    }
+}
+
+fn capitalise(code: &str) -> String {
+    let mut chars = code.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::SyntheticConfig;
+    use wikimatch::WikiMatch;
+
+    #[test]
+    fn translated_queries_gain_more_than_source_queries() {
+        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+        let matcher = WikiMatch::default();
+        let alignments = matcher.align_all(&dataset);
+        let curves = run_case_study(&dataset, &alignments, 20);
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].label, "Pt");
+        assert_eq!(curves[1].label, "Pt->En");
+        // Curves are monotone.
+        for curve in &curves {
+            for w in curve.curve.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9);
+            }
+            assert_eq!(curve.curve.len(), 20);
+        }
+        // The headline result of Figure 4 — the English run retrieves more
+        // cumulative gain — is established on the full-scale datasets by the
+        // `figure4` reproduction binary; on this reduced test corpus we only
+        // require the translated run to be competitive (within 10 %) and
+        // non-trivial.
+        assert!(
+            curves[1].total_gain() >= 0.9 * curves[0].total_gain(),
+            "{} vs {}",
+            curves[1].total_gain(),
+            curves[0].total_gain()
+        );
+        assert!(curves[1].total_gain() > 0.0);
+    }
+
+    #[test]
+    fn vietnamese_case_study_runs() {
+        let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
+        let matcher = WikiMatch::default();
+        let alignments = matcher.align_all(&dataset);
+        let curves = run_case_study(&dataset, &alignments, 10);
+        assert_eq!(curves[0].label, "Vi");
+        assert!(curves[1].answers > 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The c-query model and parser.
+//!
+//! A c-query is a conjunction of *type clauses*; each clause constrains one
+//! entity type with a set of attribute constraints. An attribute constraint
+//! names one or more alternative attributes (the paper writes
+//! `nascimento|data de nascimento >= 1970`) and a predicate: a projection
+//! (`= ?`), an equality against a string value, or a numeric comparison.
+
+use serde::{Deserialize, Serialize};
+
+use wiki_text::normalize_label;
+
+/// A predicate applied to an attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `= ?` — the attribute value is requested as output; satisfied by the
+    /// attribute merely being present.
+    Projection,
+    /// `= "value"` — the value must mention the given string.
+    Equals(String),
+    /// `> n` / `>= n` — the value, interpreted numerically, must exceed `n`.
+    GreaterThan(f64),
+    /// `< n` / `<= n` — the value, interpreted numerically, must be below
+    /// `n`.
+    LessThan(f64),
+}
+
+/// One attribute constraint: alternative attribute names plus a predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Alternative attribute names (normalised); any may satisfy the
+    /// constraint.
+    pub attributes: Vec<String>,
+    /// The predicate to evaluate.
+    pub predicate: Predicate,
+}
+
+impl Constraint {
+    /// Creates a constraint over a single attribute name.
+    pub fn new<S: Into<String>>(attribute: S, predicate: Predicate) -> Self {
+        Self {
+            attributes: vec![normalize_label(&attribute.into())],
+            predicate,
+        }
+    }
+
+    /// Creates a constraint with alternative attribute names.
+    pub fn any_of<I, S>(attributes: I, predicate: Predicate) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            attributes: attributes
+                .into_iter()
+                .map(|a| normalize_label(&a.into()))
+                .collect(),
+            predicate,
+        }
+    }
+}
+
+/// A constraint block over one entity type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeClause {
+    /// The entity-type name as written in the query (e.g. `filme`).
+    pub type_name: String,
+    /// Language-independent type identifier when known (set by the workload
+    /// builder; used by the relevance oracle).
+    pub type_id: Option<String>,
+    /// The attribute constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+impl TypeClause {
+    /// Creates an empty clause for a type.
+    pub fn new<S: Into<String>>(type_name: S) -> Self {
+        Self {
+            type_name: type_name.into(),
+            type_id: None,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Attaches the language-independent type identifier.
+    pub fn with_type_id<S: Into<String>>(mut self, type_id: S) -> Self {
+        self.type_id = Some(type_id.into());
+        self
+    }
+
+    /// Adds a constraint.
+    pub fn constraint(mut self, constraint: Constraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+}
+
+/// A conjunctive structured query over one or more entity types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CQuery {
+    /// Optional human-readable description (the paper's English phrasing).
+    pub description: String,
+    /// The type clauses; the first clause is the *primary* one whose
+    /// entities form the answers.
+    pub clauses: Vec<TypeClause>,
+}
+
+impl CQuery {
+    /// Creates a query from clauses.
+    pub fn new<S: Into<String>>(description: S, clauses: Vec<TypeClause>) -> Self {
+        Self {
+            description: description.into(),
+            clauses,
+        }
+    }
+
+    /// The primary clause (the entities returned as answers).
+    pub fn primary(&self) -> Option<&TypeClause> {
+        self.clauses.first()
+    }
+
+    /// Parses the paper's textual c-query syntax, e.g.
+    ///
+    /// ```text
+    /// filme(nome=?, receita > 10000000) and diretor(nascimento|data de nascimento >= 1970)
+    /// ```
+    ///
+    /// Returns `None` on malformed input.
+    pub fn parse(text: &str) -> Option<CQuery> {
+        let mut clauses = Vec::new();
+        for part in split_clauses(text) {
+            let open = part.find('(')?;
+            let close = part.rfind(')')?;
+            let type_name = part[..open].trim();
+            if type_name.is_empty() || close <= open {
+                return None;
+            }
+            let mut clause = TypeClause::new(type_name);
+            let body = &part[open + 1..close];
+            for raw in split_top_level_commas(body) {
+                let raw = raw.trim();
+                if raw.is_empty() {
+                    continue;
+                }
+                clause.constraints.push(parse_constraint(raw)?);
+            }
+            clauses.push(clause);
+        }
+        (!clauses.is_empty()).then(|| CQuery::new(text.trim(), clauses))
+    }
+}
+
+/// Splits a query on the `and` connective between clauses.
+fn split_clauses(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut rest = text;
+    loop {
+        // Find an " and " that sits after a closing parenthesis.
+        if let Some(close) = rest.find(')') {
+            let after = &rest[close + 1..];
+            if let Some(pos) = after.to_lowercase().find(" and ") {
+                // Only treat it as a separator if it precedes another clause.
+                let absolute = close + 1 + pos;
+                parts.push(rest[..absolute].trim());
+                rest = rest[absolute + 5..].trim_start();
+                continue;
+            }
+        }
+        parts.push(rest.trim());
+        break;
+    }
+    parts.into_iter().filter(|p| !p.is_empty()).collect()
+}
+
+/// Splits a clause body on commas that are not inside quotes.
+fn split_top_level_commas(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for c in body.chars() {
+        match c {
+            '"' | '“' | '”' => {
+                in_quotes = !in_quotes;
+                current.push('"');
+            }
+            ',' if !in_quotes => parts.push(std::mem::take(&mut current)),
+            _ => current.push(c),
+        }
+    }
+    parts.push(current);
+    parts
+}
+
+/// Parses one constraint: `attr[|attr2] (=|>|>=|<|<=) (?|"value"|number)`.
+fn parse_constraint(raw: &str) -> Option<Constraint> {
+    let (op_pos, op_len, op) = ["<=", ">=", "=", "<", ">"]
+        .iter()
+        .filter_map(|op| raw.find(op).map(|pos| (pos, op.len(), *op)))
+        .min_by_key(|(pos, _, _)| *pos)?;
+    let attrs: Vec<String> = raw[..op_pos]
+        .split('|')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if attrs.is_empty() {
+        return None;
+    }
+    let value = raw[op_pos + op_len..].trim();
+    let predicate = match op {
+        "=" => {
+            if value == "?" || value.is_empty() {
+                Predicate::Projection
+            } else {
+                Predicate::Equals(value.trim_matches('"').to_string())
+            }
+        }
+        ">" | ">=" => Predicate::GreaterThan(parse_number(value)?),
+        "<" | "<=" => Predicate::LessThan(parse_number(value)?),
+        _ => return None,
+    };
+    Some(Constraint::any_of(attrs, predicate))
+}
+
+fn parse_number(value: &str) -> Option<f64> {
+    wiki_text::parse_value(value.trim_matches('"')).as_number()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_clause_with_projection_and_equality() {
+        let q = CQuery::parse(r#"ator(nome=?, ocupação="político")"#).unwrap();
+        assert_eq!(q.clauses.len(), 1);
+        let clause = &q.clauses[0];
+        assert_eq!(clause.type_name, "ator");
+        assert_eq!(clause.constraints.len(), 2);
+        assert_eq!(clause.constraints[0].predicate, Predicate::Projection);
+        assert_eq!(
+            clause.constraints[1].predicate,
+            Predicate::Equals("político".into())
+        );
+        // Attribute names are normalised.
+        assert_eq!(clause.constraints[1].attributes, vec!["ocupacao"]);
+    }
+
+    #[test]
+    fn parses_multi_clause_query_with_alternatives_and_comparisons() {
+        let q = CQuery::parse(
+            "filme(receita > 10000000) and diretor(nascimento|data de nascimento >= 1970)",
+        )
+        .unwrap();
+        assert_eq!(q.clauses.len(), 2);
+        assert_eq!(
+            q.clauses[0].constraints[0].predicate,
+            Predicate::GreaterThan(10_000_000.0)
+        );
+        let alt = &q.clauses[1].constraints[0];
+        assert_eq!(alt.attributes, vec!["nascimento", "data de nascimento"]);
+        assert_eq!(alt.predicate, Predicate::GreaterThan(1970.0));
+    }
+
+    #[test]
+    fn parses_less_than_and_quoted_numbers() {
+        let q = CQuery::parse("livro(nome=?) and escritor(nascimento<1975)").unwrap();
+        assert_eq!(
+            q.clauses[1].constraints[0].predicate,
+            Predicate::LessThan(1975.0)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(CQuery::parse("").is_none());
+        assert!(CQuery::parse("filme").is_none());
+        assert!(CQuery::parse("(nome=?)").is_none());
+    }
+
+    #[test]
+    fn builder_api() {
+        let clause = TypeClause::new("Filme")
+            .with_type_id("film")
+            .constraint(Constraint::new("gênero", Predicate::Equals("Drama".into())));
+        let q = CQuery::new("films of genre drama", vec![clause]);
+        assert_eq!(q.primary().unwrap().type_id.as_deref(), Some("film"));
+        assert_eq!(q.primary().unwrap().constraints[0].attributes, vec!["genero"]);
+    }
+
+    #[test]
+    fn commas_inside_quotes_do_not_split_constraints() {
+        let q = CQuery::parse(r#"artista(nome=?, origem="Rio de Janeiro, Brasil")"#).unwrap();
+        assert_eq!(q.clauses[0].constraints.len(), 2);
+    }
+}

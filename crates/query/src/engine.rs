@@ -1,0 +1,305 @@
+//! Query evaluation over an infobox corpus.
+//!
+//! The engine answers a [`CQuery`] against the articles of one language
+//! edition. Entities of the *primary* clause's type are the candidate
+//! answers; each candidate is scored by the fraction of constraints it
+//! satisfies, where secondary clauses are satisfied through hyperlink joins
+//! (an answer article must link to — or be linked from — an article that
+//! satisfies the secondary clause). Candidates are ranked by score and the
+//! top-`k` are returned, mirroring WikiQuery's behaviour of returning
+//! partially matching answers for relaxed queries.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use wiki_corpus::{Article, ArticleId, Corpus, Language};
+use wiki_text::{normalize, normalize_label, parse_value};
+
+use crate::cquery::{CQuery, Constraint, Predicate, TypeClause};
+
+/// A ranked answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Answer {
+    /// The answering article.
+    pub article: ArticleId,
+    /// Title of the answering article.
+    pub title: String,
+    /// Fraction of query constraints satisfied, in `[0, 1]`.
+    pub score: f64,
+}
+
+/// The query engine over one corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine<'a> {
+    corpus: &'a Corpus,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over a corpus.
+    pub fn new(corpus: &'a Corpus) -> Self {
+        Self { corpus }
+    }
+
+    /// Answers `query` against the articles of `language`, returning the
+    /// top-`k` candidates by score (ties broken by title).
+    pub fn answer(&self, query: &CQuery, language: &Language, k: usize) -> Vec<Answer> {
+        let Some(primary) = query.primary() else {
+            return Vec::new();
+        };
+        let secondary = &query.clauses[1..];
+
+        let mut answers: Vec<Answer> = self
+            .corpus
+            .articles_in(language)
+            .filter(|article| type_matches(article, &primary.type_name))
+            .map(|article| {
+                let mut satisfied = 0.0;
+                let mut total = 0.0;
+                for constraint in &primary.constraints {
+                    total += 1.0;
+                    if constraint_satisfied(article, constraint) {
+                        satisfied += 1.0;
+                    }
+                }
+                for clause in secondary {
+                    total += 1.0;
+                    if self.join_satisfied(article, clause, language) {
+                        satisfied += 1.0;
+                    }
+                }
+                let score = if total == 0.0 { 0.0 } else { satisfied / total };
+                Answer {
+                    article: article.id,
+                    title: article.title.clone(),
+                    score,
+                }
+            })
+            .filter(|answer| answer.score > 0.0)
+            .collect();
+
+        answers.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.title.cmp(&b.title))
+        });
+        answers.truncate(k);
+        answers
+    }
+
+    /// Whether `article` is connected (by an outgoing or incoming hyperlink)
+    /// to an article of `language` that satisfies `clause`.
+    fn join_satisfied(&self, article: &Article, clause: &TypeClause, language: &Language) -> bool {
+        // Outgoing links from the answer's infobox values.
+        let outgoing: HashSet<&str> = article
+            .infobox
+            .attributes
+            .iter()
+            .flat_map(|a| a.links.iter())
+            .map(|l| l.target.as_str())
+            .collect();
+        for target in &outgoing {
+            if let Some(linked) = self.corpus.get_by_title(language, target) {
+                if type_matches(linked, &clause.type_name) && satisfies_all(linked, clause) {
+                    return true;
+                }
+            }
+        }
+        // Incoming links: articles of the clause type that link to the
+        // answer.
+        self.corpus
+            .articles_in(language)
+            .filter(|candidate| type_matches(candidate, &clause.type_name))
+            .filter(|candidate| satisfies_all(candidate, clause))
+            .any(|candidate| {
+                candidate
+                    .infobox
+                    .attributes
+                    .iter()
+                    .flat_map(|a| a.links.iter())
+                    .any(|l| l.target == article.title)
+            })
+    }
+}
+
+/// Whether the article's entity type matches the clause type name
+/// (normalised comparison, allowing the query to use a prefix such as
+/// "show" for "Television show").
+pub(crate) fn type_matches(article: &Article, type_name: &str) -> bool {
+    let article_type = normalize(&article.entity_type);
+    let wanted = normalize(type_name);
+    if wanted.is_empty() {
+        return false;
+    }
+    article_type == wanted
+        || article_type.contains(&wanted)
+        || wanted.contains(&article_type)
+}
+
+/// Whether the article satisfies every constraint of a clause.
+pub(crate) fn satisfies_all(article: &Article, clause: &TypeClause) -> bool {
+    clause
+        .constraints
+        .iter()
+        .all(|c| constraint_satisfied(article, c))
+}
+
+/// Whether the article satisfies one constraint.
+pub(crate) fn constraint_satisfied(article: &Article, constraint: &Constraint) -> bool {
+    for attr in &article.infobox.attributes {
+        let name = normalize_label(&attr.name);
+        if !constraint
+            .attributes
+            .iter()
+            .any(|wanted| &name == wanted)
+        {
+            continue;
+        }
+        if predicate_satisfied(&attr.value, &attr_link_texts(attr), &constraint.predicate) {
+            return true;
+        }
+    }
+    false
+}
+
+pub(crate) fn attr_link_texts(attr: &wiki_corpus::AttributeValue) -> Vec<String> {
+    attr.links
+        .iter()
+        .flat_map(|l| [l.target.clone(), l.anchor.clone()])
+        .collect()
+}
+
+/// Whether a raw value satisfies a predicate.
+pub(crate) fn predicate_satisfied(value: &str, link_texts: &[String], predicate: &Predicate) -> bool {
+    match predicate {
+        Predicate::Projection => !value.trim().is_empty(),
+        Predicate::Equals(wanted) => {
+            let wanted = normalize(wanted);
+            if wanted.is_empty() {
+                return false;
+            }
+            let value_norm = normalize(value);
+            value_norm.contains(&wanted)
+                || link_texts.iter().any(|t| {
+                    let t = normalize(t);
+                    t.contains(&wanted) || wanted.contains(&t) && !t.is_empty()
+                })
+        }
+        Predicate::GreaterThan(bound) => value_number(value).map(|n| n >= *bound).unwrap_or(false),
+        Predicate::LessThan(bound) => value_number(value).map(|n| n <= *bound).unwrap_or(false),
+    }
+}
+
+/// Extracts a numeric magnitude from a raw value (first atom that parses).
+pub(crate) fn value_number(value: &str) -> Option<f64> {
+    for atom in wiki_text::tokenize::split_value_atoms(value) {
+        if let Some(n) = parse_value(&atom).as_number() {
+            return Some(n);
+        }
+    }
+    parse_value(value).as_number()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cquery::CQuery;
+    use wiki_corpus::{AttributeValue, Infobox, Link};
+
+    fn corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+
+        let mut director_box = Infobox::new("Infobox Person");
+        director_box.push(AttributeValue::text("nascimento", "1975"));
+        director_box.push(AttributeValue::text("ocupação", "Diretor de cinema"));
+        let director = Article::new("Jovem Diretor", Language::Pt, "Diretor", director_box);
+        corpus.insert(director);
+
+        let mut old_director_box = Infobox::new("Infobox Person");
+        old_director_box.push(AttributeValue::text("nascimento", "1940"));
+        let old_director =
+            Article::new("Diretor Antigo", Language::Pt, "Diretor", old_director_box);
+        corpus.insert(old_director);
+
+        for (title, revenue, director_title) in [
+            ("Filme Grande", "500 milhões", "Jovem Diretor"),
+            ("Filme Pequeno", "2 milhões", "Jovem Diretor"),
+            ("Filme Antigo", "900 milhões", "Diretor Antigo"),
+        ] {
+            let mut infobox = Infobox::new("Infobox Filme");
+            infobox.push(AttributeValue::text("nome", title));
+            infobox.push(AttributeValue::text("receita", revenue));
+            infobox.push(AttributeValue::linked(
+                "direção",
+                director_title,
+                vec![Link::plain(director_title)],
+            ));
+            infobox.push(AttributeValue::text("gênero", "Drama"));
+            corpus.insert(Article::new(title, Language::Pt, "Filme", infobox));
+        }
+        corpus
+    }
+
+    #[test]
+    fn single_clause_equality_and_projection() {
+        let corpus = corpus();
+        let engine = QueryEngine::new(&corpus);
+        let query = CQuery::parse(r#"filme(nome=?, gênero="Drama")"#).unwrap();
+        let answers = engine.answer(&query, &Language::Pt, 20);
+        assert_eq!(answers.len(), 3);
+        assert!(answers.iter().all(|a| (a.score - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn numeric_comparison_filters() {
+        let corpus = corpus();
+        let engine = QueryEngine::new(&corpus);
+        let query = CQuery::parse("filme(nome=?, receita > 100000000)").unwrap();
+        let answers = engine.answer(&query, &Language::Pt, 20);
+        // Only the two films with revenue above 100 million fully satisfy
+        // the query; the third matches just the projection.
+        let full: Vec<_> = answers.iter().filter(|a| a.score > 0.99).collect();
+        assert_eq!(full.len(), 2);
+    }
+
+    #[test]
+    fn join_through_hyperlinks() {
+        let corpus = corpus();
+        let engine = QueryEngine::new(&corpus);
+        let query =
+            CQuery::parse("filme(nome=?) and diretor(nascimento >= 1970)").unwrap();
+        let answers = engine.answer(&query, &Language::Pt, 20);
+        let top: Vec<&str> = answers
+            .iter()
+            .filter(|a| a.score > 0.99)
+            .map(|a| a.title.as_str())
+            .collect();
+        assert!(top.contains(&"Filme Grande"));
+        assert!(top.contains(&"Filme Pequeno"));
+        assert!(!top.contains(&"Filme Antigo"));
+    }
+
+    #[test]
+    fn unanswerable_constraints_degrade_score_not_drop_answers() {
+        let corpus = corpus();
+        let engine = QueryEngine::new(&corpus);
+        let query = CQuery::parse(r#"filme(nome=?, orçamento > 10)"#).unwrap();
+        let answers = engine.answer(&query, &Language::Pt, 20);
+        assert_eq!(answers.len(), 3);
+        assert!(answers.iter().all(|a| (a.score - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn top_k_and_empty_results() {
+        let corpus = corpus();
+        let engine = QueryEngine::new(&corpus);
+        let query = CQuery::parse("filme(nome=?)").unwrap();
+        assert_eq!(engine.answer(&query, &Language::Pt, 2).len(), 2);
+        // No articles of this type in English.
+        assert!(engine.answer(&query, &Language::En, 20).is_empty());
+        // Unknown type.
+        let query = CQuery::parse("planeta(nome=?)").unwrap();
+        assert!(engine.answer(&query, &Language::Pt, 20).is_empty());
+    }
+}

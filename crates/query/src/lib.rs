@@ -1,0 +1,45 @@
+//! # wiki-query
+//!
+//! A WikiQuery-style structured query processor over infobox corpora,
+//! reproducing the case study of Section 5 of the paper.
+//!
+//! The paper's WikiQuery system answers *c-queries* — conjunctions of
+//! constraints over entity types, attribute names and values, e.g.
+//!
+//! ```text
+//! Actor(born = "Brazil", website = ?) and Film(award = "Oscar")
+//! ```
+//!
+//! The case study runs ten such queries in Portuguese and Vietnamese over
+//! the corresponding infobox corpora, then *translates* them into English
+//! using the attribute correspondences discovered by WikiMatch and runs them
+//! over the English infoboxes. Answer quality is measured with cumulative
+//! gain; translated queries retrieve substantially more relevant answers
+//! because the English corpus has better attribute coverage.
+//!
+//! * [`cquery`] — the c-query model and a small text parser.
+//! * [`engine`] — query evaluation over a [`wiki_corpus::Corpus`].
+//! * [`translate`] — query translation through derived correspondences,
+//!   with constraint relaxation for untranslatable attributes.
+//! * [`relevance`] — the oracle grader standing in for the paper's human
+//!   evaluators.
+//! * [`workload`] — the ten case-study queries (Table 4) adapted to the
+//!   synthetic corpus.
+//! * [`case_study`] — the end-to-end cumulative-gain experiment (Figure 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_study;
+pub mod cquery;
+pub mod engine;
+pub mod relevance;
+pub mod translate;
+pub mod workload;
+
+pub use case_study::{run_case_study, CaseStudyCurve};
+pub use cquery::{CQuery, Constraint, Predicate, TypeClause};
+pub use engine::{Answer, QueryEngine};
+pub use relevance::RelevanceOracle;
+pub use translate::CorrespondenceDictionary;
+pub use workload::case_study_queries;

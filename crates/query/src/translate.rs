@@ -1,0 +1,249 @@
+//! Query translation through derived correspondences.
+//!
+//! The multilingual correspondences discovered by WikiMatch are stored in a
+//! [`CorrespondenceDictionary`]. To answer a foreign-language query against
+//! the English infoboxes, WikiQuery looks every type name and attribute name
+//! up in that dictionary; attribute constraints that cannot be translated
+//! are *relaxed* (dropped), exactly as described in Section 5 — answers are
+//! still returned, but they tend to be less relevant, which is what limits
+//! the gain for the Vietnamese dataset.
+
+use std::collections::HashMap;
+
+use wiki_corpus::Dataset;
+use wiki_text::{normalize, normalize_label};
+use wiki_translate::TitleDictionary;
+use wikimatch::{match_entity_types, TypeAlignment};
+
+use crate::cquery::{CQuery, Constraint, Predicate, TypeClause};
+
+/// A dictionary of type-label and attribute correspondences plus the value
+/// dictionary, used to translate c-queries from the foreign language into
+/// English.
+#[derive(Debug, Clone)]
+pub struct CorrespondenceDictionary {
+    /// normalised foreign type label → English type label.
+    type_map: HashMap<String, String>,
+    /// (type id, normalised foreign attribute) → English attributes.
+    attr_map: HashMap<(String, String), Vec<String>>,
+    /// normalised foreign type label → type id.
+    type_ids: HashMap<String, String>,
+    /// Title dictionary for translating constraint values.
+    values: TitleDictionary,
+}
+
+/// Statistics of one query translation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Constraints translated successfully.
+    pub translated: usize,
+    /// Constraints dropped because no correspondence was available.
+    pub relaxed: usize,
+}
+
+impl CorrespondenceDictionary {
+    /// Builds the dictionary from a dataset and the alignments WikiMatch
+    /// produced for it.
+    pub fn build(dataset: &Dataset, alignments: &[TypeAlignment]) -> Self {
+        let mut type_map = HashMap::new();
+        let mut type_ids = HashMap::new();
+        // Catalog pairings provide the label mapping; cross-language link
+        // voting covers any remaining label.
+        for pairing in &dataset.types {
+            type_map.insert(
+                normalize(&pairing.label_other),
+                pairing.label_en.clone(),
+            );
+            type_ids.insert(normalize(&pairing.label_other), pairing.type_id.clone());
+        }
+        for tm in match_entity_types(
+            &dataset.corpus,
+            dataset.other_language(),
+            dataset.english(),
+        ) {
+            type_map
+                .entry(normalize(&tm.label_a))
+                .or_insert(tm.label_b.clone());
+        }
+
+        let mut attr_map: HashMap<(String, String), Vec<String>> = HashMap::new();
+        for alignment in alignments {
+            for (other_attr, en_attr) in alignment.cross_pairs() {
+                attr_map
+                    .entry((alignment.type_id.clone(), other_attr))
+                    .or_default()
+                    .push(en_attr);
+            }
+        }
+        let values = TitleDictionary::from_corpus(
+            &dataset.corpus,
+            dataset.other_language(),
+            dataset.english(),
+        );
+        Self {
+            type_map,
+            attr_map,
+            type_ids,
+            values,
+        }
+    }
+
+    /// Number of attribute correspondences available.
+    pub fn len(&self) -> usize {
+        self.attr_map.values().map(Vec::len).sum()
+    }
+
+    /// True when no attribute correspondences are available.
+    pub fn is_empty(&self) -> bool {
+        self.attr_map.is_empty()
+    }
+
+    /// Translates the English correspondents of a foreign attribute of a
+    /// type (empty when unknown).
+    pub fn attribute_correspondents(&self, type_id: &str, attribute: &str) -> Vec<String> {
+        self.attr_map
+            .get(&(type_id.to_string(), normalize_label(attribute)))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// The type id of a foreign type label used in a query, if known.
+    pub fn type_id_of(&self, type_name: &str) -> Option<&str> {
+        let wanted = normalize(type_name);
+        if let Some(id) = self.type_ids.get(&wanted) {
+            return Some(id);
+        }
+        // Tolerant lookup, mirroring the engine's type matching.
+        self.type_ids
+            .iter()
+            .find(|(label, _)| label.contains(&wanted) || wanted.contains(label.as_str()))
+            .map(|(_, id)| id.as_str())
+    }
+
+    /// Translates a query into English, relaxing untranslatable constraints.
+    pub fn translate_query(&self, query: &CQuery) -> (CQuery, TranslationStats) {
+        let mut stats = TranslationStats::default();
+        let mut clauses = Vec::new();
+        for clause in &query.clauses {
+            let wanted = normalize(&clause.type_name);
+            let en_type = self
+                .type_map
+                .get(&wanted)
+                .cloned()
+                .or_else(|| {
+                    self.type_map
+                        .iter()
+                        .find(|(label, _)| label.contains(&wanted) || wanted.contains(label.as_str()))
+                        .map(|(_, en)| en.clone())
+                })
+                .unwrap_or_else(|| clause.type_name.clone());
+            let type_id = clause
+                .type_id
+                .clone()
+                .or_else(|| self.type_id_of(&clause.type_name).map(String::from));
+
+            let mut translated_clause = TypeClause::new(en_type);
+            translated_clause.type_id = type_id.clone();
+            for constraint in &clause.constraints {
+                let mut en_attrs: Vec<String> = Vec::new();
+                if let Some(type_id) = &type_id {
+                    for attr in &constraint.attributes {
+                        en_attrs.extend(self.attribute_correspondents(type_id, attr));
+                    }
+                }
+                en_attrs.sort();
+                en_attrs.dedup();
+                if en_attrs.is_empty() {
+                    // Relaxation: the constraint is dropped.
+                    stats.relaxed += 1;
+                    continue;
+                }
+                stats.translated += 1;
+                let predicate = match &constraint.predicate {
+                    Predicate::Equals(value) => {
+                        Predicate::Equals(self.values.translate_or_keep(value))
+                    }
+                    other => other.clone(),
+                };
+                translated_clause.constraints.push(Constraint {
+                    attributes: en_attrs,
+                    predicate,
+                });
+            }
+            // A clause whose constraints were all relaxed still participates
+            // (it degenerates into a type-existence test) unless it is a
+            // secondary clause with nothing to check.
+            if !translated_clause.constraints.is_empty() || clauses.is_empty() {
+                clauses.push(translated_clause);
+            }
+        }
+        (
+            CQuery::new(format!("{} [translated]", query.description), clauses),
+            stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::SyntheticConfig;
+    use wikimatch::{WikiMatch, WikiMatchConfig};
+
+    fn dictionary() -> (Dataset, CorrespondenceDictionary) {
+        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+        let matcher = WikiMatch::new(WikiMatchConfig::default());
+        let film = matcher.align_type(&dataset, dataset.type_pairing("film").unwrap());
+        let actor = matcher.align_type(&dataset, dataset.type_pairing("actor").unwrap());
+        let dict = CorrespondenceDictionary::build(&dataset, &[film, actor]);
+        (dataset, dict)
+    }
+
+    #[test]
+    fn builds_type_and_attribute_maps() {
+        let (_dataset, dict) = dictionary();
+        assert!(!dict.is_empty());
+        assert_eq!(dict.type_id_of("filme"), Some("film"));
+        let correspondents = dict.attribute_correspondents("film", "direção");
+        assert!(
+            correspondents.contains(&"directed by".to_string()),
+            "{correspondents:?}"
+        );
+    }
+
+    #[test]
+    fn translates_types_attributes_and_values() {
+        let (_dataset, dict) = dictionary();
+        let query = CQuery::parse(r#"filme(direção=?, país="Estados Unidos")"#).unwrap();
+        let (translated, stats) = dict.translate_query(&query);
+        assert_eq!(translated.clauses[0].type_name, "Film");
+        assert!(stats.translated >= 1);
+        let attrs: Vec<&str> = translated.clauses[0]
+            .constraints
+            .iter()
+            .flat_map(|c| c.attributes.iter().map(String::as_str))
+            .collect();
+        assert!(attrs.contains(&"directed by"), "{attrs:?}");
+        // The constraint value is translated through the title dictionary.
+        let has_translated_value = translated.clauses[0].constraints.iter().any(|c| {
+            matches!(&c.predicate, Predicate::Equals(v) if v == "united states")
+        });
+        // Value translation requires the country constraint to have been
+        // translatable in the first place.
+        if stats.relaxed == 0 {
+            assert!(has_translated_value);
+        }
+    }
+
+    #[test]
+    fn untranslatable_constraints_are_relaxed() {
+        let (_dataset, dict) = dictionary();
+        let query = CQuery::parse("filme(atributo inexistente=?)").unwrap();
+        let (translated, stats) = dict.translate_query(&query);
+        assert_eq!(stats.relaxed, 1);
+        assert_eq!(stats.translated, 0);
+        // The primary clause survives as a bare type test.
+        assert_eq!(translated.clauses.len(), 1);
+        assert!(translated.clauses[0].constraints.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # wiki-text
+//!
+//! Text-processing primitives shared across the WikiMatch reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`normalize`] — Unicode-aware lowercasing, diacritic folding for the
+//!   Latin-based languages used in the paper (English, Portuguese,
+//!   Vietnamese) and whitespace/punctuation canonicalisation.
+//! * [`tokenize`] — word and value tokenisation used when building attribute
+//!   value vectors.
+//! * [`vector`] — sparse term-frequency vectors with cosine similarity, the
+//!   workhorse of the paper's `vsim`/`lsim` measures.
+//! * [`strsim`] — classic string-similarity functions (Levenshtein,
+//!   Jaro-Winkler, character n-grams, token overlap) needed by the
+//!   COMA++-style name matcher baseline.
+//! * [`value`] — light-weight typed interpretation of infobox values
+//!   (dates, numbers, plain text) so that e.g. "18 de Dezembro 1950" and
+//!   "December 18 1950" canonicalise to the same token.
+//!
+//! None of these helpers know anything about Wikipedia or schema matching;
+//! they are reusable building blocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod normalize;
+pub mod strsim;
+pub mod tokenize;
+pub mod value;
+pub mod vector;
+
+pub use normalize::{fold_diacritics, normalize, normalize_label};
+pub use strsim::{jaro_winkler, levenshtein, ngram_similarity, token_overlap};
+pub use tokenize::{tokenize_value, tokenize_words};
+pub use value::{parse_value, CanonicalValue};
+pub use vector::TermVector;

@@ -1,0 +1,277 @@
+//! String similarity functions.
+//!
+//! WikiMatch itself deliberately does **not** rely on string similarity
+//! between attribute names (Section 1 of the paper: *editora* vs *editor* is
+//! a false cognate). These functions exist for the baselines: the
+//! COMA++-style composite matcher uses a name matcher built from
+//! Levenshtein, Jaro-Winkler, character-trigram and token-overlap scores, and
+//! the experiment harness reports how poorly name matching does across
+//! morphologically distant languages (Figure 7).
+
+use crate::normalize::normalize;
+
+/// Levenshtein edit distance between two strings (in Unicode scalar values).
+///
+/// ```
+/// use wiki_text::levenshtein;
+/// assert_eq!(levenshtein("editora", "editor"), 1);
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Normalised Levenshtein similarity in `[0, 1]`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity between two strings.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut a_matched = vec![false; a.len()];
+    let mut matches = 0usize;
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == *ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions.
+    let mut transpositions = 0usize;
+    let mut j = 0usize;
+    for (i, &matched) in a_matched.iter().enumerate() {
+        if matched {
+            while !b_matched[j] {
+                j += 1;
+            }
+            if a[i] != b[j] {
+                transpositions += 1;
+            }
+            j += 1;
+        }
+    }
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64 / 2.0) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard 0.1 prefix scale.
+///
+/// ```
+/// use wiki_text::jaro_winkler;
+/// assert!(jaro_winkler("director", "direção") > jaro_winkler("director", "writer"));
+/// assert_eq!(jaro_winkler("same", "same"), 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).clamp(0.0, 1.0)
+}
+
+/// Character n-gram (default use: trigram) Dice similarity.
+///
+/// The string is padded with `#` on both sides, as is conventional for
+/// q-gram matchers, so that short strings still produce grams.
+pub fn ngram_similarity(a: &str, b: &str, n: usize) -> f64 {
+    assert!(n >= 1, "n-gram size must be at least 1");
+    let grams_a = ngrams(a, n);
+    let grams_b = ngrams(b, n);
+    if grams_a.is_empty() && grams_b.is_empty() {
+        return 1.0;
+    }
+    if grams_a.is_empty() || grams_b.is_empty() {
+        return 0.0;
+    }
+    let mut b_used = vec![false; grams_b.len()];
+    let mut common = 0usize;
+    for g in &grams_a {
+        if let Some(pos) = grams_b
+            .iter()
+            .enumerate()
+            .position(|(i, h)| !b_used[i] && h == g)
+        {
+            b_used[pos] = true;
+            common += 1;
+        }
+    }
+    2.0 * common as f64 / (grams_a.len() + grams_b.len()) as f64
+}
+
+fn ngrams(s: &str, n: usize) -> Vec<String> {
+    let padded: Vec<char> = std::iter::repeat('#')
+        .take(n - 1)
+        .chain(s.chars())
+        .chain(std::iter::repeat('#').take(n - 1))
+        .collect();
+    if padded.len() < n {
+        return Vec::new();
+    }
+    padded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// Token-level overlap similarity (Dice over word sets) after normalisation.
+///
+/// ```
+/// use wiki_text::token_overlap;
+/// assert_eq!(token_overlap("release date", "date of release"), 0.8);
+/// ```
+pub fn token_overlap(a: &str, b: &str) -> f64 {
+    let ta: Vec<String> = normalize(a).split_whitespace().map(String::from).collect();
+    let tb: Vec<String> = normalize(b).split_whitespace().map(String::from).collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut used = vec![false; tb.len()];
+    let mut common = 0usize;
+    for t in &ta {
+        if let Some(i) = tb
+            .iter()
+            .enumerate()
+            .position(|(i, u)| !used[i] && u == t)
+        {
+            used[i] = true;
+            common += 1;
+        }
+    }
+    2.0 * common as f64 / (ta.len() + tb.len()) as f64
+}
+
+/// Composite name similarity used by the COMA++-style name matcher:
+/// the maximum of Jaro-Winkler, trigram and token-overlap similarity over the
+/// normalised strings.
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let na = normalize(a);
+    let nb = normalize(b);
+    if na.is_empty() || nb.is_empty() {
+        return 0.0;
+    }
+    jaro_winkler(&na, &nb)
+        .max(ngram_similarity(&na, &nb, 3))
+        .max(token_overlap(&na, &nb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basic() {
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.9444).abs() < 1e-3);
+        assert!((jaro("dixon", "dicksonx") - 0.7667).abs() < 1e-3);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        assert!((jaro_winkler("martha", "marhta") - 0.9611).abs() < 1e-3);
+        assert!((jaro_winkler("dwayne", "duane") - 0.84).abs() < 1e-2);
+    }
+
+    #[test]
+    fn false_cognates_score_high_on_string_similarity() {
+        // The paper's motivating example: editora (publisher) vs editor.
+        // String similarity is misleadingly high, which is why WikiMatch
+        // avoids name-based matching.
+        assert!(jaro_winkler("editora", "editor") > 0.9);
+        assert!(ngram_similarity("editora", "editor", 3) > 0.7);
+    }
+
+    #[test]
+    fn trigram_similarity_bounds() {
+        assert_eq!(ngram_similarity("", "", 3), 1.0);
+        assert_eq!(ngram_similarity("abc", "", 3), 0.0);
+        assert!((ngram_similarity("night", "night", 3) - 1.0).abs() < 1e-12);
+        let s = ngram_similarity("night", "nacht", 3);
+        assert!(s > 0.0 && s < 0.5, "s = {s}");
+    }
+
+    #[test]
+    fn token_overlap_handles_reordering() {
+        assert!(token_overlap("data de nascimento", "nascimento data de") > 0.99);
+        assert_eq!(token_overlap("born", "morte"), 0.0);
+    }
+
+    #[test]
+    fn name_similarity_is_symmetric_and_bounded() {
+        for (a, b) in [
+            ("directed by", "direção"),
+            ("starring", "elenco original"),
+            ("đạo diễn", "directed by"),
+        ] {
+            let s1 = name_similarity(a, b);
+            let s2 = name_similarity(b, a);
+            assert!((s1 - s2).abs() < 1e-9);
+            assert!((0.0..=1.0).contains(&s1));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gram_panics() {
+        ngram_similarity("a", "b", 0);
+    }
+}

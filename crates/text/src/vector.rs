@@ -1,0 +1,287 @@
+//! Sparse term-frequency vectors and cosine similarity.
+//!
+//! The paper's `vsim` and `lsim` measures are cosines between raw frequency
+//! vectors (Section 3.2): value vectors are built from the value atoms
+//! observed for an attribute across all infoboxes of a type, link-structure
+//! vectors from the articles those values link to. [`TermVector`] is the
+//! shared representation for both.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector keyed by term, storing raw frequencies (`tf`).
+///
+/// Terms are kept in a [`BTreeMap`] so iteration order — and therefore all
+/// derived results — is deterministic, which matters for reproducibility of
+/// the experiment harness.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TermVector {
+    counts: BTreeMap<String, f64>,
+}
+
+impl TermVector {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vector from an iterator of terms, counting occurrences.
+    pub fn from_terms<I, S>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut v = Self::new();
+        for t in terms {
+            v.add(t, 1.0);
+        }
+        v
+    }
+
+    /// Adds `weight` occurrences of `term`.
+    pub fn add<S: Into<String>>(&mut self, term: S, weight: f64) {
+        if weight == 0.0 {
+            return;
+        }
+        *self.counts.entry(term.into()).or_insert(0.0) += weight;
+    }
+
+    /// Merges another vector into this one (component-wise sum).
+    pub fn merge(&mut self, other: &TermVector) {
+        for (t, w) in &other.counts {
+            self.add(t.clone(), *w);
+        }
+    }
+
+    /// Frequency of a term (0.0 when absent).
+    pub fn get(&self, term: &str) -> f64 {
+        self.counts.get(term).copied().unwrap_or(0.0)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the vector has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Sum of all frequencies.
+    pub fn total(&self) -> f64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates over `(term, frequency)` pairs in term order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.counts.iter().map(|(t, w)| (t.as_str(), *w))
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.counts.values().map(|w| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Dot product with another vector.
+    pub fn dot(&self, other: &TermVector) -> f64 {
+        // Iterate over the smaller vector for efficiency.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .counts
+            .iter()
+            .map(|(t, w)| w * large.get(t))
+            .sum()
+    }
+
+    /// Cosine similarity with another vector; 0.0 when either is empty.
+    ///
+    /// ```
+    /// use wiki_text::TermVector;
+    /// let a = TermVector::from_terms(["ireland", "1963", "united states"]);
+    /// let b = TermVector::from_terms(["ireland", "1963", "france"]);
+    /// let c = a.cosine(&b);
+    /// assert!(c > 0.6 && c < 0.7);
+    /// ```
+    pub fn cosine(&self, other: &TermVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.dot(other) / denom).clamp(0.0, 1.0)
+    }
+
+    /// Jaccard overlap of the term *sets* (ignores frequencies).
+    pub fn jaccard(&self, other: &TermVector) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 0.0;
+        }
+        let intersection = self
+            .counts
+            .keys()
+            .filter(|t| other.counts.contains_key(*t))
+            .count() as f64;
+        let union = (self.len() + other.len()) as f64 - intersection;
+        if union == 0.0 {
+            0.0
+        } else {
+            intersection / union
+        }
+    }
+
+    /// Overlap (Szymkiewicz–Simpson) coefficient of the term sets:
+    /// `|A ∩ B| / min(|A|, |B|)`. Unlike Jaccard it is not penalised when
+    /// one attribute is much more frequent than the other, which is the
+    /// right behaviour for per-infobox value-equality matching.
+    pub fn overlap_coefficient(&self, other: &TermVector) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return 0.0;
+        }
+        let intersection = self
+            .counts
+            .keys()
+            .filter(|t| other.counts.contains_key(*t))
+            .count() as f64;
+        intersection / self.len().min(other.len()) as f64
+    }
+
+    /// Applies a term-rewriting function, merging rewritten terms.
+    ///
+    /// Used to translate a value vector through the bilingual dictionary
+    /// before computing `vsim`: terms found in the dictionary are replaced by
+    /// their translation, others are kept as-is.
+    pub fn map_terms<F>(&self, mut f: F) -> TermVector
+    where
+        F: FnMut(&str) -> Option<String>,
+    {
+        let mut out = TermVector::new();
+        for (t, w) in &self.counts {
+            match f(t) {
+                Some(new_term) => out.add(new_term, *w),
+                None => out.add(t.clone(), *w),
+            }
+        }
+        out
+    }
+
+    /// Returns the `k` most frequent terms (ties broken by term order).
+    pub fn top_terms(&self, k: usize) -> Vec<(&str, f64)> {
+        let mut entries: Vec<(&str, f64)> = self.iter().collect();
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        entries.truncate(k);
+        entries
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for TermVector {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        TermVector::from_terms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let v = TermVector::from_terms(["a", "b", "a", "a"]);
+        assert_eq!(v.get("a"), 3.0);
+        assert_eq!(v.get("b"), 1.0);
+        assert_eq!(v.get("c"), 0.0);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.total(), 4.0);
+    }
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let v = TermVector::from_terms(["x", "y", "z", "x"]);
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_disjoint_vectors_is_zero() {
+        let a = TermVector::from_terms(["a", "b"]);
+        let b = TermVector::from_terms(["c", "d"]);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn cosine_with_empty_vector_is_zero() {
+        let a = TermVector::from_terms(["a"]);
+        let b = TermVector::new();
+        assert_eq!(a.cosine(&b), 0.0);
+        assert_eq!(b.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn paper_example_one_translation_raises_similarity() {
+        // Example 1 of the paper: nascimento vs born after dictionary
+        // translation should have cosine ≈ 0.71-0.75.
+        let mut va_t = TermVector::new();
+        va_t.add("1963", 1.0);
+        va_t.add("ireland", 1.0);
+        va_t.add("december 18 1950", 1.0);
+        va_t.add("united states", 1.0);
+        let mut vb = TermVector::new();
+        vb.add("1963", 1.0);
+        vb.add("ireland", 1.0);
+        vb.add("june 4 1975", 1.0);
+        vb.add("united states", 2.0);
+        let sim = va_t.cosine(&vb);
+        assert!(sim > 0.65 && sim < 0.80, "sim = {sim}");
+    }
+
+    #[test]
+    fn merge_and_map_terms() {
+        let mut a = TermVector::from_terms(["estados unidos", "irlanda"]);
+        let b = TermVector::from_terms(["estados unidos"]);
+        a.merge(&b);
+        assert_eq!(a.get("estados unidos"), 2.0);
+
+        let translated = a.map_terms(|t| match t {
+            "estados unidos" => Some("united states".to_string()),
+            "irlanda" => Some("ireland".to_string()),
+            _ => None,
+        });
+        assert_eq!(translated.get("united states"), 2.0);
+        assert_eq!(translated.get("ireland"), 1.0);
+        assert_eq!(translated.get("estados unidos"), 0.0);
+    }
+
+    #[test]
+    fn jaccard_behaviour() {
+        let a = TermVector::from_terms(["a", "b", "c"]);
+        let b = TermVector::from_terms(["b", "c", "d"]);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(TermVector::new().jaccard(&TermVector::new()), 0.0);
+    }
+
+    #[test]
+    fn overlap_coefficient_behaviour() {
+        let small = TermVector::from_terms(["a", "b"]);
+        let large = TermVector::from_terms(["a", "b", "c", "d", "e", "f"]);
+        // The small vector is fully contained in the large one.
+        assert!((small.overlap_coefficient(&large) - 1.0).abs() < 1e-12);
+        assert!((large.overlap_coefficient(&small) - 1.0).abs() < 1e-12);
+        assert!(small.overlap_coefficient(&large) > small.jaccard(&large));
+        assert_eq!(small.overlap_coefficient(&TermVector::new()), 0.0);
+    }
+
+    #[test]
+    fn top_terms_ordering() {
+        let v = TermVector::from_terms(["b", "a", "a", "c", "c", "c"]);
+        let top = v.top_terms(2);
+        assert_eq!(top[0].0, "c");
+        assert_eq!(top[1].0, "a");
+    }
+}

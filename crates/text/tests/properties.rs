@@ -1,0 +1,107 @@
+//! Property-based tests for the text-processing primitives.
+
+use proptest::prelude::*;
+use wiki_text::{
+    jaro_winkler, levenshtein, ngram_similarity, normalize, normalize_label, token_overlap,
+    TermVector,
+};
+
+proptest! {
+    /// Normalisation is idempotent: normalising twice equals normalising once.
+    #[test]
+    fn normalize_idempotent(s in ".{0,64}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    /// Normalised strings contain only lowercase alphanumerics and single spaces.
+    #[test]
+    fn normalize_output_alphabet(s in ".{0,64}") {
+        let n = normalize(&s);
+        prop_assert!(!n.starts_with(' '));
+        prop_assert!(!n.ends_with(' '));
+        prop_assert!(!n.contains("  "));
+        for c in n.chars() {
+            prop_assert!(c == ' ' || c.is_alphanumeric() || c == '.');
+            // Case folding is guaranteed for ASCII; exotic code points such
+            // as mathematical capitals have no lowercase mapping.
+            prop_assert!(!c.is_ascii_uppercase());
+        }
+    }
+
+    /// Label normalisation never produces a longer string than value
+    /// normalisation of the same input.
+    #[test]
+    fn label_not_longer_than_value(s in "[a-zA-Z0-9_ ]{0,32}") {
+        prop_assert!(normalize_label(&s).len() <= normalize(&s).len());
+    }
+
+    /// Levenshtein is a metric: symmetry and identity of indiscernibles.
+    #[test]
+    fn levenshtein_symmetric(a in "[a-zçãđ]{0,16}", b in "[a-zçãđ]{0,16}") {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+    }
+
+    /// Levenshtein triangle inequality over small strings.
+    #[test]
+    fn levenshtein_triangle(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    /// Jaro-Winkler, n-gram and token overlap similarities are bounded and
+    /// symmetric.
+    #[test]
+    fn similarities_bounded_symmetric(a in ".{0,24}", b in ".{0,24}") {
+        for f in [jaro_winkler, token_overlap] {
+            let s1 = f(&a, &b);
+            let s2 = f(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&s1), "{s1}");
+            prop_assert!((s1 - s2).abs() < 1e-9);
+        }
+        let g1 = ngram_similarity(&a, &b, 3);
+        let g2 = ngram_similarity(&b, &a, 3);
+        prop_assert!((0.0..=1.0).contains(&g1));
+        prop_assert!((g1 - g2).abs() < 1e-9);
+    }
+
+    /// Self-similarity is maximal.
+    #[test]
+    fn self_similarity_is_one(a in "[a-z]{1,24}") {
+        prop_assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((ngram_similarity(&a, &a, 3) - 1.0).abs() < 1e-9);
+        prop_assert!((token_overlap(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    /// Cosine similarity of term vectors is bounded, symmetric, and 1 for a
+    /// vector with itself (when non-empty).
+    #[test]
+    fn cosine_properties(
+        a in proptest::collection::vec("[a-e]{1,3}", 0..16),
+        b in proptest::collection::vec("[a-e]{1,3}", 0..16),
+    ) {
+        let va = TermVector::from_terms(a.clone());
+        let vb = TermVector::from_terms(b);
+        let c1 = va.cosine(&vb);
+        let c2 = vb.cosine(&va);
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!((c1 - c2).abs() < 1e-9);
+        if !a.is_empty() {
+            prop_assert!((va.cosine(&va) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Merging vectors adds totals; dot product is monotone under merge.
+    #[test]
+    fn merge_adds_totals(
+        a in proptest::collection::vec("[a-e]{1,3}", 0..16),
+        b in proptest::collection::vec("[a-e]{1,3}", 0..16),
+    ) {
+        let va = TermVector::from_terms(a);
+        let vb = TermVector::from_terms(b);
+        let mut merged = va.clone();
+        merged.merge(&vb);
+        prop_assert!((merged.total() - (va.total() + vb.total())).abs() < 1e-9);
+        prop_assert!(merged.dot(&va) >= va.dot(&va) - 1e-9);
+    }
+}

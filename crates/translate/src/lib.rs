@@ -1,0 +1,28 @@
+//! # wiki-translate
+//!
+//! Bilingual dictionaries for the WikiMatch pipeline.
+//!
+//! Two translation resources are provided:
+//!
+//! * [`dictionary::TitleDictionary`] — the *automatically derived* bilingual
+//!   dictionary of the paper (Section 3.2): for every pair of articles
+//!   connected by a cross-language link, the title of the article in language
+//!   `L` translates to the title of the linked article in `L'`. This is the
+//!   only translation resource WikiMatch itself uses — no external
+//!   dictionaries, thesauri or machine-translation systems are required.
+//! * [`mt::MachineTranslator`] — a *simulated* machine-translation service
+//!   standing in for Google Translator, which the paper uses only to build
+//!   the translated COMA++ baseline configurations (`N+G`). The simulation
+//!   produces literal, dictionary-style translations of attribute labels,
+//!   including the characteristic mistakes the paper reports (e.g.
+//!   *starring* → *estrelando* rather than the template name
+//!   *elenco original*).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dictionary;
+pub mod mt;
+
+pub use dictionary::TitleDictionary;
+pub use mt::MachineTranslator;

@@ -1,0 +1,360 @@
+//! A simulated machine-translation service.
+//!
+//! The paper's COMA++ baseline is evaluated in configurations that translate
+//! attribute *names* with Google Translator (`N+G`) before running a
+//! monolingual name matcher. Google Translator is not available offline, so
+//! this module simulates it: a word-by-word glossary that produces literal
+//! translations of attribute labels. Crucially, the simulation reproduces
+//! the failure mode the paper highlights — literal translations often do not
+//! coincide with the attribute names actually used by infobox templates
+//! (*starring* translates to *estrelando*, but the Portuguese template says
+//! *elenco original*; *diễn viên* translates to *actor* rather than
+//! *starring*) — which is exactly why translation-plus-string-similarity
+//! underperforms WikiMatch.
+
+use std::collections::HashMap;
+
+use wiki_corpus::Language;
+use wiki_text::normalize;
+
+/// A word/phrase glossary translator between two languages.
+#[derive(Debug, Clone)]
+pub struct MachineTranslator {
+    source: Language,
+    target: Language,
+    phrases: HashMap<String, String>,
+    words: HashMap<String, String>,
+}
+
+impl MachineTranslator {
+    /// Builds the simulated translator for a `(source, target)` pair.
+    ///
+    /// Supported pairs: Pt→En, En→Pt, Vn→En, En→Vn. Any other pair yields an
+    /// empty glossary (every term is passed through unchanged), which mirrors
+    /// how a missing language pack behaves.
+    pub fn new(source: Language, target: Language) -> Self {
+        let (phrases, words) = match (&source, &target) {
+            (Language::Pt, Language::En) => (pt_en_phrases(), pt_en_words()),
+            (Language::En, Language::Pt) => (invert(pt_en_phrases()), invert(pt_en_words())),
+            (Language::Vn, Language::En) => (vn_en_phrases(), vn_en_words()),
+            (Language::En, Language::Vn) => (invert(vn_en_phrases()), invert(vn_en_words())),
+            _ => (HashMap::new(), HashMap::new()),
+        };
+        Self {
+            source,
+            target,
+            phrases,
+            words,
+        }
+    }
+
+    /// The source language.
+    pub fn source(&self) -> &Language {
+        &self.source
+    }
+
+    /// The target language.
+    pub fn target(&self) -> &Language {
+        &self.target
+    }
+
+    /// Translates a label: whole-phrase lookup first, then word by word,
+    /// keeping unknown words unchanged — the behaviour of a literal MT
+    /// system on short noun phrases.
+    pub fn translate(&self, label: &str) -> String {
+        let norm = normalize(label);
+        if norm.is_empty() {
+            return norm;
+        }
+        if let Some(phrase) = self.phrases.get(&norm) {
+            return phrase.clone();
+        }
+        norm.split_whitespace()
+            .map(|w| self.words.get(w).cloned().unwrap_or_else(|| w.to_string()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+fn invert(map: HashMap<String, String>) -> HashMap<String, String> {
+    map.into_iter().map(|(k, v)| (v, k)).collect()
+}
+
+fn table(entries: &[(&str, &str)]) -> HashMap<String, String> {
+    entries
+        .iter()
+        .map(|(a, b)| (normalize(a), normalize(b)))
+        .collect()
+}
+
+/// Portuguese → English phrase glossary (literal translations of infobox
+/// labels; note the deliberate mismatches with template vocabulary).
+fn pt_en_phrases() -> HashMap<String, String> {
+    table(&[
+        ("elenco original", "original cast"),
+        ("data de nascimento", "date of birth"),
+        ("data de lançamento", "launch date"),
+        ("local de nascimento", "place of birth"),
+        ("país de origem", "country of origin"),
+        ("outros nomes", "other names"),
+        ("tempo de duração", "duration time"),
+        ("número de episódios", "number of episodes"),
+        ("número de temporadas", "number of seasons"),
+        ("primeira exibição", "first exhibition"),
+        ("exibição original", "original exhibition"),
+        ("data de publicação", "publication date"),
+        ("número de páginas", "number of pages"),
+        ("código de produção", "production code"),
+        ("primeira aparição", "first appearance"),
+        ("personagens principais", "main characters"),
+        ("participações especiais", "special participations"),
+        ("anos de atividade", "years of activity"),
+        ("período de atividade", "activity period"),
+        ("página oficial", "official page"),
+        ("gênero musical", "musical genre"),
+        ("área de transmissão", "transmission area"),
+        ("formato de imagem", "picture format"),
+        ("número de funcionários", "number of employees"),
+        ("pessoas-chave", "key people"),
+        ("ramo de atividade", "branch of activity"),
+        ("nome completo", "full name"),
+        ("gênero literário", "literary genre"),
+        ("obras notáveis", "notable works"),
+        ("principais obras", "main works"),
+        ("artista da capa", "cover artist"),
+        ("número de edições", "number of issues"),
+        ("canais irmãos", "sister channels"),
+        ("produtor executivo", "executive producer"),
+        ("compositor do tema", "theme composer"),
+        ("companhia produtora", "production company"),
+        ("data de exibição", "air date"),
+        ("número do episódio", "episode number"),
+    ])
+}
+
+/// Portuguese → English word glossary.
+fn pt_en_words() -> HashMap<String, String> {
+    table(&[
+        ("direção", "direction"),
+        ("dirigido", "directed"),
+        ("por", "by"),
+        ("produção", "production"),
+        ("roteiro", "script"),
+        ("elenco", "cast"),
+        ("música", "music"),
+        ("fotografia", "photography"),
+        ("edição", "editing"),
+        ("distribuição", "distribution"),
+        ("estúdio", "studio"),
+        ("lançamento", "launch"),
+        ("duração", "duration"),
+        ("país", "country"),
+        ("idioma", "language"),
+        ("orçamento", "budget"),
+        ("receita", "revenue"),
+        ("bilheteria", "box office"),
+        ("gênero", "genre"),
+        ("prêmios", "awards"),
+        ("prêmio", "award"),
+        ("narração", "narration"),
+        ("nascimento", "birth"),
+        ("falecimento", "death"),
+        ("morte", "death"),
+        ("ocupação", "occupation"),
+        ("profissão", "profession"),
+        ("cônjuge", "spouse"),
+        ("nacionalidade", "nationality"),
+        ("criação", "creation"),
+        ("criado", "created"),
+        ("criadores", "creators"),
+        ("emissora", "broadcaster"),
+        ("temporadas", "seasons"),
+        ("episódios", "episodes"),
+        ("episódio", "episode"),
+        ("temporada", "season"),
+        ("gravadora", "record label"),
+        ("instrumentos", "instruments"),
+        ("origem", "origin"),
+        ("artista", "artist"),
+        ("gravado", "recorded"),
+        ("gravação", "recording"),
+        ("produtor", "producer"),
+        ("editora", "publisher"),
+        ("autor", "author"),
+        ("escritor", "writer"),
+        ("escrito", "written"),
+        ("páginas", "pages"),
+        ("fundação", "foundation"),
+        ("fundador", "founder"),
+        ("fundadores", "founders"),
+        ("sede", "headquarters"),
+        ("indústria", "industry"),
+        ("produtos", "products"),
+        ("faturamento", "revenue"),
+        ("funcionários", "employees"),
+        ("proprietário", "owner"),
+        ("pertence", "belongs"),
+        ("slogan", "slogan"),
+        ("lema", "motto"),
+        ("espécie", "species"),
+        ("habilidades", "abilities"),
+        ("poderes", "powers"),
+        ("afiliações", "affiliations"),
+        ("alianças", "alliances"),
+        ("interpretado", "played"),
+        ("etnia", "ethnicity"),
+        ("medidas", "measurements"),
+        ("pseudônimo", "pseudonym"),
+        ("filmes", "films"),
+        ("série", "series"),
+        ("seriado", "series"),
+        ("exibição", "exhibition"),
+        ("periodicidade", "periodicity"),
+        ("formato", "format"),
+        ("precedido", "preceded"),
+        ("antecedido", "preceded"),
+        ("capa", "cover"),
+        ("dura", "hard"),
+        ("sexo", "sex"),
+        ("família", "family"),
+        ("personagem", "character"),
+        ("nome", "name"),
+        ("nomes", "names"),
+        ("outros", "other"),
+        ("data", "date"),
+        ("local", "place"),
+        ("de", "of"),
+        ("do", "of the"),
+        ("da", "of the"),
+        ("e", "and"),
+        ("estrelando", "starring"),
+        ("ator", "actor"),
+        ("filme", "film"),
+        ("livro", "book"),
+        ("empresa", "company"),
+        ("canal", "channel"),
+        ("álbum", "album"),
+        ("língua", "language"),
+        ("período", "period"),
+        ("website", "website"),
+        ("site", "site"),
+        ("oficial", "official"),
+    ])
+}
+
+/// Vietnamese → English phrase glossary.
+fn vn_en_phrases() -> HashMap<String, String> {
+    table(&[
+        // The paper quotes these two literal mistranslations explicitly.
+        ("diễn viên", "actor"),
+        ("kinh phí", "funding"),
+        ("đạo diễn", "director"),
+        ("kịch bản", "screenplay"),
+        ("âm nhạc", "music"),
+        ("quay phim", "cinematography"),
+        ("phát hành", "release"),
+        ("hãng sản xuất", "production company"),
+        ("công chiếu", "premiere"),
+        ("ngày phát hành", "release day"),
+        ("thời lượng", "duration"),
+        ("quốc gia", "country"),
+        ("ngôn ngữ", "language"),
+        ("doanh thu", "revenue"),
+        ("thể loại", "genre"),
+        ("giải thưởng", "award"),
+        ("ngày sinh", "date of birth"),
+        ("nơi sinh", "place of birth"),
+        ("ngày mất", "date of death"),
+        ("vai trò", "role"),
+        ("công việc", "work"),
+        ("tên khác", "other name"),
+        ("quốc tịch", "nationality"),
+        ("năm hoạt động", "years of operation"),
+        ("trang web", "website"),
+        ("số tập", "number of episodes"),
+        ("số mùa", "number of seasons"),
+        ("phát sóng lần đầu", "first broadcast"),
+        ("phát sóng lần cuối", "last broadcast"),
+        ("kênh phát sóng", "broadcast channel"),
+        ("sáng lập", "founder"),
+        ("nhạc cụ", "musical instrument"),
+        ("hãng đĩa", "record label"),
+        ("xuất thân", "origin"),
+        ("sản xuất", "produce"),
+        ("nhà sản xuất", "producer"),
+    ])
+}
+
+/// Vietnamese → English word glossary.
+fn vn_en_words() -> HashMap<String, String> {
+    table(&[
+        ("sinh", "born"),
+        ("mất", "died"),
+        ("chồng", "husband"),
+        ("vợ", "wife"),
+        ("phim", "film"),
+        ("tên", "name"),
+        ("khác", "other"),
+        ("ngày", "day"),
+        ("năm", "year"),
+        ("số", "number"),
+        ("giải", "prize"),
+        ("nhạc", "music"),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_translation_misses_template_vocabulary() {
+        // The paper's motivating failure: the Portuguese template attribute
+        // "elenco original" translates literally to "original cast", which
+        // is NOT the English template attribute "starring".
+        let mt = MachineTranslator::new(Language::Pt, Language::En);
+        assert_eq!(mt.translate("elenco original"), "original cast");
+        assert_ne!(mt.translate("elenco original"), "starring");
+        // And Vietnamese "diễn viên" becomes "actor", not "starring".
+        let mt = MachineTranslator::new(Language::Vn, Language::En);
+        assert_eq!(mt.translate("diễn viên"), "actor");
+        assert_eq!(mt.translate("kinh phí"), "funding");
+    }
+
+    #[test]
+    fn word_by_word_fallback() {
+        let mt = MachineTranslator::new(Language::Pt, Language::En);
+        assert_eq!(mt.translate("direção"), "direction");
+        assert_eq!(mt.translate("dirigido por"), "directed by");
+        // Unknown words pass through.
+        assert_eq!(mt.translate("xyzzy"), "xyzzy");
+        assert_eq!(mt.translate(""), "");
+    }
+
+    #[test]
+    fn reverse_direction_uses_inverted_glossary() {
+        let mt = MachineTranslator::new(Language::En, Language::Pt);
+        assert_eq!(mt.translate("other names"), "outros nomes");
+        let mt = MachineTranslator::new(Language::En, Language::Vn);
+        assert_eq!(mt.translate("actor"), "dien vien");
+    }
+
+    #[test]
+    fn unsupported_pair_is_identity() {
+        let mt = MachineTranslator::new(Language::Pt, Language::Vn);
+        assert_eq!(mt.translate("direção"), "direcao");
+        assert_eq!(mt.source(), &Language::Pt);
+        assert_eq!(mt.target(), &Language::Vn);
+    }
+
+    #[test]
+    fn some_translations_do_land_on_template_names() {
+        // Not every translation fails — e.g. "país" → "country" matches the
+        // English template attribute, which is why the translated COMA++
+        // configurations are better than nothing.
+        let mt = MachineTranslator::new(Language::Pt, Language::En);
+        assert_eq!(mt.translate("país"), "country");
+        assert_eq!(mt.translate("idioma"), "language");
+        assert_eq!(mt.translate("outros nomes"), "other names");
+    }
+}

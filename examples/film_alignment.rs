@@ -1,0 +1,77 @@
+//! Align every Portuguese-English entity type and compare WikiMatch against
+//! the baseline matchers — a miniature version of the paper's Table 2.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example film_alignment
+//! ```
+
+use wikimatch_suite::{evaluate_pairs, wiki_baselines, wiki_corpus, wiki_eval, wikimatch};
+
+use wiki_baselines::{BoumaMatcher, ComaConfiguration, ComaMatcher, LsiTopKMatcher, Matcher};
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_eval::Scores;
+use wikimatch::{WikiMatch, WikiMatchConfig};
+
+fn main() {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let matcher = WikiMatch::new(WikiMatchConfig::default());
+
+    let baselines: Vec<Box<dyn Matcher>> = vec![
+        Box::new(BoumaMatcher::default()),
+        Box::new(ComaMatcher::new(
+            ComaConfiguration::NameTranslatedInstanceTranslated,
+        )),
+        Box::new(LsiTopKMatcher::new(1)),
+    ];
+
+    println!(
+        "{:<18} {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}",
+        "type", "WM-P", "WM-R", "WM-F", "Bo-P", "Bo-R", "Bo-F", "Co-P", "Co-R", "Co-F", "LSI-P",
+        "LSI-R", "LSI-F"
+    );
+
+    let mut averages: Vec<Vec<Scores>> = vec![Vec::new(); baselines.len() + 1];
+    for pairing in &dataset.types {
+        let alignment = matcher.align_type(&dataset, pairing);
+        let freq_other = alignment.schema.frequencies(&Language::Pt);
+        let freq_en = alignment.schema.frequencies(&Language::En);
+
+        let mut row = vec![evaluate_pairs(
+            &dataset,
+            &pairing.type_id,
+            &freq_other,
+            &freq_en,
+            &alignment.cross_pairs(),
+        )];
+        for baseline in &baselines {
+            let pairs = baseline.align(&alignment.schema, &alignment.table);
+            row.push(evaluate_pairs(
+                &dataset,
+                &pairing.type_id,
+                &freq_other,
+                &freq_en,
+                &pairs,
+            ));
+        }
+
+        print!("{:<18}", pairing.type_id);
+        for (i, scores) in row.iter().enumerate() {
+            print!(
+                " {:>6.2} {:>6.2} {:>6.2}  ",
+                scores.precision, scores.recall, scores.f1
+            );
+            averages[i].push(*scores);
+        }
+        println!();
+    }
+
+    print!("{:<18}", "Avg");
+    for per_system in &averages {
+        let avg = Scores::average(per_system.iter());
+        print!(" {:>6.2} {:>6.2} {:>6.2}  ", avg.precision, avg.recall, avg.f1);
+    }
+    println!();
+    println!("\nColumns: WikiMatch (WM), Bouma (Bo), COMA++ NG+ID (Co), LSI top-1 (LSI).");
+}

@@ -1,0 +1,116 @@
+//! Integration tests for the component-contribution claims (Table 3 /
+//! Figure 3): removing ReviseUncertain hurts recall, removing the similarity
+//! features hurts F-measure, and the single-step variant erodes precision.
+
+use wikimatch_suite::{evaluate_pairs, wiki_corpus, wiki_eval, wikimatch};
+
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_eval::Scores;
+use wikimatch::{AttributeAlignment, WikiMatch, WikiMatchConfig};
+
+/// Average weighted scores of a configuration over all Pt-En types.
+fn average_scores(dataset: &Dataset, config: WikiMatchConfig) -> Scores {
+    let matcher = WikiMatch::new(WikiMatchConfig::default());
+    let mut scores = Vec::new();
+    for pairing in &dataset.types {
+        let (schema, table) = matcher.prepare_type(dataset, pairing);
+        let matches = AttributeAlignment::new(&schema, &table, config).run();
+        let pairs = matches.cross_language_pairs(&schema, dataset.other_language(), &Language::En);
+        let freq_other = schema.frequencies(dataset.other_language());
+        let freq_en = schema.frequencies(&Language::En);
+        scores.push(evaluate_pairs(
+            dataset,
+            &pairing.type_id,
+            &freq_other,
+            &freq_en,
+            &pairs,
+        ));
+    }
+    Scores::average(scores.iter())
+}
+
+#[test]
+fn revise_uncertain_improves_recall_without_hurting_precision_much() {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let full = average_scores(&dataset, WikiMatchConfig::default());
+    let without = average_scores(
+        &dataset,
+        WikiMatchConfig::default().without_revise_uncertain(),
+    );
+    assert!(
+        full.recall >= without.recall,
+        "recall with ReviseUncertain {:.2} < without {:.2}",
+        full.recall,
+        without.recall
+    );
+    // Precision may dip slightly but must stay in the same ballpark
+    // (the paper reports "little or no change").
+    assert!(full.precision >= without.precision - 0.1);
+}
+
+#[test]
+fn removing_value_similarity_hurts_the_most() {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let full = average_scores(&dataset, WikiMatchConfig::default());
+    let no_vsim = average_scores(&dataset, WikiMatchConfig::default().without_vsim());
+    assert!(
+        no_vsim.f1 <= full.f1 + 1e-9,
+        "removing vsim should not improve F ({:.2} vs {:.2})",
+        no_vsim.f1,
+        full.f1
+    );
+    assert!(
+        no_vsim.recall < full.recall,
+        "removing vsim must reduce recall ({:.2} vs {:.2})",
+        no_vsim.recall,
+        full.recall
+    );
+}
+
+#[test]
+fn random_ordering_is_not_better_than_lsi_ordering() {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let full = average_scores(&dataset, WikiMatchConfig::default());
+    let random = average_scores(&dataset, WikiMatchConfig::default().with_random_ordering());
+    assert!(
+        random.f1 <= full.f1 + 0.05,
+        "random ordering F {:.2} unexpectedly beats LSI ordering F {:.2}",
+        random.f1,
+        full.f1
+    );
+}
+
+#[test]
+fn single_step_erodes_precision() {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let full = average_scores(&dataset, WikiMatchConfig::default());
+    let single = average_scores(&dataset, WikiMatchConfig::default().single_step());
+    assert!(
+        single.precision < full.precision,
+        "single-step precision {:.2} should be below the two-phase precision {:.2}",
+        single.precision,
+        full.precision
+    );
+}
+
+#[test]
+fn every_ablation_still_returns_valid_scores() {
+    let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
+    let configs = [
+        WikiMatchConfig::default(),
+        WikiMatchConfig::default().without_revise_uncertain(),
+        WikiMatchConfig::default().without_integrate_constraint(),
+        WikiMatchConfig::default().without_vsim(),
+        WikiMatchConfig::default().without_lsim(),
+        WikiMatchConfig::default().without_lsi(),
+        WikiMatchConfig::default().without_inductive_grouping(),
+        WikiMatchConfig::default().single_step(),
+        WikiMatchConfig::default().with_random_ordering(),
+    ];
+    for config in configs {
+        let scores = average_scores(&dataset, config);
+        assert!((0.0..=1.0).contains(&scores.precision));
+        assert!((0.0..=1.0).contains(&scores.recall));
+        assert!((0.0..=1.0).contains(&scores.f1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests for the comparative claims of the paper (Table 2
+//! shape): WikiMatch's recall advantage over the value-equality baseline and
+//! its clear margin over plain LSI.
+
+use wikimatch_suite::{evaluate_pairs, wiki_baselines, wiki_corpus, wiki_eval, wikimatch};
+
+use wiki_baselines::{BoumaMatcher, LsiTopKMatcher, Matcher};
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_eval::Scores;
+use wikimatch::{WikiMatch, WikiMatchConfig};
+
+struct Comparison {
+    wikimatch: Scores,
+    bouma: Scores,
+    lsi: Scores,
+}
+
+fn compare(dataset: &Dataset) -> Comparison {
+    let matcher = WikiMatch::new(WikiMatchConfig::default());
+    let mut wm = Vec::new();
+    let mut bouma = Vec::new();
+    let mut lsi = Vec::new();
+    for pairing in &dataset.types {
+        let alignment = matcher.align_type(dataset, pairing);
+        let freq_other = alignment.schema.frequencies(dataset.other_language());
+        let freq_en = alignment.schema.frequencies(&Language::En);
+        let eval = |pairs: &[(String, String)]| {
+            evaluate_pairs(dataset, &pairing.type_id, &freq_other, &freq_en, pairs)
+        };
+        wm.push(eval(&alignment.cross_pairs()));
+        bouma.push(eval(
+            &BoumaMatcher::default().align(&alignment.schema, &alignment.table),
+        ));
+        lsi.push(eval(
+            &LsiTopKMatcher::new(1).align(&alignment.schema, &alignment.table),
+        ));
+    }
+    Comparison {
+        wikimatch: Scores::average(wm.iter()),
+        bouma: Scores::average(bouma.iter()),
+        lsi: Scores::average(lsi.iter()),
+    }
+}
+
+#[test]
+fn wikimatch_outperforms_plain_lsi_and_out_recalls_bouma_pt_en() {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let c = compare(&dataset);
+    assert!(
+        c.wikimatch.f1 > c.lsi.f1,
+        "WikiMatch F {:.2} vs LSI F {:.2}",
+        c.wikimatch.f1,
+        c.lsi.f1
+    );
+    assert!(
+        c.wikimatch.recall > c.bouma.recall,
+        "WikiMatch recall {:.2} vs Bouma recall {:.2}",
+        c.wikimatch.recall,
+        c.bouma.recall
+    );
+    // Bouma keeps its characteristic high precision.
+    assert!(c.bouma.precision > 0.8, "Bouma precision {:.2}", c.bouma.precision);
+}
+
+#[test]
+fn wikimatch_outperforms_plain_lsi_vn_en() {
+    let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
+    let c = compare(&dataset);
+    assert!(
+        c.wikimatch.f1 > c.lsi.f1,
+        "WikiMatch F {:.2} vs LSI F {:.2}",
+        c.wikimatch.f1,
+        c.lsi.f1
+    );
+    assert!(
+        c.wikimatch.recall >= c.bouma.recall,
+        "WikiMatch recall {:.2} vs Bouma recall {:.2}",
+        c.wikimatch.recall,
+        c.bouma.recall
+    );
+}
+
+#[test]
+fn lsi_recall_grows_with_k_while_precision_drops() {
+    // The Figure 6 trend, asserted on one representative type.
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let matcher = WikiMatch::default();
+    let pairing = dataset.type_pairing("film").unwrap();
+    let alignment = matcher.align_type(&dataset, pairing);
+    let freq_other = alignment.schema.frequencies(&Language::Pt);
+    let freq_en = alignment.schema.frequencies(&Language::En);
+    let eval = |k: usize| {
+        evaluate_pairs(
+            &dataset,
+            "film",
+            &freq_other,
+            &freq_en,
+            &LsiTopKMatcher::new(k).align(&alignment.schema, &alignment.table),
+        )
+    };
+    let top1 = eval(1);
+    let top10 = eval(10);
+    assert!(top10.recall >= top1.recall);
+    assert!(top10.precision <= top1.precision + 1e-9);
+}

@@ -1,0 +1,102 @@
+//! End-to-end integration tests: corpus generation → type matching →
+//! attribute alignment → evaluation, spanning every crate of the workspace.
+
+use wikimatch_suite::{evaluate_alignment, wiki_corpus, wiki_eval, wikimatch};
+
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_eval::Scores;
+use wikimatch::{match_entity_types, WikiMatch, WikiMatchConfig};
+
+fn dataset() -> Dataset {
+    Dataset::pt_en(&SyntheticConfig::tiny())
+}
+
+#[test]
+fn full_pipeline_produces_sound_alignments_for_every_type() {
+    let dataset = dataset();
+    let matcher = WikiMatch::new(WikiMatchConfig::default());
+    let alignments = matcher.align_all(&dataset);
+    assert_eq!(alignments.len(), dataset.types.len());
+
+    let mut scores = Vec::new();
+    for alignment in &alignments {
+        // Every derived pair references attributes that exist in the schema
+        // and is oriented (foreign, English).
+        for (other, en) in alignment.cross_pairs() {
+            assert!(alignment.schema.index_of(&Language::Pt, &other).is_some());
+            assert!(alignment.schema.index_of(&Language::En, &en).is_some());
+        }
+        let s = evaluate_alignment(&dataset, alignment);
+        assert!((0.0..=1.0).contains(&s.precision));
+        assert!((0.0..=1.0).contains(&s.recall));
+        scores.push(s);
+    }
+    // The matcher must do clearly better than chance on average.
+    let avg = Scores::average(scores.iter());
+    assert!(avg.f1 > 0.4, "average F-measure {:.2} too low", avg.f1);
+    assert!(avg.precision > 0.5, "average precision {:.2} too low", avg.precision);
+}
+
+#[test]
+fn type_matching_recovers_every_catalog_pairing() {
+    let dataset = dataset();
+    let matches = match_entity_types(&dataset.corpus, &Language::Pt, &Language::En);
+    for pairing in &dataset.types {
+        let found = matches
+            .iter()
+            .find(|m| m.label_a == pairing.label_other)
+            .unwrap_or_else(|| panic!("type {} not matched", pairing.label_other));
+        assert_eq!(found.label_b, pairing.label_en);
+        assert!(
+            found.confidence > 0.6,
+            "{}: majority vote too weak ({})",
+            pairing.type_id,
+            found.confidence
+        );
+    }
+}
+
+#[test]
+fn known_film_correspondences_are_found() {
+    let dataset = dataset();
+    let matcher = WikiMatch::default();
+    let alignment = matcher.align_type(&dataset, dataset.type_pairing("film").unwrap());
+    let pairs = alignment.cross_pairs();
+    for (pt, en) in [
+        ("direcao", "directed by"),
+        ("pais", "country"),
+        ("idioma", "language"),
+    ] {
+        assert!(
+            pairs.contains(&(pt.to_string(), en.to_string())),
+            "expected {pt} ~ {en} among {pairs:?}"
+        );
+    }
+    // And a known non-correspondence is absent.
+    assert!(!pairs.contains(&("direcao".to_string(), "starring".to_string())));
+}
+
+#[test]
+fn vietnamese_pipeline_works_despite_small_corpus() {
+    let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
+    let matcher = WikiMatch::default();
+    let alignments = matcher.align_all(&dataset);
+    assert_eq!(alignments.len(), 4);
+    let avg = Scores::average(
+        alignments
+            .iter()
+            .map(|a| evaluate_alignment(&dataset, a))
+            .collect::<Vec<_>>()
+            .iter(),
+    );
+    assert!(avg.f1 > 0.4, "Vn-En average F {:.2}", avg.f1);
+}
+
+#[test]
+fn derived_correspondences_are_deterministic() {
+    let dataset = dataset();
+    let matcher = WikiMatch::default();
+    let a = matcher.align_type(&dataset, dataset.type_pairing("actor").unwrap());
+    let b = matcher.align_type(&dataset, dataset.type_pairing("actor").unwrap());
+    assert_eq!(a.cross_pairs(), b.cross_pairs());
+}

@@ -1,0 +1,66 @@
+//! Property-based integration tests: pipeline invariants that must hold for
+//! any generator seed.
+
+use proptest::prelude::*;
+
+use wikimatch_suite::{evaluate_alignment, wiki_corpus, wikimatch};
+
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wikimatch::{WikiMatch, WikiMatchConfig};
+
+fn config_with_seed(seed: u64) -> SyntheticConfig {
+    SyntheticConfig {
+        seed,
+        pairs_per_type_pt: 20,
+        pairs_per_type_vn: 12,
+        person_pool: 60,
+        ..SyntheticConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For any seed, the Vn-En pipeline produces bounded scores, derived
+    /// pairs that reference real attributes, and a non-degenerate gold
+    /// standard.
+    #[test]
+    fn pipeline_invariants_hold_for_any_seed(seed in 0u64..1_000) {
+        let dataset = Dataset::vn_en(&config_with_seed(seed));
+        prop_assert_eq!(dataset.types.len(), 4);
+        prop_assert!(dataset.ground_truth.total_cross_pairs(&Language::Vn, &Language::En) > 0);
+
+        let matcher = WikiMatch::new(WikiMatchConfig::default());
+        for pairing in &dataset.types {
+            let alignment = matcher.align_type(&dataset, pairing);
+            prop_assert!(alignment.schema.dual_count > 0);
+            for (vn, en) in alignment.cross_pairs() {
+                prop_assert!(alignment.schema.index_of(&Language::Vn, &vn).is_some());
+                prop_assert!(alignment.schema.index_of(&Language::En, &en).is_some());
+            }
+            let scores = evaluate_alignment(&dataset, &alignment);
+            prop_assert!((0.0..=1.0).contains(&scores.precision));
+            prop_assert!((0.0..=1.0).contains(&scores.recall));
+            prop_assert!((0.0..=1.0).contains(&scores.f1));
+        }
+    }
+
+    /// Corpus generation is deterministic in the seed and articles always
+    /// carry non-empty infoboxes with resolvable cross-language links.
+    #[test]
+    fn corpus_generation_invariants(seed in 0u64..1_000) {
+        let a = Dataset::vn_en(&config_with_seed(seed));
+        let b = Dataset::vn_en(&config_with_seed(seed));
+        prop_assert_eq!(a.corpus.len(), b.corpus.len());
+
+        for article in a.corpus.articles() {
+            prop_assert!(!article.infobox.is_empty(), "{}", article.title);
+        }
+        let pairs = a.corpus.cross_language_pairs(&Language::En, &Language::Vn);
+        prop_assert!(pairs.len() >= 4 * 12);
+        for (en, vn) in pairs.iter().take(50) {
+            prop_assert_eq!(&a.corpus.get(*en).unwrap().language, &Language::En);
+            prop_assert_eq!(&a.corpus.get(*vn).unwrap().language, &Language::Vn);
+        }
+    }
+}

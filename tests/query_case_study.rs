@@ -1,0 +1,70 @@
+//! Integration tests for the WikiQuery case study (Section 5).
+
+use wikimatch_suite::{wiki_corpus, wiki_query, wikimatch};
+
+use wiki_corpus::{Dataset, SyntheticConfig};
+use wiki_query::{
+    case_study_queries, run_case_study, CQuery, CorrespondenceDictionary, QueryEngine,
+};
+use wikimatch::WikiMatch;
+
+#[test]
+fn correspondence_dictionary_translates_the_workload() {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let matcher = WikiMatch::default();
+    let alignments = matcher.align_all(&dataset);
+    let dictionary = CorrespondenceDictionary::build(&dataset, &alignments);
+    assert!(!dictionary.is_empty());
+
+    let mut translated_constraints = 0usize;
+    let mut relaxed_constraints = 0usize;
+    for query in case_study_queries(dataset.other_language()) {
+        let (translated, stats) = dictionary.translate_query(&query);
+        assert!(!translated.clauses.is_empty(), "{}", query.description);
+        translated_constraints += stats.translated;
+        relaxed_constraints += stats.relaxed;
+    }
+    // Most constraints translate; a few may need relaxation, as in the paper.
+    assert!(
+        translated_constraints > relaxed_constraints,
+        "translated {translated_constraints} vs relaxed {relaxed_constraints}"
+    );
+}
+
+#[test]
+fn queries_return_ranked_answers_in_both_languages() {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let matcher = WikiMatch::default();
+    let alignments = matcher.align_all(&dataset);
+    let dictionary = CorrespondenceDictionary::build(&dataset, &alignments);
+    let engine = QueryEngine::new(&dataset.corpus);
+
+    let query = CQuery::parse(r#"filme(direção=?, gênero="Drama")"#).unwrap();
+    let source = engine.answer(&query, dataset.other_language(), 20);
+    assert!(!source.is_empty());
+    for window in source.windows(2) {
+        assert!(window[0].score >= window[1].score);
+    }
+
+    let (translated, _) = dictionary.translate_query(&query);
+    let english = engine.answer(&translated, dataset.english(), 20);
+    assert!(!english.is_empty());
+}
+
+#[test]
+fn case_study_curves_are_monotone_and_complete() {
+    let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
+    let matcher = WikiMatch::default();
+    let alignments = matcher.align_all(&dataset);
+    let curves = run_case_study(&dataset, &alignments, 20);
+    assert_eq!(curves.len(), 2);
+    for curve in &curves {
+        assert_eq!(curve.curve.len(), 20);
+        for window in curve.curve.windows(2) {
+            assert!(window[1] >= window[0] - 1e-9);
+        }
+    }
+    // Both runs retrieve something.
+    assert!(curves[0].total_gain() > 0.0);
+    assert!(curves[1].total_gain() > 0.0);
+}
