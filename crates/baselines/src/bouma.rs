@@ -18,9 +18,7 @@
 //! and no use of co-occurrence statistics.
 
 use wiki_corpus::Language;
-use wikimatch::{DualSchema, SimilarityTable};
-
-use crate::Matcher;
+use wikimatch::{DualSchema, SchemaMatcher, SimilarityTable};
 
 /// The Bouma-style value/link equality matcher.
 #[derive(Debug, Clone, Copy)]
@@ -63,9 +61,9 @@ impl BoumaMatcher {
     }
 }
 
-impl Matcher for BoumaMatcher {
-    fn name(&self) -> String {
-        "Bouma".to_string()
+impl SchemaMatcher for BoumaMatcher {
+    fn name(&self) -> &'static str {
+        "Bouma"
     }
 
     fn align(&self, schema: &DualSchema, _table: &SimilarityTable) -> Vec<(String, String)> {
@@ -77,9 +75,7 @@ impl Matcher for BoumaMatcher {
             let mut best: Option<(usize, f64)> = None;
             for q in schema.attributes_in(english) {
                 let score = Self::score(schema, p, q);
-                if score >= self.threshold
-                    && best.map(|(_, s)| score > s).unwrap_or(true)
-                {
+                if score >= self.threshold && best.map(|(_, s)| score > s).unwrap_or(true) {
                     best = Some((q, score));
                 }
             }
@@ -99,13 +95,14 @@ impl Matcher for BoumaMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use wiki_corpus::{Dataset, SyntheticConfig};
-    use wikimatch::WikiMatch;
+    use wikimatch::MatchEngine;
 
-    fn schema_and_table() -> (DualSchema, SimilarityTable) {
-        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-        let matcher = WikiMatch::default();
-        matcher.prepare_type(&dataset, dataset.type_pairing("film").unwrap())
+    fn schema_and_table() -> (Arc<DualSchema>, Arc<SimilarityTable>) {
+        let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+        let prepared = engine.prepared("film").unwrap();
+        (prepared.schema, prepared.table)
     }
 
     #[test]

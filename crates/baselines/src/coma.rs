@@ -24,9 +24,7 @@
 use wiki_corpus::Language;
 use wiki_text::strsim::name_similarity;
 use wiki_translate::MachineTranslator;
-use wikimatch::{DualSchema, SimilarityTable};
-
-use crate::Matcher;
+use wikimatch::{DualSchema, SchemaMatcher, SimilarityTable};
 
 /// The matcher configurations of Appendix C.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +118,14 @@ pub struct ComaMatcher {
     pub delta: f64,
 }
 
+impl Default for ComaMatcher {
+    /// The paper's best Pt-En configuration (`NG+ID`) with the default
+    /// threshold.
+    fn default() -> Self {
+        Self::new(ComaConfiguration::NameTranslatedInstanceTranslated)
+    }
+}
+
 impl ComaMatcher {
     /// Creates a matcher with the paper's default threshold (`delta = 0.01`
     /// — COMA++'s best configuration used a very permissive threshold).
@@ -139,13 +145,7 @@ impl ComaMatcher {
     }
 
     /// The aggregated similarity of a pair `(foreign p, English q)`.
-    fn score(
-        &self,
-        schema: &DualSchema,
-        mt: &MachineTranslator,
-        p: usize,
-        q: usize,
-    ) -> f64 {
+    fn score(&self, schema: &DualSchema, mt: &MachineTranslator, p: usize, q: usize) -> f64 {
         let a = schema.attribute(p);
         let b = schema.attribute(q);
         let mut scores = Vec::new();
@@ -185,8 +185,12 @@ impl ComaMatcher {
     }
 }
 
-impl Matcher for ComaMatcher {
-    fn name(&self) -> String {
+impl SchemaMatcher for ComaMatcher {
+    fn name(&self) -> &'static str {
+        "COMA++"
+    }
+
+    fn label(&self) -> String {
         format!("COMA++ {}", self.configuration.label())
     }
 
@@ -200,10 +204,7 @@ impl Matcher for ComaMatcher {
                 .into_iter()
                 .map(|q| (q, self.score(schema, &mt, p, q)))
                 .collect();
-            let best = candidates
-                .iter()
-                .map(|(_, s)| *s)
-                .fold(0.0f64, f64::max);
+            let best = candidates.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
             if best <= self.delta {
                 continue;
             }
@@ -226,13 +227,14 @@ impl Matcher for ComaMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use wiki_corpus::{Dataset, SyntheticConfig};
-    use wikimatch::WikiMatch;
+    use wikimatch::MatchEngine;
 
-    fn schema_and_table() -> (DualSchema, SimilarityTable) {
-        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-        let matcher = WikiMatch::default();
-        matcher.prepare_type(&dataset, dataset.type_pairing("film").unwrap())
+    fn schema_and_table() -> (Arc<DualSchema>, Arc<SimilarityTable>) {
+        let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+        let prepared = engine.prepared("film").unwrap();
+        (prepared.schema, prepared.table)
     }
 
     #[test]
@@ -250,8 +252,7 @@ mod tests {
     #[test]
     fn instance_matcher_finds_value_based_matches() {
         let (schema, table) = schema_and_table();
-        let pairs =
-            ComaMatcher::new(ComaConfiguration::InstanceTranslated).align(&schema, &table);
+        let pairs = ComaMatcher::new(ComaConfiguration::InstanceTranslated).align(&schema, &table);
         assert!(
             pairs.contains(&("direcao".to_string(), "directed by".to_string())),
             "pairs = {pairs:?}"
@@ -275,8 +276,7 @@ mod tests {
     fn translation_changes_the_name_matcher_output() {
         let (schema, table) = schema_and_table();
         let raw = ComaMatcher::new(ComaConfiguration::Name).align(&schema, &table);
-        let translated =
-            ComaMatcher::new(ComaConfiguration::NameTranslated).align(&schema, &table);
+        let translated = ComaMatcher::new(ComaConfiguration::NameTranslated).align(&schema, &table);
         assert_ne!(raw, translated);
     }
 
@@ -294,9 +294,8 @@ mod tests {
 
     #[test]
     fn matcher_names() {
-        assert_eq!(
-            ComaMatcher::new(ComaConfiguration::NameTranslatedInstanceTranslated).name(),
-            "COMA++ NG+ID"
-        );
+        let matcher = ComaMatcher::new(ComaConfiguration::NameTranslatedInstanceTranslated);
+        assert_eq!(matcher.name(), "COMA++");
+        assert_eq!(matcher.label(), "COMA++ NG+ID");
     }
 }

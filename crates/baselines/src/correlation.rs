@@ -15,7 +15,7 @@
 //! with mean average precision (Table 7).
 
 use wiki_corpus::Language;
-use wikimatch::{DualSchema, SimilarityTable};
+use wikimatch::{DualSchema, SchemaMatcher, SimilarityTable};
 
 /// The candidate-ordering measures compared in Table 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,16 +138,77 @@ pub fn ranked_candidates(
     out
 }
 
+/// Runs a correlation ordering as a [`SchemaMatcher`] plugin: every foreign
+/// attribute is matched to its top-ranked English candidate under the
+/// measure.
+///
+/// This makes the Appendix B orderings interchangeable with WikiMatch and
+/// the other baselines behind a `&dyn SchemaMatcher`, so the same engine
+/// harness that produces Table 2 can also score the orderings.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelationMatcher {
+    /// The ordering measure to rank candidates with.
+    pub measure: CorrelationMeasure,
+    /// Seed of the [`CorrelationMeasure::Random`] ordering.
+    pub seed: u64,
+}
+
+impl Default for CorrelationMatcher {
+    /// The LSI ordering (the measure WikiMatch itself uses).
+    fn default() -> Self {
+        Self::new(CorrelationMeasure::Lsi)
+    }
+}
+
+impl CorrelationMatcher {
+    /// Seed shared by every harness that evaluates the `Random` ordering,
+    /// so the matcher plugin and the Table 7 MAP computation rank the same
+    /// permutation.
+    pub const DEFAULT_SEED: u64 = 11;
+
+    /// Creates a top-1 matcher over the given measure.
+    pub fn new(measure: CorrelationMeasure) -> Self {
+        Self {
+            measure,
+            seed: Self::DEFAULT_SEED,
+        }
+    }
+}
+
+impl SchemaMatcher for CorrelationMatcher {
+    fn name(&self) -> &'static str {
+        "Correlation"
+    }
+
+    fn label(&self) -> String {
+        format!("Correlation {}", self.measure.label())
+    }
+
+    fn align(&self, schema: &DualSchema, table: &SimilarityTable) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> =
+            ranked_candidates(schema, table, self.measure, self.seed)
+                .into_iter()
+                .filter_map(|(attribute, candidates)| {
+                    candidates.into_iter().next().map(|best| (attribute, best))
+                })
+                .collect();
+        pairs.sort();
+        pairs.dedup();
+        pairs
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use wiki_corpus::{Dataset, SyntheticConfig};
-    use wikimatch::WikiMatch;
+    use wikimatch::MatchEngine;
 
-    fn schema_and_table() -> (DualSchema, SimilarityTable) {
-        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-        let matcher = WikiMatch::default();
-        matcher.prepare_type(&dataset, dataset.type_pairing("actor").unwrap())
+    fn schema_and_table() -> (Arc<DualSchema>, Arc<SimilarityTable>) {
+        let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+        let prepared = engine.prepared("actor").unwrap();
+        (prepared.schema, prepared.table)
     }
 
     #[test]
@@ -225,5 +286,30 @@ mod tests {
     fn labels() {
         assert_eq!(CorrelationMeasure::Lsi.label(), "LSI");
         assert_eq!(CorrelationMeasure::all().len(), 5);
+    }
+
+    #[test]
+    fn correlation_matcher_reports_top_candidates() {
+        let (schema, table) = schema_and_table();
+        for measure in CorrelationMeasure::all() {
+            let matcher = CorrelationMatcher::new(*measure);
+            let pairs = matcher.align(&schema, &table);
+            // One candidate per foreign attribute, each the head of the
+            // corresponding ranking.
+            let ranked = ranked_candidates(&schema, &table, *measure, matcher.seed);
+            assert_eq!(pairs.len(), ranked.len());
+            for (attribute, candidates) in ranked {
+                assert!(
+                    pairs.contains(&(attribute.clone(), candidates[0].clone())),
+                    "{} missing top candidate for {attribute}",
+                    matcher.label()
+                );
+            }
+        }
+        assert_eq!(CorrelationMatcher::default().name(), "Correlation");
+        assert_eq!(
+            CorrelationMatcher::new(CorrelationMeasure::X2).label(),
+            "Correlation X2"
+        );
     }
 }

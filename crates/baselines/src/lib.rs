@@ -17,12 +17,32 @@
 //!   configurations of Appendix C (Figure 7).
 //! * [`correlation`] — the alternative co-occurrence correlation measures
 //!   X1, X2, X3 and a random ordering, used for the candidate-ordering MAP
-//!   comparison of Appendix B (Table 7).
+//!   comparison of Appendix B (Table 7), plus a top-1
+//!   [`CorrelationMatcher`] plugin so the orderings can be run as matchers.
 //!
-//! All matchers implement the [`Matcher`] trait and produce cross-language
-//! pairs `(foreign attribute, English attribute)` over the same
-//! [`DualSchema`] the WikiMatch core uses, so they are evaluated with the
-//! identical metrics.
+//! All matchers implement the [`wikimatch::SchemaMatcher`] trait — the same
+//! trait the WikiMatch core implements — and produce cross-language pairs
+//! `(foreign attribute, English attribute)` over the same
+//! [`wikimatch::DualSchema`], so every approach is interchangeable behind a
+//! `&dyn SchemaMatcher` and runs through one
+//! [`wikimatch::MatchEngine`] session with identical metrics.
+//!
+//! ```
+//! use wiki_corpus::{Dataset, SyntheticConfig};
+//! use wiki_baselines::{BoumaMatcher, LsiTopKMatcher};
+//! use wikimatch::{MatchEngine, SchemaMatcher, WikiMatch};
+//!
+//! let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+//! let matchers: Vec<Box<dyn SchemaMatcher>> = vec![
+//!     Box::new(WikiMatch::default()),
+//!     Box::new(BoumaMatcher::default()),
+//!     Box::new(LsiTopKMatcher::new(1)),
+//! ];
+//! for matcher in &matchers {
+//!     let pairs = engine.align_with(matcher.as_ref(), "film").unwrap();
+//!     println!("{}: {} pairs", matcher.label(), pairs.len());
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,17 +54,16 @@ pub mod lsi_topk;
 
 pub use bouma::BoumaMatcher;
 pub use coma::{ComaConfiguration, ComaMatcher};
-pub use correlation::{ranked_candidates, CorrelationMeasure};
+pub use correlation::{ranked_candidates, CorrelationMatcher, CorrelationMeasure};
 pub use lsi_topk::LsiTopKMatcher;
 
-use wikimatch::{DualSchema, SimilarityTable};
+pub use wikimatch::SchemaMatcher;
 
-/// A cross-language attribute matcher operating on a dual-language schema.
-pub trait Matcher {
-    /// Short name used in experiment reports ("Bouma", "COMA++", ...).
-    fn name(&self) -> String;
-
-    /// Produces cross-language pairs `(foreign attribute, English
-    /// attribute)`.
-    fn align(&self, schema: &DualSchema, table: &SimilarityTable) -> Vec<(String, String)>;
-}
+/// Deprecated alias of [`wikimatch::SchemaMatcher`].
+///
+/// The baselines' private `Matcher` trait was absorbed into the core crate
+/// as `SchemaMatcher` so WikiMatch itself and the baselines share one
+/// plugin interface; this re-export keeps old `use wiki_baselines::Matcher`
+/// imports compiling for one release.
+#[deprecated(since = "0.2.0", note = "renamed to wikimatch::SchemaMatcher")]
+pub use wikimatch::SchemaMatcher as Matcher;

@@ -9,9 +9,7 @@
 //! `k` while precision drops.
 
 use wiki_corpus::Language;
-use wikimatch::{DualSchema, SimilarityTable};
-
-use crate::Matcher;
+use wikimatch::{DualSchema, SchemaMatcher, SimilarityTable};
 
 /// LSI-only matcher reporting the top-`k` English candidates per foreign
 /// attribute.
@@ -42,8 +40,12 @@ impl LsiTopKMatcher {
     }
 }
 
-impl Matcher for LsiTopKMatcher {
-    fn name(&self) -> String {
+impl SchemaMatcher for LsiTopKMatcher {
+    fn name(&self) -> &'static str {
+        "LSI"
+    }
+
+    fn label(&self) -> String {
         format!("LSI top-{}", self.k)
     }
 
@@ -78,13 +80,14 @@ impl Matcher for LsiTopKMatcher {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use wiki_corpus::{Dataset, SyntheticConfig};
-    use wikimatch::WikiMatch;
+    use wikimatch::MatchEngine;
 
-    fn schema_and_table() -> (DualSchema, SimilarityTable) {
-        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-        let matcher = WikiMatch::default();
-        matcher.prepare_type(&dataset, dataset.type_pairing("actor").unwrap())
+    fn schema_and_table() -> (Arc<DualSchema>, Arc<SimilarityTable>) {
+        let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+        let prepared = engine.prepared("actor").unwrap();
+        (prepared.schema, prepared.table)
     }
 
     #[test]
@@ -120,7 +123,8 @@ mod tests {
     }
 
     #[test]
-    fn name_reflects_k() {
-        assert_eq!(LsiTopKMatcher::new(5).name(), "LSI top-5");
+    fn name_is_static_and_label_reflects_k() {
+        assert_eq!(LsiTopKMatcher::new(5).name(), "LSI");
+        assert_eq!(LsiTopKMatcher::new(5).label(), "LSI top-5");
     }
 }

@@ -1,51 +1,53 @@
-//! End-to-end benchmarks: aligning one entity type and the full dataset with
-//! WikiMatch and the baselines.
+//! End-to-end benchmarks: aligning one entity type and the full dataset
+//! through a `MatchEngine` session, with WikiMatch and the baselines as
+//! interchangeable `SchemaMatcher` plugins.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wiki_baselines::{BoumaMatcher, ComaConfiguration, ComaMatcher, LsiTopKMatcher, Matcher};
+use wiki_baselines::{BoumaMatcher, ComaMatcher, LsiTopKMatcher};
 use wiki_corpus::{Dataset, SyntheticConfig};
-use wikimatch::{AttributeAlignment, WikiMatch, WikiMatchConfig};
+use wikimatch::{AttributeAlignment, MatchEngine, SchemaMatcher, WikiMatch, WikiMatchConfig};
 
 fn bench_alignment(c: &mut Criterion) {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let matcher = WikiMatch::new(WikiMatchConfig::default());
-    let pairing = dataset.type_pairing("film").unwrap().clone();
-    let (schema, table) = matcher.prepare_type(&dataset, &pairing);
+    let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+    let prepared = engine.prepared("film").expect("film type exists");
 
     c.bench_function("attribute_alignment_film", |b| {
         b.iter(|| {
             AttributeAlignment::new(
-                std::hint::black_box(&schema),
-                std::hint::black_box(&table),
+                std::hint::black_box(&prepared.schema),
+                std::hint::black_box(&prepared.table),
                 WikiMatchConfig::default(),
             )
             .run()
         })
     });
 
-    c.bench_function("wikimatch_align_type_film", |b| {
-        b.iter(|| matcher.align_type(std::hint::black_box(&dataset), &pairing))
+    c.bench_function("engine_align_film_warm", |b| {
+        b.iter(|| std::hint::black_box(&engine).align("film"))
     });
 
-    let baselines: Vec<(&str, Box<dyn Matcher>)> = vec![
+    let matchers: Vec<(&str, Box<dyn SchemaMatcher>)> = vec![
+        ("wikimatch", Box::new(WikiMatch::default())),
         ("bouma", Box::new(BoumaMatcher::default())),
-        (
-            "coma_ng_id",
-            Box::new(ComaMatcher::new(
-                ComaConfiguration::NameTranslatedInstanceTranslated,
-            )),
-        ),
+        ("coma_ng_id", Box::new(ComaMatcher::default())),
         ("lsi_top1", Box::new(LsiTopKMatcher::new(1))),
     ];
-    for (name, baseline) in &baselines {
-        c.bench_function(&format!("baseline_{name}_film"), |b| {
-            b.iter(|| baseline.align(std::hint::black_box(&schema), std::hint::black_box(&table)))
+    for (name, matcher) in &matchers {
+        c.bench_function(&format!("matcher_{name}_film"), |b| {
+            b.iter(|| {
+                matcher.align(
+                    std::hint::black_box(&prepared.schema),
+                    std::hint::black_box(&prepared.table),
+                )
+            })
         });
     }
 
-    let vn = Dataset::vn_en(&SyntheticConfig::tiny());
-    c.bench_function("wikimatch_align_all_vn", |b| {
-        b.iter(|| matcher.align_all(std::hint::black_box(&vn)))
+    let vn = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny()))
+        .eager()
+        .build();
+    c.bench_function("engine_align_all_vn_warm", |b| {
+        b.iter(|| std::hint::black_box(&vn).align_all())
     });
 }
 

@@ -9,11 +9,8 @@ use wikimatch::{DualSchema, SimilarityTable};
 fn bench_schema_and_similarity(c: &mut Criterion) {
     let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
     let pairing = dataset.type_pairing("film").unwrap().clone();
-    let dictionary = TitleDictionary::from_corpus(
-        &dataset.corpus,
-        dataset.other_language(),
-        dataset.english(),
-    );
+    let dictionary =
+        TitleDictionary::from_corpus(&dataset.corpus, dataset.other_language(), dataset.english());
 
     c.bench_function("title_dictionary_build", |b| {
         b.iter(|| {

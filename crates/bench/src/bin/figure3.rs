@@ -9,7 +9,7 @@ use wiki_bench::{format_table, write_report};
 use wikimatch::WikiMatchConfig;
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
     let base = WikiMatchConfig::default();
     let variants = [
         ("no vsim", base.without_vsim()),

@@ -6,7 +6,7 @@ mod common;
 use wiki_bench::write_report;
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
     let mut report = Vec::new();
     println!("=== Figure 4 — cumulative gain of k answers ===");
     for pair in common::PAIRS {

@@ -6,7 +6,7 @@ mod common;
 use wiki_bench::write_report;
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
     let steps: Vec<f64> = (0..=9).map(|i| i as f64 / 10.0).collect();
     let mut report = Vec::new();
     println!("=== Figure 5 — impact of different thresholds (average F-measure) ===");
@@ -17,7 +17,12 @@ fn main() {
                 .iter()
                 .map(|(x, f)| format!("{x:.1}:{f:.2}"))
                 .collect();
-            println!("{:<22} {:<5} {}", curve.pair, curve.threshold, series.join("  "));
+            println!(
+                "{:<22} {:<5} {}",
+                curve.pair,
+                curve.threshold,
+                series.join("  ")
+            );
             report.push(curve);
         }
     }

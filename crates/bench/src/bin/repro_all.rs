@@ -12,7 +12,7 @@ use wiki_bench::report::f2;
 use wiki_bench::write_report;
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
 
     println!("## Table 1 — example alignments");
     let table1 = ctx.table1();
@@ -55,8 +55,7 @@ fn main() {
     let mut table5 = Vec::new();
     for pair in common::PAIRS {
         let overlaps = ctx.table5(pair);
-        let avg: f64 =
-            overlaps.iter().map(|(_, o)| o).sum::<f64>() / overlaps.len().max(1) as f64;
+        let avg: f64 = overlaps.iter().map(|(_, o)| o).sum::<f64>() / overlaps.len().max(1) as f64;
         println!("{pair}: average overlap {:.0}%", avg * 100.0);
         table5.push((pair.to_string(), overlaps));
     }
@@ -104,7 +103,11 @@ fn main() {
     let mut figure5 = Vec::new();
     for pair in common::PAIRS {
         for curve in ctx.figure5(pair, &steps) {
-            let min = curve.points.iter().map(|(_, f)| *f).fold(f64::MAX, f64::min);
+            let min = curve
+                .points
+                .iter()
+                .map(|(_, f)| *f)
+                .fold(f64::MAX, f64::min);
             let max = curve.points.iter().map(|(_, f)| *f).fold(0.0, f64::max);
             println!(
                 "{:<22} {:<5} F ranges {:.2}–{:.2}",

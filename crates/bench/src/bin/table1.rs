@@ -5,7 +5,7 @@ mod common;
 use wiki_bench::write_report;
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
     let samples = ctx.table1();
     println!("=== Table 1 — example alignments identified by WikiMatch ===");
     for (pair, type_id, pairs) in &samples {

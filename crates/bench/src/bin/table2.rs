@@ -7,7 +7,7 @@ use wiki_bench::report::f2;
 use wiki_bench::{format_table, write_report};
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
     let mut reports = Vec::new();
     for pair in common::PAIRS {
         let table = ctx.table2(pair);

@@ -8,13 +8,21 @@ use wiki_bench::report::f2;
 use wiki_bench::{format_table, write_report};
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
     let rows = ctx.table3();
     println!("=== Table 3 — contribution of different components ===");
-    let header: Vec<String> = ["configuration", "Pt P", "Pt R", "Pt F", "Vn P", "Vn R", "Vn F"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "configuration",
+        "Pt P",
+        "Pt R",
+        "Pt F",
+        "Vn P",
+        "Vn R",
+        "Vn F",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|row| {
@@ -45,7 +53,10 @@ fn main() {
             } else {
                 0.0
             };
-            println!("  {:<32} Pt {pt:>+6.0}%   Vn {vn:>+6.0}%", row.configuration);
+            println!(
+                "  {:<32} Pt {pt:>+6.0}%   Vn {vn:>+6.0}%",
+                row.configuration
+            );
         }
     }
     write_report("table3", &rows);

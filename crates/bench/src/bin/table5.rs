@@ -6,7 +6,7 @@ mod common;
 use wiki_bench::{format_table, write_report};
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
     let mut report = Vec::new();
     println!("=== Table 5 — overlap in infoboxes ===");
     for pair in common::PAIRS {
@@ -14,9 +14,7 @@ fn main() {
         let header = vec!["type".to_string(), "overlap".to_string()];
         let rows: Vec<Vec<String>> = overlaps
             .iter()
-            .map(|(type_id, overlap)| {
-                vec![type_id.clone(), format!("{:.0}%", overlap * 100.0)]
-            })
+            .map(|(type_id, overlap)| vec![type_id.clone(), format!("{:.0}%", overlap * 100.0)])
             .collect();
         println!("\n{pair}:");
         println!("{}", format_table(&header, &rows));

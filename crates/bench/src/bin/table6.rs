@@ -7,7 +7,7 @@ use wiki_bench::report::f2;
 use wiki_bench::{format_table, write_report};
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
     let mut report = Vec::new();
     println!("=== Table 6 — macro-averaging results ===");
     let header: Vec<String> = ["pair", "approach", "P", "R", "F"]

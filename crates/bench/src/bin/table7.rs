@@ -7,7 +7,7 @@ mod common;
 use wiki_bench::{format_table, write_report};
 
 fn main() {
-    let mut ctx = common::context_from_args();
+    let ctx = common::context_from_args();
     let mut report = Vec::new();
     println!("=== Table 7 — MAP for different sources of correlation ===");
     let header: Vec<String> = ["pair", "LSI", "X1", "X2", "X3", "Random"]

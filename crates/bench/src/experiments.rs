@@ -3,26 +3,27 @@
 //! All experiments run over the [`StandardDatasets`]: a Portuguese-English
 //! corpus with 14 entity types and a Vietnamese-English corpus with 4 types,
 //! generated with the default [`SyntheticConfig`] (the laptop-scale
-//! substitute for the paper's Wikipedia dump — see `DESIGN.md`). The
-//! expensive part of every experiment — building the dual-language schema
-//! and its similarity table per entity type — is computed once per type and
-//! shared by WikiMatch, its ablations and every baseline, exactly as the
-//! paper feeds the same grouped attribute input to every approach.
-
-use std::collections::HashMap;
+//! substitute for the paper's Wikipedia dump — see `DESIGN.md`).
+//!
+//! The harness holds one [`MatchEngine`] session per language pair: the
+//! title dictionary and entity-type correspondences are computed once at
+//! construction, and the per-type schema + similarity artifacts are cached
+//! inside the engines — WikiMatch, its ablations and every baseline run
+//! over the identical prepared input, exactly as the paper feeds the same
+//! grouped attributes to every approach. Every matcher (WikiMatch included)
+//! is driven through the [`SchemaMatcher`] plugin trait, so adding an
+//! approach to the comparison means implementing one trait.
 
 use serde::{Deserialize, Serialize};
 
 use wiki_baselines::{
-    ranked_candidates, BoumaMatcher, ComaConfiguration, ComaMatcher, CorrelationMeasure,
-    LsiTopKMatcher, Matcher,
+    ranked_candidates, BoumaMatcher, ComaConfiguration, ComaMatcher, CorrelationMatcher,
+    CorrelationMeasure, LsiTopKMatcher,
 };
 use wiki_corpus::{Dataset, Language, SyntheticConfig};
-use wiki_eval::{
-    mean_average_precision, type_overlap, weighted_scores, MacroAggregator, Scores,
-};
-use wiki_query::{run_case_study, CaseStudyCurve};
-use wikimatch::{AttributeAlignment, DualSchema, SimilarityTable, WikiMatch, WikiMatchConfig};
+use wiki_eval::{mean_average_precision, type_overlap, weighted_scores, MacroAggregator, Scores};
+use wiki_query::{run_case_study_with_engine, CaseStudyCurve};
+use wikimatch::{MatchEngine, SchemaMatcher, WikiMatch, WikiMatchConfig};
 
 /// The two evaluation datasets used throughout the paper.
 #[derive(Debug, Clone)]
@@ -51,20 +52,6 @@ impl StandardDatasets {
     pub fn quick() -> Self {
         Self::generate(&SyntheticConfig::tiny())
     }
-
-    /// Both datasets with their display names.
-    pub fn pairs(&self) -> [(&'static str, &Dataset); 2] {
-        [("Portuguese-English", &self.pt), ("Vietnamese-English", &self.vn)]
-    }
-}
-
-/// Shared per-type preparation (schema + similarity table) reused by every
-/// approach.
-pub struct ExperimentContext {
-    /// The datasets under evaluation.
-    pub datasets: StandardDatasets,
-    matcher: WikiMatch,
-    prepared: HashMap<(String, String), (DualSchema, SimilarityTable)>,
 }
 
 /// Scores of every approach for one entity type (a row of Table 2).
@@ -146,13 +133,22 @@ pub struct MapRow {
     pub map: Vec<(String, f64)>,
 }
 
+/// One Table 1 sample: `(pair name, type id, derived cross pairs)`.
+pub type Table1Sample = (String, String, Vec<(String, String)>);
+
+/// The experiment harness: one [`MatchEngine`] session per language pair.
+pub struct ExperimentContext {
+    pt: MatchEngine,
+    vn: MatchEngine,
+}
+
 impl ExperimentContext {
-    /// Creates the context over the given datasets.
+    /// Creates the context over the given datasets, opening one engine
+    /// session per pair.
     pub fn new(datasets: StandardDatasets) -> Self {
         Self {
-            datasets,
-            matcher: WikiMatch::new(WikiMatchConfig::default()),
-            prepared: HashMap::new(),
+            pt: MatchEngine::builder(datasets.pt).build(),
+            vn: MatchEngine::builder(datasets.vn).build(),
         }
     }
 
@@ -166,71 +162,87 @@ impl ExperimentContext {
         Self::new(StandardDatasets::quick())
     }
 
-    fn dataset(&self, pair: &str) -> &Dataset {
-        if pair.starts_with("Viet") {
-            &self.datasets.vn
-        } else {
-            &self.datasets.pt
+    /// The engine session of one language pair.
+    ///
+    /// Panics on anything other than the two canonical pair names, so a
+    /// typo cannot silently return the wrong dataset's numbers.
+    pub fn engine(&self, pair: &str) -> &MatchEngine {
+        match pair {
+            "Portuguese-English" => &self.pt,
+            "Vietnamese-English" => &self.vn,
+            other => panic!(
+                "unknown language pair {other:?}; expected \"Portuguese-English\" or \"Vietnamese-English\""
+            ),
         }
     }
 
-    /// The prepared schema and similarity table of one entity type.
-    pub fn prepared(&mut self, pair: &str, type_id: &str) -> &(DualSchema, SimilarityTable) {
-        let key = (pair.to_string(), type_id.to_string());
-        if !self.prepared.contains_key(&key) {
-            let dataset = self.dataset(pair);
-            let pairing = dataset
-                .type_pairing(type_id)
-                .unwrap_or_else(|| panic!("unknown type {type_id} for {pair}"))
-                .clone();
-            let prepared = self.matcher.prepare_type(dataset, &pairing);
-            self.prepared.insert(key.clone(), prepared);
+    /// The dataset of one language pair.
+    pub fn dataset(&self, pair: &str) -> &Dataset {
+        self.engine(pair).dataset()
+    }
+
+    /// The best COMA++ configuration per pair, as in the paper: NG+ID for
+    /// Pt-En, I+D for Vn-En.
+    pub fn best_coma_configuration(pair: &str) -> ComaConfiguration {
+        match pair {
+            "Vietnamese-English" => ComaConfiguration::InstanceTranslated,
+            "Portuguese-English" => ComaConfiguration::NameTranslatedInstanceTranslated,
+            other => panic!(
+                "unknown language pair {other:?}; expected \"Portuguese-English\" or \"Vietnamese-English\""
+            ),
         }
-        &self.prepared[&key]
+    }
+
+    /// The Table 2 approaches — WikiMatch and the three baselines — as
+    /// interchangeable [`SchemaMatcher`] plugins, in column order.
+    pub fn approaches(pair: &str) -> Vec<Box<dyn SchemaMatcher>> {
+        vec![
+            Box::new(WikiMatch::default()),
+            Box::new(BoumaMatcher::default()),
+            Box::new(ComaMatcher::new(Self::best_coma_configuration(pair))),
+            Box::new(LsiTopKMatcher::new(1)),
+        ]
+    }
+
+    /// Runs any [`SchemaMatcher`] on one type through the pair's engine.
+    pub fn run_matcher(
+        &self,
+        pair: &str,
+        type_id: &str,
+        matcher: &dyn SchemaMatcher,
+    ) -> Vec<(String, String)> {
+        self.engine(pair)
+            .align_with(matcher, type_id)
+            .unwrap_or_else(|| panic!("unknown type {type_id} for {pair}"))
+    }
+
+    /// Runs WikiMatch with an arbitrary configuration on one type
+    /// (the engine's cached artifacts are shared across configurations).
+    pub fn run_wikimatch(
+        &self,
+        pair: &str,
+        type_id: &str,
+        config: WikiMatchConfig,
+    ) -> Vec<(String, String)> {
+        self.run_matcher(pair, type_id, &WikiMatch::new(config))
     }
 
     /// Evaluates derived pairs for a type with the weighted metrics.
-    pub fn evaluate(
-        &mut self,
-        pair: &str,
-        type_id: &str,
-        derived: &[(String, String)],
-    ) -> Scores {
+    pub fn evaluate(&self, pair: &str, type_id: &str, derived: &[(String, String)]) -> Scores {
         let dataset = self.dataset(pair);
-        let other = dataset.other_language().clone();
+        let other = dataset.other_language();
         let gold = dataset
             .ground_truth
             .for_type(type_id)
             .cloned()
             .unwrap_or_default();
-        let (schema, _) = self.prepared(pair, type_id);
-        let freq_other = schema.frequencies(&other);
+        let schema = self
+            .engine(pair)
+            .schema(type_id)
+            .unwrap_or_else(|| panic!("unknown type {type_id} for {pair}"));
+        let freq_other = schema.frequencies(other);
         let freq_en = schema.frequencies(&Language::En);
-        weighted_scores(derived, &gold, &other, &Language::En, &freq_other, &freq_en)
-    }
-
-    /// Runs WikiMatch (with an arbitrary configuration) on one type.
-    pub fn run_wikimatch(
-        &mut self,
-        pair: &str,
-        type_id: &str,
-        config: WikiMatchConfig,
-    ) -> Vec<(String, String)> {
-        let dataset_other = self.dataset(pair).other_language().clone();
-        let (schema, table) = self.prepared(pair, type_id);
-        let matches = AttributeAlignment::new(schema, table, config).run();
-        matches.cross_language_pairs(schema, &dataset_other, &Language::En)
-    }
-
-    /// Runs a baseline matcher on one type.
-    pub fn run_baseline(
-        &mut self,
-        pair: &str,
-        type_id: &str,
-        baseline: &dyn Matcher,
-    ) -> Vec<(String, String)> {
-        let (schema, table) = self.prepared(pair, type_id);
-        baseline.align(schema, table)
+        weighted_scores(derived, &gold, other, &Language::En, &freq_other, &freq_en)
     }
 
     /// The type identifiers of a pair.
@@ -248,14 +260,14 @@ impl ExperimentContext {
 
     /// A sample of discovered alignments for Table 1 (Pt-En actor/film and
     /// Vn-En film/actor, as in the paper).
-    pub fn table1(&mut self) -> Vec<(String, String, Vec<(String, String)>)> {
+    pub fn table1(&self) -> Vec<Table1Sample> {
         let mut out = Vec::new();
         for (pair, types) in [
             ("Portuguese-English", vec!["actor", "film"]),
             ("Vietnamese-English", vec!["film", "actor"]),
         ] {
             for type_id in types {
-                let pairs = self.run_wikimatch(pair, type_id, WikiMatchConfig::default());
+                let pairs = self.run_matcher(pair, type_id, &WikiMatch::default());
                 out.push((pair.to_string(), type_id.to_string(), pairs));
             }
         }
@@ -266,27 +278,24 @@ impl ExperimentContext {
     // Table 2 — comparison against existing approaches.
     // ------------------------------------------------------------------
 
-    /// Runs the Table 2 comparison for one language pair.
-    pub fn table2(&mut self, pair: &str) -> Table2 {
-        // The best COMA++ configuration differs per pair, as in the paper:
-        // NG+ID for Pt-En, I+D for Vn-En.
-        let coma_config = if pair.starts_with("Viet") {
-            ComaConfiguration::InstanceTranslated
-        } else {
-            ComaConfiguration::NameTranslatedInstanceTranslated
-        };
+    /// Runs the Table 2 comparison for one language pair: every approach is
+    /// a [`SchemaMatcher`] plugin driven through the pair's engine.
+    pub fn table2(&self, pair: &str) -> Table2 {
+        let approaches = Self::approaches(pair);
         let mut rows = Vec::new();
         for type_id in self.type_ids(pair) {
-            let wikimatch_pairs =
-                self.run_wikimatch(pair, &type_id, WikiMatchConfig::default());
-            let bouma_pairs = self.run_baseline(pair, &type_id, &BoumaMatcher::default());
-            let coma_pairs = self.run_baseline(pair, &type_id, &ComaMatcher::new(coma_config));
-            let lsi_pairs = self.run_baseline(pair, &type_id, &LsiTopKMatcher::new(1));
+            let scores: Vec<Scores> = approaches
+                .iter()
+                .map(|matcher| {
+                    let pairs = self.run_matcher(pair, &type_id, matcher.as_ref());
+                    self.evaluate(pair, &type_id, &pairs)
+                })
+                .collect();
             rows.push(ApproachRow {
-                wikimatch: self.evaluate(pair, &type_id, &wikimatch_pairs),
-                bouma: self.evaluate(pair, &type_id, &bouma_pairs),
-                coma: self.evaluate(pair, &type_id, &coma_pairs),
-                lsi: self.evaluate(pair, &type_id, &lsi_pairs),
+                wikimatch: scores[0],
+                bouma: scores[1],
+                coma: scores[2],
+                lsi: scores[3],
                 type_id,
             });
         }
@@ -351,7 +360,7 @@ impl ExperimentContext {
     }
 
     /// Average scores of one configuration over all types of a pair.
-    pub fn average_for_config(&mut self, pair: &str, config: WikiMatchConfig) -> Scores {
+    pub fn average_for_config(&self, pair: &str, config: WikiMatchConfig) -> Scores {
         let mut per_type = Vec::new();
         for type_id in self.type_ids(pair) {
             let pairs = self.run_wikimatch(pair, &type_id, config);
@@ -361,7 +370,7 @@ impl ExperimentContext {
     }
 
     /// Runs the full ablation study (Table 3 / Figure 3).
-    pub fn table3(&mut self) -> Vec<AblationRow> {
+    pub fn table3(&self) -> Vec<AblationRow> {
         Self::ablation_configs()
             .into_iter()
             .map(|(configuration, config)| AblationRow {
@@ -377,7 +386,7 @@ impl ExperimentContext {
     // ------------------------------------------------------------------
 
     /// Attribute overlap per type for one pair.
-    pub fn table5(&mut self, pair: &str) -> Vec<(String, f64)> {
+    pub fn table5(&self, pair: &str) -> Vec<(String, f64)> {
         let dataset = self.dataset(pair);
         dataset
             .types
@@ -405,45 +414,13 @@ impl ExperimentContext {
     // ------------------------------------------------------------------
 
     /// Macro-averaged scores of the four approaches for one pair.
-    pub fn table6(&mut self, pair: &str) -> Vec<(String, Scores)> {
-        let coma_config = if pair.starts_with("Viet") {
-            ComaConfiguration::InstanceTranslated
-        } else {
-            ComaConfiguration::NameTranslatedInstanceTranslated
-        };
-        let systems: Vec<(String, Box<dyn Fn(&mut Self, &str) -> Vec<(String, String)>>)> = vec![
-            (
-                "WikiMatch".to_string(),
-                Box::new(|ctx: &mut Self, type_id: &str| {
-                    ctx.run_wikimatch(pair, type_id, WikiMatchConfig::default())
-                }),
-            ),
-            (
-                "Bouma".to_string(),
-                Box::new(|ctx: &mut Self, type_id: &str| {
-                    ctx.run_baseline(pair, type_id, &BoumaMatcher::default())
-                }),
-            ),
-            (
-                "COMA++".to_string(),
-                Box::new(move |ctx: &mut Self, type_id: &str| {
-                    ctx.run_baseline(pair, type_id, &ComaMatcher::new(coma_config))
-                }),
-            ),
-            (
-                "LSI".to_string(),
-                Box::new(|ctx: &mut Self, type_id: &str| {
-                    ctx.run_baseline(pair, type_id, &LsiTopKMatcher::new(1))
-                }),
-            ),
-        ];
-
+    pub fn table6(&self, pair: &str) -> Vec<(String, Scores)> {
         let other = self.dataset(pair).other_language().clone();
         let mut out = Vec::new();
-        for (name, runner) in systems {
+        for matcher in Self::approaches(pair) {
             let mut aggregator = MacroAggregator::new();
             for type_id in self.type_ids(pair) {
-                let derived = runner(self, &type_id);
+                let derived = self.run_matcher(pair, &type_id, matcher.as_ref());
                 let gold = self
                     .dataset(pair)
                     .ground_truth
@@ -452,7 +429,7 @@ impl ExperimentContext {
                     .unwrap_or_default();
                 aggregator.add_type(&derived, &gold, &other, &Language::En);
             }
-            out.push((name, aggregator.scores()));
+            out.push((matcher.name().to_string(), aggregator.scores()));
         }
         out
     }
@@ -462,7 +439,7 @@ impl ExperimentContext {
     // ------------------------------------------------------------------
 
     /// MAP of LSI, X1, X2, X3 and random orderings for one pair.
-    pub fn table7(&mut self, pair: &str) -> MapRow {
+    pub fn table7(&self, pair: &str) -> MapRow {
         let other = self.dataset(pair).other_language().clone();
         let mut map = Vec::new();
         for measure in CorrelationMeasure::all() {
@@ -474,10 +451,16 @@ impl ExperimentContext {
                     .for_type(&type_id)
                     .cloned()
                     .unwrap_or_default();
-                let (schema, table) = self.prepared(pair, &type_id);
-                for (attribute, candidates) in
-                    ranked_candidates(schema, table, *measure, 11)
-                {
+                let prepared = self
+                    .engine(pair)
+                    .prepared(&type_id)
+                    .expect("type ids come from the dataset");
+                for (attribute, candidates) in ranked_candidates(
+                    &prepared.schema,
+                    &prepared.table,
+                    *measure,
+                    CorrelationMatcher::DEFAULT_SEED,
+                ) {
                     let ranking: Vec<bool> = candidates
                         .iter()
                         .map(|c| gold.is_correct(&other, &attribute, &Language::En, c))
@@ -487,7 +470,10 @@ impl ExperimentContext {
                     }
                 }
             }
-            map.push((measure.label().to_string(), mean_average_precision(&rankings)));
+            map.push((
+                measure.label().to_string(),
+                mean_average_precision(&rankings),
+            ));
         }
         MapRow {
             pair: pair.to_string(),
@@ -500,11 +486,8 @@ impl ExperimentContext {
     // ------------------------------------------------------------------
 
     /// Runs the cumulative-gain case study for one pair.
-    pub fn figure4(&mut self, pair: &str) -> Vec<CaseStudyCurve> {
-        let dataset = self.dataset(pair).clone();
-        let matcher = WikiMatch::new(WikiMatchConfig::default());
-        let alignments = matcher.align_all(&dataset);
-        run_case_study(&dataset, &alignments, 20)
+    pub fn figure4(&self, pair: &str) -> Vec<CaseStudyCurve> {
+        run_case_study_with_engine(self.engine(pair), 20)
     }
 
     // ------------------------------------------------------------------
@@ -512,7 +495,7 @@ impl ExperimentContext {
     // ------------------------------------------------------------------
 
     /// Sweeps `Tsim` and `TLSI` and reports the average F-measure.
-    pub fn figure5(&mut self, pair: &str, steps: &[f64]) -> Vec<ThresholdCurve> {
+    pub fn figure5(&self, pair: &str, steps: &[f64]) -> Vec<ThresholdCurve> {
         let mut tsim_points = Vec::new();
         let mut tlsi_points = Vec::new();
         for &value in steps {
@@ -546,13 +529,13 @@ impl ExperimentContext {
     // ------------------------------------------------------------------
 
     /// Average LSI top-k scores for `k ∈ {1, 3, 5, 10}`.
-    pub fn figure6(&mut self, pair: &str) -> Vec<TopKPoint> {
+    pub fn figure6(&self, pair: &str) -> Vec<TopKPoint> {
         [1usize, 3, 5, 10]
             .into_iter()
             .map(|k| {
                 let mut per_type = Vec::new();
                 for type_id in self.type_ids(pair) {
-                    let pairs = self.run_baseline(pair, &type_id, &LsiTopKMatcher::new(k));
+                    let pairs = self.run_matcher(pair, &type_id, &LsiTopKMatcher::new(k));
                     per_type.push(self.evaluate(pair, &type_id, &pairs));
                 }
                 TopKPoint {
@@ -569,13 +552,13 @@ impl ExperimentContext {
     // ------------------------------------------------------------------
 
     /// Average scores of every COMA++ configuration.
-    pub fn figure7(&mut self, pair: &str) -> Vec<ComaPoint> {
+    pub fn figure7(&self, pair: &str) -> Vec<ComaPoint> {
         ComaConfiguration::all()
             .iter()
             .map(|config| {
                 let mut per_type = Vec::new();
                 for type_id in self.type_ids(pair) {
-                    let pairs = self.run_baseline(pair, &type_id, &ComaMatcher::new(*config));
+                    let pairs = self.run_matcher(pair, &type_id, &ComaMatcher::new(*config));
                     per_type.push(self.evaluate(pair, &type_id, &pairs));
                 }
                 ComaPoint {
@@ -594,18 +577,21 @@ mod tests {
 
     #[test]
     fn context_prepares_and_caches_types() {
-        let mut ctx = ExperimentContext::quick();
+        let ctx = ExperimentContext::quick();
         assert_eq!(ctx.type_ids("Portuguese-English").len(), 14);
         assert_eq!(ctx.type_ids("Vietnamese-English").len(), 4);
-        let first = ctx.prepared("Portuguese-English", "film").0.dual_count;
-        let second = ctx.prepared("Portuguese-English", "film").0.dual_count;
-        assert_eq!(first, second);
-        assert!(first > 0);
+        let engine = ctx.engine("Portuguese-English");
+        let first = engine.schema("film").unwrap();
+        let cached = engine.cached_types();
+        let second = engine.schema("film").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+        assert_eq!(engine.cached_types(), cached);
+        assert!(first.dual_count > 0);
     }
 
     #[test]
     fn table2_produces_rows_for_every_type() {
-        let mut ctx = ExperimentContext::quick();
+        let ctx = ExperimentContext::quick();
         let table = ctx.table2("Vietnamese-English");
         assert_eq!(table.rows.len(), 4);
         assert!(table.average.wikimatch.f1 > 0.0);
@@ -625,8 +611,15 @@ mod tests {
     }
 
     #[test]
+    fn approaches_are_polymorphic_plugins() {
+        let approaches = ExperimentContext::approaches("Portuguese-English");
+        let names: Vec<&'static str> = approaches.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["WikiMatch", "Bouma", "COMA++", "LSI"]);
+    }
+
+    #[test]
     fn table5_overlap_within_bounds() {
-        let mut ctx = ExperimentContext::quick();
+        let ctx = ExperimentContext::quick();
         for (_, overlap) in ctx.table5("Portuguese-English") {
             assert!((0.0..=1.0).contains(&overlap));
         }
@@ -634,7 +627,7 @@ mod tests {
 
     #[test]
     fn table7_orders_lsi_above_random() {
-        let mut ctx = ExperimentContext::quick();
+        let ctx = ExperimentContext::quick();
         let row = ctx.table7("Vietnamese-English");
         let get = |label: &str| {
             row.map

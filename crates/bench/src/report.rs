@@ -85,7 +85,11 @@ mod tests {
         let header = vec!["type".to_string(), "P".to_string(), "R".to_string()];
         let rows = vec![
             vec!["film".to_string(), "0.97".to_string(), "0.95".to_string()],
-            vec!["fictional ch.".to_string(), "1.00".to_string(), "0.69".to_string()],
+            vec![
+                "fictional ch.".to_string(),
+                "1.00".to_string(),
+                "0.69".to_string(),
+            ],
         ];
         let table = format_table(&header, &rows);
         let lines: Vec<&str> = table.lines().collect();

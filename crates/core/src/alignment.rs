@@ -315,7 +315,11 @@ mod tests {
             // Mostly different alias strings: value similarity is positive
             // but far below the certainty threshold, so the pair can only be
             // recovered by ReviseUncertain.
-            let alias = if i == 0 { "Falcon 0".to_string() } else { format!("Vega {i}") };
+            let alias = if i == 0 {
+                "Falcon 0".to_string()
+            } else {
+                format!("Vega {i}")
+            };
             pt_box.push(AttributeValue::text("outros nomes", alias));
             if i < 4 {
                 let name = if i % 2 == 0 { "falecimento" } else { "morte" };
@@ -359,7 +363,12 @@ mod tests {
         // The alias attribute has disjoint values, so it can only be found by
         // the revision phase.
         assert!(has_pair(&with.0, &with.1, "outros nomes", "other names"));
-        assert!(!has_pair(&without.0, &without.1, "outros nomes", "other names"));
+        assert!(!has_pair(
+            &without.0,
+            &without.1,
+            "outros nomes",
+            "other names"
+        ));
         // Removing the phase never *adds* correspondences.
         let n_with = with
             .1
@@ -391,7 +400,9 @@ mod tests {
         // …and weakly corroborated (date-overlap) pairs are accepted too,
         // which is what erodes precision in the paper's Table 3.
         assert!(
-            pairs.iter().any(|(pt, en)| en == "died" && (pt == "falecimento" || pt == "morte")),
+            pairs
+                .iter()
+                .any(|(pt, en)| en == "died" && (pt == "falecimento" || pt == "morte")),
             "expected a death-date pair among {pairs:?}"
         );
     }

@@ -1,0 +1,427 @@
+//! The corpus-scoped matching session: [`MatchEngine`] and the pluggable
+//! [`SchemaMatcher`] trait.
+//!
+//! The one-shot entry points on [`WikiMatch`](crate::WikiMatch) rebuild the
+//! bilingual [`TitleDictionary`] from the whole corpus for *every* entity
+//! type they touch. [`MatchEngine`] inverts that: it is built **once per
+//! dataset**, precomputing the title dictionary up front (and the
+//! entity-type correspondences on first access), and caches the per-type
+//! [`DualSchema`] / [`SimilarityTable`] artifacts the first time a type is
+//! requested. Every subsequent request — another alignment of the same
+//! type, a different matcher over the same type, an evaluation sweep —
+//! reuses the shared artifacts instead of recomputing them.
+//!
+//! [`SchemaMatcher`] is the plugin interface: WikiMatch itself and every
+//! baseline implement it, so harnesses can iterate over
+//! `&dyn SchemaMatcher` values and run any matcher through the same engine
+//! caches.
+//!
+//! ```
+//! use wiki_corpus::{Dataset, SyntheticConfig};
+//! use wikimatch::MatchEngine;
+//!
+//! let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+//! let engine = MatchEngine::builder(dataset).build();
+//!
+//! // The dictionary was computed once; every alignment reuses it.
+//! let film = engine.align("film").expect("film type exists");
+//! assert!(!film.cross_pairs().is_empty());
+//!
+//! // All types, per-type alignment running in parallel.
+//! let all = engine.align_all();
+//! assert_eq!(all.len(), engine.dataset().types.len());
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use rayon::prelude::*;
+
+use wiki_corpus::{Dataset, TypePairing};
+use wiki_translate::TitleDictionary;
+
+use crate::alignment::AttributeAlignment;
+use crate::config::WikiMatchConfig;
+use crate::pipeline::{TypeAlignment, WikiMatch};
+use crate::schema::DualSchema;
+use crate::similarity::SimilarityTable;
+use crate::types::{match_entity_types, TypeMatch};
+
+/// A cross-language attribute matcher operating on a prepared
+/// dual-language schema.
+///
+/// This is the single plugin interface of the workspace: the WikiMatch
+/// pipeline, the LSI / Bouma / COMA++ baselines and the correlation
+/// orderings all implement it, so experiment harnesses can treat them as
+/// interchangeable `&dyn SchemaMatcher` values and drive them through one
+/// [`MatchEngine`].
+pub trait SchemaMatcher: Send + Sync {
+    /// Short static name of the approach ("WikiMatch", "Bouma", ...).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable label including configuration details
+    /// (e.g. `"LSI top-5"`); defaults to [`name`](SchemaMatcher::name).
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Produces cross-language pairs `(foreign attribute, English
+    /// attribute)` over a prepared schema and similarity table.
+    fn align(&self, schema: &DualSchema, table: &SimilarityTable) -> Vec<(String, String)>;
+}
+
+impl SchemaMatcher for WikiMatch {
+    fn name(&self) -> &'static str {
+        "WikiMatch"
+    }
+
+    fn align(&self, schema: &DualSchema, table: &SimilarityTable) -> Vec<(String, String)> {
+        let matches = AttributeAlignment::new(schema, table, *self.config()).run();
+        matches.cross_language_pairs(schema, &schema.languages.0, &schema.languages.1)
+    }
+}
+
+/// The shared per-type artifacts served by a [`MatchEngine`]: the
+/// dual-language schema and its similarity evidence, behind `Arc`s so
+/// alignments and callers can hold them without copying.
+#[derive(Debug, Clone)]
+pub struct PreparedType {
+    /// The dual-language schema of the type.
+    pub schema: Arc<DualSchema>,
+    /// The pairwise similarity evidence over that schema.
+    pub table: Arc<SimilarityTable>,
+}
+
+/// Builder for [`MatchEngine`]; see [`MatchEngine::builder`].
+#[derive(Debug)]
+pub struct MatchEngineBuilder {
+    dataset: Arc<Dataset>,
+    config: WikiMatchConfig,
+    eager: bool,
+}
+
+impl MatchEngineBuilder {
+    /// Overrides the WikiMatch configuration (thresholds, LSI settings,
+    /// ablation switches) used by [`MatchEngine::align`] and the similarity
+    /// tables.
+    pub fn config(mut self, config: WikiMatchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Precomputes the schema and similarity table of **every** type at
+    /// build time (in parallel) instead of lazily on first use.
+    pub fn eager(mut self) -> Self {
+        self.eager = true;
+        self
+    }
+
+    /// Builds the engine: computes the title dictionary exactly once
+    /// (entity-type correspondences follow lazily, also exactly once),
+    /// then (optionally) warms the per-type caches.
+    pub fn build(self) -> MatchEngine {
+        let dictionary = TitleDictionary::from_corpus(
+            &self.dataset.corpus,
+            self.dataset.other_language(),
+            self.dataset.english(),
+        );
+        let engine = MatchEngine {
+            dataset: self.dataset,
+            config: self.config,
+            dictionary,
+            type_matches: OnceLock::new(),
+            prepared: RwLock::new(HashMap::new()),
+        };
+        if self.eager {
+            engine.prepare_all();
+        }
+        engine
+    }
+}
+
+/// A corpus-scoped matching session.
+///
+/// Construction precomputes the bilingual [`TitleDictionary`]; the
+/// entity-type correspondences and the per-type
+/// [`DualSchema`] / [`SimilarityTable`] pairs are each computed once on
+/// first use and cached for the session. The engine is `Sync`:
+/// [`align_all`](Self::align_all) runs per-type alignment on parallel
+/// threads, and callers may share one engine across threads freely.
+#[derive(Debug)]
+pub struct MatchEngine {
+    dataset: Arc<Dataset>,
+    config: WikiMatchConfig,
+    dictionary: TitleDictionary,
+    type_matches: OnceLock<Vec<TypeMatch>>,
+    // Per-type slots so concurrent first requests for the same type block on
+    // one computation instead of racing to duplicate it.
+    prepared: RwLock<HashMap<String, Arc<OnceLock<PreparedType>>>>,
+}
+
+impl MatchEngine {
+    /// Starts building an engine over a dataset.
+    ///
+    /// Accepts the dataset by value or as an [`Arc`] — the engine is the
+    /// corpus-scoped session object, so it takes (shared) ownership.
+    pub fn builder(dataset: impl Into<Arc<Dataset>>) -> MatchEngineBuilder {
+        MatchEngineBuilder {
+            dataset: dataset.into(),
+            config: WikiMatchConfig::default(),
+            eager: false,
+        }
+    }
+
+    /// Builds an engine with the default configuration.
+    pub fn new(dataset: impl Into<Arc<Dataset>>) -> Self {
+        Self::builder(dataset).build()
+    }
+
+    /// The dataset this session is scoped to.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Shared handle to the dataset.
+    pub fn dataset_arc(&self) -> Arc<Dataset> {
+        Arc::clone(&self.dataset)
+    }
+
+    /// The WikiMatch configuration in use.
+    pub fn config(&self) -> &WikiMatchConfig {
+        &self.config
+    }
+
+    /// The bilingual title dictionary, derived once from the corpus'
+    /// cross-language links.
+    pub fn dictionary(&self) -> &TitleDictionary {
+        &self.dictionary
+    }
+
+    /// The entity-type correspondences discovered from cross-language
+    /// links (step 1 of the paper), computed once per session on first
+    /// access — alignment paths that never ask for them never pay for
+    /// them.
+    pub fn type_matches(&self) -> &[TypeMatch] {
+        self.type_matches.get_or_init(|| {
+            match_entity_types(
+                &self.dataset.corpus,
+                self.dataset.other_language(),
+                self.dataset.english(),
+            )
+        })
+    }
+
+    /// The type pairings of the dataset (convenience passthrough).
+    pub fn type_pairings(&self) -> &[TypePairing] {
+        &self.dataset.types
+    }
+
+    /// Number of per-type artifact sets currently cached.
+    pub fn cached_types(&self) -> usize {
+        self.prepared
+            .read()
+            .expect("engine cache poisoned")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
+    /// The shared schema + similarity artifacts of one type, computing and
+    /// caching them on first request. Returns `None` for unknown type ids.
+    ///
+    /// Concurrent first requests for the same type synchronize on a
+    /// per-type slot: exactly one thread computes, the rest wait and share
+    /// the result.
+    pub fn prepared(&self, type_id: &str) -> Option<PreparedType> {
+        let pairing = self.dataset.type_pairing(type_id)?;
+        let slot = {
+            let cache = self.prepared.read().expect("engine cache poisoned");
+            cache.get(type_id).cloned()
+        };
+        let slot = slot.unwrap_or_else(|| {
+            let mut cache = self.prepared.write().expect("engine cache poisoned");
+            Arc::clone(cache.entry(type_id.to_string()).or_default())
+        });
+        Some(
+            slot.get_or_init(|| {
+                let schema = DualSchema::build(
+                    &self.dataset.corpus,
+                    self.dataset.other_language(),
+                    &pairing.label_other,
+                    &pairing.label_en,
+                    &self.dictionary,
+                );
+                let table = SimilarityTable::compute(&schema, self.config.lsi);
+                PreparedType {
+                    schema: Arc::new(schema),
+                    table: Arc::new(table),
+                }
+            })
+            .clone(),
+        )
+    }
+
+    /// Lazy accessor for the dual-language schema of one type.
+    pub fn schema(&self, type_id: &str) -> Option<Arc<DualSchema>> {
+        self.prepared(type_id).map(|p| p.schema)
+    }
+
+    /// Lazy accessor for the similarity table of one type.
+    pub fn similarity(&self, type_id: &str) -> Option<Arc<SimilarityTable>> {
+        self.prepared(type_id).map(|p| p.table)
+    }
+
+    /// Warms the cache for every type of the dataset, in parallel.
+    pub fn prepare_all(&self) {
+        self.dataset.types.par_iter().for_each(|pairing| {
+            self.prepared(&pairing.type_id);
+        });
+    }
+
+    /// Aligns one entity type with the engine's WikiMatch configuration.
+    /// Returns `None` for unknown type ids.
+    pub fn align(&self, type_id: &str) -> Option<TypeAlignment> {
+        let prepared = self.prepared(type_id)?;
+        let matches = AttributeAlignment::new(&prepared.schema, &prepared.table, self.config).run();
+        Some(TypeAlignment {
+            type_id: type_id.to_string(),
+            schema: prepared.schema,
+            table: prepared.table,
+            matches,
+            languages: self.dataset.languages.clone(),
+        })
+    }
+
+    /// Aligns every entity type of the dataset, running the per-type
+    /// alignment in parallel. Results are in dataset type order.
+    pub fn align_all(&self) -> Vec<TypeAlignment> {
+        self.dataset
+            .types
+            .par_iter()
+            .map(|pairing| {
+                self.align(&pairing.type_id)
+                    .expect("dataset type pairing must align")
+            })
+            .collect()
+    }
+
+    /// Runs any [`SchemaMatcher`] over one type's shared artifacts.
+    /// Returns `None` for unknown type ids.
+    ///
+    /// The similarity table handed to the matcher is the session's cached
+    /// one, computed with the **engine's** `config.lsi` — that sharing is
+    /// the point of the session. A `WikiMatch` plugin with different LSI
+    /// settings will therefore see this engine's LSI scores; to change the
+    /// LSI configuration itself, build the engine with
+    /// [`MatchEngineBuilder::config`].
+    pub fn align_with(
+        &self,
+        matcher: &dyn SchemaMatcher,
+        type_id: &str,
+    ) -> Option<Vec<(String, String)>> {
+        let prepared = self.prepared(type_id)?;
+        Some(matcher.align(&prepared.schema, &prepared.table))
+    }
+
+    /// Runs any [`SchemaMatcher`] over every type, in parallel; returns
+    /// `(type_id, cross pairs)` in dataset type order.
+    pub fn align_all_with(
+        &self,
+        matcher: &dyn SchemaMatcher,
+    ) -> Vec<(String, Vec<(String, String)>)> {
+        self.dataset
+            .types
+            .par_iter()
+            .map(|pairing| {
+                let pairs = self
+                    .align_with(matcher, &pairing.type_id)
+                    .expect("dataset type pairing must align");
+                (pairing.type_id.clone(), pairs)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::SyntheticConfig;
+
+    fn engine() -> MatchEngine {
+        MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build()
+    }
+
+    #[test]
+    fn engine_caches_types_once() {
+        let engine = engine();
+        assert_eq!(engine.cached_types(), 0);
+        let a = engine.schema("film").unwrap();
+        assert_eq!(engine.cached_types(), 1);
+        let b = engine.schema("film").unwrap();
+        // Same allocation: the second request hit the cache.
+        assert!(Arc::ptr_eq(&a, &b));
+        engine.similarity("film").unwrap();
+        assert_eq!(engine.cached_types(), 1);
+    }
+
+    #[test]
+    fn unknown_type_is_none() {
+        let engine = engine();
+        assert!(engine.schema("not a type").is_none());
+        assert!(engine.align("not a type").is_none());
+        assert!(engine
+            .align_with(&WikiMatch::default(), "not a type")
+            .is_none());
+    }
+
+    #[test]
+    fn align_shares_cached_artifacts() {
+        let engine = engine();
+        let alignment = engine.align("film").unwrap();
+        let schema = engine.schema("film").unwrap();
+        assert!(Arc::ptr_eq(&alignment.schema, &schema));
+        assert!(!alignment.cross_pairs().is_empty());
+    }
+
+    #[test]
+    fn align_all_covers_every_type_in_order() {
+        let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
+        let alignments = engine.align_all();
+        assert_eq!(alignments.len(), engine.dataset().types.len());
+        for (alignment, pairing) in alignments.iter().zip(&engine.dataset().types) {
+            assert_eq!(alignment.type_id, pairing.type_id);
+            assert!(alignment.schema.dual_count > 0);
+        }
+        assert_eq!(engine.cached_types(), engine.dataset().types.len());
+    }
+
+    #[test]
+    fn eager_build_warms_the_cache() {
+        let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny()))
+            .eager()
+            .build();
+        assert_eq!(engine.cached_types(), engine.dataset().types.len());
+    }
+
+    #[test]
+    fn wikimatch_is_a_schema_matcher() {
+        let engine = engine();
+        let matcher = WikiMatch::default();
+        assert_eq!(SchemaMatcher::name(&matcher), "WikiMatch");
+        assert_eq!(matcher.label(), "WikiMatch");
+        let via_trait = engine.align_with(&matcher, "film").unwrap();
+        let via_engine = engine.align("film").unwrap().cross_pairs();
+        assert_eq!(via_trait, via_engine);
+    }
+
+    #[test]
+    fn align_all_with_runs_a_plugin_over_every_type() {
+        let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
+        let results = engine.align_all_with(&WikiMatch::default());
+        assert_eq!(results.len(), engine.dataset().types.len());
+        for ((type_id, pairs), alignment) in results.iter().zip(engine.align_all()) {
+            assert_eq!(type_id, &alignment.type_id);
+            assert_eq!(pairs, &alignment.cross_pairs());
+        }
+    }
+}

@@ -25,24 +25,62 @@
 //!
 //! ## Quick start
 //!
+//! Matching is served by a corpus-scoped session, the [`MatchEngine`]: build
+//! it once per dataset and it precomputes the bilingual title dictionary,
+//! then computes the entity-type correspondences and the per-type schema and
+//! similarity artifacts once on first use, so every request after the first
+//! is served from the session's caches.
+//!
 //! ```
 //! use wiki_corpus::{Dataset, SyntheticConfig};
-//! use wikimatch::{WikiMatch, WikiMatchConfig};
+//! use wikimatch::MatchEngine;
 //!
-//! // Generate a small Portuguese-English corpus with ground truth.
+//! // Generate a small Portuguese-English corpus with ground truth and open
+//! // a matching session over it.
 //! let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+//! let engine = MatchEngine::builder(dataset).build();
 //!
-//! // Align the attributes of the "film" entity type.
-//! let matcher = WikiMatch::new(WikiMatchConfig::default());
-//! let pairing = dataset.type_pairing("film").unwrap();
-//! let alignment = matcher.align_type(&dataset, pairing);
+//! // Align the attributes of the "film" entity type. The title dictionary
+//! // was built once at session start; aligning more types reuses it.
+//! let alignment = engine.align("film").expect("film type exists");
 //!
 //! // Cross-language correspondences, e.g. ("direcao", "directed by").
 //! assert!(!alignment.cross_pairs().is_empty());
+//!
+//! // Align every type of the dataset, in parallel.
+//! let all = engine.align_all();
+//! assert_eq!(all.len(), engine.dataset().types.len());
 //! ```
+//!
+//! Any implementation of the [`SchemaMatcher`] trait — WikiMatch itself or
+//! the baselines in `wiki-baselines` — can be driven through the same
+//! session with [`MatchEngine::align_with`]:
+//!
+//! ```
+//! use wiki_corpus::{Dataset, SyntheticConfig};
+//! use wikimatch::{MatchEngine, SchemaMatcher, WikiMatch};
+//!
+//! let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+//! let matcher = WikiMatch::default(); // any SchemaMatcher
+//! let pairs = engine.align_with(&matcher, "film").expect("film type exists");
+//! assert!(!pairs.is_empty());
+//! ```
+//!
+//! ## Deprecation path
+//!
+//! Before 0.2 the crate exposed one-shot calls on [`WikiMatch`]
+//! (`align_type`, `align_all`, `prepare_type`, `match_types`) that rebuilt
+//! the title dictionary from the whole corpus on every call. They remain as
+//! deprecated shims — `align_all` routes through a throwaway
+//! [`MatchEngine`] (so it already amortizes the dictionary across types);
+//! the single-type calls keep the old per-call behavior — and will be
+//! removed one release after 0.2; migrate by holding a `MatchEngine`
+//! wherever a `Dataset` is repeatedly matched.
 //!
 //! ## Module map
 //!
+//! * [`engine`] — the [`MatchEngine`] session and the [`SchemaMatcher`]
+//!   plugin trait every matcher (core and baselines) implements.
 //! * [`config`] — thresholds (`Tsim`, `TLSI`), LSI settings and ablation
 //!   switches used by the component-contribution experiments (Table 3).
 //! * [`schema`] — builds the dual-language schema of an entity type:
@@ -53,14 +91,15 @@
 //! * [`alignment`] — the `AttributeAlignment`, `IntegrateMatches` and
 //!   `ReviseUncertain` algorithms (Algorithms 1 and 2 of the paper).
 //! * [`types`] — cross-language entity-type matching (Section 3.1).
-//! * [`pipeline`] — the end-to-end [`WikiMatch`] matcher over a
-//!   [`wiki_corpus::Dataset`].
+//! * [`pipeline`] — [`TypeAlignment`] results and the [`WikiMatch`]
+//!   configuration holder (plus the deprecated one-shot entry points).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alignment;
 pub mod config;
+pub mod engine;
 pub mod matches;
 pub mod pipeline;
 pub mod schema;
@@ -69,6 +108,7 @@ pub mod types;
 
 pub use alignment::AttributeAlignment;
 pub use config::WikiMatchConfig;
+pub use engine::{MatchEngine, MatchEngineBuilder, PreparedType, SchemaMatcher};
 pub use matches::{MatchCluster, MatchSet};
 pub use pipeline::{TypeAlignment, WikiMatch};
 pub use schema::{AttributeStats, DualSchema};

@@ -24,7 +24,9 @@ pub struct MatchCluster {
 impl MatchCluster {
     /// Creates a cluster from two seed attributes.
     pub fn seed(p: usize, q: usize) -> Self {
-        Self { members: vec![p, q] }
+        Self {
+            members: vec![p, q],
+        }
     }
 
     /// Whether the cluster contains an attribute index.
@@ -245,7 +247,10 @@ mod tests {
             ]
         );
         let intra = set.intra_language_pairs(&schema, &Language::Pt);
-        assert_eq!(intra, vec![("falecimento".to_string(), "morte".to_string())]);
+        assert_eq!(
+            intra,
+            vec![("falecimento".to_string(), "morte".to_string())]
+        );
         assert!(set.intra_language_pairs(&schema, &Language::En).is_empty());
 
         let rendered = set.render(&schema);

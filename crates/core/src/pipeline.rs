@@ -1,34 +1,40 @@
-//! The end-to-end WikiMatch pipeline over a [`Dataset`].
+//! The WikiMatch matcher configuration holder and the legacy one-shot
+//! pipeline entry points.
 //!
-//! [`WikiMatch`] orchestrates the three steps of the paper:
-//!
-//! 1. match entity types across languages ([`crate::types`]);
-//! 2. build, per matched type, the dual-language schema with its similarity
-//!    evidence ([`crate::schema`], [`crate::similarity`]);
-//! 3. run the alignment algorithm ([`crate::alignment`]) and expose the
-//!    derived correspondences.
+//! [`WikiMatch`] carries the configuration and implements
+//! [`SchemaMatcher`](crate::SchemaMatcher), which makes it one plugin among
+//! the baselines. Sessions over a dataset — including the precomputation of
+//! the title dictionary and the per-type schema caches — live in
+//! [`MatchEngine`](crate::MatchEngine); the one-shot methods on `WikiMatch`
+//! (`align_type`, `align_all`, `prepare_type`, `match_types`) are kept as
+//! deprecated shims that build a throwaway engine per call.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use wiki_corpus::{Dataset, Language, TypePairing};
-use wiki_translate::TitleDictionary;
 
-use crate::alignment::AttributeAlignment;
 use crate::config::WikiMatchConfig;
+use crate::engine::MatchEngine;
 use crate::matches::MatchSet;
 use crate::schema::DualSchema;
 use crate::similarity::SimilarityTable;
-use crate::types::{match_entity_types, TypeMatch};
+use crate::types::TypeMatch;
 
 /// The result of aligning one entity type.
+///
+/// The schema and similarity table are shared (`Arc`) with the engine that
+/// produced the alignment, so holding many alignments of the same type
+/// does not duplicate the prepared artifacts.
 #[derive(Debug, Clone)]
 pub struct TypeAlignment {
     /// Language-independent type identifier.
     pub type_id: String,
     /// The dual-language schema the alignment was computed on.
-    pub schema: DualSchema,
+    pub schema: Arc<DualSchema>,
     /// The pairwise similarity evidence.
-    pub table: SimilarityTable,
+    pub table: Arc<SimilarityTable>,
     /// The discovered match clusters.
     pub matches: MatchSet,
     /// Language pair `(foreign, English)`.
@@ -83,8 +89,14 @@ impl From<&TypeAlignment> for AlignmentSummary {
     }
 }
 
-/// The WikiMatch matcher.
-#[derive(Debug, Clone, Default)]
+/// The WikiMatch matcher: the paper's configuration plus the
+/// [`SchemaMatcher`](crate::SchemaMatcher) implementation.
+///
+/// To align a dataset, build a session with
+/// [`MatchEngine::builder`](crate::MatchEngine::builder) and call
+/// [`align`](crate::MatchEngine::align) /
+/// [`align_all`](crate::MatchEngine::align_all) on it.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct WikiMatch {
     config: WikiMatchConfig,
 }
@@ -102,8 +114,14 @@ impl WikiMatch {
 
     /// Step 1: discover the entity-type correspondences of the dataset's
     /// language pair from cross-language links.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a MatchEngine and use MatchEngine::type_matches, which computes them once per dataset"
+    )]
     pub fn match_types(&self, dataset: &Dataset) -> Vec<TypeMatch> {
-        match_entity_types(
+        // Type matching needs neither the dictionary nor the caches, so the
+        // shim skips the engine and calls the discovery step directly.
+        crate::types::match_entity_types(
             &dataset.corpus,
             dataset.other_language(),
             dataset.english(),
@@ -111,9 +129,19 @@ impl WikiMatch {
     }
 
     /// Builds the dual-language schema and similarity table for one type
-    /// pairing (exposed separately because the baselines reuse it).
-    pub fn prepare_type(&self, dataset: &Dataset, pairing: &TypePairing) -> (DualSchema, SimilarityTable) {
-        let dictionary = TitleDictionary::from_corpus(
+    /// pairing, from the pairing's own labels — the pre-0.2 code path,
+    /// kept verbatim (including the per-call dictionary rebuild, which is
+    /// why it is deprecated).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use MatchEngine::schema / MatchEngine::similarity, which share one title dictionary across all types"
+    )]
+    pub fn prepare_type(
+        &self,
+        dataset: &Dataset,
+        pairing: &TypePairing,
+    ) -> (DualSchema, SimilarityTable) {
+        let dictionary = wiki_translate::TitleDictionary::from_corpus(
             &dataset.corpus,
             dataset.other_language(),
             dataset.english(),
@@ -129,30 +157,41 @@ impl WikiMatch {
         (schema, table)
     }
 
-    /// Aligns the attributes of one entity type.
+    /// Aligns the attributes of one entity type (one-shot, clone-free).
+    #[deprecated(since = "0.2.0", note = "use MatchEngine::align")]
     pub fn align_type(&self, dataset: &Dataset, pairing: &TypePairing) -> TypeAlignment {
+        #[allow(deprecated)]
         let (schema, table) = self.prepare_type(dataset, pairing);
-        let matches = AttributeAlignment::new(&schema, &table, self.config).run();
+        let matches = crate::alignment::AttributeAlignment::new(&schema, &table, self.config).run();
         TypeAlignment {
             type_id: pairing.type_id.clone(),
-            schema,
-            table,
+            schema: Arc::new(schema),
+            table: Arc::new(table),
             matches,
             languages: dataset.languages.clone(),
         }
     }
 
     /// Aligns every entity type of the dataset.
+    ///
+    /// Routes through a throwaway [`MatchEngine`] session: the one dataset
+    /// clone buys a single dictionary build shared by all types plus
+    /// parallel per-type alignment — strictly cheaper than the pre-0.2
+    /// body, which rebuilt the dictionary for every type.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use MatchEngine::align_all, which amortizes the dictionary and parallelizes per-type alignment"
+    )]
     pub fn align_all(&self, dataset: &Dataset) -> Vec<TypeAlignment> {
-        dataset
-            .types
-            .iter()
-            .map(|pairing| self.align_type(dataset, pairing))
-            .collect()
+        MatchEngine::builder(dataset.clone())
+            .config(self.config)
+            .build()
+            .align_all()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims must stay behavior-identical for one release
 mod tests {
     use super::*;
     use wiki_corpus::SyntheticConfig;
@@ -200,6 +239,26 @@ mod tests {
             assert!(alignment.schema.index_of(&Language::Pt, pt).is_some());
             assert!(alignment.schema.index_of(&Language::En, en).is_some());
         }
+    }
+
+    #[test]
+    fn prepare_type_honours_caller_constructed_pairings() {
+        let dataset = dataset();
+        let matcher = WikiMatch::default();
+        // A pairing the dataset does not list: same labels, custom type id.
+        let film = dataset.type_pairing("film").unwrap();
+        let custom = TypePairing {
+            type_id: "my custom film".to_string(),
+            label_other: film.label_other.clone(),
+            label_en: film.label_en.clone(),
+        };
+        let (custom_schema, _) = matcher.prepare_type(&dataset, &custom);
+        let (dataset_schema, _) = matcher.prepare_type(&dataset, film);
+        // Built from the pairing's own labels, not looked up by id.
+        assert_eq!(custom_schema, dataset_schema);
+        let alignment = matcher.align_type(&dataset, &custom);
+        assert_eq!(alignment.type_id, "my custom film");
+        assert!(!alignment.cross_pairs().is_empty());
     }
 
     #[test]

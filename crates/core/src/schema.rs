@@ -23,7 +23,7 @@ use wiki_text::{tokenize_value, TermVector};
 use wiki_translate::TitleDictionary;
 
 /// Pooled evidence for one attribute label of one language.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttributeStats {
     /// Language the attribute belongs to.
     pub language: Language,
@@ -79,7 +79,7 @@ impl AttributeStats {
 }
 
 /// The dual-language schema of one entity type.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DualSchema {
     /// Language pair `(foreign, English)`.
     pub languages: (Language, Language),
@@ -273,11 +273,19 @@ mod tests {
             "Person",
             Infobox::new("Infobox person"),
         );
-        let mut country_en =
-            Article::new("Italy", Language::En, "Country", Infobox::new("Infobox country"));
+        let mut country_en = Article::new(
+            "Italy",
+            Language::En,
+            "Country",
+            Infobox::new("Infobox country"),
+        );
         country_en.add_cross_link(Language::Pt, "Itália");
-        let country_pt =
-            Article::new("Itália", Language::Pt, "Country", Infobox::new("Infobox country"));
+        let country_pt = Article::new(
+            "Itália",
+            Language::Pt,
+            "Country",
+            Infobox::new("Infobox country"),
+        );
         corpus.insert(person_en);
         corpus.insert(person_pt);
         corpus.insert(country_en);
@@ -296,8 +304,7 @@ mod tests {
                 vec![Link::plain("Italy")],
             ));
             en_box.push(AttributeValue::text("Running time", "160 minutes"));
-            let mut en_article =
-                Article::new(format!("Film {i}"), Language::En, "Film", en_box);
+            let mut en_article = Article::new(format!("Film {i}"), Language::En, "Film", en_box);
             en_article.add_cross_link(Language::Pt, format!("Filme {i}"));
 
             let mut pt_box = Infobox::new("Infobox Filme");
@@ -312,8 +319,7 @@ mod tests {
                 vec![Link::plain("Itália")],
             ));
             pt_box.push(AttributeValue::text("Duração", "160 minutos"));
-            let mut pt_article =
-                Article::new(format!("Filme {i}"), Language::Pt, "Filme", pt_box);
+            let mut pt_article = Article::new(format!("Filme {i}"), Language::Pt, "Filme", pt_box);
             pt_article.add_cross_link(Language::En, format!("Film {i}"));
 
             corpus.insert(en_article);
@@ -372,7 +378,9 @@ mod tests {
         let directed = schema.index_of(&Language::En, "directed by").unwrap();
         let country = schema.index_of(&Language::En, "country").unwrap();
         assert_eq!(
-            schema.attribute(directed).co_occurrences(schema.attribute(country)),
+            schema
+                .attribute(directed)
+                .co_occurrences(schema.attribute(country)),
             2
         );
         assert!((schema.grouping_score(directed, country) - 1.0).abs() < 1e-12);

@@ -59,10 +59,7 @@ pub fn vsim(schema: &DualSchema, p: usize, q: usize) -> f64 {
 
 /// Link-structure similarity between two attributes of a dual schema.
 pub fn lsim(schema: &DualSchema, p: usize, q: usize) -> f64 {
-    schema
-        .attribute(p)
-        .links
-        .cosine(&schema.attribute(q).links)
+    schema.attribute(p).links.cosine(&schema.attribute(q).links)
 }
 
 /// All pairwise similarity evidence for one dual-language schema.
@@ -188,8 +185,7 @@ mod tests {
     /// occurrence patterns.
     fn corpus() -> Corpus {
         let mut corpus = Corpus::new();
-        let mut usa_en =
-            Article::new("United States", Language::En, "Country", Infobox::new("c"));
+        let mut usa_en = Article::new("United States", Language::En, "Country", Infobox::new("c"));
         usa_en.add_cross_link(Language::Pt, "Estados Unidos");
         corpus.insert(usa_en);
         corpus.insert(Article::new(
@@ -198,8 +194,12 @@ mod tests {
             "Country",
             Infobox::new("c"),
         ));
-        let mut person_en =
-            Article::new("Bernardo Bertolucci", Language::En, "Person", Infobox::new("p"));
+        let mut person_en = Article::new(
+            "Bernardo Bertolucci",
+            Language::En,
+            "Person",
+            Infobox::new("p"),
+        );
         person_en.add_cross_link(Language::Pt, "Bernardo Bertolucci");
         corpus.insert(person_en);
         corpus.insert(Article::new(

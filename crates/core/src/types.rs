@@ -61,7 +61,9 @@ pub fn match_entity_types(corpus: &Corpus, lang_a: &Language, lang_b: &Language)
         .into_iter()
         .filter_map(|(label_a, counts)| {
             let total: usize = counts.values().sum();
-            let (label_b, support) = counts.into_iter().max_by_key(|(label, n)| (*n, std::cmp::Reverse(label.clone())))?;
+            let (label_b, support) = counts
+                .into_iter()
+                .max_by_key(|(label, n)| (*n, std::cmp::Reverse(label.clone())))?;
             (total > 0).then(|| TypeMatch {
                 label_a,
                 label_b,
@@ -70,7 +72,11 @@ pub fn match_entity_types(corpus: &Corpus, lang_a: &Language, lang_b: &Language)
             })
         })
         .collect();
-    matches.sort_by(|a, b| b.support.cmp(&a.support).then_with(|| a.label_a.cmp(&b.label_a)));
+    matches.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.label_a.cmp(&b.label_a))
+    });
     matches
 }
 
@@ -102,7 +108,12 @@ mod tests {
             corpus.insert(pt);
         }
         // One actor pair.
-        let mut en = Article::new("Actor 0", Language::En, "Actor", Infobox::new("Infobox Actor"));
+        let mut en = Article::new(
+            "Actor 0",
+            Language::En,
+            "Actor",
+            Infobox::new("Infobox Actor"),
+        );
         en.add_cross_link(Language::Pt, "Ator 0");
         let mut pt = Article::new("Ator 0", Language::Pt, "Ator", Infobox::new("Infobox Ator"));
         pt.add_cross_link(Language::En, "Actor 0");

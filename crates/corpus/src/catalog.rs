@@ -1178,14 +1178,7 @@ fn book() -> EntityTypeSpec {
                 },
                 0.55,
             ),
-            c(
-                "isbn",
-                &["isbn"],
-                &["isbn"],
-                &[],
-                ValueKind::Alias,
-                0.5,
-            ),
+            c("isbn", &["isbn"], &["isbn"], &[], ValueKind::Alias, 0.5),
             c(
                 "preceded_by",
                 &["preceded by"],
@@ -1575,11 +1568,7 @@ mod tests {
         let catalog = Catalog::standard();
         for ty_id in ["film", "show", "actor", "artist"] {
             let ty = catalog.entity_type(ty_id).unwrap();
-            let with_vn = ty
-                .concepts
-                .iter()
-                .filter(|c| !c.vn.is_empty())
-                .count();
+            let with_vn = ty.concepts.iter().filter(|c| !c.vn.is_empty()).count();
             assert!(
                 with_vn >= ty.concepts.len() / 2,
                 "type {ty_id} has too few Vietnamese concept names ({with_vn})"

@@ -121,10 +121,8 @@ impl EntityPool {
         entities.extend(networks());
         entities.extend(generate_people(person_count, rng));
 
-        let mut by_kind: Vec<(EntityKind, Vec<EntityRef>)> = EntityKind::all()
-            .iter()
-            .map(|k| (*k, Vec::new()))
-            .collect();
+        let mut by_kind: Vec<(EntityKind, Vec<EntityRef>)> =
+            EntityKind::all().iter().map(|k| (*k, Vec::new())).collect();
         for (i, e) in entities.iter().enumerate() {
             if let Some((_, refs)) = by_kind.iter_mut().find(|(k, _)| *k == e.kind) {
                 refs.push(i);
@@ -230,7 +228,11 @@ fn cities() -> Vec<NamedEntity> {
         ("São Paulo", "São Paulo", "São Paulo"),
         ("Rio de Janeiro", "Rio de Janeiro", "Rio de Janeiro"),
         ("Hanoi", "Hanói", "Hà Nội"),
-        ("Ho Chi Minh City", "Cidade de Ho Chi Minh", "Thành phố Hồ Chí Minh"),
+        (
+            "Ho Chi Minh City",
+            "Cidade de Ho Chi Minh",
+            "Thành phố Hồ Chí Minh"
+        ),
         ("Tokyo", "Tóquio", "Tokyo"),
         ("Berlin", "Berlim", "Berlin"),
         ("Madrid", "Madri", "Madrid"),
@@ -248,7 +250,11 @@ fn film_genres() -> Vec<NamedEntity> {
         ("Thriller", "Suspense", "Giật gân"),
         ("Horror", "Terror", "Kinh dị"),
         ("Romance", "Romance", "Lãng mạn"),
-        ("Science fiction", "Ficção científica", "Khoa học viễn tưởng"),
+        (
+            "Science fiction",
+            "Ficção científica",
+            "Khoa học viễn tưởng"
+        ),
         ("Documentary", "Documentário", "Phim tài liệu"),
         ("Animation", "Animação", "Hoạt hình"),
         ("Adventure", "Aventura", "Phiêu lưu"),
@@ -285,8 +291,16 @@ fn book_genres() -> Vec<NamedEntity> {
         ("Biography", "Biografia", "Tiểu sử"),
         ("Short story", "Conto", "Truyện ngắn"),
         ("Essay", "Ensaio", "Tiểu luận"),
-        ("Fantasy literature", "Literatura fantástica", "Văn học giả tưởng"),
-        ("Historical fiction", "Ficção histórica", "Tiểu thuyết lịch sử"),
+        (
+            "Fantasy literature",
+            "Literatura fantástica",
+            "Văn học giả tưởng"
+        ),
+        (
+            "Historical fiction",
+            "Ficção histórica",
+            "Tiểu thuyết lịch sử"
+        ),
         ("Mystery fiction", "Ficção policial", "Truyện trinh thám"),
     )
 }
@@ -294,16 +308,36 @@ fn book_genres() -> Vec<NamedEntity> {
 fn companies() -> Vec<NamedEntity> {
     gazetteer!(
         EntityKind::Company,
-        ("Columbia Pictures", "Columbia Pictures", "Columbia Pictures"),
+        (
+            "Columbia Pictures",
+            "Columbia Pictures",
+            "Columbia Pictures"
+        ),
         ("Warner Bros.", "Warner Bros.", "Warner Bros."),
-        ("Paramount Pictures", "Paramount Pictures", "Paramount Pictures"),
-        ("Universal Studios", "Universal Studios", "Universal Studios"),
-        ("Metro-Goldwyn-Mayer", "Metro-Goldwyn-Mayer", "Metro-Goldwyn-Mayer"),
+        (
+            "Paramount Pictures",
+            "Paramount Pictures",
+            "Paramount Pictures"
+        ),
+        (
+            "Universal Studios",
+            "Universal Studios",
+            "Universal Studios"
+        ),
+        (
+            "Metro-Goldwyn-Mayer",
+            "Metro-Goldwyn-Mayer",
+            "Metro-Goldwyn-Mayer"
+        ),
         ("Globo Filmes", "Globo Filmes", "Globo Filmes"),
         ("EMI Records", "EMI Records", "EMI Records"),
         ("Sony Music", "Sony Music", "Sony Music"),
         ("Penguin Books", "Penguin Books", "Penguin Books"),
-        ("Companhia das Letras", "Companhia das Letras", "Companhia das Letras"),
+        (
+            "Companhia das Letras",
+            "Companhia das Letras",
+            "Companhia das Letras"
+        ),
         ("Marvel Comics", "Marvel Comics", "Marvel Comics"),
         ("DC Comics", "DC Comics", "DC Comics"),
         ("HBO", "HBO", "HBO"),
@@ -311,21 +345,45 @@ fn companies() -> Vec<NamedEntity> {
         ("BBC", "BBC", "BBC"),
         ("Rede Globo", "Rede Globo", "Rede Globo"),
         ("Editora Abril", "Editora Abril", "Editora Abril"),
-        ("Kim Dong Publishing House", "Kim Dong", "Nhà xuất bản Kim Đồng"),
+        (
+            "Kim Dong Publishing House",
+            "Kim Dong",
+            "Nhà xuất bản Kim Đồng"
+        ),
     )
 }
 
 fn awards() -> Vec<NamedEntity> {
     gazetteer!(
         EntityKind::Award,
-        ("Academy Award for Best Picture", "Óscar de melhor filme", "Giải Oscar cho phim hay nhất"),
-        ("Academy Award for Best Director", "Óscar de melhor realização", "Giải Oscar cho đạo diễn xuất sắc nhất"),
-        ("Golden Globe Award", "Prémio Globo de Ouro", "Giải Quả cầu vàng"),
+        (
+            "Academy Award for Best Picture",
+            "Óscar de melhor filme",
+            "Giải Oscar cho phim hay nhất"
+        ),
+        (
+            "Academy Award for Best Director",
+            "Óscar de melhor realização",
+            "Giải Oscar cho đạo diễn xuất sắc nhất"
+        ),
+        (
+            "Golden Globe Award",
+            "Prémio Globo de Ouro",
+            "Giải Quả cầu vàng"
+        ),
         ("BAFTA Award", "Prémio BAFTA", "Giải BAFTA"),
-        ("Cannes Film Festival Palme d'Or", "Palma de Ouro", "Cành cọ vàng"),
+        (
+            "Cannes Film Festival Palme d'Or",
+            "Palma de Ouro",
+            "Cành cọ vàng"
+        ),
         ("Grammy Award", "Grammy Award", "Giải Grammy"),
         ("Emmy Award", "Prémio Emmy", "Giải Emmy"),
-        ("Nobel Prize in Literature", "Prémio Nobel de Literatura", "Giải Nobel Văn học"),
+        (
+            "Nobel Prize in Literature",
+            "Prémio Nobel de Literatura",
+            "Giải Nobel Văn học"
+        ),
     )
 }
 
@@ -333,7 +391,11 @@ fn language_names() -> Vec<NamedEntity> {
     gazetteer!(
         EntityKind::LanguageName,
         ("English language", "Língua inglesa", "Tiếng Anh"),
-        ("Portuguese language", "Língua portuguesa", "Tiếng Bồ Đào Nha"),
+        (
+            "Portuguese language",
+            "Língua portuguesa",
+            "Tiếng Bồ Đào Nha"
+        ),
         ("Vietnamese language", "Língua vietnamita", "Tiếng Việt"),
         ("French language", "Língua francesa", "Tiếng Pháp"),
         ("Spanish language", "Língua espanhola", "Tiếng Tây Ban Nha"),
@@ -366,10 +428,18 @@ fn occupations() -> Vec<NamedEntity> {
 fn networks() -> Vec<NamedEntity> {
     gazetteer!(
         EntityKind::Network,
-        ("American Broadcasting Company", "American Broadcasting Company", "American Broadcasting Company"),
+        (
+            "American Broadcasting Company",
+            "American Broadcasting Company",
+            "American Broadcasting Company"
+        ),
         ("NBC", "NBC", "NBC"),
         ("CBS", "CBS", "CBS"),
-        ("Fox Broadcasting Company", "Fox Broadcasting Company", "Fox Broadcasting Company"),
+        (
+            "Fox Broadcasting Company",
+            "Fox Broadcasting Company",
+            "Fox Broadcasting Company"
+        ),
         ("Rede Globo", "Rede Globo", "Rede Globo"),
         ("SBT", "SBT", "SBT"),
         ("VTV", "VTV", "Đài Truyền hình Việt Nam"),
@@ -390,11 +460,46 @@ const FIRST_NAMES: &[&str] = &[
 
 /// Last names used to synthesise people.
 const LAST_NAMES: &[&str] = &[
-    "Bertolucci", "Silva", "Lone", "Chen", "Sakamoto", "Byrne", "Santos", "Oliveira", "Tran",
-    "Pham", "Le", "Hoang", "Smith", "Johnson", "Costa", "Pereira", "Almeida", "Ferreira",
-    "Rodrigues", "Martins", "Rossi", "Moreau", "Tanaka", "Kim", "Park", "Souza", "Lima", "Araujo",
-    "Carvalho", "Gomes", "Nakamura", "Dubois", "Müller", "García", "López", "Nguyen", "Vo", "Dang",
-    "Bui", "Do",
+    "Bertolucci",
+    "Silva",
+    "Lone",
+    "Chen",
+    "Sakamoto",
+    "Byrne",
+    "Santos",
+    "Oliveira",
+    "Tran",
+    "Pham",
+    "Le",
+    "Hoang",
+    "Smith",
+    "Johnson",
+    "Costa",
+    "Pereira",
+    "Almeida",
+    "Ferreira",
+    "Rodrigues",
+    "Martins",
+    "Rossi",
+    "Moreau",
+    "Tanaka",
+    "Kim",
+    "Park",
+    "Souza",
+    "Lima",
+    "Araujo",
+    "Carvalho",
+    "Gomes",
+    "Nakamura",
+    "Dubois",
+    "Müller",
+    "García",
+    "López",
+    "Nguyen",
+    "Vo",
+    "Dang",
+    "Bui",
+    "Do",
 ];
 
 /// Generates `count` synthetic people. Person names are kept identical

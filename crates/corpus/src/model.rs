@@ -238,10 +238,7 @@ mod tests {
     #[test]
     fn schema_normalises_and_dedups() {
         let ib = sample_infobox();
-        assert_eq!(
-            ib.schema(),
-            vec!["directed by", "running time", "starring"]
-        );
+        assert_eq!(ib.schema(), vec!["directed by", "running time", "starring"]);
         assert_eq!(ib.len(), 4);
     }
 
@@ -258,12 +255,7 @@ mod tests {
 
     #[test]
     fn cross_links() {
-        let mut article = Article::new(
-            "The Last Emperor",
-            Language::En,
-            "Film",
-            sample_infobox(),
-        );
+        let mut article = Article::new("The Last Emperor", Language::En, "Film", sample_infobox());
         article.add_cross_link(Language::Pt, "O Último Imperador");
         assert_eq!(
             article.cross_link_to(&Language::Pt),

@@ -75,8 +75,13 @@ impl Corpus {
     }
 
     /// Iterates over the articles of one language edition.
-    pub fn articles_in<'a>(&'a self, language: &'a Language) -> impl Iterator<Item = &'a Article> + 'a {
-        self.articles.iter().filter(move |a| &a.language == language)
+    pub fn articles_in<'a>(
+        &'a self,
+        language: &'a Language,
+    ) -> impl Iterator<Item = &'a Article> + 'a {
+        self.articles
+            .iter()
+            .filter(move |a| &a.language == language)
     }
 
     /// Rebuilds the title index (needed after deserialisation).
@@ -90,7 +95,11 @@ impl Corpus {
 
     /// All pairs of articles `(a, b)` such that `a` is in `l1`, `b` is in
     /// `l2` and `a` has a cross-language link to `b` (or vice versa).
-    pub fn cross_language_pairs(&self, l1: &Language, l2: &Language) -> Vec<(ArticleId, ArticleId)> {
+    pub fn cross_language_pairs(
+        &self,
+        l1: &Language,
+        l2: &Language,
+    ) -> Vec<(ArticleId, ArticleId)> {
         let mut pairs = Vec::new();
         let mut seen: HashMap<(ArticleId, ArticleId), ()> = HashMap::new();
         for article in &self.articles {
@@ -131,7 +140,7 @@ impl Corpus {
         let n = self.articles.len();
         let mut parent: Vec<usize> = (0..n).collect();
 
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut root = x;
             while parent[root] != root {
                 root = parent[root];
@@ -245,7 +254,9 @@ mod tests {
     fn insert_and_lookup() {
         let corpus = linked_corpus();
         assert_eq!(corpus.len(), 4);
-        let a = corpus.get_by_title(&Language::Pt, "O Último Imperador").unwrap();
+        let a = corpus
+            .get_by_title(&Language::Pt, "O Último Imperador")
+            .unwrap();
         assert_eq!(a.entity_type, "Filme");
         assert!(corpus.get_by_title(&Language::Pt, "missing").is_none());
     }
@@ -254,10 +265,7 @@ mod tests {
     fn duplicate_titles_are_not_reinserted() {
         let mut corpus = linked_corpus();
         let before = corpus.len();
-        let id1 = corpus
-            .get_by_title(&Language::En, "Unrelated")
-            .unwrap()
-            .id;
+        let id1 = corpus.get_by_title(&Language::En, "Unrelated").unwrap().id;
         let id2 = corpus.insert(article("Unrelated", Language::En, "Film"));
         assert_eq!(id1, id2);
         assert_eq!(corpus.len(), before);
@@ -281,8 +289,14 @@ mod tests {
     fn entity_clusters_union_transitively() {
         let corpus = linked_corpus();
         let clusters = corpus.entity_clusters();
-        let en = corpus.get_by_title(&Language::En, "The Last Emperor").unwrap().id;
-        let pt = corpus.get_by_title(&Language::Pt, "O Último Imperador").unwrap().id;
+        let en = corpus
+            .get_by_title(&Language::En, "The Last Emperor")
+            .unwrap()
+            .id;
+        let pt = corpus
+            .get_by_title(&Language::Pt, "O Último Imperador")
+            .unwrap()
+            .id;
         let vn = corpus
             .get_by_title(&Language::Vn, "Hoàng đế cuối cùng")
             .unwrap()
@@ -297,10 +311,7 @@ mod tests {
     fn type_listing() {
         let corpus = linked_corpus();
         assert_eq!(corpus.entity_types_in(&Language::En), vec!["Film"]);
-        assert_eq!(
-            corpus.articles_of_type(&Language::En, "Film").count(),
-            2
-        );
+        assert_eq!(corpus.articles_of_type(&Language::En, "Film").count(), 2);
     }
 
     #[test]

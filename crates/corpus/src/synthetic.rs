@@ -237,7 +237,14 @@ impl SyntheticGenerator {
                     }
                     let surface = pick_surface(names, rng);
                     let attribute = self.render_attribute(
-                        surface, concept, fact, language, other, pool, rng, corpus,
+                        surface,
+                        concept,
+                        fact,
+                        language,
+                        other,
+                        pool,
+                        rng,
+                        corpus,
                         created_entities,
                     );
                     infobox.push(attribute);
@@ -251,8 +258,10 @@ impl SyntheticGenerator {
             }
 
             // Guarantee a minimal schema so no infobox is empty.
-            for (language, infobox) in [(&Language::En, &mut infobox_en), (other, &mut infobox_other)]
-            {
+            for (language, infobox) in [
+                (&Language::En, &mut infobox_en),
+                (other, &mut infobox_other),
+            ] {
                 if infobox.len() < 2 {
                     for concept in ty
                         .concepts
@@ -322,7 +331,10 @@ impl SyntheticGenerator {
                 value: rng.gen_range(lo..=hi).round(),
                 unit,
             },
-            ValueKind::Money { lo_millions, hi_millions } => Fact::Money {
+            ValueKind::Money {
+                lo_millions,
+                hi_millions,
+            } => Fact::Money {
                 millions: rng.gen_range(lo_millions..=hi_millions).round(),
             },
             ValueKind::Alias => {
@@ -361,7 +373,7 @@ impl SyntheticGenerator {
         match fact {
             Fact::Date { year, month, day } => {
                 let day = if noisy {
-                    (*day + rng.gen_range(1..=3)).min(28)
+                    (*day + rng.gen_range(1u32..=3)).min(28)
                 } else {
                     *day
                 };
@@ -516,7 +528,11 @@ fn select_template_concepts<'a>(
         let mut intersection = 0.0;
         let mut union = 0.0;
         for concept in concepts {
-            let ce = if concept.en.is_empty() { 0.0 } else { english_coverage };
+            let ce = if concept.en.is_empty() {
+                0.0
+            } else {
+                english_coverage
+            };
             let position = order.iter().position(|c| c.id == concept.id);
             let cl = match position {
                 None => 0.0,
@@ -546,12 +562,32 @@ fn select_template_concepts<'a>(
 
 /// English/Portuguese month names used when rendering dates.
 const MONTHS_EN: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 const MONTHS_PT: [&str; 12] = [
-    "Janeiro", "Fevereiro", "Março", "Abril", "Maio", "Junho", "Julho", "Agosto", "Setembro",
-    "Outubro", "Novembro", "Dezembro",
+    "Janeiro",
+    "Fevereiro",
+    "Março",
+    "Abril",
+    "Maio",
+    "Junho",
+    "Julho",
+    "Agosto",
+    "Setembro",
+    "Outubro",
+    "Novembro",
+    "Dezembro",
 ];
 
 fn format_date(language: &Language, year: i32, month: u32, day: u32) -> String {
@@ -635,19 +671,64 @@ const TITLE_ADJS: &[(&str, &str, &str)] = &[
 
 /// Words used for language-specific free-text values.
 const FREE_TEXT_EN: &[&str] = &[
-    "independent", "animated series", "weekly", "hardcover", "guitar", "piano", "drums",
-    "american", "limited series", "streaming", "male", "female", "human", "publishing",
-    "entertainment", "broadcasting", "16:9 HDTV", "monthly",
+    "independent",
+    "animated series",
+    "weekly",
+    "hardcover",
+    "guitar",
+    "piano",
+    "drums",
+    "american",
+    "limited series",
+    "streaming",
+    "male",
+    "female",
+    "human",
+    "publishing",
+    "entertainment",
+    "broadcasting",
+    "16:9 HDTV",
+    "monthly",
 ];
 const FREE_TEXT_PT: &[&str] = &[
-    "independente", "série animada", "semanal", "capa dura", "violão", "piano", "bateria",
-    "americano", "série limitada", "transmissão", "masculino", "feminino", "humano", "editorial",
-    "entretenimento", "radiodifusão", "16:9 HDTV", "mensal",
+    "independente",
+    "série animada",
+    "semanal",
+    "capa dura",
+    "violão",
+    "piano",
+    "bateria",
+    "americano",
+    "série limitada",
+    "transmissão",
+    "masculino",
+    "feminino",
+    "humano",
+    "editorial",
+    "entretenimento",
+    "radiodifusão",
+    "16:9 HDTV",
+    "mensal",
 ];
 const FREE_TEXT_VN: &[&str] = &[
-    "độc lập", "phim hoạt hình", "hàng tuần", "bìa cứng", "ghi ta", "dương cầm", "trống",
-    "người Mỹ", "loạt phim ngắn", "phát trực tuyến", "nam", "nữ", "con người", "xuất bản",
-    "giải trí", "phát thanh truyền hình", "16:9 HDTV", "hàng tháng",
+    "độc lập",
+    "phim hoạt hình",
+    "hàng tuần",
+    "bìa cứng",
+    "ghi ta",
+    "dương cầm",
+    "trống",
+    "người Mỹ",
+    "loạt phim ngắn",
+    "phát trực tuyến",
+    "nam",
+    "nữ",
+    "con người",
+    "xuất bản",
+    "giải trí",
+    "phát thanh truyền hình",
+    "16:9 HDTV",
+    "hàng tháng",
 ];
 /// Alias words shared across languages (proper-noun-like strings).
 const ALIAS_WORDS: &[&str] = &[
@@ -784,7 +865,12 @@ mod tests {
         // exists in the corpus and is cross-linked to the other language.
         let film = corpus
             .articles_of_type(&Language::En, "Film")
-            .find(|a| a.infobox.attributes.iter().any(|attr| !attr.links.is_empty()))
+            .find(|a| {
+                a.infobox
+                    .attributes
+                    .iter()
+                    .any(|attr| !attr.links.is_empty())
+            })
             .expect("a film with links");
         let link = film
             .infobox
@@ -812,7 +898,8 @@ mod tests {
                 .iter()
                 .filter_map(|&(e, p)| Some((corpus.get(e)?, corpus.get(p)?)))
             {
-                if en_article.entity_type != type_label_en || pt_article.entity_type != type_label_pt
+                if en_article.entity_type != type_label_en
+                    || pt_article.entity_type != type_label_pt
                 {
                     continue;
                 }
@@ -821,9 +908,8 @@ mod tests {
                 let shared = se
                     .iter()
                     .filter(|a| {
-                        sp.iter().any(|b| {
-                            truth.is_correct(&Language::En, a, &Language::Pt, b)
-                        })
+                        sp.iter()
+                            .any(|b| truth.is_correct(&Language::En, a, &Language::Pt, b))
                     })
                     .count();
                 inter += shared as f64;
@@ -857,7 +943,10 @@ mod tests {
 
     #[test]
     fn date_and_money_formatting_per_language() {
-        assert_eq!(format_date(&Language::En, 1950, 12, 18), "December 18, 1950");
+        assert_eq!(
+            format_date(&Language::En, 1950, 12, 18),
+            "December 18, 1950"
+        );
         assert_eq!(
             format_date(&Language::Pt, 1950, 12, 18),
             "18 de Dezembro de 1950"
@@ -868,6 +957,9 @@ mod tests {
         );
         assert_eq!(format_money(&Language::En, 23.0), "$23 million");
         assert_eq!(format_money(&Language::Pt, 1500.0), "1 bilhões");
-        assert_eq!(format_number(&Language::Pt, 165.0, "minutes"), "165 minutos");
+        assert_eq!(
+            format_number(&Language::Pt, 165.0, "minutes"),
+            "165 minutos"
+        );
     }
 }

@@ -323,7 +323,10 @@ Rest of the article.
         let ib = parse_infobox(src).unwrap();
         assert_eq!(ib.template, "Info/Filme");
         assert_eq!(ib.value_of("duração").unwrap().value, "165 minutos");
-        assert_eq!(ib.value_of("direção").unwrap().links[0].target, "Bernardo Bertolucci");
+        assert_eq!(
+            ib.value_of("direção").unwrap().links[0].target,
+            "Bernardo Bertolucci"
+        );
     }
 
     #[test]

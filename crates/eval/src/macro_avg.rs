@@ -40,10 +40,8 @@ impl MacroAggregator {
         lang_l2: &Language,
     ) {
         let derived_set: BTreeSet<(String, String)> = derived.iter().cloned().collect();
-        let gold_set: BTreeSet<(String, String)> = gold
-            .gold_cross_pairs(lang_l, lang_l2)
-            .into_iter()
-            .collect();
+        let gold_set: BTreeSet<(String, String)> =
+            gold.gold_cross_pairs(lang_l, lang_l2).into_iter().collect();
 
         self.derived_total += derived_set.len();
         self.derived_correct += derived_set

@@ -53,7 +53,10 @@ mod tests {
     #[test]
     fn perfect_ordering_scores_one() {
         assert_eq!(average_precision(&[true, true, false, false]), Some(1.0));
-        assert_eq!(mean_average_precision(&[vec![true], vec![true, false]]), 1.0);
+        assert_eq!(
+            mean_average_precision(&[vec![true], vec![true, false]]),
+            1.0
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ pub fn weighted_scores(
     // c(ai): derived correspondents of each left-side attribute.
     let mut derived_by_left: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
     for (a, b) in derived {
-        derived_by_left.entry(a.as_str()).or_default().insert(b.as_str());
+        derived_by_left
+            .entry(a.as_str())
+            .or_default()
+            .insert(b.as_str());
     }
     let derived_contains =
         |a: &str, b: &str| derived_by_left.get(a).is_some_and(|set| set.contains(b));
@@ -194,7 +197,11 @@ mod tests {
             &freq_l,
             &freq_l2,
         );
-        assert!((scores.precision - 1.0).abs() < 1e-9, "{}", scores.precision);
+        assert!(
+            (scores.precision - 1.0).abs() < 1e-9,
+            "{}",
+            scores.precision
+        );
         assert!((scores.recall - 0.775).abs() < 1e-9, "{}", scores.recall);
         assert!((scores.f1 - 2.0 * 1.0 * 0.775 / 1.775).abs() < 1e-9);
     }
@@ -223,8 +230,7 @@ mod tests {
             ("nascimento".to_string(), "born".to_string()),
             ("morte".to_string(), "born".to_string()),
         ];
-        let scores =
-            weighted_scores(&derived, &gold, &Language::Pt, &Language::En, &freq, &freq);
+        let scores = weighted_scores(&derived, &gold, &Language::Pt, &Language::En, &freq, &freq);
         assert!((scores.precision - 0.5).abs() < 1e-9);
         // Recall: nascimento found (1.0), morte's gold correspondent (died)
         // missed (0.0) → 0.5.

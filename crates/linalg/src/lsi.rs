@@ -17,9 +17,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::cosine;
 use crate::matrix::Matrix;
 use crate::svd::jacobi_svd;
-use crate::cosine;
 
 /// Configuration of the LSI decomposition.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -131,12 +131,12 @@ mod tests {
     /// complementary languages of the same dual infoboxes.
     fn example_matrix() -> (Matrix, Vec<&'static str>) {
         let attrs = vec![
-            "born",         // en
-            "died",         // en
-            "spouse",       // en
-            "nascimento",   // pt (= born)
-            "falecimento",  // pt (= died)
-            "conjuge",      // pt (= spouse)
+            "born",        // en
+            "died",        // en
+            "spouse",      // en
+            "nascimento",  // pt (= born)
+            "falecimento", // pt (= died)
+            "conjuge",     // pt (= spouse)
         ];
         // 8 dual infoboxes; synonyms share occurrence patterns.
         let rows = vec![
@@ -164,7 +164,10 @@ mod tests {
             born_nascimento > born_falecimento,
             "born~nascimento ({born_nascimento}) should exceed born~falecimento ({born_falecimento})"
         );
-        assert!(died_falecimento > 0.95, "died~falecimento = {died_falecimento}");
+        assert!(
+            died_falecimento > 0.95,
+            "died~falecimento = {died_falecimento}"
+        );
     }
 
     #[test]

@@ -138,8 +138,8 @@ impl Matrix {
         assert_eq!(scale.len(), self.cols);
         let mut out = self.clone();
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(r, c, self.get(r, c) * scale[c]);
+            for (c, factor) in scale.iter().enumerate() {
+                out.set(r, c, self.get(r, c) * factor);
             }
         }
         out
@@ -199,7 +199,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]])
+        );
     }
 
     #[test]

@@ -251,7 +251,10 @@ mod tests {
                     .map(|r| svd.u.get(r, i) * svd.u.get(r, j))
                     .sum();
                 let expected = if i == j { 1.0 } else { 0.0 };
-                assert!((dot - expected).abs() < 1e-8, "U not orthonormal at ({i},{j})");
+                assert!(
+                    (dot - expected).abs() < 1e-8,
+                    "U not orthonormal at ({i},{j})"
+                );
             }
         }
         assert_reconstructs(&a, 1e-8);
@@ -307,8 +310,10 @@ mod tests {
         let mut state = 12345u64;
         for r in 0..rows {
             for c in 0..cols {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                if (state >> 33) % 3 == 0 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (state >> 33).is_multiple_of(3) {
                     m.set(r, c, 1.0);
                 }
             }

@@ -1,8 +1,8 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
-use wiki_linalg::{cosine, Matrix, LsiConfig, LsiModel};
 use wiki_linalg::svd::jacobi_svd;
+use wiki_linalg::{cosine, LsiConfig, LsiModel, Matrix};
 
 /// Strategy producing small random matrices with entries in [-3, 3].
 fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
@@ -86,7 +86,7 @@ proptest! {
                 // Rows that survive truncation should be self-similar; rows
                 // fully outside the retained subspace may legitimately be 0.
                 let s = model.similarity(i, i);
-                prop_assert!(s >= -1e-9 && s <= 1.0 + 1e-9);
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&s));
             }
         }
     }

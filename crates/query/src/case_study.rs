@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use wiki_corpus::Dataset;
 use wiki_eval::cumulative_gain_curve;
-use wikimatch::TypeAlignment;
+use wikimatch::{MatchEngine, TypeAlignment};
 
 use crate::engine::QueryEngine;
 use crate::relevance::RelevanceOracle;
@@ -107,6 +107,14 @@ pub fn run_case_study(
     ]
 }
 
+/// Runs the case study directly off a [`MatchEngine`] session: aligns every
+/// type (in parallel, reusing the session's cached artifacts) and evaluates
+/// the workload over the engine's dataset.
+pub fn run_case_study_with_engine(engine: &MatchEngine, k: usize) -> Vec<CaseStudyCurve> {
+    let alignments = engine.align_all();
+    run_case_study(engine.dataset(), &alignments, k)
+}
+
 fn accumulate(total: &mut [f64], curve: &[f64]) {
     for (t, c) in total.iter_mut().zip(curve.iter()) {
         *t += c;
@@ -125,14 +133,11 @@ fn capitalise(code: &str) -> String {
 mod tests {
     use super::*;
     use wiki_corpus::SyntheticConfig;
-    use wikimatch::WikiMatch;
 
     #[test]
     fn translated_queries_gain_more_than_source_queries() {
-        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-        let matcher = WikiMatch::default();
-        let alignments = matcher.align_all(&dataset);
-        let curves = run_case_study(&dataset, &alignments, 20);
+        let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+        let curves = run_case_study_with_engine(&engine, 20);
         assert_eq!(curves.len(), 2);
         assert_eq!(curves[0].label, "Pt");
         assert_eq!(curves[1].label, "Pt->En");
@@ -159,11 +164,16 @@ mod tests {
 
     #[test]
     fn vietnamese_case_study_runs() {
-        let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
-        let matcher = WikiMatch::default();
-        let alignments = matcher.align_all(&dataset);
-        let curves = run_case_study(&dataset, &alignments, 10);
+        let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
+        let dataset = engine.dataset();
+        let alignments = engine.align_all();
+        let curves = run_case_study(dataset, &alignments, 10);
         assert_eq!(curves[0].label, "Vi");
         assert!(curves[1].answers > 0);
+
+        // The engine convenience produces the same curves.
+        let via_engine = run_case_study_with_engine(&engine, 10);
+        assert_eq!(via_engine[0].curve, curves[0].curve);
+        assert_eq!(via_engine[1].curve, curves[1].curve);
     }
 }

@@ -285,7 +285,10 @@ mod tests {
             .constraint(Constraint::new("gênero", Predicate::Equals("Drama".into())));
         let q = CQuery::new("films of genre drama", vec![clause]);
         assert_eq!(q.primary().unwrap().type_id.as_deref(), Some("film"));
-        assert_eq!(q.primary().unwrap().constraints[0].attributes, vec!["genero"]);
+        assert_eq!(
+            q.primary().unwrap().constraints[0].attributes,
+            vec!["genero"]
+        );
     }
 
     #[test]

@@ -132,9 +132,7 @@ pub(crate) fn type_matches(article: &Article, type_name: &str) -> bool {
     if wanted.is_empty() {
         return false;
     }
-    article_type == wanted
-        || article_type.contains(&wanted)
-        || wanted.contains(&article_type)
+    article_type == wanted || article_type.contains(&wanted) || wanted.contains(&article_type)
 }
 
 /// Whether the article satisfies every constraint of a clause.
@@ -149,11 +147,7 @@ pub(crate) fn satisfies_all(article: &Article, clause: &TypeClause) -> bool {
 pub(crate) fn constraint_satisfied(article: &Article, constraint: &Constraint) -> bool {
     for attr in &article.infobox.attributes {
         let name = normalize_label(&attr.name);
-        if !constraint
-            .attributes
-            .iter()
-            .any(|wanted| &name == wanted)
-        {
+        if !constraint.attributes.iter().any(|wanted| &name == wanted) {
             continue;
         }
         if predicate_satisfied(&attr.value, &attr_link_texts(attr), &constraint.predicate) {
@@ -171,7 +165,11 @@ pub(crate) fn attr_link_texts(attr: &wiki_corpus::AttributeValue) -> Vec<String>
 }
 
 /// Whether a raw value satisfies a predicate.
-pub(crate) fn predicate_satisfied(value: &str, link_texts: &[String], predicate: &Predicate) -> bool {
+pub(crate) fn predicate_satisfied(
+    value: &str,
+    link_texts: &[String],
+    predicate: &Predicate,
+) -> bool {
     match predicate {
         Predicate::Projection => !value.trim().is_empty(),
         Predicate::Equals(wanted) => {
@@ -267,8 +265,7 @@ mod tests {
     fn join_through_hyperlinks() {
         let corpus = corpus();
         let engine = QueryEngine::new(&corpus);
-        let query =
-            CQuery::parse("filme(nome=?) and diretor(nascimento >= 1970)").unwrap();
+        let query = CQuery::parse("filme(nome=?) and diretor(nascimento >= 1970)").unwrap();
         let answers = engine.answer(&query, &Language::Pt, 20);
         let top: Vec<&str> = answers
             .iter()

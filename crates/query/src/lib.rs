@@ -37,7 +37,7 @@ pub mod relevance;
 pub mod translate;
 pub mod workload;
 
-pub use case_study::{run_case_study, CaseStudyCurve};
+pub use case_study::{run_case_study, run_case_study_with_engine, CaseStudyCurve};
 pub use cquery::{CQuery, Constraint, Predicate, TypeClause};
 pub use engine::{Answer, QueryEngine};
 pub use relevance::RelevanceOracle;

@@ -53,9 +53,10 @@ impl<'a> RelevanceOracle<'a> {
         let mut total: f64 = 0.0;
         for constraint in &primary.constraints {
             total += 1.0;
-            if versions.iter().any(|a| {
-                self.concept_constraint_satisfied(a, primary, constraint, query_language)
-            }) {
+            if versions
+                .iter()
+                .any(|a| self.concept_constraint_satisfied(a, primary, constraint, query_language))
+            {
                 satisfied += 1.0;
             }
         }
@@ -207,10 +208,7 @@ mod tests {
     fn unknown_article_or_empty_query_grade_zero() {
         let (corpus, gt) = setup();
         let oracle = RelevanceOracle::new(&corpus, &gt);
-        assert_eq!(
-            oracle.grade(ArticleId(999), &query(), &Language::Pt),
-            0.0
-        );
+        assert_eq!(oracle.grade(ArticleId(999), &query(), &Language::Pt), 0.0);
         let empty = CQuery::new("empty", vec![]);
         let some_id = corpus.articles().next().unwrap().id;
         assert_eq!(oracle.grade(some_id, &empty, &Language::Pt), 0.0);

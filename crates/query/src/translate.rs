@@ -28,8 +28,22 @@ pub struct CorrespondenceDictionary {
     attr_map: HashMap<(String, String), Vec<String>>,
     /// normalised foreign type label → type id.
     type_ids: HashMap<String, String>,
+    /// type id → English type label (from the catalog pairings).
+    en_label_by_id: HashMap<String, String>,
     /// Title dictionary for translating constraint values.
     values: TitleDictionary,
+}
+
+/// Deterministic fuzzy label lookup: among entries whose label contains (or
+/// is contained in) `wanted`, picks the most specific — longest label,
+/// ties broken lexicographically. A plain `HashMap::iter().find(..)` here
+/// would make the choice depend on hash-iteration order, which varies per
+/// map instance.
+fn fuzzy_lookup<'a>(map: &'a HashMap<String, String>, wanted: &str) -> Option<&'a str> {
+    map.iter()
+        .filter(|(label, _)| label.contains(wanted) || wanted.contains(label.as_str()))
+        .max_by(|(a, _), (b, _)| a.len().cmp(&b.len()).then_with(|| b.cmp(a)))
+        .map(|(_, value)| value.as_str())
 }
 
 /// Statistics of one query translation.
@@ -47,20 +61,15 @@ impl CorrespondenceDictionary {
     pub fn build(dataset: &Dataset, alignments: &[TypeAlignment]) -> Self {
         let mut type_map = HashMap::new();
         let mut type_ids = HashMap::new();
+        let mut en_label_by_id = HashMap::new();
         // Catalog pairings provide the label mapping; cross-language link
         // voting covers any remaining label.
         for pairing in &dataset.types {
-            type_map.insert(
-                normalize(&pairing.label_other),
-                pairing.label_en.clone(),
-            );
+            type_map.insert(normalize(&pairing.label_other), pairing.label_en.clone());
             type_ids.insert(normalize(&pairing.label_other), pairing.type_id.clone());
+            en_label_by_id.insert(pairing.type_id.clone(), pairing.label_en.clone());
         }
-        for tm in match_entity_types(
-            &dataset.corpus,
-            dataset.other_language(),
-            dataset.english(),
-        ) {
+        for tm in match_entity_types(&dataset.corpus, dataset.other_language(), dataset.english()) {
             type_map
                 .entry(normalize(&tm.label_a))
                 .or_insert(tm.label_b.clone());
@@ -84,6 +93,7 @@ impl CorrespondenceDictionary {
             type_map,
             attr_map,
             type_ids,
+            en_label_by_id,
             values,
         }
     }
@@ -114,10 +124,7 @@ impl CorrespondenceDictionary {
             return Some(id);
         }
         // Tolerant lookup, mirroring the engine's type matching.
-        self.type_ids
-            .iter()
-            .find(|(label, _)| label.contains(&wanted) || wanted.contains(label.as_str()))
-            .map(|(_, id)| id.as_str())
+        fuzzy_lookup(&self.type_ids, &wanted)
     }
 
     /// Translates a query into English, relaxing untranslatable constraints.
@@ -126,21 +133,18 @@ impl CorrespondenceDictionary {
         let mut clauses = Vec::new();
         for clause in &query.clauses {
             let wanted = normalize(&clause.type_name);
-            let en_type = self
-                .type_map
-                .get(&wanted)
-                .cloned()
-                .or_else(|| {
-                    self.type_map
-                        .iter()
-                        .find(|(label, _)| label.contains(&wanted) || wanted.contains(label.as_str()))
-                        .map(|(_, en)| en.clone())
-                })
-                .unwrap_or_else(|| clause.type_name.clone());
             let type_id = clause
                 .type_id
                 .clone()
                 .or_else(|| self.type_id_of(&clause.type_name).map(String::from));
+            // Resolve the English label: a known type id is authoritative,
+            // then the exact label mapping, then the fuzzy fallback.
+            let en_type = type_id
+                .as_ref()
+                .and_then(|id| self.en_label_by_id.get(id).cloned())
+                .or_else(|| self.type_map.get(&wanted).cloned())
+                .or_else(|| fuzzy_lookup(&self.type_map, &wanted).map(String::from))
+                .unwrap_or_else(|| clause.type_name.clone());
 
             let mut translated_clause = TypeClause::new(en_type);
             translated_clause.type_id = type_id.clone();
@@ -188,15 +192,14 @@ impl CorrespondenceDictionary {
 mod tests {
     use super::*;
     use wiki_corpus::SyntheticConfig;
-    use wikimatch::{WikiMatch, WikiMatchConfig};
+    use wikimatch::MatchEngine;
 
     fn dictionary() -> (Dataset, CorrespondenceDictionary) {
-        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-        let matcher = WikiMatch::new(WikiMatchConfig::default());
-        let film = matcher.align_type(&dataset, dataset.type_pairing("film").unwrap());
-        let actor = matcher.align_type(&dataset, dataset.type_pairing("actor").unwrap());
-        let dict = CorrespondenceDictionary::build(&dataset, &[film, actor]);
-        (dataset, dict)
+        let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+        let film = engine.align("film").unwrap();
+        let actor = engine.align("actor").unwrap();
+        let dict = CorrespondenceDictionary::build(engine.dataset(), &[film, actor]);
+        (engine.dataset().clone(), dict)
     }
 
     #[test]
@@ -225,9 +228,10 @@ mod tests {
             .collect();
         assert!(attrs.contains(&"directed by"), "{attrs:?}");
         // The constraint value is translated through the title dictionary.
-        let has_translated_value = translated.clauses[0].constraints.iter().any(|c| {
-            matches!(&c.predicate, Predicate::Equals(v) if v == "united states")
-        });
+        let has_translated_value = translated.clauses[0]
+            .constraints
+            .iter()
+            .any(|c| matches!(&c.predicate, Predicate::Equals(v) if v == "united states"));
         // Value translation requires the country constraint to have been
         // translatable in the first place.
         if stats.relaxed == 0 {

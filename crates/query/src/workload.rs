@@ -192,7 +192,10 @@ mod tests {
 
     #[test]
     fn every_query_has_a_typed_primary_clause() {
-        for query in portuguese_queries().iter().chain(vietnamese_queries().iter()) {
+        for query in portuguese_queries()
+            .iter()
+            .chain(vietnamese_queries().iter())
+        {
             let primary = query.primary().expect("primary clause");
             assert!(primary.type_id.is_some(), "{}", query.description);
             assert!(!primary.constraints.is_empty());

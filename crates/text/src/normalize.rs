@@ -45,8 +45,12 @@ fn fold_char(c: char) -> char {
         'ý' | 'ỳ' | 'ỹ' | 'ỷ' | 'ỵ' => 'y',
         'Ý' | 'Ỳ' | 'Ỹ' | 'Ỷ' | 'Ỵ' => 'Y',
         // Vietnamese tone marks on a.
-        'ạ' | 'ả' | 'ấ' | 'ầ' | 'ẩ' | 'ẫ' | 'ậ' | 'ắ' | 'ằ' | 'ẳ' | 'ẵ' | 'ặ' => 'a',
-        'Ạ' | 'Ả' | 'Ấ' | 'Ầ' | 'Ẩ' | 'Ẫ' | 'Ậ' | 'Ắ' | 'Ằ' | 'Ẳ' | 'Ẵ' | 'Ặ' => 'A',
+        'ạ' | 'ả' | 'ấ' | 'ầ' | 'ẩ' | 'ẫ' | 'ậ' | 'ắ' | 'ằ' | 'ẳ' | 'ẵ' | 'ặ' => {
+            'a'
+        }
+        'Ạ' | 'Ả' | 'Ấ' | 'Ầ' | 'Ẩ' | 'Ẫ' | 'Ậ' | 'Ắ' | 'Ằ' | 'Ẳ' | 'Ẵ' | 'Ặ' => {
+            'A'
+        }
         // Vietnamese tone marks on e.
         'ẹ' | 'ẻ' | 'ẽ' | 'ế' | 'ề' | 'ể' | 'ễ' | 'ệ' => 'e',
         'Ẹ' | 'Ẻ' | 'Ẽ' | 'Ế' | 'Ề' | 'Ể' | 'Ễ' | 'Ệ' => 'E',
@@ -54,8 +58,12 @@ fn fold_char(c: char) -> char {
         'ị' | 'ỉ' | 'ĩ' => 'i',
         'Ị' | 'Ỉ' | 'Ĩ' => 'I',
         // Vietnamese tone marks on o.
-        'ọ' | 'ỏ' | 'ố' | 'ồ' | 'ổ' | 'ỗ' | 'ộ' | 'ớ' | 'ờ' | 'ở' | 'ỡ' | 'ợ' => 'o',
-        'Ọ' | 'Ỏ' | 'Ố' | 'Ồ' | 'Ổ' | 'Ỗ' | 'Ộ' | 'Ớ' | 'Ờ' | 'Ở' | 'Ỡ' | 'Ợ' => 'O',
+        'ọ' | 'ỏ' | 'ố' | 'ồ' | 'ổ' | 'ỗ' | 'ộ' | 'ớ' | 'ờ' | 'ở' | 'ỡ' | 'ợ' => {
+            'o'
+        }
+        'Ọ' | 'Ỏ' | 'Ố' | 'Ồ' | 'Ổ' | 'Ỗ' | 'Ộ' | 'Ớ' | 'Ờ' | 'Ở' | 'Ỡ' | 'Ợ' => {
+            'O'
+        }
         // Vietnamese tone marks on u.
         'ụ' | 'ủ' | 'ứ' | 'ừ' | 'ử' | 'ữ' | 'ự' => 'u',
         'Ụ' | 'Ủ' | 'Ứ' | 'Ừ' | 'Ử' | 'Ữ' | 'Ự' => 'U',
@@ -95,12 +103,12 @@ pub fn normalize(input: &str) -> String {
             None
         };
         match mapped {
-            Some(' ') => {
-                if !last_space {
-                    out.push(' ');
-                    last_space = true;
-                }
+            Some(' ') if !last_space => {
+                out.push(' ');
+                last_space = true;
             }
+            // A space following a space is swallowed.
+            Some(' ') => {}
             Some(ch) => {
                 out.push(ch);
                 last_space = false;

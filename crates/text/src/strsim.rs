@@ -144,10 +144,9 @@ pub fn ngram_similarity(a: &str, b: &str, n: usize) -> f64 {
 }
 
 fn ngrams(s: &str, n: usize) -> Vec<String> {
-    let padded: Vec<char> = std::iter::repeat('#')
-        .take(n - 1)
+    let padded: Vec<char> = std::iter::repeat_n('#', n - 1)
         .chain(s.chars())
-        .chain(std::iter::repeat('#').take(n - 1))
+        .chain(std::iter::repeat_n('#', n - 1))
         .collect();
     if padded.len() < n {
         return Vec::new();
@@ -173,11 +172,7 @@ pub fn token_overlap(a: &str, b: &str) -> f64 {
     let mut used = vec![false; tb.len()];
     let mut common = 0usize;
     for t in &ta {
-        if let Some(i) = tb
-            .iter()
-            .enumerate()
-            .position(|(i, u)| !used[i] && u == t)
-        {
+        if let Some(i) = tb.iter().enumerate().position(|(i, u)| !used[i] && u == t) {
             used[i] = true;
             common += 1;
         }

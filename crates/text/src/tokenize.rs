@@ -57,7 +57,7 @@ pub fn tokenize_value(input: &str) -> Vec<String> {
     // Split on the strong separators first; a comma may be part of an
     // English-style date ("December 18, 1950") so chunks that parse as a
     // date are kept whole and only the remaining ones are split on commas.
-    for chunk in input.split(|c| matches!(c, ';' | '•' | '·' | '\n' | '|')) {
+    for chunk in input.split([';', '•', '·', '\n', '|']) {
         let chunk = chunk.trim();
         if chunk.is_empty() {
             continue;

@@ -151,8 +151,8 @@ fn parse_number_token(token: &str) -> Option<f64> {
     }
     // Reject tokens that had non-numeric junk mixed in (e.g. "12th" is fine,
     // "ab1" is not meaningful as a number).
-    let digit_fraction =
-        cleaned.chars().filter(|c| c.is_ascii_digit()).count() as f64 / token.chars().count() as f64;
+    let digit_fraction = cleaned.chars().filter(|c| c.is_ascii_digit()).count() as f64
+        / token.chars().count() as f64;
     if digit_fraction < 0.5 {
         return None;
     }
@@ -225,15 +225,12 @@ fn parse_date(norm: &str) -> Option<CanonicalValue> {
             month = Some(*m as u32);
             day = Some(*d as u32);
         }
-        (None, [y_or_m]) => {
+        (None, [y_or_m])
             // A single small number alongside a year is ambiguous; treat it as
             // a month if plausible.
-            if *y_or_m <= 12 {
+            if *y_or_m <= 12 => {
                 month = Some(*y_or_m as u32);
-            } else {
-                return None;
             }
-        }
         _ => return None,
     }
 
@@ -341,7 +338,10 @@ mod tests {
 
     #[test]
     fn iso_dates_and_bare_years() {
-        assert_eq!(parse_value("1950-12-18").canonical_token(), "date:1950-12-18");
+        assert_eq!(
+            parse_value("1950-12-18").canonical_token(),
+            "date:1950-12-18"
+        );
         assert_eq!(parse_value("1987").canonical_token(), "date:1987");
         assert!(parse_value("1987").is_date());
     }
@@ -350,10 +350,7 @@ mod tests {
     fn numbers_with_magnitudes_and_units() {
         assert_eq!(parse_value("160 minutes").canonical_token(), "num:160");
         assert_eq!(parse_value("165 minutos").canonical_token(), "num:165");
-        assert_eq!(
-            parse_value("10 million").canonical_token(),
-            "num:10000000"
-        );
+        assert_eq!(parse_value("10 million").canonical_token(), "num:10000000");
         assert_eq!(
             parse_value("10 bilhões").canonical_token(),
             "num:10000000000"

@@ -92,11 +92,7 @@ impl TermVector {
         } else {
             (other, self)
         };
-        small
-            .counts
-            .iter()
-            .map(|(t, w)| w * large.get(t))
-            .sum()
+        small.counts.iter().map(|(t, w)| w * large.get(t)).sum()
     }
 
     /// Cosine similarity with another vector; 0.0 when either is empty.

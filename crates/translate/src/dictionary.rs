@@ -80,7 +80,7 @@ mod tests {
 
     fn corpus_with_links() -> Corpus {
         let mut corpus = Corpus::new();
-        let mut mk = |title: &str, lang: Language, cross: Option<(Language, &str)>| {
+        let mk = |title: &str, lang: Language, cross: Option<(Language, &str)>| {
             let mut ib = Infobox::new("Infobox");
             ib.push(AttributeValue::text("name", title));
             let mut a = Article::new(title, lang, "Thing", ib);
@@ -95,11 +95,7 @@ mod tests {
             Some((Language::Pt, "Estados Unidos")),
         ));
         corpus.insert(mk("Estados Unidos", Language::Pt, None));
-        corpus.insert(mk(
-            "Ireland",
-            Language::En,
-            Some((Language::Pt, "Irlanda")),
-        ));
+        corpus.insert(mk("Ireland", Language::En, Some((Language::Pt, "Irlanda"))));
         corpus.insert(mk("Irlanda", Language::Pt, None));
         corpus.insert(mk("Orphan", Language::En, None));
         corpus
@@ -110,8 +106,14 @@ mod tests {
         let corpus = corpus_with_links();
         let dict = TitleDictionary::from_corpus(&corpus, &Language::Pt, &Language::En);
         assert_eq!(dict.len(), 2);
-        assert_eq!(dict.translate("Estados Unidos"), Some("united states".into()));
-        assert_eq!(dict.translate("estados  unidos"), Some("united states".into()));
+        assert_eq!(
+            dict.translate("Estados Unidos"),
+            Some("united states".into())
+        );
+        assert_eq!(
+            dict.translate("estados  unidos"),
+            Some("united states".into())
+        );
         assert_eq!(dict.translate("Brasil"), None);
         assert_eq!(dict.source(), &Language::Pt);
         assert_eq!(dict.target(), &Language::En);

@@ -1,10 +1,10 @@
 //! The multilingual structured-query case study (Section 5 of the paper).
 //!
 //! Portuguese c-queries are answered over the Portuguese infoboxes, then
-//! translated into English through the correspondences WikiMatch discovered
-//! and answered over the English infoboxes. The translated queries retrieve
-//! more relevant answers because the English corpus has better attribute
-//! coverage.
+//! translated into English through the correspondences a `MatchEngine`
+//! session discovered and answered over the English infoboxes. The
+//! translated queries retrieve more relevant answers because the English
+//! corpus has better attribute coverage.
 //!
 //! Run with:
 //!
@@ -16,17 +16,18 @@ use wikimatch_suite::{wiki_corpus, wiki_query, wikimatch};
 
 use wiki_corpus::{Dataset, SyntheticConfig};
 use wiki_query::{
-    case_study_queries, run_case_study, CorrespondenceDictionary, QueryEngine, RelevanceOracle,
+    case_study_queries, run_case_study_with_engine, CorrespondenceDictionary, QueryEngine,
+    RelevanceOracle,
 };
-use wikimatch::WikiMatch;
+use wikimatch::MatchEngine;
 
 fn main() {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let matcher = WikiMatch::default();
-    let alignments = matcher.align_all(&dataset);
+    let match_engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+    let dataset = match_engine.dataset();
+    let alignments = match_engine.align_all();
 
     // Show one query in detail.
-    let dictionary = CorrespondenceDictionary::build(&dataset, &alignments);
+    let dictionary = CorrespondenceDictionary::build(dataset, &alignments);
     let engine = QueryEngine::new(&dataset.corpus);
     let oracle = RelevanceOracle::new(&dataset.corpus, &dataset.ground_truth);
     let query = &case_study_queries(dataset.other_language())[0];
@@ -36,7 +37,10 @@ fn main() {
     println!("\nTop answers over the Portuguese infoboxes:");
     for answer in &source_answers {
         let grade = oracle.grade(answer.article, query, dataset.other_language());
-        println!("  {:<36} score {:.2}  relevance {grade}", answer.title, answer.score);
+        println!(
+            "  {:<36} score {:.2}  relevance {grade}",
+            answer.title, answer.score
+        );
     }
 
     let (translated, stats) = dictionary.translate_query(query);
@@ -48,12 +52,15 @@ fn main() {
     println!("Top answers over the English infoboxes:");
     for answer in &english_answers {
         let grade = oracle.grade(answer.article, query, dataset.other_language());
-        println!("  {:<36} score {:.2}  relevance {grade}", answer.title, answer.score);
+        println!(
+            "  {:<36} score {:.2}  relevance {grade}",
+            answer.title, answer.score
+        );
     }
 
-    // The aggregate experiment of Figure 4.
+    // The aggregate experiment of Figure 4, straight off the session.
     println!("\nCumulative gain over the ten case-study queries (top-20 answers):");
-    for curve in run_case_study(&dataset, &alignments, 20) {
+    for curve in run_case_study_with_engine(&match_engine, 20) {
         println!(
             "  {:<8} total CG {:>7.1}   answers {}   relaxed constraints {}",
             curve.label,

@@ -1,6 +1,10 @@
 //! Align every Portuguese-English entity type and compare WikiMatch against
 //! the baseline matchers — a miniature version of the paper's Table 2.
 //!
+//! All approaches are `SchemaMatcher` plugins driven through one
+//! `MatchEngine` session, so each type's schema and similarity table are
+//! prepared once and shared by every matcher.
+//!
 //! Run with:
 //!
 //! ```text
@@ -9,60 +13,57 @@
 
 use wikimatch_suite::{evaluate_pairs, wiki_baselines, wiki_corpus, wiki_eval, wikimatch};
 
-use wiki_baselines::{BoumaMatcher, ComaConfiguration, ComaMatcher, LsiTopKMatcher, Matcher};
+use wiki_baselines::{BoumaMatcher, ComaMatcher, LsiTopKMatcher};
 use wiki_corpus::{Dataset, Language, SyntheticConfig};
 use wiki_eval::Scores;
-use wikimatch::{WikiMatch, WikiMatchConfig};
+use wikimatch::{MatchEngine, SchemaMatcher, WikiMatch};
 
 fn main() {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let matcher = WikiMatch::new(WikiMatchConfig::default());
+    let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
 
-    let baselines: Vec<Box<dyn Matcher>> = vec![
+    // WikiMatch and the baselines behind the one plugin interface.
+    let matchers: Vec<Box<dyn SchemaMatcher>> = vec![
+        Box::new(WikiMatch::default()),
         Box::new(BoumaMatcher::default()),
-        Box::new(ComaMatcher::new(
-            ComaConfiguration::NameTranslatedInstanceTranslated,
-        )),
+        Box::new(ComaMatcher::default()), // COMA++ NG+ID
         Box::new(LsiTopKMatcher::new(1)),
     ];
 
     println!(
         "{:<18} {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}",
-        "type", "WM-P", "WM-R", "WM-F", "Bo-P", "Bo-R", "Bo-F", "Co-P", "Co-R", "Co-F", "LSI-P",
-        "LSI-R", "LSI-F"
+        "type",
+        "WM-P",
+        "WM-R",
+        "WM-F",
+        "Bo-P",
+        "Bo-R",
+        "Bo-F",
+        "Co-P",
+        "Co-R",
+        "Co-F",
+        "LSI-P",
+        "LSI-R",
+        "LSI-F"
     );
 
-    let mut averages: Vec<Vec<Scores>> = vec![Vec::new(); baselines.len() + 1];
+    let dataset = engine.dataset();
+    let mut averages: Vec<Vec<Scores>> = vec![Vec::new(); matchers.len()];
     for pairing in &dataset.types {
-        let alignment = matcher.align_type(&dataset, pairing);
-        let freq_other = alignment.schema.frequencies(&Language::Pt);
-        let freq_en = alignment.schema.frequencies(&Language::En);
-
-        let mut row = vec![evaluate_pairs(
-            &dataset,
-            &pairing.type_id,
-            &freq_other,
-            &freq_en,
-            &alignment.cross_pairs(),
-        )];
-        for baseline in &baselines {
-            let pairs = baseline.align(&alignment.schema, &alignment.table);
-            row.push(evaluate_pairs(
-                &dataset,
-                &pairing.type_id,
-                &freq_other,
-                &freq_en,
-                &pairs,
-            ));
-        }
+        let schema = engine.schema(&pairing.type_id).expect("known type");
+        let freq_other = schema.frequencies(&Language::Pt);
+        let freq_en = schema.frequencies(&Language::En);
 
         print!("{:<18}", pairing.type_id);
-        for (i, scores) in row.iter().enumerate() {
+        for (i, matcher) in matchers.iter().enumerate() {
+            let pairs = engine
+                .align_with(matcher.as_ref(), &pairing.type_id)
+                .expect("known type");
+            let scores = evaluate_pairs(dataset, &pairing.type_id, &freq_other, &freq_en, &pairs);
             print!(
                 " {:>6.2} {:>6.2} {:>6.2}  ",
                 scores.precision, scores.recall, scores.f1
             );
-            averages[i].push(*scores);
+            averages[i].push(scores);
         }
         println!();
     }
@@ -70,7 +71,10 @@ fn main() {
     print!("{:<18}", "Avg");
     for per_system in &averages {
         let avg = Scores::average(per_system.iter());
-        print!(" {:>6.2} {:>6.2} {:>6.2}  ", avg.precision, avg.recall, avg.f1);
+        print!(
+            " {:>6.2} {:>6.2} {:>6.2}  ",
+            avg.precision, avg.recall, avg.f1
+        );
     }
     println!();
     println!("\nColumns: WikiMatch (WM), Bouma (Bo), COMA++ NG+ID (Co), LSI top-1 (LSI).");

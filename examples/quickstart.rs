@@ -1,5 +1,5 @@
-//! Quickstart: generate a multilingual corpus, align one entity type and
-//! evaluate the result.
+//! Quickstart: generate a multilingual corpus, open a matching session,
+//! align one entity type and evaluate the result.
 //!
 //! Run with:
 //!
@@ -9,7 +9,7 @@
 
 use wikimatch_suite::evaluate_alignment;
 use wikimatch_suite::wiki_corpus::{Dataset, SyntheticConfig};
-use wikimatch_suite::wikimatch::{WikiMatch, WikiMatchConfig};
+use wikimatch_suite::wikimatch::MatchEngine;
 
 fn main() {
     // 1. Generate a Portuguese-English corpus with built-in ground truth.
@@ -23,11 +23,19 @@ fn main() {
         dataset.pair_name()
     );
 
-    // 2. Run WikiMatch on the "film" entity type with the paper's default
-    //    thresholds (Tsim = 0.6, TLSI = 0.1).
-    let matcher = WikiMatch::new(WikiMatchConfig::default());
-    let pairing = dataset.type_pairing("film").expect("film type exists");
-    let alignment = matcher.align_type(&dataset, pairing);
+    // 2. Open a matching session. Building the engine derives the bilingual
+    //    title dictionary once; the entity-type correspondences and per-type
+    //    artifacts are computed once on first use and cached.
+    let engine = MatchEngine::builder(dataset).build();
+    println!(
+        "Session ready: {} dictionary entries, {} type correspondences",
+        engine.dictionary().len(),
+        engine.type_matches().len()
+    );
+
+    // 3. Align the "film" entity type with the paper's default thresholds
+    //    (Tsim = 0.6, TLSI = 0.1).
+    let alignment = engine.align("film").expect("film type exists");
 
     println!("\nDiscovered correspondences for type `film`:");
     for (pt, en) in alignment.cross_pairs() {
@@ -39,9 +47,9 @@ fn main() {
         println!("  {{ {cluster} }}");
     }
 
-    // 3. Evaluate against the generator's ground truth with the paper's
+    // 4. Evaluate against the generator's ground truth with the paper's
     //    weighted precision / recall / F-measure.
-    let scores = evaluate_alignment(&dataset, &alignment);
+    let scores = evaluate_alignment(engine.dataset(), &alignment);
     println!(
         "\nWeighted scores for `film`: precision {:.2}, recall {:.2}, F1 {:.2}",
         scores.precision, scores.recall, scores.f1

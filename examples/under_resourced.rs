@@ -3,9 +3,10 @@
 //! The Vietnamese Wikipedia is roughly an order of magnitude smaller than
 //! the Portuguese one and shares no word roots with English, so
 //! training-based or string-similarity-based matchers struggle. This example
-//! shows the parts of WikiMatch that make it work anyway: automatic
-//! entity-type matching over cross-language links, the title dictionary, and
-//! the LSI correlation that needs no lexical overlap at all.
+//! shows the parts of WikiMatch that make it work anyway — and how the
+//! `MatchEngine` session exposes them: the entity-type correspondences and
+//! the title dictionary are computed once at session start and shared by
+//! every per-type alignment.
 //!
 //! Run with:
 //!
@@ -13,11 +14,10 @@
 //! cargo run --release --example under_resourced
 //! ```
 
-use wikimatch_suite::{evaluate_alignment, wiki_corpus, wiki_translate, wikimatch};
+use wikimatch_suite::{evaluate_alignment, wiki_corpus, wikimatch};
 
 use wiki_corpus::{Dataset, SyntheticConfig};
-use wiki_translate::TitleDictionary;
-use wikimatch::{match_entity_types, WikiMatch, WikiMatchConfig};
+use wikimatch::MatchEngine;
 
 fn main() {
     let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
@@ -27,17 +27,13 @@ fn main() {
         dataset.types.len()
     );
 
-    // Step 1 of the paper: discover which entity types correspond across
-    // languages, purely from cross-language links.
+    // Session construction performs step 1 of the paper — entity-type
+    // matching over cross-language links — and derives the bilingual
+    // dictionary, both exactly once.
+    let engine = MatchEngine::builder(dataset).build();
+
     println!("Entity-type matching (cross-language link voting):");
-    for m in match_entity_types(
-        &dataset.corpus,
-        dataset.other_language(),
-        dataset.english(),
-    )
-    .iter()
-    .take(8)
-    {
+    for m in engine.type_matches().iter().take(8) {
         println!(
             "  {:<32} -> {:<22} (support {}, confidence {:.2})",
             m.label_a, m.label_b, m.support, m.confidence
@@ -45,33 +41,30 @@ fn main() {
     }
 
     // The automatically derived bilingual dictionary.
-    let dictionary = TitleDictionary::from_corpus(
-        &dataset.corpus,
-        dataset.other_language(),
-        dataset.english(),
+    let dictionary = engine.dictionary();
+    println!(
+        "\nAutomatically derived title dictionary: {} entries",
+        dictionary.len()
     );
-    println!("\nAutomatically derived title dictionary: {} entries", dictionary.len());
     for term in ["Hoa Kỳ", "Chính kịch", "Tiếng Anh"] {
         if let Some(translation) = dictionary.translate(term) {
             println!("  {term} -> {translation}");
         }
     }
 
-    // Step 2–3: align attributes of every type and evaluate.
-    let matcher = WikiMatch::new(WikiMatchConfig::default());
+    // Steps 2–3: align attributes of every type (in parallel) and evaluate.
     println!("\nPer-type weighted scores:");
-    for pairing in &dataset.types {
-        let alignment = matcher.align_type(&dataset, pairing);
-        let scores = evaluate_alignment(&dataset, &alignment);
+    for alignment in engine.align_all() {
+        let scores = evaluate_alignment(engine.dataset(), &alignment);
         println!(
             "  {:<8} P {:.2}  R {:.2}  F {:.2}   ({} correspondences)",
-            pairing.type_id,
+            alignment.type_id,
             scores.precision,
             scores.recall,
             scores.f1,
             alignment.cross_pairs().len()
         );
-        if pairing.type_id == "film" {
+        if alignment.type_id == "film" {
             for (vn, en) in alignment.cross_pairs().iter().take(6) {
                 println!("      {vn:<20} ~ {en}");
             }

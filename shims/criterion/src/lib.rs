@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A wall-clock harness exposing the subset of criterion's API the
+//! workspace benches use: `Criterion::bench_function`, benchmark groups
+//! with `bench_with_input`, `BenchmarkId`, the `criterion_group!` /
+//! `criterion_main!` macros and `black_box`. It reports median / mean
+//! per-iteration times; there is no statistical analysis, plotting or
+//! state persistence.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// No-op in the shim (the real crate parses CLI filters here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id);
+        run_bench(
+            &name,
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id);
+        run_bench(
+            &name,
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            text: s.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    /// Measured per-iteration durations, filled by `iter`.
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then recording samples until the
+    /// sample count or the measurement budget is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        let measure_end = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= measure_end {
+                break;
+            }
+        }
+        if self.samples.is_empty() {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        warm_up_time,
+        measurement_time,
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{name:<48} median {:>10}   mean {:>10}   range [{} .. {}]   ({} samples)",
+        format_duration(median),
+        format_duration(mean),
+        format_duration(min),
+        format_duration(max),
+        samples.len(),
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

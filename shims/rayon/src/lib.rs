@@ -1,0 +1,162 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the `par_iter().map(..).collect::<Vec<_>>()` shape (plus
+//! `for_each`) over slices and `Vec`s, executing on scoped OS threads —
+//! one chunk per available core, order-preserving. This is not a
+//! work-stealing pool; it is the smallest surface that lets the engine
+//! parallelize per-type alignment without a crates.io dependency.
+
+/// The glob-importable API, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Runs `f` over `items` on up to `available_parallelism` threads,
+/// preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    })
+}
+
+/// Conversion into a parallel iterator over references, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Sync + 'a;
+    /// Starts a parallel iteration over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let _ = self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// A mapped parallel iterator; terminate with [`ParallelIterator::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// The terminal operations of the shim's parallel iterators.
+pub trait ParallelIterator {
+    /// Item produced by the iterator.
+    type Item: Send;
+    /// Executes the parallel pipeline and collects the results in order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C;
+}
+
+impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk_size = n.div_ceil(threads);
+        let f = &self.f;
+        let results: Vec<R> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("par_iter worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..100).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_empty_and_single() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [41usize];
+        let out: Vec<usize> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,485 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses the item token stream by hand (the environment has no `syn` /
+//! `quote`) and generates impls of the shim's `Serialize` / `Deserialize`
+//! traits. Supports the shapes this workspace uses:
+//!
+//! * structs with named fields, honouring `#[serde(skip)]`;
+//! * tuple structs (newtype structs serialize transparently);
+//! * enums with unit, newtype and tuple variants.
+//!
+//! Generics are not supported — none of the workspace's serialized types
+//! are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// True when an attribute group (the tokens inside `#[...]`) is
+/// `serde(skip)` (or contains `skip` among the serde options).
+fn is_serde_skip(tokens: &[TokenTree]) -> bool {
+    match tokens {
+        [TokenTree::Ident(ident), TokenTree::Group(group)] if ident.to_string() == "serde" => group
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes a leading run of attributes, returning whether any was
+/// `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
+    let mut skip = false;
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(group)) = tokens.get(pos + 1) {
+                    if group.delimiter() == Delimiter::Bracket {
+                        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                        skip |= is_serde_skip(&inner);
+                        pos += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (pos, skip)
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(pos) {
+        if ident.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(pos) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Number of top-level comma-separated entries in a token sequence
+/// (0 for an empty sequence).
+fn count_top_level_entries(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1usize;
+    let mut saw_token_since_comma = false;
+    for token in tokens {
+        match token {
+            TokenTree::Punct(p) if depth == 0 && p.as_char() == ',' => {
+                count += 1;
+                saw_token_since_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                saw_token_since_comma = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+                saw_token_since_comma = true;
+            }
+            _ => saw_token_since_comma = true,
+        }
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group_tokens;
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let (next, skip) = skip_attributes(&tokens, pos);
+        pos = skip_visibility(&tokens, next);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            _ => break,
+        };
+        pos += 1;
+        // Expect ':'; then swallow the type up to a top-level ','.
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => break,
+        }
+        let mut depth = 0usize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(group_tokens: Vec<TokenTree>) -> Result<Vec<Variant>, String> {
+    let tokens = group_tokens;
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let (next, _) = skip_attributes(&tokens, pos);
+        pos = next;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        pos += 1;
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(group)) = tokens.get(pos) {
+            match group.delimiter() {
+                Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                    arity = count_top_level_entries(&inner);
+                    pos += 1;
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "struct variant `{name}` is not supported by the serde shim"
+                    ))
+                }
+                _ => {}
+            }
+        }
+        // Optional discriminant `= expr` is not supported; skip to ','.
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    pos += 1;
+                    break;
+                }
+                _ => pos += 1,
+            }
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    loop {
+        let (next, _) = skip_attributes(&tokens, pos);
+        pos = skip_visibility(&tokens, next);
+        match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" {
+                    break;
+                }
+                pos += 1; // e.g. `pub`, lifetimes cruft — keep scanning
+            }
+            Some(_) => pos += 1,
+            None => return Err("no struct or enum found".to_string()),
+        }
+    }
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        _ => unreachable!(),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("missing item name".to_string()),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the serde shim"
+            ));
+        }
+    }
+    match tokens.get(pos) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(inner),
+                })
+            } else {
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(inner)?,
+                })
+            }
+        }
+        Some(TokenTree::Group(group))
+            if group.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_top_level_entries(&inner),
+            })
+        }
+        other => Err(format!("unsupported item shape after `{name}`: {other:?}")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize_value(&self.{f})));\n",
+                    f = field.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::serialize_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                if v.arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    ));
+                } else {
+                    let binders: Vec<String> = (0..v.arity).map(|i| format!("f{i}")).collect();
+                    let payload = if v.arity == 1 {
+                        "::serde::Serialize::serialize_value(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{v}({binders}) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), {payload})]),\n",
+                        v = v.name,
+                        binders = binders.join(", ")
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in &fields {
+                if field.skip {
+                    inits.push_str(&format!(
+                        "{f}: ::std::default::Default::default(),\n",
+                        f = field.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         value.get_field(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n",
+                        f = field.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if value.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected object for struct {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(Self {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::deserialize_value(value)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::deserialize_value(\
+                             items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let items = value.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.arity == 0)
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|v| v.arity > 0)
+                .map(|v| {
+                    let ctor = if v.arity == 1 {
+                        format!(
+                            "{name}::{v}(::serde::Deserialize::deserialize_value(payload)?)",
+                            v = v.name
+                        )
+                    } else {
+                        let items: Vec<String> = (0..v.arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize_value(\
+                                     items.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{{ let items = payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array payload\"))?;\n\
+                             {name}::{v}({items}) }}",
+                            v = v.name,
+                            items = items.join(", ")
+                        )
+                    };
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({ctor}),\n",
+                        v = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant {{other}} for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (variant, payload) = (&entries[0].0, &entries[0].1);\n\
+                 let _ = payload;\n\
+                 match variant.as_str() {{\n\
+                 {data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant {{other}} for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unexpected value {{other:?}} for enum {name}\"))),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

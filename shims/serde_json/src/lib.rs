@@ -1,0 +1,307 @@
+//! Offline stand-in for `serde_json`: JSON text ⟷ the serde shim's
+//! [`Value`] tree.
+
+pub use serde::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// `Result` alias matching serde_json's signature shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a JSON string into a deserializable value.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let value = parse_value(text)?;
+    T::deserialize_value(&value)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` is the shortest representation that round-trips.
+                let _ = write!(out, "{f:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+fn parse_value(text: &str) -> Result<Value> {
+    let mut parser = Parser {
+        chars: text.chars().peekable(),
+    };
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.chars.peek().is_some() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        match self.chars.next() {
+            Some(found) if found == c => Ok(()),
+            other => Err(Error::custom(format!("expected '{c}', found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self, rest: &str, value: Value) -> Result<Value> {
+        for expected in rest.chars() {
+            self.expect(expected)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_whitespace();
+        match self.chars.peek().copied() {
+            None => Err(Error::custom("unexpected end of input")),
+            Some('n') => self.literal("null", Value::Null),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('"') => self.string().map(Value::Str),
+            Some('[') => {
+                self.chars.next();
+                let mut items = Vec::new();
+                self.skip_whitespace();
+                if self.chars.peek() == Some(&']') {
+                    self.chars.next();
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_whitespace();
+                    match self.chars.next() {
+                        Some(',') => continue,
+                        Some(']') => break,
+                        other => {
+                            return Err(Error::custom(format!(
+                                "expected ',' or ']', found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Value::Array(items))
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut entries = Vec::new();
+                self.skip_whitespace();
+                if self.chars.peek() == Some(&'}') {
+                    self.chars.next();
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.string()?;
+                    self.skip_whitespace();
+                    self.expect(':')?;
+                    let value = self.value()?;
+                    entries.push((key, value));
+                    self.skip_whitespace();
+                    match self.chars.next() {
+                        Some(',') => continue,
+                        Some('}') => break,
+                        other => {
+                            return Err(Error::custom(format!(
+                                "expected ',' or '}}', found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Value::Object(entries))
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(other) => Err(Error::custom(format!("unexpected character '{other}'"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err(Error::custom("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let digit = self
+                                .chars
+                                .next()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| Error::custom("bad \\u escape"))?;
+                            code = code * 16 + digit;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                        );
+                    }
+                    other => {
+                        return Err(Error::custom(format!("bad escape {other:?}")));
+                    }
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let mut text = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                text.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::custom(format!("bad number {text}: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error::custom(format!("bad number {text}: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let value = Value::Object(vec![
+            (
+                "a".into(),
+                Value::Array(vec![Value::Int(1), Value::Float(0.5)]),
+            ),
+            ("s".into(), Value::Str("he said \"hi\"\n".into())),
+            ("n".into(), Value::Null),
+            ("b".into(), Value::Bool(true)),
+        ]);
+        let mut compact = String::new();
+        write_value(&mut compact, &value, None, 0);
+        assert_eq!(parse_value(&compact).unwrap(), value);
+        let mut pretty = String::new();
+        write_value(&mut pretty, &value, Some(2), 0);
+        assert_eq!(parse_value(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 123456.789] {
+            let mut out = String::new();
+            write_value(&mut out, &Value::Float(f), None, 0);
+            assert_eq!(parse_value(&out).unwrap(), Value::Float(f));
+        }
+    }
+}

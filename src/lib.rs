@@ -5,7 +5,33 @@
 //! under `tests/` can use a single dependency, and offers a couple of
 //! convenience helpers shared by both.
 //!
-//! The individual crates are:
+//! ## The session API in one minute
+//!
+//! All matching flows through [`wikimatch::MatchEngine`], a corpus-scoped
+//! session: build it once per dataset, and the bilingual title dictionary,
+//! the entity-type correspondences and the per-type schema/similarity
+//! artifacts are computed exactly once and reused by every request.
+//!
+//! ```
+//! use wikimatch_suite::{evaluate_alignment, wiki_corpus, wikimatch};
+//! use wiki_corpus::{Dataset, SyntheticConfig};
+//! use wikimatch::MatchEngine;
+//!
+//! let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+//! let alignment = engine.align("film").expect("film type exists");
+//! let scores = evaluate_alignment(engine.dataset(), &alignment);
+//! assert!(scores.f1 > 0.0);
+//! ```
+//!
+//! Matchers — WikiMatch itself and every baseline — implement
+//! [`wikimatch::SchemaMatcher`] and are interchangeable plugins:
+//! `engine.align_with(&matcher, "film")` runs any of them over the same
+//! cached artifacts. The pre-0.2 one-shot calls on `WikiMatch`
+//! (`align_type` / `align_all` / `prepare_type` / `match_types`) are
+//! deprecated shims around a throwaway engine and will be removed one
+//! release after 0.2.
+//!
+//! ## The individual crates
 //!
 //! * [`wiki_corpus`] — data model, wikitext parser, synthetic corpus
 //!   generator and ground truth;
@@ -13,8 +39,10 @@
 //! * [`wiki_linalg`] — SVD / LSI numerics;
 //! * [`wiki_translate`] — bilingual title dictionary and simulated machine
 //!   translation;
-//! * [`wikimatch`] — the WikiMatch matcher itself;
-//! * [`wiki_baselines`] — LSI, Bouma and COMA++-style baselines;
+//! * [`wikimatch`] — the `MatchEngine` session, the `SchemaMatcher` plugin
+//!   trait and the WikiMatch matcher itself;
+//! * [`wiki_baselines`] — LSI, Bouma, COMA++-style and correlation-ordering
+//!   baselines, all `SchemaMatcher` plugins;
 //! * [`wiki_eval`] — weighted/macro metrics, MAP, cumulative gain, overlap;
 //! * [`wiki_query`] — the WikiQuery-style case study.
 
@@ -40,8 +68,8 @@ use wikimatch::TypeAlignment;
 /// dataset with the paper's weighted metrics.
 ///
 /// The pairs must be `(foreign-language attribute, English attribute)`, the
-/// orientation produced by [`TypeAlignment::cross_pairs`] and by the
-/// baseline matchers.
+/// orientation produced by [`TypeAlignment::cross_pairs`] and by every
+/// [`wikimatch::SchemaMatcher`] implementation.
 pub fn evaluate_pairs(
     dataset: &Dataset,
     type_id: &str,
@@ -62,8 +90,8 @@ pub fn evaluate_pairs(
     )
 }
 
-/// Evaluates a [`TypeAlignment`] produced by WikiMatch against the dataset's
-/// ground truth.
+/// Evaluates a [`TypeAlignment`] produced by a
+/// [`wikimatch::MatchEngine`] against the dataset's ground truth.
 pub fn evaluate_alignment(dataset: &Dataset, alignment: &TypeAlignment) -> Scores {
     let freq_other = alignment.schema.frequencies(dataset.other_language());
     let freq_en = alignment.schema.frequencies(&Language::En);
@@ -80,14 +108,13 @@ pub fn evaluate_alignment(dataset: &Dataset, alignment: &TypeAlignment) -> Score
 mod tests {
     use super::*;
     use wiki_corpus::SyntheticConfig;
-    use wikimatch::WikiMatch;
+    use wikimatch::MatchEngine;
 
     #[test]
     fn evaluate_alignment_produces_bounded_scores() {
-        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-        let matcher = WikiMatch::default();
-        let alignment = matcher.align_type(&dataset, dataset.type_pairing("film").unwrap());
-        let scores = evaluate_alignment(&dataset, &alignment);
+        let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+        let alignment = engine.align("film").unwrap();
+        let scores = evaluate_alignment(engine.dataset(), &alignment);
         assert!((0.0..=1.0).contains(&scores.precision));
         assert!((0.0..=1.0).contains(&scores.recall));
         assert!(scores.f1 > 0.0, "film alignment should find something");

@@ -1,21 +1,27 @@
 //! Integration tests for the component-contribution claims (Table 3 /
 //! Figure 3): removing ReviseUncertain hurts recall, removing the similarity
 //! features hurts F-measure, and the single-step variant erodes precision.
+//!
+//! Every configuration is a `WikiMatch` value run as a `SchemaMatcher`
+//! plugin over one shared `MatchEngine` session, so the per-type schema and
+//! similarity artifacts are computed once for the whole ablation sweep.
 
 use wikimatch_suite::{evaluate_pairs, wiki_corpus, wiki_eval, wikimatch};
 
 use wiki_corpus::{Dataset, Language, SyntheticConfig};
 use wiki_eval::Scores;
-use wikimatch::{AttributeAlignment, WikiMatch, WikiMatchConfig};
+use wikimatch::{MatchEngine, WikiMatch, WikiMatchConfig};
 
-/// Average weighted scores of a configuration over all Pt-En types.
-fn average_scores(dataset: &Dataset, config: WikiMatchConfig) -> Scores {
-    let matcher = WikiMatch::new(WikiMatchConfig::default());
+/// Average weighted scores of a configuration over all types of the engine's
+/// dataset.
+fn average_scores(engine: &MatchEngine, config: WikiMatchConfig) -> Scores {
+    let dataset = engine.dataset();
     let mut scores = Vec::new();
     for pairing in &dataset.types {
-        let (schema, table) = matcher.prepare_type(dataset, pairing);
-        let matches = AttributeAlignment::new(&schema, &table, config).run();
-        let pairs = matches.cross_language_pairs(&schema, dataset.other_language(), &Language::En);
+        let pairs = engine
+            .align_with(&WikiMatch::new(config), &pairing.type_id)
+            .unwrap();
+        let schema = engine.schema(&pairing.type_id).unwrap();
         let freq_other = schema.frequencies(dataset.other_language());
         let freq_en = schema.frequencies(&Language::En);
         scores.push(evaluate_pairs(
@@ -29,12 +35,16 @@ fn average_scores(dataset: &Dataset, config: WikiMatchConfig) -> Scores {
     Scores::average(scores.iter())
 }
 
+fn pt_engine() -> MatchEngine {
+    MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build()
+}
+
 #[test]
 fn revise_uncertain_improves_recall_without_hurting_precision_much() {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let full = average_scores(&dataset, WikiMatchConfig::default());
+    let engine = pt_engine();
+    let full = average_scores(&engine, WikiMatchConfig::default());
     let without = average_scores(
-        &dataset,
+        &engine,
         WikiMatchConfig::default().without_revise_uncertain(),
     );
     assert!(
@@ -50,9 +60,9 @@ fn revise_uncertain_improves_recall_without_hurting_precision_much() {
 
 #[test]
 fn removing_value_similarity_hurts_the_most() {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let full = average_scores(&dataset, WikiMatchConfig::default());
-    let no_vsim = average_scores(&dataset, WikiMatchConfig::default().without_vsim());
+    let engine = pt_engine();
+    let full = average_scores(&engine, WikiMatchConfig::default());
+    let no_vsim = average_scores(&engine, WikiMatchConfig::default().without_vsim());
     assert!(
         no_vsim.f1 <= full.f1 + 1e-9,
         "removing vsim should not improve F ({:.2} vs {:.2})",
@@ -69,9 +79,9 @@ fn removing_value_similarity_hurts_the_most() {
 
 #[test]
 fn random_ordering_is_not_better_than_lsi_ordering() {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let full = average_scores(&dataset, WikiMatchConfig::default());
-    let random = average_scores(&dataset, WikiMatchConfig::default().with_random_ordering());
+    let engine = pt_engine();
+    let full = average_scores(&engine, WikiMatchConfig::default());
+    let random = average_scores(&engine, WikiMatchConfig::default().with_random_ordering());
     assert!(
         random.f1 <= full.f1 + 0.05,
         "random ordering F {:.2} unexpectedly beats LSI ordering F {:.2}",
@@ -82,9 +92,9 @@ fn random_ordering_is_not_better_than_lsi_ordering() {
 
 #[test]
 fn single_step_erodes_precision() {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let full = average_scores(&dataset, WikiMatchConfig::default());
-    let single = average_scores(&dataset, WikiMatchConfig::default().single_step());
+    let engine = pt_engine();
+    let full = average_scores(&engine, WikiMatchConfig::default());
+    let single = average_scores(&engine, WikiMatchConfig::default().single_step());
     assert!(
         single.precision < full.precision,
         "single-step precision {:.2} should be below the two-phase precision {:.2}",
@@ -95,7 +105,7 @@ fn single_step_erodes_precision() {
 
 #[test]
 fn every_ablation_still_returns_valid_scores() {
-    let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
+    let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
     let configs = [
         WikiMatchConfig::default(),
         WikiMatchConfig::default().without_revise_uncertain(),
@@ -108,7 +118,7 @@ fn every_ablation_still_returns_valid_scores() {
         WikiMatchConfig::default().with_random_ordering(),
     ];
     for config in configs {
-        let scores = average_scores(&dataset, config);
+        let scores = average_scores(&engine, config);
         assert!((0.0..=1.0).contains(&scores.precision));
         assert!((0.0..=1.0).contains(&scores.recall));
         assert!((0.0..=1.0).contains(&scores.f1));

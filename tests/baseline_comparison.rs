@@ -1,13 +1,14 @@
 //! Integration tests for the comparative claims of the paper (Table 2
 //! shape): WikiMatch's recall advantage over the value-equality baseline and
-//! its clear margin over plain LSI.
+//! its clear margin over plain LSI. All approaches run as `SchemaMatcher`
+//! plugins through one `MatchEngine` session per dataset.
 
 use wikimatch_suite::{evaluate_pairs, wiki_baselines, wiki_corpus, wiki_eval, wikimatch};
 
-use wiki_baselines::{BoumaMatcher, LsiTopKMatcher, Matcher};
+use wiki_baselines::{BoumaMatcher, LsiTopKMatcher};
 use wiki_corpus::{Dataset, Language, SyntheticConfig};
 use wiki_eval::Scores;
-use wikimatch::{WikiMatch, WikiMatchConfig};
+use wikimatch::{MatchEngine, SchemaMatcher, WikiMatch};
 
 struct Comparison {
     wikimatch: Scores,
@@ -15,37 +16,40 @@ struct Comparison {
     lsi: Scores,
 }
 
-fn compare(dataset: &Dataset) -> Comparison {
-    let matcher = WikiMatch::new(WikiMatchConfig::default());
-    let mut wm = Vec::new();
-    let mut bouma = Vec::new();
-    let mut lsi = Vec::new();
+fn compare(engine: &MatchEngine) -> Comparison {
+    let dataset = engine.dataset();
+    let systems: [&dyn SchemaMatcher; 3] = [
+        &WikiMatch::default(),
+        &BoumaMatcher::default(),
+        &LsiTopKMatcher::new(1),
+    ];
+    let mut per_system: Vec<Vec<Scores>> = vec![Vec::new(); systems.len()];
     for pairing in &dataset.types {
-        let alignment = matcher.align_type(dataset, pairing);
-        let freq_other = alignment.schema.frequencies(dataset.other_language());
-        let freq_en = alignment.schema.frequencies(&Language::En);
-        let eval = |pairs: &[(String, String)]| {
-            evaluate_pairs(dataset, &pairing.type_id, &freq_other, &freq_en, pairs)
-        };
-        wm.push(eval(&alignment.cross_pairs()));
-        bouma.push(eval(
-            &BoumaMatcher::default().align(&alignment.schema, &alignment.table),
-        ));
-        lsi.push(eval(
-            &LsiTopKMatcher::new(1).align(&alignment.schema, &alignment.table),
-        ));
+        let schema = engine.schema(&pairing.type_id).unwrap();
+        let freq_other = schema.frequencies(dataset.other_language());
+        let freq_en = schema.frequencies(&Language::En);
+        for (i, system) in systems.iter().enumerate() {
+            let pairs = engine.align_with(*system, &pairing.type_id).unwrap();
+            per_system[i].push(evaluate_pairs(
+                dataset,
+                &pairing.type_id,
+                &freq_other,
+                &freq_en,
+                &pairs,
+            ));
+        }
     }
     Comparison {
-        wikimatch: Scores::average(wm.iter()),
-        bouma: Scores::average(bouma.iter()),
-        lsi: Scores::average(lsi.iter()),
+        wikimatch: Scores::average(per_system[0].iter()),
+        bouma: Scores::average(per_system[1].iter()),
+        lsi: Scores::average(per_system[2].iter()),
     }
 }
 
 #[test]
 fn wikimatch_outperforms_plain_lsi_and_out_recalls_bouma_pt_en() {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let c = compare(&dataset);
+    let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+    let c = compare(&engine);
     assert!(
         c.wikimatch.f1 > c.lsi.f1,
         "WikiMatch F {:.2} vs LSI F {:.2}",
@@ -59,13 +63,17 @@ fn wikimatch_outperforms_plain_lsi_and_out_recalls_bouma_pt_en() {
         c.bouma.recall
     );
     // Bouma keeps its characteristic high precision.
-    assert!(c.bouma.precision > 0.8, "Bouma precision {:.2}", c.bouma.precision);
+    assert!(
+        c.bouma.precision > 0.8,
+        "Bouma precision {:.2}",
+        c.bouma.precision
+    );
 }
 
 #[test]
 fn wikimatch_outperforms_plain_lsi_vn_en() {
-    let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
-    let c = compare(&dataset);
+    let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
+    let c = compare(&engine);
     assert!(
         c.wikimatch.f1 > c.lsi.f1,
         "WikiMatch F {:.2} vs LSI F {:.2}",
@@ -82,21 +90,16 @@ fn wikimatch_outperforms_plain_lsi_vn_en() {
 
 #[test]
 fn lsi_recall_grows_with_k_while_precision_drops() {
-    // The Figure 6 trend, asserted on one representative type.
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let matcher = WikiMatch::default();
-    let pairing = dataset.type_pairing("film").unwrap();
-    let alignment = matcher.align_type(&dataset, pairing);
-    let freq_other = alignment.schema.frequencies(&Language::Pt);
-    let freq_en = alignment.schema.frequencies(&Language::En);
+    // The Figure 6 trend, asserted on one representative type. The engine
+    // prepares the film schema once; every k reuses it.
+    let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+    let dataset = engine.dataset();
+    let schema = engine.schema("film").unwrap();
+    let freq_other = schema.frequencies(&Language::Pt);
+    let freq_en = schema.frequencies(&Language::En);
     let eval = |k: usize| {
-        evaluate_pairs(
-            &dataset,
-            "film",
-            &freq_other,
-            &freq_en,
-            &LsiTopKMatcher::new(k).align(&alignment.schema, &alignment.table),
-        )
+        let pairs = engine.align_with(&LsiTopKMatcher::new(k), "film").unwrap();
+        evaluate_pairs(dataset, "film", &freq_other, &freq_en, &pairs)
     };
     let top1 = eval(1);
     let top10 = eval(10);

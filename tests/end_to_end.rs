@@ -1,22 +1,22 @@
-//! End-to-end integration tests: corpus generation → type matching →
-//! attribute alignment → evaluation, spanning every crate of the workspace.
+//! End-to-end integration tests: corpus generation → engine session →
+//! type matching → attribute alignment → evaluation, spanning every crate
+//! of the workspace.
 
 use wikimatch_suite::{evaluate_alignment, wiki_corpus, wiki_eval, wikimatch};
 
 use wiki_corpus::{Dataset, Language, SyntheticConfig};
 use wiki_eval::Scores;
-use wikimatch::{match_entity_types, WikiMatch, WikiMatchConfig};
+use wikimatch::MatchEngine;
 
-fn dataset() -> Dataset {
-    Dataset::pt_en(&SyntheticConfig::tiny())
+fn engine() -> MatchEngine {
+    MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build()
 }
 
 #[test]
 fn full_pipeline_produces_sound_alignments_for_every_type() {
-    let dataset = dataset();
-    let matcher = WikiMatch::new(WikiMatchConfig::default());
-    let alignments = matcher.align_all(&dataset);
-    assert_eq!(alignments.len(), dataset.types.len());
+    let engine = engine();
+    let alignments = engine.align_all();
+    assert_eq!(alignments.len(), engine.dataset().types.len());
 
     let mut scores = Vec::new();
     for alignment in &alignments {
@@ -26,7 +26,7 @@ fn full_pipeline_produces_sound_alignments_for_every_type() {
             assert!(alignment.schema.index_of(&Language::Pt, &other).is_some());
             assert!(alignment.schema.index_of(&Language::En, &en).is_some());
         }
-        let s = evaluate_alignment(&dataset, alignment);
+        let s = evaluate_alignment(engine.dataset(), alignment);
         assert!((0.0..=1.0).contains(&s.precision));
         assert!((0.0..=1.0).contains(&s.recall));
         scores.push(s);
@@ -34,14 +34,19 @@ fn full_pipeline_produces_sound_alignments_for_every_type() {
     // The matcher must do clearly better than chance on average.
     let avg = Scores::average(scores.iter());
     assert!(avg.f1 > 0.4, "average F-measure {:.2} too low", avg.f1);
-    assert!(avg.precision > 0.5, "average precision {:.2} too low", avg.precision);
+    assert!(
+        avg.precision > 0.5,
+        "average precision {:.2} too low",
+        avg.precision
+    );
 }
 
 #[test]
 fn type_matching_recovers_every_catalog_pairing() {
-    let dataset = dataset();
-    let matches = match_entity_types(&dataset.corpus, &Language::Pt, &Language::En);
-    for pairing in &dataset.types {
+    let engine = engine();
+    // The correspondences were discovered once, at session construction.
+    let matches = engine.type_matches();
+    for pairing in &engine.dataset().types {
         let found = matches
             .iter()
             .find(|m| m.label_a == pairing.label_other)
@@ -58,9 +63,8 @@ fn type_matching_recovers_every_catalog_pairing() {
 
 #[test]
 fn known_film_correspondences_are_found() {
-    let dataset = dataset();
-    let matcher = WikiMatch::default();
-    let alignment = matcher.align_type(&dataset, dataset.type_pairing("film").unwrap());
+    let engine = engine();
+    let alignment = engine.align("film").unwrap();
     let pairs = alignment.cross_pairs();
     for (pt, en) in [
         ("direcao", "directed by"),
@@ -78,14 +82,13 @@ fn known_film_correspondences_are_found() {
 
 #[test]
 fn vietnamese_pipeline_works_despite_small_corpus() {
-    let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
-    let matcher = WikiMatch::default();
-    let alignments = matcher.align_all(&dataset);
+    let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
+    let alignments = engine.align_all();
     assert_eq!(alignments.len(), 4);
     let avg = Scores::average(
         alignments
             .iter()
-            .map(|a| evaluate_alignment(&dataset, a))
+            .map(|a| evaluate_alignment(engine.dataset(), a))
             .collect::<Vec<_>>()
             .iter(),
     );
@@ -94,9 +97,12 @@ fn vietnamese_pipeline_works_despite_small_corpus() {
 
 #[test]
 fn derived_correspondences_are_deterministic() {
-    let dataset = dataset();
-    let matcher = WikiMatch::default();
-    let a = matcher.align_type(&dataset, dataset.type_pairing("actor").unwrap());
-    let b = matcher.align_type(&dataset, dataset.type_pairing("actor").unwrap());
+    let engine = engine();
+    let a = engine.align("actor").unwrap();
+    let b = engine.align("actor").unwrap();
     assert_eq!(a.cross_pairs(), b.cross_pairs());
+
+    // And across independent sessions over equal datasets.
+    let other = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+    assert_eq!(a.cross_pairs(), other.align("actor").unwrap().cross_pairs());
 }

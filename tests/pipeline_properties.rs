@@ -1,12 +1,12 @@
 //! Property-based integration tests: pipeline invariants that must hold for
-//! any generator seed.
+//! any generator seed, exercised through the `MatchEngine` session API.
 
 use proptest::prelude::*;
 
 use wikimatch_suite::{evaluate_alignment, wiki_corpus, wikimatch};
 
 use wiki_corpus::{Dataset, Language, SyntheticConfig};
-use wikimatch::{WikiMatch, WikiMatchConfig};
+use wikimatch::MatchEngine;
 
 fn config_with_seed(seed: u64) -> SyntheticConfig {
     SyntheticConfig {
@@ -21,24 +21,23 @@ fn config_with_seed(seed: u64) -> SyntheticConfig {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// For any seed, the Vn-En pipeline produces bounded scores, derived
-    /// pairs that reference real attributes, and a non-degenerate gold
-    /// standard.
+    /// For any seed, the Vn-En engine session produces bounded scores,
+    /// derived pairs that reference real attributes, and a non-degenerate
+    /// gold standard.
     #[test]
     fn pipeline_invariants_hold_for_any_seed(seed in 0u64..1_000) {
-        let dataset = Dataset::vn_en(&config_with_seed(seed));
+        let engine = MatchEngine::builder(Dataset::vn_en(&config_with_seed(seed))).build();
+        let dataset = engine.dataset();
         prop_assert_eq!(dataset.types.len(), 4);
         prop_assert!(dataset.ground_truth.total_cross_pairs(&Language::Vn, &Language::En) > 0);
 
-        let matcher = WikiMatch::new(WikiMatchConfig::default());
-        for pairing in &dataset.types {
-            let alignment = matcher.align_type(&dataset, pairing);
+        for alignment in engine.align_all() {
             prop_assert!(alignment.schema.dual_count > 0);
             for (vn, en) in alignment.cross_pairs() {
                 prop_assert!(alignment.schema.index_of(&Language::Vn, &vn).is_some());
                 prop_assert!(alignment.schema.index_of(&Language::En, &en).is_some());
             }
-            let scores = evaluate_alignment(&dataset, &alignment);
+            let scores = evaluate_alignment(engine.dataset(), &alignment);
             prop_assert!((0.0..=1.0).contains(&scores.precision));
             prop_assert!((0.0..=1.0).contains(&scores.recall));
             prop_assert!((0.0..=1.0).contains(&scores.f1));

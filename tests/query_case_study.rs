@@ -1,24 +1,24 @@
-//! Integration tests for the WikiQuery case study (Section 5).
+//! Integration tests for the WikiQuery case study (Section 5), driven off
+//! `MatchEngine` sessions.
 
 use wikimatch_suite::{wiki_corpus, wiki_query, wikimatch};
 
 use wiki_corpus::{Dataset, SyntheticConfig};
 use wiki_query::{
-    case_study_queries, run_case_study, CQuery, CorrespondenceDictionary, QueryEngine,
+    case_study_queries, run_case_study_with_engine, CQuery, CorrespondenceDictionary, QueryEngine,
 };
-use wikimatch::WikiMatch;
+use wikimatch::MatchEngine;
 
 #[test]
 fn correspondence_dictionary_translates_the_workload() {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let matcher = WikiMatch::default();
-    let alignments = matcher.align_all(&dataset);
-    let dictionary = CorrespondenceDictionary::build(&dataset, &alignments);
+    let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+    let alignments = engine.align_all();
+    let dictionary = CorrespondenceDictionary::build(engine.dataset(), &alignments);
     assert!(!dictionary.is_empty());
 
     let mut translated_constraints = 0usize;
     let mut relaxed_constraints = 0usize;
-    for query in case_study_queries(dataset.other_language()) {
+    for query in case_study_queries(engine.dataset().other_language()) {
         let (translated, stats) = dictionary.translate_query(&query);
         assert!(!translated.clauses.is_empty(), "{}", query.description);
         translated_constraints += stats.translated;
@@ -33,10 +33,10 @@ fn correspondence_dictionary_translates_the_workload() {
 
 #[test]
 fn queries_return_ranked_answers_in_both_languages() {
-    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
-    let matcher = WikiMatch::default();
-    let alignments = matcher.align_all(&dataset);
-    let dictionary = CorrespondenceDictionary::build(&dataset, &alignments);
+    let match_engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+    let dataset = match_engine.dataset();
+    let alignments = match_engine.align_all();
+    let dictionary = CorrespondenceDictionary::build(dataset, &alignments);
     let engine = QueryEngine::new(&dataset.corpus);
 
     let query = CQuery::parse(r#"filme(direção=?, gênero="Drama")"#).unwrap();
@@ -53,10 +53,8 @@ fn queries_return_ranked_answers_in_both_languages() {
 
 #[test]
 fn case_study_curves_are_monotone_and_complete() {
-    let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
-    let matcher = WikiMatch::default();
-    let alignments = matcher.align_all(&dataset);
-    let curves = run_case_study(&dataset, &alignments, 20);
+    let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
+    let curves = run_case_study_with_engine(&engine, 20);
     assert_eq!(curves.len(), 2);
     for curve in &curves {
         assert_eq!(curve.curve.len(), 20);

@@ -1,0 +1,98 @@
+//! One shared harness over every `SchemaMatcher` implementation in the
+//! workspace — WikiMatch, all four baselines and the correlation
+//! orderings — exercised as trait objects through a single `MatchEngine`
+//! session, the way the bench harness drives them.
+
+use wikimatch_suite::{wiki_baselines, wiki_corpus, wikimatch};
+
+use wiki_baselines::{
+    BoumaMatcher, ComaConfiguration, ComaMatcher, CorrelationMatcher, CorrelationMeasure,
+    LsiTopKMatcher,
+};
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wikimatch::{MatchEngine, SchemaMatcher, WikiMatch, WikiMatchConfig};
+
+/// Every matcher the workspace ships, as interchangeable trait objects.
+fn all_matchers() -> Vec<Box<dyn SchemaMatcher>> {
+    let mut matchers: Vec<Box<dyn SchemaMatcher>> = vec![
+        Box::new(WikiMatch::default()),
+        Box::new(WikiMatch::new(WikiMatchConfig::default().single_step())),
+        Box::new(BoumaMatcher::default()),
+        Box::new(LsiTopKMatcher::new(1)),
+        Box::new(LsiTopKMatcher::new(5)),
+    ];
+    for configuration in ComaConfiguration::all() {
+        matchers.push(Box::new(ComaMatcher::new(*configuration)));
+    }
+    for measure in CorrelationMeasure::all() {
+        matchers.push(Box::new(CorrelationMatcher::new(*measure)));
+    }
+    matchers
+}
+
+#[test]
+fn every_matcher_runs_through_the_shared_engine_harness() {
+    let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
+    let dataset = engine.dataset();
+
+    for matcher in all_matchers() {
+        assert!(!matcher.name().is_empty());
+        assert!(
+            matcher.label().starts_with(matcher.name()),
+            "label {:?} should extend name {:?}",
+            matcher.label(),
+            matcher.name()
+        );
+        for pairing in &dataset.types {
+            let schema = engine.schema(&pairing.type_id).unwrap();
+            let pairs = engine
+                .align_with(matcher.as_ref(), &pairing.type_id)
+                .unwrap();
+            // Every matcher yields well-formed (foreign, English) pairs over
+            // existing attributes, without duplicates.
+            let mut seen = std::collections::HashSet::new();
+            for (other, en) in &pairs {
+                assert!(
+                    schema.index_of(&Language::Pt, other).is_some(),
+                    "{}: unknown foreign attribute {other}",
+                    matcher.label()
+                );
+                assert!(
+                    schema.index_of(&Language::En, en).is_some(),
+                    "{}: unknown English attribute {en}",
+                    matcher.label()
+                );
+                assert!(
+                    seen.insert((other.clone(), en.clone())),
+                    "{}: duplicate pair ({other}, {en})",
+                    matcher.label()
+                );
+            }
+        }
+    }
+    // The harness prepared each type exactly once for all matchers.
+    assert_eq!(engine.cached_types(), dataset.types.len());
+}
+
+#[test]
+fn matcher_results_are_deterministic_across_runs() {
+    let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
+    for matcher in all_matchers() {
+        let first = engine.align_with(matcher.as_ref(), "film").unwrap();
+        let second = engine.align_with(matcher.as_ref(), "film").unwrap();
+        assert_eq!(first, second, "{} is nondeterministic", matcher.label());
+    }
+}
+
+#[test]
+fn align_all_with_agrees_with_per_type_calls() {
+    let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
+    for matcher in all_matchers() {
+        let batched = engine.align_all_with(matcher.as_ref());
+        assert_eq!(batched.len(), engine.dataset().types.len());
+        for (type_id, pairs) in batched {
+            let single = engine.align_with(matcher.as_ref(), &type_id).unwrap();
+            assert_eq!(pairs, single, "{} diverges on {type_id}", matcher.label());
+        }
+    }
+}
