@@ -18,7 +18,7 @@
 //!    recovering correct correspondences whose value/link similarity is low
 //!    (the `other names ~ outros nomes` case).
 //!
-//! All the ablation switches of [`WikiMatchConfig`](crate::config::WikiMatchConfig)
+//! All the ablation switches of [`WikiMatchConfig`]
 //! act here, which is what the component-contribution experiments (Table 3 /
 //! Figure 3) exercise.
 

@@ -1,7 +1,7 @@
 //! The corpus-scoped matching session: [`MatchEngine`] and the pluggable
 //! [`SchemaMatcher`] trait.
 //!
-//! The one-shot entry points on [`WikiMatch`](crate::WikiMatch) rebuild the
+//! The one-shot entry points on [`WikiMatch`] rebuild the
 //! bilingual [`TitleDictionary`] from the whole corpus for *every* entity
 //! type they touch. [`MatchEngine`] inverts that: it is built **once per
 //! dataset**, precomputing the title dictionary up front (and the
@@ -44,7 +44,7 @@ use crate::alignment::AttributeAlignment;
 use crate::config::WikiMatchConfig;
 use crate::pipeline::{TypeAlignment, WikiMatch};
 use crate::schema::DualSchema;
-use crate::similarity::SimilarityTable;
+use crate::similarity::{ComputeMode, SimilarityTable};
 use crate::types::{match_entity_types, TypeMatch};
 
 /// A cross-language attribute matcher operating on a prepared
@@ -97,6 +97,7 @@ pub struct PreparedType {
 pub struct MatchEngineBuilder {
     dataset: Arc<Dataset>,
     config: WikiMatchConfig,
+    compute_mode: ComputeMode,
     eager: bool,
 }
 
@@ -106,6 +107,16 @@ impl MatchEngineBuilder {
     /// tables.
     pub fn config(mut self, config: WikiMatchConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Overrides how similarity tables are computed. The default is the
+    /// candidate-pruned parallel build ([`ComputeMode::Pruned`]);
+    /// [`ComputeMode::Dense`] selects the exact-equivalence fallback — the
+    /// single-threaded all-pairs reference pass, which produces
+    /// bit-identical tables (and is pinned to do so by tests).
+    pub fn compute_mode(mut self, mode: ComputeMode) -> Self {
+        self.compute_mode = mode;
         self
     }
 
@@ -128,6 +139,7 @@ impl MatchEngineBuilder {
         let engine = MatchEngine {
             dataset: self.dataset,
             config: self.config,
+            compute_mode: self.compute_mode,
             dictionary,
             type_matches: OnceLock::new(),
             prepared: RwLock::new(HashMap::new()),
@@ -151,6 +163,7 @@ impl MatchEngineBuilder {
 pub struct MatchEngine {
     dataset: Arc<Dataset>,
     config: WikiMatchConfig,
+    compute_mode: ComputeMode,
     dictionary: TitleDictionary,
     type_matches: OnceLock<Vec<TypeMatch>>,
     // Per-type slots so concurrent first requests for the same type block on
@@ -167,6 +180,7 @@ impl MatchEngine {
         MatchEngineBuilder {
             dataset: dataset.into(),
             config: WikiMatchConfig::default(),
+            compute_mode: ComputeMode::default(),
             eager: false,
         }
     }
@@ -189,6 +203,11 @@ impl MatchEngine {
     /// The WikiMatch configuration in use.
     pub fn config(&self) -> &WikiMatchConfig {
         &self.config
+    }
+
+    /// The similarity-table traversal mode in use.
+    pub fn compute_mode(&self) -> ComputeMode {
+        self.compute_mode
     }
 
     /// The bilingual title dictionary, derived once from the corpus'
@@ -251,7 +270,8 @@ impl MatchEngine {
                     &pairing.label_en,
                     &self.dictionary,
                 );
-                let table = SimilarityTable::compute(&schema, self.config.lsi);
+                let table =
+                    SimilarityTable::compute_with(&schema, self.config.lsi, self.compute_mode);
                 PreparedType {
                     schema: Arc::new(schema),
                     table: Arc::new(table),
@@ -393,6 +413,26 @@ mod tests {
             assert!(alignment.schema.dual_count > 0);
         }
         assert_eq!(engine.cached_types(), engine.dataset().types.len());
+    }
+
+    #[test]
+    fn dense_fallback_engine_matches_the_pruned_default() {
+        let dataset = Arc::new(Dataset::pt_en(&SyntheticConfig::tiny()));
+        let pruned = MatchEngine::builder(Arc::clone(&dataset)).build();
+        let dense = MatchEngine::builder(dataset)
+            .compute_mode(ComputeMode::Dense)
+            .build();
+        assert_eq!(pruned.compute_mode(), ComputeMode::Pruned);
+        assert_eq!(dense.compute_mode(), ComputeMode::Dense);
+        for type_id in ["film", "actor"] {
+            let a = pruned.similarity(type_id).unwrap();
+            let b = dense.similarity(type_id).unwrap();
+            assert_eq!(a.pairs(), b.pairs(), "tables diverge for {type_id}");
+            assert_eq!(
+                pruned.align(type_id).unwrap().cross_pairs(),
+                dense.align(type_id).unwrap().cross_pairs()
+            );
+        }
     }
 
     #[test]

@@ -87,7 +87,7 @@
 //!   attribute groups with value vectors, link vectors and occurrence
 //!   patterns.
 //! * [`similarity`] — `vsim`, `lsim` and the LSI correlation table.
-//! * [`matches`] — match clusters (synonym sets spanning both languages).
+//! * [`mod@matches`] — match clusters (synonym sets spanning both languages).
 //! * [`alignment`] — the `AttributeAlignment`, `IntegrateMatches` and
 //!   `ReviseUncertain` algorithms (Algorithms 1 and 2 of the paper).
 //! * [`types`] — cross-language entity-type matching (Section 3.1).
@@ -111,6 +111,9 @@ pub use config::WikiMatchConfig;
 pub use engine::{MatchEngine, MatchEngineBuilder, PreparedType, SchemaMatcher};
 pub use matches::{MatchCluster, MatchSet};
 pub use pipeline::{TypeAlignment, WikiMatch};
+// `schema::CandidateIndex` / `schema::PairSet` are deliberately not
+// re-exported here: they are pruning machinery consumed by the similarity
+// build, reachable for the curious but outside the headline API surface.
 pub use schema::{AttributeStats, DualSchema};
-pub use similarity::{CandidatePair, SimilarityTable};
+pub use similarity::{CandidatePair, ComputeMode, SimilarityTable};
 pub use types::match_entity_types;

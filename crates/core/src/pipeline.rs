@@ -5,7 +5,7 @@
 //! [`SchemaMatcher`](crate::SchemaMatcher), which makes it one plugin among
 //! the baselines. Sessions over a dataset — including the precomputation of
 //! the title dictionary and the per-type schema caches — live in
-//! [`MatchEngine`](crate::MatchEngine); the one-shot methods on `WikiMatch`
+//! [`MatchEngine`]; the one-shot methods on `WikiMatch`
 //! (`align_type`, `align_all`, `prepare_type`, `match_types`) are kept as
 //! deprecated shims that build a throwaway engine per call.
 

@@ -250,6 +250,142 @@ impl DualSchema {
     }
 }
 
+/// A bit-packed set of unordered attribute pairs `(p, q)` with `p != q`.
+///
+/// Backs the [`CandidateIndex`]: membership tests are a single word load,
+/// so the pruned similarity-table build can ask "do these two attributes
+/// share any term?" in O(1) for each of the O(n²) pairs it enumerates.
+#[derive(Debug, Clone)]
+pub struct PairSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl PairSet {
+    /// Creates an empty set over `n` attributes, backed by one bit per
+    /// strict-upper-triangle pair (`n·(n-1)/2` bits).
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            words: vec![0u64; (n * n.saturating_sub(1) / 2).div_ceil(64)],
+        }
+    }
+
+    fn bit(&self, p: usize, q: usize) -> (usize, u64) {
+        let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+        // Triangular index, same layout as `SimilarityTable::pair`:
+        // offset(lo) = lo*n - lo*(lo+1)/2, then + (hi - lo - 1).
+        let idx = lo * self.n - lo * (lo + 1) / 2 + (hi - lo - 1);
+        (idx / 64, 1u64 << (idx % 64))
+    }
+
+    /// Inserts the unordered pair `(p, q)`; ignores `p == q`.
+    pub fn insert(&mut self, p: usize, q: usize) {
+        if p == q {
+            return;
+        }
+        let (word, mask) = self.bit(p, q);
+        self.words[word] |= mask;
+    }
+
+    /// True when the unordered pair `(p, q)` is in the set.
+    pub fn contains(&self, p: usize, q: usize) -> bool {
+        if p == q {
+            return false;
+        }
+        let (word, mask) = self.bit(p, q);
+        self.words[word] & mask != 0
+    }
+
+    /// Number of pairs in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no pair has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+}
+
+/// Inverted index over the schema's attribute terms, used to prune the
+/// similarity-table build.
+///
+/// For every term of every attribute's value vectors (raw **and**
+/// dictionary-translated, so both the same-language and the cross-language
+/// variant of `vsim` are covered) the index records which attributes
+/// contain it; the same is done for link-cluster tokens. Two attributes are
+/// a *value candidate* (resp. *link candidate*) when they share at least
+/// one such term. Because all vector weights are positive term counts, a
+/// pair that is **not** a candidate provably has a cosine of exactly `0.0`
+/// — so the pruned [`crate::similarity::SimilarityTable`] build can skip
+/// the cosine and write `0.0` without changing any result bit.
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    value_pairs: PairSet,
+    link_pairs: PairSet,
+}
+
+impl CandidateIndex {
+    /// Builds the index over all attributes of a schema.
+    pub fn build(schema: &DualSchema) -> Self {
+        let n = schema.len();
+        let mut value_postings: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut link_postings: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, attr) in schema.attributes.iter().enumerate() {
+            // Union of raw and translated value terms: `vsim` compares raw
+            // vectors for same-language pairs and translated vectors for
+            // cross-language pairs, and a sound candidate test must cover
+            // both.
+            attr.values.union_terms(&attr.translated_values, |term| {
+                value_postings.entry(term).or_default().push(i);
+            });
+            for (term, _) in attr.links.iter() {
+                link_postings.entry(term).or_default().push(i);
+            }
+        }
+        Self {
+            value_pairs: postings_to_pairs(n, &value_postings),
+            link_pairs: postings_to_pairs(n, &link_postings),
+        }
+    }
+
+    /// True when `p` and `q` share at least one value term (raw or
+    /// translated) — i.e. `vsim` may be non-zero.
+    pub fn value_candidate(&self, p: usize, q: usize) -> bool {
+        self.value_pairs.contains(p, q)
+    }
+
+    /// True when `p` and `q` share at least one link-cluster token — i.e.
+    /// `lsim` may be non-zero.
+    pub fn link_candidate(&self, p: usize, q: usize) -> bool {
+        self.link_pairs.contains(p, q)
+    }
+
+    /// Number of value-candidate pairs.
+    pub fn value_candidates(&self) -> usize {
+        self.value_pairs.len()
+    }
+
+    /// Number of link-candidate pairs.
+    pub fn link_candidates(&self) -> usize {
+        self.link_pairs.len()
+    }
+}
+
+/// Expands term postings into the pair set of attributes sharing a term.
+fn postings_to_pairs(n: usize, postings: &HashMap<&str, Vec<usize>>) -> PairSet {
+    let mut pairs = PairSet::new(n);
+    for attrs in postings.values() {
+        for (i, &p) in attrs.iter().enumerate() {
+            for &q in &attrs[i + 1..] {
+                pairs.insert(p, q);
+            }
+        }
+    }
+    pairs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +531,55 @@ mod tests {
         // Keys are normalised labels (diacritics folded).
         assert_eq!(freq["direcao"], 2.0);
         assert!(!freq.contains_key("directed by"));
+    }
+
+    #[test]
+    fn pair_set_insert_and_lookup_are_order_insensitive() {
+        let mut set = PairSet::new(5);
+        assert!(set.is_empty());
+        set.insert(3, 1);
+        set.insert(2, 2); // ignored: p == q
+        assert!(set.contains(1, 3));
+        assert!(set.contains(3, 1));
+        assert!(!set.contains(2, 2));
+        assert!(!set.contains(0, 4));
+        assert_eq!(set.len(), 1);
+        set.insert(1, 3); // duplicate
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn candidate_index_is_sound_for_vsim_and_lsim() {
+        let corpus = tiny_corpus();
+        let schema = build_schema(&corpus);
+        let index = CandidateIndex::build(&schema);
+        for p in 0..schema.len() {
+            for q in (p + 1)..schema.len() {
+                let a = schema.attribute(p);
+                let b = schema.attribute(q);
+                // Soundness: a non-candidate pair must have exactly zero
+                // similarity on the corresponding evidence channel.
+                if !index.value_candidate(p, q) {
+                    assert_eq!(a.values.cosine(&b.values), 0.0);
+                    assert_eq!(a.translated_values.cosine(&b.translated_values), 0.0);
+                }
+                if !index.link_candidate(p, q) {
+                    assert_eq!(a.links.cosine(&b.links), 0.0);
+                }
+            }
+        }
+        // "directed by" / "direção" share the translated person value and
+        // the link cluster; "running time" / "duração" share the canonical
+        // numeric token but no links.
+        let directed = schema.index_of(&Language::En, "directed by").unwrap();
+        let direcao = schema.index_of(&Language::Pt, "direção").unwrap();
+        assert!(index.value_candidate(directed, direcao));
+        assert!(index.link_candidate(directed, direcao));
+        let time = schema.index_of(&Language::En, "running time").unwrap();
+        let duracao = schema.index_of(&Language::Pt, "duração").unwrap();
+        assert!(index.value_candidate(time, duracao));
+        assert!(!index.link_candidate(time, duracao));
+        assert!(index.value_candidates() >= 2);
     }
 
     #[test]

@@ -15,11 +15,33 @@
 //!   same-language pairs are forced to 0 (they cannot be synonyms), and
 //!   non-co-occurring same-language pairs use the complement of the cosine.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use wiki_linalg::{LsiConfig, LsiModel, Matrix};
 
-use crate::schema::DualSchema;
+use crate::schema::{CandidateIndex, DualSchema};
+
+/// How [`SimilarityTable::compute`] traverses the attribute-pair space.
+///
+/// Both modes produce **bit-identical** tables (pinned by the
+/// `pruned_table_is_byte_identical_to_dense` tests); they differ only in
+/// how much work they do per pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ComputeMode {
+    /// Candidate-pruned, parallel build (the default): a
+    /// [`CandidateIndex`] over the attributes' value and link terms decides
+    /// which pairs can have non-zero `vsim` / `lsim`; only those cosines
+    /// are computed (non-candidates are exactly `0.0` by construction),
+    /// co-occurrence tests run on bit-packed occurrence patterns, and rows
+    /// are scored on parallel threads via the rayon shim.
+    #[default]
+    Pruned,
+    /// The exact-equivalence fallback: the straightforward dense
+    /// `O(|A|·|B|)` reference pass over every pair, single-threaded. Kept
+    /// as the semantic ground truth the pruned path is tested against.
+    Dense,
+}
 
 /// A candidate attribute pair with its similarity evidence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,8 +95,27 @@ pub struct SimilarityTable {
 
 impl SimilarityTable {
     /// Computes `vsim`, `lsim` and LSI scores for every attribute pair of
-    /// the schema.
+    /// the schema, using the default [`ComputeMode::Pruned`] traversal.
     pub fn compute(schema: &DualSchema, lsi_config: LsiConfig) -> Self {
+        Self::compute_with(schema, lsi_config, ComputeMode::Pruned)
+    }
+
+    /// Computes the table with the dense reference pass
+    /// ([`ComputeMode::Dense`]).
+    pub fn compute_dense(schema: &DualSchema, lsi_config: LsiConfig) -> Self {
+        Self::compute_with(schema, lsi_config, ComputeMode::Dense)
+    }
+
+    /// Computes the table with an explicit traversal mode.
+    pub fn compute_with(schema: &DualSchema, lsi_config: LsiConfig, mode: ComputeMode) -> Self {
+        match mode {
+            ComputeMode::Dense => Self::compute_dense_impl(schema, lsi_config),
+            ComputeMode::Pruned => Self::compute_pruned_impl(schema, lsi_config),
+        }
+    }
+
+    /// The dense reference pass: every pair, every cosine, single thread.
+    fn compute_dense_impl(schema: &DualSchema, lsi_config: LsiConfig) -> Self {
         let n = schema.len();
         let lsi_model = Self::fit_lsi(schema, lsi_config);
 
@@ -94,6 +135,74 @@ impl SimilarityTable {
         Self { pairs, len: n }
     }
 
+    /// The candidate-pruned, parallel pass.
+    ///
+    /// Per-pair work drops from two term-vector cosines plus an
+    /// O(dual-count) occurrence zip to, for the typical non-candidate pair,
+    /// two O(1) bit tests plus a popcount over the packed occurrence words.
+    /// Rows are distributed over threads in an interleaved order so each
+    /// chunk gets a mix of long (low `p`) and short (high `p`) rows, then
+    /// re-assembled in row order — results are identical to the dense pass
+    /// bit for bit, regardless of thread count.
+    fn compute_pruned_impl(schema: &DualSchema, lsi_config: LsiConfig) -> Self {
+        let n = schema.len();
+        let lsi_model = Self::fit_lsi(schema, lsi_config);
+        let index = CandidateIndex::build(schema);
+        let occurrence_bits = pack_occurrence_patterns(schema);
+
+        // Interleave rows front/back for load balance (row p has n-1-p pairs).
+        let mut row_order: Vec<usize> = Vec::with_capacity(n);
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            row_order.push(lo);
+            lo += 1;
+            if lo < hi {
+                hi -= 1;
+                row_order.push(hi);
+            }
+        }
+
+        let mut rows: Vec<(usize, Vec<CandidatePair>)> = row_order
+            .par_iter()
+            .map(|&p| {
+                let row: Vec<CandidatePair> = ((p + 1)..n)
+                    .map(|q| {
+                        let vsim = if index.value_candidate(p, q) {
+                            vsim(schema, p, q)
+                        } else {
+                            0.0
+                        };
+                        let lsim = if index.link_candidate(p, q) {
+                            lsim(schema, p, q)
+                        } else {
+                            0.0
+                        };
+                        let lsi = Self::lsi_score_with(schema, &lsi_model, p, q, || {
+                            packed_patterns_intersect(&occurrence_bits[p], &occurrence_bits[q])
+                        });
+                        CandidatePair {
+                            p,
+                            q,
+                            vsim,
+                            lsim,
+                            lsi,
+                        }
+                    })
+                    .collect();
+                (p, row)
+            })
+            .collect();
+        rows.sort_by_key(|(p, _)| *p);
+        // Assemble into one exactly-sized vector, freeing each row as it is
+        // drained, instead of a flat_map collect that grows by reallocation
+        // while every row is still live.
+        let mut pairs = Vec::with_capacity(n.saturating_mul(n.saturating_sub(1)) / 2);
+        for (_, row) in rows {
+            pairs.extend(row);
+        }
+        Self { pairs, len: n }
+    }
+
     /// Fits the LSI model on the attribute × dual-infobox occurrence matrix.
     fn fit_lsi(schema: &DualSchema, config: LsiConfig) -> LsiModel {
         let n = schema.len();
@@ -109,8 +218,28 @@ impl SimilarityTable {
         LsiModel::fit(&occurrence, config)
     }
 
-    /// The paper's LSI score with its sign conventions.
+    /// The paper's LSI score with its sign conventions (dense reference
+    /// path; the co-occurrence test zips the boolean patterns).
     fn lsi_score(schema: &DualSchema, model: &LsiModel, p: usize, q: usize) -> f64 {
+        Self::lsi_score_with(schema, model, p, q, || {
+            schema.attribute(p).co_occurrences(schema.attribute(q)) > 0
+        })
+    }
+
+    /// Sign-convention core shared by the dense and pruned paths.
+    ///
+    /// `co_occurs` — whether the two attributes ever appear in the same
+    /// dual infobox — is a closure, not a bool: it is only relevant (and
+    /// only evaluated) for same-language pairs, so cross-language pairs pay
+    /// nothing for it in either pass. The dense path hands in the boolean
+    /// zip, the pruned path the AND+popcount over packed patterns.
+    fn lsi_score_with(
+        schema: &DualSchema,
+        model: &LsiModel,
+        p: usize,
+        q: usize,
+        co_occurs: impl FnOnce() -> bool,
+    ) -> f64 {
         if model.is_empty() || model.rank() == 0 {
             return 0.0;
         }
@@ -121,7 +250,7 @@ impl SimilarityTable {
             // Cross-language pair: similar occurrence patterns indicate
             // cross-language synonymy.
             cosine.clamp(0.0, 1.0)
-        } else if a.co_occurrences(b) > 0 {
+        } else if co_occurs() {
             // Same-language attributes that co-occur in an infobox are not
             // synonyms.
             0.0
@@ -172,6 +301,32 @@ impl SimilarityTable {
         });
         out
     }
+}
+
+/// Packs every attribute's boolean occurrence pattern into `u64` words so
+/// the pruned path can test co-occurrence with a handful of ANDs instead of
+/// an O(dual-count) boolean zip per pair.
+fn pack_occurrence_patterns(schema: &DualSchema) -> Vec<Vec<u64>> {
+    let words = schema.dual_count.div_ceil(64);
+    schema
+        .attributes
+        .iter()
+        .map(|attr| {
+            let mut packed = vec![0u64; words];
+            for (j, present) in attr.occurrence_pattern.iter().enumerate() {
+                if *present {
+                    packed[j / 64] |= 1u64 << (j % 64);
+                }
+            }
+            packed
+        })
+        .collect()
+}
+
+/// True when two packed occurrence patterns share at least one set bit —
+/// exactly `AttributeStats::co_occurrences(..) > 0`, word-parallel.
+fn packed_patterns_intersect(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
 }
 
 #[cfg(test)]
@@ -331,6 +486,47 @@ mod tests {
                 assert_eq!((a.p, a.q), (b.p, b.q));
                 assert_eq!(a.p.min(a.q), p.min(q));
                 assert_eq!(a.p.max(a.q), p.max(q));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_table_is_byte_identical_to_dense() {
+        let corpus = corpus();
+        let dict = TitleDictionary::from_corpus(&corpus, &Language::Pt, &Language::En);
+        let schema = DualSchema::build(&corpus, &Language::Pt, "Ator", "Actor", &dict);
+        let dense = SimilarityTable::compute_dense(&schema, LsiConfig::default());
+        let pruned =
+            SimilarityTable::compute_with(&schema, LsiConfig::default(), ComputeMode::Pruned);
+        assert_eq!(dense.pairs().len(), pruned.pairs().len());
+        for (d, p) in dense.pairs().iter().zip(pruned.pairs()) {
+            assert_eq!((d.p, d.q), (p.p, p.q));
+            // Bit-for-bit equality, not approximate equality: the pruned
+            // path must call the exact same float operations for candidate
+            // pairs and write literal 0.0 only where the dense cosine is
+            // provably 0.0.
+            assert_eq!(d.vsim.to_bits(), p.vsim.to_bits(), "vsim {}-{}", d.p, d.q);
+            assert_eq!(d.lsim.to_bits(), p.lsim.to_bits(), "lsim {}-{}", d.p, d.q);
+            assert_eq!(d.lsi.to_bits(), p.lsi.to_bits(), "lsi {}-{}", d.p, d.q);
+        }
+    }
+
+    #[test]
+    fn compute_defaults_to_the_pruned_mode() {
+        assert_eq!(ComputeMode::default(), ComputeMode::Pruned);
+        let (schema, table) = schema_and_table();
+        let dense = SimilarityTable::compute_dense(&schema, LsiConfig::default());
+        assert_eq!(table.pairs(), dense.pairs());
+    }
+
+    #[test]
+    fn packed_patterns_match_boolean_co_occurrence() {
+        let (schema, _) = schema_and_table();
+        let bits = pack_occurrence_patterns(&schema);
+        for p in 0..schema.len() {
+            for q in (p + 1)..schema.len() {
+                let expected = schema.attribute(p).co_occurrences(schema.attribute(q)) > 0;
+                assert_eq!(packed_patterns_intersect(&bits[p], &bits[q]), expected);
             }
         }
     }

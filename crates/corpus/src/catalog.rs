@@ -168,6 +168,32 @@ impl Catalog {
         }
     }
 
+    /// Builds a scaled-up catalog: the standard types, each extended with
+    /// `extra_concepts_per_type` generated concepts.
+    ///
+    /// This is the knob behind the synthetic corpus **scale tiers**
+    /// (`SyntheticConfig::{small, medium, large}`): the paper's fourteen
+    /// types only yield a few dozen attribute groups per dual-language
+    /// schema, which says nothing about how the matcher behaves on
+    /// mining-scale inputs. Generated concepts carry deterministic
+    /// per-language surface names (`"metric ab"` / `"métrica ab"`), cycle
+    /// through the cheap value kinds (years, numbers, dates, aliases, free
+    /// text — no entity references, so the article graph does not explode)
+    /// and use low commonness values so infobox sizes grow sub-linearly in
+    /// the concept count.
+    pub fn scaled(extra_concepts_per_type: usize) -> Self {
+        let mut catalog = Self::standard();
+        if extra_concepts_per_type == 0 {
+            return catalog;
+        }
+        for ty in &mut catalog.types {
+            for i in 0..extra_concepts_per_type {
+                ty.concepts.push(scaled_concept(ty.id, i));
+            }
+        }
+        catalog
+    }
+
     /// Looks up an entity type by id.
     pub fn entity_type(&self, id: &str) -> Option<&EntityTypeSpec> {
         self.types.iter().find(|t| t.id == id)
@@ -179,6 +205,98 @@ impl Catalog {
             .iter()
             .filter(|t| t.label(other).is_some())
             .collect()
+    }
+}
+
+/// Interns a generated string, returning a `'static` reference.
+///
+/// [`ConceptSpec`] stores `&'static str` names because the hand-written
+/// catalog is entirely literal; generated scale-tier concepts go through
+/// this intern table so repeated catalog constructions reuse one allocation
+/// per distinct name instead of leaking a fresh one each time.
+fn intern(s: String) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern cache poisoned");
+    if let Some(&interned) = cache.get(s.as_str()) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(s.into_boxed_str());
+    cache.insert(leaked);
+    leaked
+}
+
+/// Interns a one-element name slice (the per-language surface-name list of
+/// a generated concept).
+fn intern_names(name: String) -> &'static [&'static str] {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<&'static str, &'static [&'static str]>>> = OnceLock::new();
+    let name = intern(name);
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("intern cache poisoned");
+    if let Some(&slice) = cache.get(name) {
+        return slice;
+    }
+    let leaked: &'static [&'static str] = Box::leak(vec![name].into_boxed_slice());
+    cache.insert(name, leaked);
+    leaked
+}
+
+/// Spells `i` in positional base 26 with `'a'` as digit zero
+/// (`0 → "a"`, `25 → "z"`, `26 → "ba"`, `27 → "bb"`).
+///
+/// Surface names must not end in digits: `normalize_label` strips trailing
+/// digits as infobox repetition counters ("starring 2"), which would
+/// collapse every generated concept into a single attribute group.
+pub(crate) fn letter_suffix(mut i: usize) -> String {
+    let mut reversed = Vec::new();
+    loop {
+        reversed.push(b'a' + (i % 26) as u8);
+        i /= 26;
+        if i == 0 {
+            break;
+        }
+    }
+    reversed.reverse();
+    String::from_utf8(reversed).expect("ascii letters")
+}
+
+/// The `i`-th generated concept of a scaled entity type.
+///
+/// Names are deterministic and unique per `(type, i)` so ground truth stays
+/// exact; kinds and commonness cycle so the extra attributes exercise every
+/// cheap value shape with realistic (sparse) occurrence patterns.
+fn scaled_concept(type_id: &'static str, i: usize) -> ConceptSpec {
+    let kind = match i % 5 {
+        0 => ValueKind::Year,
+        1 => ValueKind::Number {
+            lo: 1.0,
+            hi: 500.0,
+            unit: "",
+        },
+        2 => ValueKind::Alias,
+        3 => ValueKind::Date,
+        _ => ValueKind::FreeText,
+    };
+    // Commonness cycles through 0.05..=0.25 deterministically: common
+    // enough that nearly every generated concept forms an English
+    // attribute group, rare enough that infoboxes stay bounded.
+    let commonness = 0.05 + 0.025 * ((i * 7) % 9) as f64;
+    let suffix = letter_suffix(i);
+    ConceptSpec {
+        id: intern(format!("x_{type_id}_{i}")),
+        en: intern_names(format!("metric {suffix}")),
+        pt: intern_names(format!("métrica {suffix}")),
+        vn: intern_names(format!("chỉ số {suffix}")),
+        kind,
+        commonness,
     }
 }
 

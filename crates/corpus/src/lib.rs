@@ -32,9 +32,9 @@
 //!
 //! ## Module map
 //!
-//! * [`lang`] — the [`Language`](lang::Language) enum.
+//! * [`lang`] — the [`Language`] enum.
 //! * [`model`] — articles, infoboxes, attribute/value pairs, links.
-//! * [`store`] — the [`Corpus`](store::Corpus) container with title and
+//! * [`store`] — the [`Corpus`] container with title and
 //!   cross-language indexes.
 //! * [`wikitext`] — parser from `{{Infobox ...}}` wikitext to the model.
 //! * [`entities`] — pools of named entities (people, places, genres, ...)

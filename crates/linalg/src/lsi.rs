@@ -17,7 +17,6 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cosine;
 use crate::matrix::Matrix;
 use crate::svd::jacobi_svd;
 
@@ -46,6 +45,10 @@ impl Default for LsiConfig {
 pub struct LsiModel {
     /// One reduced vector per row (attribute) of the input matrix.
     vectors: Vec<Vec<f64>>,
+    /// Euclidean norm of each reduced vector, precomputed at fit time so
+    /// the O(n²)-pair similarity sweep pays one multiply-add per dimension
+    /// instead of three (plus two square roots) per pair.
+    norms: Vec<f64>,
     /// Retained singular values.
     singular_values: Vec<f64>,
 }
@@ -57,6 +60,7 @@ impl LsiModel {
         if occurrence.is_empty() {
             return Self {
                 vectors: vec![Vec::new(); occurrence.rows()],
+                norms: vec![0.0; occurrence.rows()],
                 singular_values: Vec::new(),
             };
         }
@@ -66,6 +70,7 @@ impl LsiModel {
             // every attribute gets an empty vector (similarity 0).
             return Self {
                 vectors: vec![Vec::new(); occurrence.rows()],
+                norms: vec![0.0; occurrence.rows()],
                 singular_values: Vec::new(),
             };
         }
@@ -85,8 +90,16 @@ impl LsiModel {
             }
             vectors.push(v);
         }
+        // Norms accumulate x² in index order — exactly the `na`/`nb`
+        // accumulation inside [`crate::cosine`], so similarities computed
+        // from the cached norms are bit-identical to calling `cosine`.
+        let norms = vectors
+            .iter()
+            .map(|v| v.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
         Self {
             vectors,
+            norms,
             singular_values: svd.s,
         }
     }
@@ -118,8 +131,18 @@ impl LsiModel {
 
     /// Cosine similarity between the reduced vectors of attributes `i` and
     /// `j`, clamped to `[-1, 1]` (0.0 when either vector is all zeros).
+    ///
+    /// Equivalent to [`crate::cosine`] on the two vectors, but reuses the
+    /// norms cached at fit time — the per-pair cost in the all-pairs
+    /// similarity sweep drops to a single dot product.
     pub fn similarity(&self, i: usize, j: usize) -> f64 {
-        cosine(&self.vectors[i], &self.vectors[j])
+        let (a, b) = (&self.vectors[i], &self.vectors[j]);
+        let (na, nb) = (self.norms[i], self.norms[j]);
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        (dot / (na * nb)).clamp(-1.0, 1.0)
     }
 }
 

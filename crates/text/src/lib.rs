@@ -4,7 +4,7 @@
 //!
 //! The crate provides:
 //!
-//! * [`normalize`] — Unicode-aware lowercasing, diacritic folding for the
+//! * [`mod@normalize`] — Unicode-aware lowercasing, diacritic folding for the
 //!   Latin-based languages used in the paper (English, Portuguese,
 //!   Vietnamese) and whitespace/punctuation canonicalisation.
 //! * [`tokenize`] — word and value tokenisation used when building attribute

@@ -5,19 +5,38 @@
 //! observed for an attribute across all infoboxes of a type, link-structure
 //! vectors from the articles those values link to. [`TermVector`] is the
 //! shared representation for both.
-
-use std::collections::BTreeMap;
+//!
+//! ## Representation
+//!
+//! A [`TermVector`] stores its entries as a **term-sorted `Vec` of
+//! `(term, weight)` pairs**. Compared to a tree or hash map this keeps the
+//! data in one contiguous allocation and makes every pairwise operation —
+//! [`dot`](TermVector::dot), [`cosine`](TermVector::cosine),
+//! [`jaccard`](TermVector::jaccard),
+//! [`overlap_coefficient`](TermVector::overlap_coefficient),
+//! [`merge`](TermVector::merge) — a single **O(n + m) merge walk** over the
+//! two sorted entry lists, which is what makes the pruned similarity-table
+//! build in `wikimatch` cheap even on the large synthetic corpus tiers.
+//! Incremental [`add`](TermVector::add) is a binary search plus an ordered
+//! insert (O(n) worst case per new term — fine for the short per-attribute
+//! vectors this workspace builds); bulk construction via
+//! [`from_terms`](TermVector::from_terms) sorts once instead.
+//! Iteration order (and therefore every derived float result) remains
+//! deterministic: entries are always visited in ascending term order,
+//! exactly as the previous `BTreeMap`-backed representation did.
 
 use serde::{Deserialize, Serialize};
 
 /// A sparse vector keyed by term, storing raw frequencies (`tf`).
 ///
-/// Terms are kept in a [`BTreeMap`] so iteration order — and therefore all
+/// Entries are kept sorted by term so iteration order — and therefore all
 /// derived results — is deterministic, which matters for reproducibility of
-/// the experiment harness.
+/// the experiment harness, and so pairwise operations run as linear merge
+/// walks instead of per-term lookups.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TermVector {
-    counts: BTreeMap<String, f64>,
+    /// `(term, weight)` entries sorted by term, one entry per distinct term.
+    entries: Vec<(String, f64)>,
 }
 
 impl TermVector {
@@ -27,16 +46,24 @@ impl TermVector {
     }
 
     /// Builds a vector from an iterator of terms, counting occurrences.
+    ///
+    /// Sorts the terms once and accumulates runs — O(k log k) for k terms,
+    /// instead of k ordered insertions.
     pub fn from_terms<I, S>(terms: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut v = Self::new();
-        for t in terms {
-            v.add(t, 1.0);
+        let mut terms: Vec<String> = terms.into_iter().map(Into::into).collect();
+        terms.sort_unstable();
+        let mut entries: Vec<(String, f64)> = Vec::new();
+        for term in terms {
+            match entries.last_mut() {
+                Some((t, w)) if *t == term => *w += 1.0,
+                _ => entries.push((term, 1.0)),
+            }
         }
-        v
+        Self { entries }
     }
 
     /// Adds `weight` occurrences of `term`.
@@ -44,55 +71,83 @@ impl TermVector {
         if weight == 0.0 {
             return;
         }
-        *self.counts.entry(term.into()).or_insert(0.0) += weight;
+        let term = term.into();
+        match self
+            .entries
+            .binary_search_by(|(t, _)| t.as_str().cmp(&term))
+        {
+            Ok(i) => self.entries[i].1 += weight,
+            Err(i) => self.entries.insert(i, (term, weight)),
+        }
     }
 
-    /// Merges another vector into this one (component-wise sum).
+    /// Merges another vector into this one (component-wise sum), as an
+    /// O(n + m) merge walk over the two sorted entry lists.
     pub fn merge(&mut self, other: &TermVector) {
-        for (t, w) in &other.counts {
-            self.add(t.clone(), *w);
+        if other.is_empty() {
+            return;
         }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        merge_join(&self.entries, &other.entries, |step| match step {
+            MergeStep::Left(a) => merged.push(a.clone()),
+            // A zero-weight entry never creates a new term (matching the
+            // `add` semantics this walk replaces).
+            MergeStep::Right(b) => {
+                if b.1 != 0.0 {
+                    merged.push(b.clone());
+                }
+            }
+            MergeStep::Both((ta, wa), (_, wb)) => {
+                let sum = if *wb == 0.0 { *wa } else { *wa + *wb };
+                merged.push((ta.clone(), sum));
+            }
+        });
+        self.entries = merged;
     }
 
     /// Frequency of a term (0.0 when absent).
     pub fn get(&self, term: &str) -> f64 {
-        self.counts.get(term).copied().unwrap_or(0.0)
+        self.entries
+            .binary_search_by(|(t, _)| t.as_str().cmp(term))
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
     }
 
     /// Number of distinct terms.
     pub fn len(&self) -> usize {
-        self.counts.len()
+        self.entries.len()
     }
 
     /// True when the vector has no terms.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.entries.is_empty()
     }
 
     /// Sum of all frequencies.
     pub fn total(&self) -> f64 {
-        self.counts.values().sum()
+        self.entries.iter().map(|(_, w)| w).sum()
     }
 
     /// Iterates over `(term, frequency)` pairs in term order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.counts.iter().map(|(t, w)| (t.as_str(), *w))
+        self.entries.iter().map(|(t, w)| (t.as_str(), *w))
     }
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f64 {
-        self.counts.values().map(|w| w * w).sum::<f64>().sqrt()
+        self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
     }
 
-    /// Dot product with another vector.
+    /// Dot product with another vector, computed as an O(n + m) merge walk
+    /// over the two sorted entry lists.
     pub fn dot(&self, other: &TermVector) -> f64 {
-        // Iterate over the smaller vector for efficiency.
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        small.counts.iter().map(|(t, w)| w * large.get(t)).sum()
+        let mut sum = 0.0;
+        merge_join(&self.entries, &other.entries, |step| {
+            if let MergeStep::Both((_, wa), (_, wb)) = step {
+                sum += wa * wb;
+            }
+        });
+        sum
     }
 
     /// Cosine similarity with another vector; 0.0 when either is empty.
@@ -112,16 +167,36 @@ impl TermVector {
         (self.dot(other) / denom).clamp(0.0, 1.0)
     }
 
+    /// Calls `f` once per distinct term of the union of the two vectors'
+    /// term sets, in ascending term order (an O(n + m) merge walk).
+    ///
+    /// This is the term-set primitive inverted-index builders need (e.g.
+    /// the candidate index in `wikimatch`): it lives here, next to the
+    /// sorted-entries invariant it depends on, so out-of-crate callers
+    /// never hand-roll their own walk over the representation.
+    pub fn union_terms<'a>(&'a self, other: &'a TermVector, mut f: impl FnMut(&'a str)) {
+        merge_join(&self.entries, &other.entries, |step| match step {
+            MergeStep::Left((t, _)) | MergeStep::Right((t, _)) | MergeStep::Both((t, _), _) => f(t),
+        });
+    }
+
+    /// Number of terms present in both vectors (an O(n + m) merge walk).
+    fn intersection_size(&self, other: &TermVector) -> usize {
+        let mut count = 0;
+        merge_join(&self.entries, &other.entries, |step| {
+            if let MergeStep::Both(..) = step {
+                count += 1;
+            }
+        });
+        count
+    }
+
     /// Jaccard overlap of the term *sets* (ignores frequencies).
     pub fn jaccard(&self, other: &TermVector) -> f64 {
         if self.is_empty() && other.is_empty() {
             return 0.0;
         }
-        let intersection = self
-            .counts
-            .keys()
-            .filter(|t| other.counts.contains_key(*t))
-            .count() as f64;
+        let intersection = self.intersection_size(other) as f64;
         let union = (self.len() + other.len()) as f64 - intersection;
         if union == 0.0 {
             0.0
@@ -138,11 +213,7 @@ impl TermVector {
         if self.is_empty() || other.is_empty() {
             return 0.0;
         }
-        let intersection = self
-            .counts
-            .keys()
-            .filter(|t| other.counts.contains_key(*t))
-            .count() as f64;
+        let intersection = self.intersection_size(other) as f64;
         intersection / self.len().min(other.len()) as f64
     }
 
@@ -156,7 +227,7 @@ impl TermVector {
         F: FnMut(&str) -> Option<String>,
     {
         let mut out = TermVector::new();
-        for (t, w) in &self.counts {
+        for (t, w) in &self.entries {
             match f(t) {
                 Some(new_term) => out.add(new_term, *w),
                 None => out.add(t.clone(), *w),
@@ -175,6 +246,54 @@ impl TermVector {
         });
         entries.truncate(k);
         entries
+    }
+}
+
+/// One step of a [`merge_join`] walk over two term-sorted entry lists.
+enum MergeStep<'a> {
+    /// The entry's term occurs only in the left vector.
+    Left(&'a (String, f64)),
+    /// The entry's term occurs only in the right vector.
+    Right(&'a (String, f64)),
+    /// The term occurs in both vectors; both entries are handed over.
+    Both(&'a (String, f64), &'a (String, f64)),
+}
+
+/// Two-pointer merge join over two term-sorted entry slices, calling `f`
+/// once per distinct term in ascending term order.
+///
+/// Every pairwise [`TermVector`] operation (`dot`, `merge`, `union_terms`,
+/// the intersection behind `jaccard`/`overlap_coefficient`) instantiates
+/// this single walk, so the sorted-entries invariant has exactly one
+/// consumer to update if the representation ever changes.
+fn merge_join<'a>(
+    a: &'a [(String, f64)],
+    b: &'a [(String, f64)],
+    mut f: impl FnMut(MergeStep<'a>),
+) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                f(MergeStep::Left(&a[i]));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                f(MergeStep::Right(&b[j]));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                f(MergeStep::Both(&a[i], &b[j]));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for entry in &a[i..] {
+        f(MergeStep::Left(entry));
+    }
+    for entry in &b[j..] {
+        f(MergeStep::Right(entry));
     }
 }
 
@@ -199,6 +318,18 @@ mod tests {
     }
 
     #[test]
+    fn entries_stay_sorted_under_mixed_insertions() {
+        let mut v = TermVector::new();
+        for t in ["zebra", "apple", "mango", "apple", "banana", "zebra"] {
+            v.add(t, 1.0);
+        }
+        let terms: Vec<&str> = v.iter().map(|(t, _)| t).collect();
+        assert_eq!(terms, vec!["apple", "banana", "mango", "zebra"]);
+        assert_eq!(v.get("apple"), 2.0);
+        assert_eq!(v.get("zebra"), 2.0);
+    }
+
+    #[test]
     fn cosine_of_identical_vectors_is_one() {
         let v = TermVector::from_terms(["x", "y", "z", "x"]);
         assert!((v.cosine(&v) - 1.0).abs() < 1e-12);
@@ -217,6 +348,16 @@ mod tests {
         let b = TermVector::new();
         assert_eq!(a.cosine(&b), 0.0);
         assert_eq!(b.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn dot_matches_lookup_based_reference() {
+        let a = TermVector::from_terms(["a", "b", "b", "d", "e"]);
+        let b = TermVector::from_terms(["b", "c", "d", "d", "f"]);
+        // Reference: per-term lookups, the pre-merge-walk implementation.
+        let reference: f64 = a.iter().map(|(t, w)| w * b.get(t)).sum();
+        assert_eq!(a.dot(&b), reference);
+        assert_eq!(a.dot(&b), b.dot(&a));
     }
 
     #[test]
@@ -252,6 +393,18 @@ mod tests {
         assert_eq!(translated.get("united states"), 2.0);
         assert_eq!(translated.get("ireland"), 1.0);
         assert_eq!(translated.get("estados unidos"), 0.0);
+    }
+
+    #[test]
+    fn union_terms_visits_each_distinct_term_once_in_order() {
+        let a = TermVector::from_terms(["b", "d", "a"]);
+        let b = TermVector::from_terms(["c", "b", "e"]);
+        let mut seen = Vec::new();
+        a.union_terms(&b, |t| seen.push(t.to_string()));
+        assert_eq!(seen, vec!["a", "b", "c", "d", "e"]);
+        let mut left_only = Vec::new();
+        a.union_terms(&TermVector::new(), |t| left_only.push(t.to_string()));
+        assert_eq!(left_only, vec!["a", "b", "d"]);
     }
 
     #[test]

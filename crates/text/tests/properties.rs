@@ -91,6 +91,41 @@ proptest! {
         }
     }
 
+    /// The sparse merge-walk dot product equals a dense map-based
+    /// reference computed term by term.
+    #[test]
+    fn sparse_dot_equals_dense_reference(
+        a in proptest::collection::vec(("[a-e]{1,3}", 1u32..4), 0..24),
+        b in proptest::collection::vec(("[a-e]{1,3}", 1u32..4), 0..24),
+    ) {
+        use std::collections::BTreeMap;
+        // Build both a sparse TermVector and a dense BTreeMap accumulator
+        // from the same weighted term list.
+        let build = |terms: &[(String, u32)]| {
+            let mut sparse = TermVector::new();
+            let mut dense: BTreeMap<String, f64> = BTreeMap::new();
+            for (t, w) in terms {
+                sparse.add(t.clone(), f64::from(*w));
+                *dense.entry(t.clone()).or_insert(0.0) += f64::from(*w);
+            }
+            (sparse, dense)
+        };
+        let (sa, da) = build(&a);
+        let (sb, db) = build(&b);
+        // Dense reference: iterate one map, look terms up in the other.
+        let reference: f64 = da
+            .iter()
+            .map(|(t, w)| w * db.get(t).copied().unwrap_or(0.0))
+            .sum();
+        prop_assert_eq!(sa.dot(&sb), reference);
+        prop_assert_eq!(sb.dot(&sa), reference);
+        // The sparse vector agrees with the dense accumulator entry-wise.
+        for (t, w) in &da {
+            prop_assert_eq!(sa.get(t), *w);
+        }
+        prop_assert_eq!(sa.len(), da.len());
+    }
+
     /// Merging vectors adds totals; dot product is monotone under merge.
     #[test]
     fn merge_adds_totals(

@@ -1,0 +1,100 @@
+//! The candidate-pruned, parallel similarity-table build must be a pure
+//! optimisation: for any synthetic corpus, the table it produces is
+//! byte-identical to the dense all-pairs reference pass.
+//!
+//! This is the safety net under the sparse-pipeline tentpole. The pruned
+//! path may only skip work it can prove irrelevant (value/link cosines of
+//! attribute pairs sharing no term), so every score must come out bit for
+//! bit the same — not approximately the same — as the dense pass, on every
+//! type of randomly-drawn corpora in both language pairs.
+
+use proptest::prelude::*;
+
+use wikimatch_suite::{wiki_corpus, wikimatch};
+
+use wiki_corpus::{Dataset, SyntheticConfig};
+use wikimatch::{ComputeMode, MatchEngine, SimilarityTable};
+
+fn config_with(seed: u64, extra_concepts: usize) -> SyntheticConfig {
+    SyntheticConfig {
+        seed,
+        pairs_per_type_pt: 18,
+        pairs_per_type_vn: 12,
+        person_pool: 60,
+        extra_concepts_per_type: extra_concepts,
+        ..SyntheticConfig::default()
+    }
+}
+
+fn assert_tables_byte_identical(dataset: Dataset) {
+    let dense = MatchEngine::builder(dataset.clone())
+        .compute_mode(ComputeMode::Dense)
+        .build();
+    let pruned = MatchEngine::builder(dataset).build();
+    for pairing in &dense.dataset().types.clone() {
+        let d = dense.similarity(&pairing.type_id).unwrap();
+        let p = pruned.similarity(&pairing.type_id).unwrap();
+        assert_eq!(d.pairs().len(), p.pairs().len());
+        for (dp, pp) in d.pairs().iter().zip(p.pairs()) {
+            assert_eq!((dp.p, dp.q), (pp.p, pp.q));
+            assert_eq!(
+                dp.vsim.to_bits(),
+                pp.vsim.to_bits(),
+                "vsim diverges for {} pair ({}, {})",
+                pairing.type_id,
+                dp.p,
+                dp.q
+            );
+            assert_eq!(
+                dp.lsim.to_bits(),
+                pp.lsim.to_bits(),
+                "lsim diverges for {} pair ({}, {})",
+                pairing.type_id,
+                dp.p,
+                dp.q
+            );
+            assert_eq!(
+                dp.lsi.to_bits(),
+                pp.lsi.to_bits(),
+                "lsi diverges for {} pair ({}, {})",
+                pairing.type_id,
+                dp.p,
+                dp.q
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For any generator seed, pruned and dense tables agree bit for bit on
+    /// every entity type of the Vn-En pair (and scaled-up schemas keep the
+    /// guarantee, exercising the inverted index on generated concepts).
+    #[test]
+    fn pruned_equals_dense_on_random_corpora(
+        seed in 0u64..1_000,
+        extra in 0usize..12,
+    ) {
+        assert_tables_byte_identical(Dataset::vn_en(&config_with(seed, extra)));
+    }
+}
+
+/// One deterministic Pt-En check over all fourteen types (kept out of the
+/// proptest loop: the full pair is ~10× the work of Vn-En).
+#[test]
+fn pruned_equals_dense_on_the_pt_en_pair() {
+    assert_tables_byte_identical(Dataset::pt_en(&config_with(7, 6)));
+}
+
+/// The direct `SimilarityTable` entry points agree with the engine modes.
+#[test]
+fn compute_entry_points_are_consistent() {
+    let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
+    let engine = MatchEngine::new(dataset);
+    let prepared = engine.prepared("film").unwrap();
+    let dense = SimilarityTable::compute_dense(&prepared.schema, engine.config().lsi);
+    let default = SimilarityTable::compute(&prepared.schema, engine.config().lsi);
+    assert_eq!(dense.pairs(), default.pairs());
+    assert_eq!(default.pairs(), prepared.table.pairs());
+}
