@@ -1,17 +1,39 @@
 //! Helpers shared by the reproduction binaries.
 
 use wiki_bench::{ExperimentContext, StandardDatasets};
+use wikimatch::ComputeMode;
 
-/// Builds the experiment context, honouring a `--quick` command-line flag
-/// that switches to the reduced datasets (useful for smoke runs).
+/// Builds the experiment context from the command line:
+///
+/// * `--quick` switches to the reduced datasets (useful for smoke runs);
+/// * `--mode {pruned,dense}` selects the similarity-table compute mode
+///   instead of hard-coding the default (both modes are bit-identical;
+///   `dense` is the single-threaded reference pass).
 pub fn context_from_args() -> ExperimentContext {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mode = match args.iter().position(|a| a == "--mode") {
+        Some(i) => {
+            let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+            value.parse::<ComputeMode>().unwrap_or_else(|err| {
+                eprintln!("--mode: {err}");
+                std::process::exit(2);
+            })
+        }
+        None => ComputeMode::default(),
+    };
     if quick {
         eprintln!("(running on the reduced --quick datasets)");
-        ExperimentContext::new(StandardDatasets::quick())
-    } else {
-        ExperimentContext::new(StandardDatasets::standard())
     }
+    if mode != ComputeMode::default() {
+        eprintln!("(similarity tables computed in {mode} mode)");
+    }
+    let datasets = if quick {
+        StandardDatasets::quick()
+    } else {
+        StandardDatasets::standard()
+    };
+    ExperimentContext::with_mode(datasets, mode)
 }
 
 /// The two language-pair names in report order.

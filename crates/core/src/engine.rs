@@ -33,9 +33,11 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use wiki_corpus::{Dataset, TypePairing};
 use wiki_translate::TitleDictionary;
@@ -92,6 +94,44 @@ pub struct PreparedType {
     pub table: Arc<SimilarityTable>,
 }
 
+/// Point-in-time activity snapshot of one [`MatchEngine`] session, taken
+/// with [`MatchEngine::stats`].
+///
+/// The counters behind it are plain relaxed atomics bumped on the request
+/// paths — cheap enough that a serving layer can poll them per request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Calls to [`MatchEngine::prepared`] (including the indirect ones made
+    /// by `align` / `align_with` / the lazy accessors).
+    pub prepared_requests: u64,
+    /// Per-type artifact computations actually performed. Under concurrent
+    /// first access this stays at one per type: callers coalesce on the
+    /// per-type slot instead of duplicating the build.
+    pub artifact_builds: u64,
+    /// Matcher runs served (`align`, `align_with` and the `_all` variants).
+    pub alignments: u64,
+    /// Number of per-type artifact sets currently cached.
+    pub cached_types: usize,
+}
+
+/// Lock-free counters backing [`EngineStats`].
+#[derive(Debug, Default)]
+struct EngineCounters {
+    prepared_requests: AtomicU64,
+    artifact_builds: AtomicU64,
+    alignments: AtomicU64,
+}
+
+// Compile-time Send + Sync audit: serving layers share one engine session
+// (and the artifacts it hands out) across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MatchEngine>();
+    assert_send_sync::<MatchEngineBuilder>();
+    assert_send_sync::<PreparedType>();
+    assert_send_sync::<EngineStats>();
+};
+
 /// Builder for [`MatchEngine`]; see [`MatchEngine::builder`].
 #[derive(Debug)]
 pub struct MatchEngineBuilder {
@@ -143,6 +183,7 @@ impl MatchEngineBuilder {
             dictionary,
             type_matches: OnceLock::new(),
             prepared: RwLock::new(HashMap::new()),
+            counters: EngineCounters::default(),
         };
         if self.eager {
             engine.prepare_all();
@@ -169,6 +210,7 @@ pub struct MatchEngine {
     // Per-type slots so concurrent first requests for the same type block on
     // one computation instead of racing to duplicate it.
     prepared: RwLock<HashMap<String, Arc<OnceLock<PreparedType>>>>,
+    counters: EngineCounters,
 }
 
 impl MatchEngine {
@@ -252,6 +294,9 @@ impl MatchEngine {
     /// per-type slot: exactly one thread computes, the rest wait and share
     /// the result.
     pub fn prepared(&self, type_id: &str) -> Option<PreparedType> {
+        self.counters
+            .prepared_requests
+            .fetch_add(1, Ordering::Relaxed);
         let pairing = self.dataset.type_pairing(type_id)?;
         let slot = {
             let cache = self.prepared.read().expect("engine cache poisoned");
@@ -263,6 +308,9 @@ impl MatchEngine {
         });
         Some(
             slot.get_or_init(|| {
+                self.counters
+                    .artifact_builds
+                    .fetch_add(1, Ordering::Relaxed);
                 let schema = DualSchema::build(
                     &self.dataset.corpus,
                     self.dataset.other_language(),
@@ -302,6 +350,7 @@ impl MatchEngine {
     /// Returns `None` for unknown type ids.
     pub fn align(&self, type_id: &str) -> Option<TypeAlignment> {
         let prepared = self.prepared(type_id)?;
+        self.counters.alignments.fetch_add(1, Ordering::Relaxed);
         let matches = AttributeAlignment::new(&prepared.schema, &prepared.table, self.config).run();
         Some(TypeAlignment {
             type_id: type_id.to_string(),
@@ -340,7 +389,19 @@ impl MatchEngine {
         type_id: &str,
     ) -> Option<Vec<(String, String)>> {
         let prepared = self.prepared(type_id)?;
+        self.counters.alignments.fetch_add(1, Ordering::Relaxed);
         Some(matcher.align(&prepared.schema, &prepared.table))
+    }
+
+    /// A point-in-time snapshot of the session's activity counters — the
+    /// cheap stats hook serving layers poll for health/metrics endpoints.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            prepared_requests: self.counters.prepared_requests.load(Ordering::Relaxed),
+            artifact_builds: self.counters.artifact_builds.load(Ordering::Relaxed),
+            alignments: self.counters.alignments.load(Ordering::Relaxed),
+            cached_types: self.cached_types(),
+        }
     }
 
     /// Runs any [`SchemaMatcher`] over every type, in parallel; returns
@@ -441,6 +502,28 @@ mod tests {
             .eager()
             .build();
         assert_eq!(engine.cached_types(), engine.dataset().types.len());
+    }
+
+    #[test]
+    fn stats_count_requests_builds_and_alignments() {
+        let engine = engine();
+        assert_eq!(engine.stats(), EngineStats::default());
+        engine.align("film").unwrap();
+        engine.align("film").unwrap();
+        engine.schema("film").unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.alignments, 2);
+        assert_eq!(stats.prepared_requests, 3);
+        // Three requests, but the artifacts were built exactly once.
+        assert_eq!(stats.artifact_builds, 1);
+        assert_eq!(stats.cached_types, 1);
+        // Unknown types count as requests but never build anything, and a
+        // failed lookup is not a served alignment.
+        assert!(engine.align("not a type").is_none());
+        let stats = engine.stats();
+        assert_eq!(stats.prepared_requests, 4);
+        assert_eq!(stats.artifact_builds, 1);
+        assert_eq!(stats.alignments, 2);
     }
 
     #[test]

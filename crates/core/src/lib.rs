@@ -108,12 +108,12 @@ pub mod types;
 
 pub use alignment::AttributeAlignment;
 pub use config::WikiMatchConfig;
-pub use engine::{MatchEngine, MatchEngineBuilder, PreparedType, SchemaMatcher};
+pub use engine::{EngineStats, MatchEngine, MatchEngineBuilder, PreparedType, SchemaMatcher};
 pub use matches::{MatchCluster, MatchSet};
 pub use pipeline::{TypeAlignment, WikiMatch};
 // `schema::CandidateIndex` / `schema::PairSet` are deliberately not
 // re-exported here: they are pruning machinery consumed by the similarity
 // build, reachable for the curious but outside the headline API surface.
 pub use schema::{AttributeStats, DualSchema};
-pub use similarity::{CandidatePair, ComputeMode, SimilarityTable};
+pub use similarity::{CandidatePair, ComputeMode, ParseComputeModeError, SimilarityTable};
 pub use types::match_entity_types;

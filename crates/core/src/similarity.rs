@@ -43,6 +43,46 @@ pub enum ComputeMode {
     Dense,
 }
 
+impl std::fmt::Display for ComputeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ComputeMode::Pruned => "pruned",
+            ComputeMode::Dense => "dense",
+        })
+    }
+}
+
+/// Error returned when parsing a [`ComputeMode`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseComputeModeError(String);
+
+impl std::fmt::Display for ParseComputeModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown compute mode {:?}; expected \"pruned\" or \"dense\"",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseComputeModeError {}
+
+impl std::str::FromStr for ComputeMode {
+    type Err = ParseComputeModeError;
+
+    /// Parses `"pruned"` / `"dense"` (case-insensitive, also accepting the
+    /// capitalised serde variant names), so the mode can be set from
+    /// `matchd` configuration and bench CLI flags.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "pruned" => Ok(ComputeMode::Pruned),
+            "dense" => Ok(ComputeMode::Dense),
+            _ => Err(ParseComputeModeError(s.to_string())),
+        }
+    }
+}
+
 /// A candidate attribute pair with its similarity evidence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CandidatePair {
@@ -529,6 +569,28 @@ mod tests {
                 assert_eq!(packed_patterns_intersect(&bits[p], &bits[q]), expected);
             }
         }
+    }
+
+    #[test]
+    fn compute_mode_round_trips_through_serde_and_from_str() {
+        for (mode, text) in [
+            (ComputeMode::Pruned, "pruned"),
+            (ComputeMode::Dense, "dense"),
+        ] {
+            // Display / FromStr.
+            assert_eq!(mode.to_string(), text);
+            assert_eq!(text.parse::<ComputeMode>().unwrap(), mode);
+            assert_eq!(text.to_uppercase().parse::<ComputeMode>().unwrap(), mode);
+            // serde (via the Value tree the shims use).
+            let value = mode.serialize_value();
+            assert_eq!(ComputeMode::deserialize_value(&value).unwrap(), mode);
+            // The serde variant names are also accepted by FromStr so a
+            // serialized mode can be fed back through a CLI flag.
+            let serde_name = value.as_str().unwrap().to_string();
+            assert_eq!(serde_name.parse::<ComputeMode>().unwrap(), mode);
+        }
+        let err = "fast".parse::<ComputeMode>().unwrap_err();
+        assert!(err.to_string().contains("fast"), "{err}");
     }
 
     #[test]

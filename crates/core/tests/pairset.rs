@@ -1,0 +1,149 @@
+//! Edge-case coverage for the bit-packed [`PairSet`] behind the candidate
+//! index: word-boundary bits (triangular indices 63/64/65), the empty set,
+//! the full set, and a property test against a `HashSet` model.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use wikimatch::schema::PairSet;
+
+/// The triangular index `PairSet` assigns to the unordered pair `(p, q)` —
+/// mirrors the layout documented on `PairSet::bit`.
+fn tri_index(n: usize, p: usize, q: usize) -> usize {
+    let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+    lo * n - lo * (lo + 1) / 2 + (hi - lo - 1)
+}
+
+/// All unordered pairs of `n` attributes whose triangular index is in
+/// `wanted` (sorted by index).
+fn pairs_at_indices(n: usize, wanted: &[usize]) -> Vec<(usize, usize, usize)> {
+    let mut found = Vec::new();
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let idx = tri_index(n, p, q);
+            if wanted.contains(&idx) {
+                found.push((idx, p, q));
+            }
+        }
+    }
+    found.sort_unstable();
+    found
+}
+
+#[test]
+fn word_boundary_bits_do_not_alias() {
+    // Every n here has more than 65 triangular bits, so indices 63 (last
+    // bit of word 0), 64 (first bit of word 1) and 65 all exist.
+    for n in [12usize, 13, 17, 40] {
+        let total = n * (n - 1) / 2;
+        assert!(total > 65, "n={n} too small for the boundary indices");
+        let boundary = pairs_at_indices(n, &[63, 64, 65]);
+        assert_eq!(boundary.len(), 3, "n={n}");
+
+        for &(idx, p, q) in &boundary {
+            // Inserting exactly one boundary pair sets exactly one bit …
+            let mut set = PairSet::new(n);
+            set.insert(p, q);
+            assert!(set.contains(p, q), "n={n} idx={idx}");
+            assert!(set.contains(q, p), "order-insensitive, n={n} idx={idx}");
+            assert_eq!(set.len(), 1, "n={n} idx={idx}");
+            // … and no other pair observes it (no cross-word aliasing).
+            for a in 0..n {
+                for b in 0..n {
+                    let expected = a != b && (a.min(b), a.max(b)) == (p, q);
+                    assert_eq!(set.contains(a, b), expected, "n={n} idx={idx} ({a},{b})");
+                }
+            }
+        }
+
+        // All three boundary bits together: adjacent bits across the word
+        // seam stay independent.
+        let mut set = PairSet::new(n);
+        for &(_, p, q) in &boundary {
+            set.insert(p, q);
+        }
+        assert_eq!(set.len(), 3, "n={n}");
+        for &(_, p, q) in &boundary {
+            assert!(set.contains(p, q), "n={n}");
+        }
+    }
+}
+
+#[test]
+fn empty_set_has_no_members() {
+    for n in [0usize, 1, 2, 13, 40] {
+        let set = PairSet::new(n);
+        assert!(set.is_empty(), "n={n}");
+        assert_eq!(set.len(), 0, "n={n}");
+        for p in 0..n {
+            for q in 0..n {
+                assert!(!set.contains(p, q), "n={n} ({p},{q})");
+            }
+        }
+    }
+
+    // Inserting only diagonal pairs keeps the set empty.
+    let mut set = PairSet::new(13);
+    for p in 0..13 {
+        set.insert(p, p);
+    }
+    assert!(set.is_empty());
+}
+
+#[test]
+fn full_set_contains_every_pair_and_nothing_else() {
+    for n in [2usize, 12, 13, 17] {
+        let mut set = PairSet::new(n);
+        for p in 0..n {
+            for q in 0..n {
+                set.insert(p, q); // diagonal inserts are ignored
+            }
+        }
+        assert_eq!(set.len(), n * (n - 1) / 2, "n={n}");
+        assert!(!set.is_empty(), "n={n}");
+        for p in 0..n {
+            for q in 0..n {
+                assert_eq!(set.contains(p, q), p != q, "n={n} ({p},{q})");
+            }
+        }
+        // Re-inserting everything is idempotent.
+        for p in 0..n {
+            for q in (p + 1)..n {
+                set.insert(q, p);
+            }
+        }
+        assert_eq!(set.len(), n * (n - 1) / 2, "n={n}");
+    }
+}
+
+proptest! {
+    /// Random insert sequences behave exactly like a `HashSet` of
+    /// normalised `(lo, hi)` pairs, for sizes straddling multiple words.
+    #[test]
+    fn matches_a_hashset_model(
+        case in (2usize..40).prop_flat_map(|n| {
+            (n..n + 1, proptest::collection::vec((0usize..n, 0usize..n), 0..80))
+        })
+    ) {
+        let (n, pairs) = case;
+        let mut set = PairSet::new(n);
+        let mut model: HashSet<(usize, usize)> = HashSet::new();
+        for &(p, q) in &pairs {
+            set.insert(p, q);
+            if p != q {
+                model.insert((p.min(q), p.max(q)));
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        prop_assert_eq!(set.is_empty(), model.is_empty());
+        for p in 0..n {
+            for q in 0..n {
+                prop_assert_eq!(
+                    set.contains(p, q),
+                    model.contains(&(p.min(q), p.max(q))) && p != q
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! `matchbench` — load generator for a running `matchd`.
+//!
+//! Replays a fixed number of requests from concurrent keep-alive
+//! connections and reports sustained throughput plus p50/p95/p99 latency.
+//!
+//! ```text
+//! matchbench [--addr 127.0.0.1:8743] [--corpus pt-medium] [--type film]
+//!            [--requests 5000] [--concurrency 8] [--workload align|mixed]
+//!            [--no-warm] [--json]
+//! ```
+//!
+//! The `align` workload hammers `POST /align` on one type; `mixed`
+//! interleaves align (per-type and all-types), a baseline matcher, query
+//! translation and `/stats` in a 70/5/10/10/5 ratio.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use wiki_serve::client::MatchClient;
+use wiki_serve::protocol::{
+    AlignRequest, CorpusRequest, MatcherRequest, StatsResponse, TranslateRequest,
+};
+
+const USAGE: &str = "matchbench — load generator for matchd
+
+USAGE:
+    matchbench [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT  server address (default 127.0.0.1:8743)
+    --corpus NAME     corpus to drive (default pt-medium)
+    --type ID         entity type for align requests (default film)
+    --requests N      total requests to issue (default 5000)
+    --concurrency N   concurrent client connections (default 8)
+    --workload KIND   align | mixed (default align)
+    --no-warm         skip the POST /warm before measuring
+    --json            print the summary as JSON
+    --help            print this help";
+
+/// One measured request kind, for the per-endpoint breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    AlignType,
+    AlignAll,
+    Matcher,
+    Translate,
+    Stats,
+}
+
+impl Op {
+    fn label(self) -> &'static str {
+        match self {
+            Op::AlignType => "align(type)",
+            Op::AlignAll => "align(*)",
+            Op::Matcher => "matchers",
+            Op::Translate => "translate-query",
+            Op::Stats => "stats",
+        }
+    }
+
+    /// The mixed-workload schedule: 70% per-type align, 5% all-types align,
+    /// 10% baseline matcher, 10% translation, 5% stats.
+    fn mixed(i: u64) -> Self {
+        match i % 20 {
+            0 => Op::AlignAll,
+            1 | 2 => Op::Matcher,
+            3 | 4 => Op::Translate,
+            5 => Op::Stats,
+            _ => Op::AlignType,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchConfig {
+    addr: String,
+    corpus: String,
+    type_id: String,
+    requests: u64,
+    concurrency: usize,
+    mixed: bool,
+    warm: bool,
+    json: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8743".to_string(),
+            corpus: "pt-medium".to_string(),
+            type_id: "film".to_string(),
+            requests: 5000,
+            concurrency: 8,
+            mixed: false,
+            warm: true,
+            json: false,
+        }
+    }
+}
+
+/// The machine-readable summary printed by `--json`.
+#[derive(Debug, Clone, Serialize)]
+struct Summary {
+    corpus: String,
+    workload: String,
+    requests: u64,
+    errors: u64,
+    concurrency: usize,
+    elapsed_secs: f64,
+    throughput_rps: f64,
+    latency_ms: Percentiles,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Percentiles {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    mean: f64,
+    max: f64,
+}
+
+fn percentile(sorted_nanos: &[u64], p: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    sorted_nanos[idx] as f64 / 1e6
+}
+
+/// The foreign-language demo query for a corpus (Portuguese corpora get the
+/// paper's film query; Vietnamese corpora get its translation).
+fn demo_query(corpus: &str) -> &'static str {
+    if corpus.starts_with("vi") {
+        "phim(đạo diễn=?)"
+    } else {
+        "filme(direção=?, país=\"Estados Unidos\")"
+    }
+}
+
+fn issue(client: &mut MatchClient, config: &BenchConfig, op: Op) -> std::io::Result<bool> {
+    let response = match op {
+        Op::AlignType => client.post(
+            "/align",
+            &AlignRequest {
+                corpus: config.corpus.clone(),
+                type_id: Some(config.type_id.clone()),
+            },
+        )?,
+        Op::AlignAll => client.post(
+            "/align",
+            &AlignRequest {
+                corpus: config.corpus.clone(),
+                type_id: None,
+            },
+        )?,
+        Op::Matcher => client.post(
+            "/matchers",
+            &MatcherRequest {
+                corpus: config.corpus.clone(),
+                matcher: "Bouma".to_string(),
+                type_id: Some(config.type_id.clone()),
+            },
+        )?,
+        Op::Translate => client.post(
+            "/translate-query",
+            &TranslateRequest {
+                corpus: config.corpus.clone(),
+                query: demo_query(&config.corpus).to_string(),
+                top_k: Some(3),
+            },
+        )?,
+        Op::Stats => client.get("/stats")?,
+    };
+    Ok(response.is_success())
+}
+
+fn parse_args() -> Result<Option<BenchConfig>, String> {
+    let mut config = BenchConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--addr" => config.addr = value("--addr")?,
+            "--corpus" => config.corpus = value("--corpus")?,
+            "--type" => config.type_id = value("--type")?,
+            "--requests" => {
+                let v = value("--requests")?;
+                config.requests = v.parse().map_err(|_| format!("bad --requests {v:?}"))?;
+            }
+            "--concurrency" => {
+                let v = value("--concurrency")?;
+                config.concurrency = v.parse().map_err(|_| format!("bad --concurrency {v:?}"))?;
+            }
+            "--workload" => {
+                config.mixed = match value("--workload")?.as_str() {
+                    "align" => false,
+                    "mixed" => true,
+                    other => return Err(format!("unknown workload {other:?}")),
+                }
+            }
+            "--no-warm" => config.warm = false,
+            "--json" => config.json = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if config.requests == 0 || config.concurrency == 0 {
+        return Err("--requests and --concurrency must be positive".to_string());
+    }
+    Ok(Some(config))
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("matchbench: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Warm the corpus so the measurement reflects steady-state serving, not
+    // the one-off session build (cold-start coalescing has its own test).
+    if config.warm {
+        let mut client = match MatchClient::new(config.addr.as_str()) {
+            Ok(client) => client,
+            Err(err) => {
+                eprintln!("matchbench: cannot reach {}: {err}", config.addr);
+                return ExitCode::FAILURE;
+            }
+        };
+        let start = Instant::now();
+        let warm = client.post(
+            "/warm",
+            &CorpusRequest {
+                corpus: config.corpus.clone(),
+            },
+        );
+        match warm {
+            Ok(response) if response.is_success() => {
+                eprintln!(
+                    "matchbench: warmed {} in {:.2?}",
+                    config.corpus,
+                    start.elapsed()
+                );
+            }
+            Ok(response) => {
+                eprintln!(
+                    "matchbench: warm failed (HTTP {}): {}",
+                    response.status, response.body
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(err) => {
+                eprintln!("matchbench: warm failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // A keep-alive connection pins one server worker for its whole
+    // lifetime, so client connections beyond the server's worker count
+    // starve in the queue and record bench-length tail latencies. Warn so
+    // the percentiles are read accordingly.
+    if let Ok(response) =
+        MatchClient::new(config.addr.as_str()).and_then(|mut client| client.get("/stats"))
+    {
+        if let Ok(stats) = response.json::<StatsResponse>() {
+            if config.concurrency > stats.workers {
+                eprintln!(
+                    "matchbench: warning: --concurrency {} exceeds the server's {} workers; \
+                     excess connections will starve and skew tail latencies",
+                    config.concurrency, stats.workers
+                );
+            }
+        }
+    }
+
+    let next = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut per_worker: Vec<Vec<u64>> = Vec::new();
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..config.concurrency {
+            let next = Arc::clone(&next);
+            let errors = Arc::clone(&errors);
+            let config = &config;
+            handles.push(scope.spawn(move || {
+                let mut latencies = Vec::new();
+                let mut client = match MatchClient::new(config.addr.as_str()) {
+                    Ok(client) => client,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return latencies;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= config.requests {
+                        break;
+                    }
+                    let op = if config.mixed {
+                        Op::mixed(i)
+                    } else {
+                        Op::AlignType
+                    };
+                    let begin = Instant::now();
+                    match issue(&mut client, config, op) {
+                        Ok(true) => latencies.push(begin.elapsed().as_nanos() as u64),
+                        Ok(false) | Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies
+            }));
+        }
+        for handle in handles {
+            per_worker.push(handle.join().unwrap_or_default());
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut latencies: Vec<u64> = per_worker.into_iter().flatten().collect();
+    latencies.sort_unstable();
+    let errors = errors.load(Ordering::Relaxed);
+    let completed = latencies.len() as u64;
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e6
+    };
+    let summary = Summary {
+        corpus: config.corpus.clone(),
+        workload: if config.mixed { "mixed" } else { "align" }.to_string(),
+        requests: completed,
+        errors,
+        concurrency: config.concurrency,
+        elapsed_secs: elapsed.as_secs_f64(),
+        throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency_ms: Percentiles {
+            p50: percentile(&latencies, 0.50),
+            p95: percentile(&latencies, 0.95),
+            p99: percentile(&latencies, 0.99),
+            mean,
+            max: percentile(&latencies, 1.0),
+        },
+    };
+
+    if config.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("summary serializes")
+        );
+    } else {
+        println!(
+            "matchbench: {} workload against {} ({} concurrent connections)",
+            summary.workload, summary.corpus, summary.concurrency
+        );
+        if config.mixed {
+            let breakdown: Vec<String> = [
+                Op::AlignType,
+                Op::AlignAll,
+                Op::Matcher,
+                Op::Translate,
+                Op::Stats,
+            ]
+            .iter()
+            .map(|op| {
+                let count = (0..config.requests)
+                    .filter(|&i| Op::mixed(i) == *op)
+                    .count();
+                format!("{} ×{}", op.label(), count)
+            })
+            .collect();
+            println!("  mix:        {}", breakdown.join(", "));
+        }
+        println!(
+            "  completed:  {} requests in {:.2}s ({} errors)",
+            summary.requests, summary.elapsed_secs, summary.errors
+        );
+        println!("  throughput: {:.0} req/s", summary.throughput_rps);
+        println!(
+            "  latency:    p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  mean {:.2}ms  max {:.2}ms",
+            summary.latency_ms.p50,
+            summary.latency_ms.p95,
+            summary.latency_ms.p99,
+            summary.latency_ms.mean,
+            summary.latency_ms.max
+        );
+    }
+
+    if errors > 0 {
+        eprintln!("matchbench: {errors} request(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,157 @@
+//! `matchd` — the WikiMatch matching daemon.
+//!
+//! Registers the synthetic scale-tier corpora (`pt-tiny` … `vi-large`) in a
+//! [`Registry`] and serves the JSON-over-HTTP protocol until killed or told
+//! to stop via `POST /shutdown`.
+//!
+//! ```text
+//! matchd [--addr 127.0.0.1:8743] [--workers N] [--queue N] [--capacity N]
+//!        [--mode pruned|dense] [--tiers tiny,small,medium,large]
+//!        [--warm corpus[,corpus...]]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use wiki_serve::registry::{CorpusSpec, Registry};
+use wiki_serve::server::{MatchServer, ServerConfig};
+use wikimatch::ComputeMode;
+
+const USAGE: &str = "matchd — WikiMatch matching daemon
+
+USAGE:
+    matchd [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT   bind address (default 127.0.0.1:8743; port 0 = ephemeral)
+    --workers N        worker threads (default: available parallelism)
+    --queue N          pending-connection queue bound (default 256)
+    --capacity N       resident engine sessions in the LRU (default 4)
+    --mode MODE        similarity compute mode: pruned | dense (default pruned)
+    --tiers LIST       comma-separated scale tiers to register
+                       (default tiny,small,medium,large)
+    --warm LIST        comma-separated corpus names to warm at startup
+    --help             print this help
+
+ENDPOINTS (all JSON):
+    GET  /healthz /stats /corpora /matchers
+    POST /align            {\"corpus\": \"pt-medium\", \"type_id\": \"film\"?}
+    POST /matchers         {\"corpus\": ..., \"matcher\": \"Bouma\", \"type_id\"?}
+    POST /translate-query  {\"corpus\": ..., \"query\": \"filme(direção=?)\", \"top_k\"?}
+    POST /warm | /evict    {\"corpus\": ...}
+    POST /shutdown";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("matchd: {message}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:8743".to_string();
+    let mut config = ServerConfig::default();
+    let mut capacity = 4usize;
+    let mut mode = ComputeMode::default();
+    let mut tiers = "tiny,small,medium,large".to_string();
+    let mut warm = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let result: Result<(), String> = match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--addr" => value("--addr").map(|v| addr = v),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|_| format!("bad --workers {v:?}"))
+            }),
+            "--queue" => value("--queue").and_then(|v| {
+                v.parse()
+                    .map(|n| config.queue_depth = n)
+                    .map_err(|_| format!("bad --queue {v:?}"))
+            }),
+            "--capacity" => value("--capacity").and_then(|v| {
+                v.parse()
+                    .map(|n| capacity = n)
+                    .map_err(|_| format!("bad --capacity {v:?}"))
+            }),
+            "--mode" => value("--mode").and_then(|v| {
+                v.parse::<ComputeMode>()
+                    .map(|m| mode = m)
+                    .map_err(|e| e.to_string())
+            }),
+            "--tiers" => value("--tiers").map(|v| tiers = v),
+            "--warm" => value("--warm").map(|v| {
+                warm.extend(v.split(',').map(|s| s.trim().to_string()));
+            }),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(message) = result {
+            return fail(&message);
+        }
+    }
+    config.addr = addr;
+
+    let tier_names: Vec<&str> = tiers.split(',').map(str::trim).collect();
+    // Fail fast on a misspelled tier instead of silently serving fewer
+    // corpora than asked for.
+    if let Some(unknown) = tier_names
+        .iter()
+        .find(|t| CorpusSpec::tier(wiki_corpus::Language::Pt, t).is_none())
+    {
+        return fail(&format!(
+            "unknown tier {unknown:?}; expected tiny, small, medium or large"
+        ));
+    }
+    let specs = CorpusSpec::scale_tiers(&tier_names);
+    if specs.is_empty() {
+        return fail(&format!("no valid tiers in {tiers:?}"));
+    }
+    let registry = Arc::new(Registry::new(capacity, mode));
+    registry.register_all(specs);
+
+    if warm.len() > capacity {
+        eprintln!(
+            "matchd: warning: --warm lists {} corpora but --capacity is {}; \
+             earlier warmed sessions will be evicted again before serving starts",
+            warm.len(),
+            capacity
+        );
+    }
+    for name in &warm {
+        let start = Instant::now();
+        match registry.warm(name) {
+            Ok(cached) => eprintln!(
+                "matchd: warmed {name} ({} types) in {:.2?}",
+                cached.engine().cached_types(),
+                start.elapsed()
+            ),
+            Err(err) => return fail(&err.to_string()),
+        }
+    }
+
+    let workers = config.workers;
+    let mut server = match MatchServer::start(Arc::clone(&registry), config) {
+        Ok(server) => server,
+        Err(err) => return fail(&format!("failed to bind: {err}")),
+    };
+    eprintln!(
+        "matchd: listening on http://{} ({} workers, capacity {}, mode {}, corpora: {})",
+        server.addr(),
+        workers,
+        registry.capacity(),
+        registry.mode(),
+        registry.names().join(", ")
+    );
+    server.wait();
+    eprintln!("matchd: shutting down");
+    server.shutdown();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,126 @@
+//! The named-matcher registry behind `POST /matchers`.
+//!
+//! Every approach of the workspace implements [`SchemaMatcher`]; this
+//! module gives each instance a stable, case-insensitively matched name so
+//! clients can pick a matcher over the wire. The default catalog covers the
+//! paper's comparison set: WikiMatch itself, Bouma, every COMA++
+//! configuration and LSI top-k for the ks of Figure 6.
+
+use wiki_baselines::{BoumaMatcher, ComaConfiguration, ComaMatcher, LsiTopKMatcher};
+use wikimatch::{SchemaMatcher, WikiMatch};
+
+/// A set of named [`SchemaMatcher`] plugins.
+pub struct MatcherRegistry {
+    matchers: Vec<Box<dyn SchemaMatcher>>,
+}
+
+impl std::fmt::Debug for MatcherRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatcherRegistry")
+            .field("matchers", &self.names())
+            .finish()
+    }
+}
+
+impl Default for MatcherRegistry {
+    /// The full comparison catalog of the paper: `WikiMatch`, `Bouma`,
+    /// one `COMA++ <config>` entry per configuration, and `LSI top-k`
+    /// for k ∈ {1, 3, 5, 10}.
+    fn default() -> Self {
+        let mut registry = Self::empty();
+        registry.register(Box::new(WikiMatch::default()));
+        registry.register(Box::new(BoumaMatcher::default()));
+        for config in ComaConfiguration::all() {
+            registry.register(Box::new(ComaMatcher::new(*config)));
+        }
+        for k in [1usize, 3, 5, 10] {
+            registry.register(Box::new(LsiTopKMatcher::new(k)));
+        }
+        registry
+    }
+}
+
+impl MatcherRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        Self {
+            matchers: Vec::new(),
+        }
+    }
+
+    /// Registers a matcher; its [`SchemaMatcher::label`] is the lookup key
+    /// (with [`SchemaMatcher::name`] accepted as a shorthand when it is
+    /// unambiguous).
+    pub fn register(&mut self, matcher: Box<dyn SchemaMatcher>) {
+        self.matchers.push(matcher);
+    }
+
+    /// The labels accepted by [`get`](Self::get), in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.matchers.iter().map(|m| m.label()).collect()
+    }
+
+    /// Looks a matcher up by label or (unambiguous) name,
+    /// case-insensitively.
+    pub fn get(&self, wanted: &str) -> Option<&dyn SchemaMatcher> {
+        let wanted = wanted.trim().to_ascii_lowercase();
+        // Exact label match first.
+        if let Some(m) = self
+            .matchers
+            .iter()
+            .find(|m| m.label().to_ascii_lowercase() == wanted)
+        {
+            return Some(m.as_ref());
+        }
+        // Fall back to the short name, but only when unambiguous.
+        let mut by_name = self
+            .matchers
+            .iter()
+            .filter(|m| m.name().to_ascii_lowercase() == wanted);
+        match (by_name.next(), by_name.next()) {
+            (Some(m), None) => Some(m.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_catalog_covers_the_comparison_set() {
+        let registry = MatcherRegistry::default();
+        let names = registry.names();
+        assert!(names.contains(&"WikiMatch".to_string()), "{names:?}");
+        assert!(names.contains(&"Bouma".to_string()), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("COMA++")), "{names:?}");
+        assert!(names.contains(&"LSI top-3".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_on_labels() {
+        let registry = MatcherRegistry::default();
+        assert_eq!(registry.get("wikimatch").unwrap().name(), "WikiMatch");
+        assert_eq!(registry.get("  BOUMA ").unwrap().name(), "Bouma");
+        assert_eq!(registry.get("lsi top-10").unwrap().label(), "LSI top-10");
+        assert!(registry.get("no such matcher").is_none());
+    }
+
+    #[test]
+    fn ambiguous_short_names_are_rejected() {
+        let registry = MatcherRegistry::default();
+        // Several COMA++ configurations share the name "COMA++" and several
+        // LSI top-k matchers share "LSI" — a bare short name must not pick
+        // one arbitrarily.
+        assert!(registry.get("COMA++").is_none());
+        assert!(registry.get("LSI").is_none());
+        // Their full labels stay addressable.
+        assert!(registry.names().iter().all(|label| {
+            registry
+                .get(label)
+                .map(|m| m.label() == *label)
+                .unwrap_or(false)
+        }));
+    }
+}

@@ -1,0 +1,167 @@
+//! The JSON-over-HTTP protocol types of `matchd`.
+//!
+//! Every endpoint consumes and produces one of the structs below, so the
+//! wire format is defined in exactly one place and shared by the server,
+//! the [`crate::client::MatchClient`], `matchbench` and the integration
+//! tests. See `docs/ARCHITECTURE.md` ("Serving") for the endpoint table.
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::{CorpusSpec, RegistryStats};
+use wiki_query::{Answer, CQuery};
+
+/// The standard error envelope of every non-2xx response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable description of what went wrong.
+    pub error: String,
+}
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server answers at all.
+    pub status: String,
+    /// Service name (`"matchd"`).
+    pub service: String,
+    /// Crate version.
+    pub version: String,
+}
+
+/// `POST /align` request: run the engine's WikiMatch configuration over one
+/// type (or all types when `type_id` is omitted).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlignRequest {
+    /// Registry name of the corpus.
+    pub corpus: String,
+    /// Entity type to align; `None` aligns every type of the dataset.
+    pub type_id: Option<String>,
+}
+
+/// `POST /matchers` request: run a registered [`wikimatch::SchemaMatcher`]
+/// by name over one type (or all types).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatcherRequest {
+    /// Registry name of the corpus.
+    pub corpus: String,
+    /// Matcher name or label as listed by `GET /matchers`
+    /// (case-insensitive; e.g. `"Bouma"`, `"LSI top-3"`).
+    pub matcher: String,
+    /// Entity type to align; `None` aligns every type of the dataset.
+    pub type_id: Option<String>,
+}
+
+/// Cross-language pairs of one entity type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypePairs {
+    /// Entity type identifier.
+    pub type_id: String,
+    /// `(foreign attribute, English attribute)` correspondences.
+    pub pairs: Vec<(String, String)>,
+}
+
+/// Response of `POST /align` and `POST /matchers`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlignResponse {
+    /// Corpus the alignment ran over.
+    pub corpus: String,
+    /// Label of the matcher that produced the pairs.
+    pub matcher: String,
+    /// Per-type correspondences, in dataset type order.
+    pub alignments: Vec<TypePairs>,
+}
+
+/// `POST /translate-query` request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TranslateRequest {
+    /// Registry name of the corpus.
+    pub corpus: String,
+    /// The c-query in the corpus' foreign language, in the workspace's
+    /// textual form, e.g. `filme(direção=?, país="Estados Unidos")`.
+    pub query: String,
+    /// When > 0, also answer the translated query against the English
+    /// edition and return the top-`k` candidates. Defaults to 0.
+    pub top_k: Option<usize>,
+}
+
+/// Response of `POST /translate-query`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TranslateResponse {
+    /// Corpus the translation ran over.
+    pub corpus: String,
+    /// The parsed source query.
+    pub source: CQuery,
+    /// The translated English query (untranslatable constraints relaxed).
+    pub translated: CQuery,
+    /// Constraints translated successfully.
+    pub translated_constraints: usize,
+    /// Constraints dropped because no correspondence was available.
+    pub relaxed_constraints: usize,
+    /// Top-`k` answers over the English edition (empty when `top_k` is 0).
+    pub answers: Vec<Answer>,
+}
+
+/// `GET /corpora` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorporaResponse {
+    /// The registered corpora, in registration order.
+    pub corpora: Vec<CorpusSpec>,
+}
+
+/// `GET /matchers` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchersResponse {
+    /// Labels accepted by `POST /matchers`.
+    pub matchers: Vec<String>,
+}
+
+/// Request body of `POST /warm` and `POST /evict`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusRequest {
+    /// Registry name of the corpus.
+    pub corpus: String,
+}
+
+/// `POST /warm` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WarmResponse {
+    /// Corpus that was warmed.
+    pub corpus: String,
+    /// Per-type artifact sets now cached (every type of the dataset).
+    pub cached_types: usize,
+}
+
+/// `POST /evict` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvictResponse {
+    /// Corpus the eviction targeted.
+    pub corpus: String,
+    /// Whether a resident session was actually dropped.
+    pub evicted: bool,
+}
+
+/// Counters of the HTTP layer itself (one per server, not per corpus).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerCounters {
+    /// Connections accepted off the listener and queued for a worker
+    /// (shed connections count under `rejected` instead).
+    pub accepted: u64,
+    /// Requests answered (any status).
+    pub handled: u64,
+    /// Connections rejected with 503 because the request queue was full.
+    pub rejected: u64,
+}
+
+/// `GET /stats` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// HTTP-layer counters.
+    pub server: ServerCounters,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Bound of the pending-connection queue.
+    pub queue_depth: usize,
+    /// Registry snapshot (per-corpus hits/misses/builds/evictions and
+    /// engine counters).
+    pub registry: RegistryStats,
+}

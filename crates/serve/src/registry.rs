@@ -1,0 +1,656 @@
+//! The corpus registry: named corpora behind an LRU of shared
+//! [`MatchEngine`] sessions.
+//!
+//! A [`Registry`] owns a set of [`CorpusSpec`]s — descriptions of datasets
+//! the service can serve. Sessions are built **lazily** on first request and
+//! cached behind an LRU with a configurable capacity, so a `matchd` process
+//! can advertise every synthetic scale tier while only paying (memory and
+//! build time) for the corpora traffic actually touches.
+//!
+//! Two levels of request coalescing keep cold corpora from stampeding:
+//!
+//! 1. **Session builds** — concurrent first requests for the same corpus
+//!    rendezvous on a per-corpus `OnceLock` slot: exactly one thread
+//!    generates the dataset and builds the engine, the rest block and share
+//!    the result (observable through [`CorpusStats::builds`]).
+//! 2. **Per-type artifacts** — inside the shared engine, the per-type
+//!    schema/similarity builds coalesce the same way (observable through
+//!    [`wikimatch::EngineStats::artifact_builds`]).
+//!
+//! On top of the engine, [`CachedCorpus`] memoises two serving-layer
+//! artifacts: the [`CorrespondenceDictionary`] used by query translation and
+//! a keyed cache of serialized responses, both built once per residency.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use serde::{Deserialize, Serialize};
+
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_query::CorrespondenceDictionary;
+use wikimatch::{ComputeMode, EngineStats, MatchEngine};
+
+/// Description of one corpus a [`Registry`] can serve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Registry name of the corpus (e.g. `"pt-medium"`).
+    pub name: String,
+    /// Foreign language of the pair (English is always the other side).
+    pub language: Language,
+    /// Generator configuration of the synthetic dataset.
+    pub config: SyntheticConfig,
+}
+
+impl CorpusSpec {
+    /// A spec for one language pair and named scale tier
+    /// (`tiny` / `small` / `medium` / `large`), named `"<code>-<tier>"`.
+    pub fn tier(language: Language, tier: &str) -> Option<Self> {
+        let config = match tier {
+            "tiny" => SyntheticConfig::tiny(),
+            "small" => SyntheticConfig::small(),
+            "medium" => SyntheticConfig::medium(),
+            "large" => SyntheticConfig::large(),
+            _ => return None,
+        };
+        Some(Self {
+            name: format!("{}-{tier}", language.code()),
+            language,
+            config,
+        })
+    }
+
+    /// The built-in serving catalog: every synthetic scale tier for both of
+    /// the paper's language pairs (`pt-tiny` … `vi-large`).
+    pub fn scale_tiers(tiers: &[&str]) -> Vec<Self> {
+        let mut specs = Vec::new();
+        for language in [Language::Pt, Language::Vn] {
+            for tier in tiers {
+                if let Some(spec) = Self::tier(language.clone(), tier) {
+                    specs.push(spec);
+                }
+            }
+        }
+        specs
+    }
+
+    /// Generates the dataset this spec describes.
+    pub fn dataset(&self) -> Dataset {
+        Dataset::generate(self.language.clone(), &self.config)
+    }
+}
+
+/// Error returned by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No corpus with the given name is registered.
+    UnknownCorpus(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownCorpus(name) => write!(f, "unknown corpus {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A resident corpus: the shared engine session plus serving-layer caches
+/// that live and die with the residency.
+#[derive(Debug)]
+pub struct CachedCorpus {
+    engine: Arc<MatchEngine>,
+    dictionary: OnceLock<CorrespondenceDictionary>,
+    responses: ResponseCache,
+}
+
+impl CachedCorpus {
+    fn build(spec: &CorpusSpec, mode: ComputeMode) -> Self {
+        let engine = MatchEngine::builder(spec.dataset())
+            .compute_mode(mode)
+            .build();
+        Self {
+            engine: Arc::new(engine),
+            dictionary: OnceLock::new(),
+            responses: ResponseCache::default(),
+        }
+    }
+
+    /// The shared engine session.
+    pub fn engine(&self) -> &Arc<MatchEngine> {
+        &self.engine
+    }
+
+    /// The correspondence dictionary for query translation, derived from a
+    /// full alignment of the corpus on first use (concurrent first requests
+    /// coalesce on the slot).
+    pub fn dictionary(&self) -> &CorrespondenceDictionary {
+        self.dictionary.get_or_init(|| {
+            let alignments = self.engine.align_all();
+            CorrespondenceDictionary::build(self.engine.dataset(), &alignments)
+        })
+    }
+
+    /// A serialized response memoised under `key`; `make` runs at most once
+    /// per key per residency, concurrent first requests share one compute.
+    pub fn response(&self, key: &str, make: impl FnOnce() -> String) -> Arc<String> {
+        self.responses.get_or_init(key, make)
+    }
+}
+
+/// Keyed once-cache of serialized responses (same slot pattern as the
+/// engine's per-type artifacts, so cold keys do not stampede).
+#[derive(Debug, Default)]
+struct ResponseCache {
+    slots: RwLock<HashMap<String, Arc<OnceLock<Arc<String>>>>>,
+}
+
+impl ResponseCache {
+    fn get_or_init(&self, key: &str, make: impl FnOnce() -> String) -> Arc<String> {
+        let slot = {
+            let slots = self.slots.read().expect("response cache poisoned");
+            slots.get(key).cloned()
+        };
+        let slot = slot.unwrap_or_else(|| {
+            let mut slots = self.slots.write().expect("response cache poisoned");
+            Arc::clone(slots.entry(key.to_string()).or_default())
+        });
+        Arc::clone(slot.get_or_init(|| Arc::new(make())))
+    }
+}
+
+/// One registered corpus: its spec, lifetime counters, and the session slot
+/// of the current residency (if any).
+#[derive(Debug)]
+struct CorpusEntry {
+    spec: CorpusSpec,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+    evictions: AtomicU64,
+    /// `Some(slot)` while resident or being built; `None` when evicted.
+    /// Concurrent cold requests clone the same slot and coalesce on its
+    /// `OnceLock`.
+    session: Mutex<Option<Arc<OnceLock<Arc<CachedCorpus>>>>>,
+}
+
+impl CorpusEntry {
+    fn new(spec: CorpusSpec) -> Self {
+        Self {
+            spec,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            session: Mutex::new(None),
+        }
+    }
+
+    fn resident(&self) -> Option<Arc<CachedCorpus>> {
+        let session = self.session.lock().expect("corpus entry poisoned");
+        session.as_ref().and_then(|slot| slot.get()).cloned()
+    }
+}
+
+/// Lifetime statistics of one registered corpus, as served by `/stats`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Registry name.
+    pub name: String,
+    /// Whether a session is currently resident in the LRU.
+    pub resident: bool,
+    /// Requests served from the resident session.
+    pub hits: u64,
+    /// Requests that found the corpus cold (they either started or joined a
+    /// session build).
+    pub misses: u64,
+    /// Session builds actually performed — under concurrent cold traffic
+    /// this stays at one per residency (the coalescing invariant).
+    pub builds: u64,
+    /// Times the session was evicted by LRU pressure or an explicit evict.
+    pub evictions: u64,
+    /// Activity counters of the resident engine (`None` while cold).
+    pub engine: Option<EngineStats>,
+}
+
+/// Snapshot of the whole registry, as served by `/stats`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistryStats {
+    /// Maximum number of resident sessions.
+    pub capacity: usize,
+    /// Similarity-table compute mode engines are built with.
+    pub mode: ComputeMode,
+    /// Currently resident sessions.
+    pub resident: usize,
+    /// Per-corpus stats, in registration order.
+    pub corpora: Vec<CorpusStats>,
+}
+
+/// Named corpora behind an LRU of shared [`MatchEngine`] sessions.
+///
+/// All operations are `&self` and thread-safe; the registry is designed to
+/// sit behind an `Arc` shared by every server worker.
+#[derive(Debug)]
+pub struct Registry {
+    capacity: usize,
+    mode: ComputeMode,
+    /// Registered corpora; `Vec` keeps registration order for `/stats`.
+    entries: RwLock<Vec<Arc<CorpusEntry>>>,
+    /// LRU bookkeeping: name → last-used tick, for resident corpora only.
+    lru: Mutex<LruState>,
+}
+
+#[derive(Debug, Default)]
+struct LruState {
+    tick: u64,
+    last_used: HashMap<String, u64>,
+}
+
+impl Registry {
+    /// Creates a registry holding at most `capacity` resident sessions
+    /// (minimum 1), building engines with the given compute mode.
+    pub fn new(capacity: usize, mode: ComputeMode) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            mode,
+            entries: RwLock::new(Vec::new()),
+            lru: Mutex::new(LruState::default()),
+        }
+    }
+
+    /// Registers a corpus; replaces any previous spec with the same name
+    /// (dropping its resident session, counters and LRU slot).
+    pub fn register(&self, spec: CorpusSpec) {
+        let name = spec.name.clone();
+        {
+            let mut entries = self.entries.write().expect("registry poisoned");
+            let entry = Arc::new(CorpusEntry::new(spec));
+            if let Some(existing) = entries.iter_mut().find(|e| e.spec.name == entry.spec.name) {
+                *existing = entry;
+            } else {
+                entries.push(entry);
+            }
+        }
+        // A replaced corpus has no resident session any more; its stale LRU
+        // entry must go with it or capacity enforcement would count (and
+        // try to evict) a ghost.
+        let mut lru = self.lru.lock().expect("registry LRU poisoned");
+        lru.last_used.remove(&name);
+    }
+
+    /// Registers every spec of an iterator.
+    pub fn register_all(&self, specs: impl IntoIterator<Item = CorpusSpec>) {
+        for spec in specs {
+            self.register(spec);
+        }
+    }
+
+    /// Maximum number of resident sessions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The compute mode engines are built with.
+    pub fn mode(&self) -> ComputeMode {
+        self.mode
+    }
+
+    /// Names of the registered corpora, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|e| e.spec.name.clone())
+            .collect()
+    }
+
+    /// The registered specs, in registration order.
+    pub fn specs(&self) -> Vec<CorpusSpec> {
+        self.entries
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|e| e.spec.clone())
+            .collect()
+    }
+
+    fn entry(&self, name: &str) -> Result<Arc<CorpusEntry>, RegistryError> {
+        self.entries
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .find(|e| e.spec.name == name)
+            .cloned()
+            .ok_or_else(|| RegistryError::UnknownCorpus(name.to_string()))
+    }
+
+    /// The resident session of `name`, building it (once, even under
+    /// concurrent cold requests) if necessary. The hot path is one entry
+    /// lookup plus one mutex-guarded slot clone.
+    pub fn corpus(&self, name: &str) -> Result<Arc<CachedCorpus>, RegistryError> {
+        let entry = self.entry(name)?;
+        let slot = {
+            let mut session = entry.session.lock().expect("corpus entry poisoned");
+            match session.as_ref() {
+                Some(slot) => {
+                    if slot.get().is_some() {
+                        entry.hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // Joining an in-flight build still counts as a miss.
+                        entry.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Arc::clone(slot)
+                }
+                None => {
+                    entry.misses.fetch_add(1, Ordering::Relaxed);
+                    let slot: Arc<OnceLock<Arc<CachedCorpus>>> = Arc::default();
+                    *session = Some(Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+        let mut built_here = false;
+        let cached = Arc::clone(slot.get_or_init(|| {
+            built_here = true;
+            entry.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(CachedCorpus::build(&entry.spec, self.mode))
+        }));
+        self.touch(name);
+        if built_here {
+            self.enforce_capacity();
+        }
+        Ok(cached)
+    }
+
+    /// Convenience accessor for the engine of a corpus.
+    pub fn engine(&self, name: &str) -> Result<Arc<MatchEngine>, RegistryError> {
+        Ok(Arc::clone(self.corpus(name)?.engine()))
+    }
+
+    /// Builds the session of `name` (if cold) and precomputes the per-type
+    /// artifacts of every entity type, in parallel.
+    pub fn warm(&self, name: &str) -> Result<Arc<CachedCorpus>, RegistryError> {
+        let cached = self.corpus(name)?;
+        cached.engine().prepare_all();
+        Ok(cached)
+    }
+
+    /// Evicts the resident session of `name` (if any); returns whether a
+    /// session was actually dropped. In-flight holders of the session keep
+    /// it alive through their `Arc`s.
+    pub fn evict(&self, name: &str) -> Result<bool, RegistryError> {
+        let entry = self.entry(name)?;
+        let dropped = {
+            let mut session = entry.session.lock().expect("corpus entry poisoned");
+            // Only drop *completed* sessions: evicting an in-flight build
+            // would detach the builders from the slot bookkeeping.
+            match session.as_ref() {
+                Some(slot) if slot.get().is_some() => {
+                    *session = None;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if dropped {
+            entry.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        // Always clear the LRU slot, even when nothing was resident: a
+        // stale entry (e.g. left by a touch racing an evict) would
+        // otherwise be re-selected as the LRU victim forever.
+        let mut lru = self.lru.lock().expect("registry LRU poisoned");
+        lru.last_used.remove(name);
+        Ok(dropped)
+    }
+
+    fn touch(&self, name: &str) {
+        let mut lru = self.lru.lock().expect("registry LRU poisoned");
+        lru.tick += 1;
+        let tick = lru.tick;
+        lru.last_used.insert(name.to_string(), tick);
+    }
+
+    /// Evicts least-recently-used sessions until at most `capacity` are
+    /// resident. The victim is always the *global* oldest entry (ties
+    /// broken by name) — concurrent enforcers therefore agree on the same
+    /// victim instead of mutually evicting each other's fresh builds, and
+    /// the loop stops as soon as the count is back under capacity.
+    fn enforce_capacity(&self) {
+        loop {
+            let victim = {
+                let lru = self.lru.lock().expect("registry LRU poisoned");
+                if lru.last_used.len() <= self.capacity {
+                    return;
+                }
+                lru.last_used
+                    .iter()
+                    .min_by_key(|(name, &tick)| (tick, (*name).clone()))
+                    .map(|(name, _)| name.clone())
+            };
+            match victim {
+                Some(name) => {
+                    // `evict` removes the LRU slot even when the session is
+                    // already gone, so every iteration shrinks `last_used`
+                    // — but drop the slot by hand if the corpus itself has
+                    // been unregistered, or the loop would never progress.
+                    if self.evict(&name).is_err() {
+                        let mut lru = self.lru.lock().expect("registry LRU poisoned");
+                        lru.last_used.remove(&name);
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of the registry.
+    pub fn stats(&self) -> RegistryStats {
+        let entries = self.entries.read().expect("registry poisoned");
+        let corpora: Vec<CorpusStats> = entries
+            .iter()
+            .map(|entry| {
+                let resident = entry.resident();
+                CorpusStats {
+                    name: entry.spec.name.clone(),
+                    resident: resident.is_some(),
+                    hits: entry.hits.load(Ordering::Relaxed),
+                    misses: entry.misses.load(Ordering::Relaxed),
+                    builds: entry.builds.load(Ordering::Relaxed),
+                    evictions: entry.evictions.load(Ordering::Relaxed),
+                    engine: resident.map(|cached| cached.engine().stats()),
+                }
+            })
+            .collect();
+        RegistryStats {
+            capacity: self.capacity,
+            mode: self.mode,
+            resident: corpora.iter().filter(|c| c.resident).count(),
+            corpora,
+        }
+    }
+}
+
+// The registry is shared by every server worker thread.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Registry>();
+    assert_send_sync::<CachedCorpus>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn test_spec(name: &str) -> CorpusSpec {
+        CorpusSpec {
+            name: name.to_string(),
+            language: Language::Pt,
+            config: SyntheticConfig::tiny(),
+        }
+    }
+
+    fn registry_with(names: &[&str], capacity: usize) -> Registry {
+        let registry = Registry::new(capacity, ComputeMode::default());
+        registry.register_all(names.iter().map(|n| test_spec(n)));
+        registry
+    }
+
+    #[test]
+    fn unknown_corpus_is_an_error() {
+        let registry = registry_with(&["a"], 2);
+        assert_eq!(
+            registry.engine("nope").unwrap_err(),
+            RegistryError::UnknownCorpus("nope".to_string())
+        );
+        assert!(registry.engine("a").is_ok());
+    }
+
+    #[test]
+    fn sessions_are_shared_and_counted() {
+        let registry = registry_with(&["a"], 2);
+        let first = registry.engine("a").unwrap();
+        let second = registry.engine("a").unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = registry.stats();
+        assert_eq!(stats.resident, 1);
+        let corpus = &stats.corpora[0];
+        assert_eq!((corpus.misses, corpus.hits, corpus.builds), (1, 1, 1));
+        assert!(corpus.engine.is_some());
+    }
+
+    #[test]
+    fn concurrent_cold_requests_build_once() {
+        let registry = Arc::new(registry_with(&["a"], 2));
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || registry.engine("a").unwrap());
+            }
+        });
+        let stats = registry.stats();
+        assert_eq!(stats.corpora[0].builds, 1, "cold stampede not coalesced");
+        assert_eq!(stats.corpora[0].misses + stats.corpora[0].hits, 8);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_session() {
+        let registry = registry_with(&["a", "b", "c"], 2);
+        registry.engine("a").unwrap();
+        registry.engine("b").unwrap();
+        registry.engine("a").unwrap(); // refresh "a"; "b" is now LRU
+        registry.engine("c").unwrap(); // evicts "b"
+        let stats = registry.stats();
+        let by_name = |n: &str| stats.corpora.iter().find(|c| c.name == n).unwrap().clone();
+        assert_eq!(stats.resident, 2);
+        assert!(by_name("a").resident);
+        assert!(!by_name("b").resident);
+        assert!(by_name("c").resident);
+        assert_eq!(by_name("b").evictions, 1);
+        // Touching "b" again rebuilds it.
+        registry.engine("b").unwrap();
+        assert_eq!(registry.stats().resident, 2);
+        let b = registry
+            .stats()
+            .corpora
+            .iter()
+            .find(|c| c.name == "b")
+            .unwrap()
+            .clone();
+        assert_eq!(b.builds, 2);
+    }
+
+    #[test]
+    fn explicit_evict_and_warm() {
+        let registry = registry_with(&["a"], 1);
+        assert!(!registry.evict("a").unwrap(), "nothing resident yet");
+        let cached = registry.warm("a").unwrap();
+        assert_eq!(
+            cached.engine().cached_types(),
+            cached.engine().dataset().types.len()
+        );
+        assert!(registry.evict("a").unwrap());
+        assert_eq!(registry.stats().resident, 0);
+    }
+
+    #[test]
+    fn concurrent_builds_converge_to_capacity_not_below() {
+        // Concurrent first builds must not mutually evict each other down
+        // to zero residents: victim selection is global-oldest, so every
+        // enforcer agrees and the count settles at exactly `capacity`.
+        let registry = Arc::new(registry_with(&["a", "b", "c", "d"], 2));
+        thread::scope(|scope| {
+            for name in ["a", "b", "c", "d"] {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || registry.engine(name).unwrap());
+            }
+        });
+        let resident = registry.stats().resident;
+        assert!(
+            (1..=2).contains(&resident),
+            "expected 1..=2 residents, got {resident}"
+        );
+    }
+
+    #[test]
+    fn re_registering_a_resident_corpus_clears_its_lru_slot() {
+        let registry = registry_with(&["a", "b"], 1);
+        registry.engine("a").unwrap();
+        // Replacing "a" drops its session; its LRU slot must go with it,
+        // otherwise the next capacity check would pick the ghost as its
+        // victim forever.
+        registry.register(test_spec("a"));
+        registry.engine("b").unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.resident, 1);
+        let b = stats.corpora.iter().find(|c| c.name == "b").unwrap();
+        assert!(b.resident);
+        // Rebuilding "a" works and evicts "b" (capacity 1).
+        registry.engine("a").unwrap();
+        assert_eq!(registry.stats().resident, 1);
+    }
+
+    #[test]
+    fn evicting_a_cold_corpus_is_a_clean_no_op() {
+        let registry = registry_with(&["a", "b"], 1);
+        registry.engine("a").unwrap();
+        assert!(!registry.evict("b").unwrap());
+        // Capacity enforcement still progresses normally afterwards.
+        registry.engine("b").unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.resident, 1);
+        assert!(stats.corpora.iter().any(|c| c.name == "b" && c.resident));
+    }
+
+    #[test]
+    fn response_cache_memoises_per_key() {
+        let registry = registry_with(&["a"], 1);
+        let cached = registry.corpus("a").unwrap();
+        let first = cached.response("k", || "payload".to_string());
+        let second = cached.response("k", || panic!("must be memoised"));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*cached.response("other", || "x".to_string()), "x");
+    }
+
+    #[test]
+    fn dictionary_is_built_once_per_residency() {
+        let registry = registry_with(&["a"], 1);
+        let cached = registry.corpus("a").unwrap();
+        let dict = cached.dictionary();
+        assert!(!dict.is_empty());
+        // Second call returns the same allocation.
+        assert!(std::ptr::eq(dict, cached.dictionary()));
+    }
+
+    #[test]
+    fn scale_tier_catalog_covers_both_pairs() {
+        let specs = CorpusSpec::scale_tiers(&["tiny", "medium"]);
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["pt-tiny", "pt-medium", "vi-tiny", "vi-medium"]);
+        assert!(CorpusSpec::tier(Language::Pt, "galactic").is_none());
+    }
+}

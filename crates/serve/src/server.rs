@@ -1,0 +1,615 @@
+//! The `matchd` server: a fixed worker-thread pool draining a bounded
+//! connection queue, routing the JSON protocol of [`crate::protocol`] onto
+//! a shared [`Registry`].
+//!
+//! Concurrency model:
+//!
+//! * one **acceptor** thread blocks on [`TcpListener::accept`] and pushes
+//!   connections into a bounded queue — when the queue is full the
+//!   connection is answered `503` immediately instead of piling up;
+//! * `workers` **worker** threads pop connections and serve them
+//!   keep-alive until the peer closes, an error occurs, or shutdown begins;
+//! * **graceful shutdown** flips a flag, wakes the acceptor with a loopback
+//!   connection, lets workers finish their in-flight request (answered with
+//!   `Connection: close`) and joins every thread.
+//!
+//! The expensive work all lives behind the registry's coalescing caches, so
+//! any number of workers can hammer the same corpus without duplicating a
+//! build (see `crates/serve/tests/server.rs`).
+
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use serde::Deserialize;
+
+use wiki_corpus::Language;
+use wiki_query::{CQuery, QueryEngine};
+use wikimatch::MatchEngine;
+
+use crate::http::{read_request, Request, RequestError, Response};
+use crate::matchers::MatcherRegistry;
+use crate::protocol::{
+    AlignRequest, AlignResponse, CorporaResponse, CorpusRequest, EvictResponse, HealthResponse,
+    MatcherRequest, MatchersResponse, ServerCounters, StatsResponse, TranslateRequest,
+    TranslateResponse, TypePairs, WarmResponse,
+};
+use crate::registry::{CachedCorpus, Registry};
+
+/// How long a worker blocks waiting for the *first* byte of the next
+/// request on an idle keep-alive connection before re-checking the
+/// shutdown flag. Nothing has been consumed yet when this fires, so the
+/// wait can simply resume.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// Total budget for reading one request once its first byte has arrived —
+/// enforced both per read (socket timeout) and across reads (a deadline
+/// checked between reads by [`DeadlineReader`]), so neither a stalled nor a
+/// byte-trickling client can hold a worker mid-request much longer than
+/// this. Exceeding it closes the connection: retrying the read would resume
+/// parsing mid-stream and corrupt the protocol.
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long a blocked response write may stall before the connection is
+/// dropped. Without it a client that stops reading would pin a worker in
+/// `write_all` forever (and make shutdown, which joins workers, hang).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configuration of a [`MatchServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`MatchServer::addr`]).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Bound of the pending-connection queue; beyond it connections are
+    /// answered `503` by the acceptor.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 16),
+            queue_depth: 256,
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers and the handle.
+struct Shared {
+    registry: Arc<Registry>,
+    matchers: MatcherRegistry,
+    addr: SocketAddr,
+    running: AtomicBool,
+    accepted: AtomicU64,
+    handled: AtomicU64,
+    rejected: AtomicU64,
+    workers: usize,
+    queue_depth: usize,
+}
+
+impl Shared {
+    fn counters(&self) -> ServerCounters {
+        ServerCounters {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            handled: self.handled.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running `matchd` server; dropping the handle without calling
+/// [`shutdown`](Self::shutdown) detaches the threads.
+pub struct MatchServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MatchServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl MatchServer {
+    /// Binds, spawns the worker pool and the acceptor, and returns
+    /// immediately. The default matcher catalog backs `POST /matchers`.
+    pub fn start(registry: Arc<Registry>, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            matchers: MatcherRegistry::default(),
+            addr,
+            running: AtomicBool::new(true),
+            accepted: AtomicU64::new(0),
+            handled: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            workers,
+            queue_depth,
+        });
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("matchd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("matchd-acceptor".to_string())
+                .spawn(move || acceptor_loop(&shared, listener, tx))
+                .expect("failed to spawn acceptor thread")
+        };
+
+        Ok(Self {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until shutdown begins — either [`shutdown`](Self::shutdown)
+    /// was called or a client posted `/shutdown`.
+    pub fn wait(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Requests shutdown: stops accepting, drains queued connections,
+    /// finishes in-flight requests and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(wake_addr(self.addr));
+        self.wait();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A connectable form of the bound address, for the self-connect that wakes
+/// the acceptor: a wildcard bind (`0.0.0.0` / `[::]`) is not a connect
+/// target on every platform, so it is rewritten to the loopback of the same
+/// family.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    let mut addr = addr;
+    if addr.ip().is_unspecified() {
+        match addr {
+            SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+            SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+        }
+    }
+    addr
+}
+
+fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        match tx.try_send(stream) {
+            Ok(()) => {
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(mut stream)) => {
+                // Bounded queue: shed load at the door instead of queueing
+                // unboundedly. The write is timeout-guarded — the acceptor
+                // must never block on a slow peer.
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let _ = Response::error(503, "request queue full").write(&mut stream, false);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping the sender lets workers drain the queue and exit.
+}
+
+/// A `BufRead` adapter that fails with `TimedOut` once a deadline passes.
+///
+/// The socket read timeout alone only bounds each *individual* read — a
+/// client trickling one header byte per few seconds would keep completing
+/// reads and pin the worker forever. Checking a wall-clock deadline between
+/// reads bounds the whole request to roughly
+/// `deadline + REQUEST_READ_TIMEOUT`.
+struct DeadlineReader<'a> {
+    inner: &'a mut BufReader<TcpStream>,
+    deadline: Instant,
+}
+
+impl DeadlineReader<'_> {
+    fn check(&self) -> io::Result<()> {
+        if Instant::now() >= self.deadline {
+            Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl io::Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.check()?;
+        self.inner.read(buf)
+    }
+}
+
+impl BufRead for DeadlineReader<'_> {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        self.check()?;
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt)
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Hold the lock only for the dequeue, not while serving.
+        let stream = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(stream) => serve_connection(shared, stream),
+            Err(_) => return, // acceptor gone and queue drained
+        }
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    loop {
+        // Idle phase: wait for the first byte of the next request under the
+        // short poll timeout. `fill_buf` consumes nothing, so a timeout
+        // here is always safe to retry — and each poll re-checks the
+        // shutdown flag so shutdown is not held hostage by idle peers.
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF between requests
+            Ok(_) => {}
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if !shared.running.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // Request phase: bytes are in flight. Any per-read timeout or
+        // deadline overrun from here on is a mid-request stall and closes
+        // the connection (see `REQUEST_READ_TIMEOUT`).
+        let _ = stream.set_read_timeout(Some(REQUEST_READ_TIMEOUT));
+        let mut deadline_reader = DeadlineReader {
+            inner: &mut reader,
+            deadline: Instant::now() + REQUEST_READ_TIMEOUT,
+        };
+        match read_request(&mut deadline_reader) {
+            Ok(request) => {
+                let response = route(shared, &request);
+                // Evaluated *after* routing so a request that initiates
+                // shutdown (POST /shutdown) is itself answered with
+                // `Connection: close` instead of a keep-alive promise the
+                // dying server cannot honour.
+                let keep_alive = request.keep_alive && shared.running.load(Ordering::SeqCst);
+                shared.handled.fetch_add(1, Ordering::Relaxed);
+                if response.write(&mut stream, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(RequestError::Closed) => return,
+            Err(RequestError::Io(_)) => return,
+            Err(RequestError::Bad(status, message)) => {
+                // Malformed requests are answered too, so they count as
+                // handled.
+                shared.handled.fetch_add(1, Ordering::Relaxed);
+                let _ = Response::error(status, &message).write(&mut stream, false);
+                return;
+            }
+        }
+    }
+}
+
+/// Parses a JSON request body, mapping failures to a 400 response.
+fn parse_body<T: Deserialize>(request: &Request) -> Result<T, Box<Response>> {
+    let text = request
+        .body_utf8()
+        .ok_or_else(|| Box::new(Response::error(400, "request body is not valid UTF-8")))?;
+    serde_json::from_str(text).map_err(|err| {
+        Box::new(Response::error(
+            400,
+            &format!("invalid request body: {err}"),
+        ))
+    })
+}
+
+/// Resolves a corpus name, mapping unknown names to a 404 response.
+fn resolve_corpus(shared: &Shared, name: &str) -> Result<Arc<CachedCorpus>, Box<Response>> {
+    shared
+        .registry
+        .corpus(name)
+        .map_err(|err| Box::new(Response::error(404, &err.to_string())))
+}
+
+/// Routes one request. Every branch returns a JSON response.
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => json_200(&HealthResponse {
+            status: "ok".to_string(),
+            service: "matchd".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+        }),
+        ("GET", "/stats") => json_200(&StatsResponse {
+            server: shared.counters(),
+            workers: shared.workers,
+            queue_depth: shared.queue_depth,
+            registry: shared.registry.stats(),
+        }),
+        ("GET", "/corpora") => json_200(&CorporaResponse {
+            corpora: shared.registry.specs(),
+        }),
+        ("GET", "/matchers") => json_200(&MatchersResponse {
+            matchers: shared.matchers.names(),
+        }),
+        ("POST", "/align") => handle_align(shared, request),
+        ("POST", "/matchers") => handle_matchers(shared, request),
+        ("POST", "/translate-query") => handle_translate(shared, request),
+        ("POST", "/warm") => handle_warm(shared, request),
+        ("POST", "/evict") => handle_evict(shared, request),
+        ("POST", "/shutdown") => {
+            // Flip the flag, then wake the acceptor out of its blocking
+            // accept so `MatchServer::wait` returns promptly.
+            shared.running.store(false, Ordering::SeqCst);
+            let _ = TcpStream::connect(wake_addr(shared.addr));
+            Response::json(200, "{\"status\":\"shutting down\"}")
+        }
+        (
+            _,
+            "/healthz" | "/stats" | "/corpora" | "/matchers" | "/align" | "/translate-query"
+            | "/warm" | "/evict" | "/shutdown",
+        ) => Response::error(405, &format!("method {} not allowed here", request.method)),
+        (_, path) => Response::error(404, &format!("unknown route {path}")),
+    }
+}
+
+fn json_200<T: serde::Serialize>(body: &T) -> Response {
+    match serde_json::to_string(body) {
+        Ok(body) => Response::json(200, body),
+        Err(err) => Response::error(500, &format!("serialization failed: {err}")),
+    }
+}
+
+/// Shared body of `POST /align` and `POST /matchers`: resolve the corpus,
+/// validate the optional type, then serve the serialized [`AlignResponse`]
+/// from the residency's response cache (memoised under `cache_key`; on a
+/// cold key `align_one` / `align_all` compute the pairs).
+fn aligned_response(
+    shared: &Shared,
+    corpus_name: &str,
+    type_id: Option<&str>,
+    matcher_label: &str,
+    cache_key: String,
+    align_one: impl Fn(&MatchEngine, &str) -> Vec<(String, String)>,
+    align_all: impl Fn(&MatchEngine) -> Vec<TypePairs>,
+) -> Response {
+    let corpus = match resolve_corpus(shared, corpus_name) {
+        Ok(corpus) => corpus,
+        Err(response) => return *response,
+    };
+    if let Some(type_id) = type_id {
+        if corpus.engine().dataset().type_pairing(type_id).is_none() {
+            return Response::error(
+                404,
+                &format!("unknown type {type_id:?} in corpus {corpus_name:?}"),
+            );
+        }
+    }
+    let body = corpus.response(&cache_key, || {
+        let engine = corpus.engine();
+        let alignments = match type_id {
+            Some(type_id) => vec![TypePairs {
+                type_id: type_id.to_string(),
+                pairs: align_one(engine, type_id),
+            }],
+            None => align_all(engine),
+        };
+        serde_json::to_string(&AlignResponse {
+            corpus: corpus_name.to_string(),
+            matcher: matcher_label.to_string(),
+            alignments,
+        })
+        .expect("align response serializes")
+    });
+    Response::json(200, body.as_str())
+}
+
+/// `POST /align`: the engine's WikiMatch configuration over one type or all
+/// types. Responses are memoised per `(corpus, type)` residency — repeated
+/// warm requests are a cache lookup plus one buffer copy.
+fn handle_align(shared: &Shared, request: &Request) -> Response {
+    let req: AlignRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(response) => return *response,
+    };
+    let type_id = req.type_id.as_deref();
+    aligned_response(
+        shared,
+        &req.corpus,
+        type_id,
+        "WikiMatch",
+        format!("align|{}", type_id.unwrap_or("*")),
+        |engine, type_id| {
+            engine
+                .align(type_id)
+                .expect("type id validated against the dataset")
+                .cross_pairs()
+        },
+        |engine| {
+            engine
+                .align_all()
+                .iter()
+                .map(|alignment| TypePairs {
+                    type_id: alignment.type_id.clone(),
+                    pairs: alignment.cross_pairs(),
+                })
+                .collect()
+        },
+    )
+}
+
+/// `POST /matchers`: any registered [`wikimatch::SchemaMatcher`] by name.
+fn handle_matchers(shared: &Shared, request: &Request) -> Response {
+    let req: MatcherRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(response) => return *response,
+    };
+    let Some(matcher) = shared.matchers.get(&req.matcher) else {
+        return Response::error(
+            400,
+            &format!(
+                "unknown matcher {:?}; GET /matchers lists the registered names",
+                req.matcher
+            ),
+        );
+    };
+    let label = matcher.label();
+    let type_id = req.type_id.as_deref();
+    aligned_response(
+        shared,
+        &req.corpus,
+        type_id,
+        &label,
+        format!("matcher|{label}|{}", type_id.unwrap_or("*")),
+        |engine, type_id| {
+            engine
+                .align_with(matcher, type_id)
+                .expect("type id validated against the dataset")
+        },
+        |engine| {
+            engine
+                .align_all_with(matcher)
+                .into_iter()
+                .map(|(type_id, pairs)| TypePairs { type_id, pairs })
+                .collect()
+        },
+    )
+}
+
+/// `POST /translate-query`: WikiQuery-style translation through the
+/// corpus' derived correspondences, optionally answering the translated
+/// query against the English edition.
+fn handle_translate(shared: &Shared, request: &Request) -> Response {
+    let req: TranslateRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(response) => return *response,
+    };
+    let corpus = match resolve_corpus(shared, &req.corpus) {
+        Ok(corpus) => corpus,
+        Err(response) => return *response,
+    };
+    let Some(source) = CQuery::parse(&req.query) else {
+        return Response::error(400, &format!("unparseable c-query {:?}", req.query));
+    };
+    let (translated, stats) = corpus.dictionary().translate_query(&source);
+    let top_k = req.top_k.unwrap_or(0);
+    let answers = if top_k > 0 {
+        QueryEngine::new(&corpus.engine().dataset().corpus).answer(
+            &translated,
+            &Language::En,
+            top_k,
+        )
+    } else {
+        Vec::new()
+    };
+    json_200(&TranslateResponse {
+        corpus: req.corpus.clone(),
+        source,
+        translated,
+        translated_constraints: stats.translated,
+        relaxed_constraints: stats.relaxed,
+        answers,
+    })
+}
+
+/// `POST /warm`: build the session and every per-type artifact now.
+fn handle_warm(shared: &Shared, request: &Request) -> Response {
+    let req: CorpusRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(response) => return *response,
+    };
+    match shared.registry.warm(&req.corpus) {
+        Ok(cached) => json_200(&WarmResponse {
+            corpus: req.corpus,
+            cached_types: cached.engine().cached_types(),
+        }),
+        Err(err) => Response::error(404, &err.to_string()),
+    }
+}
+
+/// `POST /evict`: drop the resident session of a corpus.
+fn handle_evict(shared: &Shared, request: &Request) -> Response {
+    let req: CorpusRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(response) => return *response,
+    };
+    match shared.registry.evict(&req.corpus) {
+        Ok(evicted) => json_200(&EvictResponse {
+            corpus: req.corpus,
+            evicted,
+        }),
+        Err(err) => Response::error(404, &err.to_string()),
+    }
+}

@@ -1,0 +1,388 @@
+//! Integration tests: boot a real `matchd` server on an ephemeral port and
+//! drive it over actual sockets, asserting the wire responses match what
+//! the in-process [`MatchEngine`] produces for the same dataset — plus the
+//! cold-corpus coalescing guarantee (N concurrent first requests, exactly
+//! one artifact build).
+
+use std::sync::Arc;
+use std::thread;
+
+use wiki_baselines::BoumaMatcher;
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_query::{CQuery, CorrespondenceDictionary, QueryEngine};
+use wiki_serve::client::MatchClient;
+use wiki_serve::protocol::{
+    AlignRequest, AlignResponse, CorporaResponse, CorpusRequest, EvictResponse, HealthResponse,
+    MatcherRequest, MatchersResponse, StatsResponse, TranslateRequest, TranslateResponse,
+    WarmResponse,
+};
+use wiki_serve::registry::{CorpusSpec, Registry};
+use wiki_serve::server::{MatchServer, ServerConfig};
+use wikimatch::{ComputeMode, MatchEngine};
+
+fn tiny_spec(name: &str) -> CorpusSpec {
+    CorpusSpec {
+        name: name.to_string(),
+        language: Language::Pt,
+        config: SyntheticConfig::tiny(),
+    }
+}
+
+/// Boots a server over the given specs on an ephemeral port.
+fn boot(specs: Vec<CorpusSpec>, capacity: usize) -> (MatchServer, MatchClient) {
+    let registry = Arc::new(Registry::new(capacity, ComputeMode::default()));
+    registry.register_all(specs);
+    let server = MatchServer::start(
+        registry,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+        },
+    )
+    .expect("server binds an ephemeral port");
+    let client = MatchClient::new(server.addr()).expect("client resolves the server address");
+    (server, client)
+}
+
+/// The in-process reference engine for a spec (same dataset, same mode).
+fn reference_engine() -> MatchEngine {
+    MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build()
+}
+
+#[test]
+fn align_over_the_wire_matches_the_in_process_engine() {
+    let (server, mut client) = boot(vec![tiny_spec("pt-tiny")], 2);
+    let engine = reference_engine();
+
+    // Single type.
+    let response: AlignResponse = client
+        .post(
+            "/align",
+            &AlignRequest {
+                corpus: "pt-tiny".to_string(),
+                type_id: Some("film".to_string()),
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(response.matcher, "WikiMatch");
+    assert_eq!(response.alignments.len(), 1);
+    assert_eq!(response.alignments[0].type_id, "film");
+    assert_eq!(
+        response.alignments[0].pairs,
+        engine.align("film").unwrap().cross_pairs(),
+        "wire alignment diverges from the in-process engine"
+    );
+
+    // All types, on the same keep-alive connection.
+    let response: AlignResponse = client
+        .post(
+            "/align",
+            &AlignRequest {
+                corpus: "pt-tiny".to_string(),
+                type_id: None,
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    let reference = engine.align_all();
+    assert_eq!(response.alignments.len(), reference.len());
+    for (wire, local) in response.alignments.iter().zip(&reference) {
+        assert_eq!(wire.type_id, local.type_id);
+        assert_eq!(wire.pairs, local.cross_pairs(), "{}", wire.type_id);
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn matchers_endpoint_runs_named_plugins() {
+    let (server, mut client) = boot(vec![tiny_spec("pt-tiny")], 2);
+    let engine = reference_engine();
+
+    let listed: MatchersResponse = client.get("/matchers").unwrap().json().unwrap();
+    assert!(listed.matchers.contains(&"Bouma".to_string()));
+
+    let response: AlignResponse = client
+        .post(
+            "/matchers",
+            &MatcherRequest {
+                corpus: "pt-tiny".to_string(),
+                matcher: "bouma".to_string(), // case-insensitive
+                type_id: Some("film".to_string()),
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(response.matcher, "Bouma");
+    assert_eq!(
+        response.alignments[0].pairs,
+        engine.align_with(&BoumaMatcher::default(), "film").unwrap(),
+        "wire Bouma pairs diverge from the in-process engine"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn translate_query_matches_the_in_process_dictionary() {
+    let (server, mut client) = boot(vec![tiny_spec("pt-tiny")], 2);
+    let engine = reference_engine();
+    let dictionary = CorrespondenceDictionary::build(engine.dataset(), &engine.align_all());
+
+    let query_text = r#"filme(direção=?, país="Estados Unidos")"#;
+    let response: TranslateResponse = client
+        .post(
+            "/translate-query",
+            &TranslateRequest {
+                corpus: "pt-tiny".to_string(),
+                query: query_text.to_string(),
+                top_k: Some(5),
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+
+    let source = CQuery::parse(query_text).unwrap();
+    let (translated, stats) = dictionary.translate_query(&source);
+    assert_eq!(response.translated, translated);
+    assert_eq!(response.translated_constraints, stats.translated);
+    assert_eq!(response.relaxed_constraints, stats.relaxed);
+    assert_eq!(
+        response.answers,
+        QueryEngine::new(&engine.dataset().corpus).answer(&translated, &Language::En, 5),
+        "wire answers diverge from the in-process query engine"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn health_corpora_warm_evict_and_stats_round_trip() {
+    let (server, mut client) = boot(vec![tiny_spec("pt-tiny"), tiny_spec("pt-other")], 2);
+
+    let health: HealthResponse = client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(
+        (health.status.as_str(), health.service.as_str()),
+        ("ok", "matchd")
+    );
+
+    let corpora: CorporaResponse = client.get("/corpora").unwrap().json().unwrap();
+    let names: Vec<&str> = corpora.corpora.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["pt-tiny", "pt-other"]);
+
+    let warm: WarmResponse = client
+        .post(
+            "/warm",
+            &CorpusRequest {
+                corpus: "pt-tiny".to_string(),
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(warm.cached_types, 14, "pt datasets have 14 entity types");
+
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    assert_eq!(stats.registry.resident, 1);
+    let corpus = stats
+        .registry
+        .corpora
+        .iter()
+        .find(|c| c.name == "pt-tiny")
+        .unwrap();
+    assert!(corpus.resident);
+    assert_eq!(corpus.builds, 1);
+    let engine = corpus.engine.as_ref().expect("resident engine has stats");
+    assert_eq!(engine.cached_types, 14);
+    assert_eq!(engine.artifact_builds, 14);
+    assert!(stats.server.handled >= 3);
+    assert_eq!(stats.server.rejected, 0);
+
+    let evicted: EvictResponse = client
+        .post(
+            "/evict",
+            &CorpusRequest {
+                corpus: "pt-tiny".to_string(),
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    assert!(evicted.evicted);
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    assert_eq!(stats.registry.resident, 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_use_json_statuses() {
+    let (server, mut client) = boot(vec![tiny_spec("pt-tiny")], 2);
+
+    // Unknown route.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    // Wrong method on a known route.
+    assert_eq!(client.get("/align").unwrap().status, 405);
+    // Malformed body.
+    assert_eq!(
+        client
+            .request("POST", "/align", Some("{not json"))
+            .unwrap()
+            .status,
+        400
+    );
+    // Unknown corpus.
+    let response = client
+        .post(
+            "/align",
+            &AlignRequest {
+                corpus: "atlantis".to_string(),
+                type_id: None,
+            },
+        )
+        .unwrap();
+    assert_eq!(response.status, 404);
+    assert!(response.body.contains("atlantis"), "{}", response.body);
+    // Unknown type in a known corpus.
+    let response = client
+        .post(
+            "/align",
+            &AlignRequest {
+                corpus: "pt-tiny".to_string(),
+                type_id: Some("starship".to_string()),
+            },
+        )
+        .unwrap();
+    assert_eq!(response.status, 404);
+    // Unknown matcher.
+    let response = client
+        .post(
+            "/matchers",
+            &MatcherRequest {
+                corpus: "pt-tiny".to_string(),
+                matcher: "oracle".to_string(),
+                type_id: None,
+            },
+        )
+        .unwrap();
+    assert_eq!(response.status, 400);
+    // Unparseable c-query.
+    let response = client
+        .post(
+            "/translate-query",
+            &TranslateRequest {
+                corpus: "pt-tiny".to_string(),
+                query: "((((".to_string(),
+                top_k: None,
+            },
+        )
+        .unwrap();
+    assert_eq!(response.status, 400);
+
+    server.shutdown();
+}
+
+/// The acceptance-criteria test: N concurrent first requests against a cold
+/// corpus trigger exactly one session build and exactly one per-type
+/// artifact build — the stampede coalesces instead of duplicating work.
+#[test]
+fn concurrent_cold_aligns_trigger_exactly_one_artifact_build() {
+    const CLIENTS: usize = 8;
+    let (server, mut client) = boot(vec![tiny_spec("pt-tiny")], 2);
+    let addr = server.addr();
+
+    let bodies: Vec<String> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = MatchClient::new(addr).expect("client connects");
+                    let response = client
+                        .post(
+                            "/align",
+                            &AlignRequest {
+                                corpus: "pt-tiny".to_string(),
+                                type_id: Some("film".to_string()),
+                            },
+                        )
+                        .expect("align request succeeds");
+                    assert_eq!(response.status, 200);
+                    response.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every concurrent caller saw the identical payload.
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]));
+
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    let corpus = stats
+        .registry
+        .corpora
+        .iter()
+        .find(|c| c.name == "pt-tiny")
+        .unwrap();
+    assert_eq!(
+        corpus.builds, 1,
+        "{CLIENTS} concurrent cold requests must coalesce onto one session build"
+    );
+    assert_eq!(corpus.hits + corpus.misses, CLIENTS as u64);
+    let engine = corpus.engine.as_ref().expect("engine is resident");
+    assert_eq!(
+        engine.artifact_builds, 1,
+        "only the requested type's artifacts may be built, exactly once"
+    );
+    assert_eq!(engine.cached_types, 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn lru_capacity_is_enforced_over_the_wire() {
+    let (server, mut client) = boot(vec![tiny_spec("a"), tiny_spec("b"), tiny_spec("c")], 2);
+    for corpus in ["a", "b", "c"] {
+        let response = client
+            .post(
+                "/align",
+                &AlignRequest {
+                    corpus: corpus.to_string(),
+                    type_id: Some("film".to_string()),
+                },
+            )
+            .unwrap();
+        assert_eq!(response.status, 200, "{corpus}");
+    }
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    assert_eq!(stats.registry.capacity, 2);
+    assert_eq!(stats.registry.resident, 2);
+    let a = stats
+        .registry
+        .corpora
+        .iter()
+        .find(|c| c.name == "a")
+        .unwrap();
+    assert!(!a.resident, "oldest session is evicted by LRU pressure");
+    assert_eq!(a.evictions, 1);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_over_the_wire_stops_the_server() {
+    let (mut server, mut client) = boot(vec![tiny_spec("pt-tiny")], 1);
+    let addr = server.addr();
+    let response = client.request("POST", "/shutdown", Some("")).unwrap();
+    assert_eq!(response.status, 200);
+    // `wait` returns once the acceptor has stopped; afterwards new
+    // connections are refused.
+    server.wait();
+    server.shutdown();
+    assert!(std::net::TcpStream::connect(addr).is_err());
+}
