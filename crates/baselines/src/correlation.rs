@@ -122,11 +122,10 @@ pub fn ranked_candidates(
             .into_iter()
             .map(|q| (q, measure.score(schema, table, p, q, seed)))
             .collect();
-        candidates.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        // `total_cmp` (a total order over all floats, NaN included) plus the
+        // attribute index as the stable secondary key: equal-score
+        // candidates rank identically across runs and platforms.
+        candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out.push((
             schema.attribute(p).name.clone(),
             candidates

@@ -59,11 +59,9 @@ impl SchemaMatcher for LsiTopKMatcher {
                 .filter_map(|q| table.pair(p, q).map(|pair| (q, pair.lsi)))
                 .filter(|(_, score)| *score > self.min_score)
                 .collect();
-            candidates.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
-            });
+            // `total_cmp` + attribute-index tie-break: the top-k cut falls
+            // on the same candidates on every run and platform.
+            candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             for (q, _) in candidates.into_iter().take(self.k) {
                 pairs.push((
                     schema.attribute(p).name.clone(),
@@ -119,6 +117,23 @@ mod tests {
         for (pt, en) in &pairs {
             assert!(schema.index_of(&Language::Pt, pt).is_some());
             assert!(schema.index_of(&Language::En, en).is_some());
+        }
+    }
+
+    #[test]
+    fn ranking_is_stable_across_engines_and_runs() {
+        // Regression test for the deterministic-ranking bugfix: the top-k
+        // cut must land on the same candidates every run — equal LSI scores
+        // are broken by attribute id (`total_cmp` + secondary key), never by
+        // sort incidentals.
+        let (schema_a, table_a) = schema_and_table();
+        let (schema_b, table_b) = schema_and_table();
+        for k in [1, 3, 10] {
+            let matcher = LsiTopKMatcher::new(k);
+            let first = matcher.align(&schema_a, &table_a);
+            assert_eq!(first, matcher.align(&schema_a, &table_a), "k = {k}");
+            // A freshly built engine over the same dataset agrees too.
+            assert_eq!(first, matcher.align(&schema_b, &table_b), "k = {k}");
         }
     }
 

@@ -97,10 +97,12 @@ impl<'a> AttributeAlignment<'a> {
                     .filter(|p| self.evidence(p) > 0.0)
                     .copied()
                     .collect();
+                // `total_cmp` for a NaN-safe total order: equal-evidence
+                // pairs fall through to the attribute indices, so the queue
+                // is identical across runs and platforms.
                 pairs.sort_by(|a, b| {
                     self.evidence(b)
-                        .partial_cmp(&self.evidence(a))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .total_cmp(&self.evidence(a))
                         .then_with(|| (a.p, a.q).cmp(&(b.p, b.q)))
                 });
                 pairs
@@ -177,10 +179,11 @@ impl<'a> AttributeAlignment<'a> {
                 (score > self.config.t_eg).then_some((score, *pair))
             })
             .collect();
-        // Integrate the strongest revisions first.
+        // Integrate the strongest revisions first; `total_cmp` plus the
+        // attribute-index key keeps the order stable even for tied (or
+        // pathological) grouping scores.
         revised.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            b.0.total_cmp(&a.0)
                 .then_with(|| (a.1.p, a.1.q).cmp(&(b.1.p, b.1.q)))
         });
         revised.into_iter().map(|(_, pair)| pair).collect()

@@ -45,9 +45,21 @@ use wiki_translate::TitleDictionary;
 use crate::alignment::AttributeAlignment;
 use crate::config::WikiMatchConfig;
 use crate::pipeline::{TypeAlignment, WikiMatch};
-use crate::schema::DualSchema;
+use crate::schema::{CandidateIndex, DualSchema};
 use crate::similarity::{ComputeMode, SimilarityTable};
+use crate::snapshot::{corpus_fingerprint, EngineSnapshot, SnapshotError};
 use crate::types::{match_entity_types, TypeMatch};
+
+/// Recovers the guarded value of a poisoned lock.
+///
+/// The per-engine caches only ever *add* completed artifacts behind
+/// `OnceLock` slots, so their state is consistent even when a panicking
+/// thread (e.g. one caught by a serving layer's panic barrier) was holding
+/// the lock — propagating the poison would needlessly wedge every other
+/// worker sharing the session.
+fn recover<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A cross-language attribute matcher operating on a prepared
 /// dual-language schema.
@@ -84,14 +96,19 @@ impl SchemaMatcher for WikiMatch {
 }
 
 /// The shared per-type artifacts served by a [`MatchEngine`]: the
-/// dual-language schema and its similarity evidence, behind `Arc`s so
-/// alignments and callers can hold them without copying.
+/// dual-language schema, its similarity evidence and the candidate index
+/// the pruned similarity build used, behind `Arc`s so alignments and
+/// callers can hold them without copying.
 #[derive(Debug, Clone)]
 pub struct PreparedType {
     /// The dual-language schema of the type.
     pub schema: Arc<DualSchema>,
     /// The pairwise similarity evidence over that schema.
     pub table: Arc<SimilarityTable>,
+    /// The inverted candidate index over the schema's value and link terms
+    /// (the pruning structure of [`ComputeMode::Pruned`]); persisted with
+    /// the other artifacts by [`crate::snapshot`].
+    pub index: Arc<CandidateIndex>,
 }
 
 /// Point-in-time activity snapshot of one [`MatchEngine`] session, taken
@@ -190,6 +207,65 @@ impl MatchEngineBuilder {
         }
         engine
     }
+
+    /// Builds the engine from a persisted [`EngineSnapshot`] instead of
+    /// computing: the title dictionary and every per-type artifact set in
+    /// the snapshot are adopted verbatim (bit-identical to the build they
+    /// were captured from), so `artifact_builds` stays at zero for the
+    /// restored types.
+    ///
+    /// Fails with [`SnapshotError::FingerprintMismatch`] when the snapshot
+    /// was captured from a different corpus than `dataset`, and with
+    /// [`SnapshotError::Malformed`] when it references entity types the
+    /// dataset does not have. Types *not* present in the snapshot are
+    /// computed lazily as usual.
+    pub fn build_from_snapshot(
+        self,
+        snapshot: EngineSnapshot,
+    ) -> Result<MatchEngine, SnapshotError> {
+        let expected = corpus_fingerprint(&self.dataset);
+        if snapshot.fingerprint != expected {
+            return Err(SnapshotError::FingerprintMismatch {
+                found: snapshot.fingerprint,
+                expected,
+            });
+        }
+        if snapshot.dictionary.source() != self.dataset.other_language()
+            || snapshot.dictionary.target() != self.dataset.english()
+        {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot dictionary translates {} -> {}, dataset needs {} -> {}",
+                snapshot.dictionary.source(),
+                snapshot.dictionary.target(),
+                self.dataset.other_language(),
+                self.dataset.english()
+            )));
+        }
+        let mut prepared: HashMap<String, Arc<OnceLock<PreparedType>>> = HashMap::new();
+        for (type_id, artifacts) in snapshot.types {
+            if self.dataset.type_pairing(&type_id).is_none() {
+                return Err(SnapshotError::Malformed(format!(
+                    "snapshot carries unknown entity type {type_id:?}"
+                )));
+            }
+            let slot = Arc::new(OnceLock::new());
+            let _ = slot.set(artifacts);
+            prepared.insert(type_id, slot);
+        }
+        let engine = MatchEngine {
+            dataset: self.dataset,
+            config: self.config,
+            compute_mode: self.compute_mode,
+            dictionary: snapshot.dictionary,
+            type_matches: OnceLock::new(),
+            prepared: RwLock::new(prepared),
+            counters: EngineCounters::default(),
+        };
+        if self.eager {
+            engine.prepare_all();
+        }
+        Ok(engine)
+    }
 }
 
 /// A corpus-scoped matching session.
@@ -279,12 +355,28 @@ impl MatchEngine {
 
     /// Number of per-type artifact sets currently cached.
     pub fn cached_types(&self) -> usize {
-        self.prepared
-            .read()
-            .expect("engine cache poisoned")
+        recover(self.prepared.read())
             .values()
             .filter(|slot| slot.get().is_some())
             .count()
+    }
+
+    /// The per-type artifact sets currently cached, in dataset type order —
+    /// the capture surface of [`crate::snapshot::EngineSnapshot`]. Types
+    /// never requested (and types still being computed by another thread)
+    /// are absent.
+    pub fn cached_artifacts(&self) -> Vec<(String, PreparedType)> {
+        let cache = recover(self.prepared.read());
+        self.dataset
+            .types
+            .iter()
+            .filter_map(|pairing| {
+                cache
+                    .get(&pairing.type_id)
+                    .and_then(|slot| slot.get())
+                    .map(|prepared| (pairing.type_id.clone(), prepared.clone()))
+            })
+            .collect()
     }
 
     /// The shared schema + similarity artifacts of one type, computing and
@@ -299,11 +391,11 @@ impl MatchEngine {
             .fetch_add(1, Ordering::Relaxed);
         let pairing = self.dataset.type_pairing(type_id)?;
         let slot = {
-            let cache = self.prepared.read().expect("engine cache poisoned");
+            let cache = recover(self.prepared.read());
             cache.get(type_id).cloned()
         };
         let slot = slot.unwrap_or_else(|| {
-            let mut cache = self.prepared.write().expect("engine cache poisoned");
+            let mut cache = recover(self.prepared.write());
             Arc::clone(cache.entry(type_id.to_string()).or_default())
         });
         Some(
@@ -318,11 +410,20 @@ impl MatchEngine {
                     &pairing.label_en,
                     &self.dictionary,
                 );
-                let table =
-                    SimilarityTable::compute_with(&schema, self.config.lsi, self.compute_mode);
+                // The index is built once here (not inside the similarity
+                // pass) so it lives on as a prepared artifact the snapshot
+                // layer can persist next to the table.
+                let index = CandidateIndex::build(&schema);
+                let table = SimilarityTable::compute_with_index(
+                    &schema,
+                    self.config.lsi,
+                    self.compute_mode,
+                    &index,
+                );
                 PreparedType {
                     schema: Arc::new(schema),
                     table: Arc::new(table),
+                    index: Arc::new(index),
                 }
             })
             .clone(),

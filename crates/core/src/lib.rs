@@ -93,6 +93,8 @@
 //! * [`types`] — cross-language entity-type matching (Section 3.1).
 //! * [`pipeline`] — [`TypeAlignment`] results and the [`WikiMatch`]
 //!   configuration holder (plus the deprecated one-shot entry points).
+//! * [`snapshot`] — versioned binary persistence of engine artifacts
+//!   ([`EngineSnapshot`]), enabling zero-rebuild warm starts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -104,6 +106,7 @@ pub mod matches;
 pub mod pipeline;
 pub mod schema;
 pub mod similarity;
+pub mod snapshot;
 pub mod types;
 
 pub use alignment::AttributeAlignment;
@@ -116,4 +119,5 @@ pub use pipeline::{TypeAlignment, WikiMatch};
 // build, reachable for the curious but outside the headline API surface.
 pub use schema::{AttributeStats, DualSchema};
 pub use similarity::{CandidatePair, ComputeMode, ParseComputeModeError, SimilarityTable};
+pub use snapshot::{corpus_fingerprint, EngineSnapshot, SnapshotError};
 pub use types::match_entity_types;

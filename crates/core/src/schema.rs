@@ -194,6 +194,33 @@ impl DualSchema {
         }
     }
 
+    /// Reassembles a schema from its components, rebuilding the private
+    /// `(language, name) → index` lookup from the attribute list. Used by
+    /// the snapshot layer ([`crate::snapshot`]) when restoring persisted
+    /// artifacts; the result is indistinguishable from the schema the
+    /// attributes were captured from.
+    pub(crate) fn from_parts(
+        languages: (Language, Language),
+        label_other: String,
+        label_en: String,
+        attributes: Vec<AttributeStats>,
+        dual_count: usize,
+    ) -> Self {
+        let index = attributes
+            .iter()
+            .enumerate()
+            .map(|(i, attr)| ((attr.language.clone(), attr.name.clone()), i))
+            .collect();
+        Self {
+            languages,
+            label_other,
+            label_en,
+            attributes,
+            dual_count,
+            index,
+        }
+    }
+
     /// Number of attribute groups (both languages).
     pub fn len(&self) -> usize {
         self.attributes.len()
@@ -302,6 +329,17 @@ impl PairSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The backing bit words, for persistence.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set over `n` attributes from persisted bit words; `None`
+    /// when the word count does not match `n`.
+    pub(crate) fn from_words(n: usize, words: Vec<u64>) -> Option<Self> {
+        (words.len() == (n * n.saturating_sub(1) / 2).div_ceil(64)).then_some(Self { n, words })
+    }
+
     /// True when no pair has been inserted.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|w| *w == 0)
@@ -360,6 +398,24 @@ impl CandidateIndex {
     /// `lsim` may be non-zero.
     pub fn link_candidate(&self, p: usize, q: usize) -> bool {
         self.link_pairs.contains(p, q)
+    }
+
+    /// Reassembles an index from its two persisted pair sets.
+    pub(crate) fn from_parts(value_pairs: PairSet, link_pairs: PairSet) -> Self {
+        Self {
+            value_pairs,
+            link_pairs,
+        }
+    }
+
+    /// The value-candidate pair set, for persistence.
+    pub(crate) fn value_pairs(&self) -> &PairSet {
+        &self.value_pairs
+    }
+
+    /// The link-candidate pair set, for persistence.
+    pub(crate) fn link_pairs(&self) -> &PairSet {
+        &self.link_pairs
     }
 
     /// Number of value-candidate pairs.

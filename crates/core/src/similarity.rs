@@ -150,8 +150,37 @@ impl SimilarityTable {
     pub fn compute_with(schema: &DualSchema, lsi_config: LsiConfig, mode: ComputeMode) -> Self {
         match mode {
             ComputeMode::Dense => Self::compute_dense_impl(schema, lsi_config),
-            ComputeMode::Pruned => Self::compute_pruned_impl(schema, lsi_config),
+            ComputeMode::Pruned => {
+                Self::compute_pruned_with(schema, lsi_config, &CandidateIndex::build(schema))
+            }
         }
+    }
+
+    /// Computes the table with an explicit traversal mode and a caller-built
+    /// [`CandidateIndex`] over the same schema.
+    ///
+    /// [`crate::MatchEngine`] builds the index once per type and keeps it as
+    /// part of the prepared artifacts (so it can be persisted alongside the
+    /// table); the dense pass never consults it.
+    pub fn compute_with_index(
+        schema: &DualSchema,
+        lsi_config: LsiConfig,
+        mode: ComputeMode,
+        index: &CandidateIndex,
+    ) -> Self {
+        match mode {
+            ComputeMode::Dense => Self::compute_dense_impl(schema, lsi_config),
+            ComputeMode::Pruned => Self::compute_pruned_with(schema, lsi_config, index),
+        }
+    }
+
+    /// Reassembles a table from persisted parts. The caller (the snapshot
+    /// reader) guarantees `pairs` holds every unordered pair `(p < q)` over
+    /// `len` attributes in lexicographic order — the layout
+    /// [`pair`](Self::pair) depends on.
+    pub(crate) fn from_raw_parts(pairs: Vec<CandidatePair>, len: usize) -> Self {
+        debug_assert_eq!(pairs.len(), len * len.saturating_sub(1) / 2);
+        Self { pairs, len }
     }
 
     /// The dense reference pass: every pair, every cosine, single thread.
@@ -184,10 +213,13 @@ impl SimilarityTable {
     /// chunk gets a mix of long (low `p`) and short (high `p`) rows, then
     /// re-assembled in row order — results are identical to the dense pass
     /// bit for bit, regardless of thread count.
-    fn compute_pruned_impl(schema: &DualSchema, lsi_config: LsiConfig) -> Self {
+    fn compute_pruned_with(
+        schema: &DualSchema,
+        lsi_config: LsiConfig,
+        index: &CandidateIndex,
+    ) -> Self {
         let n = schema.len();
         let lsi_model = Self::fit_lsi(schema, lsi_config);
-        let index = CandidateIndex::build(schema);
         let occurrence_bits = pack_occurrence_patterns(schema);
 
         // Interleave rows front/back for load balance (row p has n-1-p pairs).
@@ -333,10 +365,13 @@ impl SimilarityTable {
             .filter(|pair| pair.lsi > threshold)
             .copied()
             .collect();
+        // `total_cmp` rather than `partial_cmp`: the comparator is a total
+        // order for every possible float (NaN included), so equal-score
+        // pairs rank identically across runs and platforms, with the
+        // attribute indices as the stable secondary key.
         out.sort_by(|a, b| {
             b.lsi
-                .partial_cmp(&a.lsi)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.lsi)
                 .then_with(|| (a.p, a.q).cmp(&(b.p, b.q)))
         });
         out
@@ -591,6 +626,52 @@ mod tests {
         }
         let err = "fast".parse::<ComputeMode>().unwrap_err();
         assert!(err.to_string().contains("fast"), "{err}");
+    }
+
+    #[test]
+    fn ranking_is_deterministic_for_ties_and_total_for_nan() {
+        // A hand-built table over 4 attributes: three pairs tied at 0.9, one
+        // NaN score, and two distinct scores. Regression test for the
+        // NaN-unsafe `partial_cmp` tie-breaking this module used to have:
+        // with `total_cmp` + the (p, q) secondary key the ranked output is a
+        // fixed sequence, not whatever the sort happened to do with
+        // incomparable or equal keys.
+        let scores = [
+            ((0, 1), 0.9),
+            ((0, 2), f64::NAN),
+            ((0, 3), 0.9),
+            ((1, 2), 0.3),
+            ((1, 3), 0.9),
+            ((2, 3), 0.7),
+        ];
+        let pairs: Vec<CandidatePair> = scores
+            .iter()
+            .map(|&((p, q), lsi)| CandidatePair {
+                p,
+                q,
+                vsim: 0.0,
+                lsim: 0.0,
+                lsi,
+            })
+            .collect();
+        let table = SimilarityTable::from_raw_parts(pairs, 4);
+        let ranked: Vec<(usize, usize)> = table
+            .above_lsi(0.2)
+            .into_iter()
+            .map(|pair| (pair.p, pair.q))
+            .collect();
+        // NaN fails the `> threshold` filter; the 0.9 ties come out in
+        // ascending (p, q) order.
+        assert_eq!(ranked, vec![(0, 1), (0, 3), (1, 3), (2, 3), (1, 2)]);
+        // Repeated runs agree (the comparator is a pure total order).
+        for _ in 0..8 {
+            let again: Vec<(usize, usize)> = table
+                .above_lsi(0.2)
+                .into_iter()
+                .map(|pair| (pair.p, pair.q))
+                .collect();
+            assert_eq!(again, ranked);
+        }
     }
 
     #[test]

@@ -1,0 +1,1057 @@
+//! Snapshot persistence for [`MatchEngine`] artifacts.
+//!
+//! Every artifact the engine computes — the bilingual title dictionary and
+//! the per-type [`DualSchema`] / [`SimilarityTable`] / `CandidateIndex`
+//! triple — is a pure function of the corpus, yet a fresh process rebuilds
+//! all of it from scratch. This module materializes those artifacts in a
+//! **versioned, std-only binary format** so a restarting service can warm
+//! up by *loading* instead of *recomputing* (the same move Tuffy makes by
+//! pushing inference state into a persistent store instead of RAM):
+//!
+//! ```text
+//! header   magic (8B) | format version (u32) | corpus fingerprint (u64)
+//!          | payload length (u64) | FNV-1a checksum of payload (u64)
+//! payload  title dictionary | per-type records (length-prefixed strings,
+//!          f64 stored as IEEE-754 bits, bit-packed occurrence patterns)
+//! ```
+//!
+//! Guarantees:
+//!
+//! * **Bit-identical loads.** Floats round-trip through
+//!   [`f64::to_bits`]/[`f64::from_bits`], term vectors and dictionary
+//!   entries through their exact sorted entry lists — a restored engine
+//!   produces byte-for-byte the alignments of a fresh build (pinned by
+//!   `tests/snapshot_roundtrip.rs`).
+//! * **Self-validating files.** A snapshot names its format version and the
+//!   fingerprint of the corpus it was captured from; loading rejects
+//!   truncated files, checksum mismatches (corruption), version bumps and
+//!   fingerprint mismatches with a typed [`SnapshotError`] instead of
+//!   deserializing garbage.
+//! * **Atomic saves.** [`EngineSnapshot::save`] writes to a temporary file
+//!   in the target directory and renames it into place, so a concurrent
+//!   reader never observes a half-written snapshot.
+//!
+//! ```
+//! use wiki_corpus::{Dataset, SyntheticConfig};
+//! use wikimatch::snapshot::EngineSnapshot;
+//! use wikimatch::MatchEngine;
+//!
+//! let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+//! let engine = MatchEngine::new(dataset.clone());
+//! engine.align("film");
+//!
+//! // Persist the session's cached artifacts ...
+//! let bytes = EngineSnapshot::capture(&engine).to_bytes();
+//!
+//! // ... and warm-start a new session from them: zero artifact builds.
+//! let snapshot = EngineSnapshot::from_bytes(&bytes).unwrap();
+//! let restored = MatchEngine::builder(dataset)
+//!     .build_from_snapshot(snapshot)
+//!     .unwrap();
+//! assert_eq!(restored.stats().artifact_builds, 0);
+//! assert_eq!(restored.cached_types(), 1);
+//! ```
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use wiki_corpus::{Dataset, Language};
+use wiki_text::TermVector;
+use wiki_translate::TitleDictionary;
+
+use crate::engine::{MatchEngine, PreparedType};
+use crate::schema::{AttributeStats, CandidateIndex, DualSchema, PairSet};
+use crate::similarity::{CandidatePair, SimilarityTable};
+
+/// Version stamped into every snapshot header; readers reject anything
+/// else. Bump it whenever the payload layout changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening every snapshot file.
+const MAGIC: [u8; 8] = *b"WMSNAP\r\n";
+
+/// Fixed size of the header preceding the payload.
+const HEADER_LEN: usize = MAGIC.len() + 4 + 8 + 8 + 8;
+
+/// Why loading (or saving) a snapshot failed.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Reading or writing the underlying file failed.
+    Io(io::Error),
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The snapshot was captured from a different corpus than the dataset
+    /// it is being restored against.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+        /// Fingerprint of the dataset the caller supplied.
+        expected: u64,
+    },
+    /// The payload bytes do not hash to the checksum in the header — the
+    /// file was corrupted after writing.
+    ChecksumMismatch {
+        /// Checksum computed over the payload as read.
+        found: u64,
+        /// Checksum recorded in the header.
+        expected: u64,
+    },
+    /// The file ends before the length its header (or a length prefix
+    /// inside the payload) promises.
+    Truncated,
+    /// The payload decoded but violates a structural invariant.
+    Malformed(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(err) => write!(f, "snapshot I/O error: {err}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads {supported})"
+            ),
+            SnapshotError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "snapshot was captured from a different corpus \
+                 (fingerprint {found:#018x}, dataset has {expected:#018x})"
+            ),
+            SnapshotError::ChecksumMismatch { found, expected } => write!(
+                f,
+                "snapshot payload is corrupted \
+                 (checksum {found:#018x}, header says {expected:#018x})"
+            ),
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::Malformed(detail) => write!(f, "malformed snapshot: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(err: io::Error) -> Self {
+        SnapshotError::Io(err)
+    }
+}
+
+/// Streaming FNV-1a (64-bit) — the checksum and fingerprint hash. Not
+/// cryptographic; it guards against corruption and stale artifacts, not
+/// adversaries.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Hashes a length-prefixed string so adjacent fields cannot alias.
+    fn update_str(&mut self, s: &str) {
+        self.update(&(s.len() as u64).to_le_bytes());
+        self.update(s.as_bytes());
+    }
+
+    fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Checksum of a payload: FNV-1a 64 folded over little-endian `u64` words
+/// (plus a byte-wise tail). Word-at-a-time keeps the validation pass at
+/// memory speed — snapshots at the larger tiers run to tens of megabytes,
+/// and a byte-wise hash there would cost as much as the decode itself.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut words = payload.chunks_exact(8);
+    for word in &mut words {
+        h ^= u64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in words.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic fingerprint of everything the engine's artifacts depend
+/// on: the language pair, the type pairings and the full corpus content
+/// (titles, entity types, infobox attribute/value/link data and
+/// cross-language links, in article-id order).
+///
+/// Two datasets with the same fingerprint produce bit-identical artifacts;
+/// a snapshot whose fingerprint differs from the dataset it is restored
+/// against is rejected — this is the invalidation mechanism of the serving
+/// layer's disk tier.
+pub fn corpus_fingerprint(dataset: &Dataset) -> u64 {
+    let mut h = Fnv::new();
+    h.update_str(dataset.languages.0.code());
+    h.update_str(dataset.languages.1.code());
+    h.update_u64(dataset.types.len() as u64);
+    for pairing in &dataset.types {
+        h.update_str(&pairing.type_id);
+        h.update_str(&pairing.label_other);
+        h.update_str(&pairing.label_en);
+    }
+    h.update_u64(dataset.corpus.len() as u64);
+    for article in dataset.corpus.articles() {
+        h.update_u64(u64::from(article.id.0));
+        h.update_str(&article.title);
+        h.update_str(article.language.code());
+        h.update_str(&article.entity_type);
+        h.update_str(&article.infobox.template);
+        h.update_u64(article.infobox.attributes.len() as u64);
+        for attr in &article.infobox.attributes {
+            h.update_str(&attr.name);
+            h.update_str(&attr.value);
+            h.update_u64(attr.links.len() as u64);
+            for link in &attr.links {
+                h.update_str(&link.target);
+                h.update_str(&link.anchor);
+            }
+        }
+        h.update_u64(article.cross_links.len() as u64);
+        for (language, title) in &article.cross_links {
+            h.update_str(language.code());
+            h.update_str(title);
+        }
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives.
+
+/// Appends little-endian primitives and length-prefixed strings to a byte
+/// buffer.
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor over a payload slice; every read is bounds-checked and failures
+/// surface as [`SnapshotError::Truncated`] / [`SnapshotError::Malformed`].
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` count that must fit `usize` and cannot exceed the bytes
+    /// remaining (each counted element occupies ≥ 1 byte), so a corrupted
+    /// length cannot trigger an absurd pre-allocation. Only valid for
+    /// values that prefix a sequence of counted elements — plain scalars
+    /// use [`scalar`](Self::scalar), which has no such bound.
+    fn count(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.scalar()?;
+        if v > self.remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(v)
+    }
+
+    /// A `u64` scalar that must fit `usize` (e.g. an occurrence counter —
+    /// any magnitude is legitimate, unrelated to the bytes remaining).
+    fn scalar(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| SnapshotError::Malformed(format!("value {v} overflows usize")))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed("non-UTF-8 string".to_string()))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section encoders/decoders.
+
+fn encode_term_vector(enc: &mut Enc, vector: &TermVector) {
+    enc.u64(vector.len() as u64);
+    for (term, weight) in vector.iter() {
+        enc.str(term);
+        enc.f64(weight);
+    }
+}
+
+fn decode_term_vector(dec: &mut Dec<'_>) -> Result<TermVector, SnapshotError> {
+    let n = dec.count()?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let term = dec.str()?;
+        let weight = dec.f64()?;
+        entries.push((term, weight));
+    }
+    TermVector::from_sorted_entries(entries)
+        .ok_or_else(|| SnapshotError::Malformed("term vector entries out of order".to_string()))
+}
+
+fn encode_pattern(enc: &mut Enc, pattern: &[bool]) {
+    // Bit-packed; the length is the schema's dual count, known to the
+    // decoder, so only the words are written.
+    let words = pattern.len().div_ceil(64);
+    let mut packed = vec![0u64; words];
+    for (j, present) in pattern.iter().enumerate() {
+        if *present {
+            packed[j / 64] |= 1u64 << (j % 64);
+        }
+    }
+    for word in packed {
+        enc.u64(word);
+    }
+}
+
+fn decode_pattern(dec: &mut Dec<'_>, len: usize) -> Result<Vec<bool>, SnapshotError> {
+    let words = len.div_ceil(64);
+    // The words are about to be read from the payload; bounding the
+    // allocation by the bytes actually present keeps a corrupted
+    // `dual_count` from triggering a huge pre-allocation.
+    if words.saturating_mul(8) > dec.remaining() {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut pattern = vec![false; len];
+    for w in 0..words {
+        let word = dec.u64()?;
+        if w + 1 == words && !len.is_multiple_of(64) && word >> (len % 64) != 0 {
+            return Err(SnapshotError::Malformed(
+                "occurrence pattern has bits beyond the dual count".to_string(),
+            ));
+        }
+        for (j, slot) in pattern[w * 64..].iter_mut().take(64).enumerate() {
+            *slot = word & (1u64 << j) != 0;
+        }
+    }
+    Ok(pattern)
+}
+
+fn encode_schema(enc: &mut Enc, schema: &DualSchema) {
+    enc.str(schema.languages.0.code());
+    enc.str(schema.languages.1.code());
+    enc.str(&schema.label_other);
+    enc.str(&schema.label_en);
+    enc.u64(schema.dual_count as u64);
+    enc.u64(schema.attributes.len() as u64);
+    for attr in &schema.attributes {
+        enc.str(attr.language.code());
+        enc.str(&attr.name);
+        enc.u64(attr.occurrences as u64);
+        encode_term_vector(enc, &attr.values);
+        encode_term_vector(enc, &attr.translated_values);
+        encode_term_vector(enc, &attr.raw_values);
+        encode_term_vector(enc, &attr.translated_raw_values);
+        encode_term_vector(enc, &attr.links);
+        encode_pattern(enc, &attr.occurrence_pattern);
+    }
+}
+
+fn decode_schema(dec: &mut Dec<'_>) -> Result<DualSchema, SnapshotError> {
+    let language_other = Language::from_code(&dec.str()?);
+    let language_en = Language::from_code(&dec.str()?);
+    let label_other = dec.str()?;
+    let label_en = dec.str()?;
+    // `dual_count` is a scalar, not an element count: a type with many
+    // dual infoboxes but few (or term-poor) attributes can legitimately
+    // encode to fewer bytes than `dual_count` — the `count()` guard would
+    // wrongly reject such a file as truncated. The per-attribute pattern
+    // reads below bound the allocation instead.
+    let dual_count = dec.scalar()?;
+    let n = dec.count()?;
+    let mut attributes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let language = Language::from_code(&dec.str()?);
+        let name = dec.str()?;
+        let occurrences = dec.scalar()?;
+        let values = decode_term_vector(dec)?;
+        let translated_values = decode_term_vector(dec)?;
+        let raw_values = decode_term_vector(dec)?;
+        let translated_raw_values = decode_term_vector(dec)?;
+        let links = decode_term_vector(dec)?;
+        let occurrence_pattern = decode_pattern(dec, dual_count)?;
+        attributes.push(AttributeStats {
+            language,
+            name,
+            occurrences,
+            values,
+            translated_values,
+            raw_values,
+            translated_raw_values,
+            links,
+            occurrence_pattern,
+        });
+    }
+    Ok(DualSchema::from_parts(
+        (language_other, language_en),
+        label_other,
+        label_en,
+        attributes,
+        dual_count,
+    ))
+}
+
+/// Encodes one score channel sparsely: a bitmap over the canonical pair
+/// order marking entries whose bit pattern is not `+0.0`, followed by just
+/// those raw bit patterns. The pruned similarity build writes literal `0.0`
+/// for every non-candidate pair (the vast majority at scale), so this cuts
+/// the dominant block of the file to the candidate density — and `-0.0` or
+/// any other special value is still stored verbatim, keeping the round trip
+/// bit-exact.
+fn encode_sparse_channel(enc: &mut Enc, values: impl Iterator<Item = f64>, n_pairs: usize) {
+    let mut bitmap = vec![0u64; n_pairs.div_ceil(64)];
+    let mut nonzero: Vec<u64> = Vec::new();
+    for (i, value) in values.enumerate() {
+        let bits = value.to_bits();
+        if bits != 0 {
+            bitmap[i / 64] |= 1u64 << (i % 64);
+            nonzero.push(bits);
+        }
+    }
+    for word in bitmap {
+        enc.u64(word);
+    }
+    enc.u64(nonzero.len() as u64);
+    for bits in nonzero {
+        enc.u64(bits);
+    }
+}
+
+/// Decodes one sparse channel into zero-copy `(bitmap bytes, value bytes)`
+/// slices of the payload (a little-endian `u64` word layout means global
+/// bit `i` lives at byte `i / 8`, bit `i % 8`).
+fn decode_sparse_channel<'a>(
+    dec: &mut Dec<'a>,
+    n_pairs: usize,
+) -> Result<(&'a [u8], &'a [u8]), SnapshotError> {
+    let words = n_pairs.div_ceil(64);
+    let bitmap = dec.take(words.saturating_mul(8))?;
+    let count = dec.count()?;
+    let set_bits: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+    if count != set_bits {
+        return Err(SnapshotError::Malformed(format!(
+            "sparse channel declares {count} values but its bitmap has {set_bits} bits set"
+        )));
+    }
+    let values = dec.take(count.saturating_mul(8))?;
+    Ok((bitmap, values))
+}
+
+/// Sequential reader over a sparse channel: for each pair index (visited in
+/// order) returns the stored value when its bitmap bit is set, `0.0`
+/// otherwise.
+struct SparseCursor<'a> {
+    bitmap: &'a [u8],
+    values: &'a [u8],
+    next: usize,
+}
+
+impl SparseCursor<'_> {
+    fn get(&mut self, i: usize) -> f64 {
+        if self.bitmap[i / 8] & (1u8 << (i % 8)) != 0 {
+            let bytes = &self.values[self.next..self.next + 8];
+            self.next += 8;
+            f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("8-byte value")))
+        } else {
+            0.0
+        }
+    }
+}
+
+fn encode_table(enc: &mut Enc, table: &SimilarityTable) {
+    // Pair indices are implicit: pairs are stored in the table's canonical
+    // lexicographic (p < q) order. LSI is dense by nature (the paper's
+    // complement convention makes most same-language scores non-zero), so
+    // it is written as a dense block; `vsim` / `lsim` are zero for every
+    // non-candidate pair and are written sparsely.
+    enc.u64(table.attribute_count() as u64);
+    let n_pairs = table.pairs().len();
+    for pair in table.pairs() {
+        enc.f64(pair.lsi);
+    }
+    encode_sparse_channel(enc, table.pairs().iter().map(|p| p.vsim), n_pairs);
+    encode_sparse_channel(enc, table.pairs().iter().map(|p| p.lsim), n_pairs);
+}
+
+fn decode_table(dec: &mut Dec<'_>, schema_len: usize) -> Result<SimilarityTable, SnapshotError> {
+    let n = dec.count()?;
+    if n != schema_len {
+        return Err(SnapshotError::Malformed(format!(
+            "similarity table covers {n} attributes, schema has {schema_len}"
+        )));
+    }
+    let n_pairs = n * n.saturating_sub(1) / 2;
+    // One bounds check for the dense LSI block, then chunked walks — this
+    // section dominates load time at the larger tiers, so it must not pay
+    // per-field cursor overhead.
+    let lsi_bytes = dec.take(
+        n_pairs
+            .checked_mul(8)
+            .ok_or_else(|| SnapshotError::Malformed(format!("pair count {n_pairs} overflows")))?,
+    )?;
+    let (vsim_bitmap, vsim_values) = decode_sparse_channel(dec, n_pairs)?;
+    let (lsim_bitmap, lsim_values) = decode_sparse_channel(dec, n_pairs)?;
+
+    let mut lsi = lsi_bytes.chunks_exact(8);
+    let mut vsim = SparseCursor {
+        bitmap: vsim_bitmap,
+        values: vsim_values,
+        next: 0,
+    };
+    let mut lsim = SparseCursor {
+        bitmap: lsim_bitmap,
+        values: lsim_values,
+        next: 0,
+    };
+    let mut pairs = Vec::with_capacity(n_pairs);
+    let mut i = 0usize;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let chunk = lsi.next().expect("block sized to n_pairs chunks");
+            pairs.push(CandidatePair {
+                p,
+                q,
+                vsim: vsim.get(i),
+                lsim: lsim.get(i),
+                lsi: f64::from_bits(u64::from_le_bytes(chunk.try_into().expect("8-byte field"))),
+            });
+            i += 1;
+        }
+    }
+    Ok(SimilarityTable::from_raw_parts(pairs, n))
+}
+
+fn encode_pair_set(enc: &mut Enc, set: &PairSet) {
+    enc.u64(set.words().len() as u64);
+    for &word in set.words() {
+        enc.u64(word);
+    }
+}
+
+fn decode_pair_set(dec: &mut Dec<'_>, n: usize) -> Result<PairSet, SnapshotError> {
+    let words_len = dec.count()?;
+    let mut words = Vec::with_capacity(words_len);
+    for _ in 0..words_len {
+        words.push(dec.u64()?);
+    }
+    PairSet::from_words(n, words).ok_or_else(|| {
+        SnapshotError::Malformed(format!(
+            "pair set word count {words_len} does not match {n} attributes"
+        ))
+    })
+}
+
+fn encode_index(enc: &mut Enc, index: &CandidateIndex) {
+    encode_pair_set(enc, index.value_pairs());
+    encode_pair_set(enc, index.link_pairs());
+}
+
+/// Decodes one length-prefixed per-type record
+/// (`type_id | schema | table | index`).
+fn decode_type_record(record: &[u8]) -> Result<(String, PreparedType), SnapshotError> {
+    let mut dec = Dec::new(record);
+    let type_id = dec.str()?;
+    let schema = decode_schema(&mut dec)?;
+    let table = decode_table(&mut dec, schema.len())?;
+    let index = decode_index(&mut dec, schema.len())?;
+    if !dec.finished() {
+        return Err(SnapshotError::Malformed(format!(
+            "type record {type_id:?} longer than its contents"
+        )));
+    }
+    Ok((
+        type_id,
+        PreparedType {
+            schema: Arc::new(schema),
+            table: Arc::new(table),
+            index: Arc::new(index),
+        },
+    ))
+}
+
+fn decode_index(dec: &mut Dec<'_>, schema_len: usize) -> Result<CandidateIndex, SnapshotError> {
+    let value_pairs = decode_pair_set(dec, schema_len)?;
+    let link_pairs = decode_pair_set(dec, schema_len)?;
+    Ok(CandidateIndex::from_parts(value_pairs, link_pairs))
+}
+
+// ---------------------------------------------------------------------------
+// The snapshot itself.
+
+/// A captured set of [`MatchEngine`] artifacts ready to be persisted: the
+/// corpus fingerprint, the bilingual title dictionary and the per-type
+/// prepared artifacts that were cached at capture time.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    /// Fingerprint of the corpus the artifacts were computed from (see
+    /// [`corpus_fingerprint`]).
+    pub fingerprint: u64,
+    /// The session's bilingual title dictionary.
+    pub dictionary: TitleDictionary,
+    /// Cached per-type artifacts, in dataset type order.
+    pub types: Vec<(String, PreparedType)>,
+}
+
+impl EngineSnapshot {
+    /// Captures the engine's dictionary plus every per-type artifact set
+    /// currently cached. Call [`MatchEngine::prepare_all`] first to capture
+    /// a fully warmed session.
+    pub fn capture(engine: &MatchEngine) -> Self {
+        Self {
+            fingerprint: corpus_fingerprint(engine.dataset()),
+            dictionary: engine.dictionary().clone(),
+            types: engine.cached_artifacts(),
+        }
+    }
+
+    /// Number of per-type artifact sets in the snapshot.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Serializes the snapshot into the framed binary format (header with
+    /// magic, version, fingerprint, payload length and checksum, then the
+    /// payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        // Dictionary: entries sorted by key for a canonical byte stream.
+        enc.str(self.dictionary.source().code());
+        enc.str(self.dictionary.target().code());
+        let mut entries: Vec<(&str, &str)> = self.dictionary.entries().collect();
+        entries.sort_unstable();
+        enc.u64(entries.len() as u64);
+        for (key, value) in entries {
+            enc.str(key);
+            enc.str(value);
+        }
+        // Per-type records, each length-prefixed so the reader can split
+        // the payload into independent records and decode them in parallel.
+        enc.u64(self.types.len() as u64);
+        for (type_id, prepared) in &self.types {
+            let mut record = Enc::new();
+            record.str(type_id);
+            encode_schema(&mut record, &prepared.schema);
+            encode_table(&mut record, &prepared.table);
+            encode_index(&mut record, &prepared.index);
+            enc.u64(record.0.len() as u64);
+            enc.0.extend_from_slice(&record.0);
+        }
+        let payload = enc.0;
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&checksum(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserializes a snapshot, validating magic, version, payload length
+    /// and checksum before decoding anything.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_LEN {
+            return if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
+                Err(SnapshotError::BadMagic)
+            } else {
+                Err(SnapshotError::Truncated)
+            };
+        }
+        let (header, payload) = bytes.split_at(HEADER_LEN);
+        if header[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let field = |offset: usize, len: usize| &header[offset..offset + len];
+        let version = u32::from_le_bytes(field(8, 4).try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let fingerprint = u64::from_le_bytes(field(12, 8).try_into().expect("8 bytes"));
+        let payload_len = u64::from_le_bytes(field(20, 8).try_into().expect("8 bytes"));
+        match u64::try_from(payload.len()) {
+            Ok(have) if have < payload_len => return Err(SnapshotError::Truncated),
+            Ok(have) if have > payload_len => {
+                return Err(SnapshotError::Malformed(format!(
+                    "{} trailing bytes after the payload",
+                    have - payload_len
+                )))
+            }
+            _ => {}
+        }
+        let expected = u64::from_le_bytes(field(28, 8).try_into().expect("8 bytes"));
+        let found = checksum(payload);
+        if found != expected {
+            return Err(SnapshotError::ChecksumMismatch { found, expected });
+        }
+
+        let mut dec = Dec::new(payload);
+        let source = Language::from_code(&dec.str()?);
+        let target = Language::from_code(&dec.str()?);
+        let n_entries = dec.count()?;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let key = dec.str()?;
+            let value = dec.str()?;
+            entries.push((key, value));
+        }
+        let dictionary = TitleDictionary::from_entries(source, target, entries);
+
+        let n_types = dec.count()?;
+        let mut records = Vec::with_capacity(n_types);
+        for _ in 0..n_types {
+            let len = dec.count()?;
+            records.push(dec.take(len)?);
+        }
+        if !dec.finished() {
+            return Err(SnapshotError::Malformed(
+                "payload longer than its contents".to_string(),
+            ));
+        }
+        // Records are independent; decoding them — the bulk of the work at
+        // the larger tiers — runs on parallel threads.
+        let types = records
+            .par_iter()
+            .map(|record| decode_type_record(record))
+            .collect::<Vec<Result<(String, PreparedType), SnapshotError>>>()
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            fingerprint,
+            dictionary,
+            types,
+        })
+    }
+
+    /// Writes the framed snapshot to a writer.
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        writer.write_all(&self.to_bytes())
+    }
+
+    /// Reads a framed snapshot from a reader (consumes it to EOF).
+    pub fn read_from(reader: &mut impl Read) -> Result<Self, SnapshotError> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Saves the snapshot to `path` atomically: the bytes are written to a
+    /// temporary sibling file and renamed into place, so concurrent readers
+    /// see either the old snapshot or the new one, never a torn write.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent)?;
+        }
+        let file_name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| SnapshotError::Malformed(format!("bad snapshot path {path:?}")))?;
+        // The temp name must be unique per *call*, not just per process:
+        // two threads spilling the same corpus concurrently (a warm racing
+        // an eviction) would otherwise interleave writes into one temp file
+        // and rename garbage into place.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_file_name(format!(".{file_name}.tmp-{}-{seq}", std::process::id()));
+        let result = fs::write(&tmp, self.to_bytes()).and_then(|()| fs::rename(&tmp, path));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result.map_err(SnapshotError::from)
+    }
+
+    /// Loads a snapshot from `path`.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_bytes(&fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiki_corpus::SyntheticConfig;
+
+    fn snapshot_bytes() -> (Dataset, Vec<u8>) {
+        let dataset = Dataset::vn_en(&SyntheticConfig::tiny());
+        let engine = MatchEngine::new(dataset.clone());
+        engine.align("film").unwrap();
+        engine.align("actor").unwrap();
+        (dataset, EngineSnapshot::capture(&engine).to_bytes())
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = Dataset::vn_en(&SyntheticConfig::tiny());
+        let b = Dataset::vn_en(&SyntheticConfig::tiny());
+        assert_eq!(corpus_fingerprint(&a), corpus_fingerprint(&b));
+        let other_seed = Dataset::vn_en(&SyntheticConfig {
+            seed: 43,
+            ..SyntheticConfig::tiny()
+        });
+        assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&other_seed));
+        let other_pair = Dataset::pt_en(&SyntheticConfig::tiny());
+        assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&other_pair));
+    }
+
+    #[test]
+    fn round_trip_restores_bit_identical_artifacts() {
+        let (dataset, bytes) = snapshot_bytes();
+        let reference = MatchEngine::new(dataset.clone());
+        let snapshot = EngineSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snapshot.type_count(), 2);
+        let restored = MatchEngine::builder(dataset)
+            .build_from_snapshot(snapshot)
+            .unwrap();
+        assert_eq!(restored.cached_types(), 2);
+        assert_eq!(restored.stats().artifact_builds, 0);
+        for type_id in ["film", "actor"] {
+            let fresh = reference.prepared(type_id).unwrap();
+            let loaded = restored.prepared(type_id).unwrap();
+            assert_eq!(fresh.schema.len(), loaded.schema.len());
+            for (a, b) in fresh.table.pairs().iter().zip(loaded.table.pairs()) {
+                assert_eq!((a.p, a.q), (b.p, b.q));
+                assert_eq!(a.vsim.to_bits(), b.vsim.to_bits());
+                assert_eq!(a.lsim.to_bits(), b.lsim.to_bits());
+                assert_eq!(a.lsi.to_bits(), b.lsi.to_bits());
+            }
+            assert_eq!(
+                reference.align(type_id).unwrap().cross_pairs(),
+                restored.align(type_id).unwrap().cross_pairs()
+            );
+        }
+        // Restoring served the cached artifacts; no build happened.
+        assert_eq!(restored.stats().artifact_builds, 0);
+        // A type outside the snapshot still builds lazily.
+        assert!(restored.align("show").is_some());
+        assert_eq!(restored.stats().artifact_builds, 1);
+    }
+
+    #[test]
+    fn scalar_fields_larger_than_the_remaining_payload_round_trip() {
+        // `occurrences` (and `dual_count`) are scalars whose magnitude is
+        // unrelated to the bytes that follow them — a near-universal
+        // attribute in a huge corpus has a count far larger than its own
+        // encoded tail. A hand-built snapshot with an outsized counter must
+        // survive the round trip instead of being rejected as truncated.
+        let attr = |name: &str| AttributeStats {
+            language: Language::En,
+            name: name.to_string(),
+            occurrences: 5_000_000,
+            values: TermVector::from_terms(["x"]),
+            translated_values: TermVector::from_terms(["x"]),
+            raw_values: TermVector::new(),
+            translated_raw_values: TermVector::new(),
+            links: TermVector::new(),
+            occurrence_pattern: vec![true, false],
+        };
+        let schema = DualSchema::from_parts(
+            (Language::Pt, Language::En),
+            "Filme".to_string(),
+            "Film".to_string(),
+            vec![attr("a"), attr("b")],
+            2,
+        );
+        let table = SimilarityTable::from_raw_parts(
+            vec![CandidatePair {
+                p: 0,
+                q: 1,
+                vsim: 1.0,
+                lsim: 0.0,
+                lsi: 0.5,
+            }],
+            2,
+        );
+        let index = CandidateIndex::from_parts(PairSet::new(2), PairSet::new(2));
+        let snapshot = EngineSnapshot {
+            fingerprint: 7,
+            dictionary: TitleDictionary::from_entries(Language::Pt, Language::En, Vec::new()),
+            types: vec![(
+                "film".to_string(),
+                PreparedType {
+                    schema: Arc::new(schema),
+                    table: Arc::new(table),
+                    index: Arc::new(index),
+                },
+            )],
+        };
+        let loaded = EngineSnapshot::from_bytes(&snapshot.to_bytes())
+            .expect("outsized scalar fields must not read as truncation");
+        assert_eq!(loaded.types[0].1.schema.attribute(0).occurrences, 5_000_000);
+        assert_eq!(loaded.types[0].1.table.pairs().len(), 1);
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        let (_, bytes) = snapshot_bytes();
+        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN + 10, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    EngineSnapshot::from_bytes(&bytes[..cut]),
+                    Err(SnapshotError::Truncated)
+                ),
+                "cut at {cut} not detected as truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_fail_the_checksum() {
+        let (_, mut bytes) = snapshot_bytes();
+        let flip = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[flip] ^= 0xFF;
+        assert!(matches!(
+            EngineSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_bumps_and_bad_magic_are_rejected() {
+        let (_, bytes) = snapshot_bytes();
+        let mut bumped = bytes.clone();
+        bumped[8] = bumped[8].wrapping_add(1);
+        assert!(matches!(
+            EngineSnapshot::from_bytes(&bumped),
+            Err(SnapshotError::UnsupportedVersion { found, supported })
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ));
+        let mut wrong_magic = bytes;
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            EngineSnapshot::from_bytes(&wrong_magic),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_blocks_restore() {
+        let (_, bytes) = snapshot_bytes();
+        let snapshot = EngineSnapshot::from_bytes(&bytes).unwrap();
+        let other = Dataset::vn_en(&SyntheticConfig {
+            seed: 99,
+            ..SyntheticConfig::tiny()
+        });
+        assert!(matches!(
+            MatchEngine::builder(other).build_from_snapshot(snapshot),
+            Err(SnapshotError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let (dataset, bytes) = snapshot_bytes();
+        let snapshot = EngineSnapshot::from_bytes(&bytes).unwrap();
+        let dir = std::env::temp_dir().join(format!("wm-snap-test-{}", std::process::id()));
+        let path = dir.join("vi-tiny.snap");
+        snapshot.save(&path).unwrap();
+        let loaded = EngineSnapshot::load(&path).unwrap();
+        assert_eq!(loaded.fingerprint, snapshot.fingerprint);
+        assert_eq!(loaded.type_count(), snapshot.type_count());
+        let restored = MatchEngine::builder(dataset)
+            .build_from_snapshot(loaded)
+            .unwrap();
+        assert_eq!(restored.cached_types(), 2);
+        // No temp file left behind.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let missing = std::env::temp_dir().join("wm-snap-test-definitely-missing.snap");
+        assert!(matches!(
+            EngineSnapshot::load(&missing),
+            Err(SnapshotError::Io(err)) if err.kind() == io::ErrorKind::NotFound
+        ));
+    }
+}

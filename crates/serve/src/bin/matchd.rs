@@ -7,7 +7,7 @@
 //! ```text
 //! matchd [--addr 127.0.0.1:8743] [--workers N] [--queue N] [--capacity N]
 //!        [--mode pruned|dense] [--tiers tiny,small,medium,large]
-//!        [--warm corpus[,corpus...]]
+//!        [--warm corpus[,corpus...]] [--snapshot-dir DIR] [--persist]
 //! ```
 
 use std::process::ExitCode;
@@ -32,6 +32,12 @@ OPTIONS:
     --tiers LIST       comma-separated scale tiers to register
                        (default tiny,small,medium,large)
     --warm LIST        comma-separated corpus names to warm at startup
+    --snapshot-dir DIR enable the snapshot disk tier: cold corpora load
+                       persisted artifacts from DIR instead of rebuilding,
+                       evictions spill to DIR, --warm writes through
+    --persist          also snapshot every resident session on graceful
+                       shutdown (requires --snapshot-dir), so the next
+                       start serves from disk without rebuilding
     --help             print this help
 
 ENDPOINTS (all JSON):
@@ -54,6 +60,8 @@ fn main() -> ExitCode {
     let mut mode = ComputeMode::default();
     let mut tiers = "tiny,small,medium,large".to_string();
     let mut warm = Vec::new();
+    let mut snapshot_dir: Option<String> = None;
+    let mut persist = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -91,6 +99,11 @@ fn main() -> ExitCode {
             "--warm" => value("--warm").map(|v| {
                 warm.extend(v.split(',').map(|s| s.trim().to_string()));
             }),
+            "--snapshot-dir" => value("--snapshot-dir").map(|v| snapshot_dir = Some(v)),
+            "--persist" => {
+                persist = true;
+                Ok(())
+            }
             other => Err(format!("unknown flag {other:?}")),
         };
         if let Err(message) = result {
@@ -114,7 +127,14 @@ fn main() -> ExitCode {
     if specs.is_empty() {
         return fail(&format!("no valid tiers in {tiers:?}"));
     }
-    let registry = Arc::new(Registry::new(capacity, mode));
+    if persist && snapshot_dir.is_none() {
+        return fail("--persist requires --snapshot-dir");
+    }
+    let mut registry = Registry::new(capacity, mode);
+    if let Some(dir) = &snapshot_dir {
+        registry = registry.with_snapshot_dir(dir);
+    }
+    let registry = Arc::new(registry);
     registry.register_all(specs);
 
     if warm.len() > capacity {
@@ -143,15 +163,27 @@ fn main() -> ExitCode {
         Err(err) => return fail(&format!("failed to bind: {err}")),
     };
     eprintln!(
-        "matchd: listening on http://{} ({} workers, capacity {}, mode {}, corpora: {})",
+        "matchd: listening on http://{} ({} workers, capacity {}, mode {}, corpora: {}{})",
         server.addr(),
         workers,
         registry.capacity(),
         registry.mode(),
-        registry.names().join(", ")
+        registry.names().join(", "),
+        match registry.snapshot_dir() {
+            Some(dir) => format!(", snapshots in {}", dir.display()),
+            None => String::new(),
+        }
     );
     server.wait();
     eprintln!("matchd: shutting down");
     server.shutdown();
+    if persist {
+        let start = Instant::now();
+        let written = registry.persist_resident();
+        eprintln!(
+            "matchd: persisted {written} resident session(s) in {:.2?}",
+            start.elapsed()
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -20,17 +20,66 @@
 //! On top of the engine, [`CachedCorpus`] memoises two serving-layer
 //! artifacts: the [`CorrespondenceDictionary`] used by query translation and
 //! a keyed cache of serialized responses, both built once per residency.
+//!
+//! ## The disk tier
+//!
+//! With [`Registry::with_snapshot_dir`] the LRU gains a tier *under* it:
+//! evicted sessions spill their computed artifacts to a
+//! [`wikimatch::snapshot`] file, [`Registry::warm`] writes through, and a
+//! cold request checks the directory before building — a hit restores the
+//! dictionary and every persisted per-type artifact **bit-identical** to a
+//! fresh build, with zero artifact computation. Stale or damaged files are
+//! never trusted: the snapshot layer validates a corpus fingerprint, format
+//! version and checksum, and any rejection simply falls back to building.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 use serde::{Deserialize, Serialize};
 
 use wiki_corpus::{Dataset, Language, SyntheticConfig};
 use wiki_query::CorrespondenceDictionary;
-use wikimatch::{ComputeMode, EngineStats, MatchEngine};
+use wikimatch::snapshot::EngineSnapshot;
+use wikimatch::{ComputeMode, EngineStats, MatchEngine, SnapshotError};
+
+/// Whether an eviction's disk spill runs on the calling thread or on a
+/// detached background thread.
+#[derive(Debug, Clone, Copy)]
+enum SpillMode {
+    /// Spill before returning (explicit `/evict`, shutdown persistence).
+    Synchronous,
+    /// Spill on a background thread (LRU-pressure evictions, which run on
+    /// whatever request worker tipped the capacity).
+    Background,
+}
+
+/// Captures and saves one session's artifacts, bumping the corpus'
+/// `snapshot_saves` on success. Failures are reported and swallowed:
+/// persistence is an optimisation, never a serving error.
+fn spill_to(path: &Path, entry: &CorpusEntry, cached: &CachedCorpus) {
+    match EngineSnapshot::capture(cached.engine()).save(path) {
+        Ok(()) => {
+            entry.snapshot_saves.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(err) => eprintln!(
+            "warning: failed to persist snapshot for corpus {:?}: {err}",
+            entry.spec.name
+        ),
+    }
+}
+
+/// Recovers the guarded value of a poisoned lock.
+///
+/// Registry state is a set of once-cells and counters that are consistent
+/// at every instruction boundary, so a panic in some worker (caught by the
+/// server's panic barrier) must not wedge every other worker sharing the
+/// registry.
+fn recover<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Description of one corpus a [`Registry`] can serve.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -108,10 +157,7 @@ pub struct CachedCorpus {
 }
 
 impl CachedCorpus {
-    fn build(spec: &CorpusSpec, mode: ComputeMode) -> Self {
-        let engine = MatchEngine::builder(spec.dataset())
-            .compute_mode(mode)
-            .build();
+    fn from_engine(engine: MatchEngine) -> Self {
         Self {
             engine: Arc::new(engine),
             dictionary: OnceLock::new(),
@@ -136,7 +182,15 @@ impl CachedCorpus {
 
     /// A serialized response memoised under `key`; `make` runs at most once
     /// per key per residency, concurrent first requests share one compute.
-    pub fn response(&self, key: &str, make: impl FnOnce() -> String) -> Arc<String> {
+    ///
+    /// `make` may fail; the error (also memoised — response production is
+    /// deterministic) is reported to every requester so the serving layer
+    /// can answer 500 instead of panicking a worker.
+    pub fn response(
+        &self,
+        key: &str,
+        make: impl FnOnce() -> Result<String, String>,
+    ) -> Result<Arc<String>, String> {
         self.responses.get_or_init(key, make)
     }
 }
@@ -145,20 +199,25 @@ impl CachedCorpus {
 /// engine's per-type artifacts, so cold keys do not stampede).
 #[derive(Debug, Default)]
 struct ResponseCache {
-    slots: RwLock<HashMap<String, Arc<OnceLock<Arc<String>>>>>,
+    #[allow(clippy::type_complexity)]
+    slots: RwLock<HashMap<String, Arc<OnceLock<Result<Arc<String>, String>>>>>,
 }
 
 impl ResponseCache {
-    fn get_or_init(&self, key: &str, make: impl FnOnce() -> String) -> Arc<String> {
+    fn get_or_init(
+        &self,
+        key: &str,
+        make: impl FnOnce() -> Result<String, String>,
+    ) -> Result<Arc<String>, String> {
         let slot = {
-            let slots = self.slots.read().expect("response cache poisoned");
+            let slots = recover(self.slots.read());
             slots.get(key).cloned()
         };
         let slot = slot.unwrap_or_else(|| {
-            let mut slots = self.slots.write().expect("response cache poisoned");
+            let mut slots = recover(self.slots.write());
             Arc::clone(slots.entry(key.to_string()).or_default())
         });
-        Arc::clone(slot.get_or_init(|| Arc::new(make())))
+        slot.get_or_init(|| make().map(Arc::new)).clone()
     }
 }
 
@@ -171,6 +230,8 @@ struct CorpusEntry {
     misses: AtomicU64,
     builds: AtomicU64,
     evictions: AtomicU64,
+    snapshot_loads: AtomicU64,
+    snapshot_saves: AtomicU64,
     /// `Some(slot)` while resident or being built; `None` when evicted.
     /// Concurrent cold requests clone the same slot and coalesce on its
     /// `OnceLock`.
@@ -185,12 +246,14 @@ impl CorpusEntry {
             misses: AtomicU64::new(0),
             builds: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            snapshot_loads: AtomicU64::new(0),
+            snapshot_saves: AtomicU64::new(0),
             session: Mutex::new(None),
         }
     }
 
     fn resident(&self) -> Option<Arc<CachedCorpus>> {
-        let session = self.session.lock().expect("corpus entry poisoned");
+        let session = recover(self.session.lock());
         session.as_ref().and_then(|slot| slot.get()).cloned()
     }
 }
@@ -212,6 +275,12 @@ pub struct CorpusStats {
     pub builds: u64,
     /// Times the session was evicted by LRU pressure or an explicit evict.
     pub evictions: u64,
+    /// Session builds that were served from a disk snapshot instead of
+    /// computing artifacts (always 0 without a snapshot directory).
+    pub snapshot_loads: u64,
+    /// Snapshots written for this corpus (evictions spilling, warm writing
+    /// through, or an explicit persist).
+    pub snapshot_saves: u64,
     /// Activity counters of the resident engine (`None` while cold).
     pub engine: Option<EngineStats>,
 }
@@ -223,6 +292,8 @@ pub struct RegistryStats {
     pub capacity: usize,
     /// Similarity-table compute mode engines are built with.
     pub mode: ComputeMode,
+    /// Directory of the snapshot disk tier (`None` when disabled).
+    pub snapshot_dir: Option<String>,
     /// Currently resident sessions.
     pub resident: usize,
     /// Per-corpus stats, in registration order.
@@ -237,6 +308,8 @@ pub struct RegistryStats {
 pub struct Registry {
     capacity: usize,
     mode: ComputeMode,
+    /// Directory of the snapshot disk tier; `None` disables persistence.
+    snapshot_dir: Option<PathBuf>,
     /// Registered corpora; `Vec` keeps registration order for `/stats`.
     entries: RwLock<Vec<Arc<CorpusEntry>>>,
     /// LRU bookkeeping: name → last-used tick, for resident corpora only.
@@ -256,9 +329,119 @@ impl Registry {
         Self {
             capacity: capacity.max(1),
             mode,
+            snapshot_dir: None,
             entries: RwLock::new(Vec::new()),
             lru: Mutex::new(LruState::default()),
         }
+    }
+
+    /// Enables the snapshot disk tier under the LRU: cold requests check
+    /// `dir` for a persisted session before building, evicted sessions
+    /// spill their artifacts there, and [`warm`](Self::warm) writes
+    /// through. See [`wikimatch::snapshot`] for the file format and its
+    /// validation (fingerprint, version, checksum).
+    pub fn with_snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// The snapshot directory of the disk tier, if enabled.
+    pub fn snapshot_dir(&self) -> Option<&Path> {
+        self.snapshot_dir.as_deref()
+    }
+
+    /// The snapshot file of a corpus. Names made entirely of filesystem-safe
+    /// characters map to `<name>.snap`; anything else is sanitised **and**
+    /// suffixed with a hash of the raw name, so two distinct corpora (e.g.
+    /// `"a b"` and `"a_b"`) can never clobber each other's snapshot.
+    fn snapshot_path(&self, name: &str) -> Option<PathBuf> {
+        let dir = self.snapshot_dir.as_ref()?;
+        let safe = |c: char| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.');
+        let stem = if !name.is_empty() && name.chars().all(safe) {
+            name.to_string()
+        } else {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let sanitised: String = name
+                .chars()
+                .map(|c| if safe(c) { c } else { '_' })
+                .collect();
+            format!("{sanitised}-{:08x}", (hash as u32) ^ ((hash >> 32) as u32))
+        };
+        Some(dir.join(format!("{stem}.snap")))
+    }
+
+    /// Builds (or disk-loads) the session of one corpus. Runs inside the
+    /// entry's build slot, so it executes at most once per residency.
+    fn build_corpus(&self, entry: &CorpusEntry) -> CachedCorpus {
+        let dataset = Arc::new(entry.spec.dataset());
+        if let Some(path) = self.snapshot_path(&entry.spec.name) {
+            match EngineSnapshot::load(&path) {
+                Ok(snapshot) => {
+                    let restored = MatchEngine::builder(Arc::clone(&dataset))
+                        .compute_mode(self.mode)
+                        .build_from_snapshot(snapshot);
+                    match restored {
+                        Ok(engine) => {
+                            entry.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+                            return CachedCorpus::from_engine(engine);
+                        }
+                        Err(err) => eprintln!(
+                            "warning: snapshot {} rejected for corpus {:?}: {err}; rebuilding",
+                            path.display(),
+                            entry.spec.name
+                        ),
+                    }
+                }
+                // No snapshot yet: the common cold-start case, not an error.
+                Err(SnapshotError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {}
+                Err(err) => eprintln!(
+                    "warning: ignoring unreadable snapshot {} for corpus {:?}: {err}",
+                    path.display(),
+                    entry.spec.name
+                ),
+            }
+        }
+        CachedCorpus::from_engine(
+            MatchEngine::builder(dataset)
+                .compute_mode(self.mode)
+                .build(),
+        )
+    }
+
+    /// Writes the session's current artifacts to the disk tier (no-op
+    /// without a snapshot directory). Failures are reported and swallowed:
+    /// persistence is an optimisation, never a serving error.
+    fn spill(&self, entry: &CorpusEntry, cached: &CachedCorpus) {
+        let Some(path) = self.snapshot_path(&entry.spec.name) else {
+            return;
+        };
+        spill_to(&path, entry, cached);
+    }
+
+    /// Spills every currently resident session to the disk tier — the
+    /// graceful-shutdown hook behind `matchd --persist`, so the next start
+    /// serves from disk without rebuilding anything. Returns the number of
+    /// sessions written; always 0 without a snapshot directory.
+    pub fn persist_resident(&self) -> usize {
+        if self.snapshot_dir.is_none() {
+            return 0;
+        }
+        let entries: Vec<Arc<CorpusEntry>> = recover(self.entries.read()).clone();
+        let mut written = 0;
+        for entry in entries {
+            if let Some(cached) = entry.resident() {
+                let before = entry.snapshot_saves.load(Ordering::Relaxed);
+                self.spill(&entry, &cached);
+                if entry.snapshot_saves.load(Ordering::Relaxed) > before {
+                    written += 1;
+                }
+            }
+        }
+        written
     }
 
     /// Registers a corpus; replaces any previous spec with the same name
@@ -266,7 +449,7 @@ impl Registry {
     pub fn register(&self, spec: CorpusSpec) {
         let name = spec.name.clone();
         {
-            let mut entries = self.entries.write().expect("registry poisoned");
+            let mut entries = recover(self.entries.write());
             let entry = Arc::new(CorpusEntry::new(spec));
             if let Some(existing) = entries.iter_mut().find(|e| e.spec.name == entry.spec.name) {
                 *existing = entry;
@@ -277,7 +460,7 @@ impl Registry {
         // A replaced corpus has no resident session any more; its stale LRU
         // entry must go with it or capacity enforcement would count (and
         // try to evict) a ghost.
-        let mut lru = self.lru.lock().expect("registry LRU poisoned");
+        let mut lru = recover(self.lru.lock());
         lru.last_used.remove(&name);
     }
 
@@ -300,9 +483,7 @@ impl Registry {
 
     /// Names of the registered corpora, in registration order.
     pub fn names(&self) -> Vec<String> {
-        self.entries
-            .read()
-            .expect("registry poisoned")
+        recover(self.entries.read())
             .iter()
             .map(|e| e.spec.name.clone())
             .collect()
@@ -310,18 +491,14 @@ impl Registry {
 
     /// The registered specs, in registration order.
     pub fn specs(&self) -> Vec<CorpusSpec> {
-        self.entries
-            .read()
-            .expect("registry poisoned")
+        recover(self.entries.read())
             .iter()
             .map(|e| e.spec.clone())
             .collect()
     }
 
     fn entry(&self, name: &str) -> Result<Arc<CorpusEntry>, RegistryError> {
-        self.entries
-            .read()
-            .expect("registry poisoned")
+        recover(self.entries.read())
             .iter()
             .find(|e| e.spec.name == name)
             .cloned()
@@ -334,7 +511,7 @@ impl Registry {
     pub fn corpus(&self, name: &str) -> Result<Arc<CachedCorpus>, RegistryError> {
         let entry = self.entry(name)?;
         let slot = {
-            let mut session = entry.session.lock().expect("corpus entry poisoned");
+            let mut session = recover(entry.session.lock());
             match session.as_ref() {
                 Some(slot) => {
                     if slot.get().is_some() {
@@ -357,7 +534,7 @@ impl Registry {
         let cached = Arc::clone(slot.get_or_init(|| {
             built_here = true;
             entry.builds.fetch_add(1, Ordering::Relaxed);
-            Arc::new(CachedCorpus::build(&entry.spec, self.mode))
+            Arc::new(self.build_corpus(&entry))
         }));
         self.touch(name);
         if built_here {
@@ -372,43 +549,74 @@ impl Registry {
     }
 
     /// Builds the session of `name` (if cold) and precomputes the per-type
-    /// artifacts of every entity type, in parallel.
+    /// artifacts of every entity type, in parallel. With a snapshot
+    /// directory configured the fully warmed session is written through to
+    /// disk, so the *next* process start serves it without rebuilding.
     pub fn warm(&self, name: &str) -> Result<Arc<CachedCorpus>, RegistryError> {
+        let entry = self.entry(name)?;
         let cached = self.corpus(name)?;
         cached.engine().prepare_all();
+        self.spill(&entry, &cached);
         Ok(cached)
     }
 
     /// Evicts the resident session of `name` (if any); returns whether a
     /// session was actually dropped. In-flight holders of the session keep
-    /// it alive through their `Arc`s.
+    /// it alive through their `Arc`s. With a snapshot directory configured
+    /// the evicted session's artifacts are spilled to disk first, so a
+    /// later request restores them instead of recomputing.
     pub fn evict(&self, name: &str) -> Result<bool, RegistryError> {
+        // Explicit evictions (admin `/evict`) spill synchronously: the
+        // caller asked for the eviction and can absorb the write latency,
+        // and the spill is guaranteed done when the response goes out.
+        self.evict_spilling(name, SpillMode::Synchronous)
+    }
+
+    fn evict_spilling(&self, name: &str, mode: SpillMode) -> Result<bool, RegistryError> {
         let entry = self.entry(name)?;
         let dropped = {
-            let mut session = entry.session.lock().expect("corpus entry poisoned");
+            let mut session = recover(entry.session.lock());
             // Only drop *completed* sessions: evicting an in-flight build
             // would detach the builders from the slot bookkeeping.
             match session.as_ref() {
                 Some(slot) if slot.get().is_some() => {
+                    let cached = slot.get().cloned();
                     *session = None;
-                    true
+                    cached
                 }
-                _ => false,
+                _ => None,
             }
         };
-        if dropped {
+        if let Some(cached) = dropped.clone() {
             entry.evictions.fetch_add(1, Ordering::Relaxed);
+            // Spill outside the session lock: a slow disk must not block
+            // concurrent requests (they may even start rebuilding the
+            // session meanwhile — the artifacts are identical either way,
+            // and the save is atomic).
+            if let Some(path) = self.snapshot_path(name) {
+                match mode {
+                    SpillMode::Synchronous => spill_to(&path, &entry, &cached),
+                    // LRU pressure evicts on whatever worker thread tipped
+                    // the capacity — that request must not pay for a
+                    // multi-megabyte serialization of an unrelated corpus,
+                    // so the spill moves to a background thread.
+                    SpillMode::Background => {
+                        let entry = Arc::clone(&entry);
+                        std::thread::spawn(move || spill_to(&path, &entry, &cached));
+                    }
+                }
+            }
         }
         // Always clear the LRU slot, even when nothing was resident: a
         // stale entry (e.g. left by a touch racing an evict) would
         // otherwise be re-selected as the LRU victim forever.
-        let mut lru = self.lru.lock().expect("registry LRU poisoned");
+        let mut lru = recover(self.lru.lock());
         lru.last_used.remove(name);
-        Ok(dropped)
+        Ok(dropped.is_some())
     }
 
     fn touch(&self, name: &str) {
-        let mut lru = self.lru.lock().expect("registry LRU poisoned");
+        let mut lru = recover(self.lru.lock());
         lru.tick += 1;
         let tick = lru.tick;
         lru.last_used.insert(name.to_string(), tick);
@@ -422,7 +630,7 @@ impl Registry {
     fn enforce_capacity(&self) {
         loop {
             let victim = {
-                let lru = self.lru.lock().expect("registry LRU poisoned");
+                let lru = recover(self.lru.lock());
                 if lru.last_used.len() <= self.capacity {
                     return;
                 }
@@ -433,12 +641,15 @@ impl Registry {
             };
             match victim {
                 Some(name) => {
-                    // `evict` removes the LRU slot even when the session is
-                    // already gone, so every iteration shrinks `last_used`
-                    // — but drop the slot by hand if the corpus itself has
-                    // been unregistered, or the loop would never progress.
-                    if self.evict(&name).is_err() {
-                        let mut lru = self.lru.lock().expect("registry LRU poisoned");
+                    // `evict_spilling` removes the LRU slot even when the
+                    // session is already gone, so every iteration shrinks
+                    // `last_used` — but drop the slot by hand if the corpus
+                    // itself has been unregistered, or the loop would never
+                    // progress. Spills run in the background: capacity
+                    // enforcement happens on a request worker serving some
+                    // unrelated corpus.
+                    if self.evict_spilling(&name, SpillMode::Background).is_err() {
+                        let mut lru = recover(self.lru.lock());
                         lru.last_used.remove(&name);
                     }
                 }
@@ -449,7 +660,7 @@ impl Registry {
 
     /// A point-in-time snapshot of the registry.
     pub fn stats(&self) -> RegistryStats {
-        let entries = self.entries.read().expect("registry poisoned");
+        let entries = recover(self.entries.read());
         let corpora: Vec<CorpusStats> = entries
             .iter()
             .map(|entry| {
@@ -461,6 +672,8 @@ impl Registry {
                     misses: entry.misses.load(Ordering::Relaxed),
                     builds: entry.builds.load(Ordering::Relaxed),
                     evictions: entry.evictions.load(Ordering::Relaxed),
+                    snapshot_loads: entry.snapshot_loads.load(Ordering::Relaxed),
+                    snapshot_saves: entry.snapshot_saves.load(Ordering::Relaxed),
                     engine: resident.map(|cached| cached.engine().stats()),
                 }
             })
@@ -468,6 +681,10 @@ impl Registry {
         RegistryStats {
             capacity: self.capacity,
             mode: self.mode,
+            snapshot_dir: self
+                .snapshot_dir
+                .as_ref()
+                .map(|dir| dir.display().to_string()),
             resident: corpora.iter().filter(|c| c.resident).count(),
             corpora,
         }
@@ -630,10 +847,141 @@ mod tests {
     fn response_cache_memoises_per_key() {
         let registry = registry_with(&["a"], 1);
         let cached = registry.corpus("a").unwrap();
-        let first = cached.response("k", || "payload".to_string());
-        let second = cached.response("k", || panic!("must be memoised"));
+        let first = cached.response("k", || Ok("payload".to_string())).unwrap();
+        let second = cached.response("k", || panic!("must be memoised")).unwrap();
         assert!(Arc::ptr_eq(&first, &second));
-        assert_eq!(*cached.response("other", || "x".to_string()), "x");
+        assert_eq!(
+            *cached.response("other", || Ok("x".to_string())).unwrap(),
+            "x"
+        );
+        // Failures are memoised too (response production is deterministic),
+        // and every requester sees the error instead of a stuck slot.
+        let err = cached
+            .response("bad", || Err("boom".to_string()))
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        let again = cached
+            .response("bad", || Ok("never runs".to_string()))
+            .unwrap_err();
+        assert_eq!(again, "boom");
+    }
+
+    /// A unique (per test, per process) snapshot directory.
+    fn snapshot_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wm-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_writes_through_and_a_cold_registry_loads_from_disk() {
+        let dir = snapshot_dir("warm");
+        let first = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+        let warmed = first.warm("a").unwrap();
+        let reference = warmed.engine().align("film").unwrap().cross_pairs();
+        let stats = first.stats();
+        assert_eq!(stats.snapshot_dir.as_deref(), Some(dir.to_str().unwrap()));
+        assert_eq!(stats.corpora[0].snapshot_saves, 1);
+        assert_eq!(stats.corpora[0].snapshot_loads, 0);
+
+        // A brand-new registry (a restarted process) restores the session
+        // from disk: zero artifact builds, identical alignments.
+        let second = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+        let restored = second.corpus("a").unwrap();
+        let engine_stats = restored.engine().stats();
+        assert_eq!(
+            restored.engine().cached_types(),
+            restored.engine().dataset().types.len()
+        );
+        assert_eq!(
+            engine_stats.artifact_builds, 0,
+            "warm start rebuilt artifacts"
+        );
+        assert_eq!(
+            restored.engine().align("film").unwrap().cross_pairs(),
+            reference
+        );
+        let stats = second.stats();
+        assert_eq!(stats.corpora[0].snapshot_loads, 1);
+        assert_eq!(stats.corpora[0].builds, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evictions_spill_and_the_next_request_restores_from_disk() {
+        let dir = snapshot_dir("evict");
+        let registry = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+        // Build and cache one type's artifacts, then evict.
+        registry
+            .corpus("a")
+            .unwrap()
+            .engine()
+            .align("film")
+            .unwrap();
+        assert!(registry.evict("a").unwrap());
+        let stats = registry.stats();
+        assert_eq!(stats.corpora[0].snapshot_saves, 1);
+        // The rebuilt residency restores the spilled artifact set.
+        let restored = registry.corpus("a").unwrap();
+        assert_eq!(restored.engine().cached_types(), 1);
+        assert_eq!(restored.engine().stats().artifact_builds, 0);
+        assert_eq!(registry.stats().corpora[0].snapshot_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_or_foreign_snapshots_fall_back_to_building() {
+        let dir = snapshot_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Garbage bytes under the expected file name.
+        std::fs::write(dir.join("a.snap"), b"definitely not a snapshot").unwrap();
+        let registry = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+        let cached = registry.corpus("a").unwrap();
+        assert!(!cached
+            .engine()
+            .align("film")
+            .unwrap()
+            .cross_pairs()
+            .is_empty());
+        let stats = registry.stats();
+        assert_eq!(stats.corpora[0].snapshot_loads, 0);
+        assert_eq!(stats.corpora[0].builds, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpora_whose_names_sanitise_alike_get_distinct_snapshot_files() {
+        let dir = snapshot_dir("collide");
+        // "a b" and "a_b" both sanitise to the stem "a_b"; the hash suffix
+        // keeps their snapshot files apart, so neither clobbers the other.
+        let registry = registry_with(&["a b", "a_b"], 2).with_snapshot_dir(&dir);
+        registry.corpus("a b").unwrap();
+        registry.corpus("a_b").unwrap();
+        assert_eq!(registry.persist_resident(), 2);
+        let files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files.len(), 2, "snapshot files collided: {files:?}");
+        // The clean name keeps its plain stem; the unsafe one is suffixed.
+        assert!(files.contains(&"a_b.snap".to_string()), "{files:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_resident_writes_every_resident_session() {
+        let dir = snapshot_dir("persist");
+        let registry = registry_with(&["a", "b"], 2).with_snapshot_dir(&dir);
+        registry.corpus("a").unwrap();
+        registry.corpus("b").unwrap();
+        assert_eq!(registry.persist_resident(), 2);
+        assert!(dir.join("a.snap").is_file());
+        assert!(dir.join("b.snap").is_file());
+        // Without a snapshot dir the hook is a no-op.
+        let plain = registry_with(&["a"], 1);
+        plain.corpus("a").unwrap();
+        assert_eq!(plain.persist_resident(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

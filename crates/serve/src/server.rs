@@ -339,7 +339,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         };
         match read_request(&mut deadline_reader) {
             Ok(request) => {
-                let response = route(shared, &request);
+                let response = route_with_panic_barrier(shared, &request);
                 // Evaluated *after* routing so a request that initiates
                 // shutdown (POST /shutdown) is itself answered with
                 // `Connection: close` instead of a keep-alive promise the
@@ -361,6 +361,24 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             }
         }
     }
+}
+
+/// Routes a request behind a panic barrier: whatever a handler does with
+/// request-derived data, a panic becomes a 500 JSON response instead of
+/// killing the worker thread (a pool that loses a worker per bad request
+/// would eventually stop serving entirely). The shared state is safe to
+/// keep using afterwards — registry and engine locks recover from
+/// poisoning, and every cache slot is an idempotent once-cell.
+fn route_with_panic_barrier(shared: &Shared, request: &Request) -> Response {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, request)))
+        .unwrap_or_else(|panic| {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("unknown panic");
+            Response::error(500, &format!("internal error: {detail}"))
+        })
 }
 
 /// Parses a JSON request body, mapping failures to a 400 response.
@@ -442,7 +460,7 @@ fn aligned_response(
     type_id: Option<&str>,
     matcher_label: &str,
     cache_key: String,
-    align_one: impl Fn(&MatchEngine, &str) -> Vec<(String, String)>,
+    align_one: impl Fn(&MatchEngine, &str) -> Option<Vec<(String, String)>>,
     align_all: impl Fn(&MatchEngine) -> Vec<TypePairs>,
 ) -> Response {
     let corpus = match resolve_corpus(shared, corpus_name) {
@@ -460,9 +478,14 @@ fn aligned_response(
     let body = corpus.response(&cache_key, || {
         let engine = corpus.engine();
         let alignments = match type_id {
+            // The type was validated above against the immutable dataset, so
+            // `align_one` returning `None` would be an internal bug — mapped
+            // to a 500, never a worker-killing unwrap.
             Some(type_id) => vec![TypePairs {
                 type_id: type_id.to_string(),
-                pairs: align_one(engine, type_id),
+                pairs: align_one(engine, type_id).ok_or_else(|| {
+                    format!("type {type_id:?} vanished from corpus {corpus_name:?} mid-request")
+                })?,
             }],
             None => align_all(engine),
         };
@@ -471,9 +494,12 @@ fn aligned_response(
             matcher: matcher_label.to_string(),
             alignments,
         })
-        .expect("align response serializes")
+        .map_err(|err| format!("response serialization failed: {err}"))
     });
-    Response::json(200, body.as_str())
+    match body {
+        Ok(body) => Response::json(200, body.as_str()),
+        Err(detail) => Response::error(500, &detail),
+    }
 }
 
 /// `POST /align`: the engine's WikiMatch configuration over one type or all
@@ -494,8 +520,7 @@ fn handle_align(shared: &Shared, request: &Request) -> Response {
         |engine, type_id| {
             engine
                 .align(type_id)
-                .expect("type id validated against the dataset")
-                .cross_pairs()
+                .map(|alignment| alignment.cross_pairs())
         },
         |engine| {
             engine
@@ -533,11 +558,7 @@ fn handle_matchers(shared: &Shared, request: &Request) -> Response {
         type_id,
         &label,
         format!("matcher|{label}|{}", type_id.unwrap_or("*")),
-        |engine, type_id| {
-            engine
-                .align_with(matcher, type_id)
-                .expect("type id validated against the dataset")
-        },
+        |engine, type_id| engine.align_with(matcher, type_id),
         |engine| {
             engine
                 .align_all_with(matcher)

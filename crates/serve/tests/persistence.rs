@@ -1,0 +1,130 @@
+//! The restart-without-rebuild flow over real sockets: a `matchd`-shaped
+//! server with a snapshot directory warms a corpus (writing through to
+//! disk), shuts down, and a *new* server over the same directory serves the
+//! byte-identical alignment without building a single artifact.
+
+use std::sync::Arc;
+
+use wiki_corpus::{Language, SyntheticConfig};
+use wiki_serve::client::MatchClient;
+use wiki_serve::protocol::{AlignRequest, CorpusRequest, StatsResponse, WarmResponse};
+use wiki_serve::registry::{CorpusSpec, Registry};
+use wiki_serve::server::{MatchServer, ServerConfig};
+use wikimatch::ComputeMode;
+
+fn tiny_spec(name: &str) -> CorpusSpec {
+    CorpusSpec {
+        name: name.to_string(),
+        language: Language::Pt,
+        config: SyntheticConfig::tiny(),
+    }
+}
+
+fn boot_with_dir(dir: &std::path::Path) -> (MatchServer, MatchClient) {
+    let registry = Arc::new(Registry::new(2, ComputeMode::default()).with_snapshot_dir(dir));
+    registry.register_all(vec![tiny_spec("pt-tiny")]);
+    let server = MatchServer::start(
+        registry,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+        },
+    )
+    .expect("server binds an ephemeral port");
+    let client = MatchClient::new(server.addr()).expect("client resolves the server address");
+    (server, client)
+}
+
+#[test]
+fn matchd_restart_serves_from_disk_without_rebuilding() {
+    let dir = std::env::temp_dir().join(format!("wm-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- First process: warm the corpus; `warm` writes through to disk.
+    let (server, mut client) = boot_with_dir(&dir);
+    let warmed: WarmResponse = client
+        .post(
+            "/warm",
+            &CorpusRequest {
+                corpus: "pt-tiny".to_string(),
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    assert!(warmed.cached_types > 0);
+    let align_request = AlignRequest {
+        corpus: "pt-tiny".to_string(),
+        type_id: Some("film".to_string()),
+    };
+    let first_body = client.post("/align", &align_request).unwrap().body;
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    assert_eq!(
+        stats.registry.snapshot_dir.as_deref(),
+        dir.to_str(),
+        "stats advertise the disk tier"
+    );
+    assert_eq!(stats.registry.corpora[0].snapshot_saves, 1);
+    server.shutdown();
+    assert!(dir.join("pt-tiny.snap").is_file(), "warm wrote a snapshot");
+
+    // ---- Second process: a brand-new registry over the same directory.
+    let (server, mut client) = boot_with_dir(&dir);
+    let second_body = client.post("/align", &align_request).unwrap().body;
+    assert_eq!(
+        second_body, first_body,
+        "restored alignment diverges from the one served before the restart"
+    );
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    let corpus = &stats.registry.corpora[0];
+    assert_eq!(
+        corpus.snapshot_loads, 1,
+        "cold request did not hit the disk tier"
+    );
+    assert_eq!(corpus.builds, 1);
+    let engine = corpus.engine.as_ref().expect("session resident");
+    assert_eq!(
+        engine.artifact_builds, 0,
+        "warm start recomputed artifacts instead of loading them"
+    );
+    assert_eq!(engine.cached_types, warmed.cached_types);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eviction_spills_over_the_wire_and_reload_skips_builds() {
+    let dir = std::env::temp_dir().join(format!("wm-serve-evict-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (server, mut client) = boot_with_dir(&dir);
+
+    // Build one type's artifacts, then evict (spilling them).
+    let align_request = AlignRequest {
+        corpus: "pt-tiny".to_string(),
+        type_id: Some("film".to_string()),
+    };
+    let before = client.post("/align", &align_request).unwrap().body;
+    client
+        .post(
+            "/evict",
+            &CorpusRequest {
+                corpus: "pt-tiny".to_string(),
+            },
+        )
+        .unwrap();
+    // The next request restores the spilled session from disk.
+    let after = client.post("/align", &align_request).unwrap().body;
+    assert_eq!(after, before);
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    let corpus = &stats.registry.corpora[0];
+    assert_eq!(corpus.snapshot_saves, 1);
+    assert_eq!(corpus.snapshot_loads, 1);
+    assert_eq!(
+        corpus.engine.as_ref().expect("resident").artifact_builds,
+        0,
+        "the restored session rebuilt what the eviction had spilled"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -66,6 +66,22 @@ impl TermVector {
         Self { entries }
     }
 
+    /// Rebuilds a vector from entries that are **already strictly sorted**
+    /// by term (no duplicates), e.g. the output of [`iter`](Self::iter)
+    /// captured by a persistence layer. Returns `None` when the entries are
+    /// out of order or contain a duplicate term — the invariant every
+    /// pairwise operation depends on.
+    ///
+    /// Weights are taken verbatim (no zero-filtering), so a round trip
+    /// through `iter` → `from_sorted_entries` reproduces the vector exactly,
+    /// bit for bit.
+    pub fn from_sorted_entries(entries: Vec<(String, f64)>) -> Option<Self> {
+        if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return None;
+        }
+        Some(Self { entries })
+    }
+
     /// Adds `weight` occurrences of `term`.
     pub fn add<S: Into<String>>(&mut self, term: S, weight: f64) {
         if weight == 0.0 {
@@ -239,11 +255,9 @@ impl TermVector {
     /// Returns the `k` most frequent terms (ties broken by term order).
     pub fn top_terms(&self, k: usize) -> Vec<(&str, f64)> {
         let mut entries: Vec<(&str, f64)> = self.iter().collect();
-        entries.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(b.0))
-        });
+        // `total_cmp` (not `partial_cmp`) so the ranking is a total order
+        // even for pathological weights, with the term as a stable tie-break.
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         entries.truncate(k);
         entries
     }
@@ -424,6 +438,26 @@ mod tests {
         assert!((large.overlap_coefficient(&small) - 1.0).abs() < 1e-12);
         assert!(small.overlap_coefficient(&large) > small.jaccard(&large));
         assert_eq!(small.overlap_coefficient(&TermVector::new()), 0.0);
+    }
+
+    #[test]
+    fn from_sorted_entries_round_trips_and_validates() {
+        let v = TermVector::from_terms(["b", "a", "a", "c"]);
+        let entries: Vec<(String, f64)> = v.iter().map(|(t, w)| (t.to_string(), w)).collect();
+        let rebuilt = TermVector::from_sorted_entries(entries).expect("iter output is sorted");
+        assert_eq!(rebuilt, v);
+        // Out-of-order and duplicate entries are rejected.
+        assert!(TermVector::from_sorted_entries(vec![
+            ("b".to_string(), 1.0),
+            ("a".to_string(), 1.0)
+        ])
+        .is_none());
+        assert!(TermVector::from_sorted_entries(vec![
+            ("a".to_string(), 1.0),
+            ("a".to_string(), 2.0)
+        ])
+        .is_none());
+        assert!(TermVector::from_sorted_entries(Vec::new()).is_some());
     }
 
     #[test]

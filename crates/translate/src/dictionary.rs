@@ -39,6 +39,29 @@ impl TitleDictionary {
         }
     }
 
+    /// Rebuilds a dictionary from `(normalised source title, target title)`
+    /// entries — the shape produced by [`entries`](Self::entries). Used by
+    /// persistence layers restoring a dictionary without re-scanning the
+    /// corpus.
+    pub fn from_entries(
+        source: Language,
+        target: Language,
+        entries: impl IntoIterator<Item = (String, String)>,
+    ) -> Self {
+        Self {
+            source,
+            target,
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// Iterates over the `(normalised source title, target title)` entries
+    /// in unspecified order. Persistence layers should sort the entries
+    /// before writing them to obtain a canonical byte stream.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
     /// The source language of the dictionary.
     pub fn source(&self) -> &Language {
         &self.source
@@ -133,6 +156,25 @@ mod tests {
         let dict = TitleDictionary::from_corpus(&corpus, &Language::Pt, &Language::En);
         assert_eq!(dict.translate_or_keep("Irlanda"), "ireland");
         assert_eq!(dict.translate_or_keep("Cinema Novo"), "cinema novo");
+    }
+
+    #[test]
+    fn entries_round_trip_through_from_entries() {
+        let corpus = corpus_with_links();
+        let dict = TitleDictionary::from_corpus(&corpus, &Language::Pt, &Language::En);
+        let mut entries: Vec<(String, String)> = dict
+            .entries()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        entries.sort();
+        let rebuilt =
+            TitleDictionary::from_entries(dict.source().clone(), dict.target().clone(), entries);
+        assert_eq!(rebuilt.len(), dict.len());
+        assert_eq!(
+            rebuilt.translate("Estados Unidos"),
+            dict.translate("Estados Unidos")
+        );
+        assert_eq!(rebuilt.translate_or_keep("Cinema Novo"), "cinema novo");
     }
 
     #[test]
