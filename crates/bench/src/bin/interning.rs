@@ -1,0 +1,313 @@
+//! Interning experiment — string-keyed versus interned similarity pipeline
+//! across the synthetic scale tiers, the record behind `BENCH_5.json`.
+//!
+//! For each tier the Pt-En film schema is built once, then three things are
+//! measured:
+//!
+//! * **full table build** — `SimilarityTable` construction in both compute
+//!   modes on the interned representation (the end-to-end number whose
+//!   PR 2 string-keyed baseline at the `medium` tier was 53.8 ms
+//!   single-core);
+//! * **cosine kernel** — `vsim` + `lsim` over every candidate pair, once on
+//!   the schema's shared-arena vectors (u32 id compares) and once on
+//!   detached per-vector arenas (the resolved-string compare walk — exactly
+//!   the work the string-keyed representation did). Both produce
+//!   bit-identical sums; the gap is pure comparison cost;
+//! * **snapshot footprint** — encoded bytes and encode/decode time of the
+//!   film type, plus the byte count the retired version-1 format would have
+//!   spent re-spelling every term per vector occurrence.
+//!
+//! ```text
+//! cargo run --release -p wiki-bench --bin interning \
+//!     [-- --tiers tiny,small,medium[,large] --runs N --smoke --out BENCH_5.json]
+//! ```
+//!
+//! `--smoke` (tiny only, one run) is the CI guard that keeps this binary
+//! from rotting; `--out` additionally writes the JSON to an explicit path
+//! (the checked-in `BENCH_5.json` is produced with `--out BENCH_5.json`
+//! under `taskset -c 0` for a stable single-core number).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wiki_bench::kernels::{cosine_sweep, SweepInput};
+use wiki_bench::report::f2;
+use wiki_bench::{format_table, write_report};
+use wiki_corpus::synthetic::SyntheticGenerator;
+use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_linalg::LsiConfig;
+use wiki_translate::TitleDictionary;
+use wikimatch::schema::CandidateIndex;
+use wikimatch::snapshot::EngineSnapshot;
+use wikimatch::{ComputeMode, DualSchema, MatchEngine, SimilarityTable};
+
+/// One tier's measurements, serialized into `reports/interning.json` (and,
+/// via `--out`, the repo-root `BENCH_5.json`).
+#[derive(serde::Serialize)]
+struct TierResult {
+    tier: String,
+    attribute_groups: usize,
+    candidate_pairs: usize,
+    pruned_build_ms: f64,
+    dense_build_ms: f64,
+    interned_cosines_ms: f64,
+    string_cosines_ms: f64,
+    cosine_speedup: f64,
+    snapshot_bytes: u64,
+    snapshot_v1_vector_bytes: u64,
+    snapshot_v2_vector_bytes: u64,
+    snapshot_encode_ms: f64,
+    snapshot_decode_ms: f64,
+}
+
+/// The whole run, as checked in at the repo root.
+#[derive(serde::Serialize)]
+struct Report {
+    bench: String,
+    pr: u32,
+    note: String,
+    baseline_pr2_medium_pruned_ms: f64,
+    medium_pruned_ms: Option<f64>,
+    medium_speedup_vs_pr2: Option<f64>,
+    runs: usize,
+    tiers: Vec<TierResult>,
+}
+
+fn tier_config(tier: &str) -> Option<SyntheticConfig> {
+    match tier {
+        "tiny" => Some(SyntheticConfig::tiny()),
+        "small" => Some(SyntheticConfig::small()),
+        "medium" => Some(SyntheticConfig::medium()),
+        "large" => Some(SyntheticConfig::large()),
+        _ => None,
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Best-of-N wall time of `f` in milliseconds (best-of, not mean: the
+/// quantity of interest is the cost of the work, not of the noise).
+fn time_best<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        last = Some(f());
+        best = best.min(ms(t.elapsed()));
+    }
+    (best, last.expect("runs >= 1"))
+}
+
+fn measure_tier(tier: &str, config: &SyntheticConfig, runs: usize) -> TierResult {
+    let generator = SyntheticGenerator::new(*config);
+    let (corpus, _) = generator.generate_pair(Language::Pt);
+    let dictionary = TitleDictionary::from_corpus(&corpus, &Language::Pt, &Language::En);
+    let schema = DualSchema::build(&corpus, &Language::Pt, "Filme", "Film", &dictionary);
+    let n = schema.len();
+
+    let (pruned_build_ms, _table) = time_best(runs, || {
+        SimilarityTable::compute_with(&schema, LsiConfig::default(), ComputeMode::Pruned)
+    });
+    let (dense_build_ms, _) = time_best(runs, || {
+        SimilarityTable::compute_with(&schema, LsiConfig::default(), ComputeMode::Dense)
+    });
+
+    // Cosine kernel: shared arena (interned) vs detached arenas (string
+    // compares), over identical candidate sets — the shared sweep from
+    // `wiki_bench::kernels`, the same code the criterion bench times.
+    let index = CandidateIndex::build(&schema);
+    let interned = SweepInput::interned(&schema);
+    let detached = SweepInput::detached(&schema);
+
+    let (interned_cosines_ms, interned_acc) = time_best(runs, || cosine_sweep(&index, &interned));
+    let (string_cosines_ms, string_acc) = time_best(runs, || cosine_sweep(&index, &detached));
+    assert_eq!(
+        interned_acc.to_bits(),
+        string_acc.to_bits(),
+        "interned and string cosine walks must agree bit for bit"
+    );
+
+    // Snapshot footprint of the film type alone.
+    let dataset = Dataset::pt_en(config);
+    let engine = MatchEngine::builder(Arc::new(dataset)).build();
+    engine.prepared("film").expect("film type exists");
+    let snapshot = EngineSnapshot::capture(&engine);
+    let (snapshot_encode_ms, bytes) = time_best(runs, || snapshot.to_bytes());
+    let (snapshot_decode_ms, decoded) =
+        time_best(runs, || EngineSnapshot::from_bytes(&bytes).unwrap());
+    assert_eq!(decoded.type_count(), 1);
+
+    // What the two formats spend on the vector sections: v1 re-spelled
+    // every term per entry (4-byte length + term bytes + 8-byte weight),
+    // v2 spells each term once in the arena table and stores entries as
+    // varint delta + weight bits.
+    let engine_schema = engine.schema("film").expect("film type exists");
+    let mut v1_vector_bytes = 0u64;
+    let mut v2_vector_bytes = engine_schema
+        .arena()
+        .terms()
+        .map(|t| 4 + t.len() as u64)
+        .sum::<u64>();
+    for attr in &engine_schema.attributes {
+        for vector in [
+            &attr.values,
+            &attr.translated_values,
+            &attr.raw_values,
+            &attr.translated_raw_values,
+            &attr.links,
+        ] {
+            v1_vector_bytes += 8; // entry count
+            v2_vector_bytes += 8;
+            for (term, _) in vector.iter() {
+                v1_vector_bytes += 4 + term.len() as u64 + 8;
+            }
+            let mut prev = 0u32;
+            for &(id, _) in vector.id_entries() {
+                let delta = id - prev;
+                let varint_len = u64::from((32 - (delta | 1).leading_zeros()).div_ceil(7));
+                v2_vector_bytes += varint_len + 8;
+                prev = id;
+            }
+        }
+    }
+
+    TierResult {
+        tier: tier.to_string(),
+        attribute_groups: n,
+        candidate_pairs: index.value_candidates() + index.link_candidates(),
+        pruned_build_ms,
+        dense_build_ms,
+        interned_cosines_ms,
+        string_cosines_ms,
+        cosine_speedup: string_cosines_ms / interned_cosines_ms,
+        snapshot_bytes: bytes.len() as u64,
+        snapshot_v1_vector_bytes: v1_vector_bytes,
+        snapshot_v2_vector_bytes: v2_vector_bytes,
+        snapshot_encode_ms,
+        snapshot_decode_ms,
+    }
+}
+
+/// The next argument as a flag's value; a trailing flag without one is a
+/// usage error, not an index-out-of-bounds panic.
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i).cloned().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value; see the module docs");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tiers = vec![
+        "tiny".to_string(),
+        "small".to_string(),
+        "medium".to_string(),
+    ];
+    let mut runs = 5usize;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tiers" => {
+                tiers = flag_value(&args, &mut i, "--tiers")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--runs" => {
+                runs = flag_value(&args, &mut i, "--runs")
+                    .parse()
+                    .expect("--runs takes an integer");
+            }
+            "--smoke" => {
+                tiers = vec!["tiny".to_string()];
+                runs = 1;
+            }
+            "--out" => {
+                out = Some(flag_value(&args, &mut i, "--out"));
+            }
+            other => {
+                eprintln!("unknown flag {other}; see the module docs");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut results = Vec::new();
+    for tier in &tiers {
+        let config = tier_config(tier).unwrap_or_else(|| {
+            eprintln!("unknown tier {tier:?} (tiny|small|medium|large)");
+            std::process::exit(2);
+        });
+        eprintln!("measuring tier {tier} ({runs} runs)...");
+        results.push(measure_tier(tier, &config, runs));
+    }
+
+    let header: Vec<String> = [
+        "tier",
+        "attrs",
+        "pruned ms",
+        "dense ms",
+        "interned cos",
+        "string cos",
+        "cos ×",
+        "snap KiB",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.tier.clone(),
+                r.attribute_groups.to_string(),
+                f2(r.pruned_build_ms),
+                f2(r.dense_build_ms),
+                f2(r.interned_cosines_ms),
+                f2(r.string_cosines_ms),
+                f2(r.cosine_speedup),
+                (r.snapshot_bytes / 1024).to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+
+    const PR2_MEDIUM_MS: f64 = 53.8;
+    let medium = results.iter().find(|r| r.tier == "medium");
+    if let Some(medium) = medium {
+        println!(
+            "medium pruned build: {} ms vs PR 2 baseline {PR2_MEDIUM_MS} ms  →  {}× speedup",
+            f2(medium.pruned_build_ms),
+            f2(PR2_MEDIUM_MS / medium.pruned_build_ms),
+        );
+    }
+
+    let report = Report {
+        bench: "interning".to_string(),
+        pr: 5,
+        note: "single-core (taskset -c 0) pruned/dense = full SimilarityTable build; \
+               cosine rows compare the u32-id merge walk against the resolved-string \
+               walk over identical candidate pairs (bit-identical sums asserted in-run); \
+               snapshot v1 bytes are the vector-section cost the string-keyed format \
+               would have paid"
+            .to_string(),
+        baseline_pr2_medium_pruned_ms: PR2_MEDIUM_MS,
+        medium_pruned_ms: medium.map(|m| m.pruned_build_ms),
+        medium_speedup_vs_pr2: medium.map(|m| PR2_MEDIUM_MS / m.pruned_build_ms),
+        runs,
+        tiers: results,
+    };
+    write_report("interning", &report);
+    if let Some(path) = out {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => std::fs::write(&path, json + "\n").expect("write --out file"),
+            Err(err) => eprintln!("warning: cannot serialise report: {err}"),
+        }
+    }
+}

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod kernels;
 pub mod report;
 
 pub use experiments::{ExperimentContext, StandardDatasets};

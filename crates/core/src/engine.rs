@@ -40,6 +40,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use wiki_corpus::{Dataset, TypePairing};
+use wiki_text::TermArena;
 use wiki_translate::TitleDictionary;
 
 use crate::alignment::AttributeAlignment;
@@ -109,6 +110,17 @@ pub struct PreparedType {
     /// (the pruning structure of [`ComputeMode::Pruned`]); persisted with
     /// the other artifacts by [`crate::snapshot`].
     pub index: Arc<CandidateIndex>,
+    /// The type's interned vocabulary (shared with
+    /// [`DualSchema::arena`](crate::DualSchema::arena) — exposed here so
+    /// consumers holding prepared artifacts reach the term table without
+    /// going through the schema).
+    pub arena: Arc<TermArena>,
+    /// Total `(id, weight)` entries across every attribute vector of the
+    /// schema (all five evidence channels) — the per-type share of the
+    /// [`EngineStats::vector_entries`] gauge, computed once at preparation
+    /// time (see [`DualSchema::vector_entry_count`](crate::DualSchema::vector_entry_count))
+    /// so stats polling never re-walks the attributes.
+    pub vector_entries: u64,
 }
 
 /// Point-in-time activity snapshot of one [`MatchEngine`] session, taken
@@ -129,6 +141,18 @@ pub struct EngineStats {
     pub alignments: u64,
     /// Number of per-type artifact sets currently cached.
     pub cached_types: usize,
+    /// Distinct interned terms across the cached types' arenas — together
+    /// with [`interned_bytes`](Self::interned_bytes) and
+    /// [`vector_entries`](Self::vector_entries) this sizes the session's
+    /// dominant memory consumers, so capacity planning for a serving
+    /// registry's LRU is measurement instead of guesswork.
+    pub interned_terms: u64,
+    /// Total bytes of interned term text across the cached types' arenas.
+    pub interned_bytes: u64,
+    /// Total `(id, weight)` vector entries across all cached attribute
+    /// vectors (each entry is 16 bytes: a `u32` id padded next to an `f64`
+    /// weight).
+    pub vector_entries: u64,
 }
 
 /// Lock-free counters backing [`EngineStats`].
@@ -420,10 +444,14 @@ impl MatchEngine {
                     self.compute_mode,
                     &index,
                 );
+                let arena = Arc::clone(schema.arena());
+                let vector_entries = schema.vector_entry_count();
                 PreparedType {
                     schema: Arc::new(schema),
                     table: Arc::new(table),
                     index: Arc::new(index),
+                    arena,
+                    vector_entries,
                 }
             })
             .clone(),
@@ -494,14 +522,31 @@ impl MatchEngine {
         Some(matcher.align(&prepared.schema, &prepared.table))
     }
 
-    /// A point-in-time snapshot of the session's activity counters — the
-    /// cheap stats hook serving layers poll for health/metrics endpoints.
+    /// A point-in-time snapshot of the session's activity counters and
+    /// memory-footprint gauges — the cheap stats hook serving layers poll
+    /// for health/metrics endpoints.
     pub fn stats(&self) -> EngineStats {
+        let mut cached_types = 0usize;
+        let mut interned_terms = 0u64;
+        let mut interned_bytes = 0u64;
+        let mut vector_entries = 0u64;
+        {
+            let cache = recover(self.prepared.read());
+            for prepared in cache.values().filter_map(|slot| slot.get()) {
+                cached_types += 1;
+                interned_terms += prepared.arena.len() as u64;
+                interned_bytes += prepared.arena.term_bytes() as u64;
+                vector_entries += prepared.vector_entries;
+            }
+        }
         EngineStats {
             prepared_requests: self.counters.prepared_requests.load(Ordering::Relaxed),
             artifact_builds: self.counters.artifact_builds.load(Ordering::Relaxed),
             alignments: self.counters.alignments.load(Ordering::Relaxed),
-            cached_types: self.cached_types(),
+            cached_types,
+            interned_terms,
+            interned_bytes,
+            vector_entries,
         }
     }
 
@@ -625,6 +670,36 @@ mod tests {
         assert_eq!(stats.prepared_requests, 4);
         assert_eq!(stats.artifact_builds, 1);
         assert_eq!(stats.alignments, 2);
+    }
+
+    #[test]
+    fn stats_expose_memory_footprint_gauges() {
+        let engine = engine();
+        let cold = engine.stats();
+        assert_eq!(cold.interned_terms, 0);
+        assert_eq!(cold.interned_bytes, 0);
+        assert_eq!(cold.vector_entries, 0);
+        let film = engine.prepared("film").unwrap();
+        let warm = engine.stats();
+        // The gauges aggregate over cached types and agree with the
+        // prepared artifacts they summarise.
+        assert_eq!(warm.interned_terms, film.arena.len() as u64);
+        assert_eq!(warm.interned_bytes, film.arena.term_bytes() as u64);
+        assert_eq!(warm.vector_entries, film.vector_entries);
+        assert!(warm.interned_terms > 0 && warm.vector_entries > 0);
+        // The arena threaded through PreparedType is the schema's.
+        assert!(Arc::ptr_eq(&film.arena, film.schema.arena()));
+        // A second cached type adds to the gauges.
+        let actor = engine.prepared("actor").unwrap();
+        let both = engine.stats();
+        assert_eq!(
+            both.interned_terms,
+            (film.arena.len() + actor.arena.len()) as u64
+        );
+        assert_eq!(
+            both.vector_entries,
+            film.vector_entries + actor.vector_entries
+        );
     }
 
     #[test]

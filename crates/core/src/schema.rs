@@ -16,10 +16,11 @@
 //!   attribute (used by LSI and the grouping scores).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use wiki_corpus::{Corpus, Language};
 use wiki_text::tokenize::split_value_atoms;
-use wiki_text::{tokenize_value, TermVector};
+use wiki_text::{tokenize_value, TermArena, TermArenaBuilder, TermVector};
 use wiki_translate::TitleDictionary;
 
 /// Pooled evidence for one attribute label of one language.
@@ -53,20 +54,6 @@ pub struct AttributeStats {
 }
 
 impl AttributeStats {
-    fn new(language: Language, name: String, dual_count: usize) -> Self {
-        Self {
-            language,
-            name,
-            occurrences: 0,
-            values: TermVector::new(),
-            translated_values: TermVector::new(),
-            raw_values: TermVector::new(),
-            translated_raw_values: TermVector::new(),
-            links: TermVector::new(),
-            occurrence_pattern: vec![false; dual_count],
-        }
-    }
-
     /// Number of dual infoboxes in which this attribute co-occurs with
     /// `other` (both marked present).
     pub fn co_occurrences(&self, other: &AttributeStats) -> usize {
@@ -91,7 +78,52 @@ pub struct DualSchema {
     pub attributes: Vec<AttributeStats>,
     /// Number of dual-language infoboxes the schema was built from.
     pub dual_count: usize,
+    /// The interned vocabulary shared by every attribute vector of this
+    /// schema (value tokens, dictionary translations, raw atoms and
+    /// link-cluster tokens alike).
+    arena: Arc<TermArena>,
     index: HashMap<(Language, String), usize>,
+}
+
+/// Per-attribute term-occurrence streams recorded while walking the corpus,
+/// before the type's vocabulary is frozen: each channel is a list of
+/// *provisional* arena-builder ids, one per token occurrence.
+struct AttributeCollector {
+    language: Language,
+    name: String,
+    occurrences: usize,
+    values: Vec<u32>,
+    raw_values: Vec<u32>,
+    links: Vec<u32>,
+    occurrence_pattern: Vec<bool>,
+}
+
+impl AttributeCollector {
+    fn new(language: Language, name: String, dual_count: usize) -> Self {
+        Self {
+            language,
+            name,
+            occurrences: 0,
+            values: Vec::new(),
+            raw_values: Vec::new(),
+            links: Vec::new(),
+            occurrence_pattern: vec![false; dual_count],
+        }
+    }
+}
+
+/// Turns one channel's occurrence stream into an interned vector: map the
+/// provisional ids through `remap` and hand the id stream to
+/// [`TermVector::from_id_occurrences`], which sorts once and collapses runs
+/// with the exact float operations (in the exact term order) of the
+/// string-keyed incremental `add` this replaces.
+fn vector_from_occurrences(
+    arena: &Arc<TermArena>,
+    occurrences: &[u32],
+    remap: impl Fn(u32) -> u32,
+) -> TermVector {
+    let ids: Vec<u32> = occurrences.iter().map(|&prov| remap(prov)).collect();
+    TermVector::from_id_occurrences(Arc::clone(arena), ids)
 }
 
 impl DualSchema {
@@ -123,13 +155,16 @@ impl DualSchema {
             .collect();
         let dual_count = pairs.len();
 
-        let mut attributes: Vec<AttributeStats> = Vec::new();
+        // Pass 1 — walk the corpus once, interning every token into a
+        // provisional vocabulary and recording per-attribute occurrence
+        // streams. No translation happens here: the dictionary is consulted
+        // once per *distinct* term below, not once per occurrence.
+        let mut terms = TermArenaBuilder::new();
+        let mut collectors: Vec<AttributeCollector> = Vec::new();
         let mut index: HashMap<(Language, String), usize> = HashMap::new();
 
         for (j, (en_article, other_article)) in pairs.iter().enumerate() {
             for (language, article) in [(&english, en_article), (other, other_article)] {
-                // Attributes present in this infobox (deduplicated labels).
-                let mut seen_in_infobox: Vec<usize> = Vec::new();
                 for attr in &article.infobox.attributes {
                     let name = attr.normalized_name();
                     if name.is_empty() {
@@ -137,38 +172,25 @@ impl DualSchema {
                     }
                     let key = (language.clone(), name.clone());
                     let idx = *index.entry(key).or_insert_with(|| {
-                        attributes.push(AttributeStats::new(
+                        collectors.push(AttributeCollector::new(
                             language.clone(),
                             name.clone(),
                             dual_count,
                         ));
-                        attributes.len() - 1
+                        collectors.len() - 1
                     });
-                    let stats = &mut attributes[idx];
+                    let stats = &mut collectors[idx];
                     if !stats.occurrence_pattern[j] {
                         stats.occurrence_pattern[j] = true;
                         stats.occurrences += 1;
-                        seen_in_infobox.push(idx);
                     }
                     // Canonical value tokens (dates/numbers normalised).
                     for token in tokenize_value(&attr.value) {
-                        stats.values.add(token.clone(), 1.0);
-                        let translated = if language == other {
-                            dictionary.translate(&token).unwrap_or(token)
-                        } else {
-                            token
-                        };
-                        stats.translated_values.add(translated, 1.0);
+                        stats.values.push(terms.intern_owned(token));
                     }
                     // Raw value atoms (surface strings as written).
                     for atom in split_value_atoms(&attr.value) {
-                        stats.raw_values.add(atom.clone(), 1.0);
-                        let translated = if language == other {
-                            dictionary.translate(&atom).unwrap_or(atom)
-                        } else {
-                            atom
-                        };
-                        stats.translated_raw_values.add(translated, 1.0);
+                        stats.raw_values.push(terms.intern_owned(atom));
                     }
                     // Link tokens: the cross-language cluster of the landing
                     // article, so the same real-world entity yields the same
@@ -176,7 +198,9 @@ impl DualSchema {
                     for link in &attr.links {
                         if let Some(target) = corpus.get_by_title(language, &link.target) {
                             if let Some(cluster) = clusters.cluster_of(target.id) {
-                                stats.links.add(format!("e{}", cluster.0), 1.0);
+                                stats
+                                    .links
+                                    .push(terms.intern_owned(format!("e{}", cluster.0)));
                             }
                         }
                     }
@@ -184,27 +208,151 @@ impl DualSchema {
             }
         }
 
+        // Pass 2 — freeze the raw vocabulary, translate each distinct
+        // foreign-language value term exactly once, and fold the translation
+        // outputs into the final (shared, lexicographically id-ordered)
+        // arena of the type.
+        let (raw_arena, prov_to_raw) = terms.freeze();
+        let mut needs_translation = vec![false; raw_arena.len()];
+        for collector in collectors.iter().filter(|c| &c.language == other) {
+            for &prov in collector.values.iter().chain(&collector.raw_values) {
+                needs_translation[prov_to_raw[prov as usize] as usize] = true;
+            }
+        }
+        let translations = dictionary.translate_arena(&raw_arena, &needs_translation);
+
+        let mut final_terms = TermArenaBuilder::new();
+        let raw_to_final: Vec<u32> = raw_arena.terms().map(|t| final_terms.intern(t)).collect();
+        let raw_to_translated: Vec<u32> = translations
+            .iter()
+            .zip(raw_arena.terms())
+            .map(|(translated, raw)| final_terms.intern(translated.as_deref().unwrap_or(raw)))
+            .collect();
+        let (arena, freeze_remap) = final_terms.freeze();
+        let final_of =
+            |prov: u32| freeze_remap[raw_to_final[prov_to_raw[prov as usize] as usize] as usize];
+        let translated_of = |prov: u32| {
+            freeze_remap[raw_to_translated[prov_to_raw[prov as usize] as usize] as usize]
+        };
+
+        let attributes = collectors
+            .into_iter()
+            .map(|collector| {
+                let values = vector_from_occurrences(&arena, &collector.values, final_of);
+                let raw_values = vector_from_occurrences(&arena, &collector.raw_values, final_of);
+                let (translated_values, translated_raw_values) = if collector.language == *other {
+                    (
+                        vector_from_occurrences(&arena, &collector.values, translated_of),
+                        vector_from_occurrences(&arena, &collector.raw_values, translated_of),
+                    )
+                } else {
+                    // English attributes translate to themselves.
+                    (values.clone(), raw_values.clone())
+                };
+                let links = vector_from_occurrences(&arena, &collector.links, final_of);
+                AttributeStats {
+                    language: collector.language,
+                    name: collector.name,
+                    occurrences: collector.occurrences,
+                    values,
+                    translated_values,
+                    raw_values,
+                    translated_raw_values,
+                    links,
+                    occurrence_pattern: collector.occurrence_pattern,
+                }
+            })
+            .collect();
+
         Self {
             languages: (other.clone(), english),
             label_other: label_other.to_string(),
             label_en: label_en.to_string(),
             attributes,
             dual_count,
+            arena,
             index,
         }
     }
 
     /// Reassembles a schema from its components, rebuilding the private
-    /// `(language, name) → index` lookup from the attribute list. Used by
+    /// `(language, name) → index` lookup from the attribute list and
+    /// re-interning every attribute vector onto one shared arena. Used by
     /// the snapshot layer ([`crate::snapshot`]) when restoring persisted
     /// artifacts; the result is indistinguishable from the schema the
     /// attributes were captured from.
+    // Outside `cfg(test)` the snapshot decoder takes the zero-copy
+    // `from_parts_in_arena` path below; this re-interning variant serves
+    // hand-assembled schemas (snapshot unit tests and future tooling).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn from_parts(
         languages: (Language, Language),
         label_other: String,
         label_en: String,
         attributes: Vec<AttributeStats>,
         dual_count: usize,
+    ) -> Self {
+        // Unify the vocabulary: callers may hand in vectors on arbitrary
+        // (per-vector) arenas; every vector is rebuilt against the union so
+        // the schema upholds the one-arena invariant the candidate index
+        // and the snapshot encoder rely on.
+        let mut terms = TermArenaBuilder::new();
+        for attr in &attributes {
+            for vector in [
+                &attr.values,
+                &attr.translated_values,
+                &attr.raw_values,
+                &attr.translated_raw_values,
+                &attr.links,
+            ] {
+                for (term, _) in vector.iter() {
+                    terms.intern(term);
+                }
+            }
+        }
+        let (arena, _) = terms.freeze();
+        let reintern = |vector: &TermVector| -> TermVector {
+            if Arc::ptr_eq(vector.arena(), &arena) {
+                return vector.clone();
+            }
+            let entries = vector
+                .iter()
+                .map(|(term, w)| (arena.intern(term).expect("union arena holds every term"), w))
+                .collect();
+            TermVector::from_ids(Arc::clone(&arena), entries)
+                .expect("term-sorted entries stay id-sorted on one arena")
+        };
+        let attributes: Vec<AttributeStats> = attributes
+            .into_iter()
+            .map(|attr| AttributeStats {
+                values: reintern(&attr.values),
+                translated_values: reintern(&attr.translated_values),
+                raw_values: reintern(&attr.raw_values),
+                translated_raw_values: reintern(&attr.translated_raw_values),
+                links: reintern(&attr.links),
+                ..attr
+            })
+            .collect();
+        Self::from_parts_in_arena(
+            languages,
+            label_other,
+            label_en,
+            attributes,
+            dual_count,
+            arena,
+        )
+    }
+
+    /// Reassembles a schema whose attribute vectors are **already** interned
+    /// on `arena` — the zero-copy path the snapshot decoder takes after
+    /// reading the type's string table.
+    pub(crate) fn from_parts_in_arena(
+        languages: (Language, Language),
+        label_other: String,
+        label_en: String,
+        attributes: Vec<AttributeStats>,
+        dual_count: usize,
+        arena: Arc<TermArena>,
     ) -> Self {
         let index = attributes
             .iter()
@@ -217,8 +365,31 @@ impl DualSchema {
             label_en,
             attributes,
             dual_count,
+            arena,
             index,
         }
+    }
+
+    /// The interned vocabulary shared by every attribute vector of this
+    /// schema.
+    pub fn arena(&self) -> &Arc<TermArena> {
+        &self.arena
+    }
+
+    /// Total `(id, weight)` entries across every attribute vector (all five
+    /// evidence channels) — the schema's share of the engine's
+    /// `vector_entries` memory gauge, computed once at preparation time.
+    pub fn vector_entry_count(&self) -> u64 {
+        self.attributes
+            .iter()
+            .map(|attr| {
+                (attr.values.len()
+                    + attr.translated_values.len()
+                    + attr.raw_values.len()
+                    + attr.translated_raw_values.len()
+                    + attr.links.len()) as u64
+            })
+            .sum()
     }
 
     /// Number of attribute groups (both languages).
@@ -352,12 +523,15 @@ impl PairSet {
 /// For every term of every attribute's value vectors (raw **and**
 /// dictionary-translated, so both the same-language and the cross-language
 /// variant of `vsim` are covered) the index records which attributes
-/// contain it; the same is done for link-cluster tokens. Two attributes are
-/// a *value candidate* (resp. *link candidate*) when they share at least
-/// one such term. Because all vector weights are positive term counts, a
-/// pair that is **not** a candidate provably has a cosine of exactly `0.0`
-/// — so the pruned [`crate::similarity::SimilarityTable`] build can skip
-/// the cosine and write `0.0` without changing any result bit.
+/// contain it; the same is done for link-cluster tokens. Postings are keyed
+/// by the schema arena's dense `u32` term ids — a flat `Vec` indexed by id
+/// instead of a string-hashed map, so building the index neither hashes nor
+/// compares a single string. Two attributes are a *value candidate* (resp.
+/// *link candidate*) when they share at least one such term. Because all
+/// vector weights are positive term counts, a pair that is **not** a
+/// candidate provably has a cosine of exactly `0.0` — so the pruned
+/// [`crate::similarity::SimilarityTable`] build can skip the cosine and
+/// write `0.0` without changing any result bit.
 #[derive(Debug, Clone)]
 pub struct CandidateIndex {
     value_pairs: PairSet,
@@ -368,18 +542,20 @@ impl CandidateIndex {
     /// Builds the index over all attributes of a schema.
     pub fn build(schema: &DualSchema) -> Self {
         let n = schema.len();
-        let mut value_postings: HashMap<&str, Vec<usize>> = HashMap::new();
-        let mut link_postings: HashMap<&str, Vec<usize>> = HashMap::new();
+        // Dense id-indexed postings over the schema's shared vocabulary.
+        let n_terms = schema.arena().len();
+        let mut value_postings: Vec<Vec<u32>> = vec![Vec::new(); n_terms];
+        let mut link_postings: Vec<Vec<u32>> = vec![Vec::new(); n_terms];
         for (i, attr) in schema.attributes.iter().enumerate() {
             // Union of raw and translated value terms: `vsim` compares raw
             // vectors for same-language pairs and translated vectors for
             // cross-language pairs, and a sound candidate test must cover
             // both.
-            attr.values.union_terms(&attr.translated_values, |term| {
-                value_postings.entry(term).or_default().push(i);
+            attr.values.union_ids(&attr.translated_values, |id| {
+                value_postings[id as usize].push(i as u32);
             });
-            for (term, _) in attr.links.iter() {
-                link_postings.entry(term).or_default().push(i);
+            for (id, _) in attr.links.id_entries() {
+                link_postings[*id as usize].push(i as u32);
             }
         }
         Self {
@@ -429,13 +605,16 @@ impl CandidateIndex {
     }
 }
 
-/// Expands term postings into the pair set of attributes sharing a term.
-fn postings_to_pairs(n: usize, postings: &HashMap<&str, Vec<usize>>) -> PairSet {
+/// Expands per-term postings into the pair set of attributes sharing a
+/// term. Postings are visited in term-id order, so the construction is
+/// fully deterministic (the string-keyed predecessor iterated a `HashMap`;
+/// the resulting set was identical, but the insertion order was not).
+fn postings_to_pairs(n: usize, postings: &[Vec<u32>]) -> PairSet {
     let mut pairs = PairSet::new(n);
-    for attrs in postings.values() {
+    for attrs in postings {
         for (i, &p) in attrs.iter().enumerate() {
             for &q in &attrs[i + 1..] {
-                pairs.insert(p, q);
+                pairs.insert(p as usize, q as usize);
             }
         }
     }
@@ -636,6 +815,55 @@ mod tests {
         assert!(index.value_candidate(time, duracao));
         assert!(!index.link_candidate(time, duracao));
         assert!(index.value_candidates() >= 2);
+    }
+
+    #[test]
+    fn pt_and_en_vocabularies_share_one_arena_without_collision() {
+        let corpus = tiny_corpus();
+        let schema = build_schema(&corpus);
+        let arena = schema.arena();
+        // Every vector of every attribute — both languages, all five
+        // channels — lives on the schema's single arena, and each id
+        // round-trips through its term.
+        for attr in &schema.attributes {
+            for vector in [
+                &attr.values,
+                &attr.translated_values,
+                &attr.raw_values,
+                &attr.translated_raw_values,
+                &attr.links,
+            ] {
+                assert!(Arc::ptr_eq(vector.arena(), arena));
+                for (id, _) in vector.id_entries() {
+                    assert_eq!(arena.intern(arena.resolve(*id)), Some(*id));
+                }
+            }
+        }
+        // Distinct terms of different languages get distinct ids...
+        let italia = arena.intern("italia").expect("pt value term interned");
+        let italy = arena.intern("italy").expect("en value term interned");
+        assert_ne!(italia, italy);
+        let pais = schema.attribute(schema.index_of(&Language::Pt, "país").unwrap());
+        let country = schema.attribute(schema.index_of(&Language::En, "country").unwrap());
+        assert!(pais.values.id_entries().iter().any(|(id, _)| *id == italia));
+        assert!(country
+            .values
+            .id_entries()
+            .iter()
+            .any(|(id, _)| *id == italy));
+        // ...while the dictionary-translated Pt vector meets the En vector
+        // on exactly the shared "italy" id — the aliasing `vsim` needs and
+        // the only aliasing there is.
+        assert!(pais
+            .translated_values
+            .id_entries()
+            .iter()
+            .any(|(id, _)| *id == italy));
+        assert!(pais
+            .translated_values
+            .id_entries()
+            .iter()
+            .all(|(id, _)| *id != italia));
     }
 
     #[test]

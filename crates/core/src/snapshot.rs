@@ -11,8 +11,10 @@
 //! ```text
 //! header   magic (8B) | format version (u32) | corpus fingerprint (u64)
 //!          | payload length (u64) | FNV-1a checksum of payload (u64)
-//! payload  title dictionary | per-type records (length-prefixed strings,
-//!          f64 stored as IEEE-754 bits, bit-packed occurrence patterns)
+//! payload  title dictionary | per-type records: arena string table (each
+//!          term once, in id order) then attributes whose vectors are
+//!          delta-compressed varint id streams + raw IEEE-754 weight bits,
+//!          plus bit-packed occurrence patterns
 //! ```
 //!
 //! Guarantees:
@@ -70,7 +72,17 @@ use crate::similarity::{CandidatePair, SimilarityTable};
 
 /// Version stamped into every snapshot header; readers reject anything
 /// else. Bump it whenever the payload layout changes.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — string-keyed term vectors: every vector spelled its terms out,
+///   so a term occurring in `k` vectors was written `k` times.
+/// * **2** — interned vocabulary: each type record opens with its arena's
+///   string table (every term written exactly once, in id order) and
+///   vectors are delta-encoded `u32` id streams plus raw weight bits.
+///   Version-1 files are rejected with [`SnapshotError::UnsupportedVersion`]
+///   — rebuild and re-persist, the artifacts are pure functions of the
+///   corpus.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Magic bytes opening every snapshot file.
 const MAGIC: [u8; 8] = *b"WMSNAP\r\n";
@@ -278,6 +290,20 @@ impl Enc {
         self.u32(s.len() as u32);
         self.0.extend_from_slice(s.as_bytes());
     }
+
+    /// LEB128 variable-length `u32` — term-id deltas are almost always tiny,
+    /// so most take one byte instead of four.
+    fn varu32(&mut self, mut v: u32) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.0.push(byte);
+                return;
+            }
+            self.0.push(byte | 0x80);
+        }
+    }
 }
 
 /// Cursor over a payload slice; every read is bounds-checked and failures
@@ -348,6 +374,26 @@ impl<'a> Dec<'a> {
             .map_err(|_| SnapshotError::Malformed("non-UTF-8 string".to_string()))
     }
 
+    /// LEB128 variable-length `u32` (see [`Enc::varu32`]).
+    fn varu32(&mut self) -> Result<u32, SnapshotError> {
+        let mut value: u32 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take(1)?[0];
+            let bits = u32::from(byte & 0x7f);
+            // The fifth byte may only carry the top 4 bits of a u32 and
+            // must be the last.
+            if shift == 28 && (bits > 0x0f || byte & 0x80 != 0) {
+                return Err(SnapshotError::Malformed("varint overflows u32".to_string()));
+            }
+            value |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
     fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
@@ -356,24 +402,68 @@ impl<'a> Dec<'a> {
 // ---------------------------------------------------------------------------
 // Section encoders/decoders.
 
-fn encode_term_vector(enc: &mut Enc, vector: &TermVector) {
+/// Encodes one interned vector as a delta-compressed id stream: entry
+/// count, then per entry a varint id delta (ids are strictly increasing, so
+/// the first delta is the id itself and subsequent ones are `id - prev`,
+/// always ≥ 1 and usually one byte) followed by the raw weight bits. Terms
+/// are **not** written here — the type's arena string table spells each
+/// term exactly once.
+///
+/// Schema vectors are built on the schema arena, so the id fast path is the
+/// norm; a vector that was moved off it (e.g. a `pub` field mutated through
+/// the copy-on-write `add` API) is re-interned term by term rather than
+/// having its foreign ids written verbatim — ids from another arena would
+/// encode a checksum-valid file that decodes to the *wrong terms*.
+///
+/// # Panics
+/// Panics when such a detached vector contains a term the schema arena does
+/// not know: the snapshot could not represent it, and a loud failure at
+/// capture time beats a silently wrong file.
+fn encode_term_vector(enc: &mut Enc, vector: &TermVector, arena: &Arc<wiki_text::TermArena>) {
     enc.u64(vector.len() as u64);
-    for (term, weight) in vector.iter() {
-        enc.str(term);
-        enc.f64(weight);
+    let mut prev: u32 = 0;
+    if Arc::ptr_eq(vector.arena(), arena) {
+        for &(id, weight) in vector.id_entries() {
+            enc.varu32(id - prev);
+            enc.f64(weight);
+            prev = id;
+        }
+    } else {
+        for (term, weight) in vector.iter() {
+            let id = arena
+                .intern(term)
+                .expect("schema arena must hold every term of every schema vector");
+            enc.varu32(id - prev);
+            enc.f64(weight);
+            prev = id;
+        }
     }
 }
 
-fn decode_term_vector(dec: &mut Dec<'_>) -> Result<TermVector, SnapshotError> {
+fn decode_term_vector(
+    dec: &mut Dec<'_>,
+    arena: &Arc<wiki_text::TermArena>,
+) -> Result<TermVector, SnapshotError> {
     let n = dec.count()?;
     let mut entries = Vec::with_capacity(n);
-    for _ in 0..n {
-        let term = dec.str()?;
+    let mut prev: u32 = 0;
+    for i in 0..n {
+        let delta = dec.varu32()?;
+        if i > 0 && delta == 0 {
+            return Err(SnapshotError::Malformed(
+                "term vector ids not strictly increasing".to_string(),
+            ));
+        }
+        let id = prev
+            .checked_add(delta)
+            .ok_or_else(|| SnapshotError::Malformed("term vector id overflows u32".to_string()))?;
         let weight = dec.f64()?;
-        entries.push((term, weight));
+        entries.push((id, weight));
+        prev = id;
     }
-    TermVector::from_sorted_entries(entries)
-        .ok_or_else(|| SnapshotError::Malformed("term vector entries out of order".to_string()))
+    TermVector::from_ids(Arc::clone(arena), entries).ok_or_else(|| {
+        SnapshotError::Malformed("term vector ids out of order or outside the arena".to_string())
+    })
 }
 
 fn encode_pattern(enc: &mut Enc, pattern: &[bool]) {
@@ -420,16 +510,25 @@ fn encode_schema(enc: &mut Enc, schema: &DualSchema) {
     enc.str(&schema.label_other);
     enc.str(&schema.label_en);
     enc.u64(schema.dual_count as u64);
+    // The arena string table: every distinct term of the type, written
+    // exactly once in id (= lexicographic) order. The vectors below are
+    // pure id streams against it — in the version-1 format each term was
+    // re-spelled in every vector it occurred in, which dominated the file.
+    let arena = schema.arena();
+    enc.u64(arena.len() as u64);
+    for term in arena.terms() {
+        enc.str(term);
+    }
     enc.u64(schema.attributes.len() as u64);
     for attr in &schema.attributes {
         enc.str(attr.language.code());
         enc.str(&attr.name);
         enc.u64(attr.occurrences as u64);
-        encode_term_vector(enc, &attr.values);
-        encode_term_vector(enc, &attr.translated_values);
-        encode_term_vector(enc, &attr.raw_values);
-        encode_term_vector(enc, &attr.translated_raw_values);
-        encode_term_vector(enc, &attr.links);
+        encode_term_vector(enc, &attr.values, arena);
+        encode_term_vector(enc, &attr.translated_values, arena);
+        encode_term_vector(enc, &attr.raw_values, arena);
+        encode_term_vector(enc, &attr.translated_raw_values, arena);
+        encode_term_vector(enc, &attr.links, arena);
         encode_pattern(enc, &attr.occurrence_pattern);
     }
 }
@@ -445,17 +544,27 @@ fn decode_schema(dec: &mut Dec<'_>) -> Result<DualSchema, SnapshotError> {
     // wrongly reject such a file as truncated. The per-attribute pattern
     // reads below bound the allocation instead.
     let dual_count = dec.scalar()?;
+    let n_terms = dec.count()?;
+    let mut terms = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        terms.push(dec.str()?);
+    }
+    let arena = Arc::new(
+        wiki_text::TermArena::from_sorted_terms(terms).ok_or_else(|| {
+            SnapshotError::Malformed("arena string table not strictly sorted".to_string())
+        })?,
+    );
     let n = dec.count()?;
     let mut attributes = Vec::with_capacity(n);
     for _ in 0..n {
         let language = Language::from_code(&dec.str()?);
         let name = dec.str()?;
         let occurrences = dec.scalar()?;
-        let values = decode_term_vector(dec)?;
-        let translated_values = decode_term_vector(dec)?;
-        let raw_values = decode_term_vector(dec)?;
-        let translated_raw_values = decode_term_vector(dec)?;
-        let links = decode_term_vector(dec)?;
+        let values = decode_term_vector(dec, &arena)?;
+        let translated_values = decode_term_vector(dec, &arena)?;
+        let raw_values = decode_term_vector(dec, &arena)?;
+        let translated_raw_values = decode_term_vector(dec, &arena)?;
+        let links = decode_term_vector(dec, &arena)?;
         let occurrence_pattern = decode_pattern(dec, dual_count)?;
         attributes.push(AttributeStats {
             language,
@@ -469,12 +578,13 @@ fn decode_schema(dec: &mut Dec<'_>) -> Result<DualSchema, SnapshotError> {
             occurrence_pattern,
         });
     }
-    Ok(DualSchema::from_parts(
+    Ok(DualSchema::from_parts_in_arena(
         (language_other, language_en),
         label_other,
         label_en,
         attributes,
         dual_count,
+        arena,
     ))
 }
 
@@ -646,12 +756,16 @@ fn decode_type_record(record: &[u8]) -> Result<(String, PreparedType), SnapshotE
             "type record {type_id:?} longer than its contents"
         )));
     }
+    let arena = Arc::clone(schema.arena());
+    let vector_entries = schema.vector_entry_count();
     Ok((
         type_id,
         PreparedType {
             schema: Arc::new(schema),
             table: Arc::new(table),
             index: Arc::new(index),
+            arena,
+            vector_entries,
         },
     ))
 }
@@ -952,6 +1066,8 @@ mod tests {
             2,
         );
         let index = CandidateIndex::from_parts(PairSet::new(2), PairSet::new(2));
+        let arena = Arc::clone(schema.arena());
+        let vector_entries = schema.vector_entry_count();
         let snapshot = EngineSnapshot {
             fingerprint: 7,
             dictionary: TitleDictionary::from_entries(Language::Pt, Language::En, Vec::new()),
@@ -961,6 +1077,8 @@ mod tests {
                     schema: Arc::new(schema),
                     table: Arc::new(table),
                     index: Arc::new(index),
+                    arena,
+                    vector_entries,
                 },
             )],
         };
@@ -1010,6 +1128,30 @@ mod tests {
         assert!(matches!(
             EngineSnapshot::from_bytes(&wrong_magic),
             Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn version_1_files_are_rejected_as_unsupported() {
+        // A minimal, checksum-valid file stamped with the retired
+        // string-keyed format version: the reader must refuse it with
+        // `UnsupportedVersion` *before* touching the payload (whose layout
+        // it can no longer parse), telling operators to re-persist rather
+        // than decoding garbage.
+        let payload = [0u8; 16];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&checksum(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            EngineSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion {
+                found: 1,
+                supported: FORMAT_VERSION
+            })
         ));
     }
 

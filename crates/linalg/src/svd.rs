@@ -89,11 +89,39 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
         };
     }
 
-    // Work on the tall orientation (rows >= cols); transpose back at the end.
+    // Work on the tall orientation (rows >= cols); transpose back at the
+    // end. The working matrix is held **column-major** — one contiguous
+    // `Vec<f64>` per column — because every operation of the one-sided
+    // method (Gram entries, rotations, column norms) walks whole columns:
+    // on the row-major `Matrix` each access strided by the column count,
+    // which made the Gram loop memory-bound. The float operations and their
+    // order are exactly those of the row-major implementation, so the
+    // decomposition is bit-identical; only the access pattern changed.
+    let rows = if a.rows() < a.cols() {
+        a.cols()
+    } else {
+        a.rows()
+    };
     let transposed = a.rows() < a.cols();
-    let mut work = if transposed { a.transpose() } else { a.clone() };
-    let n = work.cols();
-    let mut v = Matrix::identity(n);
+    let n = if transposed { a.rows() } else { a.cols() };
+    let mut work: Vec<Vec<f64>> = (0..n)
+        .map(|j| {
+            if transposed {
+                // Columns of Aᵀ are the rows of A, already contiguous.
+                a.row(j).to_vec()
+            } else {
+                a.column(j)
+            }
+        })
+        .collect();
+    // V accumulates the rotations; also column-major (n × n identity).
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|j| {
+            let mut col = vec![0.0; n];
+            col[j] = 1.0;
+            col
+        })
+        .collect();
 
     for _sweep in 0..MAX_SWEEPS {
         let mut off_diagonal = 0.0f64;
@@ -103,9 +131,7 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
                 let mut app = 0.0;
                 let mut aqq = 0.0;
                 let mut apq = 0.0;
-                for r in 0..work.rows() {
-                    let x = work.get(r, p);
-                    let y = work.get(r, q);
+                for (x, y) in work[p].iter().zip(&work[q]) {
                     app += x * x;
                     aqq += y * y;
                     apq += x * y;
@@ -125,17 +151,17 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
 
-                for r in 0..work.rows() {
-                    let x = work.get(r, p);
-                    let y = work.get(r, q);
-                    work.set(r, p, c * x - s * y);
-                    work.set(r, q, s * x + c * y);
+                let (cp, cq) = two_columns(&mut work, p, q);
+                for (x, y) in cp.iter_mut().zip(cq.iter_mut()) {
+                    let (xv, yv) = (*x, *y);
+                    *x = c * xv - s * yv;
+                    *y = s * xv + c * yv;
                 }
-                for r in 0..n {
-                    let x = v.get(r, p);
-                    let y = v.get(r, q);
-                    v.set(r, p, c * x - s * y);
-                    v.set(r, q, s * x + c * y);
+                let (vp, vq) = two_columns(&mut v, p, q);
+                for (x, y) in vp.iter_mut().zip(vq.iter_mut()) {
+                    let (xv, yv) = (*x, *y);
+                    *x = c * xv - s * yv;
+                    *y = s * xv + c * yv;
                 }
             }
         }
@@ -145,12 +171,11 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
     }
 
     // Singular values are the column norms of the rotated matrix.
-    let mut order: Vec<(usize, f64)> = (0..n)
-        .map(|c| {
-            let norm = (0..work.rows())
-                .map(|r| work.get(r, c).powi(2))
-                .sum::<f64>()
-                .sqrt();
+    let mut order: Vec<(usize, f64)> = work
+        .iter()
+        .enumerate()
+        .map(|(c, col)| {
+            let norm = col.iter().map(|x| x.powi(2)).sum::<f64>().sqrt();
             (c, norm)
         })
         .collect();
@@ -163,16 +188,16 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
         .collect();
 
     let k = keep.len();
-    let mut u = Matrix::zeros(work.rows(), k);
+    let mut u = Matrix::zeros(rows, k);
     let mut vv = Matrix::zeros(n, k);
     let mut s = Vec::with_capacity(k);
     for (out_c, (c, sv)) in keep.iter().enumerate() {
         s.push(*sv);
-        for r in 0..work.rows() {
-            u.set(r, out_c, work.get(r, *c) / sv);
+        for (r, x) in work[*c].iter().enumerate() {
+            u.set(r, out_c, x / sv);
         }
-        for r in 0..n {
-            vv.set(r, out_c, v.get(r, *c));
+        for (r, x) in v[*c].iter().enumerate() {
+            vv.set(r, out_c, *x);
         }
     }
 
@@ -182,6 +207,13 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
     } else {
         Svd { u, s, v: vv }
     }
+}
+
+/// Disjoint mutable borrows of columns `p` and `q` (`p < q`).
+fn two_columns(cols: &mut [Vec<f64>], p: usize, q: usize) -> (&mut Vec<f64>, &mut Vec<f64>) {
+    debug_assert!(p < q);
+    let (head, tail) = cols.split_at_mut(q);
+    (&mut head[p], &mut tail[0])
 }
 
 /// Computes a truncated SVD keeping the top `k` singular values.

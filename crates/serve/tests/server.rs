@@ -201,6 +201,12 @@ fn health_corpora_warm_evict_and_stats_round_trip() {
     let engine = corpus.engine.as_ref().expect("resident engine has stats");
     assert_eq!(engine.cached_types, 14);
     assert_eq!(engine.artifact_builds, 14);
+    // The memory-footprint gauges of the interned vocabulary travel over
+    // the wire: a fully warmed session reports its arena and vector sizes
+    // so LRU capacity planning can be done from /stats alone.
+    assert!(engine.interned_terms > 0, "warm engine reports arena terms");
+    assert!(engine.interned_bytes > engine.interned_terms);
+    assert!(engine.vector_entries > 0);
     assert!(stats.server.handled >= 3);
     assert_eq!(stats.server.rejected, 0);
 

@@ -1,0 +1,246 @@
+//! Vocabulary interning: [`TermArena`] and [`TermArenaBuilder`].
+//!
+//! A [`TermArena`] is a frozen, lexicographically sorted string table that
+//! assigns every distinct term a dense `u32` id. The crucial invariant is
+//! that **ids are assigned in lexicographic term order**:
+//!
+//! ```text
+//! id(a) < id(b)  ⇔  a < b      (for terms a, b of the same arena)
+//! ```
+//!
+//! Because of this, a term-vector entry list sorted by id is sorted by term,
+//! every merge walk visits terms in exactly the order the string-keyed
+//! representation did, and every derived float accumulates in exactly the
+//! same order — which is what lets the interned representation in
+//! [`crate::vector`] produce **bit-identical** similarity results while
+//! replacing string comparisons in the hottest loops of the similarity
+//! pipeline with integer comparisons.
+//!
+//! Construction is two-phase: a [`TermArenaBuilder`] collects terms in any
+//! order (handing out *provisional* first-seen ids so callers can record
+//! term occurrences cheaply), and [`TermArenaBuilder::freeze`] sorts the
+//! vocabulary once, producing the arena plus the provisional → final id
+//! remap.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// A frozen, lexicographically sorted vocabulary assigning dense `u32` term
+/// ids in term order (see the module docs for the id-order invariant).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TermArena {
+    /// Strictly sorted, duplicate-free terms; index = id.
+    terms: Vec<String>,
+    /// Total bytes of interned term text (the memory-footprint gauge).
+    bytes: usize,
+}
+
+impl TermArena {
+    /// The shared empty arena — the backing of [`crate::TermVector::new`],
+    /// allocated once per process.
+    pub fn empty() -> Arc<TermArena> {
+        static EMPTY: OnceLock<Arc<TermArena>> = OnceLock::new();
+        Arc::clone(EMPTY.get_or_init(|| Arc::new(TermArena::default())))
+    }
+
+    /// Builds an arena from terms that are **already strictly sorted**
+    /// (no duplicates). Returns `None` when the order invariant is violated
+    /// — the check persistence layers rely on when adopting a string table
+    /// read from disk.
+    pub fn from_sorted_terms(terms: Vec<String>) -> Option<TermArena> {
+        if terms.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let bytes = terms.iter().map(String::len).sum();
+        Some(TermArena { terms, bytes })
+    }
+
+    /// The id of `term`, or `None` when the term is not in the vocabulary.
+    #[inline]
+    pub fn intern(&self, term: &str) -> Option<u32> {
+        self.terms
+            .binary_search_by(|t| t.as_str().cmp(term))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// The term behind `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range — ids are only minted by this
+    /// arena's builder, so an out-of-range id is a logic error.
+    #[inline]
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the arena holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total bytes of interned term text (excluding per-`String` overhead).
+    pub fn term_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterates over the terms in id (= lexicographic) order.
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().map(String::as_str)
+    }
+
+    /// Inserts `term` at its sorted position, returning its id. Existing ids
+    /// at or after that position shift up by one — callers holding entry
+    /// lists must remap them. Only used by the copy-on-write `add` path of
+    /// [`crate::TermVector`]; frozen shared arenas are never mutated.
+    pub(crate) fn insert(&mut self, term: String) -> (u32, bool) {
+        match self.terms.binary_search_by(|t| t.as_str().cmp(&term)) {
+            Ok(i) => (i as u32, false),
+            Err(i) => {
+                self.bytes += term.len();
+                self.terms.insert(i, term);
+                (i as u32, true)
+            }
+        }
+    }
+}
+
+/// Accumulates a vocabulary in any order, handing out *provisional*
+/// first-seen ids; [`freeze`](Self::freeze) sorts the vocabulary once and
+/// returns the final arena together with the provisional → final remap.
+#[derive(Debug, Default)]
+pub struct TermArenaBuilder {
+    map: HashMap<String, u32>,
+    terms: Vec<String>,
+}
+
+impl TermArenaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its provisional (first-seen order) id.
+    pub fn intern(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.map.get(term) {
+            return id;
+        }
+        self.intern_new(term.to_string())
+    }
+
+    /// Interns an owned term, returning its provisional id.
+    pub fn intern_owned(&mut self, term: String) -> u32 {
+        if let Some(&id) = self.map.get(&term) {
+            return id;
+        }
+        self.intern_new(term)
+    }
+
+    fn intern_new(&mut self, term: String) -> u32 {
+        let id = self.terms.len() as u32;
+        self.terms.push(term.clone());
+        self.map.insert(term, id);
+        id
+    }
+
+    /// Number of distinct terms collected so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The term behind a provisional id.
+    pub fn term(&self, provisional: u32) -> &str {
+        &self.terms[provisional as usize]
+    }
+
+    /// Sorts the vocabulary and freezes it into an arena. The second return
+    /// value maps every provisional id to its final (lexicographic) id:
+    /// `final_id = remap[provisional_id as usize]`.
+    pub fn freeze(self) -> (Arc<TermArena>, Vec<u32>) {
+        let TermArenaBuilder { map: _, terms } = self;
+        let mut order: Vec<u32> = (0..terms.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| terms[a as usize].cmp(&terms[b as usize]));
+        let mut remap = vec![0u32; terms.len()];
+        for (final_id, &prov) in order.iter().enumerate() {
+            remap[prov as usize] = final_id as u32;
+        }
+        let mut sorted: Vec<String> = vec![String::new(); terms.len()];
+        for (prov, term) in terms.into_iter().enumerate() {
+            sorted[remap[prov] as usize] = term;
+        }
+        let bytes = sorted.iter().map(String::len).sum();
+        (
+            Arc::new(TermArena {
+                terms: sorted,
+                bytes,
+            }),
+            remap,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_hands_out_first_seen_ids_and_freezes_sorted() {
+        let mut builder = TermArenaBuilder::new();
+        let zebra = builder.intern("zebra");
+        let apple = builder.intern("apple");
+        let mango = builder.intern_owned("mango".to_string());
+        assert_eq!(builder.intern("zebra"), zebra);
+        assert_eq!(builder.term(apple), "apple");
+        assert_eq!(builder.len(), 3);
+        let (arena, remap) = builder.freeze();
+        assert_eq!(arena.len(), 3);
+        let terms: Vec<&str> = arena.terms().collect();
+        assert_eq!(terms, vec!["apple", "mango", "zebra"]);
+        assert_eq!(arena.resolve(remap[zebra as usize]), "zebra");
+        assert_eq!(arena.resolve(remap[apple as usize]), "apple");
+        assert_eq!(arena.resolve(remap[mango as usize]), "mango");
+        assert_eq!(arena.intern("mango"), Some(remap[mango as usize]));
+        assert_eq!(arena.intern("missing"), None);
+        assert_eq!(arena.term_bytes(), "applemangozebra".len());
+    }
+
+    #[test]
+    fn id_order_is_lexicographic_order() {
+        let mut builder = TermArenaBuilder::new();
+        for t in ["delta", "alpha", "charlie", "bravo", "echo"] {
+            builder.intern(t);
+        }
+        let (arena, _) = builder.freeze();
+        for a in 0..arena.len() as u32 {
+            for b in 0..arena.len() as u32 {
+                assert_eq!(a < b, arena.resolve(a) < arena.resolve(b));
+            }
+        }
+    }
+
+    #[test]
+    fn from_sorted_terms_validates() {
+        assert!(TermArena::from_sorted_terms(vec!["a".into(), "b".into()]).is_some());
+        assert!(TermArena::from_sorted_terms(vec!["b".into(), "a".into()]).is_none());
+        assert!(TermArena::from_sorted_terms(vec!["a".into(), "a".into()]).is_none());
+        assert!(TermArena::from_sorted_terms(Vec::new()).is_some());
+    }
+
+    #[test]
+    fn empty_arena_is_shared() {
+        let a = TermArena::empty();
+        let b = TermArena::empty();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.is_empty());
+    }
+}

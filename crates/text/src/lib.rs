@@ -4,6 +4,10 @@
 //!
 //! The crate provides:
 //!
+//! * [`arena`] — vocabulary interning: a frozen, lexicographically sorted
+//!   string table assigning dense `u32` term ids in term order, so id
+//!   comparisons are term comparisons and interned vectors reproduce the
+//!   string-keyed results bit for bit.
 //! * [`mod@normalize`] — Unicode-aware lowercasing, diacritic folding for the
 //!   Latin-based languages used in the paper (English, Portuguese,
 //!   Vietnamese) and whitespace/punctuation canonicalisation.
@@ -24,14 +28,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod normalize;
 pub mod strsim;
 pub mod tokenize;
 pub mod value;
 pub mod vector;
 
+pub use arena::{TermArena, TermArenaBuilder};
 pub use normalize::{fold_diacritics, normalize, normalize_label};
 pub use strsim::{jaro_winkler, levenshtein, ngram_similarity, token_overlap};
 pub use tokenize::{tokenize_value, tokenize_words};
 pub use value::{parse_value, CanonicalValue};
-pub use vector::TermVector;
+pub use vector::{TermVector, TermVectorBuilder};

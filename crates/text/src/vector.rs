@@ -8,93 +8,219 @@
 //!
 //! ## Representation
 //!
-//! A [`TermVector`] stores its entries as a **term-sorted `Vec` of
-//! `(term, weight)` pairs**. Compared to a tree or hash map this keeps the
-//! data in one contiguous allocation and makes every pairwise operation —
+//! A [`TermVector`] stores an id-sorted `Vec` of **`(u32 term id, f64
+//! weight)`** pairs resolved against a shared [`TermArena`]. Because arena
+//! ids are assigned in lexicographic term order (the invariant documented in
+//! [`crate::arena`]), id order *is* term order: every pairwise operation —
 //! [`dot`](TermVector::dot), [`cosine`](TermVector::cosine),
 //! [`jaccard`](TermVector::jaccard),
 //! [`overlap_coefficient`](TermVector::overlap_coefficient),
-//! [`merge`](TermVector::merge) — a single **O(n + m) merge walk** over the
-//! two sorted entry lists, which is what makes the pruned similarity-table
-//! build in `wikimatch` cheap even on the large synthetic corpus tiers.
-//! Incremental [`add`](TermVector::add) is a binary search plus an ordered
-//! insert (O(n) worst case per new term — fine for the short per-attribute
-//! vectors this workspace builds); bulk construction via
-//! [`from_terms`](TermVector::from_terms) sorts once instead.
-//! Iteration order (and therefore every derived float result) remains
-//! deterministic: entries are always visited in ascending term order,
-//! exactly as the previous `BTreeMap`-backed representation did.
+//! [`merge`](TermVector::merge) — remains a single **O(n + m) merge walk**
+//! visiting terms in exactly the order the previous string-keyed
+//! representation did, so all derived floats accumulate in the same order
+//! and come out bit-identical. When both vectors share one arena (the case
+//! for every vector of a prepared schema) each merge step compares two
+//! `u32`s instead of two strings — the hottest comparison of the similarity
+//! pipeline becomes an integer compare, and cloning a vector no longer
+//! re-allocates its terms.
+//!
+//! Vectors built ad hoc ([`from_terms`](TermVector::from_terms), the string
+//! [`add`](TermVector::add) API) carry a private arena holding just their
+//! own terms; pairwise operations between vectors of *different* arenas
+//! transparently fall back to comparing the resolved terms — the exact walk
+//! (and therefore the exact results) of the string-keyed representation.
+//! Bulk construction should go through [`TermVectorBuilder`], which
+//! accumulates unsorted and sorts once instead of paying `add`'s ordered
+//! insert per term.
 
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// A sparse vector keyed by term, storing raw frequencies (`tf`).
+use serde::{Deserialize, Serialize, Value};
+
+use crate::arena::TermArena;
+
+/// A sparse vector keyed by interned term id, storing raw frequencies
+/// (`tf`) resolved against a shared [`TermArena`].
 ///
-/// Entries are kept sorted by term so iteration order — and therefore all
-/// derived results — is deterministic, which matters for reproducibility of
-/// the experiment harness, and so pairwise operations run as linear merge
-/// walks instead of per-term lookups.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Entries are kept sorted by id — equivalently by term, thanks to the
+/// arena's lexicographic id order — so iteration order (and therefore all
+/// derived results) is deterministic and pairwise operations run as linear
+/// merge walks instead of per-term lookups.
+#[derive(Debug, Clone)]
 pub struct TermVector {
-    /// `(term, weight)` entries sorted by term, one entry per distinct term.
-    entries: Vec<(String, f64)>,
+    /// The vocabulary the ids below resolve against.
+    arena: Arc<TermArena>,
+    /// `(term id, weight)` entries sorted by id, one entry per distinct
+    /// term.
+    entries: Vec<(u32, f64)>,
+}
+
+impl Default for TermVector {
+    fn default() -> Self {
+        Self {
+            arena: TermArena::empty(),
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for TermVector {
+    /// Term-wise equality: two vectors are equal when they hold the same
+    /// `(term, weight)` entries, regardless of which arena backs them.
+    fn eq(&self, other: &Self) -> bool {
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        if Arc::ptr_eq(&self.arena, &other.arena) {
+            return self.entries == other.entries;
+        }
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .all(|(a, b)| a.1 == b.1 && self.arena.resolve(a.0) == other.arena.resolve(b.0))
+    }
 }
 
 impl TermVector {
-    /// Creates an empty vector.
+    /// Creates an empty vector (backed by the shared empty arena).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty vector bound to a shared arena; subsequent
+    /// [`add`](Self::add)s of terms the arena knows stay on it, keeping the
+    /// vector on the fast same-arena comparison path.
+    pub fn in_arena(arena: Arc<TermArena>) -> Self {
+        Self {
+            arena,
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a vector from an iterator of terms, counting occurrences.
     ///
     /// Sorts the terms once and accumulates runs — O(k log k) for k terms,
-    /// instead of k ordered insertions.
+    /// instead of k ordered insertions. The resulting vector carries a
+    /// private arena holding exactly its own terms.
     pub fn from_terms<I, S>(terms: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut terms: Vec<String> = terms.into_iter().map(Into::into).collect();
-        terms.sort_unstable();
-        let mut entries: Vec<(String, f64)> = Vec::new();
+        let mut builder = TermVectorBuilder::new();
         for term in terms {
-            match entries.last_mut() {
-                Some((t, w)) if *t == term => *w += 1.0,
-                _ => entries.push((term, 1.0)),
-            }
+            builder.push(term, 1.0);
         }
-        Self { entries }
+        builder.finish()
     }
 
-    /// Rebuilds a vector from entries that are **already strictly sorted**
-    /// by term (no duplicates), e.g. the output of [`iter`](Self::iter)
-    /// captured by a persistence layer. Returns `None` when the entries are
-    /// out of order or contain a duplicate term — the invariant every
-    /// pairwise operation depends on.
+    /// Builds a vector from interned term-id occurrences (each weighing
+    /// exactly 1.0): sort once, then collapse runs by accumulating `+= 1.0`
+    /// per occurrence — the id-space analogue of
+    /// [`from_terms`](Self::from_terms), and the exact float operations (in
+    /// the exact term order) of a string-keyed incremental `add` loop. This
+    /// is the bulk-construction path schema builders use after freezing a
+    /// shared arena.
+    pub fn from_id_occurrences(arena: Arc<TermArena>, mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        debug_assert!(ids
+            .last()
+            .map(|&id| (id as usize) < arena.len())
+            .unwrap_or(true));
+        let mut entries: Vec<(u32, f64)> = Vec::new();
+        for id in ids {
+            match entries.last_mut() {
+                Some((last, weight)) if *last == id => *weight += 1.0,
+                _ => entries.push((id, 1.0)),
+            }
+        }
+        Self { arena, entries }
+    }
+
+    /// Rebuilds a vector from `(term, weight)` entries that are **already
+    /// strictly sorted** by term (no duplicates), e.g. the output of
+    /// [`iter`](Self::iter) captured by a persistence layer. Returns `None`
+    /// when the entries are out of order or contain a duplicate term — the
+    /// invariant every pairwise operation depends on.
     ///
     /// Weights are taken verbatim (no zero-filtering), so a round trip
     /// through `iter` → `from_sorted_entries` reproduces the vector exactly,
     /// bit for bit.
     pub fn from_sorted_entries(entries: Vec<(String, f64)>) -> Option<Self> {
+        let mut arena_terms = Vec::with_capacity(entries.len());
+        let mut ids = Vec::with_capacity(entries.len());
+        for (i, (term, weight)) in entries.into_iter().enumerate() {
+            ids.push((i as u32, weight));
+            arena_terms.push(term);
+        }
+        let arena = TermArena::from_sorted_terms(arena_terms)?;
+        Some(Self {
+            arena: Arc::new(arena),
+            entries: ids,
+        })
+    }
+
+    /// Rebuilds a vector from id-keyed entries resolved against `arena`.
+    /// Returns `None` unless the ids are strictly increasing (the sorted,
+    /// duplicate-free invariant) and all within the arena — the validation
+    /// the snapshot layer relies on when decoding persisted id streams.
+    pub fn from_ids(arena: Arc<TermArena>, entries: Vec<(u32, f64)>) -> Option<Self> {
         if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
             return None;
         }
-        Some(Self { entries })
+        if entries
+            .last()
+            .is_some_and(|(id, _)| *id as usize >= arena.len())
+        {
+            return None;
+        }
+        Some(Self { arena, entries })
+    }
+
+    /// The arena this vector's ids resolve against.
+    pub fn arena(&self) -> &Arc<TermArena> {
+        &self.arena
+    }
+
+    /// The raw `(term id, weight)` entries in ascending id order.
+    pub fn id_entries(&self) -> &[(u32, f64)] {
+        &self.entries
     }
 
     /// Adds `weight` occurrences of `term`.
+    ///
+    /// When the term is already in the vector's arena this is a binary
+    /// search plus (at worst) an ordered insert, exactly as before. A term
+    /// the arena has never seen extends the arena copy-on-write — O(arena)
+    /// when it happens; bulk callers should use [`TermVectorBuilder`] or
+    /// [`from_terms`](Self::from_terms) instead of repeated `add`s.
     pub fn add<S: Into<String>>(&mut self, term: S, weight: f64) {
         if weight == 0.0 {
             return;
         }
         let term = term.into();
-        match self
-            .entries
-            .binary_search_by(|(t, _)| t.as_str().cmp(&term))
-        {
-            Ok(i) => self.entries[i].1 += weight,
-            Err(i) => self.entries.insert(i, (term, weight)),
+        if let Some(id) = self.arena.intern(&term) {
+            match self.entries.binary_search_by_key(&id, |(i, _)| *i) {
+                Ok(i) => self.entries[i].1 += weight,
+                Err(i) => self.entries.insert(i, (id, weight)),
+            }
+            return;
         }
+        // New term: extend the arena (cloning it first when shared) and
+        // shift the ids at or after the insertion point.
+        let arena = Arc::make_mut(&mut self.arena);
+        let (id, inserted) = arena.insert(term);
+        debug_assert!(inserted, "intern() above said the term was absent");
+        for (entry_id, _) in self.entries.iter_mut() {
+            if *entry_id >= id {
+                *entry_id += 1;
+            }
+        }
+        let at = self
+            .entries
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .unwrap_err();
+        self.entries.insert(at, (id, weight));
     }
 
     /// Merges another vector into this one (component-wise sum), as an
@@ -103,29 +229,55 @@ impl TermVector {
         if other.is_empty() {
             return;
         }
-        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
-        merge_join(&self.entries, &other.entries, |step| match step {
-            MergeStep::Left(a) => merged.push(a.clone()),
-            // A zero-weight entry never creates a new term (matching the
-            // `add` semantics this walk replaces).
-            MergeStep::Right(b) => {
-                if b.1 != 0.0 {
-                    merged.push(b.clone());
+        if Arc::ptr_eq(&self.arena, &other.arena) {
+            let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+            merge_join(self, other, |step| match step {
+                MergeStep::Left(a) => merged.push(*a),
+                // A zero-weight entry never creates a new term (matching the
+                // `add` semantics this walk replaces).
+                MergeStep::Right(b) => {
+                    if b.1 != 0.0 {
+                        merged.push(*b);
+                    }
+                }
+                MergeStep::Both((ia, wa), (_, wb)) => {
+                    let sum = if *wb == 0.0 { *wa } else { *wa + *wb };
+                    merged.push((*ia, sum));
+                }
+            });
+            self.entries = merged;
+            return;
+        }
+        // Different arenas: walk the resolved terms (same order, same float
+        // operations) and rebuild on a fresh union arena.
+        let mut merged: Vec<(String, f64)> =
+            Vec::with_capacity(self.entries.len() + other.entries.len());
+        merge_join(self, other, |step| match step {
+            MergeStep::Left((id, w)) => merged.push((self.arena.resolve(*id).to_string(), *w)),
+            MergeStep::Right((id, w)) => {
+                if *w != 0.0 {
+                    merged.push((other.arena.resolve(*id).to_string(), *w));
                 }
             }
-            MergeStep::Both((ta, wa), (_, wb)) => {
+            MergeStep::Both((ia, wa), (_, wb)) => {
                 let sum = if *wb == 0.0 { *wa } else { *wa + *wb };
-                merged.push((ta.clone(), sum));
+                merged.push((self.arena.resolve(*ia).to_string(), sum));
             }
         });
-        self.entries = merged;
+        *self = Self::from_sorted_entries(merged)
+            .expect("merge walk emits terms in strictly ascending order");
     }
 
     /// Frequency of a term (0.0 when absent).
     pub fn get(&self, term: &str) -> f64 {
-        self.entries
-            .binary_search_by(|(t, _)| t.as_str().cmp(term))
-            .map(|i| self.entries[i].1)
+        self.arena
+            .intern(term)
+            .and_then(|id| {
+                self.entries
+                    .binary_search_by_key(&id, |(i, _)| *i)
+                    .ok()
+                    .map(|i| self.entries[i].1)
+            })
             .unwrap_or(0.0)
     }
 
@@ -146,7 +298,9 @@ impl TermVector {
 
     /// Iterates over `(term, frequency)` pairs in term order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.entries.iter().map(|(t, w)| (t.as_str(), *w))
+        self.entries
+            .iter()
+            .map(|(id, w)| (self.arena.resolve(*id), *w))
     }
 
     /// Euclidean (L2) norm.
@@ -158,7 +312,7 @@ impl TermVector {
     /// over the two sorted entry lists.
     pub fn dot(&self, other: &TermVector) -> f64 {
         let mut sum = 0.0;
-        merge_join(&self.entries, &other.entries, |step| {
+        merge_join(self, other, |step| {
             if let MergeStep::Both((_, wa), (_, wb)) = step {
                 sum += wa * wb;
             }
@@ -191,15 +345,37 @@ impl TermVector {
     /// sorted-entries invariant it depends on, so out-of-crate callers
     /// never hand-roll their own walk over the representation.
     pub fn union_terms<'a>(&'a self, other: &'a TermVector, mut f: impl FnMut(&'a str)) {
-        merge_join(&self.entries, &other.entries, |step| match step {
-            MergeStep::Left((t, _)) | MergeStep::Right((t, _)) | MergeStep::Both((t, _), _) => f(t),
+        merge_join(self, other, |step| match step {
+            MergeStep::Left((id, _)) | MergeStep::Both((id, _), _) => f(self.arena.resolve(*id)),
+            MergeStep::Right((id, _)) => f(other.arena.resolve(*id)),
+        });
+    }
+
+    /// Calls `f` once per distinct term **id** of the union of the two
+    /// vectors' term sets, in ascending id order. Both vectors must share
+    /// one arena — this is the all-integer variant of
+    /// [`union_terms`](Self::union_terms) that the candidate index uses to
+    /// key its postings by id instead of by string.
+    ///
+    /// # Panics
+    /// Panics when the vectors are backed by different arenas (their ids
+    /// would not be comparable).
+    pub fn union_ids(&self, other: &TermVector, mut f: impl FnMut(u32)) {
+        assert!(
+            Arc::ptr_eq(&self.arena, &other.arena),
+            "union_ids requires both vectors on one arena"
+        );
+        merge_join(self, other, |step| match step {
+            MergeStep::Left((id, _)) | MergeStep::Right((id, _)) | MergeStep::Both((id, _), _) => {
+                f(*id)
+            }
         });
     }
 
     /// Number of terms present in both vectors (an O(n + m) merge walk).
     fn intersection_size(&self, other: &TermVector) -> usize {
         let mut count = 0;
-        merge_join(&self.entries, &other.entries, |step| {
+        merge_join(self, other, |step| {
             if let MergeStep::Both(..) = step {
                 count += 1;
             }
@@ -237,76 +413,175 @@ impl TermVector {
     ///
     /// Used to translate a value vector through the bilingual dictionary
     /// before computing `vsim`: terms found in the dictionary are replaced by
-    /// their translation, others are kept as-is.
+    /// their translation, others are kept as-is. Rewritten terms that
+    /// collide accumulate in source-term order, exactly as the previous
+    /// incremental-`add` implementation did.
     pub fn map_terms<F>(&self, mut f: F) -> TermVector
     where
         F: FnMut(&str) -> Option<String>,
     {
-        let mut out = TermVector::new();
-        for (t, w) in &self.entries {
-            match f(t) {
-                Some(new_term) => out.add(new_term, *w),
-                None => out.add(t.clone(), *w),
+        let mut builder = TermVectorBuilder::with_capacity(self.entries.len());
+        for (id, w) in &self.entries {
+            let term = self.arena.resolve(*id);
+            match f(term) {
+                Some(new_term) => builder.push(new_term, *w),
+                None => builder.push(term, *w),
             }
         }
-        out
+        builder.finish()
     }
 
     /// Returns the `k` most frequent terms (ties broken by term order).
     pub fn top_terms(&self, k: usize) -> Vec<(&str, f64)> {
-        let mut entries: Vec<(&str, f64)> = self.iter().collect();
+        let mut entries: Vec<(u32, f64)> = self.entries.clone();
         // `total_cmp` (not `partial_cmp`) so the ranking is a total order
-        // even for pathological weights, with the term as a stable tie-break.
-        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        // even for pathological weights, with the term as a stable
+        // tie-break — id order is term order within one arena.
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         entries.truncate(k);
         entries
+            .into_iter()
+            .map(|(id, w)| (self.arena.resolve(id), w))
+            .collect()
     }
 }
 
-/// One step of a [`merge_join`] walk over two term-sorted entry lists.
-enum MergeStep<'a> {
-    /// The entry's term occurs only in the left vector.
-    Left(&'a (String, f64)),
-    /// The entry's term occurs only in the right vector.
-    Right(&'a (String, f64)),
-    /// The term occurs in both vectors; both entries are handed over.
-    Both(&'a (String, f64), &'a (String, f64)),
+/// Accumulates `(term, weight)` pairs in any order and sorts **once** on
+/// [`finish`](Self::finish) — the bulk-construction companion to
+/// [`TermVector::add`], which pays a binary search plus an ordered insert
+/// (O(n) worst case) per call.
+///
+/// `finish` reproduces the incremental-`add` semantics bit for bit:
+/// zero weights never create an entry, and weights of colliding terms
+/// accumulate in push order (the sort is stable).
+#[derive(Debug, Default)]
+pub struct TermVectorBuilder {
+    entries: Vec<(String, f64)>,
 }
 
-/// Two-pointer merge join over two term-sorted entry slices, calling `f`
-/// once per distinct term in ascending term order.
+impl TermVectorBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with room for `capacity` pushes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Records `weight` occurrences of `term` (zero weights are dropped,
+    /// matching [`TermVector::add`]).
+    pub fn push(&mut self, term: impl Into<String>, weight: f64) {
+        if weight == 0.0 {
+            return;
+        }
+        self.entries.push((term.into(), weight));
+    }
+
+    /// Number of recorded pushes (not distinct terms).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorts, deduplicates and freezes the accumulated entries into a
+    /// vector.
+    pub fn finish(mut self) -> TermVector {
+        // Stable sort: weights of equal terms accumulate in push order, the
+        // same order an incremental `add` loop would have applied them.
+        self.entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut arena_terms: Vec<String> = Vec::new();
+        let mut entries: Vec<(u32, f64)> = Vec::new();
+        for (term, weight) in self.entries {
+            match (arena_terms.last(), entries.last_mut()) {
+                (Some(t), Some((_, w))) if *t == term => *w += weight,
+                _ => {
+                    entries.push((arena_terms.len() as u32, weight));
+                    arena_terms.push(term);
+                }
+            }
+        }
+        let arena = TermArena::from_sorted_terms(arena_terms)
+            .expect("sorted deduplicated terms satisfy the arena invariant");
+        TermVector {
+            arena: Arc::new(arena),
+            entries,
+        }
+    }
+}
+
+/// One step of a [`merge_join`] walk over two id-sorted entry lists.
+enum MergeStep<'a> {
+    /// The entry's term occurs only in the left vector.
+    Left(&'a (u32, f64)),
+    /// The entry's term occurs only in the right vector.
+    Right(&'a (u32, f64)),
+    /// The term occurs in both vectors; both entries are handed over.
+    Both(&'a (u32, f64), &'a (u32, f64)),
+}
+
+/// Two-pointer merge join over two term vectors, calling `f` once per
+/// distinct term in ascending term order.
 ///
-/// Every pairwise [`TermVector`] operation (`dot`, `merge`, `union_terms`,
-/// the intersection behind `jaccard`/`overlap_coefficient`) instantiates
-/// this single walk, so the sorted-entries invariant has exactly one
-/// consumer to update if the representation ever changes.
-fn merge_join<'a>(
-    a: &'a [(String, f64)],
-    b: &'a [(String, f64)],
-    mut f: impl FnMut(MergeStep<'a>),
-) {
+/// When the vectors share one arena each step compares two `u32` ids — the
+/// fast path every prepared-schema operation takes. Otherwise the resolved
+/// terms are compared, which visits entries in exactly the same order (id
+/// order is term order within each arena), so both paths produce identical
+/// results. Every pairwise [`TermVector`] operation (`dot`, `merge`,
+/// `union_terms`, the intersection behind `jaccard`/`overlap_coefficient`)
+/// instantiates this single walk, so the sorted-entries invariant has
+/// exactly one consumer to update if the representation ever changes.
+fn merge_join<'a>(a: &'a TermVector, b: &'a TermVector, mut f: impl FnMut(MergeStep<'a>)) {
+    let (xs, ys) = (&a.entries, &b.entries);
     let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].0.cmp(&b[j].0) {
-            std::cmp::Ordering::Less => {
-                f(MergeStep::Left(&a[i]));
-                i += 1;
+    if Arc::ptr_eq(&a.arena, &b.arena) {
+        while i < xs.len() && j < ys.len() {
+            match xs[i].0.cmp(&ys[j].0) {
+                std::cmp::Ordering::Less => {
+                    f(MergeStep::Left(&xs[i]));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    f(MergeStep::Right(&ys[j]));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    f(MergeStep::Both(&xs[i], &ys[j]));
+                    i += 1;
+                    j += 1;
+                }
             }
-            std::cmp::Ordering::Greater => {
-                f(MergeStep::Right(&b[j]));
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                f(MergeStep::Both(&a[i], &b[j]));
-                i += 1;
-                j += 1;
+        }
+    } else {
+        while i < xs.len() && j < ys.len() {
+            match a.arena.resolve(xs[i].0).cmp(b.arena.resolve(ys[j].0)) {
+                std::cmp::Ordering::Less => {
+                    f(MergeStep::Left(&xs[i]));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    f(MergeStep::Right(&ys[j]));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    f(MergeStep::Both(&xs[i], &ys[j]));
+                    i += 1;
+                    j += 1;
+                }
             }
         }
     }
-    for entry in &a[i..] {
+    for entry in &xs[i..] {
         f(MergeStep::Left(entry));
     }
-    for entry in &b[j..] {
+    for entry in &ys[j..] {
         f(MergeStep::Right(entry));
     }
 }
@@ -314,6 +589,42 @@ fn merge_join<'a>(
 impl<S: Into<String>> FromIterator<S> for TermVector {
     fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
         TermVector::from_terms(iter)
+    }
+}
+
+impl Serialize for TermVector {
+    /// Serializes as `{"entries": [[term, weight], ...]}` — the shape the
+    /// previous string-keyed derive produced, so persisted values remain
+    /// readable.
+    fn serialize_value(&self) -> Value {
+        let entries: Vec<Value> = self
+            .iter()
+            .map(|(t, w)| Value::Array(vec![Value::Str(t.to_string()), Value::Float(w)]))
+            .collect();
+        Value::Object(vec![("entries".to_string(), Value::Array(entries))])
+    }
+}
+
+impl Deserialize for TermVector {
+    fn deserialize_value(value: &Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .get_field("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| serde::Error::custom("TermVector: missing entries array"))?;
+        let mut decoded = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let pair = entry
+                .as_array()
+                .filter(|items| items.len() == 2)
+                .ok_or_else(|| serde::Error::custom("TermVector: entry is not a [term, weight]"))?;
+            let term = pair[0]
+                .as_str()
+                .ok_or_else(|| serde::Error::custom("TermVector: term is not a string"))?;
+            let weight = f64::deserialize_value(&pair[1])?;
+            decoded.push((term.to_string(), weight));
+        }
+        TermVector::from_sorted_entries(decoded)
+            .ok_or_else(|| serde::Error::custom("TermVector: entries out of term order"))
     }
 }
 
@@ -341,6 +652,24 @@ mod tests {
         assert_eq!(terms, vec!["apple", "banana", "mango", "zebra"]);
         assert_eq!(v.get("apple"), 2.0);
         assert_eq!(v.get("zebra"), 2.0);
+        // Ids are strictly increasing (the arena invariant).
+        assert!(v.id_entries().windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn add_into_a_shared_arena_copies_on_write() {
+        let a = TermVector::from_terms(["apple", "mango"]);
+        let mut b = a.clone();
+        // Same arena after the cheap clone.
+        assert!(Arc::ptr_eq(a.arena(), b.arena()));
+        b.add("banana", 1.0);
+        // The clone grew its own arena; the original is untouched.
+        assert!(!Arc::ptr_eq(a.arena(), b.arena()));
+        assert_eq!(a.get("banana"), 0.0);
+        assert_eq!(b.get("banana"), 1.0);
+        assert_eq!(b.get("mango"), 1.0);
+        let terms: Vec<&str> = b.iter().map(|(t, _)| t).collect();
+        assert_eq!(terms, vec!["apple", "banana", "mango"]);
     }
 
     #[test]
@@ -372,6 +701,43 @@ mod tests {
         let reference: f64 = a.iter().map(|(t, w)| w * b.get(t)).sum();
         assert_eq!(a.dot(&b), reference);
         assert_eq!(a.dot(&b), b.dot(&a));
+    }
+
+    #[test]
+    fn cross_arena_operations_match_shared_arena_results() {
+        // The same logical vectors once on a shared arena, once on private
+        // per-vector arenas: every pairwise operation must agree bit for
+        // bit.
+        let shared_a = TermVector::from_terms(["a", "b", "b", "d"]);
+        let shared_b_on_a: TermVector = {
+            // Rebuild b's terms *inside* a's arena via add (all terms of b
+            // that a knows stay on a's arena when possible).
+            let mut v = TermVector::in_arena(Arc::clone(shared_a.arena()));
+            v.add("b", 1.0);
+            v.add("d", 2.0);
+            v
+        };
+        let private_b = {
+            let mut v = TermVector::new();
+            v.add("b", 1.0);
+            v.add("d", 2.0);
+            v
+        };
+        assert!(Arc::ptr_eq(shared_a.arena(), shared_b_on_a.arena()));
+        assert!(!Arc::ptr_eq(shared_a.arena(), private_b.arena()));
+        assert_eq!(shared_b_on_a, private_b);
+        assert_eq!(
+            shared_a.dot(&shared_b_on_a).to_bits(),
+            shared_a.dot(&private_b).to_bits()
+        );
+        assert_eq!(
+            shared_a.cosine(&shared_b_on_a).to_bits(),
+            shared_a.cosine(&private_b).to_bits()
+        );
+        assert_eq!(
+            shared_a.jaccard(&shared_b_on_a),
+            shared_a.jaccard(&private_b)
+        );
     }
 
     #[test]
@@ -410,6 +776,20 @@ mod tests {
     }
 
     #[test]
+    fn merge_within_one_arena_stays_on_it() {
+        let a = TermVector::from_terms(["a", "b", "c"]);
+        let mut x = a.clone();
+        let y = {
+            let mut v = TermVector::in_arena(Arc::clone(a.arena()));
+            v.add("b", 2.0);
+            v
+        };
+        x.merge(&y);
+        assert!(Arc::ptr_eq(x.arena(), a.arena()));
+        assert_eq!(x.get("b"), 3.0);
+    }
+
+    #[test]
     fn union_terms_visits_each_distinct_term_once_in_order() {
         let a = TermVector::from_terms(["b", "d", "a"]);
         let b = TermVector::from_terms(["c", "b", "e"]);
@@ -419,6 +799,30 @@ mod tests {
         let mut left_only = Vec::new();
         a.union_terms(&TermVector::new(), |t| left_only.push(t.to_string()));
         assert_eq!(left_only, vec!["a", "b", "d"]);
+    }
+
+    #[test]
+    fn union_ids_matches_union_terms_on_a_shared_arena() {
+        let a = TermVector::from_terms(["b", "d", "a"]);
+        let b = {
+            let mut v = TermVector::in_arena(Arc::clone(a.arena()));
+            v.add("b", 1.0);
+            v.add("d", 3.0);
+            v
+        };
+        let mut by_term = Vec::new();
+        a.union_terms(&b, |t| by_term.push(t.to_string()));
+        let mut by_id = Vec::new();
+        a.union_ids(&b, |id| by_id.push(a.arena().resolve(id).to_string()));
+        assert_eq!(by_term, by_id);
+    }
+
+    #[test]
+    #[should_panic(expected = "union_ids requires both vectors on one arena")]
+    fn union_ids_rejects_mixed_arenas() {
+        let a = TermVector::from_terms(["a"]);
+        let b = TermVector::from_terms(["a"]);
+        a.union_ids(&b, |_| {});
     }
 
     #[test]
@@ -458,6 +862,48 @@ mod tests {
         ])
         .is_none());
         assert!(TermVector::from_sorted_entries(Vec::new()).is_some());
+    }
+
+    #[test]
+    fn from_ids_validates_order_and_range() {
+        let arena = TermVector::from_terms(["a", "b", "c"]).arena().clone();
+        assert!(TermVector::from_ids(Arc::clone(&arena), vec![(0, 1.0), (2, 2.0)]).is_some());
+        assert!(TermVector::from_ids(Arc::clone(&arena), vec![(2, 1.0), (0, 2.0)]).is_none());
+        assert!(TermVector::from_ids(Arc::clone(&arena), vec![(1, 1.0), (1, 2.0)]).is_none());
+        assert!(TermVector::from_ids(Arc::clone(&arena), vec![(3, 1.0)]).is_none());
+        assert!(TermVector::from_ids(arena, Vec::new()).is_some());
+    }
+
+    #[test]
+    fn builder_matches_incremental_add_bit_for_bit() {
+        let pushes = [
+            ("zebra", 1.5),
+            ("apple", 2.0),
+            ("zebra", 0.25),
+            ("mango", 0.0), // dropped, like add
+            ("apple", -1.0),
+            ("banana", 3.0),
+        ];
+        let mut incremental = TermVector::new();
+        let mut builder = TermVectorBuilder::new();
+        for (t, w) in pushes {
+            incremental.add(t, w);
+            builder.push(t, w);
+        }
+        let built = builder.finish();
+        assert_eq!(built, incremental);
+        for ((ta, wa), (tb, wb)) in built.iter().zip(incremental.iter()) {
+            assert_eq!(ta, tb);
+            assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_entries() {
+        let v = TermVector::from_terms(["b", "a", "a"]);
+        let value = v.serialize_value();
+        let back = TermVector::deserialize_value(&value).unwrap();
+        assert_eq!(back, v);
     }
 
     #[test]

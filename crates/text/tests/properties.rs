@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use wiki_text::{
     jaro_winkler, levenshtein, ngram_similarity, normalize, normalize_label, token_overlap,
-    TermVector,
+    TermArenaBuilder, TermVector, TermVectorBuilder,
 };
 
 proptest! {
@@ -124,6 +124,62 @@ proptest! {
             prop_assert_eq!(sa.get(t), *w);
         }
         prop_assert_eq!(sa.len(), da.len());
+    }
+
+    /// Interning round-trips: for any term set, `resolve(intern(t)) == t`,
+    /// the freeze remap is consistent, and ids are strictly sorted exactly
+    /// when the terms are strictly sorted (the id-order ⇔ term-order
+    /// invariant every bit-identity guarantee in the workspace rests on).
+    #[test]
+    fn arena_round_trip_and_id_order(
+        terms in proptest::collection::vec("[a-h]{1,6}", 0..48),
+    ) {
+        let mut builder = TermArenaBuilder::new();
+        let provisional: Vec<u32> = terms.iter().map(|t| builder.intern(t)).collect();
+        let (arena, remap) = builder.freeze();
+        // intern → resolve is the identity on every collected term.
+        for (term, prov) in terms.iter().zip(&provisional) {
+            let id = remap[*prov as usize];
+            prop_assert_eq!(arena.resolve(id), term.as_str());
+            prop_assert_eq!(arena.intern(term), Some(id));
+        }
+        // Ids are strictly sorted ⇔ terms are strictly sorted.
+        let ids: Vec<u32> = (0..arena.len() as u32).collect();
+        for w in ids.windows(2) {
+            prop_assert!(w[0] < w[1]);
+            prop_assert!(arena.resolve(w[0]) < arena.resolve(w[1]));
+        }
+        // Uncollected terms resolve to nothing.
+        prop_assert_eq!(arena.intern("not-in-the-alphabet!"), None);
+        prop_assert_eq!(arena.len(), {
+            let mut unique = terms;
+            unique.sort_unstable();
+            unique.dedup();
+            unique.len()
+        });
+    }
+
+    /// `TermVectorBuilder` (sort once) and the incremental `add` path
+    /// produce bit-identical vectors for any weighted push sequence,
+    /// including colliding terms and zero weights.
+    #[test]
+    fn builder_equals_incremental_add(
+        pushes in proptest::collection::vec(("[a-e]{1,3}", -4i32..4), 0..32),
+    ) {
+        let mut incremental = TermVector::new();
+        let mut builder = TermVectorBuilder::new();
+        for (t, w) in &pushes {
+            // Quarter-integer weights exercise real float accumulation.
+            let w = f64::from(*w) / 4.0;
+            incremental.add(t.clone(), w);
+            builder.push(t.clone(), w);
+        }
+        let built = builder.finish();
+        prop_assert_eq!(built.len(), incremental.len());
+        for ((ta, wa), (tb, wb)) in built.iter().zip(incremental.iter()) {
+            prop_assert_eq!(ta, tb);
+            prop_assert_eq!(wa.to_bits(), wb.to_bits());
+        }
     }
 
     /// Merging vectors adds totals; dot product is monotone under merge.

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use wiki_corpus::{Corpus, Language};
-use wiki_text::normalize;
+use wiki_text::{normalize, TermArena};
 
 /// A directed bilingual dictionary from titles of one language to titles of
 /// another, keyed by normalised source title.
@@ -94,6 +94,25 @@ impl TitleDictionary {
     pub fn translate_or_keep(&self, term: &str) -> String {
         self.translate(term).unwrap_or_else(|| normalize(term))
     }
+
+    /// Translates every **distinct** term of a frozen [`TermArena`] once,
+    /// returning the arena-indexed translation table
+    /// (`table[id] == translate(arena.resolve(id))`).
+    ///
+    /// `needed` masks the ids worth translating (terms that only ever occur
+    /// in English attributes or in link-cluster tokens never consult the
+    /// dictionary); unneeded slots come back `None` without a lookup. This
+    /// is the id-space bulk variant of [`translate`](Self::translate): the
+    /// schema builder used to normalise and look up every token
+    /// *occurrence*, this pays one lookup per vocabulary entry.
+    pub fn translate_arena(&self, arena: &TermArena, needed: &[bool]) -> Vec<Option<String>> {
+        debug_assert_eq!(needed.len(), arena.len());
+        arena
+            .terms()
+            .zip(needed)
+            .map(|(term, wanted)| wanted.then(|| self.translate(term)).flatten())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +194,29 @@ mod tests {
             dict.translate("Estados Unidos")
         );
         assert_eq!(rebuilt.translate_or_keep("Cinema Novo"), "cinema novo");
+    }
+
+    #[test]
+    fn translate_arena_translates_distinct_terms_once() {
+        let corpus = corpus_with_links();
+        let dict = TitleDictionary::from_corpus(&corpus, &Language::Pt, &Language::En);
+        let mut builder = wiki_text::TermArenaBuilder::new();
+        for t in ["irlanda", "cinema novo", "estados unidos"] {
+            builder.intern(t);
+        }
+        let (arena, _) = builder.freeze();
+        let all = vec![true; arena.len()];
+        let table = dict.translate_arena(&arena, &all);
+        assert_eq!(table.len(), arena.len());
+        let lookup = |term: &str| table[arena.intern(term).unwrap() as usize].clone();
+        assert_eq!(lookup("estados unidos"), Some("united states".into()));
+        assert_eq!(lookup("irlanda"), Some("ireland".into()));
+        assert_eq!(lookup("cinema novo"), None);
+        // A masked-out slot is never consulted.
+        let mut mask = all;
+        mask[arena.intern("irlanda").unwrap() as usize] = false;
+        let masked = dict.translate_arena(&arena, &mask);
+        assert_eq!(masked[arena.intern("irlanda").unwrap() as usize], None);
     }
 
     #[test]

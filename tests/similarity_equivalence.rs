@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 
-use wikimatch_suite::{wiki_corpus, wikimatch};
+use wikimatch_suite::{wiki_corpus, wiki_text, wikimatch};
 
 use wiki_corpus::{Dataset, SyntheticConfig};
 use wikimatch::{ComputeMode, MatchEngine, SimilarityTable};
@@ -85,6 +85,111 @@ proptest! {
 #[test]
 fn pruned_equals_dense_on_the_pt_en_pair() {
     assert_tables_byte_identical(Dataset::pt_en(&config_with(7, 6)));
+}
+
+/// FNV-1a over the bit patterns of every score of every type's table, in
+/// canonical pair order — one u64 that changes if any float of any table
+/// moves by one ulp.
+fn table_bits_hash(engine: &MatchEngine) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for pairing in &engine.dataset().types {
+        let table = engine.similarity(&pairing.type_id).unwrap();
+        for pair in table.pairs() {
+            fold(pair.vsim.to_bits());
+            fold(pair.lsim.to_bits());
+            fold(pair.lsi.to_bits());
+        }
+    }
+    h
+}
+
+/// The interned pipeline reproduces the string-keyed pipeline's results
+/// **bit for bit**: these golden hashes were captured from the last
+/// string-keyed build (PR 4 seed) on the exact same datasets, before the
+/// `TermArena` refactor landed. If any vocabulary-interning change alters
+/// one bit of one score anywhere, these constants catch it.
+#[test]
+fn table_bits_match_the_pre_interning_golden_values() {
+    let cases: [(&str, Dataset, u64); 3] = [
+        (
+            "pt_tiny",
+            Dataset::pt_en(&SyntheticConfig::tiny()),
+            0xef672a275750ed0a,
+        ),
+        (
+            "vn_tiny",
+            Dataset::vn_en(&SyntheticConfig::tiny()),
+            0x14a39a7e0ac36a19,
+        ),
+        (
+            "vn_seeded",
+            Dataset::vn_en(&config_with(7, 6)),
+            0xbfea5a7d37f94a8e,
+        ),
+    ];
+    for (name, dataset, expected) in cases {
+        let engine = MatchEngine::builder(dataset).build();
+        let found = table_bits_hash(&engine);
+        assert_eq!(
+            found, expected,
+            "{name}: table bits diverged from the string-keyed seed \
+             (found {found:#018x}, golden {expected:#018x})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The interned (shared-arena, integer-compare) merge walk and the
+    /// string-compare fallback walk are the same function: for every
+    /// attribute vector of a randomly drawn corpus, re-hosting the vector on
+    /// a private arena (forcing the string path) reproduces every cosine
+    /// bit for bit.
+    #[test]
+    fn interned_and_string_walks_agree_on_random_corpora(seed in 0u64..1_000) {
+        let engine = MatchEngine::builder(Dataset::vn_en(&config_with(seed, 4))).build();
+        for pairing in &engine.dataset().types.clone() {
+            let schema = engine.schema(&pairing.type_id).unwrap();
+            // Rebuild every value vector on its own private arena: pairwise
+            // ops between rebuilt vectors must take the resolved-term path.
+            let detached: Vec<_> = schema
+                .attributes
+                .iter()
+                .map(|a| {
+                    let entries = a
+                        .translated_values
+                        .iter()
+                        .map(|(t, w)| (t.to_string(), w))
+                        .collect();
+                    wiki_text::TermVector::from_sorted_entries(entries)
+                        .expect("iter output is term-sorted")
+                })
+                .collect();
+            for p in 0..schema.len() {
+                for q in (p + 1)..schema.len() {
+                    let interned = schema.attributes[p]
+                        .translated_values
+                        .cosine(&schema.attributes[q].translated_values);
+                    let string_path = detached[p].cosine(&detached[q]);
+                    prop_assert_eq!(
+                        interned.to_bits(),
+                        string_path.to_bits(),
+                        "type {} pair ({}, {})",
+                        &pairing.type_id,
+                        p,
+                        q
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// The direct `SimilarityTable` entry points agree with the engine modes.
