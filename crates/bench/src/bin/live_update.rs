@@ -1,0 +1,271 @@
+//! Live-update experiment — single-entity delta patch versus full artifact
+//! rebuild across the synthetic scale tiers, the record behind
+//! `BENCH_6.json`.
+//!
+//! For each tier the Pt-En dataset is built and every type's artifacts are
+//! prepared, then two things are measured:
+//!
+//! * **full rebuild** — a fresh [`MatchEngine`] over the same dataset with
+//!   `prepare_all`: the cost a static engine pays to absorb *any* corpus
+//!   change, however small;
+//! * **single-entity delta** — `apply_delta` of an attribute edit to an
+//!   existing cross-linked film article against the warm engine. The
+//!   article's dual pair makes the edit dirty real similarity rows (an
+//!   unlinked probe would patch nothing), while the unchanged title
+//!   dictionary keeps the patch scoped to the article's own type — the
+//!   shape of a typical live infobox edit.
+//!
+//! The delta-equivalence proptest (`tests/delta_equivalence.rs`) pins the
+//! two paths to bit-identical artifacts, so the ratio below is a pure
+//! speedup, not an accuracy trade.
+//!
+//! ```text
+//! cargo run --release -p wiki-bench --bin live_update \
+//!     [-- --tiers tiny,small,medium,large --runs N --smoke --out BENCH_6.json]
+//! ```
+//!
+//! `--smoke` (tiny only, one run) is the CI guard that keeps this binary
+//! from rotting; the checked-in `BENCH_6.json` is produced with
+//! `--out BENCH_6.json` under `taskset -c 0` for a stable single-core
+//! number.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wiki_bench::report::f2;
+use wiki_bench::{format_table, write_report};
+use wiki_corpus::{Article, Dataset, Language, SyntheticConfig};
+use wikimatch::{CorpusDelta, MatchEngine};
+
+/// One tier's measurements, serialized into `reports/live_update.json`
+/// (and, via `--out`, the repo-root `BENCH_6.json`).
+#[derive(serde::Serialize)]
+struct TierResult {
+    tier: String,
+    types: usize,
+    live_articles: usize,
+    full_rebuild_ms: f64,
+    delta_apply_ms: f64,
+    speedup: f64,
+    types_patched: usize,
+    rows_recomputed: u64,
+}
+
+/// The whole run, as checked in at the repo root.
+#[derive(serde::Serialize)]
+struct Report {
+    bench: String,
+    pr: u32,
+    note: String,
+    runs: usize,
+    tiers: Vec<TierResult>,
+}
+
+fn tier_config(tier: &str) -> Option<SyntheticConfig> {
+    match tier {
+        "tiny" => Some(SyntheticConfig::tiny()),
+        "small" => Some(SyntheticConfig::small()),
+        "medium" => Some(SyntheticConfig::medium()),
+        "large" => Some(SyntheticConfig::large()),
+        _ => None,
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Best-of-N wall time of `f` in milliseconds (best-of, not mean: the
+/// quantity of interest is the cost of the work, not of the noise).
+fn time_best<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..runs {
+        let t = Instant::now();
+        last = Some(f());
+        best = best.min(ms(t.elapsed()));
+    }
+    (best, last.expect("runs >= 1"))
+}
+
+/// The representative single-entity update: an *existing* cross-linked
+/// film article gets one attribute *value* edited — title, links,
+/// attribute set and occurrence patterns all unchanged. Its dual pair
+/// makes the edit dirty real similarity rows, while the unchanged
+/// dictionary and schema skeleton keep the patch scoped: no
+/// re-translation sweep, no LSI refit (LSI reads occurrence patterns,
+/// not values). Adding attributes or links takes the heavier paths the
+/// equivalence suite covers; this measures what a typical infobox edit
+/// costs. The value varies by `step` so consecutive applies are never
+/// no-ops.
+fn probe_delta(template: &Article, step: usize) -> CorpusDelta {
+    let mut article = template.clone();
+    let attr = article
+        .infobox
+        .attributes
+        .first_mut()
+        .expect("film infoboxes have attributes");
+    attr.value = format!("{} (edição {step})", attr.value);
+    CorpusDelta::upsert(article)
+}
+
+fn measure_tier(tier: &str, config: &SyntheticConfig, runs: usize) -> TierResult {
+    let dataset = Arc::new(Dataset::pt_en(config));
+    let types = dataset.types.len();
+    let live_articles = dataset.corpus.len();
+
+    // The cost of absorbing a change by rebuilding: fresh engine, every
+    // type's artifacts from scratch.
+    let (full_rebuild_ms, _) = time_best(runs, || {
+        let engine = MatchEngine::builder(Arc::clone(&dataset)).build();
+        engine.prepare_all();
+        engine
+    });
+
+    // The cost of absorbing the same scale of change incrementally: one
+    // attribute edit against a warm engine. Each run applies a *different*
+    // step so no apply degenerates into a fingerprint no-op.
+    let engine = MatchEngine::builder(Arc::clone(&dataset)).build();
+    engine.prepare_all();
+    let template = dataset
+        .corpus
+        .articles_in(&Language::Pt)
+        .find(|a| {
+            a.entity_type == "Filme"
+                && !a.cross_links.is_empty()
+                && !a.infobox.attributes.is_empty()
+        })
+        .expect("every tier has cross-linked Portuguese films")
+        .clone();
+    let mut step = 0usize;
+    let (delta_apply_ms, report) = time_best(runs, || {
+        let delta = probe_delta(&template, step);
+        step += 1;
+        engine.apply_delta(&delta)
+    });
+    assert_eq!(report.updated, 1, "the probe must hit a live article");
+    assert!(
+        report.rows_recomputed > 0,
+        "the probe must dirty similarity rows, or the comparison is vacuous"
+    );
+
+    TierResult {
+        tier: tier.to_string(),
+        types,
+        live_articles,
+        full_rebuild_ms,
+        delta_apply_ms,
+        speedup: full_rebuild_ms / delta_apply_ms,
+        types_patched: report.types_patched,
+        rows_recomputed: report.rows_recomputed,
+    }
+}
+
+/// The next argument as a flag's value; a trailing flag without one is a
+/// usage error, not an index-out-of-bounds panic.
+fn flag_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i).cloned().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value; see the module docs");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tiers = vec![
+        "tiny".to_string(),
+        "small".to_string(),
+        "medium".to_string(),
+        "large".to_string(),
+    ];
+    let mut runs = 5usize;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tiers" => {
+                tiers = flag_value(&args, &mut i, "--tiers")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--runs" => {
+                runs = flag_value(&args, &mut i, "--runs")
+                    .parse()
+                    .expect("--runs takes an integer");
+            }
+            "--smoke" => {
+                tiers = vec!["tiny".to_string()];
+                runs = 1;
+            }
+            "--out" => {
+                out = Some(flag_value(&args, &mut i, "--out"));
+            }
+            other => {
+                eprintln!("unknown flag {other}; see the module docs");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut results = Vec::new();
+    for tier in &tiers {
+        let config = tier_config(tier).unwrap_or_else(|| {
+            eprintln!("unknown tier {tier:?} (tiny|small|medium|large)");
+            std::process::exit(2);
+        });
+        eprintln!("measuring tier {tier} ({runs} runs)...");
+        results.push(measure_tier(tier, &config, runs));
+    }
+
+    let header: Vec<String> = [
+        "tier",
+        "articles",
+        "rebuild ms",
+        "delta ms",
+        "speedup ×",
+        "types patched",
+        "rows",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.tier.clone(),
+                r.live_articles.to_string(),
+                f2(r.full_rebuild_ms),
+                f2(r.delta_apply_ms),
+                f2(r.speedup),
+                r.types_patched.to_string(),
+                r.rows_recomputed.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", format_table(&header, &rows));
+
+    let report = Report {
+        bench: "live_update".to_string(),
+        pr: 6,
+        note: "single-core (taskset -c 0); full rebuild = fresh MatchEngine + \
+               prepare_all over the same dataset; delta = one attribute edit \
+               to an existing cross-linked film article via apply_delta \
+               against the warm engine (a different value each run, so no \
+               apply is a fingerprint no-op); tests/delta_equivalence.rs pins \
+               both paths to bit-identical artifacts"
+            .to_string(),
+        runs,
+        tiers: results,
+    };
+    write_report("live_update", &report);
+    if let Some(path) = out {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => std::fs::write(&path, json + "\n").expect("write --out file"),
+            Err(err) => eprintln!("warning: cannot serialise report: {err}"),
+        }
+    }
+}

@@ -185,7 +185,7 @@ impl ExperimentContext {
     }
 
     /// The dataset of one language pair.
-    pub fn dataset(&self, pair: &str) -> &Dataset {
+    pub fn dataset(&self, pair: &str) -> std::sync::Arc<Dataset> {
         self.engine(pair).dataset()
     }
 

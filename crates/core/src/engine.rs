@@ -11,6 +11,14 @@
 //! type, a different matcher over the same type, an evaluation sweep —
 //! reuses the shared artifacts instead of recomputing them.
 //!
+//! The session is **live**: [`MatchEngine::apply_delta`] (and the
+//! [`insert_entity`](MatchEngine::insert_entity) /
+//! [`update_entity`](MatchEngine::update_entity) /
+//! [`remove_entity`](MatchEngine::remove_entity) conveniences) mutate the
+//! corpus in place and *patch* the cached artifacts instead of discarding
+//! them — see [`crate::delta`] for the invalidation rules that keep the
+//! patched artifacts bit-identical to a cold rebuild.
+//!
 //! [`SchemaMatcher`] is the plugin interface: WikiMatch itself and every
 //! baseline implement it, so harnesses can iterate over
 //! `&dyn SchemaMatcher` values and run any matcher through the same engine
@@ -34,17 +42,18 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use wiki_corpus::{Dataset, TypePairing};
+use wiki_corpus::{Article, Dataset, Language, TypePairing};
 use wiki_text::TermArena;
 use wiki_translate::TitleDictionary;
 
 use crate::alignment::AttributeAlignment;
 use crate::config::WikiMatchConfig;
+use crate::delta::{patch_prepared_type, CorpusDelta, DeltaReport, PatchContext};
 use crate::pipeline::{TypeAlignment, WikiMatch};
 use crate::schema::{CandidateIndex, DualSchema};
 use crate::similarity::{ComputeMode, SimilarityTable};
@@ -53,8 +62,9 @@ use crate::types::{match_entity_types, TypeMatch};
 
 /// Recovers the guarded value of a poisoned lock.
 ///
-/// The per-engine caches only ever *add* completed artifacts behind
-/// `OnceLock` slots, so their state is consistent even when a panicking
+/// The engine state only ever swaps *complete* consistent values under its
+/// locks (and the per-type caches only add completed artifacts behind
+/// `OnceLock` slots), so the state is consistent even when a panicking
 /// thread (e.g. one caught by a serving layer's panic barrier) was holding
 /// the lock — propagating the poison would needlessly wedge every other
 /// worker sharing the session.
@@ -139,6 +149,12 @@ pub struct EngineStats {
     pub artifact_builds: u64,
     /// Matcher runs served (`align`, `align_with` and the `_all` variants).
     pub alignments: u64,
+    /// Corpus deltas applied through [`MatchEngine::apply_delta`] and the
+    /// single-entity mutation conveniences.
+    pub deltas_applied: u64,
+    /// Similarity pairs whose cosines were recomputed by delta patches,
+    /// cumulatively — everything else kept its exact bits.
+    pub rows_recomputed: u64,
     /// Number of per-type artifact sets currently cached.
     pub cached_types: usize,
     /// Distinct interned terms across the cached types' arenas — together
@@ -161,6 +177,30 @@ struct EngineCounters {
     prepared_requests: AtomicU64,
     artifact_builds: AtomicU64,
     alignments: AtomicU64,
+    deltas_applied: AtomicU64,
+    rows_recomputed: AtomicU64,
+}
+
+/// The swappable session state. Everything a request path needs lives
+/// behind **one** lock, so a single read acquisition yields a mutually
+/// consistent `(dataset, dictionary, artifacts)` view — a delta landing
+/// between two lock acquisitions can never pair a new corpus with old
+/// artifacts or vice versa.
+#[derive(Debug)]
+struct EngineState {
+    dataset: Arc<Dataset>,
+    dictionary: Arc<TitleDictionary>,
+    /// Fingerprint of the current corpus (see
+    /// [`corpus_fingerprint`]) — kept current across deltas so the
+    /// persistence layers can chain journal records without re-hashing.
+    fingerprint: u64,
+    type_matches: Option<Arc<Vec<TypeMatch>>>,
+    // Per-type slots so concurrent first requests for the same type block on
+    // one computation instead of racing to duplicate it. `apply_delta`
+    // replaces the *whole map* with fresh slots; a stale in-flight build
+    // then completes into an orphaned slot and is dropped, never mixed into
+    // the new state.
+    prepared: HashMap<String, Arc<OnceLock<PreparedType>>>,
 }
 
 // Compile-time Send + Sync audit: serving layers share one engine session
@@ -217,13 +257,18 @@ impl MatchEngineBuilder {
             self.dataset.other_language(),
             self.dataset.english(),
         );
+        let fingerprint = corpus_fingerprint(&self.dataset);
         let engine = MatchEngine {
-            dataset: self.dataset,
             config: self.config,
             compute_mode: self.compute_mode,
-            dictionary,
-            type_matches: OnceLock::new(),
-            prepared: RwLock::new(HashMap::new()),
+            state: RwLock::new(EngineState {
+                dataset: self.dataset,
+                dictionary: Arc::new(dictionary),
+                fingerprint,
+                type_matches: None,
+                prepared: HashMap::new(),
+            }),
+            mutation: Mutex::new(()),
             counters: EngineCounters::default(),
         };
         if self.eager {
@@ -277,12 +322,16 @@ impl MatchEngineBuilder {
             prepared.insert(type_id, slot);
         }
         let engine = MatchEngine {
-            dataset: self.dataset,
             config: self.config,
             compute_mode: self.compute_mode,
-            dictionary: snapshot.dictionary,
-            type_matches: OnceLock::new(),
-            prepared: RwLock::new(prepared),
+            state: RwLock::new(EngineState {
+                dataset: self.dataset,
+                dictionary: Arc::new(snapshot.dictionary),
+                fingerprint: expected,
+                type_matches: None,
+                prepared,
+            }),
+            mutation: Mutex::new(()),
             counters: EngineCounters::default(),
         };
         if self.eager {
@@ -300,16 +349,21 @@ impl MatchEngineBuilder {
 /// first use and cached for the session. The engine is `Sync`:
 /// [`align_all`](Self::align_all) runs per-type alignment on parallel
 /// threads, and callers may share one engine across threads freely.
+///
+/// The session accepts live mutations: [`apply_delta`](Self::apply_delta)
+/// swaps in a mutated corpus and incrementally patched artifacts under the
+/// state lock, so concurrent readers always observe a consistent
+/// `(corpus, artifacts)` pair — either entirely pre-delta or entirely
+/// post-delta.
 #[derive(Debug)]
 pub struct MatchEngine {
-    dataset: Arc<Dataset>,
     config: WikiMatchConfig,
     compute_mode: ComputeMode,
-    dictionary: TitleDictionary,
-    type_matches: OnceLock<Vec<TypeMatch>>,
-    // Per-type slots so concurrent first requests for the same type block on
-    // one computation instead of racing to duplicate it.
-    prepared: RwLock<HashMap<String, Arc<OnceLock<PreparedType>>>>,
+    state: RwLock<EngineState>,
+    /// Serialises writers: deltas are applied one at a time (each patches
+    /// against the state it captured), while readers keep flowing on the
+    /// `state` lock until the final swap.
+    mutation: Mutex<()>,
     counters: EngineCounters,
 }
 
@@ -332,14 +386,17 @@ impl MatchEngine {
         Self::builder(dataset).build()
     }
 
-    /// The dataset this session is scoped to.
-    pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+    /// The dataset this session is currently scoped to. The handle is a
+    /// point-in-time capture: a delta applied later swaps the session to a
+    /// new dataset value without disturbing holders of this one.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&recover(self.state.read()).dataset)
     }
 
-    /// Shared handle to the dataset.
+    /// Shared handle to the dataset (alias of [`dataset`](Self::dataset),
+    /// kept for call sites that spell the intent explicitly).
     pub fn dataset_arc(&self) -> Arc<Dataset> {
-        Arc::clone(&self.dataset)
+        self.dataset()
     }
 
     /// The WikiMatch configuration in use.
@@ -352,34 +409,58 @@ impl MatchEngine {
         self.compute_mode
     }
 
-    /// The bilingual title dictionary, derived once from the corpus'
-    /// cross-language links.
-    pub fn dictionary(&self) -> &TitleDictionary {
-        &self.dictionary
+    /// The bilingual title dictionary of the current corpus (rebuilt on
+    /// every applied delta).
+    pub fn dictionary(&self) -> Arc<TitleDictionary> {
+        Arc::clone(&recover(self.state.read()).dictionary)
+    }
+
+    /// Fingerprint of the current corpus (see
+    /// [`corpus_fingerprint`]) — what a snapshot captured
+    /// now would carry, and what journal records chain against.
+    pub fn fingerprint(&self) -> u64 {
+        recover(self.state.read()).fingerprint
     }
 
     /// The entity-type correspondences discovered from cross-language
-    /// links (step 1 of the paper), computed once per session on first
-    /// access — alignment paths that never ask for them never pay for
-    /// them.
-    pub fn type_matches(&self) -> &[TypeMatch] {
-        self.type_matches.get_or_init(|| {
-            match_entity_types(
-                &self.dataset.corpus,
-                self.dataset.other_language(),
-                self.dataset.english(),
-            )
-        })
+    /// links (step 1 of the paper), computed once per corpus version on
+    /// first access — alignment paths that never ask for them never pay
+    /// for them, and a delta invalidates them along with everything else.
+    pub fn type_matches(&self) -> Arc<Vec<TypeMatch>> {
+        let (dataset, cached) = {
+            let state = recover(self.state.read());
+            (Arc::clone(&state.dataset), state.type_matches.clone())
+        };
+        if let Some(matches) = cached {
+            return matches;
+        }
+        let computed = Arc::new(match_entity_types(
+            &dataset.corpus,
+            dataset.other_language(),
+            dataset.english(),
+        ));
+        let mut state = recover(self.state.write());
+        // Only publish against the dataset the computation saw; racing a
+        // delta just means this caller keeps its (consistent) result while
+        // the new state recomputes lazily.
+        if Arc::ptr_eq(&state.dataset, &dataset) {
+            if let Some(existing) = &state.type_matches {
+                return Arc::clone(existing);
+            }
+            state.type_matches = Some(Arc::clone(&computed));
+        }
+        computed
     }
 
     /// The type pairings of the dataset (convenience passthrough).
-    pub fn type_pairings(&self) -> &[TypePairing] {
-        &self.dataset.types
+    pub fn type_pairings(&self) -> Vec<TypePairing> {
+        recover(self.state.read()).dataset.types.clone()
     }
 
     /// Number of per-type artifact sets currently cached.
     pub fn cached_types(&self) -> usize {
-        recover(self.prepared.read())
+        recover(self.state.read())
+            .prepared
             .values()
             .filter(|slot| slot.get().is_some())
             .count()
@@ -390,12 +471,14 @@ impl MatchEngine {
     /// never requested (and types still being computed by another thread)
     /// are absent.
     pub fn cached_artifacts(&self) -> Vec<(String, PreparedType)> {
-        let cache = recover(self.prepared.read());
-        self.dataset
+        let state = recover(self.state.read());
+        state
+            .dataset
             .types
             .iter()
             .filter_map(|pairing| {
-                cache
+                state
+                    .prepared
                     .get(&pairing.type_id)
                     .and_then(|slot| slot.get())
                     .map(|prepared| (pairing.type_id.clone(), prepared.clone()))
@@ -403,36 +486,62 @@ impl MatchEngine {
             .collect()
     }
 
+    /// Captures a mutually consistent `(dataset, dictionary, pairing,
+    /// slot)` quadruple for one type under a single state-lock view.
+    #[allow(clippy::type_complexity)]
+    fn capture_type(
+        &self,
+        type_id: &str,
+    ) -> Option<(
+        Arc<Dataset>,
+        Arc<TitleDictionary>,
+        TypePairing,
+        Arc<OnceLock<PreparedType>>,
+    )> {
+        {
+            let state = recover(self.state.read());
+            let pairing = state.dataset.type_pairing(type_id)?;
+            if let Some(slot) = state.prepared.get(type_id) {
+                return Some((
+                    Arc::clone(&state.dataset),
+                    Arc::clone(&state.dictionary),
+                    pairing.clone(),
+                    Arc::clone(slot),
+                ));
+            }
+        }
+        let mut state = recover(self.state.write());
+        let pairing = state.dataset.type_pairing(type_id)?.clone();
+        let dataset = Arc::clone(&state.dataset);
+        let dictionary = Arc::clone(&state.dictionary);
+        let slot = Arc::clone(state.prepared.entry(type_id.to_string()).or_default());
+        Some((dataset, dictionary, pairing, slot))
+    }
+
     /// The shared schema + similarity artifacts of one type, computing and
     /// caching them on first request. Returns `None` for unknown type ids.
     ///
     /// Concurrent first requests for the same type synchronize on a
     /// per-type slot: exactly one thread computes, the rest wait and share
-    /// the result.
+    /// the result. The dataset, dictionary and slot are captured under one
+    /// lock view, so a build racing a delta computes against a consistent
+    /// pre-delta state (into a slot the delta already orphaned).
     pub fn prepared(&self, type_id: &str) -> Option<PreparedType> {
         self.counters
             .prepared_requests
             .fetch_add(1, Ordering::Relaxed);
-        let pairing = self.dataset.type_pairing(type_id)?;
-        let slot = {
-            let cache = recover(self.prepared.read());
-            cache.get(type_id).cloned()
-        };
-        let slot = slot.unwrap_or_else(|| {
-            let mut cache = recover(self.prepared.write());
-            Arc::clone(cache.entry(type_id.to_string()).or_default())
-        });
+        let (dataset, dictionary, pairing, slot) = self.capture_type(type_id)?;
         Some(
             slot.get_or_init(|| {
                 self.counters
                     .artifact_builds
                     .fetch_add(1, Ordering::Relaxed);
                 let schema = DualSchema::build(
-                    &self.dataset.corpus,
-                    self.dataset.other_language(),
+                    &dataset.corpus,
+                    dataset.other_language(),
                     &pairing.label_other,
                     &pairing.label_en,
-                    &self.dictionary,
+                    &dictionary,
                 );
                 // The index is built once here (not inside the similarity
                 // pass) so it lives on as a prepared artifact the snapshot
@@ -470,14 +579,137 @@ impl MatchEngine {
 
     /// Warms the cache for every type of the dataset, in parallel.
     pub fn prepare_all(&self) {
-        self.dataset.types.par_iter().for_each(|pairing| {
+        let dataset = self.dataset();
+        dataset.types.par_iter().for_each(|pairing| {
             self.prepared(&pairing.type_id);
         });
+    }
+
+    /// Applies a batch of entity mutations to the corpus and patches every
+    /// cached per-type artifact set incrementally (see [`crate::delta`]).
+    ///
+    /// Readers are never blocked while the patch computes: the new state —
+    /// mutated dataset, rebuilt dictionary, patched artifacts, fresh
+    /// fingerprint — is assembled on the side and swapped in under one
+    /// short write-lock critical section. Concurrent deltas serialise on an
+    /// internal mutation lock.
+    pub fn apply_delta(&self, delta: &CorpusDelta) -> DeltaReport {
+        let _mutation_guard = recover(self.mutation.lock());
+        let (old_dataset, old_dictionary, fingerprint_before, cached) = {
+            let state = recover(self.state.read());
+            let cached: Vec<(String, PreparedType)> = state
+                .dataset
+                .types
+                .iter()
+                .filter_map(|pairing| {
+                    state
+                        .prepared
+                        .get(&pairing.type_id)
+                        .and_then(|slot| slot.get())
+                        .map(|prepared| (pairing.type_id.clone(), prepared.clone()))
+                })
+                .collect();
+            (
+                Arc::clone(&state.dataset),
+                Arc::clone(&state.dictionary),
+                state.fingerprint,
+                cached,
+            )
+        };
+        if delta.is_empty() {
+            return DeltaReport {
+                fingerprint_before,
+                fingerprint: fingerprint_before,
+                ..DeltaReport::default()
+            };
+        }
+
+        let mut new_dataset = (*old_dataset).clone();
+        let (inserted, updated, removed) = delta.apply_to(&mut new_dataset.corpus);
+        let new_dictionary = TitleDictionary::from_corpus(
+            &new_dataset.corpus,
+            new_dataset.other_language(),
+            new_dataset.english(),
+        );
+        let patched: Vec<(String, PreparedType, u64, bool)> = {
+            let ctx = PatchContext::new(
+                &old_dataset.corpus,
+                &new_dataset.corpus,
+                &old_dictionary,
+                &new_dictionary,
+                delta,
+            );
+            cached
+                .par_iter()
+                .map(|(type_id, old)| {
+                    let pairing = new_dataset
+                        .type_pairing(type_id)
+                        .expect("cached type ids come from the dataset")
+                        .clone();
+                    let (prepared, rows, walked) =
+                        patch_prepared_type(&ctx, &pairing, old, self.config.lsi);
+                    (type_id.clone(), prepared, rows, walked)
+                })
+                .collect()
+        };
+        let fingerprint = corpus_fingerprint(&new_dataset);
+        let types_patched = patched.iter().filter(|(_, _, _, walked)| *walked).count();
+        let rows_recomputed: u64 = patched.iter().map(|(_, _, rows, _)| *rows).sum();
+        let mut prepared: HashMap<String, Arc<OnceLock<PreparedType>>> = HashMap::new();
+        for (type_id, artifacts, _, _) in patched {
+            let slot = Arc::new(OnceLock::new());
+            let _ = slot.set(artifacts);
+            prepared.insert(type_id, slot);
+        }
+        {
+            let mut state = recover(self.state.write());
+            state.dataset = Arc::new(new_dataset);
+            state.dictionary = Arc::new(new_dictionary);
+            state.fingerprint = fingerprint;
+            state.type_matches = None;
+            state.prepared = prepared;
+        }
+        self.counters.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .rows_recomputed
+            .fetch_add(rows_recomputed, Ordering::Relaxed);
+        DeltaReport {
+            inserted,
+            updated,
+            removed,
+            types_patched,
+            rows_recomputed,
+            fingerprint_before,
+            fingerprint,
+        }
+    }
+
+    /// Inserts an article (or replaces the live article with the same
+    /// `(language, title)` key). Convenience wrapper over
+    /// [`apply_delta`](Self::apply_delta).
+    pub fn insert_entity(&self, article: Article) -> DeltaReport {
+        self.apply_delta(&CorpusDelta::upsert(article))
+    }
+
+    /// Updates an article in place (alias of
+    /// [`insert_entity`](Self::insert_entity) — upsert semantics).
+    pub fn update_entity(&self, article: Article) -> DeltaReport {
+        self.apply_delta(&CorpusDelta::upsert(article))
+    }
+
+    /// Tombstones the live article with the given `(language, title)` key.
+    /// Convenience wrapper over [`apply_delta`](Self::apply_delta).
+    pub fn remove_entity(&self, language: Language, title: impl Into<String>) -> DeltaReport {
+        self.apply_delta(&CorpusDelta::remove(language, title))
     }
 
     /// Aligns one entity type with the engine's WikiMatch configuration.
     /// Returns `None` for unknown type ids.
     pub fn align(&self, type_id: &str) -> Option<TypeAlignment> {
+        let languages = {
+            let state = recover(self.state.read());
+            state.dataset.languages.clone()
+        };
         let prepared = self.prepared(type_id)?;
         self.counters.alignments.fetch_add(1, Ordering::Relaxed);
         let matches = AttributeAlignment::new(&prepared.schema, &prepared.table, self.config).run();
@@ -486,14 +718,15 @@ impl MatchEngine {
             schema: prepared.schema,
             table: prepared.table,
             matches,
-            languages: self.dataset.languages.clone(),
+            languages,
         })
     }
 
     /// Aligns every entity type of the dataset, running the per-type
     /// alignment in parallel. Results are in dataset type order.
     pub fn align_all(&self) -> Vec<TypeAlignment> {
-        self.dataset
+        let dataset = self.dataset();
+        dataset
             .types
             .par_iter()
             .map(|pairing| {
@@ -531,8 +764,8 @@ impl MatchEngine {
         let mut interned_bytes = 0u64;
         let mut vector_entries = 0u64;
         {
-            let cache = recover(self.prepared.read());
-            for prepared in cache.values().filter_map(|slot| slot.get()) {
+            let state = recover(self.state.read());
+            for prepared in state.prepared.values().filter_map(|slot| slot.get()) {
                 cached_types += 1;
                 interned_terms += prepared.arena.len() as u64;
                 interned_bytes += prepared.arena.term_bytes() as u64;
@@ -543,6 +776,8 @@ impl MatchEngine {
             prepared_requests: self.counters.prepared_requests.load(Ordering::Relaxed),
             artifact_builds: self.counters.artifact_builds.load(Ordering::Relaxed),
             alignments: self.counters.alignments.load(Ordering::Relaxed),
+            deltas_applied: self.counters.deltas_applied.load(Ordering::Relaxed),
+            rows_recomputed: self.counters.rows_recomputed.load(Ordering::Relaxed),
             cached_types,
             interned_terms,
             interned_bytes,
@@ -556,7 +791,8 @@ impl MatchEngine {
         &self,
         matcher: &dyn SchemaMatcher,
     ) -> Vec<(String, Vec<(String, String)>)> {
-        self.dataset
+        let dataset = self.dataset();
+        dataset
             .types
             .par_iter()
             .map(|pairing| {
@@ -670,6 +906,9 @@ mod tests {
         assert_eq!(stats.prepared_requests, 4);
         assert_eq!(stats.artifact_builds, 1);
         assert_eq!(stats.alignments, 2);
+        // No mutations yet.
+        assert_eq!(stats.deltas_applied, 0);
+        assert_eq!(stats.rows_recomputed, 0);
     }
 
     #[test]
@@ -722,5 +961,63 @@ mod tests {
             assert_eq!(type_id, &alignment.type_id);
             assert_eq!(pairs, &alignment.cross_pairs());
         }
+    }
+
+    #[test]
+    fn empty_delta_is_a_cheap_no_op() {
+        let engine = engine();
+        let before = engine.fingerprint();
+        let report = engine.apply_delta(&CorpusDelta::new());
+        assert_eq!(
+            report,
+            DeltaReport {
+                fingerprint_before: before,
+                fingerprint: before,
+                ..DeltaReport::default()
+            }
+        );
+        assert_eq!(engine.stats().deltas_applied, 0);
+    }
+
+    #[test]
+    fn apply_delta_swaps_dataset_dictionary_and_fingerprint() {
+        use wiki_corpus::{Article, AttributeValue, Infobox};
+        let engine = engine();
+        engine.prepare_all();
+        let before_fp = engine.fingerprint();
+        let before_dataset = engine.dataset();
+        let types = engine.dataset().types.len();
+
+        let mut infobox = Infobox::new("Infobox Film");
+        infobox.push(AttributeValue::text("titulo", "Novo Filme"));
+        let article = Article::new("Novo Filme", Language::Pt, "Filme", infobox);
+        let report = engine.insert_entity(article);
+
+        assert_eq!(report.inserted, 1);
+        // A link-free Portuguese film leaves the dictionary and clusters
+        // alone, so only the film type is patched — every other cached
+        // type carries over untouched.
+        assert_eq!(report.types_patched, 1);
+        assert_eq!(report.fingerprint_before, before_fp);
+        assert_ne!(report.fingerprint, before_fp);
+        assert_eq!(engine.fingerprint(), report.fingerprint);
+        // The old dataset handle is untouched; the engine moved on.
+        assert!(!Arc::ptr_eq(&before_dataset, &engine.dataset()));
+        assert_eq!(
+            engine.dataset().corpus.len(),
+            before_dataset.corpus.len() + 1
+        );
+        // Artifacts stayed cached (patched, not discarded).
+        assert_eq!(engine.cached_types(), types);
+        let stats = engine.stats();
+        assert_eq!(stats.deltas_applied, 1);
+        assert_eq!(stats.artifact_builds, types as u64);
+
+        // Removing it again restores the fingerprint lineage forward (a
+        // tombstone is not a byte-identical corpus, so the fingerprint
+        // moves again rather than reverting).
+        let report2 = engine.remove_entity(Language::Pt, "Novo Filme");
+        assert_eq!(report2.removed, 1);
+        assert_eq!(report2.fingerprint_before, report.fingerprint);
     }
 }

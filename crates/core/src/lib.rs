@@ -94,13 +94,18 @@
 //! * [`pipeline`] — [`TypeAlignment`] results and the [`WikiMatch`]
 //!   configuration holder (plus the deprecated one-shot entry points).
 //! * [`snapshot`] — versioned binary persistence of engine artifacts
-//!   ([`EngineSnapshot`]), enabling zero-rebuild warm starts.
+//!   ([`EngineSnapshot`]), enabling zero-rebuild warm starts, plus the
+//!   journaled delta log ([`DeltaJournal`]) that lets mutated corpora
+//!   warm-start too.
+//! * [`delta`] — live-corpus mutations ([`CorpusDelta`]) and the
+//!   incremental artifact patcher behind [`MatchEngine::apply_delta`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alignment;
 pub mod config;
+pub mod delta;
 pub mod engine;
 pub mod matches;
 pub mod pipeline;
@@ -111,6 +116,7 @@ pub mod types;
 
 pub use alignment::AttributeAlignment;
 pub use config::WikiMatchConfig;
+pub use delta::{CorpusDelta, DeltaOp, DeltaReport};
 pub use engine::{EngineStats, MatchEngine, MatchEngineBuilder, PreparedType, SchemaMatcher};
 pub use matches::{MatchCluster, MatchSet};
 pub use pipeline::{TypeAlignment, WikiMatch};
@@ -119,5 +125,5 @@ pub use pipeline::{TypeAlignment, WikiMatch};
 // build, reachable for the curious but outside the headline API surface.
 pub use schema::{AttributeStats, DualSchema};
 pub use similarity::{CandidatePair, ComputeMode, ParseComputeModeError, SimilarityTable};
-pub use snapshot::{corpus_fingerprint, EngineSnapshot, SnapshotError};
+pub use snapshot::{corpus_fingerprint, DeltaJournal, DeltaRecord, EngineSnapshot, SnapshotError};
 pub use types::match_entity_types;

@@ -276,7 +276,7 @@ impl SimilarityTable {
     }
 
     /// Fits the LSI model on the attribute × dual-infobox occurrence matrix.
-    fn fit_lsi(schema: &DualSchema, config: LsiConfig) -> LsiModel {
+    pub(crate) fn fit_lsi(schema: &DualSchema, config: LsiConfig) -> LsiModel {
         let n = schema.len();
         let m = schema.dual_count;
         let mut occurrence = Matrix::zeros(n, m);
@@ -305,7 +305,7 @@ impl SimilarityTable {
     /// only evaluated) for same-language pairs, so cross-language pairs pay
     /// nothing for it in either pass. The dense path hands in the boolean
     /// zip, the pruned path the AND+popcount over packed patterns.
-    fn lsi_score_with(
+    pub(crate) fn lsi_score_with(
         schema: &DualSchema,
         model: &LsiModel,
         p: usize,
@@ -381,7 +381,7 @@ impl SimilarityTable {
 /// Packs every attribute's boolean occurrence pattern into `u64` words so
 /// the pruned path can test co-occurrence with a handful of ANDs instead of
 /// an O(dual-count) boolean zip per pair.
-fn pack_occurrence_patterns(schema: &DualSchema) -> Vec<Vec<u64>> {
+pub(crate) fn pack_occurrence_patterns(schema: &DualSchema) -> Vec<Vec<u64>> {
     let words = schema.dual_count.div_ceil(64);
     schema
         .attributes
@@ -400,7 +400,7 @@ fn pack_occurrence_patterns(schema: &DualSchema) -> Vec<Vec<u64>> {
 
 /// True when two packed occurrence patterns share at least one set bit —
 /// exactly `AttributeStats::co_occurrences(..) > 0`, word-parallel.
-fn packed_patterns_intersect(a: &[u64], b: &[u64]) -> bool {
+pub(crate) fn packed_patterns_intersect(a: &[u64], b: &[u64]) -> bool {
     a.iter().zip(b).any(|(x, y)| x & y != 0)
 }
 

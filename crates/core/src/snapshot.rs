@@ -62,10 +62,11 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use wiki_corpus::{Dataset, Language};
+use wiki_corpus::{Article, AttributeValue, Dataset, Infobox, Language, Link};
 use wiki_text::TermVector;
 use wiki_translate::TitleDictionary;
 
+use crate::delta::{CorpusDelta, DeltaOp};
 use crate::engine::{MatchEngine, PreparedType};
 use crate::schema::{AttributeStats, CandidateIndex, DualSchema, PairSet};
 use crate::similarity::{CandidatePair, SimilarityTable};
@@ -82,7 +83,14 @@ use crate::similarity::{CandidatePair, SimilarityTable};
 ///   Version-1 files are rejected with [`SnapshotError::UnsupportedVersion`]
 ///   — rebuild and re-persist, the artifacts are pure functions of the
 ///   corpus.
-pub const FORMAT_VERSION: u32 = 2;
+/// * **3** — journaled-delta era: the base payload layout is unchanged from
+///   version 2, but a base image may now be accompanied by a sibling
+///   [`DeltaJournal`] whose records chain forward from the base fingerprint.
+///   The stamp separates bases written by journal-aware builds from
+///   pre-journal files, so an old reader can never pair a journal with a
+///   base it does not understand. Version-2 files are rejected — rebuild
+///   and re-persist.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Magic bytes opening every snapshot file.
 const MAGIC: [u8; 8] = *b"WMSNAP\r\n";
@@ -799,8 +807,8 @@ impl EngineSnapshot {
     /// a fully warmed session.
     pub fn capture(engine: &MatchEngine) -> Self {
         Self {
-            fingerprint: corpus_fingerprint(engine.dataset()),
-            dictionary: engine.dictionary().clone(),
+            fingerprint: engine.fingerprint(),
+            dictionary: engine.dictionary().as_ref().clone(),
             types: engine.cached_artifacts(),
         }
     }
@@ -967,6 +975,399 @@ impl EngineSnapshot {
     /// Loads a snapshot from `path`.
     pub fn load(path: &Path) -> Result<Self, SnapshotError> {
         Self::from_bytes(&fs::read(path)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The delta journal.
+
+/// Version stamped into every journal header; readers reject anything else.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening every journal file.
+const JOURNAL_MAGIC: [u8; 8] = *b"WMJRNL\r\n";
+
+/// Fixed size of the journal header preceding the records.
+const JOURNAL_HEADER_LEN: usize = JOURNAL_MAGIC.len() + 4 + 8;
+
+fn encode_article(enc: &mut Enc, article: &Article) {
+    enc.str(&article.title);
+    enc.str(article.language.code());
+    enc.str(&article.entity_type);
+    enc.str(&article.infobox.template);
+    enc.u64(article.infobox.attributes.len() as u64);
+    for attr in &article.infobox.attributes {
+        enc.str(&attr.name);
+        enc.str(&attr.value);
+        enc.u64(attr.links.len() as u64);
+        for link in &attr.links {
+            enc.str(&link.target);
+            enc.str(&link.anchor);
+        }
+    }
+    enc.u64(article.cross_links.len() as u64);
+    for (language, title) in &article.cross_links {
+        enc.str(language.code());
+        enc.str(title);
+    }
+}
+
+fn decode_article(dec: &mut Dec<'_>) -> Result<Article, SnapshotError> {
+    let title = dec.str()?;
+    let language = Language::from_code(&dec.str()?);
+    let entity_type = dec.str()?;
+    let mut infobox = Infobox::new(dec.str()?);
+    let n_attrs = dec.count()?;
+    for _ in 0..n_attrs {
+        let name = dec.str()?;
+        let value = dec.str()?;
+        let n_links = dec.count()?;
+        let mut links = Vec::with_capacity(n_links);
+        for _ in 0..n_links {
+            let target = dec.str()?;
+            let anchor = dec.str()?;
+            links.push(Link::with_anchor(target, anchor));
+        }
+        infobox.push(AttributeValue::linked(name, value, links));
+    }
+    // The persisted article never carries an id: ids are corpus-local and
+    // minted (or looked up) when the delta is applied.
+    let mut article = Article::new(title, language, entity_type, infobox);
+    let n_cross = dec.count()?;
+    for _ in 0..n_cross {
+        let language = Language::from_code(&dec.str()?);
+        let title = dec.str()?;
+        article.cross_links.push((language, title));
+    }
+    Ok(article)
+}
+
+fn encode_delta(enc: &mut Enc, delta: &CorpusDelta) {
+    enc.u64(delta.ops.len() as u64);
+    for op in &delta.ops {
+        match op {
+            DeltaOp::Upsert(article) => {
+                enc.0.push(0);
+                encode_article(enc, article);
+            }
+            DeltaOp::Remove { language, title } => {
+                enc.0.push(1);
+                enc.str(language.code());
+                enc.str(title);
+            }
+        }
+    }
+}
+
+fn decode_delta(dec: &mut Dec<'_>) -> Result<CorpusDelta, SnapshotError> {
+    let n_ops = dec.count()?;
+    let mut delta = CorpusDelta::new();
+    for _ in 0..n_ops {
+        match dec.take(1)?[0] {
+            0 => delta.push(DeltaOp::Upsert(decode_article(dec)?)),
+            1 => {
+                let language = Language::from_code(&dec.str()?);
+                let title = dec.str()?;
+                delta.push(DeltaOp::Remove { language, title });
+            }
+            tag => {
+                return Err(SnapshotError::Malformed(format!(
+                    "unknown delta op tag {tag}"
+                )))
+            }
+        }
+    }
+    Ok(delta)
+}
+
+/// One journaled mutation: the delta itself plus the fingerprint chain that
+/// pins *where in the corpus lineage* it applies. `parent_fingerprint` must
+/// equal the fingerprint of the corpus the delta is replayed onto and
+/// `post_fingerprint` the fingerprint of the corpus it produces — replay
+/// verifies both, so a journal can never be applied to the wrong base or in
+/// the wrong order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRecord {
+    /// Zero-based position in the journal; records must be consecutive.
+    pub seq: u64,
+    /// Fingerprint of the corpus this delta applies to (the previous
+    /// record's [`post_fingerprint`](Self::post_fingerprint), or the
+    /// journal's base fingerprint for record 0).
+    pub parent_fingerprint: u64,
+    /// Fingerprint of the corpus after applying the delta.
+    pub post_fingerprint: u64,
+    /// The mutation batch itself.
+    pub delta: CorpusDelta,
+}
+
+fn encode_journal_record(record: &DeltaRecord) -> Vec<u8> {
+    let mut payload = Enc::new();
+    payload.u64(record.seq);
+    payload.u64(record.parent_fingerprint);
+    payload.u64(record.post_fingerprint);
+    encode_delta(&mut payload, &record.delta);
+    let payload = payload.0;
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parses one length-prefixed record off the front of `buf`, validating its
+/// checksum and its place in the chain; returns the record and the bytes
+/// consumed.
+fn decode_journal_record(
+    buf: &[u8],
+    expected_seq: u64,
+    expected_parent: u64,
+) -> Result<(DeltaRecord, usize), SnapshotError> {
+    let mut dec = Dec::new(buf);
+    let payload_len = dec.count()?;
+    let expected = dec.u64()?;
+    let payload = dec.take(payload_len)?;
+    let found = checksum(payload);
+    if found != expected {
+        return Err(SnapshotError::ChecksumMismatch { found, expected });
+    }
+    let mut p = Dec::new(payload);
+    let seq = p.u64()?;
+    let parent_fingerprint = p.u64()?;
+    let post_fingerprint = p.u64()?;
+    let delta = decode_delta(&mut p)?;
+    if !p.finished() {
+        return Err(SnapshotError::Malformed(format!(
+            "journal record {seq} longer than its contents"
+        )));
+    }
+    if seq != expected_seq {
+        return Err(SnapshotError::Malformed(format!(
+            "journal records out of order: found sequence {seq}, expected {expected_seq}"
+        )));
+    }
+    if parent_fingerprint != expected_parent {
+        return Err(SnapshotError::Malformed(format!(
+            "journal replay order broken: record {seq} chains from \
+             {parent_fingerprint:#018x}, but the journal tip is {expected_parent:#018x}"
+        )));
+    }
+    Ok((
+        DeltaRecord {
+            seq,
+            parent_fingerprint,
+            post_fingerprint,
+            delta,
+        },
+        16 + payload_len,
+    ))
+}
+
+/// A journaled log of corpus deltas chained forward from a base corpus
+/// fingerprint — the second half of the version-3 persistence story: the
+/// base [`EngineSnapshot`] freezes a corpus, the journal records where the
+/// corpus went from there, and replaying the journal over the base
+/// reproduces the live engine without a cold rebuild.
+///
+/// The on-disk format mirrors the snapshot's framing discipline at record
+/// granularity:
+///
+/// ```text
+/// header   magic (8B) | journal version (u32) | base fingerprint (u64)
+/// record   payload length (u64) | checksum (u64) | payload
+/// payload  seq (u64) | parent fingerprint (u64) | post fingerprint (u64)
+///          | delta ops
+/// ```
+///
+/// Records are individually checksummed so a torn tail (the failure mode of
+/// append-only logs) costs exactly the torn records: [`recover`](Self::recover)
+/// keeps the valid prefix, while the strict [`from_bytes`](Self::from_bytes)
+/// rejects the file. The `seq` / fingerprint chain makes replay-order
+/// tampering (reordered, dropped or cross-wired records) detectable even
+/// though every individual record is checksum-valid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaJournal {
+    /// Fingerprint of the corpus the journal starts from — the snapshot a
+    /// replayer must hold before applying record 0.
+    pub base_fingerprint: u64,
+    /// The chained delta records, in replay order.
+    pub records: Vec<DeltaRecord>,
+}
+
+impl DeltaJournal {
+    /// An empty journal rooted at `base_fingerprint`.
+    pub fn new(base_fingerprint: u64) -> Self {
+        Self {
+            base_fingerprint,
+            records: Vec::new(),
+        }
+    }
+
+    /// Number of records in the journal.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The fingerprint of the corpus obtained by replaying the whole
+    /// journal over its base — the last record's post fingerprint, or the
+    /// base fingerprint for an empty journal.
+    pub fn tip(&self) -> u64 {
+        self.records
+            .last()
+            .map_or(self.base_fingerprint, |r| r.post_fingerprint)
+    }
+
+    /// Appends a delta that was applied to the corpus at the journal's
+    /// current [`tip`](Self::tip), producing `post_fingerprint`; returns
+    /// the chained record (e.g. for mirroring to disk with
+    /// [`append_record_to`](Self::append_record_to)).
+    pub fn append(&mut self, delta: CorpusDelta, post_fingerprint: u64) -> &DeltaRecord {
+        let record = DeltaRecord {
+            seq: self.records.len() as u64,
+            parent_fingerprint: self.tip(),
+            post_fingerprint,
+            delta,
+        };
+        self.records.push(record);
+        self.records.last().expect("just pushed")
+    }
+
+    /// Serializes the journal (header plus every record).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&JOURNAL_MAGIC);
+        out.extend_from_slice(&JOURNAL_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.base_fingerprint.to_le_bytes());
+        for record in &self.records {
+            out.extend_from_slice(&encode_journal_record(record));
+        }
+        out
+    }
+
+    fn parse(bytes: &[u8], lenient: bool) -> Result<(Self, bool), SnapshotError> {
+        if bytes.len() < JOURNAL_HEADER_LEN {
+            return if bytes.len() >= JOURNAL_MAGIC.len()
+                && bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC
+            {
+                Err(SnapshotError::BadMagic)
+            } else {
+                Err(SnapshotError::Truncated)
+            };
+        }
+        if bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != JOURNAL_FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: JOURNAL_FORMAT_VERSION,
+            });
+        }
+        let base_fingerprint = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let mut journal = DeltaJournal::new(base_fingerprint);
+        let mut pos = JOURNAL_HEADER_LEN;
+        let mut dropped_tail = false;
+        while pos < bytes.len() {
+            match decode_journal_record(&bytes[pos..], journal.records.len() as u64, journal.tip())
+            {
+                Ok((record, consumed)) => {
+                    journal.records.push(record);
+                    pos += consumed;
+                }
+                Err(err) if lenient => {
+                    // Torn or corrupted tail: everything before this record
+                    // validated, so the prefix is a usable journal.
+                    let _ = err;
+                    dropped_tail = true;
+                    break;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Ok((journal, dropped_tail))
+    }
+
+    /// Deserializes a journal **strictly**: any torn, corrupted or
+    /// chain-breaking record rejects the whole file.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::parse(bytes, false).map(|(journal, _)| journal)
+    }
+
+    /// Deserializes a journal **leniently**: the valid record prefix is
+    /// kept and a torn or corrupted tail is dropped (the second return is
+    /// `true` when that happened). Header-level problems — wrong magic,
+    /// unsupported version, a header shorter than its fixed size — are
+    /// still fatal: there is no usable prefix without a valid header.
+    ///
+    /// This is the crash-recovery entry point: a process killed mid-append
+    /// leaves a torn final record, and the journal is still good up to it.
+    pub fn recover(bytes: &[u8]) -> Result<(Self, bool), SnapshotError> {
+        Self::parse(bytes, true)
+    }
+
+    /// Loads a journal from `path` (strict).
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_bytes(&fs::read(path)?)
+    }
+
+    /// Loads a journal from `path` leniently (see [`recover`](Self::recover)).
+    pub fn load_recovering(path: &Path) -> Result<(Self, bool), SnapshotError> {
+        Self::recover(&fs::read(path)?)
+    }
+
+    /// Saves the whole journal to `path` atomically (temp file + rename,
+    /// like [`EngineSnapshot::save`]) — the compaction path, which rewrites
+    /// the journal as empty (or short) against a freshly saved base.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent)?;
+        }
+        let file_name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| SnapshotError::Malformed(format!("bad journal path {path:?}")))?;
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_file_name(format!(".{file_name}.tmp-{}-{seq}", std::process::id()));
+        let result = fs::write(&tmp, self.to_bytes()).and_then(|()| fs::rename(&tmp, path));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result.map_err(SnapshotError::from)
+    }
+
+    /// Appends one record to the journal file at `path`, creating the file
+    /// (with a header rooted at `base_fingerprint`) when it does not exist
+    /// or is empty. The record bytes are written in one `write_all` call;
+    /// a crash mid-append leaves a torn tail that
+    /// [`recover`](Self::recover) drops.
+    pub fn append_record_to(
+        path: &Path,
+        base_fingerprint: u64,
+        record: &DeltaRecord,
+    ) -> Result<(), SnapshotError> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent)?;
+        }
+        let needs_header = fs::metadata(path).map(|m| m.len() == 0).unwrap_or(true);
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if needs_header {
+            let mut header = Vec::with_capacity(JOURNAL_HEADER_LEN);
+            header.extend_from_slice(&JOURNAL_MAGIC);
+            header.extend_from_slice(&JOURNAL_FORMAT_VERSION.to_le_bytes());
+            header.extend_from_slice(&base_fingerprint.to_le_bytes());
+            file.write_all(&header)?;
+        }
+        file.write_all(&encode_journal_record(record))?;
+        Ok(())
     }
 }
 

@@ -18,9 +18,17 @@ use crate::lang::Language;
 use crate::model::{Article, ArticleId};
 
 /// An in-memory collection of Wikipedia articles across language editions.
+///
+/// Articles are stored in append-only id slots; removal tombstones a slot
+/// instead of shifting later ids, so every [`ArticleId`] handed out stays
+/// stable across mutations. Tombstoned slots are invisible to every public
+/// accessor (`len`, `get`, `articles`, pairs, clusters, fingerprints).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Corpus {
     articles: Vec<Article>,
+    /// Sorted slot indices of tombstoned (removed) articles.
+    #[serde(default)]
+    removed: Vec<u32>,
     #[serde(skip)]
     title_index: HashMap<(Language, String), ArticleId>,
 }
@@ -34,7 +42,9 @@ impl Corpus {
     /// Inserts an article, assigning and returning its [`ArticleId`].
     ///
     /// Titles must be unique within a language edition; inserting a duplicate
-    /// title replaces nothing and returns the existing article's id.
+    /// title replaces nothing and returns the existing article's id. A title
+    /// whose previous article was removed gets a fresh id (the tombstoned
+    /// slot is never reused).
     pub fn insert(&mut self, mut article: Article) -> ArticleId {
         let key = (article.language.clone(), article.title.clone());
         if let Some(&existing) = self.title_index.get(&key) {
@@ -47,18 +57,56 @@ impl Corpus {
         id
     }
 
-    /// Number of articles.
+    /// Replaces the live article with `article`'s `(language, title)` key in
+    /// place, keeping its id. Returns the id, or `None` when no live article
+    /// has that key (nothing is modified then).
+    pub fn replace(&mut self, mut article: Article) -> Option<ArticleId> {
+        let key = (article.language.clone(), article.title.clone());
+        let id = *self.title_index.get(&key)?;
+        article.id = id;
+        self.articles[id.index()] = article;
+        Some(id)
+    }
+
+    /// Tombstones the live article with the given `(language, title)` key.
+    /// Returns its id, or `None` when no live article has that key. The id
+    /// slot is retained (ids of other articles never shift); the article
+    /// simply disappears from every accessor.
+    pub fn remove_by_title(&mut self, language: &Language, title: &str) -> Option<ArticleId> {
+        let id = self
+            .title_index
+            .remove(&(language.clone(), title.to_string()))?;
+        if let Err(at) = self.removed.binary_search(&id.0) {
+            self.removed.insert(at, id.0);
+        }
+        Some(id)
+    }
+
+    /// Whether an id refers to a tombstoned slot.
+    pub fn is_removed(&self, id: ArticleId) -> bool {
+        self.removed.binary_search(&id.0).is_ok()
+    }
+
+    /// Number of live articles.
     pub fn len(&self) -> usize {
+        self.articles.len() - self.removed.len()
+    }
+
+    /// True when the corpus holds no live articles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of id slots ever allocated (live + tombstoned).
+    pub fn slot_count(&self) -> usize {
         self.articles.len()
     }
 
-    /// True when the corpus holds no articles.
-    pub fn is_empty(&self) -> bool {
-        self.articles.is_empty()
-    }
-
-    /// Looks up an article by id.
+    /// Looks up a live article by id (`None` for tombstoned slots).
     pub fn get(&self, id: ArticleId) -> Option<&Article> {
+        if self.is_removed(id) {
+            return None;
+        }
         self.articles.get(id.index())
     }
 
@@ -69,19 +117,17 @@ impl Corpus {
             .and_then(|&id| self.get(id))
     }
 
-    /// Iterates over all articles.
+    /// Iterates over all live articles in id order.
     pub fn articles(&self) -> impl Iterator<Item = &Article> {
-        self.articles.iter()
+        self.articles.iter().filter(move |a| !self.is_removed(a.id))
     }
 
-    /// Iterates over the articles of one language edition.
+    /// Iterates over the live articles of one language edition.
     pub fn articles_in<'a>(
         &'a self,
         language: &'a Language,
     ) -> impl Iterator<Item = &'a Article> + 'a {
-        self.articles
-            .iter()
-            .filter(move |a| &a.language == language)
+        self.articles().filter(move |a| &a.language == language)
     }
 
     /// Rebuilds the title index (needed after deserialisation).
@@ -89,6 +135,7 @@ impl Corpus {
         self.title_index = self
             .articles
             .iter()
+            .filter(|a| self.removed.binary_search(&a.id.0).is_err())
             .map(|a| ((a.language.clone(), a.title.clone()), a.id))
             .collect();
     }
@@ -102,7 +149,7 @@ impl Corpus {
     ) -> Vec<(ArticleId, ArticleId)> {
         let mut pairs = Vec::new();
         let mut seen: HashMap<(ArticleId, ArticleId), ()> = HashMap::new();
-        for article in &self.articles {
+        for article in self.articles() {
             if &article.language != l1 {
                 continue;
             }
@@ -115,7 +162,7 @@ impl Corpus {
             }
         }
         // Also honour links recorded only on the l2 side.
-        for article in &self.articles {
+        for article in self.articles() {
             if &article.language != l2 {
                 continue;
             }
@@ -155,7 +202,7 @@ impl Corpus {
             root
         }
 
-        for article in &self.articles {
+        for article in self.articles() {
             for (lang, title) in &article.cross_links {
                 if let Some(other) = self.get_by_title(lang, title) {
                     let a = find(&mut parent, article.id.index());
@@ -312,6 +359,71 @@ mod tests {
         let corpus = linked_corpus();
         assert_eq!(corpus.entity_types_in(&Language::En), vec!["Film"]);
         assert_eq!(corpus.articles_of_type(&Language::En, "Film").count(), 2);
+    }
+
+    #[test]
+    fn remove_tombstones_without_shifting_ids() {
+        let mut corpus = linked_corpus();
+        let en = corpus
+            .get_by_title(&Language::En, "The Last Emperor")
+            .unwrap()
+            .id;
+        let pt = corpus
+            .get_by_title(&Language::Pt, "O Último Imperador")
+            .unwrap()
+            .id;
+        let removed = corpus.remove_by_title(&Language::Pt, "O Último Imperador");
+        assert_eq!(removed, Some(pt));
+        assert!(corpus.is_removed(pt));
+        assert_eq!(corpus.len(), 3);
+        assert_eq!(corpus.slot_count(), 4);
+        assert!(corpus.get(pt).is_none());
+        assert!(corpus
+            .get_by_title(&Language::Pt, "O Último Imperador")
+            .is_none());
+        // Other ids are untouched and pairs no longer see the tombstone.
+        assert_eq!(corpus.get(en).unwrap().title, "The Last Emperor");
+        assert!(corpus
+            .cross_language_pairs(&Language::En, &Language::Pt)
+            .is_empty());
+        assert!(!corpus.articles().any(|a| a.id == pt));
+        // Removing again is a no-op.
+        assert_eq!(
+            corpus.remove_by_title(&Language::Pt, "O Último Imperador"),
+            None
+        );
+        // Re-inserting the title allocates a fresh slot.
+        let fresh = corpus.insert(article("O Último Imperador", Language::Pt, "Filme"));
+        assert_ne!(fresh, pt);
+        assert_eq!(fresh.index(), 4);
+        assert_eq!(corpus.len(), 4);
+    }
+
+    #[test]
+    fn replace_keeps_the_id_and_updates_content() {
+        let mut corpus = linked_corpus();
+        let id = corpus.get_by_title(&Language::En, "Unrelated").unwrap().id;
+        let mut updated = article("Unrelated", Language::En, "Film");
+        updated.infobox.push(AttributeValue::text("budget", "huge"));
+        assert_eq!(corpus.replace(updated), Some(id));
+        assert!(corpus.get(id).unwrap().infobox.value_of("budget").is_some());
+        // Replacing a missing title touches nothing.
+        assert_eq!(corpus.replace(article("Ghost", Language::En, "Film")), None);
+        assert_eq!(corpus.len(), 4);
+    }
+
+    #[test]
+    fn rebuild_index_skips_tombstones() {
+        let mut corpus = linked_corpus();
+        corpus.remove_by_title(&Language::En, "Unrelated").unwrap();
+        let json = serde_json::to_string(&corpus).unwrap();
+        let mut restored: Corpus = serde_json::from_str(&json).unwrap();
+        restored.rebuild_index();
+        assert_eq!(restored.len(), 3);
+        assert!(restored.get_by_title(&Language::En, "Unrelated").is_none());
+        assert!(restored
+            .get_by_title(&Language::En, "The Last Emperor")
+            .is_some());
     }
 
     #[test]

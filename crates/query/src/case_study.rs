@@ -112,7 +112,7 @@ pub fn run_case_study(
 /// the workload over the engine's dataset.
 pub fn run_case_study_with_engine(engine: &MatchEngine, k: usize) -> Vec<CaseStudyCurve> {
     let alignments = engine.align_all();
-    run_case_study(engine.dataset(), &alignments, k)
+    run_case_study(&engine.dataset(), &alignments, k)
 }
 
 fn accumulate(total: &mut [f64], curve: &[f64]) {
@@ -167,7 +167,7 @@ mod tests {
         let engine = MatchEngine::builder(Dataset::vn_en(&SyntheticConfig::tiny())).build();
         let dataset = engine.dataset();
         let alignments = engine.align_all();
-        let curves = run_case_study(dataset, &alignments, 10);
+        let curves = run_case_study(&dataset, &alignments, 10);
         assert_eq!(curves[0].label, "Vi");
         assert!(curves[1].answers > 0);
 

@@ -198,8 +198,8 @@ mod tests {
         let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
         let film = engine.align("film").unwrap();
         let actor = engine.align("actor").unwrap();
-        let dict = CorrespondenceDictionary::build(engine.dataset(), &[film, actor]);
-        (engine.dataset().clone(), dict)
+        let dict = CorrespondenceDictionary::build(&engine.dataset(), &[film, actor]);
+        (engine.dataset().as_ref().clone(), dict)
     }
 
     #[test]

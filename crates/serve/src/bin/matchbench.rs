@@ -5,13 +5,16 @@
 //!
 //! ```text
 //! matchbench [--addr 127.0.0.1:8743] [--corpus pt-medium] [--type film]
-//!            [--requests 5000] [--concurrency 8] [--workload align|mixed]
-//!            [--no-warm] [--json]
+//!            [--requests 5000] [--concurrency 8]
+//!            [--workload align|mixed|mutate] [--no-warm] [--json]
 //! ```
 //!
 //! The `align` workload hammers `POST /align` on one type; `mixed`
 //! interleaves align (per-type and all-types), a baseline matcher, query
-//! translation and `/stats` in a 70/5/10/10/5 ratio.
+//! translation and `/stats` in a 70/5/10/10/5 ratio; `mutate` drives
+//! `POST /corpora/{name}/entities` with a rotating set of probe articles
+//! whose attribute values change on every request, so each request applies
+//! a real incremental delta to the live corpus.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,9 +24,10 @@ use std::time::Instant;
 
 use serde::Serialize;
 
+use wiki_corpus::{Article, AttributeValue, Infobox, Language};
 use wiki_serve::client::MatchClient;
 use wiki_serve::protocol::{
-    AlignRequest, CorpusRequest, MatcherRequest, StatsResponse, TranslateRequest,
+    AlignRequest, CorpusRequest, MatcherRequest, MutateRequest, StatsResponse, TranslateRequest,
 };
 
 const USAGE: &str = "matchbench — load generator for matchd
@@ -37,7 +41,7 @@ OPTIONS:
     --type ID         entity type for align requests (default film)
     --requests N      total requests to issue (default 5000)
     --concurrency N   concurrent client connections (default 8)
-    --workload KIND   align | mixed (default align)
+    --workload KIND   align | mixed | mutate (default align)
     --no-warm         skip the POST /warm before measuring
     --json            print the summary as JSON
     --help            print this help";
@@ -50,6 +54,7 @@ enum Op {
     Matcher,
     Translate,
     Stats,
+    Mutate,
 }
 
 impl Op {
@@ -60,6 +65,7 @@ impl Op {
             Op::Matcher => "matchers",
             Op::Translate => "translate-query",
             Op::Stats => "stats",
+            Op::Mutate => "mutate",
         }
     }
 
@@ -76,6 +82,32 @@ impl Op {
     }
 }
 
+/// The request schedule a run replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Align,
+    Mixed,
+    Mutate,
+}
+
+impl Workload {
+    fn label(self) -> &'static str {
+        match self {
+            Workload::Align => "align",
+            Workload::Mixed => "mixed",
+            Workload::Mutate => "mutate",
+        }
+    }
+
+    fn op(self, i: u64) -> Op {
+        match self {
+            Workload::Align => Op::AlignType,
+            Workload::Mixed => Op::mixed(i),
+            Workload::Mutate => Op::Mutate,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct BenchConfig {
     addr: String,
@@ -83,7 +115,7 @@ struct BenchConfig {
     type_id: String,
     requests: u64,
     concurrency: usize,
-    mixed: bool,
+    workload: Workload,
     warm: bool,
     json: bool,
 }
@@ -96,7 +128,7 @@ impl Default for BenchConfig {
             type_id: "film".to_string(),
             requests: 5000,
             concurrency: 8,
-            mixed: false,
+            workload: Workload::Align,
             warm: true,
             json: false,
         }
@@ -143,7 +175,27 @@ fn demo_query(corpus: &str) -> &'static str {
     }
 }
 
-fn issue(client: &mut MatchClient, config: &BenchConfig, op: Op) -> std::io::Result<bool> {
+/// The probe article of the mutate workload's `i`-th request: the title
+/// rotates over four slots (so the corpus gains at most four articles and
+/// then keeps updating them in place) while the attribute value changes
+/// every request, making each request a genuine incremental delta.
+fn probe_article(corpus: &str, i: u64) -> Article {
+    let (language, entity_type) = if corpus.starts_with("vi") {
+        (Language::Vn, "Phim")
+    } else {
+        (Language::Pt, "Filme")
+    };
+    let mut infobox = Infobox::new(format!("Infobox {entity_type}"));
+    infobox.push(AttributeValue::text("nota", format!("edição {i}")));
+    Article::new(
+        format!("Benchmark Probe {}", i % 4),
+        language,
+        entity_type,
+        infobox,
+    )
+}
+
+fn issue(client: &mut MatchClient, config: &BenchConfig, op: Op, i: u64) -> std::io::Result<bool> {
     let response = match op {
         Op::AlignType => client.post(
             "/align",
@@ -176,6 +228,12 @@ fn issue(client: &mut MatchClient, config: &BenchConfig, op: Op) -> std::io::Res
             },
         )?,
         Op::Stats => client.get("/stats")?,
+        Op::Mutate => client.post(
+            &format!("/corpora/{}/entities", config.corpus),
+            &MutateRequest {
+                entities: vec![probe_article(&config.corpus, i)],
+            },
+        )?,
     };
     Ok(response.is_success())
 }
@@ -202,9 +260,10 @@ fn parse_args() -> Result<Option<BenchConfig>, String> {
                 config.concurrency = v.parse().map_err(|_| format!("bad --concurrency {v:?}"))?;
             }
             "--workload" => {
-                config.mixed = match value("--workload")?.as_str() {
-                    "align" => false,
-                    "mixed" => true,
+                config.workload = match value("--workload")?.as_str() {
+                    "align" => Workload::Align,
+                    "mixed" => Workload::Mixed,
+                    "mutate" => Workload::Mutate,
                     other => return Err(format!("unknown workload {other:?}")),
                 }
             }
@@ -313,13 +372,9 @@ fn main() -> ExitCode {
                     if i >= config.requests {
                         break;
                     }
-                    let op = if config.mixed {
-                        Op::mixed(i)
-                    } else {
-                        Op::AlignType
-                    };
+                    let op = config.workload.op(i);
                     let begin = Instant::now();
-                    match issue(&mut client, config, op) {
+                    match issue(&mut client, config, op, i) {
                         Ok(true) => latencies.push(begin.elapsed().as_nanos() as u64),
                         Ok(false) | Err(_) => {
                             errors.fetch_add(1, Ordering::Relaxed);
@@ -346,7 +401,7 @@ fn main() -> ExitCode {
     };
     let summary = Summary {
         corpus: config.corpus.clone(),
-        workload: if config.mixed { "mixed" } else { "align" }.to_string(),
+        workload: config.workload.label().to_string(),
         requests: completed,
         errors,
         concurrency: config.concurrency,
@@ -371,7 +426,7 @@ fn main() -> ExitCode {
             "matchbench: {} workload against {} ({} concurrent connections)",
             summary.workload, summary.corpus, summary.concurrency
         );
-        if config.mixed {
+        if config.workload == Workload::Mixed {
             let breakdown: Vec<String> = [
                 Op::AlignType,
                 Op::AlignAll,

@@ -112,6 +112,14 @@ impl MatchClient {
         self.request("POST", path, Some(&body))
     }
 
+    /// `DELETE path` with a JSON-serialized body (never auto-retried, like
+    /// every non-GET).
+    pub fn delete<T: Serialize>(&mut self, path: &str, body: &T) -> io::Result<ClientResponse> {
+        let body = serde_json::to_string(body)
+            .map_err(|err| io::Error::other(format!("request serialization failed: {err}")))?;
+        self.request("DELETE", path, Some(&body))
+    }
+
     fn try_request(
         &mut self,
         method: &str,

@@ -9,14 +9,19 @@
 //!
 //! 1. [`registry`] — a [`registry::Registry`] of named corpora
 //!    that lazily builds and shares `Arc<MatchEngine>` sessions behind an
-//!    LRU with configurable capacity, with warm/evict/stats operations.
-//!    Concurrent requests against the same cold corpus **coalesce onto one
-//!    build** instead of stampeding, at both the session level and (inside
-//!    the engine) the per-type artifact level.
+//!    LRU with configurable capacity, with warm/evict/mutate/stats
+//!    operations. Concurrent requests against the same cold corpus
+//!    **coalesce onto one build** instead of stampeding, at both the
+//!    session level and (inside the engine) the per-type artifact level.
+//!    Mutations are applied through the engine's incremental patcher and
+//!    journaled (in memory and, with a snapshot directory, write-ahead on
+//!    disk), so live edits survive eviction and restarts.
 //! 2. [`http`] + [`protocol`] + [`server`] — a fixed worker-thread pool
 //!    draining a bounded connection queue, serving
 //!    `align` / `matchers` / `translate-query` / `healthz` / `stats` (and
-//!    `corpora` / `warm` / `evict` / `shutdown`) with graceful shutdown.
+//!    `corpora` / `warm` / `evict` / `shutdown`, plus
+//!    `POST`/`DELETE /corpora/{name}/entities` for live mutations) with
+//!    graceful shutdown.
 //! 3. [`client`] — a small blocking keep-alive client, shared by the
 //!    `matchbench` load generator and the integration tests.
 //!

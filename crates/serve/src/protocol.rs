@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::registry::{CorpusSpec, RegistryStats};
+use wiki_corpus::{Article, Language};
 use wiki_query::{Answer, CQuery};
 
 /// The standard error envelope of every non-2xx response.
@@ -138,6 +139,62 @@ pub struct EvictResponse {
     pub corpus: String,
     /// Whether a resident session was actually dropped.
     pub evicted: bool,
+}
+
+/// `POST /corpora/{name}/entities` request: insert-or-update entities.
+///
+/// Each article upserts by its `(language, title)` key — a live article is
+/// replaced in place, an unknown key is inserted. The `id` field is
+/// assigned by the corpus and ignored on the way in (send `0`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MutateRequest {
+    /// Articles to upsert, applied in order as one atomic delta.
+    pub entities: Vec<Article>,
+}
+
+/// One `(language, title)` key, as deleted by
+/// `DELETE /corpora/{name}/entities`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityKey {
+    /// Language edition of the article.
+    pub language: Language,
+    /// Exact article title.
+    pub title: String,
+}
+
+/// `DELETE /corpora/{name}/entities` request: tombstone entities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeleteRequest {
+    /// Keys to remove, applied in order as one atomic delta (unknown keys
+    /// are no-ops and simply don't count under `removed`).
+    pub entities: Vec<EntityKey>,
+}
+
+/// Response of `POST` / `DELETE` on `/corpora/{name}/entities`: what the
+/// delta did to the live session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MutateResponse {
+    /// Corpus the mutation targeted.
+    pub corpus: String,
+    /// Articles newly inserted.
+    pub inserted: usize,
+    /// Live articles replaced in place.
+    pub updated: usize,
+    /// Articles tombstoned.
+    pub removed: usize,
+    /// Cached per-type artifact sets incrementally patched (cached types
+    /// the delta provably cannot reach carry over untouched and are not
+    /// counted; uncached types stay lazy and build against the mutated
+    /// corpus on first use).
+    pub types_patched: usize,
+    /// Similarity pairs recomputed across the patched types; every other
+    /// pair kept its exact bits.
+    pub rows_recomputed: u64,
+    /// Corpus fingerprint before the delta, as 16 hex digits (the journal
+    /// record's parent).
+    pub fingerprint_before: String,
+    /// Corpus fingerprint after the delta, as 16 hex digits.
+    pub fingerprint: String,
 }
 
 /// Counters of the HTTP layer itself (one per server, not per corpus).

@@ -31,6 +31,23 @@
 //! fresh build, with zero artifact computation. Stale or damaged files are
 //! never trusted: the snapshot layer validates a corpus fingerprint, format
 //! version and checksum, and any rejection simply falls back to building.
+//!
+//! ## Live corpora
+//!
+//! [`Registry::mutate`] applies a [`CorpusDelta`] to the resident session
+//! through the engine's incremental patcher and journals the resulting
+//! record: in memory on the entry (so mutations survive LRU eviction — a
+//! rebuild regenerates the pristine dataset and replays the journal) and,
+//! with a snapshot directory configured, appended to a checksummed
+//! write-ahead journal file next to the snapshot (so they survive a
+//! process restart too). The journal is always rooted at the fingerprint
+//! of the *pristine* spec-generated dataset; a warm start positions the
+//! snapshot on the fingerprint chain, restores its artifacts there, and
+//! replays only the journal suffix through `apply_delta` — base + replay,
+//! never a cold rebuild just because the corpus has moved past its
+//! snapshot. Reaching [`COMPACTION_THRESHOLD`] records compacts the chain
+//! into a single diff-derived record and re-snapshots the session at the
+//! tip.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -43,7 +60,17 @@ use serde::{Deserialize, Serialize};
 use wiki_corpus::{Dataset, Language, SyntheticConfig};
 use wiki_query::CorrespondenceDictionary;
 use wikimatch::snapshot::EngineSnapshot;
-use wikimatch::{ComputeMode, EngineStats, MatchEngine, SnapshotError};
+use wikimatch::{
+    corpus_fingerprint, ComputeMode, CorpusDelta, DeltaJournal, DeltaReport, EngineStats,
+    MatchEngine, SnapshotError,
+};
+
+/// Journal length at which [`Registry::mutate`] compacts: the whole chain
+/// is composed into one diff-derived record (fingerprint-verified against
+/// a fresh pristine replay before it replaces anything) and the session is
+/// re-snapshotted at the tip, bounding both replay time on restart and
+/// journal growth under sustained mutation.
+pub const COMPACTION_THRESHOLD: usize = 8;
 
 /// Whether an eviction's disk spill runs on the calling thread or on a
 /// detached background thread.
@@ -59,8 +86,8 @@ enum SpillMode {
 /// Captures and saves one session's artifacts, bumping the corpus'
 /// `snapshot_saves` on success. Failures are reported and swallowed:
 /// persistence is an optimisation, never a serving error.
-fn spill_to(path: &Path, entry: &CorpusEntry, cached: &CachedCorpus) {
-    match EngineSnapshot::capture(cached.engine()).save(path) {
+fn spill_to(path: &Path, entry: &CorpusEntry, engine: &MatchEngine) {
+    match EngineSnapshot::capture(engine).save(path) {
         Ok(()) => {
             entry.snapshot_saves.fetch_add(1, Ordering::Relaxed);
         }
@@ -158,8 +185,16 @@ pub struct CachedCorpus {
 
 impl CachedCorpus {
     fn from_engine(engine: MatchEngine) -> Self {
+        Self::sharing(Arc::new(engine))
+    }
+
+    /// A fresh cache shell around an already-shared engine session — the
+    /// post-mutation residency swap: the engine's patched artifacts carry
+    /// over, the memoised dictionary and serialized responses (computed
+    /// against the previous corpus state) start empty.
+    fn sharing(engine: Arc<MatchEngine>) -> Self {
         Self {
-            engine: Arc::new(engine),
+            engine,
             dictionary: OnceLock::new(),
             responses: ResponseCache::default(),
         }
@@ -176,7 +211,7 @@ impl CachedCorpus {
     pub fn dictionary(&self) -> &CorrespondenceDictionary {
         self.dictionary.get_or_init(|| {
             let alignments = self.engine.align_all();
-            CorrespondenceDictionary::build(self.engine.dataset(), &alignments)
+            CorrespondenceDictionary::build(&self.engine.dataset(), &alignments)
         })
     }
 
@@ -232,10 +267,17 @@ struct CorpusEntry {
     evictions: AtomicU64,
     snapshot_loads: AtomicU64,
     snapshot_saves: AtomicU64,
+    compactions: AtomicU64,
     /// `Some(slot)` while resident or being built; `None` when evicted.
     /// Concurrent cold requests clone the same slot and coalesce on its
     /// `OnceLock`.
     session: Mutex<Option<Arc<OnceLock<Arc<CachedCorpus>>>>>,
+    /// The corpus' mutation lineage, rooted at the fingerprint of the
+    /// pristine spec-generated dataset. Lives on the entry (not the
+    /// residency) so mutations survive LRU eviction; the lock also
+    /// serializes registry-level mutations of the corpus, keeping the
+    /// append order identical to the engine's application order.
+    journal: Mutex<Option<DeltaJournal>>,
 }
 
 impl CorpusEntry {
@@ -248,7 +290,9 @@ impl CorpusEntry {
             evictions: AtomicU64::new(0),
             snapshot_loads: AtomicU64::new(0),
             snapshot_saves: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
             session: Mutex::new(None),
+            journal: Mutex::new(None),
         }
     }
 
@@ -281,6 +325,13 @@ pub struct CorpusStats {
     /// Snapshots written for this corpus (evictions spilling, warm writing
     /// through, or an explicit persist).
     pub snapshot_saves: u64,
+    /// Records currently on the corpus' delta journal (0 while pristine;
+    /// drops back to 1 after a compaction).
+    pub journal_records: u64,
+    /// Serialized size of the current journal, in bytes.
+    pub journal_bytes: u64,
+    /// Times the journal was compacted into a single composed record.
+    pub compactions: u64,
     /// Activity counters of the resident engine (`None` while cold).
     pub engine: Option<EngineStats>,
 }
@@ -350,14 +401,14 @@ impl Registry {
         self.snapshot_dir.as_deref()
     }
 
-    /// The snapshot file of a corpus. Names made entirely of filesystem-safe
-    /// characters map to `<name>.snap`; anything else is sanitised **and**
-    /// suffixed with a hash of the raw name, so two distinct corpora (e.g.
-    /// `"a b"` and `"a_b"`) can never clobber each other's snapshot.
-    fn snapshot_path(&self, name: &str) -> Option<PathBuf> {
-        let dir = self.snapshot_dir.as_ref()?;
+    /// The filesystem stem of a corpus' disk-tier files. Names made
+    /// entirely of filesystem-safe characters map to themselves; anything
+    /// else is sanitised **and** suffixed with a hash of the raw name, so
+    /// two distinct corpora (e.g. `"a b"` and `"a_b"`) can never clobber
+    /// each other's files.
+    fn artifact_stem(name: &str) -> String {
         let safe = |c: char| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.');
-        let stem = if !name.is_empty() && name.chars().all(safe) {
+        if !name.is_empty() && name.chars().all(safe) {
             name.to_string()
         } else {
             let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -370,56 +421,233 @@ impl Registry {
                 .map(|c| if safe(c) { c } else { '_' })
                 .collect();
             format!("{sanitised}-{:08x}", (hash as u32) ^ ((hash >> 32) as u32))
-        };
-        Some(dir.join(format!("{stem}.snap")))
+        }
+    }
+
+    /// The snapshot file of a corpus (`<stem>.snap`).
+    fn snapshot_path(&self, name: &str) -> Option<PathBuf> {
+        let dir = self.snapshot_dir.as_ref()?;
+        Some(dir.join(format!("{}.snap", Self::artifact_stem(name))))
+    }
+
+    /// The write-ahead delta journal of a corpus (`<stem>.journal`), a
+    /// sibling of its snapshot.
+    fn journal_path(&self, name: &str) -> Option<PathBuf> {
+        let dir = self.snapshot_dir.as_ref()?;
+        Some(dir.join(format!("{}.journal", Self::artifact_stem(name))))
+    }
+
+    /// Resolves the delta journal of a corpus, always rooted at the
+    /// fingerprint of the pristine spec-generated dataset. Prefers the
+    /// in-memory journal on the entry (it survives LRU eviction), falls
+    /// back to the disk tier (recovering a torn tail and rewriting the
+    /// file), and roots a fresh empty journal otherwise. A journal rooted
+    /// at a different fingerprint — the spec was re-registered with a new
+    /// generator — is discarded: its lineage no longer applies. The
+    /// resolved journal is installed on the entry before returning.
+    fn resident_journal(&self, entry: &CorpusEntry, base_fingerprint: u64) -> DeltaJournal {
+        let mut slot = recover(entry.journal.lock());
+        if let Some(journal) = slot.as_ref() {
+            if journal.base_fingerprint == base_fingerprint {
+                return journal.clone();
+            }
+        }
+        let mut resolved = DeltaJournal::new(base_fingerprint);
+        if let Some(path) = self.journal_path(&entry.spec.name) {
+            match DeltaJournal::load_recovering(&path) {
+                Ok((journal, dropped)) if journal.base_fingerprint == base_fingerprint => {
+                    if dropped {
+                        eprintln!(
+                            "warning: journal {} had a torn tail; recovered {} records",
+                            path.display(),
+                            journal.len()
+                        );
+                        if let Err(err) = journal.save(&path) {
+                            eprintln!(
+                                "warning: failed to rewrite recovered journal {}: {err}",
+                                path.display()
+                            );
+                        }
+                    }
+                    resolved = journal;
+                }
+                Ok((journal, _)) => eprintln!(
+                    "warning: journal {} is rooted at {:016x}, expected {:016x}; \
+                     ignoring its {} records",
+                    path.display(),
+                    journal.base_fingerprint,
+                    base_fingerprint,
+                    journal.len()
+                ),
+                Err(SnapshotError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {}
+                Err(err) => eprintln!(
+                    "warning: ignoring unreadable journal {}: {err}",
+                    path.display()
+                ),
+            }
+        }
+        *slot = Some(resolved.clone());
+        resolved
+    }
+
+    /// Replays `journal.records[..upto]` over a copy of `pristine`,
+    /// verifying every record's post fingerprint as it lands. Returns the
+    /// replayed dataset and how many records verified — fewer than `upto`
+    /// only if a record fails to replay to its recorded fingerprint, which
+    /// the checksummed, chain-validated journal format makes practically
+    /// unreachable; the surviving prefix is still exact (divergence is
+    /// detected *after* the bad record, so the returned dataset is rebuilt
+    /// from the prefix alone).
+    fn replay_prefix(pristine: &Dataset, journal: &DeltaJournal, upto: usize) -> (Dataset, usize) {
+        let mut dataset = pristine.clone();
+        let mut verified = 0;
+        for record in &journal.records[..upto] {
+            record.delta.apply_to(&mut dataset.corpus);
+            if corpus_fingerprint(&dataset) != record.post_fingerprint {
+                // Roll back to the verified prefix by replaying it afresh.
+                dataset = pristine.clone();
+                for good in &journal.records[..verified] {
+                    good.delta.apply_to(&mut dataset.corpus);
+                }
+                break;
+            }
+            verified += 1;
+        }
+        (dataset, verified)
     }
 
     /// Builds (or disk-loads) the session of one corpus. Runs inside the
     /// entry's build slot, so it executes at most once per residency.
+    ///
+    /// A corpus with a non-empty journal is *mutated*: its current state is
+    /// the pristine spec-generated dataset plus the journal's replay. The
+    /// snapshot (which may have been written at any point of the lineage)
+    /// is positioned on the fingerprint chain, its artifacts restored
+    /// there, and only the journal suffix is replayed through the engine's
+    /// incremental patcher — a corpus that has moved past its snapshot
+    /// falls back to base + replay, never to a cold rebuild.
     fn build_corpus(&self, entry: &CorpusEntry) -> CachedCorpus {
-        let dataset = Arc::new(entry.spec.dataset());
-        if let Some(path) = self.snapshot_path(&entry.spec.name) {
+        let pristine = entry.spec.dataset();
+        let base_fingerprint = corpus_fingerprint(&pristine);
+        let mut journal = self.resident_journal(entry, base_fingerprint);
+
+        let snapshot = self.snapshot_path(&entry.spec.name).and_then(|path| {
             match EngineSnapshot::load(&path) {
-                Ok(snapshot) => {
-                    let restored = MatchEngine::builder(Arc::clone(&dataset))
-                        .compute_mode(self.mode)
-                        .build_from_snapshot(snapshot);
-                    match restored {
-                        Ok(engine) => {
-                            entry.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+                Ok(snapshot) => Some(snapshot),
+                // No snapshot yet: the common cold-start case, not an error.
+                Err(SnapshotError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => None,
+                Err(err) => {
+                    eprintln!(
+                        "warning: ignoring unreadable snapshot {} for corpus {:?}: {err}",
+                        path.display(),
+                        entry.spec.name
+                    );
+                    None
+                }
+            }
+        });
+
+        // Position the snapshot on the journal's fingerprint chain:
+        // `Some(r)` restores it over the corpus as of record `r`.
+        let position = snapshot.as_ref().and_then(|snapshot| {
+            if snapshot.fingerprint == base_fingerprint {
+                Some(0)
+            } else {
+                journal
+                    .records
+                    .iter()
+                    .position(|r| r.post_fingerprint == snapshot.fingerprint)
+                    .map(|i| i + 1)
+            }
+        });
+        if snapshot.is_some() && position.is_none() {
+            eprintln!(
+                "warning: snapshot for corpus {:?} is not on the journal's \
+                 fingerprint chain; rebuilding",
+                entry.spec.name
+            );
+        }
+
+        if let (Some(snapshot), Some(at)) = (snapshot, position) {
+            let (dataset, verified) = Self::replay_prefix(&pristine, &journal, at);
+            if verified < at {
+                self.truncate_journal(entry, &mut journal, verified);
+            } else {
+                let restored = MatchEngine::builder(Arc::new(dataset))
+                    .compute_mode(self.mode)
+                    .build_from_snapshot(snapshot);
+                match restored {
+                    Ok(engine) => {
+                        entry.snapshot_loads.fetch_add(1, Ordering::Relaxed);
+                        // Replay the suffix through the incremental patcher:
+                        // restored artifacts are patched, not rebuilt.
+                        let mut reached = at;
+                        for record in &journal.records[at..] {
+                            let report = engine.apply_delta(&record.delta);
+                            if report.fingerprint != record.post_fingerprint {
+                                break;
+                            }
+                            reached += 1;
+                        }
+                        if reached == journal.len() {
                             return CachedCorpus::from_engine(engine);
                         }
-                        Err(err) => eprintln!(
-                            "warning: snapshot {} rejected for corpus {:?}: {err}; rebuilding",
-                            path.display(),
-                            entry.spec.name
-                        ),
+                        // A record diverged mid-suffix and is already
+                        // applied to the engine: discard the engine and
+                        // rebuild cold over the verified prefix instead.
+                        self.truncate_journal(entry, &mut journal, reached);
                     }
+                    Err(err) => eprintln!(
+                        "warning: snapshot rejected for corpus {:?}: {err}; rebuilding",
+                        entry.spec.name
+                    ),
                 }
-                // No snapshot yet: the common cold-start case, not an error.
-                Err(SnapshotError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {}
-                Err(err) => eprintln!(
-                    "warning: ignoring unreadable snapshot {} for corpus {:?}: {err}",
-                    path.display(),
-                    entry.spec.name
-                ),
             }
         }
+
+        // No usable snapshot: cold build over base + replay, so journaled
+        // mutations are never lost.
+        let (dataset, verified) = Self::replay_prefix(&pristine, &journal, journal.len());
+        if verified < journal.len() {
+            self.truncate_journal(entry, &mut journal, verified);
+        }
         CachedCorpus::from_engine(
-            MatchEngine::builder(dataset)
+            MatchEngine::builder(Arc::new(dataset))
                 .compute_mode(self.mode)
                 .build(),
         )
     }
 
+    /// Truncates a corpus' journal to its first `keep` records — the
+    /// last-resort response to a record that fails to replay to its
+    /// recorded fingerprint — updating the entry's journal and rewriting
+    /// the disk file so the dropped suffix cannot resurface.
+    fn truncate_journal(&self, entry: &CorpusEntry, journal: &mut DeltaJournal, keep: usize) {
+        eprintln!(
+            "warning: truncating journal of corpus {:?} from {} to {keep} records",
+            entry.spec.name,
+            journal.len()
+        );
+        journal.records.truncate(keep);
+        if let Some(path) = self.journal_path(&entry.spec.name) {
+            if let Err(err) = journal.save(&path) {
+                eprintln!(
+                    "warning: failed to rewrite truncated journal {}: {err}",
+                    path.display()
+                );
+            }
+        }
+        *recover(entry.journal.lock()) = Some(journal.clone());
+    }
+
     /// Writes the session's current artifacts to the disk tier (no-op
     /// without a snapshot directory). Failures are reported and swallowed:
     /// persistence is an optimisation, never a serving error.
-    fn spill(&self, entry: &CorpusEntry, cached: &CachedCorpus) {
+    fn spill(&self, entry: &CorpusEntry, engine: &MatchEngine) {
         let Some(path) = self.snapshot_path(&entry.spec.name) else {
             return;
         };
-        spill_to(&path, entry, cached);
+        spill_to(&path, entry, engine);
     }
 
     /// Spills every currently resident session to the disk tier — the
@@ -435,7 +663,7 @@ impl Registry {
         for entry in entries {
             if let Some(cached) = entry.resident() {
                 let before = entry.snapshot_saves.load(Ordering::Relaxed);
-                self.spill(&entry, &cached);
+                self.spill(&entry, cached.engine());
                 if entry.snapshot_saves.load(Ordering::Relaxed) > before {
                     written += 1;
                 }
@@ -556,8 +784,121 @@ impl Registry {
         let entry = self.entry(name)?;
         let cached = self.corpus(name)?;
         cached.engine().prepare_all();
-        self.spill(&entry, &cached);
+        self.spill(&entry, cached.engine());
         Ok(cached)
+    }
+
+    /// Applies a mutation delta to the session of `name` (building it
+    /// first if cold) and journals the resulting record, so the mutation
+    /// survives both LRU eviction (in-memory journal on the entry) and —
+    /// with a snapshot directory configured — a process restart
+    /// (write-ahead append to the corpus' journal file).
+    ///
+    /// The engine patches its artifacts incrementally; the residency's
+    /// serving-layer caches (memoised dictionary, serialized responses)
+    /// are swapped for fresh ones, since they were computed against the
+    /// previous corpus state. Reaching [`COMPACTION_THRESHOLD`] journal
+    /// records triggers a compaction.
+    ///
+    /// A delta that leaves the corpus fingerprint unchanged (e.g. only
+    /// removals of unknown keys) is reported but not journaled.
+    pub fn mutate(&self, name: &str, delta: &CorpusDelta) -> Result<DeltaReport, RegistryError> {
+        let entry = self.entry(name)?;
+        let cached = self.corpus(name)?;
+        // The journal lock serializes registry-level mutations of this
+        // corpus: `apply_delta` runs under it, so journal append order is
+        // exactly the engine's application order and the fingerprint chain
+        // stays linked.
+        let mut journal_slot = recover(entry.journal.lock());
+        let report = cached.engine().apply_delta(delta);
+        if report.fingerprint == report.fingerprint_before {
+            return Ok(report);
+        }
+        let journal =
+            journal_slot.get_or_insert_with(|| DeltaJournal::new(report.fingerprint_before));
+        if journal.tip() != report.fingerprint_before {
+            // Unreachable in normal operation (every mutation holds this
+            // lock): re-root defensively so the in-memory chain stays
+            // linked. The re-rooted journal no longer reaches back to the
+            // pristine dataset, so a restart will discard it — consistency
+            // of the live session wins over persistence.
+            eprintln!(
+                "warning: journal of corpus {name:?} lost its lineage \
+                 (tip {:016x}, engine was at {:016x}); re-rooting",
+                journal.tip(),
+                report.fingerprint_before
+            );
+            *journal = DeltaJournal::new(report.fingerprint_before);
+        }
+        let record = journal.append(delta.clone(), report.fingerprint).clone();
+        if let Some(path) = self.journal_path(name) {
+            if let Err(err) =
+                DeltaJournal::append_record_to(&path, journal.base_fingerprint, &record)
+            {
+                eprintln!("warning: failed to journal delta for corpus {name:?}: {err}");
+            }
+        }
+        // Swap the residency's cache shell: the engine (with its patched
+        // artifacts) carries over, the stale memoised responses do not.
+        {
+            let mut session = recover(entry.session.lock());
+            let slot: Arc<OnceLock<Arc<CachedCorpus>>> = Arc::default();
+            let _ = slot.set(Arc::new(CachedCorpus::sharing(Arc::clone(cached.engine()))));
+            *session = Some(slot);
+        }
+        if journal.len() >= COMPACTION_THRESHOLD && self.compact(&entry, journal, cached.engine()) {
+            entry.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+
+    /// Compacts a journal: composes the whole chain into one diff-derived
+    /// record `[pristine → tip]`, verified by replaying the composition
+    /// over a freshly generated pristine dataset and checking its
+    /// fingerprint against the tip **before** it replaces anything — on
+    /// any mismatch the full journal stays in place (it is always sound)
+    /// and `false` is returned. On success the disk journal is rewritten
+    /// and the session re-snapshotted at the tip, so the next start
+    /// restores artifacts directly instead of replaying a long chain.
+    fn compact(
+        &self,
+        entry: &CorpusEntry,
+        journal: &mut DeltaJournal,
+        engine: &MatchEngine,
+    ) -> bool {
+        let mut pristine = entry.spec.dataset();
+        if corpus_fingerprint(&pristine) != journal.base_fingerprint {
+            // The spec drifted under us; composing against the wrong base
+            // would corrupt the lineage.
+            return false;
+        }
+        let current = engine.dataset();
+        let composed = CorpusDelta::diff(&pristine.corpus, &current.corpus);
+        composed.apply_to(&mut pristine.corpus);
+        if corpus_fingerprint(&pristine) != journal.tip() {
+            eprintln!(
+                "warning: composed delta of corpus {:?} failed fingerprint \
+                 verification; keeping the full journal",
+                entry.spec.name
+            );
+            return false;
+        }
+        let mut compacted = DeltaJournal::new(journal.base_fingerprint);
+        compacted.append(composed, journal.tip());
+        if let Some(path) = self.journal_path(&entry.spec.name) {
+            if let Err(err) = compacted.save(&path) {
+                eprintln!(
+                    "warning: failed to write compacted journal of corpus {:?}: {err}",
+                    entry.spec.name
+                );
+                // The on-disk chain is still the full journal; keep the
+                // in-memory journal matching it.
+                return false;
+            }
+        }
+        *journal = compacted;
+        self.spill(entry, engine);
+        true
     }
 
     /// Evicts the resident session of `name` (if any); returns whether a
@@ -595,14 +936,14 @@ impl Registry {
             // and the save is atomic).
             if let Some(path) = self.snapshot_path(name) {
                 match mode {
-                    SpillMode::Synchronous => spill_to(&path, &entry, &cached),
+                    SpillMode::Synchronous => spill_to(&path, &entry, cached.engine()),
                     // LRU pressure evicts on whatever worker thread tipped
                     // the capacity — that request must not pay for a
                     // multi-megabyte serialization of an unrelated corpus,
                     // so the spill moves to a background thread.
                     SpillMode::Background => {
                         let entry = Arc::clone(&entry);
-                        std::thread::spawn(move || spill_to(&path, &entry, &cached));
+                        std::thread::spawn(move || spill_to(&path, &entry, cached.engine()));
                     }
                 }
             }
@@ -665,6 +1006,15 @@ impl Registry {
             .iter()
             .map(|entry| {
                 let resident = entry.resident();
+                let (journal_records, journal_bytes) = {
+                    let slot = recover(entry.journal.lock());
+                    match slot.as_ref() {
+                        Some(journal) if !journal.is_empty() => {
+                            (journal.len() as u64, journal.to_bytes().len() as u64)
+                        }
+                        _ => (0, 0),
+                    }
+                };
                 CorpusStats {
                     name: entry.spec.name.clone(),
                     resident: resident.is_some(),
@@ -674,6 +1024,9 @@ impl Registry {
                     evictions: entry.evictions.load(Ordering::Relaxed),
                     snapshot_loads: entry.snapshot_loads.load(Ordering::Relaxed),
                     snapshot_saves: entry.snapshot_saves.load(Ordering::Relaxed),
+                    journal_records,
+                    journal_bytes,
+                    compactions: entry.compactions.load(Ordering::Relaxed),
                     engine: resident.map(|cached| cached.engine().stats()),
                 }
             })
@@ -992,6 +1345,169 @@ mod tests {
         assert!(!dict.is_empty());
         // Second call returns the same allocation.
         assert!(std::ptr::eq(dict, cached.dictionary()));
+    }
+
+    /// An upsert of one probe article whose attribute value varies by
+    /// `step`, so every delta genuinely moves the corpus fingerprint.
+    fn probe_delta(step: usize) -> CorpusDelta {
+        let mut infobox = wiki_corpus::Infobox::new("Infobox Filme");
+        infobox.push(wiki_corpus::AttributeValue::text(
+            "nota",
+            format!("edição {step}"),
+        ));
+        CorpusDelta::upsert(wiki_corpus::Article::new(
+            "Sonda Registro",
+            Language::Pt,
+            "Filme",
+            infobox,
+        ))
+    }
+
+    #[test]
+    fn mutations_are_journaled_and_survive_eviction() {
+        let registry = registry_with(&["a"], 1);
+        let report = registry.mutate("a", &probe_delta(0)).unwrap();
+        assert_eq!(report.inserted, 1);
+        let second = registry.mutate("a", &probe_delta(1)).unwrap();
+        assert_eq!(second.updated, 1);
+        assert_eq!(second.fingerprint_before, report.fingerprint);
+
+        let stats = registry.stats();
+        assert_eq!(stats.corpora[0].journal_records, 2);
+        assert!(stats.corpora[0].journal_bytes > 0);
+        assert_eq!(stats.corpora[0].compactions, 0);
+
+        // Even without a disk tier, the in-memory journal outlives the
+        // session: a rebuild is pristine + replay, not a reset.
+        assert!(registry.evict("a").unwrap());
+        let rebuilt = registry.corpus("a").unwrap();
+        assert_eq!(rebuilt.engine().fingerprint(), second.fingerprint);
+        let dataset = rebuilt.engine().dataset();
+        let probe = dataset
+            .corpus
+            .articles_in(&Language::Pt)
+            .find(|a| a.title == "Sonda Registro")
+            .expect("probe article survived the eviction");
+        assert_eq!(probe.infobox.attributes[0].value, "edição 1");
+    }
+
+    #[test]
+    fn no_op_deltas_are_not_journaled() {
+        let registry = registry_with(&["a"], 1);
+        let delta = CorpusDelta::remove(Language::Pt, "No Such Article");
+        let report = registry.mutate("a", &delta).unwrap();
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.fingerprint, report.fingerprint_before);
+        assert_eq!(registry.stats().corpora[0].journal_records, 0);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_residency_response_cache() {
+        let registry = registry_with(&["a"], 1);
+        let before = registry.corpus("a").unwrap();
+        let stale = before.response("k", || Ok("stale".to_string())).unwrap();
+        registry.mutate("a", &probe_delta(0)).unwrap();
+        let after = registry.corpus("a").unwrap();
+        // Same engine session (patched in place), fresh response cache.
+        assert!(Arc::ptr_eq(before.engine(), after.engine()));
+        let fresh = after.response("k", || Ok("fresh".to_string())).unwrap();
+        assert_eq!((stale.as_str(), fresh.as_str()), ("stale", "fresh"));
+    }
+
+    #[test]
+    fn mutations_write_ahead_and_a_restart_replays_over_the_snapshot() {
+        let dir = snapshot_dir("journal");
+        let report = {
+            let registry = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+            // Snapshot lands at the pristine base; the two mutations after
+            // it live only in the write-ahead journal.
+            registry.warm("a").unwrap();
+            registry.mutate("a", &probe_delta(0)).unwrap();
+            registry.mutate("a", &probe_delta(1)).unwrap()
+        };
+        assert!(dir.join("a.journal").is_file());
+
+        // A restarted process positions the snapshot at the journal's base
+        // and replays the suffix through the incremental patcher: no
+        // artifact rebuilds, mutations intact.
+        let second = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+        let restored = second.corpus("a").unwrap();
+        assert_eq!(restored.engine().fingerprint(), report.fingerprint);
+        let engine_stats = restored.engine().stats();
+        assert_eq!(engine_stats.artifact_builds, 0, "replay rebuilt artifacts");
+        assert_eq!(engine_stats.deltas_applied, 2);
+        let stats = second.stats();
+        assert_eq!(stats.corpora[0].snapshot_loads, 1);
+        assert_eq!(stats.corpora[0].journal_records, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journals_are_ignored_and_the_pristine_corpus_served() {
+        let dir = snapshot_dir("badjournal");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.journal"), b"not a journal at all").unwrap();
+        let registry = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+        let cached = registry.corpus("a").unwrap();
+        assert!(!cached
+            .engine()
+            .dataset()
+            .corpus
+            .articles_in(&Language::Pt)
+            .any(|a| a.title == "Sonda Registro"));
+        assert_eq!(registry.stats().corpora[0].journal_records, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reaching_the_threshold_compacts_the_journal() {
+        let dir = snapshot_dir("compact");
+        let tip = {
+            let registry = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+            let mut tip = 0;
+            for step in 0..COMPACTION_THRESHOLD {
+                tip = registry
+                    .mutate("a", &probe_delta(step))
+                    .unwrap()
+                    .fingerprint;
+            }
+            let stats = registry.stats();
+            assert_eq!(stats.corpora[0].compactions, 1);
+            // The whole chain composed into one record, re-rooted at the
+            // pristine base.
+            assert_eq!(stats.corpora[0].journal_records, 1);
+            // Compaction re-snapshots at the tip.
+            assert_eq!(stats.corpora[0].snapshot_saves, 1);
+            tip
+        };
+
+        // The compacted journal + tip snapshot warm-start exactly.
+        let second = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+        let restored = second.corpus("a").unwrap();
+        assert_eq!(restored.engine().fingerprint(), tip);
+        assert_eq!(restored.engine().stats().deltas_applied, 0);
+        assert_eq!(second.stats().corpora[0].snapshot_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_snapshot_behind_the_journal_is_positioned_not_discarded() {
+        let dir = snapshot_dir("behind");
+        let report = {
+            let registry = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+            registry.mutate("a", &probe_delta(0)).unwrap();
+            // Snapshot at tip-as-of-now (one record in)...
+            assert_eq!(registry.persist_resident(), 1);
+            // ...then the corpus moves past it.
+            registry.mutate("a", &probe_delta(1)).unwrap()
+        };
+        let second = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+        let restored = second.corpus("a").unwrap();
+        // The snapshot sat mid-chain: restored there, one record replayed.
+        assert_eq!(restored.engine().fingerprint(), report.fingerprint);
+        assert_eq!(restored.engine().stats().deltas_applied, 1);
+        assert_eq!(second.stats().corpora[0].snapshot_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

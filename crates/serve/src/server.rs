@@ -34,11 +34,12 @@ use wikimatch::MatchEngine;
 use crate::http::{read_request, Request, RequestError, Response};
 use crate::matchers::MatcherRegistry;
 use crate::protocol::{
-    AlignRequest, AlignResponse, CorporaResponse, CorpusRequest, EvictResponse, HealthResponse,
-    MatcherRequest, MatchersResponse, ServerCounters, StatsResponse, TranslateRequest,
-    TranslateResponse, TypePairs, WarmResponse,
+    AlignRequest, AlignResponse, CorporaResponse, CorpusRequest, DeleteRequest, EvictResponse,
+    HealthResponse, MatcherRequest, MatchersResponse, MutateRequest, MutateResponse,
+    ServerCounters, StatsResponse, TranslateRequest, TranslateResponse, TypePairs, WarmResponse,
 };
 use crate::registry::{CachedCorpus, Registry};
+use wikimatch::CorpusDelta;
 
 /// How long a worker blocks waiting for the *first* byte of the next
 /// request on an idle keep-alive connection before re-checking the
@@ -439,8 +440,22 @@ fn route(shared: &Shared, request: &Request) -> Response {
             "/healthz" | "/stats" | "/corpora" | "/matchers" | "/align" | "/translate-query"
             | "/warm" | "/evict" | "/shutdown",
         ) => Response::error(405, &format!("method {} not allowed here", request.method)),
-        (_, path) => Response::error(404, &format!("unknown route {path}")),
+        (method, path) => match entities_corpus(path) {
+            Some(name) => match method {
+                "POST" => handle_mutate(shared, request, name),
+                "DELETE" => handle_delete(shared, request, name),
+                _ => Response::error(405, &format!("method {method} not allowed here")),
+            },
+            None => Response::error(404, &format!("unknown route {path}")),
+        },
     }
+}
+
+/// Extracts the corpus name of a `/corpora/{name}/entities` path; `None`
+/// for every other path (including an empty name).
+fn entities_corpus(path: &str) -> Option<&str> {
+    let name = path.strip_prefix("/corpora/")?.strip_suffix("/entities")?;
+    (!name.is_empty() && !name.contains('/')).then_some(name)
 }
 
 fn json_200<T: serde::Serialize>(body: &T) -> Response {
@@ -633,4 +648,58 @@ fn handle_evict(shared: &Shared, request: &Request) -> Response {
         }),
         Err(err) => Response::error(404, &err.to_string()),
     }
+}
+
+/// Applies a mutation delta through [`Registry::mutate`] and shapes the
+/// report into the shared [`MutateResponse`] of both mutation endpoints.
+fn mutated_response(shared: &Shared, name: &str, delta: &CorpusDelta) -> Response {
+    match shared.registry.mutate(name, delta) {
+        Ok(report) => json_200(&MutateResponse {
+            corpus: name.to_string(),
+            inserted: report.inserted,
+            updated: report.updated,
+            removed: report.removed,
+            types_patched: report.types_patched,
+            rows_recomputed: report.rows_recomputed,
+            fingerprint_before: format!("{:016x}", report.fingerprint_before),
+            fingerprint: format!("{:016x}", report.fingerprint),
+        }),
+        Err(err) => Response::error(404, &err.to_string()),
+    }
+}
+
+/// `POST /corpora/{name}/entities`: upsert entities as one journaled delta.
+fn handle_mutate(shared: &Shared, request: &Request, name: &str) -> Response {
+    let req: MutateRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(response) => return *response,
+    };
+    if req.entities.is_empty() {
+        return Response::error(400, "entities must not be empty");
+    }
+    let mut delta = CorpusDelta::new();
+    for article in req.entities {
+        delta.push(wikimatch::DeltaOp::Upsert(article));
+    }
+    mutated_response(shared, name, &delta)
+}
+
+/// `DELETE /corpora/{name}/entities`: tombstone entities as one journaled
+/// delta.
+fn handle_delete(shared: &Shared, request: &Request, name: &str) -> Response {
+    let req: DeleteRequest = match parse_body(request) {
+        Ok(req) => req,
+        Err(response) => return *response,
+    };
+    if req.entities.is_empty() {
+        return Response::error(400, "entities must not be empty");
+    }
+    let mut delta = CorpusDelta::new();
+    for key in req.entities {
+        delta.push(wikimatch::DeltaOp::Remove {
+            language: key.language,
+            title: key.title,
+        });
+    }
+    mutated_response(shared, name, &delta)
 }

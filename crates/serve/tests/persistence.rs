@@ -5,9 +5,11 @@
 
 use std::sync::Arc;
 
-use wiki_corpus::{Language, SyntheticConfig};
+use wiki_corpus::{Article, AttributeValue, Infobox, Language, SyntheticConfig};
 use wiki_serve::client::MatchClient;
-use wiki_serve::protocol::{AlignRequest, CorpusRequest, StatsResponse, WarmResponse};
+use wiki_serve::protocol::{
+    AlignRequest, CorpusRequest, MutateRequest, MutateResponse, StatsResponse, WarmResponse,
+};
 use wiki_serve::registry::{CorpusSpec, Registry};
 use wiki_serve::server::{MatchServer, ServerConfig};
 use wikimatch::ComputeMode;
@@ -89,6 +91,132 @@ fn matchd_restart_serves_from_disk_without_rebuilding() {
         "warm start recomputed artifacts instead of loading them"
     );
     assert_eq!(engine.cached_types, warmed.cached_types);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An upsert request for one probe article whose value varies by `step`.
+fn probe_request(step: usize) -> MutateRequest {
+    let mut infobox = Infobox::new("Infobox Filme");
+    infobox.push(AttributeValue::text("nota", format!("edição {step}")));
+    MutateRequest {
+        entities: vec![Article::new(
+            "Sonda Persistente",
+            Language::Pt,
+            "Filme",
+            infobox,
+        )],
+    }
+}
+
+#[test]
+fn mutations_survive_a_restart_through_the_write_ahead_journal() {
+    let dir = std::env::temp_dir().join(format!("wm-serve-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- First process: warm (snapshot at the pristine base), then mutate
+    // twice; the mutations live only in the write-ahead journal.
+    let (server, mut client) = boot_with_dir(&dir);
+    client
+        .post(
+            "/warm",
+            &CorpusRequest {
+                corpus: "pt-tiny".to_string(),
+            },
+        )
+        .unwrap();
+    for step in 0..2 {
+        let response = client
+            .post("/corpora/pt-tiny/entities", &probe_request(step))
+            .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+    let tip: MutateResponse = client
+        .post("/corpora/pt-tiny/entities", &probe_request(2))
+        .unwrap()
+        .json()
+        .unwrap();
+    let align_request = AlignRequest {
+        corpus: "pt-tiny".to_string(),
+        type_id: Some("film".to_string()),
+    };
+    let mutated_body = client.post("/align", &align_request).unwrap().body;
+    server.shutdown();
+    assert!(dir.join("pt-tiny.journal").is_file(), "journal on disk");
+
+    // ---- Second process: the snapshot restores at the base and the three
+    // journal records replay through the incremental patcher — the mutated
+    // alignment is served with zero artifact builds.
+    let (server, mut client) = boot_with_dir(&dir);
+    let restored_body = client.post("/align", &align_request).unwrap().body;
+    assert_eq!(
+        restored_body, mutated_body,
+        "restart lost journaled mutations"
+    );
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    let corpus = &stats.registry.corpora[0];
+    assert_eq!(corpus.snapshot_loads, 1, "snapshot discarded, not replayed");
+    assert_eq!(corpus.journal_records, 3);
+    let engine = corpus.engine.as_ref().expect("session resident");
+    assert_eq!(engine.artifact_builds, 0, "base + replay rebuilt artifacts");
+    assert_eq!(engine.deltas_applied, 3);
+
+    // The restored lineage keeps chaining: the next mutation's parent is
+    // the pre-restart tip.
+    let next: MutateResponse = client
+        .post("/corpora/pt-tiny/entities", &probe_request(3))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(next.fingerprint_before, tip.fingerprint);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_diverged_journal_falls_back_to_the_pristine_corpus() {
+    let dir = std::env::temp_dir().join(format!("wm-serve-diverged-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First process: snapshot + one journaled mutation.
+    let (server, mut client) = boot_with_dir(&dir);
+    client
+        .post(
+            "/warm",
+            &CorpusRequest {
+                corpus: "pt-tiny".to_string(),
+            },
+        )
+        .unwrap();
+    let align_request = AlignRequest {
+        corpus: "pt-tiny".to_string(),
+        type_id: Some("film".to_string()),
+    };
+    let pristine_body = client.post("/align", &align_request).unwrap().body;
+    client
+        .post("/corpora/pt-tiny/entities", &probe_request(0))
+        .unwrap();
+    server.shutdown();
+
+    // Corrupt the journal on disk (flip a byte in its last record).
+    let journal_path = dir.join("pt-tiny.journal");
+    let mut bytes = std::fs::read(&journal_path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&journal_path, &bytes).unwrap();
+
+    // Second process: the torn record is dropped, the surviving (empty)
+    // prefix replays, and the pristine snapshot still warm-starts — a
+    // damaged journal degrades to losing its tail, never to a cold rebuild
+    // or a wedged corpus.
+    let (server, mut client) = boot_with_dir(&dir);
+    let restored_body = client.post("/align", &align_request).unwrap().body;
+    assert_eq!(restored_body, pristine_body);
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    let corpus = &stats.registry.corpora[0];
+    assert_eq!(corpus.snapshot_loads, 1, "snapshot should still be used");
+    assert_eq!(corpus.journal_records, 0, "corrupt record must be dropped");
+    assert_eq!(corpus.engine.as_ref().expect("resident").artifact_builds, 0);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

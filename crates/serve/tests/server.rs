@@ -8,13 +8,13 @@ use std::sync::Arc;
 use std::thread;
 
 use wiki_baselines::BoumaMatcher;
-use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_corpus::{Article, AttributeValue, Dataset, Infobox, Language, SyntheticConfig};
 use wiki_query::{CQuery, CorrespondenceDictionary, QueryEngine};
 use wiki_serve::client::MatchClient;
 use wiki_serve::protocol::{
-    AlignRequest, AlignResponse, CorporaResponse, CorpusRequest, EvictResponse, HealthResponse,
-    MatcherRequest, MatchersResponse, StatsResponse, TranslateRequest, TranslateResponse,
-    WarmResponse,
+    AlignRequest, AlignResponse, CorporaResponse, CorpusRequest, DeleteRequest, EntityKey,
+    EvictResponse, HealthResponse, MatcherRequest, MatchersResponse, MutateRequest, MutateResponse,
+    StatsResponse, TranslateRequest, TranslateResponse, WarmResponse,
 };
 use wiki_serve::registry::{CorpusSpec, Registry};
 use wiki_serve::server::{MatchServer, ServerConfig};
@@ -132,7 +132,7 @@ fn matchers_endpoint_runs_named_plugins() {
 fn translate_query_matches_the_in_process_dictionary() {
     let (server, mut client) = boot(vec![tiny_spec("pt-tiny")], 2);
     let engine = reference_engine();
-    let dictionary = CorrespondenceDictionary::build(engine.dataset(), &engine.align_all());
+    let dictionary = CorrespondenceDictionary::build(&engine.dataset(), &engine.align_all());
 
     let query_text = r#"filme(direção=?, país="Estados Unidos")"#;
     let response: TranslateResponse = client
@@ -376,6 +376,199 @@ fn lru_capacity_is_enforced_over_the_wire() {
         .unwrap();
     assert!(!a.resident, "oldest session is evicted by LRU pressure");
     assert_eq!(a.evictions, 1);
+
+    server.shutdown();
+}
+
+/// The probe article of the mutation tests: same key every time, attribute
+/// value varying by `step`, so the first request inserts and later ones
+/// update in place. Cross-linked to an English film of the same synthetic
+/// dataset, so it forms a dual pair and its edits dirty similarity rows.
+fn probe(step: usize) -> Article {
+    let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+    let en_title = dataset
+        .corpus
+        .articles_in(&Language::En)
+        .find(|a| a.entity_type == "Film")
+        .expect("tiny dataset has English films")
+        .title
+        .clone();
+    let mut infobox = Infobox::new("Infobox Filme");
+    infobox.push(AttributeValue::text("nota", format!("edição {step}")));
+    let mut article = Article::new("Sonda Wire", Language::Pt, "Filme", infobox);
+    article.cross_links.push((Language::En, en_title));
+    article
+}
+
+#[test]
+fn mutation_endpoints_patch_the_live_corpus_and_report_gauges() {
+    let (server, mut client) = boot(vec![tiny_spec("pt-tiny")], 2);
+
+    // Warm first so the mutations patch cached artifacts (that is the
+    // interesting path: rows recomputed instead of lazily rebuilt).
+    let warm = client
+        .post(
+            "/warm",
+            &CorpusRequest {
+                corpus: "pt-tiny".to_string(),
+            },
+        )
+        .unwrap();
+    assert_eq!(warm.status, 200);
+
+    let inserted: MutateResponse = client
+        .post(
+            "/corpora/pt-tiny/entities",
+            &MutateRequest {
+                entities: vec![probe(0)],
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(
+        (inserted.inserted, inserted.updated, inserted.removed),
+        (1, 0, 0)
+    );
+    // The probe's new cross-link changes the title dictionary, which
+    // reaches every type — so all 14 cached types are patched.
+    assert_eq!(inserted.types_patched, 14, "every cached type is patched");
+    assert_ne!(inserted.fingerprint, inserted.fingerprint_before);
+
+    let updated: MutateResponse = client
+        .post(
+            "/corpora/pt-tiny/entities",
+            &MutateRequest {
+                entities: vec![probe(1)],
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(
+        (updated.inserted, updated.updated, updated.removed),
+        (0, 1, 0)
+    );
+    assert_eq!(
+        updated.fingerprint_before, inserted.fingerprint,
+        "mutation responses chain fingerprints"
+    );
+
+    let removed: MutateResponse = client
+        .delete(
+            "/corpora/pt-tiny/entities",
+            &DeleteRequest {
+                entities: vec![EntityKey {
+                    language: Language::Pt,
+                    title: "Sonda Wire".to_string(),
+                }],
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(
+        (removed.inserted, removed.updated, removed.removed),
+        (0, 0, 1)
+    );
+
+    // The delta gauges travel over the wire.
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    let corpus = stats
+        .registry
+        .corpora
+        .iter()
+        .find(|c| c.name == "pt-tiny")
+        .unwrap();
+    assert_eq!(corpus.journal_records, 3);
+    assert!(corpus.journal_bytes > 0, "journal size gauge is live");
+    assert_eq!(corpus.compactions, 0);
+    let engine = corpus.engine.as_ref().expect("mutated session is resident");
+    assert_eq!(engine.deltas_applied, 3);
+    assert!(
+        engine.rows_recomputed > 0,
+        "patching a warm session recomputes similarity rows"
+    );
+
+    // Five more deltas reach the compaction threshold (8): the chain
+    // composes into one record.
+    for step in 2..7 {
+        let response = client
+            .post(
+                "/corpora/pt-tiny/entities",
+                &MutateRequest {
+                    entities: vec![probe(step)],
+                },
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+    }
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    let corpus = stats
+        .registry
+        .corpora
+        .iter()
+        .find(|c| c.name == "pt-tiny")
+        .unwrap();
+    assert_eq!(corpus.compactions, 1);
+    assert_eq!(corpus.journal_records, 1, "compaction composed the chain");
+
+    server.shutdown();
+}
+
+#[test]
+fn mutation_endpoints_reject_bad_requests() {
+    let (server, mut client) = boot(vec![tiny_spec("pt-tiny")], 2);
+
+    // Unknown corpus.
+    let response = client
+        .post(
+            "/corpora/atlantis/entities",
+            &MutateRequest {
+                entities: vec![probe(0)],
+            },
+        )
+        .unwrap();
+    assert_eq!(response.status, 404);
+    assert!(response.body.contains("atlantis"), "{}", response.body);
+    // Wrong method on the entities route.
+    assert_eq!(client.get("/corpora/pt-tiny/entities").unwrap().status, 405);
+    // Malformed body.
+    assert_eq!(
+        client
+            .request("POST", "/corpora/pt-tiny/entities", Some("{not json"))
+            .unwrap()
+            .status,
+        400
+    );
+    // Empty mutation.
+    let response = client
+        .post(
+            "/corpora/pt-tiny/entities",
+            &MutateRequest {
+                entities: Vec::new(),
+            },
+        )
+        .unwrap();
+    assert_eq!(response.status, 400);
+    // Removing an unknown key is a clean no-op, reported but not journaled.
+    let response: MutateResponse = client
+        .delete(
+            "/corpora/pt-tiny/entities",
+            &DeleteRequest {
+                entities: vec![EntityKey {
+                    language: Language::Pt,
+                    title: "Nunca Existiu".to_string(),
+                }],
+            },
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(response.removed, 0);
+    assert_eq!(response.fingerprint, response.fingerprint_before);
+    let stats: StatsResponse = client.get("/stats").unwrap().json().unwrap();
+    assert_eq!(stats.registry.corpora[0].journal_records, 0);
 
     server.shutdown();
 }

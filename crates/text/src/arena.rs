@@ -94,6 +94,46 @@ impl TermArena {
         self.terms.iter().map(String::as_str)
     }
 
+    /// Builds the sorted union of this arena's vocabulary and `new_terms`
+    /// (any order, duplicates and already-known terms allowed), returning
+    /// the extended arena together with the **monotone** old → new id remap
+    /// (`new_id = remap[old_id as usize]`).
+    ///
+    /// Because the merge preserves the relative order of the surviving
+    /// terms, the remap is strictly increasing: an entry list sorted by old
+    /// id stays sorted (by id *and* by term) after mapping each id through
+    /// `remap`, so term vectors migrate to the extended arena with one
+    /// linear pass and no re-sorting — the operation delta ingestion uses to
+    /// keep clean vectors bit-identical while new terms join the
+    /// vocabulary.
+    pub fn extended_with<I, S>(&self, new_terms: I) -> (Arc<TermArena>, Vec<u32>)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut additions: Vec<String> = new_terms
+            .into_iter()
+            .map(Into::into)
+            .filter(|t| self.intern(t).is_none())
+            .collect();
+        additions.sort_unstable();
+        additions.dedup();
+
+        let mut terms = Vec::with_capacity(self.terms.len() + additions.len());
+        let mut remap = Vec::with_capacity(self.terms.len());
+        let mut extra = additions.into_iter().peekable();
+        for old in &self.terms {
+            while extra.peek().is_some_and(|t| t.as_str() < old.as_str()) {
+                terms.push(extra.next().expect("peeked"));
+            }
+            remap.push(terms.len() as u32);
+            terms.push(old.clone());
+        }
+        terms.extend(extra);
+        let bytes = terms.iter().map(String::len).sum();
+        (Arc::new(TermArena { terms, bytes }), remap)
+    }
+
     /// Inserts `term` at its sorted position, returning its id. Existing ids
     /// at or after that position shift up by one — callers holding entry
     /// lists must remap them. Only used by the copy-on-write `add` path of
@@ -234,6 +274,27 @@ mod tests {
         assert!(TermArena::from_sorted_terms(vec!["b".into(), "a".into()]).is_none());
         assert!(TermArena::from_sorted_terms(vec!["a".into(), "a".into()]).is_none());
         assert!(TermArena::from_sorted_terms(Vec::new()).is_some());
+    }
+
+    #[test]
+    fn extended_with_merges_and_returns_a_monotone_remap() {
+        let base =
+            TermArena::from_sorted_terms(vec!["banana".into(), "mango".into(), "zebra".into()])
+                .unwrap();
+        let (extended, remap) = base.extended_with(["apple", "mango", "papaya", "apple"]);
+        let terms: Vec<&str> = extended.terms().collect();
+        assert_eq!(terms, vec!["apple", "banana", "mango", "papaya", "zebra"]);
+        assert_eq!(remap, vec![1, 2, 4]);
+        // The remap is strictly increasing and points at the same terms.
+        assert!(remap.windows(2).all(|w| w[0] < w[1]));
+        for (old, term) in base.terms().enumerate() {
+            assert_eq!(extended.resolve(remap[old]), term);
+        }
+        assert_eq!(extended.term_bytes(), "applebananamangopapayazebra".len());
+        // No additions → identity remap, identical vocabulary.
+        let (same, identity) = base.extended_with(Vec::<String>::new());
+        assert_eq!(same.len(), base.len());
+        assert_eq!(identity, vec![0, 1, 2]);
     }
 
     #[test]

@@ -182,6 +182,27 @@ impl TermVector {
         &self.arena
     }
 
+    /// Migrates the vector onto an extended arena through the **monotone**
+    /// old → new id remap produced by [`TermArena::extended_with`] on this
+    /// vector's arena: every entry id is mapped, weights are taken verbatim
+    /// (bit for bit), and because the remap is strictly increasing the
+    /// entries stay sorted without re-sorting — so the migrated vector
+    /// produces exactly the same merge walks and float accumulations as the
+    /// original.
+    pub fn remapped(&self, arena: Arc<TermArena>, remap: &[u32]) -> TermVector {
+        let entries: Vec<(u32, f64)> = self
+            .entries
+            .iter()
+            .map(|&(id, w)| (remap[id as usize], w))
+            .collect();
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries
+            .last()
+            .map(|&(id, _)| (id as usize) < arena.len())
+            .unwrap_or(true));
+        Self { arena, entries }
+    }
+
     /// The raw `(term id, weight)` entries in ascending id order.
     pub fn id_entries(&self) -> &[(u32, f64)] {
         &self.entries
@@ -823,6 +844,34 @@ mod tests {
         let a = TermVector::from_terms(["a"]);
         let b = TermVector::from_terms(["a"]);
         a.union_ids(&b, |_| {});
+    }
+
+    #[test]
+    fn remapped_vectors_are_bit_identical_on_the_extended_arena() {
+        let a = TermVector::from_terms(["banana", "mango", "banana", "zebra"]);
+        let b = {
+            let mut v = TermVector::in_arena(Arc::clone(a.arena()));
+            v.add("mango", 2.0);
+            v.add("zebra", 1.0);
+            v
+        };
+        let (extended, remap) = a.arena().extended_with(["apple", "papaya"]);
+        let a2 = a.remapped(Arc::clone(&extended), &remap);
+        let b2 = b.remapped(Arc::clone(&extended), &remap);
+        assert!(Arc::ptr_eq(a2.arena(), &extended));
+        assert_eq!(a2, a);
+        assert_eq!(a2.get("banana"), 2.0);
+        assert_eq!(a2.dot(&b2).to_bits(), a.dot(&b).to_bits());
+        assert_eq!(a2.cosine(&b2).to_bits(), a.cosine(&b).to_bits());
+        // Fresh entries interned directly in the extended arena interoperate.
+        let c = TermVector::from_id_occurrences(
+            Arc::clone(&extended),
+            vec![
+                extended.intern("apple").unwrap(),
+                extended.intern("banana").unwrap(),
+            ],
+        );
+        assert_eq!(a2.dot(&c), 2.0);
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn main() {
     let alignments = match_engine.align_all();
 
     // Show one query in detail.
-    let dictionary = CorrespondenceDictionary::build(dataset, &alignments);
+    let dictionary = CorrespondenceDictionary::build(&dataset, &alignments);
     let engine = QueryEngine::new(&dataset.corpus);
     let oracle = RelevanceOracle::new(&dataset.corpus, &dataset.ground_truth);
     let query = &case_study_queries(dataset.other_language())[0];

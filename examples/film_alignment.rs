@@ -58,7 +58,7 @@ fn main() {
             let pairs = engine
                 .align_with(matcher.as_ref(), &pairing.type_id)
                 .expect("known type");
-            let scores = evaluate_pairs(dataset, &pairing.type_id, &freq_other, &freq_en, &pairs);
+            let scores = evaluate_pairs(&dataset, &pairing.type_id, &freq_other, &freq_en, &pairs);
             print!(
                 " {:>6.2} {:>6.2} {:>6.2}  ",
                 scores.precision, scores.recall, scores.f1

@@ -49,7 +49,7 @@ fn main() {
 
     // 4. Evaluate against the generator's ground truth with the paper's
     //    weighted precision / recall / F-measure.
-    let scores = evaluate_alignment(engine.dataset(), &alignment);
+    let scores = evaluate_alignment(&engine.dataset(), &alignment);
     println!(
         "\nWeighted scores for `film`: precision {:.2}, recall {:.2}, F1 {:.2}",
         scores.precision, scores.recall, scores.f1

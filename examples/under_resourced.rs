@@ -55,7 +55,7 @@ fn main() {
     // Steps 2–3: align attributes of every type (in parallel) and evaluate.
     println!("\nPer-type weighted scores:");
     for alignment in engine.align_all() {
-        let scores = evaluate_alignment(engine.dataset(), &alignment);
+        let scores = evaluate_alignment(&engine.dataset(), &alignment);
         println!(
             "  {:<8} P {:.2}  R {:.2}  F {:.2}   ({} correspondences)",
             alignment.type_id,

@@ -19,7 +19,7 @@
 //!
 //! let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
 //! let alignment = engine.align("film").expect("film type exists");
-//! let scores = evaluate_alignment(engine.dataset(), &alignment);
+//! let scores = evaluate_alignment(&engine.dataset(), &alignment);
 //! assert!(scores.f1 > 0.0);
 //! ```
 //!
@@ -114,7 +114,7 @@ mod tests {
     fn evaluate_alignment_produces_bounded_scores() {
         let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
         let alignment = engine.align("film").unwrap();
-        let scores = evaluate_alignment(engine.dataset(), &alignment);
+        let scores = evaluate_alignment(&engine.dataset(), &alignment);
         assert!((0.0..=1.0).contains(&scores.precision));
         assert!((0.0..=1.0).contains(&scores.recall));
         assert!(scores.f1 > 0.0, "film alignment should find something");

@@ -25,7 +25,7 @@ fn average_scores(engine: &MatchEngine, config: WikiMatchConfig) -> Scores {
         let freq_other = schema.frequencies(dataset.other_language());
         let freq_en = schema.frequencies(&Language::En);
         scores.push(evaluate_pairs(
-            dataset,
+            &dataset,
             &pairing.type_id,
             &freq_other,
             &freq_en,

@@ -31,7 +31,7 @@ fn compare(engine: &MatchEngine) -> Comparison {
         for (i, system) in systems.iter().enumerate() {
             let pairs = engine.align_with(*system, &pairing.type_id).unwrap();
             per_system[i].push(evaluate_pairs(
-                dataset,
+                &dataset,
                 &pairing.type_id,
                 &freq_other,
                 &freq_en,
@@ -99,7 +99,7 @@ fn lsi_recall_grows_with_k_while_precision_drops() {
     let freq_en = schema.frequencies(&Language::En);
     let eval = |k: usize| {
         let pairs = engine.align_with(&LsiTopKMatcher::new(k), "film").unwrap();
-        evaluate_pairs(dataset, "film", &freq_other, &freq_en, &pairs)
+        evaluate_pairs(&dataset, "film", &freq_other, &freq_en, &pairs)
     };
     let top1 = eval(1);
     let top10 = eval(10);

@@ -26,7 +26,7 @@ fn full_pipeline_produces_sound_alignments_for_every_type() {
             assert!(alignment.schema.index_of(&Language::Pt, &other).is_some());
             assert!(alignment.schema.index_of(&Language::En, &en).is_some());
         }
-        let s = evaluate_alignment(engine.dataset(), alignment);
+        let s = evaluate_alignment(&engine.dataset(), alignment);
         assert!((0.0..=1.0).contains(&s.precision));
         assert!((0.0..=1.0).contains(&s.recall));
         scores.push(s);
@@ -88,7 +88,7 @@ fn vietnamese_pipeline_works_despite_small_corpus() {
     let avg = Scores::average(
         alignments
             .iter()
-            .map(|a| evaluate_alignment(engine.dataset(), a))
+            .map(|a| evaluate_alignment(&engine.dataset(), a))
             .collect::<Vec<_>>()
             .iter(),
     );

@@ -37,7 +37,7 @@ proptest! {
                 prop_assert!(alignment.schema.index_of(&Language::Vn, &vn).is_some());
                 prop_assert!(alignment.schema.index_of(&Language::En, &en).is_some());
             }
-            let scores = evaluate_alignment(engine.dataset(), &alignment);
+            let scores = evaluate_alignment(&engine.dataset(), &alignment);
             prop_assert!((0.0..=1.0).contains(&scores.precision));
             prop_assert!((0.0..=1.0).contains(&scores.recall));
             prop_assert!((0.0..=1.0).contains(&scores.f1));

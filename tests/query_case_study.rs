@@ -13,7 +13,7 @@ use wikimatch::MatchEngine;
 fn correspondence_dictionary_translates_the_workload() {
     let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
     let alignments = engine.align_all();
-    let dictionary = CorrespondenceDictionary::build(engine.dataset(), &alignments);
+    let dictionary = CorrespondenceDictionary::build(&engine.dataset(), &alignments);
     assert!(!dictionary.is_empty());
 
     let mut translated_constraints = 0usize;
@@ -36,7 +36,7 @@ fn queries_return_ranked_answers_in_both_languages() {
     let match_engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny())).build();
     let dataset = match_engine.dataset();
     let alignments = match_engine.align_all();
-    let dictionary = CorrespondenceDictionary::build(dataset, &alignments);
+    let dictionary = CorrespondenceDictionary::build(&dataset, &alignments);
     let engine = QueryEngine::new(&dataset.corpus);
 
     let query = CQuery::parse(r#"filme(direção=?, gênero="Drama")"#).unwrap();
