@@ -19,7 +19,7 @@
 //!
 //! ```text
 //! cargo run --release -p wiki-bench --bin interning \
-//!     [-- --tiers tiny,small,medium[,large] --runs N --smoke --out BENCH_5.json]
+//!     [-- --tiers tiny,small,medium[,large,xlarge] --runs N --smoke --out BENCH_5.json]
 //! ```
 //!
 //! `--smoke` (tiny only, one run) is the CI guard that keeps this binary
@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use wiki_bench::kernels::{cosine_sweep, SweepInput};
 use wiki_bench::report::f2;
-use wiki_bench::{format_table, write_report};
+use wiki_bench::{format_table, tier_config, tier_names, write_report};
 use wiki_corpus::synthetic::SyntheticGenerator;
 use wiki_corpus::{Dataset, Language, SyntheticConfig};
 use wiki_linalg::LsiConfig;
@@ -71,16 +71,6 @@ struct Report {
     medium_speedup_vs_pr2: Option<f64>,
     runs: usize,
     tiers: Vec<TierResult>,
-}
-
-fn tier_config(tier: &str) -> Option<SyntheticConfig> {
-    match tier {
-        "tiny" => Some(SyntheticConfig::tiny()),
-        "small" => Some(SyntheticConfig::small()),
-        "medium" => Some(SyntheticConfig::medium()),
-        "large" => Some(SyntheticConfig::large()),
-        _ => None,
-    }
 }
 
 fn ms(d: Duration) -> f64 {
@@ -133,7 +123,7 @@ fn measure_tier(tier: &str, config: &SyntheticConfig, runs: usize) -> TierResult
     let dataset = Dataset::pt_en(config);
     let engine = MatchEngine::builder(Arc::new(dataset)).build();
     engine.prepared("film").expect("film type exists");
-    let snapshot = EngineSnapshot::capture(&engine);
+    let snapshot = EngineSnapshot::capture(&engine).expect("exact-mode engine captures");
     let (snapshot_encode_ms, bytes) = time_best(runs, || snapshot.to_bytes());
     let (snapshot_decode_ms, decoded) =
         time_best(runs, || EngineSnapshot::from_bytes(&bytes).unwrap());
@@ -241,7 +231,7 @@ fn main() {
     let mut results = Vec::new();
     for tier in &tiers {
         let config = tier_config(tier).unwrap_or_else(|| {
-            eprintln!("unknown tier {tier:?} (tiny|small|medium|large)");
+            eprintln!("unknown tier {tier:?} ({})", tier_names());
             std::process::exit(2);
         });
         eprintln!("measuring tier {tier} ({runs} runs)...");

@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wiki_bench::report::f2;
-use wiki_bench::{format_table, write_report};
+use wiki_bench::{format_table, tier_config, tier_names, write_report};
 use wiki_corpus::{Article, Dataset, Language, SyntheticConfig};
 use wikimatch::{CorpusDelta, MatchEngine};
 
@@ -59,16 +59,6 @@ struct Report {
     note: String,
     runs: usize,
     tiers: Vec<TierResult>,
-}
-
-fn tier_config(tier: &str) -> Option<SyntheticConfig> {
-    match tier {
-        "tiny" => Some(SyntheticConfig::tiny()),
-        "small" => Some(SyntheticConfig::small()),
-        "medium" => Some(SyntheticConfig::medium()),
-        "large" => Some(SyntheticConfig::large()),
-        _ => None,
-    }
 }
 
 fn ms(d: Duration) -> f64 {
@@ -213,7 +203,7 @@ fn main() {
     let mut results = Vec::new();
     for tier in &tiers {
         let config = tier_config(tier).unwrap_or_else(|| {
-            eprintln!("unknown tier {tier:?} (tiny|small|medium|large)");
+            eprintln!("unknown tier {tier:?} ({})", tier_names());
             std::process::exit(2);
         });
         eprintln!("measuring tier {tier} ({runs} runs)...");

@@ -17,14 +17,14 @@
 //! restored artifacts are not bit-identical to the cold build.
 //!
 //! ```text
-//! cargo run --release -p wiki-bench --bin warmstart [-- --tiers tiny,small,medium[,large] --runs N]
+//! cargo run --release -p wiki-bench --bin warmstart [-- --tiers tiny,small,medium[,large,xlarge] --runs N]
 //! ```
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use wiki_bench::{format_table, write_report};
-use wiki_corpus::{Dataset, SyntheticConfig};
+use wiki_bench::{format_table, tier_config, tier_names, write_report};
+use wiki_corpus::Dataset;
 use wikimatch::snapshot::EngineSnapshot;
 use wikimatch::MatchEngine;
 
@@ -37,16 +37,6 @@ struct TierResult {
     cold_build_ms: f64,
     snapshot_load_ms: f64,
     speedup: f64,
-}
-
-fn tier_config(tier: &str) -> Option<SyntheticConfig> {
-    match tier {
-        "tiny" => Some(SyntheticConfig::tiny()),
-        "small" => Some(SyntheticConfig::small()),
-        "medium" => Some(SyntheticConfig::medium()),
-        "large" => Some(SyntheticConfig::large()),
-        _ => None,
-    }
 }
 
 fn median(mut samples: Vec<Duration>) -> Duration {
@@ -77,7 +67,7 @@ fn main() {
 
     for tier in tiers.split(',').map(str::trim).filter(|t| !t.is_empty()) {
         let Some(config) = tier_config(tier) else {
-            eprintln!("unknown tier {tier:?}; expected tiny, small, medium or large");
+            eprintln!("unknown tier {tier:?}; expected {}", tier_names());
             std::process::exit(2);
         };
         // Generated once; both sides start from the same in-memory dataset.
@@ -103,6 +93,7 @@ fn main() {
         // Persist the warmed session once, then time pure loads.
         let path = dir.join(format!("pt-{tier}.snap"));
         EngineSnapshot::capture(&reference)
+            .expect("exact-mode engine captures")
             .save(&path)
             .expect("snapshot saves");
         let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);

@@ -808,7 +808,7 @@ pub(crate) fn patch_prepared_type(
         PreparedType {
             schema: Arc::new(schema),
             table: Arc::new(table),
-            index: Arc::new(index),
+            index: Some(Arc::new(index)),
             arena,
             vector_entries,
         },

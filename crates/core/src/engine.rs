@@ -118,8 +118,10 @@ pub struct PreparedType {
     pub table: Arc<SimilarityTable>,
     /// The inverted candidate index over the schema's value and link terms
     /// (the pruning structure of [`ComputeMode::Pruned`]); persisted with
-    /// the other artifacts by [`crate::snapshot`].
-    pub index: Arc<CandidateIndex>,
+    /// the other artifacts by [`crate::snapshot`]. `None` when the table
+    /// was built by a sparse mode (`Filtered` / `Lsh`), which probes its
+    /// own transient structures and never patches or snapshots.
+    pub index: Option<Arc<CandidateIndex>>,
     /// The type's interned vocabulary (shared with
     /// [`DualSchema::arena`](crate::DualSchema::arena) — exposed here so
     /// consumers holding prepared artifacts reach the term table without
@@ -155,6 +157,17 @@ pub struct EngineStats {
     /// Similarity pairs whose cosines were recomputed by delta patches,
     /// cumulatively — everything else kept its exact bits.
     pub rows_recomputed: u64,
+    /// Direct-channel cosine evaluations performed by full table builds,
+    /// cumulatively across the session (two per unordered pair under
+    /// [`ComputeMode::Dense`]; fewer under the pruned / filtered / LSH
+    /// candidate generators). Together with
+    /// [`pairs_pruned`](Self::pairs_pruned) this measures how much of the
+    /// quadratic frontier the active mode actually walks.
+    pub pairs_scored: u64,
+    /// Direct-channel cosine evaluations the candidate generator skipped,
+    /// cumulatively — `pairs_scored + pairs_pruned` is exactly
+    /// `n · (n − 1)` summed over full builds.
+    pub pairs_pruned: u64,
     /// Number of per-type artifact sets currently cached.
     pub cached_types: usize,
     /// Distinct interned terms across the cached types' arenas — together
@@ -179,6 +192,8 @@ struct EngineCounters {
     alignments: AtomicU64,
     deltas_applied: AtomicU64,
     rows_recomputed: AtomicU64,
+    pairs_scored: AtomicU64,
+    pairs_pruned: AtomicU64,
 }
 
 /// The swappable session state. Everything a request path needs lives
@@ -236,6 +251,13 @@ impl MatchEngineBuilder {
     /// [`ComputeMode::Dense`] selects the exact-equivalence fallback — the
     /// single-threaded all-pairs reference pass, which produces
     /// bit-identical tables (and is pinned to do so by tests).
+    ///
+    /// [`ComputeMode::Filtered`] and [`ComputeMode::Lsh`] build **sparse**
+    /// tables (see [`crate::filter`] and [`crate::lsh`]): stored scores
+    /// stay bit-identical to the dense pass, but sub-threshold (or, under
+    /// LSH, missed) pairs are absent. Sparse sessions trade the exactness
+    /// contracts away: snapshot capture is refused and corpus deltas drop
+    /// the caches for lazy rebuild instead of patching.
     pub fn compute_mode(mut self, mode: ComputeMode) -> Self {
         self.compute_mode = mode;
         self
@@ -292,6 +314,12 @@ impl MatchEngineBuilder {
         self,
         snapshot: EngineSnapshot,
     ) -> Result<MatchEngine, SnapshotError> {
+        // A snapshot holds exact-mode artifacts; adopting them into a
+        // sparse-mode session would serve dense tables where the session
+        // contract promises filtered / LSH ones.
+        if !self.compute_mode.is_exact() {
+            return Err(SnapshotError::InexactMode(self.compute_mode.to_string()));
+        }
         let expected = corpus_fingerprint(&self.dataset);
         if snapshot.fingerprint != expected {
             return Err(SnapshotError::FingerprintMismatch {
@@ -543,22 +571,40 @@ impl MatchEngine {
                     &pairing.label_en,
                     &dictionary,
                 );
-                // The index is built once here (not inside the similarity
-                // pass) so it lives on as a prepared artifact the snapshot
-                // layer can persist next to the table.
-                let index = CandidateIndex::build(&schema);
-                let table = SimilarityTable::compute_with_index(
-                    &schema,
-                    self.config.lsi,
-                    self.compute_mode,
-                    &index,
-                );
+                let (table, index, counts) = if self.compute_mode.is_exact() {
+                    // The index is built once here (not inside the
+                    // similarity pass) so it lives on as a prepared artifact
+                    // the snapshot layer can persist next to the table.
+                    let index = CandidateIndex::build(&schema);
+                    let (table, counts) = SimilarityTable::compute_counted_with_index(
+                        &schema,
+                        self.config.lsi,
+                        self.compute_mode,
+                        &index,
+                    );
+                    (table, Some(Arc::new(index)), counts)
+                } else {
+                    // Sparse modes probe their own transient structures;
+                    // there is no index artifact to persist or patch.
+                    let (table, counts) = SimilarityTable::compute_counted(
+                        &schema,
+                        self.config.lsi,
+                        self.compute_mode,
+                    );
+                    (table, None, counts)
+                };
+                self.counters
+                    .pairs_scored
+                    .fetch_add(counts.scored, Ordering::Relaxed);
+                self.counters
+                    .pairs_pruned
+                    .fetch_add(counts.pruned, Ordering::Relaxed);
                 let arena = Arc::clone(schema.arena());
                 let vector_entries = schema.vector_entry_count();
                 PreparedType {
                     schema: Arc::new(schema),
                     table: Arc::new(table),
-                    index: Arc::new(index),
+                    index,
                     arena,
                     vector_entries,
                 }
@@ -631,6 +677,32 @@ impl MatchEngine {
             new_dataset.other_language(),
             new_dataset.english(),
         );
+        if !self.compute_mode.is_exact() {
+            // Sparse tables (filtered / LSH) cannot be patched: the patch
+            // contract is "bit-identical to a cold rebuild", and a sparse
+            // table's membership depends on global state a row-level patch
+            // does not see. Swap in the mutated corpus and drop the caches —
+            // the next request rebuilds lazily against the new state.
+            let fingerprint = corpus_fingerprint(&new_dataset);
+            {
+                let mut state = recover(self.state.write());
+                state.dataset = Arc::new(new_dataset);
+                state.dictionary = Arc::new(new_dictionary);
+                state.fingerprint = fingerprint;
+                state.type_matches = None;
+                state.prepared = HashMap::new();
+            }
+            self.counters.deltas_applied.fetch_add(1, Ordering::Relaxed);
+            return DeltaReport {
+                inserted,
+                updated,
+                removed,
+                types_patched: 0,
+                rows_recomputed: 0,
+                fingerprint_before,
+                fingerprint,
+            };
+        }
         let patched: Vec<(String, PreparedType, u64, bool)> = {
             let ctx = PatchContext::new(
                 &old_dataset.corpus,
@@ -778,6 +850,8 @@ impl MatchEngine {
             alignments: self.counters.alignments.load(Ordering::Relaxed),
             deltas_applied: self.counters.deltas_applied.load(Ordering::Relaxed),
             rows_recomputed: self.counters.rows_recomputed.load(Ordering::Relaxed),
+            pairs_scored: self.counters.pairs_scored.load(Ordering::Relaxed),
+            pairs_pruned: self.counters.pairs_pruned.load(Ordering::Relaxed),
             cached_types,
             interned_terms,
             interned_bytes,
@@ -876,6 +950,84 @@ mod tests {
                 dense.align(type_id).unwrap().cross_pairs()
             );
         }
+    }
+
+    #[test]
+    fn filtered_engine_serves_sparse_at_threshold_tables() {
+        let dataset = Arc::new(Dataset::pt_en(&SyntheticConfig::tiny()));
+        let dense = MatchEngine::builder(Arc::clone(&dataset))
+            .compute_mode(ComputeMode::Dense)
+            .build();
+        let threshold = ComputeMode::DEFAULT_FILTER_THRESHOLD;
+        let filtered = MatchEngine::builder(Arc::clone(&dataset))
+            .compute_mode(ComputeMode::filtered(threshold))
+            .build();
+        let oracle = dense.prepared("film").unwrap();
+        let sparse = filtered.prepared("film").unwrap();
+        // Exact modes persist their candidate index; sparse modes have none.
+        assert!(oracle.index.is_some());
+        assert!(sparse.index.is_none());
+        // Stored pairs are exactly the at-threshold ones, bit-identical.
+        let mut stored = 0usize;
+        for pair in oracle.table.pairs() {
+            let hit = sparse.table.pair(pair.p, pair.q);
+            if pair.vsim >= threshold || pair.lsim >= threshold {
+                let found = hit.expect("at-threshold pair must be stored");
+                stored += 1;
+                if pair.vsim >= threshold {
+                    assert_eq!(found.vsim.to_bits(), pair.vsim.to_bits());
+                }
+                if pair.lsim >= threshold {
+                    assert_eq!(found.lsim.to_bits(), pair.lsim.to_bits());
+                }
+                assert_eq!(found.lsi.to_bits(), pair.lsi.to_bits());
+            } else {
+                assert!(hit.is_none(), "sub-threshold pair must be absent");
+            }
+        }
+        assert_eq!(sparse.table.pairs().len(), stored);
+        // The counters split the full quadratic frontier, and the filter
+        // actually pruned something on this corpus.
+        let n = sparse.schema.len() as u64;
+        let stats = filtered.stats();
+        assert_eq!(stats.pairs_scored + stats.pairs_pruned, n * (n - 1));
+        assert!(stats.pairs_pruned > 0);
+        // The dense session walked everything.
+        let dense_stats = dense.stats();
+        assert_eq!(dense_stats.pairs_scored, n * (n - 1));
+        assert_eq!(dense_stats.pairs_pruned, 0);
+    }
+
+    #[test]
+    fn sparse_mode_delta_drops_caches_and_rebuilds_lazily() {
+        use wiki_corpus::{Article, AttributeValue, Infobox};
+        let engine = MatchEngine::builder(Dataset::pt_en(&SyntheticConfig::tiny()))
+            .compute_mode(ComputeMode::filtered(0.5))
+            .build();
+        engine.prepare_all();
+        let types = engine.dataset().types.len();
+        assert_eq!(engine.cached_types(), types);
+
+        let mut infobox = Infobox::new("Infobox Film");
+        infobox.push(AttributeValue::text("titulo", "Novo Filme"));
+        let article = Article::new("Novo Filme", Language::Pt, "Filme", infobox);
+        let report = engine.insert_entity(article);
+        assert_eq!(report.inserted, 1);
+        // Sparse tables are never patched: the delta swapped the corpus in
+        // and dropped every cached artifact for lazy rebuild.
+        assert_eq!(report.types_patched, 0);
+        assert_eq!(report.rows_recomputed, 0);
+        assert_ne!(report.fingerprint, report.fingerprint_before);
+        assert_eq!(engine.cached_types(), 0);
+        assert_eq!(engine.stats().deltas_applied, 1);
+
+        // The lazily rebuilt table matches a cold build over the mutated
+        // corpus exactly.
+        let rebuilt = engine.similarity("film").unwrap();
+        let cold = MatchEngine::builder(engine.dataset())
+            .compute_mode(ComputeMode::filtered(0.5))
+            .build();
+        assert_eq!(rebuilt.pairs(), cold.similarity("film").unwrap().pairs());
     }
 
     #[test]

@@ -87,6 +87,12 @@
 //!   attribute groups with value vectors, link vectors and occurrence
 //!   patterns.
 //! * [`similarity`] — `vsim`, `lsim` and the LSI correlation table.
+//! * [`filter`] — threshold-filtered sparse similarity build behind
+//!   `ComputeMode::Filtered` (provable weight-mass upper bounds in the
+//!   style of the similarity-join prefix/length filters).
+//! * [`lsh`] — banded SimHash candidate generation behind
+//!   `ComputeMode::Lsh` (explicitly approximate; recall is measured
+//!   against the exact oracle, never assumed).
 //! * [`mod@matches`] — match clusters (synonym sets spanning both languages).
 //! * [`alignment`] — the `AttributeAlignment`, `IntegrateMatches` and
 //!   `ReviseUncertain` algorithms (Algorithms 1 and 2 of the paper).
@@ -107,6 +113,8 @@ pub mod alignment;
 pub mod config;
 pub mod delta;
 pub mod engine;
+pub mod filter;
+pub mod lsh;
 pub mod matches;
 pub mod pipeline;
 pub mod schema;
@@ -123,7 +131,10 @@ pub use pipeline::{TypeAlignment, WikiMatch};
 // `schema::CandidateIndex` / `schema::PairSet` are deliberately not
 // re-exported here: they are pruning machinery consumed by the similarity
 // build, reachable for the curious but outside the headline API surface.
+pub use lsh::candidate_recall;
 pub use schema::{AttributeStats, DualSchema};
-pub use similarity::{CandidatePair, ComputeMode, ParseComputeModeError, SimilarityTable};
+pub use similarity::{
+    CandidatePair, ComputeMode, PairCounts, ParseComputeModeError, SimilarityTable,
+};
 pub use snapshot::{corpus_fingerprint, DeltaJournal, DeltaRecord, EngineSnapshot, SnapshotError};
 pub use types::match_entity_types;

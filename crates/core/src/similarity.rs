@@ -24,10 +24,14 @@ use crate::schema::{CandidateIndex, DualSchema};
 
 /// How [`SimilarityTable::compute`] traverses the attribute-pair space.
 ///
-/// Both modes produce **bit-identical** tables (pinned by the
-/// `pruned_table_is_byte_identical_to_dense` tests); they differ only in
-/// how much work they do per pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// The two *exact* modes (`Pruned`, `Dense`) produce **bit-identical**
+/// tables (pinned by the `pruned_table_is_byte_identical_to_dense` tests);
+/// they differ only in how much work they do per pair. The two additional
+/// modes relax completeness — not accuracy — for scale: every score they
+/// *do* store is still produced by the exact same float operations as the
+/// dense pass, but sub-threshold (`Filtered`) or un-generated (`Lsh`) pairs
+/// are dropped from the table.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ComputeMode {
     /// Candidate-pruned, parallel build (the default): a
     /// [`CandidateIndex`] over the attributes' value and link terms decides
@@ -41,14 +45,89 @@ pub enum ComputeMode {
     /// `O(|A|·|B|)` reference pass over every pair, single-threaded. Kept
     /// as the semantic ground truth the pruned path is tested against.
     Dense,
+    /// Threshold-filtered sparse build: an index-probe pass counts shared
+    /// terms per pair and a provable weight-mass upper bound (see
+    /// [`crate::filter`]) skips every pair that cannot reach `threshold`
+    /// on either direct channel. The table stores exactly the pairs with
+    /// `vsim >= threshold` or `lsim >= threshold`; stored scores at or
+    /// above the threshold are bit-identical to `Dense`, channels below it
+    /// are reported as `0.0`.
+    Filtered {
+        /// Minimum per-channel cosine a pair must reach to be stored;
+        /// validated finite and in `(0, 1]` by every public constructor.
+        threshold: f64,
+    },
+    /// Banded SimHash LSH candidate generation (see [`crate::lsh`]):
+    /// **explicitly approximate**. Value-channel candidates come from
+    /// signature banding and can miss true pairs (recall is measured, not
+    /// guaranteed); the pairs that are generated carry exact,
+    /// bit-identical scores. Rejected wherever exactness is contractual
+    /// (snapshot capture, delta patching).
+    Lsh {
+        /// Number of signature bands compared independently.
+        bands: u32,
+        /// Signature bits per band; `bands * rows` must not exceed the
+        /// 64-bit signature width.
+        rows: u32,
+    },
+}
+
+// `PartialEq` is derived, so `Eq` only needs the no-NaN promise for the
+// `threshold` field — upheld because `ComputeMode::filtered`, `FromStr`
+// and `Deserialize` all validate the threshold as finite and in (0, 1].
+impl Eq for ComputeMode {}
+
+impl ComputeMode {
+    /// Threshold used by a bare `"filtered"` mode string.
+    pub const DEFAULT_FILTER_THRESHOLD: f64 = 0.6;
+    /// Band count used by a bare `"lsh"` mode string.
+    pub const DEFAULT_LSH_BANDS: u32 = 16;
+    /// Rows (signature bits) per band used by a bare `"lsh"` mode string.
+    pub const DEFAULT_LSH_ROWS: u32 = 4;
+
+    /// The threshold-filtered mode.
+    ///
+    /// # Panics
+    /// When `threshold` is not a finite number in `(0, 1]` — a threshold
+    /// of zero would make every pair a keeper (use `Dense`), and anything
+    /// above one stores nothing.
+    pub fn filtered(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0 && threshold <= 1.0,
+            "filter threshold must be finite and in (0, 1], got {threshold}"
+        );
+        ComputeMode::Filtered { threshold }
+    }
+
+    /// The banded-LSH mode.
+    ///
+    /// # Panics
+    /// When either parameter is zero or `bands * rows` exceeds the 64-bit
+    /// signature width.
+    pub fn lsh(bands: u32, rows: u32) -> Self {
+        assert!(
+            bands >= 1 && rows >= 1 && bands.saturating_mul(rows) <= 64,
+            "lsh needs bands, rows >= 1 and bands * rows <= 64, got {bands}x{rows}"
+        );
+        ComputeMode::Lsh { bands, rows }
+    }
+
+    /// True for the modes whose tables are bit-identical to `Dense` on
+    /// **every** pair. Snapshot capture and delta patching require an
+    /// exact mode; the sparse modes trade completeness for scale.
+    pub fn is_exact(self) -> bool {
+        matches!(self, ComputeMode::Pruned | ComputeMode::Dense)
+    }
 }
 
 impl std::fmt::Display for ComputeMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            ComputeMode::Pruned => "pruned",
-            ComputeMode::Dense => "dense",
-        })
+        match self {
+            ComputeMode::Pruned => f.write_str("pruned"),
+            ComputeMode::Dense => f.write_str("dense"),
+            ComputeMode::Filtered { threshold } => write!(f, "filtered:{threshold}"),
+            ComputeMode::Lsh { bands, rows } => write!(f, "lsh:{bands}x{rows}"),
+        }
     }
 }
 
@@ -60,7 +139,9 @@ impl std::fmt::Display for ParseComputeModeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown compute mode {:?}; expected \"pruned\" or \"dense\"",
+            "unknown compute mode {:?}; expected \"pruned\", \"dense\", \
+             \"filtered[:T]\" with T finite in (0, 1], or \"lsh[:BxR]\" \
+             with B, R >= 1 and B*R <= 64",
             self.0
         )
     }
@@ -71,14 +152,92 @@ impl std::error::Error for ParseComputeModeError {}
 impl std::str::FromStr for ComputeMode {
     type Err = ParseComputeModeError;
 
-    /// Parses `"pruned"` / `"dense"` (case-insensitive, also accepting the
-    /// capitalised serde variant names), so the mode can be set from
-    /// `matchd` configuration and bench CLI flags.
+    /// Parses `"pruned"` / `"dense"` / `"filtered[:T]"` / `"lsh[:BxR]"`
+    /// (case-insensitive, also accepting the capitalised variant names),
+    /// so the mode can be set from `matchd` configuration and bench CLI
+    /// flags. Bare `"filtered"` and `"lsh"` use the `DEFAULT_*` constants.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.trim().to_ascii_lowercase().as_str() {
+        let lower = s.trim().to_ascii_lowercase();
+        let err = || ParseComputeModeError(s.to_string());
+        if let Some(rest) = lower.strip_prefix("filtered") {
+            let threshold = match rest.strip_prefix(':') {
+                Some(spec) => spec.parse::<f64>().map_err(|_| err())?,
+                None if rest.is_empty() => Self::DEFAULT_FILTER_THRESHOLD,
+                None => return Err(err()),
+            };
+            if !(threshold.is_finite() && threshold > 0.0 && threshold <= 1.0) {
+                return Err(err());
+            }
+            return Ok(ComputeMode::Filtered { threshold });
+        }
+        if let Some(rest) = lower.strip_prefix("lsh") {
+            let (bands, rows) = match rest.strip_prefix(':') {
+                Some(spec) => {
+                    let (bands, rows) = spec.split_once('x').ok_or_else(err)?;
+                    (
+                        bands.parse::<u32>().map_err(|_| err())?,
+                        rows.parse::<u32>().map_err(|_| err())?,
+                    )
+                }
+                None if rest.is_empty() => (Self::DEFAULT_LSH_BANDS, Self::DEFAULT_LSH_ROWS),
+                None => return Err(err()),
+            };
+            if bands == 0 || rows == 0 || bands.saturating_mul(rows) > 64 {
+                return Err(err());
+            }
+            return Ok(ComputeMode::Lsh { bands, rows });
+        }
+        match lower.as_str() {
             "pruned" => Ok(ComputeMode::Pruned),
             "dense" => Ok(ComputeMode::Dense),
-            _ => Err(ParseComputeModeError(s.to_string())),
+            _ => Err(err()),
+        }
+    }
+}
+
+// The mode serializes as its `Display` string (`"pruned"`,
+// `"filtered:0.6"`, ...) rather than a derived variant tree: configuration
+// and the `/stats` endpoint show the same text a CLI flag accepts, and the
+// string round-trips through `FromStr` (which also validates the
+// parameters, so a snapshot cannot smuggle in a NaN threshold).
+impl Serialize for ComputeMode {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for ComputeMode {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let text = value.as_str().ok_or_else(|| {
+            serde::Error::custom(format!("expected compute-mode string, found {value:?}"))
+        })?;
+        text.parse().map_err(serde::Error::custom)
+    }
+}
+
+/// Tally of direct-channel cosine evaluations a similarity-table build
+/// performed versus provably (or, under LSH, heuristically) avoided.
+///
+/// The dense pass evaluates `n·(n-1)` channel cosines for `n` attributes
+/// (one value + one link cosine per unordered pair); `scored + pruned`
+/// always equals that total, so the split is comparable across modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PairCounts {
+    /// Channel cosines actually evaluated.
+    pub scored: u64,
+    /// Channel cosines skipped — via an exact zero certificate (`Pruned`),
+    /// a sound upper bound (`Filtered`), or absent candidates (`Lsh`).
+    pub pruned: u64,
+}
+
+impl PairCounts {
+    /// The `scored`/`pruned` split of a build over `n` attributes that
+    /// evaluated `scored` channel cosines.
+    pub(crate) fn of_total(n: usize, scored: u64) -> Self {
+        let total = (n as u64).saturating_mul(n.saturating_sub(1) as u64);
+        Self {
+            scored,
+            pruned: total.saturating_sub(scored),
         }
     }
 }
@@ -127,10 +286,15 @@ pub fn lsim(schema: &DualSchema, p: usize, q: usize) -> f64 {
 /// All pairwise similarity evidence for one dual-language schema.
 #[derive(Debug, Clone)]
 pub struct SimilarityTable {
-    /// Candidate pairs for every unordered attribute pair `(p < q)`.
+    /// Candidate pairs sorted by `(p, q)` with `p < q`. The exact modes
+    /// store every unordered pair; the sparse modes only the survivors.
     pairs: Vec<CandidatePair>,
     /// Number of attributes in the schema the table was built for.
     len: usize,
+    /// True when `pairs` holds **every** unordered pair in lexicographic
+    /// order, so [`pair`](Self::pair) can use O(1) index arithmetic;
+    /// sparse (filtered / LSH) tables binary-search instead.
+    dense_layout: bool,
 }
 
 impl SimilarityTable {
@@ -148,10 +312,27 @@ impl SimilarityTable {
 
     /// Computes the table with an explicit traversal mode.
     pub fn compute_with(schema: &DualSchema, lsi_config: LsiConfig, mode: ComputeMode) -> Self {
+        Self::compute_counted(schema, lsi_config, mode).0
+    }
+
+    /// Computes the table and reports how many direct-channel cosines were
+    /// evaluated versus pruned — the `pairs_scored` / `pairs_pruned`
+    /// gauges the engine exposes on `/stats`.
+    pub fn compute_counted(
+        schema: &DualSchema,
+        lsi_config: LsiConfig,
+        mode: ComputeMode,
+    ) -> (Self, PairCounts) {
         match mode {
-            ComputeMode::Dense => Self::compute_dense_impl(schema, lsi_config),
-            ComputeMode::Pruned => {
-                Self::compute_pruned_with(schema, lsi_config, &CandidateIndex::build(schema))
+            ComputeMode::Dense | ComputeMode::Pruned => {
+                let index = CandidateIndex::build(schema);
+                Self::compute_counted_with_index(schema, lsi_config, mode, &index)
+            }
+            ComputeMode::Filtered { threshold } => {
+                crate::filter::compute_filtered(schema, lsi_config, threshold)
+            }
+            ComputeMode::Lsh { bands, rows } => {
+                crate::lsh::compute_lsh(schema, lsi_config, bands, rows)
             }
         }
     }
@@ -161,16 +342,41 @@ impl SimilarityTable {
     ///
     /// [`crate::MatchEngine`] builds the index once per type and keeps it as
     /// part of the prepared artifacts (so it can be persisted alongside the
-    /// table); the dense pass never consults it.
+    /// table); the dense pass never consults it, and the sparse modes use
+    /// their own probe structures instead.
     pub fn compute_with_index(
         schema: &DualSchema,
         lsi_config: LsiConfig,
         mode: ComputeMode,
         index: &CandidateIndex,
     ) -> Self {
+        Self::compute_counted_with_index(schema, lsi_config, mode, index).0
+    }
+
+    /// [`compute_counted`](Self::compute_counted) with a caller-built
+    /// index for the exact modes.
+    pub fn compute_counted_with_index(
+        schema: &DualSchema,
+        lsi_config: LsiConfig,
+        mode: ComputeMode,
+        index: &CandidateIndex,
+    ) -> (Self, PairCounts) {
         match mode {
-            ComputeMode::Dense => Self::compute_dense_impl(schema, lsi_config),
-            ComputeMode::Pruned => Self::compute_pruned_with(schema, lsi_config, index),
+            ComputeMode::Dense => {
+                let table = Self::compute_dense_impl(schema, lsi_config);
+                let scored =
+                    (schema.len() as u64).saturating_mul(schema.len().saturating_sub(1) as u64);
+                (table, PairCounts::of_total(schema.len(), scored))
+            }
+            ComputeMode::Pruned => {
+                let table = Self::compute_pruned_with(schema, lsi_config, index);
+                // The pruned pass evaluates exactly one cosine per
+                // candidate pair per channel; everything else is written
+                // as a certified 0.0.
+                let scored = (index.value_candidates() + index.link_candidates()) as u64;
+                (table, PairCounts::of_total(schema.len(), scored))
+            }
+            sparse => Self::compute_counted(schema, lsi_config, sparse),
         }
     }
 
@@ -180,7 +386,28 @@ impl SimilarityTable {
     /// [`pair`](Self::pair) depends on.
     pub(crate) fn from_raw_parts(pairs: Vec<CandidatePair>, len: usize) -> Self {
         debug_assert_eq!(pairs.len(), len * len.saturating_sub(1) / 2);
-        Self { pairs, len }
+        Self {
+            pairs,
+            len,
+            dense_layout: true,
+        }
+    }
+
+    /// Assembles a sparse table from surviving pairs sorted by `(p, q)`.
+    /// A sparse table that happens to contain every pair still satisfies
+    /// the dense-layout invariant (lexicographic order is required), so it
+    /// is promoted to the O(1) lookup path.
+    pub(crate) fn from_sparse_pairs(pairs: Vec<CandidatePair>, len: usize) -> Self {
+        debug_assert!(pairs
+            .windows(2)
+            .all(|w| (w[0].p, w[0].q) < (w[1].p, w[1].q)));
+        debug_assert!(pairs.iter().all(|pair| pair.p < pair.q && pair.q < len));
+        let dense_layout = pairs.len() == len * len.saturating_sub(1) / 2;
+        Self {
+            pairs,
+            len,
+            dense_layout,
+        }
     }
 
     /// The dense reference pass: every pair, every cosine, single thread.
@@ -201,7 +428,11 @@ impl SimilarityTable {
                 });
             }
         }
-        Self { pairs, len: n }
+        Self {
+            pairs,
+            len: n,
+            dense_layout: true,
+        }
     }
 
     /// The candidate-pruned, parallel pass.
@@ -272,7 +503,11 @@ impl SimilarityTable {
         for (_, row) in rows {
             pairs.extend(row);
         }
-        Self { pairs, len: n }
+        Self {
+            pairs,
+            len: n,
+            dense_layout: true,
+        }
     }
 
     /// Fits the LSI model on the attribute × dual-infobox occurrence matrix.
@@ -344,16 +579,31 @@ impl SimilarityTable {
         &self.pairs
     }
 
-    /// The candidate pair for `(p, q)` (order-insensitive).
+    /// The candidate pair for `(p, q)` (order-insensitive). In a sparse
+    /// table `None` means the pair was filtered out (or, under LSH, never
+    /// generated) — no evidence, not evidence of zero.
     pub fn pair(&self, p: usize, q: usize) -> Option<&CandidatePair> {
         if p == q {
             return None;
         }
         let (lo, hi) = if p < q { (p, q) } else { (q, p) };
-        // Pairs are generated in lexicographic order; index arithmetic:
-        // offset(lo) = lo*len - lo*(lo+1)/2, then + (hi - lo - 1).
-        let offset = lo * self.len - lo * (lo + 1) / 2 + (hi - lo - 1);
-        self.pairs.get(offset)
+        if self.dense_layout {
+            // Pairs are generated in lexicographic order; index arithmetic:
+            // offset(lo) = lo*len - lo*(lo+1)/2, then + (hi - lo - 1).
+            let offset = lo * self.len - lo * (lo + 1) / 2 + (hi - lo - 1);
+            self.pairs.get(offset)
+        } else {
+            self.pairs
+                .binary_search_by(|pair| (pair.p, pair.q).cmp(&(lo, hi)))
+                .ok()
+                .map(|i| &self.pairs[i])
+        }
+    }
+
+    /// True when the table stores every unordered pair (the exact modes'
+    /// layout, required by the snapshot encoder and the delta patcher).
+    pub fn is_dense_layout(&self) -> bool {
+        self.dense_layout
     }
 
     /// Candidate pairs with an LSI score above `threshold`, sorted by
@@ -595,6 +845,76 @@ mod tests {
     }
 
     #[test]
+    fn filtered_table_stores_exactly_the_at_threshold_pairs() {
+        let (schema, _) = schema_and_table();
+        let dense = SimilarityTable::compute_dense(&schema, LsiConfig::default());
+        let total = (schema.len() * (schema.len() - 1)) as u64;
+        for threshold in [0.2, 0.5, 0.9] {
+            let (filtered, counts) = SimilarityTable::compute_counted(
+                &schema,
+                LsiConfig::default(),
+                ComputeMode::filtered(threshold),
+            );
+            assert_eq!(counts.scored + counts.pruned, total);
+            for d in dense.pairs() {
+                let stored = filtered.pair(d.p, d.q);
+                if d.vsim >= threshold || d.lsim >= threshold {
+                    let s = stored.expect("above-threshold pair must be stored");
+                    if d.vsim >= threshold {
+                        assert_eq!(s.vsim.to_bits(), d.vsim.to_bits());
+                    } else {
+                        assert_eq!(s.vsim, 0.0);
+                    }
+                    if d.lsim >= threshold {
+                        assert_eq!(s.lsim.to_bits(), d.lsim.to_bits());
+                    } else {
+                        assert_eq!(s.lsim, 0.0);
+                    }
+                    assert_eq!(s.lsi.to_bits(), d.lsi.to_bits());
+                } else {
+                    assert!(
+                        stored.is_none(),
+                        "sub-threshold pair ({}, {}) must be dropped",
+                        d.p,
+                        d.q
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lsh_table_scores_are_bit_identical_where_present() {
+        let (schema, _) = schema_and_table();
+        let dense = SimilarityTable::compute_dense(&schema, LsiConfig::default());
+        let (lsh, counts) = SimilarityTable::compute_counted(
+            &schema,
+            LsiConfig::default(),
+            ComputeMode::lsh(16, 4),
+        );
+        assert_eq!(
+            counts.scored + counts.pruned,
+            (schema.len() * (schema.len() - 1)) as u64
+        );
+        // Approximate *candidate generation*, exact scoring: whatever LSH
+        // stores must carry the oracle's bits.
+        assert!(!lsh.pairs().is_empty());
+        for pair in lsh.pairs() {
+            let d = dense.pair(pair.p, pair.q).unwrap();
+            assert_eq!(pair.vsim.to_bits(), d.vsim.to_bits());
+            assert_eq!(pair.lsim.to_bits(), d.lsim.to_bits());
+            assert_eq!(pair.lsi.to_bits(), d.lsi.to_bits());
+        }
+        // The link channel uses an exact shared-term probe, so no pair
+        // with non-zero lsim can be missing.
+        for d in dense.pairs() {
+            if d.lsim > 0.0 {
+                assert!(lsh.pair(d.p, d.q).is_some(), "lsim pair ({}, {})", d.p, d.q);
+            }
+        }
+    }
+
+    #[test]
     fn packed_patterns_match_boolean_co_occurrence() {
         let (schema, _) = schema_and_table();
         let bits = pack_occurrence_patterns(&schema);
@@ -611,6 +931,10 @@ mod tests {
         for (mode, text) in [
             (ComputeMode::Pruned, "pruned"),
             (ComputeMode::Dense, "dense"),
+            (ComputeMode::filtered(0.6), "filtered:0.6"),
+            (ComputeMode::filtered(0.25), "filtered:0.25"),
+            (ComputeMode::lsh(16, 4), "lsh:16x4"),
+            (ComputeMode::lsh(8, 8), "lsh:8x8"),
         ] {
             // Display / FromStr.
             assert_eq!(mode.to_string(), text);
@@ -626,6 +950,48 @@ mod tests {
         }
         let err = "fast".parse::<ComputeMode>().unwrap_err();
         assert!(err.to_string().contains("fast"), "{err}");
+    }
+
+    #[test]
+    fn compute_mode_parsing_applies_defaults_and_validates_parameters() {
+        // Bare names pick the documented defaults.
+        assert_eq!(
+            "filtered".parse::<ComputeMode>().unwrap(),
+            ComputeMode::filtered(ComputeMode::DEFAULT_FILTER_THRESHOLD)
+        );
+        assert_eq!(
+            "lsh".parse::<ComputeMode>().unwrap(),
+            ComputeMode::lsh(
+                ComputeMode::DEFAULT_LSH_BANDS,
+                ComputeMode::DEFAULT_LSH_ROWS
+            )
+        );
+        // Invalid parameters are rejected, never constructed.
+        for bad in [
+            "filtered:0",
+            "filtered:-0.5",
+            "filtered:1.5",
+            "filtered:nan",
+            "filtered:inf",
+            "filtered:",
+            "lsh:0x4",
+            "lsh:16x0",
+            "lsh:16x5", // 80 signature bits > 64
+            "lsh:16",
+            "lsh:",
+            "filteredx",
+            "lshy",
+        ] {
+            assert!(
+                bad.parse::<ComputeMode>().is_err(),
+                "{bad} should not parse"
+            );
+        }
+        // Exactness classification: the sparse modes are not oracles.
+        assert!(ComputeMode::Pruned.is_exact());
+        assert!(ComputeMode::Dense.is_exact());
+        assert!(!ComputeMode::filtered(0.6).is_exact());
+        assert!(!ComputeMode::lsh(16, 4).is_exact());
     }
 
     #[test]

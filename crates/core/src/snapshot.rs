@@ -43,7 +43,7 @@
 //! engine.align("film");
 //!
 //! // Persist the session's cached artifacts ...
-//! let bytes = EngineSnapshot::capture(&engine).to_bytes();
+//! let bytes = EngineSnapshot::capture(&engine).unwrap().to_bytes();
 //!
 //! // ... and warm-start a new session from them: zero artifact builds.
 //! let snapshot = EngineSnapshot::from_bytes(&bytes).unwrap();
@@ -128,6 +128,12 @@ pub enum SnapshotError {
         /// Checksum recorded in the header.
         expected: u64,
     },
+    /// The engine runs a sparse / approximate compute mode
+    /// (`filtered` / `lsh`) whose artifacts do not satisfy the snapshot
+    /// contract — a restored snapshot must be bit-identical to a cold
+    /// rebuild, and a sparse table's membership is not. The payload names
+    /// the offending mode.
+    InexactMode(String),
     /// The file ends before the length its header (or a length prefix
     /// inside the payload) promises.
     Truncated,
@@ -153,6 +159,11 @@ impl fmt::Display for SnapshotError {
                 f,
                 "snapshot payload is corrupted \
                  (checksum {found:#018x}, header says {expected:#018x})"
+            ),
+            SnapshotError::InexactMode(mode) => write!(
+                f,
+                "compute mode {mode:?} builds sparse artifacts that cannot satisfy \
+                 the snapshot's bit-identical-rebuild contract"
             ),
             SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
             SnapshotError::Malformed(detail) => write!(f, "malformed snapshot: {detail}"),
@@ -771,7 +782,7 @@ fn decode_type_record(record: &[u8]) -> Result<(String, PreparedType), SnapshotE
         PreparedType {
             schema: Arc::new(schema),
             table: Arc::new(table),
-            index: Arc::new(index),
+            index: Some(Arc::new(index)),
             arena,
             vector_entries,
         },
@@ -805,12 +816,22 @@ impl EngineSnapshot {
     /// Captures the engine's dictionary plus every per-type artifact set
     /// currently cached. Call [`MatchEngine::prepare_all`] first to capture
     /// a fully warmed session.
-    pub fn capture(engine: &MatchEngine) -> Self {
-        Self {
+    ///
+    /// Fails with [`SnapshotError::InexactMode`] when the engine runs a
+    /// sparse compute mode (`filtered` / `lsh`): those tables drop pairs by
+    /// design, so a snapshot of them could never honor the
+    /// bit-identical-to-a-cold-rebuild restore contract.
+    pub fn capture(engine: &MatchEngine) -> Result<Self, SnapshotError> {
+        if !engine.compute_mode().is_exact() {
+            return Err(SnapshotError::InexactMode(
+                engine.compute_mode().to_string(),
+            ));
+        }
+        Ok(Self {
             fingerprint: engine.fingerprint(),
             dictionary: engine.dictionary().as_ref().clone(),
             types: engine.cached_artifacts(),
-        }
+        })
     }
 
     /// Number of per-type artifact sets in the snapshot.
@@ -841,7 +862,13 @@ impl EngineSnapshot {
             record.str(type_id);
             encode_schema(&mut record, &prepared.schema);
             encode_table(&mut record, &prepared.table);
-            encode_index(&mut record, &prepared.index);
+            // `capture` refuses sparse-mode engines, so every prepared
+            // artifact reaching serialization carries its index.
+            let index = prepared
+                .index
+                .as_ref()
+                .expect("snapshots only hold exact-mode artifacts, which have an index");
+            encode_index(&mut record, index);
             enc.u64(record.0.len() as u64);
             enc.0.extend_from_slice(&record.0);
         }
@@ -1381,7 +1408,8 @@ mod tests {
         let engine = MatchEngine::new(dataset.clone());
         engine.align("film").unwrap();
         engine.align("actor").unwrap();
-        (dataset, EngineSnapshot::capture(&engine).to_bytes())
+        let bytes = EngineSnapshot::capture(&engine).unwrap().to_bytes();
+        (dataset, bytes)
     }
 
     #[test]
@@ -1477,7 +1505,7 @@ mod tests {
                 PreparedType {
                     schema: Arc::new(schema),
                     table: Arc::new(table),
-                    index: Arc::new(index),
+                    index: Some(Arc::new(index)),
                     arena,
                     vector_entries,
                 },
@@ -1554,6 +1582,45 @@ mod tests {
                 supported: FORMAT_VERSION
             })
         ));
+    }
+
+    #[test]
+    fn sparse_mode_engines_are_refused_by_capture_and_restore() {
+        use crate::similarity::ComputeMode;
+        let dataset = Dataset::pt_en(&SyntheticConfig::tiny());
+        for mode in [
+            ComputeMode::filtered(0.5),
+            ComputeMode::lsh(
+                ComputeMode::DEFAULT_LSH_BANDS,
+                ComputeMode::DEFAULT_LSH_ROWS,
+            ),
+        ] {
+            let engine = MatchEngine::builder(dataset.clone())
+                .compute_mode(mode)
+                .build();
+            engine.align("film").unwrap();
+            assert!(
+                matches!(
+                    EngineSnapshot::capture(&engine),
+                    Err(SnapshotError::InexactMode(_))
+                ),
+                "capture must refuse {mode}"
+            );
+            // Restoring an exact snapshot into a sparse-mode session is
+            // refused for the same reason.
+            let exact = MatchEngine::new(dataset.clone());
+            exact.align("film").unwrap();
+            let snapshot = EngineSnapshot::capture(&exact).unwrap();
+            assert!(
+                matches!(
+                    MatchEngine::builder(dataset.clone())
+                        .compute_mode(mode)
+                        .build_from_snapshot(snapshot),
+                    Err(SnapshotError::InexactMode(_))
+                ),
+                "restore must refuse {mode}"
+            );
+        }
     }
 
     #[test]

@@ -274,6 +274,9 @@ pub(crate) fn letter_suffix(mut i: usize) -> String {
 /// exact; kinds and commonness cycle so the extra attributes exercise every
 /// cheap value shape with realistic (sparse) occurrence patterns.
 fn scaled_concept(type_id: &'static str, i: usize) -> ConceptSpec {
+    if i >= LONG_TAIL_START {
+        return long_tail_concept(type_id, i);
+    }
     let kind = match i % 5 {
         0 => ValueKind::Year,
         1 => ValueKind::Number {
@@ -289,6 +292,50 @@ fn scaled_concept(type_id: &'static str, i: usize) -> ConceptSpec {
     // enough that nearly every generated concept forms an English
     // attribute group, rare enough that infoboxes stay bounded.
     let commonness = 0.05 + 0.025 * ((i * 7) % 9) as f64;
+    let suffix = letter_suffix(i);
+    ConceptSpec {
+        id: intern(format!("x_{type_id}_{i}")),
+        en: intern_names(format!("metric {suffix}")),
+        pt: intern_names(format!("métrica {suffix}")),
+        vn: intern_names(format!("chỉ số {suffix}")),
+        kind,
+        commonness,
+    }
+}
+
+/// First generated-concept index that uses the diversified **long-tail**
+/// kind cycle instead of the original one. Every pre-existing tier
+/// (`tiny`..`large`, ≤ 2400 extra concepts) stays below this boundary, so
+/// their corpora — and the golden similarity hashes pinned on them — are
+/// byte-for-byte unchanged; only the `xlarge` tier reaches into the tail.
+const LONG_TAIL_START: usize = 2400;
+
+/// The `i`-th generated concept for `i >= LONG_TAIL_START` (the `xlarge`
+/// tail).
+///
+/// The original cycle reuses small Alias/FreeText word pools, which at
+/// tens of thousands of concepts floods the schema with near-duplicate
+/// value vectors (every pair of such attribute groups shares most terms —
+/// exactly the quadratic neighbourhood the candidate filter exists to
+/// prune, but with *genuinely* similar pairs that no sound filter may
+/// skip). The tail therefore sticks to value kinds whose token windows
+/// slide with `i`: numbers drawn from a per-concept 60-wide window over a
+/// 9973-value ring, plus dates and years. Commonness stays low
+/// (0.02..=0.08) so infobox sizes grow sub-linearly.
+fn long_tail_concept(type_id: &'static str, i: usize) -> ConceptSpec {
+    let kind = match i % 8 {
+        0..=4 => {
+            let lo = ((i * 53) % 9973) as f64;
+            ValueKind::Number {
+                lo,
+                hi: lo + 60.0,
+                unit: "",
+            }
+        }
+        5 | 6 => ValueKind::Date,
+        _ => ValueKind::Year,
+    };
+    let commonness = 0.02 + 0.01 * ((i * 11) % 7) as f64;
     let suffix = letter_suffix(i);
     ConceptSpec {
         id: intern(format!("x_{type_id}_{i}")),

@@ -64,5 +64,5 @@ pub use ground_truth::GroundTruth;
 pub use lang::Language;
 pub use model::{Article, ArticleId, AttributeValue, Infobox, Link};
 pub use store::Corpus;
-pub use synthetic::{SyntheticConfig, SyntheticGenerator};
+pub use synthetic::{ParseScaleTierError, ScaleTier, SyntheticConfig, SyntheticGenerator};
 pub use wikitext::parse_infobox;

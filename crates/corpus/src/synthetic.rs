@@ -127,12 +127,126 @@ impl SyntheticConfig {
         }
     }
 
+    /// The **xlarge** scale tier: ~10× the attribute space of
+    /// [`large`](Self::large) (tens of thousands of attribute groups per
+    /// schema, hundreds of millions of raw attribute pairs) — the tier
+    /// where even the inverted-index pruned pass thrashes and the
+    /// weight-mass candidate filter (`ComputeMode::Filtered` in
+    /// `wikimatch`) becomes mandatory. Concepts beyond the `large`
+    /// boundary draw from the diversified long-tail kind cycle (see
+    /// [`Catalog::scaled`]), so term neighbourhoods stay realistic instead
+    /// of collapsing into near-duplicate cliques.
+    ///
+    /// The tier is deliberately *wide and shallow*: far more concepts than
+    /// `large` but fewer dual entities per type. Attribute-group count `n`
+    /// (the quadratic frontier this tier exists to stress) scales with the
+    /// concept space, while the LSI occurrence matrix stays `n × m` with a
+    /// small dual count `m` — matching real wiki long tails, where the
+    /// schema vocabulary grows much faster than the per-type article
+    /// population.
+    pub fn xlarge() -> Self {
+        Self {
+            pairs_per_type_pt: 48,
+            pairs_per_type_vn: 30,
+            person_pool: 200,
+            extra_concepts_per_type: 26_000,
+            ..Self::default()
+        }
+    }
+
     /// Dual-entity count for a given foreign language.
     pub fn pairs_for(&self, other: &Language) -> usize {
         match other {
             Language::Vn => self.pairs_per_type_vn,
             _ => self.pairs_per_type_pt,
         }
+    }
+}
+
+/// The named synthetic scale tiers, in ascending size order.
+///
+/// Every `--tiers` flag in the workspace (matchd, the bench bins,
+/// matchbench corpus names) parses tier names through this enum, so adding
+/// a tier here threads it through every surface at once. `Display` and
+/// [`FromStr`](std::str::FromStr) round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScaleTier {
+    /// [`SyntheticConfig::tiny`].
+    Tiny,
+    /// [`SyntheticConfig::small`].
+    Small,
+    /// [`SyntheticConfig::medium`].
+    Medium,
+    /// [`SyntheticConfig::large`].
+    Large,
+    /// [`SyntheticConfig::xlarge`].
+    Xlarge,
+}
+
+impl ScaleTier {
+    /// All tiers, ascending.
+    pub const ALL: [ScaleTier; 5] = [
+        ScaleTier::Tiny,
+        ScaleTier::Small,
+        ScaleTier::Medium,
+        ScaleTier::Large,
+        ScaleTier::Xlarge,
+    ];
+
+    /// The tier's canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScaleTier::Tiny => "tiny",
+            ScaleTier::Small => "small",
+            ScaleTier::Medium => "medium",
+            ScaleTier::Large => "large",
+            ScaleTier::Xlarge => "xlarge",
+        }
+    }
+
+    /// The generator configuration of this tier.
+    pub fn config(&self) -> SyntheticConfig {
+        match self {
+            ScaleTier::Tiny => SyntheticConfig::tiny(),
+            ScaleTier::Small => SyntheticConfig::small(),
+            ScaleTier::Medium => SyntheticConfig::medium(),
+            ScaleTier::Large => SyntheticConfig::large(),
+            ScaleTier::Xlarge => SyntheticConfig::xlarge(),
+        }
+    }
+}
+
+impl std::fmt::Display for ScaleTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a string names no [`ScaleTier`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScaleTierError(String);
+
+impl std::fmt::Display for ParseScaleTierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scale tier {:?}; expected tiny, small, medium, large or xlarge",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseScaleTierError {}
+
+impl std::str::FromStr for ScaleTier {
+    type Err = ParseScaleTierError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ScaleTier::ALL
+            .iter()
+            .find(|t| t.name().eq_ignore_ascii_case(s.trim()))
+            .copied()
+            .ok_or_else(|| ParseScaleTierError(s.to_string()))
     }
 }
 
@@ -1069,6 +1183,60 @@ mod tests {
             )
         });
         assert!(matched, "no generated concept produced a gold pair");
+    }
+
+    #[test]
+    fn scale_tier_names_round_trip_display_and_from_str() {
+        for tier in ScaleTier::ALL {
+            let name = tier.to_string();
+            assert_eq!(name.parse::<ScaleTier>().unwrap(), tier, "{name}");
+            // Case-insensitive and whitespace-tolerant, like the CLI flags.
+            assert_eq!(
+                name.to_uppercase().parse::<ScaleTier>().unwrap(),
+                tier,
+                "{name}"
+            );
+            assert_eq!(format!(" {name} ").parse::<ScaleTier>().unwrap(), tier);
+        }
+        let err = "galactic".parse::<ScaleTier>().unwrap_err();
+        assert!(err.to_string().contains("galactic"));
+        assert!(err.to_string().contains("xlarge"));
+    }
+
+    #[test]
+    fn xlarge_tier_grows_the_catalog_and_keeps_lower_tiers_unchanged() {
+        // xlarge reaches deep into the long-tail concept region...
+        let xlarge = ScaleTier::Xlarge.config();
+        assert!(xlarge.extra_concepts_per_type > SyntheticConfig::large().extra_concepts_per_type);
+        let film = Catalog::scaled(xlarge.extra_concepts_per_type)
+            .entity_type("film")
+            .unwrap()
+            .concepts
+            .len();
+        assert!(film > 18_000);
+        // ...while every concept the existing tiers see is byte-identical
+        // to what the pre-xlarge generator produced (the long tail starts
+        // strictly above the large tier's 2400 extra concepts).
+        let large_extra = SyntheticConfig::large().extra_concepts_per_type;
+        let scaled = Catalog::scaled(large_extra + 8);
+        let ty = scaled.entity_type("film").unwrap();
+        // (large_extra - 1) % 5 == 4 → the legacy cycle's FreeText slot.
+        let legacy = ty.concept(&format!("x_film_{}", large_extra - 1)).unwrap();
+        assert!(matches!(legacy.kind, ValueKind::FreeText));
+        // The tail avoids the small Alias/FreeText pools entirely and
+        // slides its number windows so neighbourhoods stay sparse.
+        for i in large_extra..large_extra + 8 {
+            let tail = ty.concept(&format!("x_film_{i}")).unwrap();
+            assert!(
+                matches!(
+                    tail.kind,
+                    ValueKind::Number { .. } | ValueKind::Date | ValueKind::Year
+                ),
+                "long-tail concept {i} has kind {:?}",
+                tail.kind
+            );
+            assert!(tail.commonness <= 0.08 + 1e-12);
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! matchd [--addr 127.0.0.1:8743] [--workers N] [--queue N] [--capacity N]
-//!        [--mode pruned|dense] [--tiers tiny,small,medium,large]
+//!        [--mode pruned|dense|filtered[:T]|lsh[:BxR]]
+//!        [--tiers tiny,small,medium,large,xlarge]
 //!        [--warm corpus[,corpus...]] [--snapshot-dir DIR] [--persist]
 //! ```
 
@@ -28,9 +29,16 @@ OPTIONS:
     --workers N        worker threads (default: available parallelism)
     --queue N          pending-connection queue bound (default 256)
     --capacity N       resident engine sessions in the LRU (default 4)
-    --mode MODE        similarity compute mode: pruned | dense (default pruned)
+    --mode MODE        similarity compute mode (default pruned):
+                         pruned | dense           exact, snapshot-capable
+                         filtered[:T]             sparse table at score
+                                                  threshold T (default 0.6);
+                                                  exact scores, no snapshots
+                         lsh[:BxR]                approximate banded-SimHash
+                                                  candidates, B bands x R rows
+                                                  (default 16x4); no snapshots
     --tiers LIST       comma-separated scale tiers to register
-                       (default tiny,small,medium,large)
+                       (default tiny,small,medium,large; xlarge available)
     --warm LIST        comma-separated corpus names to warm at startup
     --snapshot-dir DIR enable the snapshot disk tier: cold corpora load
                        persisted artifacts from DIR instead of rebuilding,
@@ -120,7 +128,7 @@ fn main() -> ExitCode {
         .find(|t| CorpusSpec::tier(wiki_corpus::Language::Pt, t).is_none())
     {
         return fail(&format!(
-            "unknown tier {unknown:?}; expected tiny, small, medium or large"
+            "unknown tier {unknown:?}; expected tiny, small, medium, large or xlarge"
         ));
     }
     let specs = CorpusSpec::scale_tiers(&tier_names);

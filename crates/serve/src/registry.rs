@@ -57,7 +57,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 use serde::{Deserialize, Serialize};
 
-use wiki_corpus::{Dataset, Language, SyntheticConfig};
+use wiki_corpus::{Dataset, Language, ScaleTier, SyntheticConfig};
 use wiki_query::CorrespondenceDictionary;
 use wikimatch::snapshot::EngineSnapshot;
 use wikimatch::{
@@ -87,7 +87,9 @@ enum SpillMode {
 /// `snapshot_saves` on success. Failures are reported and swallowed:
 /// persistence is an optimisation, never a serving error.
 fn spill_to(path: &Path, entry: &CorpusEntry, engine: &MatchEngine) {
-    match EngineSnapshot::capture(engine).save(path) {
+    // Sparse-mode engines (`--mode filtered` / `--mode lsh`) refuse
+    // capture: their registries simply run without a disk tier.
+    match EngineSnapshot::capture(engine).and_then(|snapshot| snapshot.save(path)) {
         Ok(()) => {
             entry.snapshot_saves.fetch_add(1, Ordering::Relaxed);
         }
@@ -121,24 +123,21 @@ pub struct CorpusSpec {
 
 impl CorpusSpec {
     /// A spec for one language pair and named scale tier
-    /// (`tiny` / `small` / `medium` / `large`), named `"<code>-<tier>"`.
+    /// (`tiny` / `small` / `medium` / `large` / `xlarge`), named
+    /// `"<code>-<tier>"`. Tier names are resolved through
+    /// [`ScaleTier`], so the registry automatically follows the corpus
+    /// crate's tier catalog.
     pub fn tier(language: Language, tier: &str) -> Option<Self> {
-        let config = match tier {
-            "tiny" => SyntheticConfig::tiny(),
-            "small" => SyntheticConfig::small(),
-            "medium" => SyntheticConfig::medium(),
-            "large" => SyntheticConfig::large(),
-            _ => return None,
-        };
+        let parsed: ScaleTier = tier.parse().ok()?;
         Some(Self {
-            name: format!("{}-{tier}", language.code()),
+            name: format!("{}-{}", language.code(), parsed.name()),
             language,
-            config,
+            config: parsed.config(),
         })
     }
 
     /// The built-in serving catalog: every synthetic scale tier for both of
-    /// the paper's language pairs (`pt-tiny` … `vi-large`).
+    /// the paper's language pairs (`pt-tiny` … `vi-xlarge`).
     pub fn scale_tiers(tiers: &[&str]) -> Vec<Self> {
         let mut specs = Vec::new();
         for language in [Language::Pt, Language::Vn] {
@@ -1093,6 +1092,23 @@ mod tests {
         assert!(corpus.engine.is_some());
     }
 
+    /// The `/stats` payload carries the candidate-frontier gauges: after a
+    /// full warm, `pairs_scored + pairs_pruned` covers every ordered pair of
+    /// every type, and a filtered-mode registry actually prunes.
+    #[test]
+    fn stats_expose_candidate_frontier_gauges() {
+        let registry = Registry::new(2, ComputeMode::filtered(0.5));
+        registry.register_all([test_spec("a")]);
+        registry.warm("a").unwrap();
+        let stats = registry.stats();
+        let engine = stats.corpora[0].engine.as_ref().expect("resident engine");
+        assert!(engine.pairs_scored > 0, "warm scored no pairs");
+        assert!(engine.pairs_pruned > 0, "filtered mode pruned nothing");
+        let json = serde_json::to_string(&stats).expect("stats serialize");
+        assert!(json.contains("\"pairs_scored\""));
+        assert!(json.contains("\"pairs_pruned\""));
+    }
+
     #[test]
     fn concurrent_cold_requests_build_once() {
         let registry = Arc::new(registry_with(&["a"], 2));
@@ -1516,5 +1532,19 @@ mod tests {
         let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, ["pt-tiny", "pt-medium", "vi-tiny", "vi-medium"]);
         assert!(CorpusSpec::tier(Language::Pt, "galactic").is_none());
+    }
+
+    /// Every [`ScaleTier`] — including `xlarge` — resolves to a registrable
+    /// spec whose config matches the corpus crate's catalog.
+    #[test]
+    fn every_scale_tier_is_registrable() {
+        for tier in ScaleTier::ALL {
+            let spec = CorpusSpec::tier(Language::Pt, tier.name())
+                .unwrap_or_else(|| panic!("tier {tier} not registrable"));
+            assert_eq!(spec.name, format!("pt-{tier}"));
+            // SyntheticConfig is a plain field bag without PartialEq; its
+            // Debug form is a faithful identity for this check.
+            assert_eq!(format!("{:?}", spec.config), format!("{:?}", tier.config()));
+        }
     }
 }

@@ -331,7 +331,17 @@ impl TermVector {
 
     /// Dot product with another vector, computed as an O(n + m) merge walk
     /// over the two sorted entry lists.
+    ///
+    /// Same-arena vectors take the chunked u32-id kernel
+    /// (`dot_id_entries`), which skips disjoint 8-id blocks with one
+    /// comparison instead of stepping entry by entry; cross-arena vectors
+    /// fall back to the resolved-string merge. Both accumulate matching
+    /// products in ascending shared-term order, so the results are
+    /// bit-identical to each other and to the pre-kernel implementation.
     pub fn dot(&self, other: &TermVector) -> f64 {
+        if Arc::ptr_eq(&self.arena, &other.arena) {
+            return dot_id_entries(&self.entries, &other.entries);
+        }
         let mut sum = 0.0;
         merge_join(self, other, |step| {
             if let MergeStep::Both((_, wa), (_, wb)) = step {
@@ -607,6 +617,51 @@ fn merge_join<'a>(a: &'a TermVector, b: &'a TermVector, mut f: impl FnMut(MergeS
     }
 }
 
+/// How many ids the chunked dot kernel skips per block comparison. Eight
+/// `(u32, f64)` entries span two cache lines — big enough that one
+/// comparison replaces eight per-entry steps through a disjoint region,
+/// small enough that the trailing per-entry walk stays short.
+const DOT_CHUNK: usize = 8;
+
+/// Chunked u32-id dot-product kernel over two id-sorted entry slices of
+/// **one** arena.
+///
+/// A plain two-pointer merge spends one branch per entry even when the
+/// vectors barely overlap — the common case for similarity tables, where
+/// most compared attributes share a handful of terms out of hundreds.
+/// This walk first checks whole [`DOT_CHUNK`]-id blocks: if the last id of
+/// the current block on one side is still below the other side's current
+/// id, the whole block provably contains no match and is skipped with a
+/// single comparison. Matching products accumulate in ascending id order —
+/// the exact float-addition order of the entry-by-entry merge — so the
+/// result is bit-identical to [`merge_join`]'s `Both` sum.
+fn dot_id_entries(a: &[(u32, f64)], b: &[(u32, f64)]) -> f64 {
+    let mut sum = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if i + DOT_CHUNK <= a.len() && a[i + DOT_CHUNK - 1].0 < b[j].0 {
+            i += DOT_CHUNK;
+            continue;
+        }
+        if j + DOT_CHUNK <= b.len() && b[j + DOT_CHUNK - 1].0 < a[i].0 {
+            j += DOT_CHUNK;
+            continue;
+        }
+        let (ia, wa) = a[i];
+        let (ib, wb) = b[j];
+        match ia.cmp(&ib) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                sum += wa * wb;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    sum
+}
+
 impl<S: Into<String>> FromIterator<S> for TermVector {
     fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
         TermVector::from_terms(iter)
@@ -722,6 +777,39 @@ mod tests {
         let reference: f64 = a.iter().map(|(t, w)| w * b.get(t)).sum();
         assert_eq!(a.dot(&b), reference);
         assert_eq!(a.dot(&b), b.dot(&a));
+    }
+
+    #[test]
+    fn chunked_dot_kernel_is_bit_identical_to_the_entry_merge() {
+        // Long, mostly disjoint vectors with scattered matches, plus
+        // skewed lengths — every chunk-skip branch fires, and short tails
+        // (< DOT_CHUNK) exercise the per-entry fallback.
+        let long: Vec<String> = (0..200).map(|i| format!("t{:04}", i * 3)).collect();
+        let sparse: Vec<String> = (0..40).map(|i| format!("t{:04}", i * 17)).collect();
+        // One arena over the union, so `add` never copy-on-writes a vector
+        // onto a private arena mid-fixture.
+        let anchor = TermVector::from_terms(long.iter().chain(sparse.iter()).map(String::as_str));
+        for (xs, ys) in [(&long, &sparse), (&sparse, &long), (&long, &long)] {
+            let mut a = TermVector::in_arena(Arc::clone(anchor.arena()));
+            for (k, t) in xs.iter().enumerate() {
+                a.add(t, 1.0 + k as f64 * 0.5);
+            }
+            let mut b = TermVector::in_arena(Arc::clone(anchor.arena()));
+            for (k, t) in ys.iter().enumerate() {
+                b.add(t, 1.0 + k as f64 * 0.25);
+            }
+            assert!(Arc::ptr_eq(a.arena(), b.arena()));
+            // Reference: the merge-walk sum in the same ascending order.
+            let mut reference = 0.0;
+            merge_join(&a, &b, |step| {
+                if let MergeStep::Both((_, wa), (_, wb)) = step {
+                    reference += wa * wb;
+                }
+            });
+            assert!(reference > 0.0, "fixture must actually intersect");
+            assert_eq!(a.dot(&b).to_bits(), reference.to_bits());
+            assert_eq!(b.dot(&a).to_bits(), reference.to_bits());
+        }
     }
 
     #[test]

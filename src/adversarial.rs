@@ -1,0 +1,172 @@
+//! Adversarial corpus generators for the equivalence test suites.
+//!
+//! The synthetic generator produces *benign* corpora: moderately sized
+//! vocabularies, non-degenerate vectors, diverse attribute values. The
+//! bit-identity contracts (`similarity_equivalence`, `delta_equivalence`)
+//! and the candidate-filter soundness proof (`candidate_pruning`) must
+//! also hold on the shapes that historically break sparse pipelines:
+//!
+//! * **skewed-Zipf term frequencies** — one term dominates every vector,
+//!   so weight-mass upper bounds are tight and rounding is stressed;
+//! * **empty and singleton vectors** — zero norms and one-entry merges,
+//!   the classic division-by-zero / empty-intersection edge cases;
+//! * **all-shared-term cliques** — every attribute pair is a candidate,
+//!   so pruning can skip nothing and dense/pruned parity is total;
+//! * **unicode-heavy values** — multi-byte tokens exercise normalisation,
+//!   interning and hashing outside ASCII.
+//!
+//! Each flavor starts from a seeded [`SyntheticConfig::tiny`] dataset and
+//! rewrites the attribute values of every article in place, keeping the
+//! corpus structurally valid (titles, cross-links, types and ground truth
+//! untouched) while driving the vector contents to the adversarial shape.
+//! Mutations are a pure function of `(flavor, seed)`.
+
+use wiki_corpus::{Article, Dataset, SyntheticConfig};
+
+/// The degenerate corpus shapes the equivalence suites must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversarialFlavor {
+    /// Term draws follow a steep Zipf law over a 24-term vocabulary.
+    ZipfSkew,
+    /// A third of all values emptied, another third reduced to one term.
+    EmptyAndSingleton,
+    /// Every value shares one four-term core, so all pairs are candidates.
+    SharedTermClique,
+    /// Values dominated by multi-byte (diacritic / CJK / emoji) tokens.
+    UnicodeTitles,
+}
+
+impl AdversarialFlavor {
+    /// Every flavor, in declaration order.
+    pub const ALL: [AdversarialFlavor; 4] = [
+        AdversarialFlavor::ZipfSkew,
+        AdversarialFlavor::EmptyAndSingleton,
+        AdversarialFlavor::SharedTermClique,
+        AdversarialFlavor::UnicodeTitles,
+    ];
+}
+
+/// Deterministic split-mix step so mutations are a pure function of the
+/// seed (the same generator the delta-equivalence suite uses).
+fn next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A value whose term draws follow a steep Zipf law: rank `r` is chosen
+/// with probability ∝ 1/(r+1)², concentrating most of the mass on two or
+/// three terms.
+fn zipf_value(state: &mut u64, words: usize) -> String {
+    const VOCAB: [&str; 24] = [
+        "zipf", "cabeca", "corpo", "cauda", "raro", "unico", "denso", "leve", "filme", "ator",
+        "cena", "tela", "luz", "som", "cor", "tom", "ano", "mes", "dia", "hora", "novo", "velho",
+        "alto", "baixo",
+    ];
+    // Cumulative 1/(r+1)² mass over the vocabulary, fixed-point in 1e6.
+    let weights: Vec<u64> = (0..VOCAB.len() as u64)
+        .map(|r| 1_000_000 / ((r + 1) * (r + 1)))
+        .collect();
+    let total: u64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(words);
+    for _ in 0..words {
+        let mut draw = next(state) % total;
+        let mut rank = 0usize;
+        for (r, w) in weights.iter().enumerate() {
+            if draw < *w {
+                rank = r;
+                break;
+            }
+            draw -= w;
+        }
+        out.push(VOCAB[rank]);
+    }
+    out.join(" ")
+}
+
+/// Rewrites one article's attribute values to the flavor's shape. `k` is
+/// the article's ordinal, used to vary per-article disambiguator terms.
+fn rewrite(flavor: AdversarialFlavor, article: &mut Article, state: &mut u64, k: usize) {
+    for (slot, attr) in article.infobox.attributes.iter_mut().enumerate() {
+        attr.value = match flavor {
+            AdversarialFlavor::ZipfSkew => {
+                let words = 3 + (next(state) % 6) as usize;
+                zipf_value(state, words)
+            }
+            AdversarialFlavor::EmptyAndSingleton => match slot % 3 {
+                0 => String::new(),
+                1 => format!("solo{}", next(state) % 5),
+                _ => std::mem::take(&mut attr.value),
+            },
+            AdversarialFlavor::SharedTermClique => {
+                format!("alfa beta gama delta extra{}", k % 7)
+            }
+            AdversarialFlavor::UnicodeTitles => format!(
+                "crème brûlée Điện ảnh 映画祭 Pokémon 🎬 №{} Güneş doğa",
+                next(state) % 9
+            ),
+        };
+    }
+}
+
+/// A structurally valid Pt-En dataset whose attribute values have been
+/// driven to the flavor's degenerate shape. Pure in `(flavor, seed)`.
+pub fn adversarial_pt_en(flavor: AdversarialFlavor, seed: u64) -> Dataset {
+    let config = SyntheticConfig {
+        seed,
+        ..SyntheticConfig::tiny()
+    };
+    let mut dataset = Dataset::pt_en(&config);
+    let mut state = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(flavor as u64 + 1);
+    let articles: Vec<Article> = dataset.corpus.articles().cloned().collect();
+    for (k, mut article) in articles.into_iter().enumerate() {
+        rewrite(flavor, &mut article, &mut state, k);
+        dataset.corpus.replace(article);
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_structurally_valid() {
+        for flavor in AdversarialFlavor::ALL {
+            let a = adversarial_pt_en(flavor, 42);
+            let b = adversarial_pt_en(flavor, 42);
+            assert_eq!(a.corpus.len(), b.corpus.len(), "{flavor:?} not pure");
+            assert!(!a.types.is_empty());
+            let (va, vb): (Vec<_>, Vec<_>) = (
+                a.corpus.articles().map(|x| &x.infobox).collect(),
+                b.corpus.articles().map(|x| &x.infobox).collect(),
+            );
+            assert_eq!(va, vb, "{flavor:?} values not reproducible");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_actually_produces_empty_values() {
+        let dataset = adversarial_pt_en(AdversarialFlavor::EmptyAndSingleton, 7);
+        let empties = dataset
+            .corpus
+            .articles()
+            .flat_map(|a| &a.infobox.attributes)
+            .filter(|attr| attr.value.is_empty())
+            .count();
+        assert!(empties > 0, "no empty values generated");
+    }
+
+    #[test]
+    fn clique_values_share_the_core_terms() {
+        let dataset = adversarial_pt_en(AdversarialFlavor::SharedTermClique, 7);
+        for article in dataset.corpus.articles() {
+            for attr in &article.infobox.attributes {
+                assert!(attr.value.contains("alfa beta gama delta"));
+            }
+        }
+    }
+}

@@ -49,6 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
+
 pub use wiki_baselines;
 pub use wiki_corpus;
 pub use wiki_eval;

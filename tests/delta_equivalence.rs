@@ -10,6 +10,7 @@
 
 use proptest::prelude::*;
 
+use wikimatch_suite::adversarial::{adversarial_pt_en, AdversarialFlavor};
 use wikimatch_suite::{wiki_corpus, wikimatch};
 
 use wiki_corpus::{Article, AttributeValue, Dataset, Infobox, Language, Link, SyntheticConfig};
@@ -260,6 +261,33 @@ proptest! {
         // The eager build built each type exactly once; every delta was
         // served by patching, never by a fresh artifact build.
         prop_assert_eq!(stats.artifact_builds, types as u64);
+    }
+
+    /// The same patch-vs-cold-rebuild contract on the adversarial corpus
+    /// shapes (Zipf-skewed weights, empty/singleton vectors, all-pairs
+    /// cliques, unicode-heavy values): incremental invalidation must stay
+    /// exact even when the vectors it patches are degenerate.
+    #[test]
+    fn patched_engine_matches_cold_rebuild_on_adversarial_corpora(
+        seed in 0u64..1_000,
+        flavor_index in 0usize..4,
+    ) {
+        let flavor = AdversarialFlavor::ALL[flavor_index];
+        let dataset = adversarial_pt_en(flavor, seed);
+        let engine = MatchEngine::builder(dataset).eager().build();
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(11);
+
+        let mut applied = 0u64;
+        for step in 0..4 {
+            let Some(delta) = random_delta(&engine.dataset(), &mut state, step) else {
+                continue;
+            };
+            engine.apply_delta(&delta);
+            applied += 1;
+            let cold = MatchEngine::builder(engine.dataset()).eager().build();
+            assert_bit_identical(&engine, &cold);
+        }
+        prop_assert!(applied > 0, "every generated delta degenerated to None");
     }
 }
 

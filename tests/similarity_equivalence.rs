@@ -10,6 +10,7 @@
 
 use proptest::prelude::*;
 
+use wikimatch_suite::adversarial::{adversarial_pt_en, AdversarialFlavor};
 use wikimatch_suite::{wiki_corpus, wiki_text, wikimatch};
 
 use wiki_corpus::{Dataset, SyntheticConfig};
@@ -85,6 +86,23 @@ proptest! {
 #[test]
 fn pruned_equals_dense_on_the_pt_en_pair() {
     assert_tables_byte_identical(Dataset::pt_en(&config_with(7, 6)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The dense/pruned bit-identity also holds on the adversarial corpus
+    /// shapes (Zipf-skewed weights, empty/singleton vectors, all-pairs
+    /// cliques, unicode-heavy values) — exactly the inputs where a sparse
+    /// shortcut is most tempted to drift.
+    #[test]
+    fn pruned_equals_dense_on_adversarial_corpora(
+        seed in 0u64..1_000,
+        flavor_index in 0usize..4,
+    ) {
+        let flavor = AdversarialFlavor::ALL[flavor_index];
+        assert_tables_byte_identical(adversarial_pt_en(flavor, seed));
+    }
 }
 
 /// FNV-1a over the bit patterns of every score of every type's table, in
@@ -189,6 +207,40 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// The sparse `Filtered` pipeline has golden hashes of its own: the FNV
+/// fold over every *stored* pair's bits at the default threshold. The
+/// constants were captured from the first filtered build on these exact
+/// datasets; because every stored score is pinned bit-identical to the
+/// dense oracle and the stored set is exactly the at-threshold set, any
+/// drift in the bound derivation, the survivor re-filter or the sparse
+/// LSI pass moves these hashes.
+#[test]
+fn filtered_table_bits_match_the_golden_values() {
+    let cases: [(&str, Dataset, u64); 2] = [
+        (
+            "pt_tiny_filtered",
+            Dataset::pt_en(&SyntheticConfig::tiny()),
+            0x413b5e58cd21e196,
+        ),
+        (
+            "vn_tiny_filtered",
+            Dataset::vn_en(&SyntheticConfig::tiny()),
+            0x9c784470ea842aad,
+        ),
+    ];
+    for (name, dataset, expected) in cases {
+        let engine = MatchEngine::builder(dataset)
+            .compute_mode(ComputeMode::filtered(ComputeMode::DEFAULT_FILTER_THRESHOLD))
+            .build();
+        let found = table_bits_hash(&engine);
+        assert_eq!(
+            found, expected,
+            "{name}: filtered table bits diverged from the captured seed \
+             (found {found:#018x}, golden {expected:#018x})"
+        );
     }
 }
 

@@ -31,7 +31,9 @@ fn config_with(seed: u64, extra_concepts: usize) -> SyntheticConfig {
 fn assert_round_trip_is_bit_identical(dataset: Dataset) {
     let fresh = MatchEngine::new(dataset.clone());
     fresh.prepare_all();
-    let bytes = EngineSnapshot::capture(&fresh).to_bytes();
+    let bytes = EngineSnapshot::capture(&fresh)
+        .expect("exact-mode engine captures")
+        .to_bytes();
     let snapshot = EngineSnapshot::from_bytes(&bytes).expect("snapshot round-trips");
     let restored = MatchEngine::builder(dataset)
         .build_from_snapshot(snapshot)
@@ -112,7 +114,9 @@ fn truncated_corrupted_and_version_bumped_files_are_rejected() {
     let dataset = Dataset::vn_en(&config_with(3, 0));
     let engine = MatchEngine::new(dataset.clone());
     engine.align("film").unwrap();
-    let bytes = EngineSnapshot::capture(&engine).to_bytes();
+    let bytes = EngineSnapshot::capture(&engine)
+        .expect("exact-mode engine captures")
+        .to_bytes();
 
     // Truncation at several depths (header, payload, one byte short).
     for cut in [0, 10, 36, bytes.len() / 2, bytes.len() - 1] {
