@@ -72,6 +72,24 @@ fn recover<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
     result.unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Mirrors one applied delta into the process-wide metrics registry, so a
+/// `/metrics` scrape covers mutation activity across every live engine.
+fn observe_delta(rows_recomputed: u64) {
+    let registry = wiki_obs::registry();
+    registry
+        .counter(
+            "wm_engine_deltas_applied_total",
+            "Corpus deltas applied across all engine sessions.",
+        )
+        .inc();
+    registry
+        .counter(
+            "wm_engine_rows_recomputed_total",
+            "Similarity rows recomputed by delta patches.",
+        )
+        .add(rows_recomputed);
+}
+
 /// A cross-language attribute matcher operating on a prepared
 /// dual-language schema.
 ///
@@ -274,11 +292,13 @@ impl MatchEngineBuilder {
     /// (entity-type correspondences follow lazily, also exactly once),
     /// then (optionally) warms the per-type caches.
     pub fn build(self) -> MatchEngine {
+        let dictionary_span = wiki_obs::Span::enter("dictionary_build");
         let dictionary = TitleDictionary::from_corpus(
             &self.dataset.corpus,
             self.dataset.other_language(),
             self.dataset.english(),
         );
+        dictionary_span.finish();
         let fingerprint = corpus_fingerprint(&self.dataset);
         let engine = MatchEngine {
             config: self.config,
@@ -672,11 +692,13 @@ impl MatchEngine {
 
         let mut new_dataset = (*old_dataset).clone();
         let (inserted, updated, removed) = delta.apply_to(&mut new_dataset.corpus);
+        let dictionary_span = wiki_obs::Span::enter("dictionary_build");
         let new_dictionary = TitleDictionary::from_corpus(
             &new_dataset.corpus,
             new_dataset.other_language(),
             new_dataset.english(),
         );
+        dictionary_span.finish();
         if !self.compute_mode.is_exact() {
             // Sparse tables (filtered / LSH) cannot be patched: the patch
             // contract is "bit-identical to a cold rebuild", and a sparse
@@ -693,6 +715,7 @@ impl MatchEngine {
                 state.prepared = HashMap::new();
             }
             self.counters.deltas_applied.fetch_add(1, Ordering::Relaxed);
+            observe_delta(0);
             return DeltaReport {
                 inserted,
                 updated,
@@ -703,6 +726,7 @@ impl MatchEngine {
                 fingerprint,
             };
         }
+        let patch_span = wiki_obs::Span::enter("delta_patch");
         let patched: Vec<(String, PreparedType, u64, bool)> = {
             let ctx = PatchContext::new(
                 &old_dataset.corpus,
@@ -724,6 +748,7 @@ impl MatchEngine {
                 })
                 .collect()
         };
+        patch_span.finish();
         let fingerprint = corpus_fingerprint(&new_dataset);
         let types_patched = patched.iter().filter(|(_, _, _, walked)| *walked).count();
         let rows_recomputed: u64 = patched.iter().map(|(_, _, rows, _)| *rows).sum();
@@ -745,6 +770,7 @@ impl MatchEngine {
         self.counters
             .rows_recomputed
             .fetch_add(rows_recomputed, Ordering::Relaxed);
+        observe_delta(rows_recomputed);
         DeltaReport {
             inserted,
             updated,

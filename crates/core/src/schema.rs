@@ -139,6 +139,7 @@ impl DualSchema {
         label_en: &str,
         dictionary: &TitleDictionary,
     ) -> Self {
+        let _span = wiki_obs::Span::enter("schema_build");
         let english = Language::En;
         let clusters = corpus.entity_clusters();
 
@@ -159,6 +160,7 @@ impl DualSchema {
         // provisional vocabulary and recording per-attribute occurrence
         // streams. No translation happens here: the dictionary is consulted
         // once per *distinct* term below, not once per occurrence.
+        let intern_span = wiki_obs::Span::enter("arena_intern");
         let mut terms = TermArenaBuilder::new();
         let mut collectors: Vec<AttributeCollector> = Vec::new();
         let mut index: HashMap<(Language, String), usize> = HashMap::new();
@@ -207,6 +209,8 @@ impl DualSchema {
                 }
             }
         }
+
+        intern_span.finish();
 
         // Pass 2 — freeze the raw vocabulary, translate each distinct
         // foreign-language value term exactly once, and fold the translation
@@ -541,6 +545,7 @@ pub struct CandidateIndex {
 impl CandidateIndex {
     /// Builds the index over all attributes of a schema.
     pub fn build(schema: &DualSchema) -> Self {
+        let _span = wiki_obs::Span::enter("candidate_index");
         let n = schema.len();
         // Dense id-indexed postings over the schema's shared vocabulary.
         let n_terms = schema.arena().len();

@@ -329,9 +329,11 @@ impl SimilarityTable {
                 Self::compute_counted_with_index(schema, lsi_config, mode, &index)
             }
             ComputeMode::Filtered { threshold } => {
+                let _span = wiki_obs::Span::enter("similarity_filtered");
                 crate::filter::compute_filtered(schema, lsi_config, threshold)
             }
             ComputeMode::Lsh { bands, rows } => {
+                let _span = wiki_obs::Span::enter("similarity_lsh");
                 crate::lsh::compute_lsh(schema, lsi_config, bands, rows)
             }
         }
@@ -363,12 +365,14 @@ impl SimilarityTable {
     ) -> (Self, PairCounts) {
         match mode {
             ComputeMode::Dense => {
+                let _span = wiki_obs::Span::enter("similarity_dense");
                 let table = Self::compute_dense_impl(schema, lsi_config);
                 let scored =
                     (schema.len() as u64).saturating_mul(schema.len().saturating_sub(1) as u64);
                 (table, PairCounts::of_total(schema.len(), scored))
             }
             ComputeMode::Pruned => {
+                let _span = wiki_obs::Span::enter("similarity_pruned");
                 let table = Self::compute_pruned_with(schema, lsi_config, index);
                 // The pruned pass evaluates exactly one cosine per
                 // candidate pair per channel; everything else is written
@@ -512,6 +516,7 @@ impl SimilarityTable {
 
     /// Fits the LSI model on the attribute × dual-infobox occurrence matrix.
     pub(crate) fn fit_lsi(schema: &DualSchema, config: LsiConfig) -> LsiModel {
+        let _span = wiki_obs::Span::enter("lsi_fit");
         let n = schema.len();
         let m = schema.dual_count;
         let mut occurrence = Matrix::zeros(n, m);

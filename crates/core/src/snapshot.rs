@@ -843,6 +843,7 @@ impl EngineSnapshot {
     /// magic, version, fingerprint, payload length and checksum, then the
     /// payload).
     pub fn to_bytes(&self) -> Vec<u8> {
+        let _span = wiki_obs::Span::enter("snapshot_encode");
         let mut enc = Enc::new();
         // Dictionary: entries sorted by key for a canonical byte stream.
         enc.str(self.dictionary.source().code());
@@ -887,6 +888,7 @@ impl EngineSnapshot {
     /// Deserializes a snapshot, validating magic, version, payload length
     /// and checksum before decoding anything.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let _span = wiki_obs::Span::enter("snapshot_decode");
         if bytes.len() < HEADER_LEN {
             return if bytes.len() >= MAGIC.len() && bytes[..MAGIC.len()] != MAGIC {
                 Err(SnapshotError::BadMagic)
@@ -978,6 +980,13 @@ impl EngineSnapshot {
     /// temporary sibling file and renamed into place, so concurrent readers
     /// see either the old snapshot or the new one, never a torn write.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let _span = wiki_obs::Span::enter("snapshot_save");
+        wiki_obs::registry()
+            .counter(
+                "wm_snapshot_saves_total",
+                "Engine snapshots written to disk.",
+            )
+            .inc();
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             fs::create_dir_all(parent)?;
         }
@@ -1001,6 +1010,13 @@ impl EngineSnapshot {
 
     /// Loads a snapshot from `path`.
     pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let _span = wiki_obs::Span::enter("snapshot_load");
+        wiki_obs::registry()
+            .counter(
+                "wm_snapshot_loads_total",
+                "Engine snapshots read from disk.",
+            )
+            .inc();
         Self::from_bytes(&fs::read(path)?)
     }
 }

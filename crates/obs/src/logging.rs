@@ -1,0 +1,298 @@
+//! Structured JSON-lines access logs.
+//!
+//! A [`RequestLog`] turns finished-request records into one JSON object
+//! per line, written to a pluggable sink (stderr by default; an in-memory
+//! buffer for tests). Emission is gated by a [`LogLevel`] and a
+//! slow-request threshold: at `Error` only failures (5xx) and slow
+//! requests are logged, at `Info` every request, at `Debug` every request
+//! (reserved for future extra fields).
+//!
+//! # Line schema
+//!
+//! ```json
+//! {"ts_ms":1754500000000,"id":42,"method":"POST","path":"/align",
+//!  "endpoint":"align","corpus":"pt-tiny","status":200,"total_us":1234,
+//!  "slow":false,"segments":{"req_queue_wait_us":10,"req_parse_us":55,
+//!  "req_lookup_us":3,"req_compute_us":1100,"req_serialize_us":66}}
+//! ```
+//!
+//! Phase names arrive in nanoseconds and are emitted with a `_us` suffix
+//! in integer microseconds (sub-microsecond segments round to 0 but are
+//! still present, keeping the schema stable).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// How much of the request stream to log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum LogLevel {
+    /// Nothing, ever.
+    Off,
+    /// Server errors (5xx) and requests over the slow threshold.
+    #[default]
+    Error,
+    /// Every request.
+    Info,
+    /// Every request (reserved for richer records).
+    Debug,
+}
+
+impl std::str::FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(LogLevel::Off),
+            "error" => Ok(LogLevel::Error),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected off|error|info|debug)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LogLevel::Off => "off",
+            LogLevel::Error => "error",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        })
+    }
+}
+
+/// Where log lines go.
+enum Sink {
+    Stderr,
+    /// Captured lines, for tests.
+    Memory(Mutex<Vec<String>>),
+}
+
+/// One finished request, ready to be logged.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Request method (`GET`, `POST`, …).
+    pub method: &'static str,
+    /// Raw request path.
+    pub path: String,
+    /// Normalised low-cardinality endpoint name.
+    pub endpoint: &'static str,
+    /// Corpus the request resolved to, when any.
+    pub corpus: Option<String>,
+    /// HTTP status code returned.
+    pub status: u16,
+    /// Wall-clock total for the request, nanoseconds.
+    pub total_nanos: u64,
+    /// Per-segment exclusive timings `(phase, nanos)`, in recording order.
+    pub segments: Vec<(&'static str, u64)>,
+}
+
+/// A JSON-lines access log with level and slow-threshold gating.
+pub struct RequestLog {
+    level: LogLevel,
+    slow_nanos: u64,
+    next_id: AtomicU64,
+    sink: Sink,
+}
+
+impl std::fmt::Debug for RequestLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestLog")
+            .field("level", &self.level)
+            .field("slow_nanos", &self.slow_nanos)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RequestLog {
+    /// A log writing JSON lines to stderr. `slow_millis` marks requests
+    /// as slow (and forces them through at `Error` level).
+    pub fn stderr(level: LogLevel, slow_millis: u64) -> Self {
+        Self {
+            level,
+            slow_nanos: slow_millis.saturating_mul(1_000_000),
+            next_id: AtomicU64::new(1),
+            sink: Sink::Stderr,
+        }
+    }
+
+    /// A log capturing lines in memory, for tests; read back with
+    /// [`captured`](Self::captured).
+    pub fn in_memory(level: LogLevel, slow_millis: u64) -> Self {
+        Self {
+            level,
+            slow_nanos: slow_millis.saturating_mul(1_000_000),
+            next_id: AtomicU64::new(1),
+            sink: Sink::Memory(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Lines captured by an in-memory sink (empty for stderr sinks).
+    pub fn captured(&self) -> Vec<String> {
+        match &self.sink {
+            Sink::Stderr => Vec::new(),
+            Sink::Memory(lines) => lines.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+        }
+    }
+
+    /// Whether a request with this status and total would produce a line.
+    /// Callers on hot paths check this *before* building a
+    /// [`RequestRecord`] — at the default `Error` level virtually every
+    /// request is discarded, and the record's owned path/segments aren't
+    /// worth allocating just to drop.
+    pub fn would_log(&self, status: u16, total_nanos: u64) -> bool {
+        let slow = self.slow_nanos > 0 && total_nanos >= self.slow_nanos;
+        match self.level {
+            LogLevel::Off => false,
+            LogLevel::Error => status >= 500 || slow,
+            LogLevel::Info | LogLevel::Debug => true,
+        }
+    }
+
+    /// Logs one finished request if the gate passes. Returns `true` when
+    /// a line was emitted.
+    pub fn log(&self, record: &RequestRecord) -> bool {
+        let slow = self.slow_nanos > 0 && record.total_nanos >= self.slow_nanos;
+        if !self.would_log(record.status, record.total_nanos) {
+            return false;
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let line = render_line(id, record, slow);
+        match &self.sink {
+            Sink::Stderr => {
+                let stderr = std::io::stderr();
+                let mut guard = stderr.lock();
+                let _ = writeln!(guard, "{line}");
+            }
+            Sink::Memory(lines) => {
+                lines.lock().unwrap_or_else(|e| e.into_inner()).push(line);
+            }
+        }
+        true
+    }
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_line(id: u64, record: &RequestRecord, slow: bool) -> String {
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut out = String::with_capacity(192);
+    out.push_str("{\"ts_ms\":");
+    out.push_str(&ts_ms.to_string());
+    out.push_str(",\"id\":");
+    out.push_str(&id.to_string());
+    out.push_str(",\"method\":");
+    push_json_string(&mut out, record.method);
+    out.push_str(",\"path\":");
+    push_json_string(&mut out, &record.path);
+    out.push_str(",\"endpoint\":");
+    push_json_string(&mut out, record.endpoint);
+    out.push_str(",\"corpus\":");
+    match &record.corpus {
+        Some(corpus) => push_json_string(&mut out, corpus),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"status\":");
+    out.push_str(&record.status.to_string());
+    out.push_str(",\"total_us\":");
+    out.push_str(&(record.total_nanos / 1_000).to_string());
+    out.push_str(",\"slow\":");
+    out.push_str(if slow { "true" } else { "false" });
+    out.push_str(",\"segments\":{");
+    for (i, (phase, nanos)) in record.segments.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, &format!("{phase}_us"));
+        out.push(':');
+        out.push_str(&(nanos / 1_000).to_string());
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(status: u16, total_nanos: u64) -> RequestRecord {
+        RequestRecord {
+            method: "POST",
+            path: "/align".to_string(),
+            endpoint: "align",
+            corpus: Some("pt-tiny".to_string()),
+            status,
+            total_nanos,
+            segments: vec![("req_queue_wait", 10_000), ("req_compute", 2_000_000)],
+        }
+    }
+
+    #[test]
+    fn info_logs_every_request_as_json() {
+        let log = RequestLog::in_memory(LogLevel::Info, 250);
+        assert!(log.log(&record(200, 500_000)));
+        let lines = log.captured();
+        assert_eq!(lines.len(), 1);
+        let line = &lines[0];
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"endpoint\":\"align\""), "{line}");
+        assert!(line.contains("\"corpus\":\"pt-tiny\""), "{line}");
+        assert!(line.contains("\"status\":200"), "{line}");
+        assert!(line.contains("\"req_compute_us\":2000"), "{line}");
+        assert!(line.contains("\"slow\":false"), "{line}");
+    }
+
+    #[test]
+    fn error_level_gates_on_status_and_slowness() {
+        let log = RequestLog::in_memory(LogLevel::Error, 1);
+        assert!(!log.log(&record(200, 100_000)), "fast 200 suppressed");
+        assert!(log.log(&record(503, 100_000)), "5xx always logged");
+        assert!(log.log(&record(200, 5_000_000)), "slow 200 logged");
+        assert!(log.captured()[1].contains("\"slow\":true"));
+    }
+
+    #[test]
+    fn off_logs_nothing() {
+        let log = RequestLog::in_memory(LogLevel::Off, 0);
+        assert!(!log.log(&record(500, u64::MAX)));
+        assert!(log.captured().is_empty());
+    }
+
+    #[test]
+    fn level_parses_and_displays() {
+        assert_eq!("info".parse::<LogLevel>().unwrap(), LogLevel::Info);
+        assert_eq!("OFF".parse::<LogLevel>().unwrap(), LogLevel::Off);
+        assert!("verbose".parse::<LogLevel>().is_err());
+        assert_eq!(LogLevel::Debug.to_string(), "debug");
+    }
+}

@@ -1,0 +1,587 @@
+//! The lock-free metrics registry: counters, gauges and log-bucketed
+//! latency histograms, rendered in the Prometheus text exposition format.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! around plain atomics — once a handle is resolved, recording is a couple
+//! of relaxed atomic operations with no locking, so hot paths can record
+//! per request (or per build phase) without contending. The registry locks
+//! only when *resolving* a handle (get-or-create of a family or a labelled
+//! child) and when rendering.
+//!
+//! # Histogram layout
+//!
+//! [`Histogram`] buckets are **log-bucketed with linear sub-buckets**:
+//! [`BUCKET_SUB_COUNT`] (4) equal-width buckets per power of two, covering
+//! `0 ns` to `2^42 ns` (~73 minutes) plus one open overflow bucket. Every
+//! bucket boundary is an exactly representable integer, so
+//! [`HistogramSnapshot::quantile_bounds`] returns *exact* bounds: the true
+//! q-quantile of the recorded values is guaranteed to lie in the returned
+//! `[lower, upper)` interval (the relative width of which is at most 25%).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Recovers the guarded value of a poisoned lock; the registry only ever
+/// mutates by appending complete families/children, so the state is
+/// consistent even after a panicking holder.
+fn recover<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
+    result.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// log2 of the number of linear sub-buckets per power of two.
+pub const BUCKET_SUB_BITS: u32 = 2;
+/// Linear sub-buckets per power of two (4).
+pub const BUCKET_SUB_COUNT: usize = 1 << BUCKET_SUB_BITS;
+/// Values at or above `2^BUCKET_MAX_EXP` nanoseconds land in the open
+/// overflow bucket.
+pub const BUCKET_MAX_EXP: u32 = 42;
+/// Total number of buckets, including the open overflow bucket.
+pub const BUCKET_COUNT: usize = (BUCKET_MAX_EXP as usize - 1) * BUCKET_SUB_COUNT + 1;
+
+/// The bucket index of a recorded value (monotone in the value).
+pub fn bucket_index(value: u64) -> usize {
+    if value < BUCKET_SUB_COUNT as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    if exp >= BUCKET_MAX_EXP {
+        return BUCKET_COUNT - 1;
+    }
+    let sub = ((value >> (exp - BUCKET_SUB_BITS)) & (BUCKET_SUB_COUNT as u64 - 1)) as usize;
+    (exp as usize - 1) * BUCKET_SUB_COUNT + sub
+}
+
+/// The `[lower, upper)` value range of a bucket. The overflow bucket's
+/// upper bound is `u64::MAX`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKET_COUNT, "bucket index {index} out of range");
+    if index < BUCKET_SUB_COUNT {
+        return (index as u64, index as u64 + 1);
+    }
+    if index == BUCKET_COUNT - 1 {
+        return (1u64 << BUCKET_MAX_EXP, u64::MAX);
+    }
+    let exp = (index / BUCKET_SUB_COUNT + 1) as u32;
+    let sub = (index % BUCKET_SUB_COUNT) as u64;
+    let width = 1u64 << (exp - BUCKET_SUB_BITS);
+    let lower = (1u64 << exp) + sub * width;
+    (lower, lower + width)
+}
+
+/// A monotone event counter.
+///
+/// Cloning shares the underlying cell; all operations are relaxed atomics.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value — for scrape-time mirroring of counters that
+    /// live elsewhere (e.g. registry statistics), not for hot-path use.
+    pub fn store(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A log-bucketed latency histogram over `u64` nanosecond values.
+///
+/// See the [module docs](self) for the bucket layout. Recording is two
+/// relaxed atomic adds; snapshots and quantile queries are taken from
+/// [`snapshot`](Self::snapshot).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            cell: Arc::new(HistogramCell {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates a detached histogram (not registered anywhere) — useful for
+    /// tests and ad-hoc aggregation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value (nanoseconds by convention).
+    pub fn record(&self, value: u64) {
+        self.cell.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.cell.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration at nanosecond resolution (saturating at
+    /// `u64::MAX` nanoseconds ≈ 584 years).
+    pub fn record_duration(&self, duration: std::time::Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .cell
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.cell.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts, indexed like [`bucket_bounds`].
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Exact bounds on the `q`-quantile (`0.0 ..= 1.0`) of the recorded
+    /// values: the true quantile is guaranteed to lie in the returned
+    /// `[lower, upper)` interval. `None` when nothing was recorded.
+    ///
+    /// The quantile is the nearest-rank one: the value at rank
+    /// `ceil(q · count)` (clamped to at least 1) of the sorted recorded
+    /// values.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (index, count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(bucket_bounds(index));
+            }
+        }
+        Some(bucket_bounds(BUCKET_COUNT - 1))
+    }
+}
+
+/// The metric types a family can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn exposition_type(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered handle, any type.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named metric family: one `# HELP`/`# TYPE` block with zero or more
+/// labelled children.
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    /// `(rendered label pairs, handle)`, in creation order. The label
+    /// string is the canonical `key="value",…` form (no braces).
+    children: RwLock<Vec<(String, Metric)>>,
+}
+
+/// A registry of metric families, rendered with
+/// [`render`](MetricsRegistry::render) into the Prometheus text format.
+///
+/// Most code uses the process-wide [`crate::registry()`]; detached
+/// registries exist for tests.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: RwLock<Vec<Arc<Family>>>,
+}
+
+/// Renders label pairs into the canonical `key="value",…` form, escaping
+/// backslashes, quotes and newlines in values.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn family(&self, name: &str, help: &str, kind: Kind) -> Arc<Family> {
+        {
+            let families = recover(self.families.read());
+            if let Some(family) = families.iter().find(|f| f.name == name) {
+                assert!(
+                    family.kind == kind,
+                    "metric {name:?} registered as {:?} and requested as {kind:?}",
+                    family.kind
+                );
+                return Arc::clone(family);
+            }
+        }
+        let mut families = recover(self.families.write());
+        if let Some(family) = families.iter().find(|f| f.name == name) {
+            assert!(
+                family.kind == kind,
+                "metric {name:?} registered as {:?} and requested as {kind:?}",
+                family.kind
+            );
+            return Arc::clone(family);
+        }
+        let family = Arc::new(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            children: RwLock::new(Vec::new()),
+        });
+        families.push(Arc::clone(&family));
+        family
+    }
+
+    fn child(&self, name: &str, help: &str, kind: Kind, labels: &[(&str, &str)]) -> Metric {
+        let family = self.family(name, help, kind);
+        let rendered = render_labels(labels);
+        {
+            let children = recover(family.children.read());
+            if let Some((_, metric)) = children.iter().find(|(l, _)| *l == rendered) {
+                return metric.clone();
+            }
+        }
+        let mut children = recover(family.children.write());
+        if let Some((_, metric)) = children.iter().find(|(l, _)| *l == rendered) {
+            return metric.clone();
+        }
+        let metric = match kind {
+            Kind::Counter => Metric::Counter(Counter::default()),
+            Kind::Gauge => Metric::Gauge(Gauge::default()),
+            Kind::Histogram => Metric::Histogram(Histogram::default()),
+        };
+        children.push((rendered, metric.clone()));
+        metric
+    }
+
+    /// Get-or-create an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-create a labelled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.child(name, help, Kind::Counter, labels) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind is checked by child()"),
+        }
+    }
+
+    /// Get-or-create an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-create a labelled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.child(name, help, Kind::Gauge, labels) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind is checked by child()"),
+        }
+    }
+
+    /// Get-or-create an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Get-or-create a labelled histogram.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.child(name, help, Kind::Histogram, labels) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind is checked by child()"),
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format
+    /// (version 0.0.4).
+    ///
+    /// Histograms are recorded in nanoseconds and exposed in **seconds**
+    /// (the Prometheus base unit): `le` bounds are the exact bucket upper
+    /// bounds divided by 1e9, `_sum` likewise. Empty buckets below the
+    /// highest non-empty one are skipped (the cumulative counts stay
+    /// monotone); `le="+Inf"` is always emitted and equals `_count`.
+    pub fn render(&self) -> String {
+        let families: Vec<Arc<Family>> = recover(self.families.read()).clone();
+        let mut out = String::new();
+        for family in &families {
+            let children = recover(family.children.read()).clone();
+            if children.is_empty() {
+                continue;
+            }
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(&family.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.exposition_type());
+            out.push('\n');
+            for (labels, metric) in &children {
+                match metric {
+                    Metric::Counter(c) => {
+                        render_sample(&mut out, &family.name, "", labels, &c.get().to_string());
+                    }
+                    Metric::Gauge(g) => {
+                        render_sample(&mut out, &family.name, "", labels, &g.get().to_string());
+                    }
+                    Metric::Histogram(h) => {
+                        render_histogram(&mut out, &family.name, labels, &h.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Writes one exposition sample line: `name[suffix]{labels} value`.
+fn render_sample(out: &mut String, name: &str, suffix: &str, labels: &str, value: &str) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !labels.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Writes the `_bucket`/`_sum`/`_count` sample series of one histogram
+/// child.
+fn render_histogram(out: &mut String, name: &str, labels: &str, snapshot: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (index, count) in snapshot.buckets.iter().enumerate() {
+        if *count == 0 {
+            continue;
+        }
+        cumulative += count;
+        let (_, upper) = bucket_bounds(index);
+        let le = if index == BUCKET_COUNT - 1 {
+            "+Inf".to_string()
+        } else {
+            format!("{}", upper as f64 / 1e9)
+        };
+        let bucket_labels = if labels.is_empty() {
+            format!("le=\"{le}\"")
+        } else {
+            format!("{labels},le=\"{le}\"")
+        };
+        render_sample(
+            out,
+            name,
+            "_bucket",
+            &bucket_labels,
+            &cumulative.to_string(),
+        );
+    }
+    let total = cumulative;
+    let inf_labels = if labels.is_empty() {
+        "le=\"+Inf\"".to_string()
+    } else {
+        format!("{labels},le=\"+Inf\"")
+    };
+    // Emitted unconditionally (the loop above only reaches it when the
+    // overflow bucket itself is non-empty).
+    if snapshot.buckets[BUCKET_COUNT - 1] == 0 {
+        render_sample(out, name, "_bucket", &inf_labels, &total.to_string());
+    }
+    render_sample(
+        out,
+        name,
+        "_sum",
+        labels,
+        &format!("{}", snapshot.sum as f64 / 1e9),
+    );
+    render_sample(out, name, "_count", labels, &total.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_partition() {
+        let mut previous_upper = 0u64;
+        for index in 0..BUCKET_COUNT {
+            let (lower, upper) = bucket_bounds(index);
+            assert_eq!(lower, previous_upper, "bucket {index} not contiguous");
+            assert!(upper > lower);
+            previous_upper = upper;
+            // The bounds map back to their own bucket.
+            assert_eq!(bucket_index(lower), index);
+            if index < BUCKET_COUNT - 1 {
+                assert_eq!(bucket_index(upper - 1), index);
+            }
+        }
+        assert_eq!(previous_upper, u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_exact_values() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000, 2000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 6);
+        assert_eq!(snap.sum, 3100);
+        let (lo, hi) = snap.quantile_bounds(0.5).unwrap();
+        assert!(lo <= 30 && 30 < hi, "p50 bounds [{lo},{hi}) must hold 30");
+        let (lo, hi) = snap.quantile_bounds(1.0).unwrap();
+        assert!(lo <= 2000 && 2000 < hi);
+        let (lo, hi) = snap.quantile_bounds(0.0).unwrap();
+        assert!(lo <= 10 && 10 < hi, "p0 clamps to rank 1");
+    }
+
+    #[test]
+    fn registry_coalesces_handles_and_renders() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("wm_test_total", "test counter");
+        let b = registry.counter("wm_test_total", "test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "handles share one cell");
+        let g = registry.gauge_with("wm_test_gauge", "gauge", &[("corpus", "pt-tiny")]);
+        g.set(-7);
+        let h = registry.histogram_with("wm_test_seconds", "latency", &[("phase", "x")]);
+        h.record(1_500_000_000); // 1.5 s
+        let text = registry.render();
+        assert!(text.contains("# TYPE wm_test_total counter"), "{text}");
+        assert!(text.contains("wm_test_total 3"), "{text}");
+        assert!(
+            text.contains("wm_test_gauge{corpus=\"pt-tiny\"} -7"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE wm_test_seconds histogram"), "{text}");
+        assert!(
+            text.contains("wm_test_seconds_bucket{phase=\"x\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wm_test_seconds_count{phase=\"x\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wm_test_seconds_sum{phase=\"x\"} 1.5"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("wm_mismatch", "a counter");
+        registry.gauge("wm_mismatch", "now a gauge");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let rendered = render_labels(&[("k", "a\"b\\c\nd")]);
+        assert_eq!(rendered, "k=\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests pinning the log-bucket histogram layout: bucket
+//! assignment is monotone, bounds partition the `u64` range, and quantile
+//! bounds always contain the true nearest-rank quantile of the recorded
+//! values.
+
+use proptest::prelude::*;
+use wiki_obs::metrics::{bucket_bounds, bucket_index, BUCKET_COUNT};
+use wiki_obs::Histogram;
+
+proptest! {
+    /// Every value lands in the bucket whose bounds contain it.
+    #[test]
+    fn value_lands_inside_its_bucket(v in 0u64..u64::MAX) {
+        let index = bucket_index(v);
+        prop_assert!(index < BUCKET_COUNT);
+        let (lower, upper) = bucket_bounds(index);
+        prop_assert!(lower <= v, "{v} below bucket {index} lower {lower}");
+        prop_assert!(
+            v < upper || index == BUCKET_COUNT - 1,
+            "{v} at/above bucket {index} upper {upper}"
+        );
+    }
+
+    /// Bucket assignment is monotone in the value.
+    #[test]
+    fn bucket_index_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(small) <= bucket_index(large));
+    }
+
+    /// The true nearest-rank quantile of the recorded values lies inside
+    /// the `[lower, upper)` interval `quantile_bounds` reports.
+    #[test]
+    fn quantile_bounds_contain_true_quantile(
+        values in proptest::collection::vec(0u64..10_000_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let histogram = Histogram::new();
+        for &v in &values {
+            histogram.record(v);
+        }
+        let mut values = values;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let snapshot = histogram.snapshot();
+        prop_assert_eq!(snapshot.count(), values.len() as u64);
+        let (lower, upper) = snapshot.quantile_bounds(q).expect("non-empty");
+        prop_assert!(
+            lower <= exact && exact < upper,
+            "q={} exact={} outside [{}, {})", q, exact, lower, upper
+        );
+    }
+
+    /// The sum accumulates exactly (no value is clipped by bucketing).
+    #[test]
+    fn sum_is_exact(values in proptest::collection::vec(0u64..1_000_000_000, 0..50)) {
+        let histogram = Histogram::new();
+        for &v in &values {
+            histogram.record(v);
+        }
+        prop_assert_eq!(histogram.snapshot().sum, values.iter().sum::<u64>());
+    }
+}

@@ -2,6 +2,10 @@
 //!
 //! Replays a fixed number of requests from concurrent keep-alive
 //! connections and reports sustained throughput plus p50/p95/p99 latency.
+//! `GET /metrics` is scraped before and after the run; the scrape-over-
+//! scrape delta of the server's `wm_request_seconds` histogram yields
+//! server-side p50/p99 bucket bounds, printed next to the client numbers
+//! (client minus server ≈ connection queueing plus network).
 //!
 //! ```text
 //! matchbench [--addr 127.0.0.1:8743] [--corpus pt-medium] [--type film]
@@ -25,6 +29,7 @@ use std::time::Instant;
 use serde::Serialize;
 
 use wiki_corpus::{Article, AttributeValue, Infobox, Language};
+use wiki_obs::expo::{self, HistogramScrape};
 use wiki_serve::client::MatchClient;
 use wiki_serve::protocol::{
     AlignRequest, CorpusRequest, MatcherRequest, MutateRequest, StatsResponse, TranslateRequest,
@@ -146,6 +151,45 @@ struct Summary {
     elapsed_secs: f64,
     throughput_rps: f64,
     latency_ms: Percentiles,
+    /// Server-side request latency from the `/metrics` scrape delta, or
+    /// `None` when the server doesn't expose `/metrics` (older matchd).
+    server_latency_ms: Option<ServerLatency>,
+}
+
+/// Server-side `wm_request_seconds` quantiles for this run, merged across
+/// endpoints. Histogram quantiles are bucket *upper bounds*, so read
+/// `p50_upper` as "p50 ≤ this".
+#[derive(Debug, Clone, Serialize)]
+struct ServerLatency {
+    /// Requests the server observed during the run (all endpoints except
+    /// `/metrics` itself).
+    requests: f64,
+    /// Upper bound of the bucket holding the median, in milliseconds.
+    p50_upper: f64,
+    /// Upper bound of the bucket holding the 99th percentile, in
+    /// milliseconds.
+    p99_upper: f64,
+}
+
+/// One `/metrics` scrape reduced to the merged `wm_request_seconds`
+/// histogram. The `/metrics` endpoint's own child is excluded so the
+/// scrapes bracketing the run don't count themselves. `None` when the
+/// server has no `/metrics` or the document doesn't parse — the bench
+/// still reports its client-side numbers.
+fn scrape_request_histogram(addr: &str) -> Option<HistogramScrape> {
+    let mut client = MatchClient::new(addr).ok()?;
+    let response = client.get("/metrics").ok()?;
+    if !response.is_success() {
+        return None;
+    }
+    let samples = expo::parse_text(&response.body).ok()?;
+    let children = HistogramScrape::extract_all(&samples, "wm_request_seconds");
+    let parts: Vec<&HistogramScrape> = children
+        .iter()
+        .filter(|(key, _)| key.as_str() != "endpoint=metrics")
+        .map(|(_, scrape)| scrape)
+        .collect();
+    Some(HistogramScrape::merge(parts))
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -348,6 +392,10 @@ fn main() -> ExitCode {
         }
     }
 
+    // Bracket the run with /metrics scrapes: the histogram delta isolates
+    // exactly what this run contributed to the server-side latency record.
+    let baseline_scrape = scrape_request_histogram(&config.addr);
+
     let next = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
@@ -390,6 +438,15 @@ fn main() -> ExitCode {
     });
     let elapsed = start.elapsed();
 
+    let server_latency_ms = baseline_scrape.and_then(|baseline| {
+        let delta = scrape_request_histogram(&config.addr)?.delta_from(&baseline);
+        Some(ServerLatency {
+            requests: delta.count,
+            p50_upper: delta.quantile_upper(0.50)? * 1e3,
+            p99_upper: delta.quantile_upper(0.99)? * 1e3,
+        })
+    });
+
     let mut latencies: Vec<u64> = per_worker.into_iter().flatten().collect();
     latencies.sort_unstable();
     let errors = errors.load(Ordering::Relaxed);
@@ -414,6 +471,7 @@ fn main() -> ExitCode {
             mean,
             max: percentile(&latencies, 1.0),
         },
+        server_latency_ms,
     };
 
     if config.json {
@@ -457,6 +515,13 @@ fn main() -> ExitCode {
             summary.latency_ms.mean,
             summary.latency_ms.max
         );
+        if let Some(server) = &summary.server_latency_ms {
+            println!(
+                "  server:     p50 ≤ {:.2}ms  p99 ≤ {:.2}ms  \
+                 ({:.0} requests observed via /metrics)",
+                server.p50_upper, server.p99_upper, server.requests
+            );
+        }
     }
 
     if errors > 0 {

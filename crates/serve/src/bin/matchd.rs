@@ -9,6 +9,7 @@
 //!        [--mode pruned|dense|filtered[:T]|lsh[:BxR]]
 //!        [--tiers tiny,small,medium,large,xlarge]
 //!        [--warm corpus[,corpus...]] [--snapshot-dir DIR] [--persist]
+//!        [--log-level off|error|info|debug] [--slow-ms N]
 //! ```
 
 use std::process::ExitCode;
@@ -46,10 +47,18 @@ OPTIONS:
     --persist          also snapshot every resident session on graceful
                        shutdown (requires --snapshot-dir), so the next
                        start serves from disk without rebuilding
+    --log-level LEVEL  access-log verbosity: off | error | info | debug
+                       (default error: 5xx and slow requests only; the
+                       WIKIMATCH_LOG env var sets the default, the flag
+                       wins). Logs are JSON lines on stderr.
+    --slow-ms N        requests at/over N milliseconds total are marked
+                       slow and logged even at error level (default 500;
+                       0 disables the slow gate)
     --help             print this help
 
-ENDPOINTS (all JSON):
+ENDPOINTS (JSON unless noted):
     GET  /healthz /stats /corpora /matchers
+    GET  /metrics          Prometheus text exposition
     POST /align            {\"corpus\": \"pt-medium\", \"type_id\": \"film\"?}
     POST /matchers         {\"corpus\": ..., \"matcher\": \"Bouma\", \"type_id\"?}
     POST /translate-query  {\"corpus\": ..., \"query\": \"filme(direção=?)\", \"top_k\"?}
@@ -64,6 +73,13 @@ fn fail(message: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:8743".to_string();
     let mut config = ServerConfig::default();
+    // WIKIMATCH_LOG sets the default level; an explicit --log-level wins.
+    if let Ok(level) = std::env::var("WIKIMATCH_LOG") {
+        match level.parse() {
+            Ok(level) => config.log_level = level,
+            Err(err) => return fail(&format!("WIKIMATCH_LOG: {err}")),
+        }
+    }
     let mut capacity = 4usize;
     let mut mode = ComputeMode::default();
     let mut tiers = "tiny,small,medium,large".to_string();
@@ -108,6 +124,16 @@ fn main() -> ExitCode {
                 warm.extend(v.split(',').map(|s| s.trim().to_string()));
             }),
             "--snapshot-dir" => value("--snapshot-dir").map(|v| snapshot_dir = Some(v)),
+            "--log-level" => value("--log-level").and_then(|v| {
+                v.parse()
+                    .map(|l| config.log_level = l)
+                    .map_err(|e: String| e)
+            }),
+            "--slow-ms" => value("--slow-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.slow_millis = n)
+                    .map_err(|_| format!("bad --slow-ms {v:?}"))
+            }),
             "--persist" => {
                 persist = true;
                 Ok(())

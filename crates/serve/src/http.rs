@@ -219,6 +219,16 @@ impl Response {
         }
     }
 
+    /// A plain-text response in the Prometheus exposition content type
+    /// (`GET /metrics`).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+        }
+    }
+
     /// A JSON error response with the standard `{"error": ...}` envelope.
     pub fn error(status: u16, message: &str) -> Self {
         let body = serde_json::to_string(&crate::protocol::ErrorBody {

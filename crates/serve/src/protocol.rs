@@ -207,6 +207,10 @@ pub struct ServerCounters {
     pub handled: u64,
     /// Connections rejected with 503 because the request queue was full.
     pub rejected: u64,
+    /// Connections dropped outside the normal request/response flow:
+    /// accept errors, failed stream clones, mid-request read failures and
+    /// response write failures (`/metrics` splits these by `reason`).
+    pub connections_dropped: u64,
 }
 
 /// `GET /stats` response.
@@ -214,10 +218,15 @@ pub struct ServerCounters {
 pub struct StatsResponse {
     /// HTTP-layer counters.
     pub server: ServerCounters,
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
     /// Worker threads serving requests.
     pub workers: usize,
     /// Bound of the pending-connection queue.
     pub queue_depth: usize,
+    /// Connections currently waiting in the queue (a point-in-time gauge;
+    /// `queue_depth` is the limit).
+    pub queue_len: u64,
     /// Registry snapshot (per-corpus hits/misses/builds/evictions and
     /// engine counters).
     pub registry: RegistryStats,

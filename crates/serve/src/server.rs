@@ -17,6 +17,7 @@
 //! any number of workers can hammer the same corpus without duplicating a
 //! build (see `crates/serve/tests/server.rs`).
 
+use std::cell::RefCell;
 use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -28,6 +29,7 @@ use std::time::{Duration, Instant};
 use serde::Deserialize;
 
 use wiki_corpus::Language;
+use wiki_obs::{LogLevel, RequestLog, RequestRecord, Span};
 use wiki_query::{CQuery, QueryEngine};
 use wikimatch::MatchEngine;
 
@@ -71,6 +73,16 @@ pub struct ServerConfig {
     /// Bound of the pending-connection queue; beyond it connections are
     /// answered `503` by the acceptor.
     pub queue_depth: usize,
+    /// Access-log verbosity (`matchd --log-level` / `WIKIMATCH_LOG`).
+    pub log_level: LogLevel,
+    /// Requests whose wall-clock total reaches this many milliseconds are
+    /// marked `"slow":true` and logged even at `error` level; 0 disables
+    /// the slow gate.
+    pub slow_millis: u64,
+    /// Pre-built access log; when `None` the server writes JSON lines to
+    /// stderr per `log_level`/`slow_millis`. Tests inject
+    /// [`RequestLog::in_memory`] sinks here.
+    pub access_log: Option<Arc<RequestLog>>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +94,43 @@ impl Default for ServerConfig {
                 .unwrap_or(4)
                 .clamp(2, 16),
             queue_depth: 256,
+            log_level: LogLevel::Error,
+            slow_millis: 500,
+            access_log: None,
+        }
+    }
+}
+
+/// Pre-resolved handles into the process-wide metrics registry for the
+/// hot-path counters, so recording is a relaxed atomic add with no
+/// registry lookup.
+struct ServerMetrics {
+    rejected: wiki_obs::Counter,
+    dropped_accept: wiki_obs::Counter,
+    dropped_clone: wiki_obs::Counter,
+    dropped_read: wiki_obs::Counter,
+    dropped_write: wiki_obs::Counter,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = wiki_obs::registry();
+        let dropped = |reason| {
+            registry.counter_with(
+                "wm_http_connections_dropped_total",
+                "Connections dropped outside the normal request/response flow, by reason.",
+                &[("reason", reason)],
+            )
+        };
+        Self {
+            rejected: registry.counter(
+                "wm_http_requests_rejected_total",
+                "Connections answered 503 at the door because the request queue was full.",
+            ),
+            dropped_accept: dropped("accept_error"),
+            dropped_clone: dropped("clone_error"),
+            dropped_read: dropped("read_error"),
+            dropped_write: dropped("write_error"),
         }
     }
 }
@@ -95,8 +144,13 @@ struct Shared {
     accepted: AtomicU64,
     handled: AtomicU64,
     rejected: AtomicU64,
+    dropped: AtomicU64,
+    queue_len: AtomicU64,
+    started: Instant,
     workers: usize,
     queue_depth: usize,
+    log: Arc<RequestLog>,
+    metrics: ServerMetrics,
 }
 
 impl Shared {
@@ -105,7 +159,15 @@ impl Shared {
             accepted: self.accepted.load(Ordering::Relaxed),
             handled: self.handled.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            connections_dropped: self.dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counts one dropped connection on both the `/stats` total and the
+    /// per-reason `/metrics` counter.
+    fn drop_connection(&self, reason: &wiki_obs::Counter) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        reason.inc();
     }
 }
 
@@ -135,6 +197,10 @@ impl MatchServer {
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         let queue_depth = config.queue_depth.max(1);
+        let log = config
+            .access_log
+            .clone()
+            .unwrap_or_else(|| Arc::new(RequestLog::stderr(config.log_level, config.slow_millis)));
         let shared = Arc::new(Shared {
             registry,
             matchers: MatcherRegistry::default(),
@@ -143,11 +209,16 @@ impl MatchServer {
             accepted: AtomicU64::new(0),
             handled: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            queue_len: AtomicU64::new(0),
+            started: Instant::now(),
             workers,
             queue_depth,
+            log,
+            metrics: ServerMetrics::new(),
         });
 
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_depth);
+        let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
@@ -217,24 +288,34 @@ fn wake_addr(addr: SocketAddr) -> SocketAddr {
     addr
 }
 
-fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<TcpStream>) {
+fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<(TcpStream, Instant)>) {
     for stream in listener.incoming() {
         if !shared.running.load(Ordering::SeqCst) {
             break;
         }
         let stream = match stream {
             Ok(stream) => stream,
-            Err(_) => continue,
+            Err(_) => {
+                // The peer is gone (reset mid-handshake, fd pressure, ...);
+                // nothing to answer, but the drop must not be invisible.
+                shared.drop_connection(&shared.metrics.dropped_accept);
+                continue;
+            }
         };
-        match tx.try_send(stream) {
+        // Incremented *before* the send so a worker's decrement can never
+        // observably precede it (the gauge must not underflow).
+        shared.queue_len.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send((stream, Instant::now())) {
             Ok(()) => {
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
             }
-            Err(TrySendError::Full(mut stream)) => {
+            Err(TrySendError::Full((mut stream, _))) => {
+                shared.queue_len.fetch_sub(1, Ordering::Relaxed);
                 // Bounded queue: shed load at the door instead of queueing
                 // unboundedly. The write is timeout-guarded — the acceptor
                 // must never block on a slow peer.
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.rejected.inc();
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                 let _ = Response::error(503, "request queue full").write(&mut stream, false);
             }
@@ -287,7 +368,7 @@ impl BufRead for DeadlineReader<'_> {
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
     loop {
         // Hold the lock only for the dequeue, not while serving.
         let stream = match rx.lock() {
@@ -295,19 +376,30 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<TcpStream>>) {
             Err(_) => return,
         };
         match stream {
-            Ok(stream) => serve_connection(shared, stream),
+            Ok((stream, enqueued)) => {
+                shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+                // Queue wait ends when a worker picks the connection up; it
+                // is attributed to the connection's first request.
+                serve_connection(shared, stream, enqueued.elapsed());
+            }
             Err(_) => return, // acceptor gone and queue drained
         }
     }
 }
 
-fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+fn serve_connection(shared: &Shared, mut stream: TcpStream, queue_wait: Duration) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut reader = match stream.try_clone() {
         Ok(clone) => BufReader::new(clone),
-        Err(_) => return,
+        Err(_) => {
+            shared.drop_connection(&shared.metrics.dropped_clone);
+            return;
+        }
     };
+    // Consumed by the first request of the connection; later keep-alive
+    // requests never waited in the queue.
+    let mut queue_wait = Some(queue_wait);
     loop {
         // Idle phase: wait for the first byte of the next request under the
         // short poll timeout. `fill_buf` consumes nothing, so a timeout
@@ -338,8 +430,20 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             inner: &mut reader,
             deadline: Instant::now() + REQUEST_READ_TIMEOUT,
         };
+        // Open the per-request observability context: finished spans from
+        // here to the response append their exclusive time as segments.
+        wiki_obs::request::begin();
+        if let Some(wait) = queue_wait.take() {
+            wiki_obs::record_phase(
+                "req_queue_wait",
+                u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+        let started = Instant::now();
+        let parse_span = Span::enter("req_parse");
         match read_request(&mut deadline_reader) {
             Ok(request) => {
+                parse_span.finish();
                 let response = route_with_panic_barrier(shared, &request);
                 // Evaluated *after* routing so a request that initiates
                 // shutdown (POST /shutdown) is itself answered with
@@ -347,20 +451,146 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                 // dying server cannot honour.
                 let keep_alive = request.keep_alive && shared.running.load(Ordering::SeqCst);
                 shared.handled.fetch_add(1, Ordering::Relaxed);
-                if response.write(&mut stream, keep_alive).is_err() || !keep_alive {
+                let write_ok = response.write(&mut stream, keep_alive).is_ok();
+                if !write_ok {
+                    shared.drop_connection(&shared.metrics.dropped_write);
+                }
+                observe_request(shared, &request, &response, started.elapsed());
+                if !write_ok || !keep_alive {
                     return;
                 }
             }
             Err(RequestError::Closed) => return,
-            Err(RequestError::Io(_)) => return,
+            Err(RequestError::Io(_)) => {
+                // Bytes of a request were in flight when the read failed or
+                // timed out — a real mid-request drop, unlike the clean
+                // `Closed` EOF above.
+                shared.drop_connection(&shared.metrics.dropped_read);
+                return;
+            }
             Err(RequestError::Bad(status, message)) => {
                 // Malformed requests are answered too, so they count as
                 // handled.
                 shared.handled.fetch_add(1, Ordering::Relaxed);
+                wiki_obs::registry()
+                    .counter_with(
+                        "wm_http_requests_total",
+                        "Requests answered, by endpoint and status class.",
+                        &[("endpoint", "malformed"), ("status", status_class(status))],
+                    )
+                    .inc();
                 let _ = Response::error(status, &message).write(&mut stream, false);
                 return;
             }
         }
+    }
+}
+
+/// The bounded-cardinality endpoint label of a request path.
+fn endpoint_name(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/stats" => "stats",
+        "/metrics" => "metrics",
+        "/corpora" => "corpora",
+        "/matchers" => "matchers",
+        "/align" => "align",
+        "/translate-query" => "translate_query",
+        "/warm" => "warm",
+        "/evict" => "evict",
+        "/shutdown" => "shutdown",
+        path => {
+            if entities_corpus(path).is_some() {
+                "entities"
+            } else {
+                "other"
+            }
+        }
+    }
+}
+
+/// Status class label (`2xx`/`3xx`/`4xx`/`5xx`) — full codes would multiply
+/// series cardinality for no added signal.
+fn status_class(status: u16) -> &'static str {
+    match status / 100 {
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        _ => "5xx",
+    }
+}
+
+/// Records one answered request: the `wm_http_requests_total` counter, the
+/// `wm_request_seconds{endpoint}` histogram, and (gated by level) one
+/// JSON access-log line carrying the per-segment timings collected by the
+/// request context.
+fn observe_request(shared: &Shared, request: &Request, response: &Response, total: Duration) {
+    // Per-thread caches of resolved handles: workers are long-lived and
+    // the (endpoint, status-class) space is small and 'static, so the
+    // steady state skips the registry's lock-and-scan lookup entirely.
+    thread_local! {
+        static COUNTERS: RefCell<Vec<((&'static str, &'static str), wiki_obs::Counter)>> =
+            const { RefCell::new(Vec::new()) };
+        static HISTOGRAMS: RefCell<Vec<(&'static str, wiki_obs::Histogram)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+    let endpoint = endpoint_name(&request.path);
+    let class = status_class(response.status);
+    let total_nanos = u64::try_from(total.as_nanos()).unwrap_or(u64::MAX);
+    COUNTERS.with(|counters| {
+        let mut counters = counters.borrow_mut();
+        if let Some((_, counter)) = counters.iter().find(|(key, _)| *key == (endpoint, class)) {
+            counter.inc();
+            return;
+        }
+        let counter = wiki_obs::registry().counter_with(
+            "wm_http_requests_total",
+            "Requests answered, by endpoint and status class.",
+            &[("endpoint", endpoint), ("status", class)],
+        );
+        counter.inc();
+        counters.push(((endpoint, class), counter));
+    });
+    let context = wiki_obs::request::take().unwrap_or_default();
+    if !wiki_obs::enabled() {
+        return;
+    }
+    HISTOGRAMS.with(|histograms| {
+        let mut histograms = histograms.borrow_mut();
+        if let Some((_, histogram)) = histograms.iter().find(|(name, _)| *name == endpoint) {
+            histogram.record(total_nanos);
+            return;
+        }
+        let histogram = wiki_obs::registry().histogram_with(
+            "wm_request_seconds",
+            "End-to-end request latency (parse through response write), by endpoint.",
+            &[("endpoint", endpoint)],
+        );
+        histogram.record(total_nanos);
+        histograms.push((endpoint, histogram));
+    });
+    if shared.log.would_log(response.status, total_nanos) {
+        shared.log.log(&RequestRecord {
+            method: method_label(&request.method),
+            path: request.path.clone(),
+            endpoint,
+            corpus: context.corpus,
+            status: response.status,
+            total_nanos,
+            segments: context.segments,
+        });
+    }
+}
+
+/// Static form of the methods this server routes (access-log field).
+fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        "DELETE" => "DELETE",
+        "PUT" => "PUT",
+        "HEAD" => "HEAD",
+        _ => "OTHER",
     }
 }
 
@@ -395,11 +625,15 @@ fn parse_body<T: Deserialize>(request: &Request) -> Result<T, Box<Response>> {
     })
 }
 
-/// Resolves a corpus name, mapping unknown names to a 404 response.
+/// Resolves a corpus name, mapping unknown names to a 404 response. The
+/// lookup is timed as the `req_lookup` segment and tags the request
+/// context with the corpus for the access log.
 fn resolve_corpus(shared: &Shared, name: &str) -> Result<Arc<CachedCorpus>, Box<Response>> {
+    let _span = Span::enter("req_lookup");
     shared
         .registry
         .corpus(name)
+        .inspect(|_| wiki_obs::request::note_corpus(name))
         .map_err(|err| Box::new(Response::error(404, &err.to_string())))
 }
 
@@ -413,10 +647,13 @@ fn route(shared: &Shared, request: &Request) -> Response {
         }),
         ("GET", "/stats") => json_200(&StatsResponse {
             server: shared.counters(),
+            uptime_secs: shared.started.elapsed().as_secs(),
             workers: shared.workers,
             queue_depth: shared.queue_depth,
+            queue_len: shared.queue_len.load(Ordering::Relaxed),
             registry: shared.registry.stats(),
         }),
+        ("GET", "/metrics") => handle_metrics(shared),
         ("GET", "/corpora") => json_200(&CorporaResponse {
             corpora: shared.registry.specs(),
         }),
@@ -437,8 +674,8 @@ fn route(shared: &Shared, request: &Request) -> Response {
         }
         (
             _,
-            "/healthz" | "/stats" | "/corpora" | "/matchers" | "/align" | "/translate-query"
-            | "/warm" | "/evict" | "/shutdown",
+            "/healthz" | "/stats" | "/metrics" | "/corpora" | "/matchers" | "/align"
+            | "/translate-query" | "/warm" | "/evict" | "/shutdown",
         ) => Response::error(405, &format!("method {} not allowed here", request.method)),
         (method, path) => match entities_corpus(path) {
             Some(name) => match method {
@@ -451,6 +688,79 @@ fn route(shared: &Shared, request: &Request) -> Response {
     }
 }
 
+/// `GET /metrics`: the Prometheus text exposition of the process-wide
+/// registry. Point-in-time values (uptime, queue depth, registry
+/// residency) are gauges refreshed here at scrape time; counters that
+/// already live on [`Shared`] atomics are mirrored rather than
+/// double-counted.
+fn handle_metrics(shared: &Shared) -> Response {
+    let registry = wiki_obs::registry();
+    registry
+        .gauge("wm_uptime_seconds", "Seconds since the server started.")
+        .set(shared.started.elapsed().as_secs() as i64);
+    registry
+        .gauge("wm_workers", "Worker threads serving requests.")
+        .set(shared.workers as i64);
+    registry
+        .gauge(
+            "wm_queue_depth_limit",
+            "Bound of the pending-connection queue.",
+        )
+        .set(shared.queue_depth as i64);
+    registry
+        .gauge(
+            "wm_queue_depth",
+            "Connections currently waiting in the queue.",
+        )
+        .set(shared.queue_len.load(Ordering::Relaxed) as i64);
+    registry
+        .counter(
+            "wm_http_connections_accepted_total",
+            "Connections accepted off the listener and queued for a worker.",
+        )
+        .store(shared.accepted.load(Ordering::Relaxed));
+    registry
+        .counter(
+            "wm_http_requests_handled_total",
+            "Requests answered with any status.",
+        )
+        .store(shared.handled.load(Ordering::Relaxed));
+    let stats = shared.registry.stats();
+    registry
+        .gauge(
+            "wm_registry_resident",
+            "Engine sessions currently resident in the LRU.",
+        )
+        .set(stats.resident as i64);
+    registry
+        .gauge("wm_registry_capacity", "Maximum resident engine sessions.")
+        .set(stats.capacity as i64);
+    for corpus in &stats.corpora {
+        registry
+            .gauge_with(
+                "wm_corpus_resident",
+                "Whether the corpus has a resident session (1) or is cold (0).",
+                &[("corpus", &corpus.name)],
+            )
+            .set(i64::from(corpus.resident));
+        registry
+            .counter_with(
+                "wm_corpus_hits_total",
+                "Requests served from the corpus' resident session.",
+                &[("corpus", &corpus.name)],
+            )
+            .store(corpus.hits);
+        registry
+            .counter_with(
+                "wm_corpus_builds_total",
+                "Session builds performed for the corpus.",
+                &[("corpus", &corpus.name)],
+            )
+            .store(corpus.builds);
+    }
+    Response::text(200, registry.render())
+}
+
 /// Extracts the corpus name of a `/corpora/{name}/entities` path; `None`
 /// for every other path (including an empty name).
 fn entities_corpus(path: &str) -> Option<&str> {
@@ -459,7 +769,10 @@ fn entities_corpus(path: &str) -> Option<&str> {
 }
 
 fn json_200<T: serde::Serialize>(body: &T) -> Response {
-    match serde_json::to_string(body) {
+    let span = Span::enter("req_serialize");
+    let result = serde_json::to_string(body);
+    span.finish();
+    match result {
         Ok(body) => Response::json(200, body),
         Err(err) => Response::error(500, &format!("serialization failed: {err}")),
     }
@@ -490,6 +803,7 @@ fn aligned_response(
             );
         }
     }
+    let compute_span = Span::enter("req_compute");
     let body = corpus.response(&cache_key, || {
         let engine = corpus.engine();
         let alignments = match type_id {
@@ -504,13 +818,19 @@ fn aligned_response(
             }],
             None => align_all(engine),
         };
-        serde_json::to_string(&AlignResponse {
+        // Nested inside `req_compute`, so serialization time is carved out
+        // of the compute segment, not double-counted.
+        let serialize_span = Span::enter("req_serialize");
+        let body = serde_json::to_string(&AlignResponse {
             corpus: corpus_name.to_string(),
             matcher: matcher_label.to_string(),
             alignments,
         })
-        .map_err(|err| format!("response serialization failed: {err}"))
+        .map_err(|err| format!("response serialization failed: {err}"));
+        serialize_span.finish();
+        body
     });
+    compute_span.finish();
     match body {
         Ok(body) => Response::json(200, body.as_str()),
         Err(detail) => Response::error(500, &detail),
@@ -599,6 +919,7 @@ fn handle_translate(shared: &Shared, request: &Request) -> Response {
     let Some(source) = CQuery::parse(&req.query) else {
         return Response::error(400, &format!("unparseable c-query {:?}", req.query));
     };
+    let compute_span = Span::enter("req_compute");
     let (translated, stats) = corpus.dictionary().translate_query(&source);
     let top_k = req.top_k.unwrap_or(0);
     let answers = if top_k > 0 {
@@ -610,6 +931,7 @@ fn handle_translate(shared: &Shared, request: &Request) -> Response {
     } else {
         Vec::new()
     };
+    compute_span.finish();
     json_200(&TranslateResponse {
         corpus: req.corpus.clone(),
         source,
@@ -626,7 +948,11 @@ fn handle_warm(shared: &Shared, request: &Request) -> Response {
         Ok(req) => req,
         Err(response) => return *response,
     };
-    match shared.registry.warm(&req.corpus) {
+    wiki_obs::request::note_corpus(&req.corpus);
+    let compute_span = Span::enter("req_compute");
+    let warmed = shared.registry.warm(&req.corpus);
+    compute_span.finish();
+    match warmed {
         Ok(cached) => json_200(&WarmResponse {
             corpus: req.corpus,
             cached_types: cached.engine().cached_types(),
@@ -653,7 +979,11 @@ fn handle_evict(shared: &Shared, request: &Request) -> Response {
 /// Applies a mutation delta through [`Registry::mutate`] and shapes the
 /// report into the shared [`MutateResponse`] of both mutation endpoints.
 fn mutated_response(shared: &Shared, name: &str, delta: &CorpusDelta) -> Response {
-    match shared.registry.mutate(name, delta) {
+    wiki_obs::request::note_corpus(name);
+    let compute_span = Span::enter("req_compute");
+    let mutated = shared.registry.mutate(name, delta);
+    compute_span.finish();
+    match mutated {
         Ok(report) => json_200(&MutateResponse {
             corpus: name.to_string(),
             inserted: report.inserted,

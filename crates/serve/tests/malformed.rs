@@ -30,6 +30,7 @@ fn boot() -> (MatchServer, MatchClient) {
             addr: "127.0.0.1:0".to_string(),
             workers: WORKERS,
             queue_depth: 64,
+            ..ServerConfig::default()
         },
     )
     .expect("server binds an ephemeral port");

@@ -31,6 +31,7 @@ fn boot_with_dir(dir: &std::path::Path) -> (MatchServer, MatchClient) {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_depth: 64,
+            ..ServerConfig::default()
         },
     )
     .expect("server binds an ephemeral port");

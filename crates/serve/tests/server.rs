@@ -38,6 +38,7 @@ fn boot(specs: Vec<CorpusSpec>, capacity: usize) -> (MatchServer, MatchClient) {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             queue_depth: 64,
+            ..ServerConfig::default()
         },
     )
     .expect("server binds an ephemeral port");

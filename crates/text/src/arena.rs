@@ -207,6 +207,7 @@ impl TermArenaBuilder {
     /// value maps every provisional id to its final (lexicographic) id:
     /// `final_id = remap[provisional_id as usize]`.
     pub fn freeze(self) -> (Arc<TermArena>, Vec<u32>) {
+        let _span = wiki_obs::Span::enter("arena_freeze");
         let TermArenaBuilder { map: _, terms } = self;
         let mut order: Vec<u32> = (0..terms.len() as u32).collect();
         order.sort_unstable_by(|&a, &b| terms[a as usize].cmp(&terms[b as usize]));
