@@ -811,6 +811,7 @@ pub(crate) fn patch_prepared_type(
             index: Some(Arc::new(index)),
             arena,
             vector_entries,
+            region: None,
         },
         rows_recomputed,
         true,

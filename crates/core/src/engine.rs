@@ -151,6 +151,40 @@ pub struct PreparedType {
     /// time (see [`DualSchema::vector_entry_count`](crate::DualSchema::vector_entry_count))
     /// so stats polling never re-walks the attributes.
     pub vector_entries: u64,
+    /// The mapped snapshot region these artifacts borrow from, when the
+    /// type was opened out-of-core from a directly-addressable (v4)
+    /// snapshot; `None` for heap-owned artifacts. One region is shared by
+    /// every type of the snapshot, and holding it here keeps the mapping
+    /// alive exactly as long as any artifact view needs it.
+    pub region: Option<Arc<crate::mmap::MappedRegion>>,
+}
+
+impl PreparedType {
+    /// Estimated heap bytes currently held by this type's artifacts: owned
+    /// (or materialized-from-mapped) arena text, vector entries and table
+    /// pairs. Mapped storage nothing has touched counts zero — those bytes
+    /// belong on the mapped-bytes ledger, not the resident one.
+    pub fn resident_bytes(&self) -> u64 {
+        // Entry/pair sizes with padding: a (u32, f64) entry is 16 bytes, a
+        // CandidatePair (2 usize + 3 f64) is 40.
+        const VECTOR_ENTRY_BYTES: u64 = 16;
+        const PAIR_BYTES: u64 = 40;
+        let mut bytes = self.arena.heap_bytes() as u64;
+        for attr in &self.schema.attributes {
+            for vector in [
+                &attr.values,
+                &attr.translated_values,
+                &attr.raw_values,
+                &attr.translated_raw_values,
+                &attr.links,
+            ] {
+                if vector.is_materialized() {
+                    bytes += vector.len() as u64 * VECTOR_ENTRY_BYTES;
+                }
+            }
+        }
+        bytes + self.table.materialized_pairs() as u64 * PAIR_BYTES
+    }
 }
 
 /// Point-in-time activity snapshot of one [`MatchEngine`] session, taken
@@ -200,6 +234,18 @@ pub struct EngineStats {
     /// vectors (each entry is 16 bytes: a `u32` id padded next to an `f64`
     /// weight).
     pub vector_entries: u64,
+    /// Estimated heap bytes currently held by cached artifacts (owned
+    /// storage plus whatever mapped storage has been materialized) — see
+    /// [`PreparedType::resident_bytes`]. This is the quantity a
+    /// `--max-resident-mb` budget constrains.
+    pub resident_bytes: u64,
+    /// Bytes of mapped snapshot regions backing cached artifacts (each
+    /// distinct region counted once). These live in the OS page cache, not
+    /// the process heap, and vanish when the map is dropped.
+    pub mapped_bytes: u64,
+    /// Lazy materialisations served by the mapped regions backing cached
+    /// artifacts — how often a first touch paged a (type, channel) in.
+    pub page_ins: u64,
 }
 
 /// Lock-free counters backing [`EngineStats`].
@@ -627,6 +673,7 @@ impl MatchEngine {
                     index,
                     arena,
                     vector_entries,
+                    region: None,
                 }
             })
             .clone(),
@@ -861,13 +908,28 @@ impl MatchEngine {
         let mut interned_terms = 0u64;
         let mut interned_bytes = 0u64;
         let mut vector_entries = 0u64;
+        let mut resident_bytes = 0u64;
+        let mut mapped_bytes = 0u64;
+        let mut page_ins = 0u64;
         {
             let state = recover(self.state.read());
+            // One mapped region backs every type of a snapshot; count each
+            // distinct region once.
+            let mut seen_regions: Vec<*const crate::mmap::MappedRegion> = Vec::new();
             for prepared in state.prepared.values().filter_map(|slot| slot.get()) {
                 cached_types += 1;
                 interned_terms += prepared.arena.len() as u64;
                 interned_bytes += prepared.arena.term_bytes() as u64;
                 vector_entries += prepared.vector_entries;
+                resident_bytes += prepared.resident_bytes();
+                if let Some(region) = &prepared.region {
+                    let ptr = Arc::as_ptr(region);
+                    if !seen_regions.contains(&ptr) {
+                        seen_regions.push(ptr);
+                        mapped_bytes += region.len() as u64;
+                        page_ins += region.page_in_count();
+                    }
+                }
             }
         }
         EngineStats {
@@ -882,6 +944,9 @@ impl MatchEngine {
             interned_terms,
             interned_bytes,
             vector_entries,
+            resident_bytes,
+            mapped_bytes,
+            page_ins,
         }
     }
 

@@ -105,17 +105,26 @@
 //!   warm-start too.
 //! * [`delta`] — live-corpus mutations ([`CorpusDelta`]) and the
 //!   incremental artifact patcher behind [`MatchEngine::apply_delta`].
+//! * [`direct`] — the directly-addressable snapshot layout (format v4): an
+//!   offset directory plus fixed-stride sections that artifacts can *borrow*
+//!   from without decoding, and the converters to/from the compact v3 wire
+//!   form.
+//! * [`mmap`] — a std-only `mmap(2)` wrapper ([`MappedRegion`]) so v4
+//!   snapshots are paged in by the OS instead of heap-decoded.
 
-#![forbid(unsafe_code)]
+// `mmap.rs` is the single place unsafe is allowed: the raw mmap/munmap FFI.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alignment;
 pub mod config;
 pub mod delta;
+pub mod direct;
 pub mod engine;
 pub mod filter;
 pub mod lsh;
 pub mod matches;
+pub mod mmap;
 pub mod pipeline;
 pub mod schema;
 pub mod similarity;
@@ -125,6 +134,7 @@ pub mod types;
 pub use alignment::AttributeAlignment;
 pub use config::WikiMatchConfig;
 pub use delta::{CorpusDelta, DeltaOp, DeltaReport};
+pub use direct::{MappedSnapshot, DIRECT_FORMAT_VERSION};
 pub use engine::{EngineStats, MatchEngine, MatchEngineBuilder, PreparedType, SchemaMatcher};
 pub use matches::{MatchCluster, MatchSet};
 pub use pipeline::{TypeAlignment, WikiMatch};
@@ -132,6 +142,7 @@ pub use pipeline::{TypeAlignment, WikiMatch};
 // re-exported here: they are pruning machinery consumed by the similarity
 // build, reachable for the curious but outside the headline API surface.
 pub use lsh::candidate_recall;
+pub use mmap::MappedRegion;
 pub use schema::{AttributeStats, DualSchema};
 pub use similarity::{
     CandidatePair, ComputeMode, PairCounts, ParseComputeModeError, SimilarityTable,

@@ -15,10 +15,14 @@
 //!   same-language pairs are forced to 0 (they cannot be synonyms), and
 //!   non-co-occurring same-language pairs use the complement of the cosine.
 
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use wiki_linalg::{LsiConfig, LsiModel, Matrix};
+use wiki_text::ByteRegion;
 
 use crate::schema::{CandidateIndex, DualSchema};
 
@@ -283,17 +287,37 @@ pub fn lsim(schema: &DualSchema, p: usize, q: usize) -> f64 {
     schema.attribute(p).links.cosine(&schema.attribute(q).links)
 }
 
+/// Where a table's pairs live: on the heap, or borrowed from a mapped (v4)
+/// snapshot region as three fixed-stride raw-`f64`-bits channel sections
+/// (`lsi`, `vsim`, `lsim`, each `n_pairs * 8` bytes in canonical pair
+/// order). A mapped table decodes **lazily on first touch** — this is the
+/// per-(type, channel) page-in of the out-of-core tier — and the decoded
+/// pairs are bit-identical to an owned decode because every weight travels
+/// as raw IEEE-754 bits.
+#[derive(Debug, Clone)]
+enum PairStore {
+    Owned(Vec<CandidatePair>),
+    Mapped {
+        region: Arc<dyn ByteRegion>,
+        lsi: Range<usize>,
+        vsim: Range<usize>,
+        lsim: Range<usize>,
+        cache: OnceLock<Vec<CandidatePair>>,
+    },
+}
+
 /// All pairwise similarity evidence for one dual-language schema.
 #[derive(Debug, Clone)]
 pub struct SimilarityTable {
     /// Candidate pairs sorted by `(p, q)` with `p < q`. The exact modes
     /// store every unordered pair; the sparse modes only the survivors.
-    pairs: Vec<CandidatePair>,
+    store: PairStore,
     /// Number of attributes in the schema the table was built for.
     len: usize,
-    /// True when `pairs` holds **every** unordered pair in lexicographic
+    /// True when the store holds **every** unordered pair in lexicographic
     /// order, so [`pair`](Self::pair) can use O(1) index arithmetic;
-    /// sparse (filtered / LSH) tables binary-search instead.
+    /// sparse (filtered / LSH) tables binary-search instead. Mapped tables
+    /// are always dense — only exact-mode artifacts are persisted.
     dense_layout: bool,
 }
 
@@ -391,10 +415,102 @@ impl SimilarityTable {
     pub(crate) fn from_raw_parts(pairs: Vec<CandidatePair>, len: usize) -> Self {
         debug_assert_eq!(pairs.len(), len * len.saturating_sub(1) / 2);
         Self {
-            pairs,
+            store: PairStore::Owned(pairs),
             len,
             dense_layout: true,
         }
+    }
+
+    /// Assembles a dense table whose channel values are **borrowed** from a
+    /// mapped snapshot region: `lsi` / `vsim` / `lsim` are the byte ranges
+    /// of the three fixed-stride sections (raw little-endian `f64` bits,
+    /// one value per canonical pair). Bounds, section sizes and 8-byte
+    /// stride alignment are validated here, so the lazy decode on first
+    /// touch is infallible; returns `None` when the layout is broken.
+    pub fn from_mapped(
+        region: Arc<dyn ByteRegion>,
+        lsi: Range<usize>,
+        vsim: Range<usize>,
+        lsim: Range<usize>,
+        len: usize,
+    ) -> Option<Self> {
+        let n_pairs = len.checked_mul(len.saturating_sub(1))? / 2;
+        let section_len = n_pairs.checked_mul(8)?;
+        let total = region.bytes().len();
+        for range in [&lsi, &vsim, &lsim] {
+            if range.start > range.end || range.end > total {
+                return None;
+            }
+            if range.end - range.start != section_len || !range.start.is_multiple_of(8) {
+                return None;
+            }
+        }
+        Some(Self {
+            store: PairStore::Mapped {
+                region,
+                lsi,
+                vsim,
+                lsim,
+                cache: OnceLock::new(),
+            },
+            len,
+            dense_layout: true,
+        })
+    }
+
+    /// The pair list, materializing a mapped store on first touch.
+    fn stored_pairs(&self) -> &[CandidatePair] {
+        match &self.store {
+            PairStore::Owned(pairs) => pairs,
+            PairStore::Mapped {
+                region,
+                lsi,
+                vsim,
+                lsim,
+                cache,
+            } => cache.get_or_init(|| {
+                region.note_page_in(lsi.len() + vsim.len() + lsim.len());
+                let bytes = region.bytes();
+                let channel = |range: &Range<usize>, i: usize| {
+                    let at = range.start + i * 8;
+                    f64::from_bits(u64::from_le_bytes(
+                        bytes[at..at + 8].try_into().expect("8-byte field"),
+                    ))
+                };
+                let n_pairs = self.len * self.len.saturating_sub(1) / 2;
+                let mut pairs = Vec::with_capacity(n_pairs);
+                let mut i = 0usize;
+                for p in 0..self.len {
+                    for q in (p + 1)..self.len {
+                        pairs.push(CandidatePair {
+                            p,
+                            q,
+                            vsim: channel(vsim, i),
+                            lsim: channel(lsim, i),
+                            lsi: channel(lsi, i),
+                        });
+                        i += 1;
+                    }
+                }
+                pairs
+            }),
+        }
+    }
+
+    /// Number of pairs currently materialized on the heap: everything for
+    /// an owned table, `0` for a mapped table nothing has touched yet. The
+    /// resident-bytes accounting of the out-of-core tier is built on this.
+    pub fn materialized_pairs(&self) -> usize {
+        match &self.store {
+            PairStore::Owned(pairs) => pairs.len(),
+            PairStore::Mapped { cache, .. } => cache.get().map_or(0, Vec::len),
+        }
+    }
+
+    /// True when the pairs are borrowed from a mapped region rather than
+    /// heap-owned.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.store, PairStore::Mapped { .. })
     }
 
     /// Assembles a sparse table from surviving pairs sorted by `(p, q)`.
@@ -408,7 +524,7 @@ impl SimilarityTable {
         debug_assert!(pairs.iter().all(|pair| pair.p < pair.q && pair.q < len));
         let dense_layout = pairs.len() == len * len.saturating_sub(1) / 2;
         Self {
-            pairs,
+            store: PairStore::Owned(pairs),
             len,
             dense_layout,
         }
@@ -433,7 +549,7 @@ impl SimilarityTable {
             }
         }
         Self {
-            pairs,
+            store: PairStore::Owned(pairs),
             len: n,
             dense_layout: true,
         }
@@ -508,7 +624,7 @@ impl SimilarityTable {
             pairs.extend(row);
         }
         Self {
-            pairs,
+            store: PairStore::Owned(pairs),
             len: n,
             dense_layout: true,
         }
@@ -579,9 +695,10 @@ impl SimilarityTable {
         self.len
     }
 
-    /// All candidate pairs (unordered, `p < q`).
+    /// All candidate pairs (unordered, `p < q`). Touching a mapped table
+    /// here (or through any other accessor) pages its channels in.
     pub fn pairs(&self) -> &[CandidatePair] {
-        &self.pairs
+        self.stored_pairs()
     }
 
     /// The candidate pair for `(p, q)` (order-insensitive). In a sparse
@@ -592,16 +709,17 @@ impl SimilarityTable {
             return None;
         }
         let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+        let pairs = self.stored_pairs();
         if self.dense_layout {
             // Pairs are generated in lexicographic order; index arithmetic:
             // offset(lo) = lo*len - lo*(lo+1)/2, then + (hi - lo - 1).
             let offset = lo * self.len - lo * (lo + 1) / 2 + (hi - lo - 1);
-            self.pairs.get(offset)
+            pairs.get(offset)
         } else {
-            self.pairs
+            pairs
                 .binary_search_by(|pair| (pair.p, pair.q).cmp(&(lo, hi)))
                 .ok()
-                .map(|i| &self.pairs[i])
+                .map(|i| &pairs[i])
         }
     }
 
@@ -615,7 +733,7 @@ impl SimilarityTable {
     /// decreasing LSI score (deterministic tie-break by indices).
     pub fn above_lsi(&self, threshold: f64) -> Vec<CandidatePair> {
         let mut out: Vec<CandidatePair> = self
-            .pairs
+            .stored_pairs()
             .iter()
             .filter(|pair| pair.lsi > threshold)
             .copied()
@@ -839,6 +957,85 @@ mod tests {
             assert_eq!(d.lsim.to_bits(), p.lsim.to_bits(), "lsim {}-{}", d.p, d.q);
             assert_eq!(d.lsi.to_bits(), p.lsi.to_bits(), "lsi {}-{}", d.p, d.q);
         }
+    }
+
+    /// Lays a dense table's three channels out as fixed-stride raw-bits
+    /// sections (the v4 on-disk shape) and returns the region plus ranges.
+    fn mapped_table_layout(
+        table: &SimilarityTable,
+    ) -> (Vec<u8>, Range<usize>, Range<usize>, Range<usize>) {
+        let mut buf = Vec::new();
+        let mut section = |field: fn(&CandidatePair) -> f64| {
+            let start = buf.len();
+            for pair in table.pairs() {
+                buf.extend_from_slice(&field(pair).to_bits().to_le_bytes());
+            }
+            start..buf.len()
+        };
+        let lsi = section(|p| p.lsi);
+        let vsim = section(|p| p.vsim);
+        let lsim = section(|p| p.lsim);
+        (buf, lsi, vsim, lsim)
+    }
+
+    #[test]
+    fn mapped_table_matches_owned_bit_for_bit() {
+        let (_, table) = schema_and_table();
+        let (buf, lsi, vsim, lsim) = mapped_table_layout(&table);
+        let mapped =
+            SimilarityTable::from_mapped(Arc::new(buf), lsi, vsim, lsim, table.attribute_count())
+                .expect("valid layout");
+        assert!(mapped.is_mapped());
+        // Nothing decoded until first touch.
+        assert_eq!(mapped.materialized_pairs(), 0);
+        assert_eq!(mapped.pairs().len(), table.pairs().len());
+        assert_eq!(mapped.materialized_pairs(), table.pairs().len());
+        for (a, b) in table.pairs().iter().zip(mapped.pairs()) {
+            assert_eq!((a.p, a.q), (b.p, b.q));
+            assert_eq!(a.vsim.to_bits(), b.vsim.to_bits());
+            assert_eq!(a.lsim.to_bits(), b.lsim.to_bits());
+            assert_eq!(a.lsi.to_bits(), b.lsi.to_bits());
+        }
+        // O(1) dense lookup works over the mapped store too.
+        for pair in table.pairs() {
+            let found = mapped.pair(pair.p, pair.q).unwrap();
+            assert_eq!(found.lsi.to_bits(), pair.lsi.to_bits());
+        }
+    }
+
+    #[test]
+    fn mapped_table_rejects_broken_layouts() {
+        let (_, table) = schema_and_table();
+        let n = table.attribute_count();
+        let (buf, lsi, vsim, lsim) = mapped_table_layout(&table);
+        let region: Arc<dyn ByteRegion> = Arc::new(buf);
+        // Section length does not match the pair count.
+        assert!(SimilarityTable::from_mapped(
+            Arc::clone(&region),
+            lsi.clone(),
+            vsim.clone(),
+            lsim.clone(),
+            n + 1
+        )
+        .is_none());
+        // Out-of-bounds section.
+        assert!(SimilarityTable::from_mapped(
+            Arc::clone(&region),
+            lsi.clone(),
+            vsim.clone(),
+            lsim.start + 8..lsim.end + 8,
+            n
+        )
+        .is_none());
+        // Misaligned (non 8-stride) section start.
+        assert!(SimilarityTable::from_mapped(
+            Arc::clone(&region),
+            lsi.start + 4..lsi.end + 4,
+            vsim,
+            lsim,
+            n
+        )
+        .is_none());
     }
 
     #[test]

@@ -90,13 +90,23 @@ use crate::similarity::{CandidatePair, SimilarityTable};
 ///   pre-journal files, so an old reader can never pair a journal with a
 ///   base it does not understand. Version-2 files are rejected — rebuild
 ///   and re-persist.
+/// * **4** — the **directly-addressable** layout (see [`crate::direct`]):
+///   an offset directory plus fixed-stride sections that artifacts can
+///   borrow from a mapped region without decoding. Version 3 remains the
+///   compact wire/archive form and the version [`EngineSnapshot::save`]
+///   writes; version-4 files are written by
+///   [`EngineSnapshot::save_direct`](crate::direct) and *accepted* by
+///   [`EngineSnapshot::from_bytes`] (decoded into owned artifacts — the
+///   two forms convert losslessly in both directions).
 pub const FORMAT_VERSION: u32 = 3;
 
-/// Magic bytes opening every snapshot file.
-const MAGIC: [u8; 8] = *b"WMSNAP\r\n";
+/// Magic bytes opening every snapshot file (shared by the compact v3 form
+/// and the directly-addressable v4 form — the version field tells them
+/// apart).
+pub(crate) const MAGIC: [u8; 8] = *b"WMSNAP\r\n";
 
 /// Fixed size of the header preceding the payload.
-const HEADER_LEN: usize = MAGIC.len() + 4 + 8 + 8 + 8;
+pub(crate) const HEADER_LEN: usize = MAGIC.len() + 4 + 8 + 8 + 8;
 
 /// Why loading (or saving) a snapshot failed.
 #[derive(Debug)]
@@ -222,7 +232,7 @@ impl Fnv {
 /// (plus a byte-wise tail). Word-at-a-time keeps the validation pass at
 /// memory speed — snapshots at the larger tiers run to tens of megabytes,
 /// and a byte-wise hash there would cost as much as the decode itself.
-fn checksum(payload: &[u8]) -> u64 {
+pub(crate) fn checksum(payload: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut words = payload.chunks_exact(8);
     for word in &mut words {
@@ -286,33 +296,33 @@ pub fn corpus_fingerprint(dataset: &Dataset) -> u64 {
 
 /// Appends little-endian primitives and length-prefixed strings to a byte
 /// buffer.
-struct Enc(Vec<u8>);
+pub(crate) struct Enc(pub(crate) Vec<u8>);
 
 impl Enc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self(Vec::new())
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u32(s.len() as u32);
         self.0.extend_from_slice(s.as_bytes());
     }
 
     /// LEB128 variable-length `u32` — term-id deltas are almost always tiny,
     /// so most take one byte instead of four.
-    fn varu32(&mut self, mut v: u32) {
+    pub(crate) fn varu32(&mut self, mut v: u32) {
         loop {
             let byte = (v & 0x7f) as u8;
             v >>= 7;
@@ -327,17 +337,17 @@ impl Enc {
 
 /// Cursor over a payload slice; every read is bounds-checked and failures
 /// surface as [`SnapshotError::Truncated`] / [`SnapshotError::Malformed`].
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
         if end > self.buf.len() {
             return Err(SnapshotError::Truncated);
@@ -347,17 +357,17 @@ impl<'a> Dec<'a> {
         Ok(slice)
     }
 
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
         let bytes = self.take(4)?;
         Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
     }
 
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
         let bytes = self.take(8)?;
         Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
     }
 
-    fn f64(&mut self) -> Result<f64, SnapshotError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, SnapshotError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
@@ -366,7 +376,7 @@ impl<'a> Dec<'a> {
     /// length cannot trigger an absurd pre-allocation. Only valid for
     /// values that prefix a sequence of counted elements — plain scalars
     /// use [`scalar`](Self::scalar), which has no such bound.
-    fn count(&mut self) -> Result<usize, SnapshotError> {
+    pub(crate) fn count(&mut self) -> Result<usize, SnapshotError> {
         let v = self.scalar()?;
         if v > self.remaining() {
             return Err(SnapshotError::Truncated);
@@ -376,17 +386,17 @@ impl<'a> Dec<'a> {
 
     /// A `u64` scalar that must fit `usize` (e.g. an occurrence counter —
     /// any magnitude is legitimate, unrelated to the bytes remaining).
-    fn scalar(&mut self) -> Result<usize, SnapshotError> {
+    pub(crate) fn scalar(&mut self) -> Result<usize, SnapshotError> {
         let v = self.u64()?;
         usize::try_from(v)
             .map_err(|_| SnapshotError::Malformed(format!("value {v} overflows usize")))
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn str(&mut self) -> Result<String, SnapshotError> {
+    pub(crate) fn str(&mut self) -> Result<String, SnapshotError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
@@ -394,7 +404,7 @@ impl<'a> Dec<'a> {
     }
 
     /// LEB128 variable-length `u32` (see [`Enc::varu32`]).
-    fn varu32(&mut self) -> Result<u32, SnapshotError> {
+    pub(crate) fn varu32(&mut self) -> Result<u32, SnapshotError> {
         let mut value: u32 = 0;
         let mut shift = 0u32;
         loop {
@@ -413,7 +423,7 @@ impl<'a> Dec<'a> {
         }
     }
 
-    fn finished(&self) -> bool {
+    pub(crate) fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
@@ -485,7 +495,7 @@ fn decode_term_vector(
     })
 }
 
-fn encode_pattern(enc: &mut Enc, pattern: &[bool]) {
+pub(crate) fn encode_pattern(enc: &mut Enc, pattern: &[bool]) {
     // Bit-packed; the length is the schema's dual count, known to the
     // decoder, so only the words are written.
     let words = pattern.len().div_ceil(64);
@@ -500,7 +510,7 @@ fn encode_pattern(enc: &mut Enc, pattern: &[bool]) {
     }
 }
 
-fn decode_pattern(dec: &mut Dec<'_>, len: usize) -> Result<Vec<bool>, SnapshotError> {
+pub(crate) fn decode_pattern(dec: &mut Dec<'_>, len: usize) -> Result<Vec<bool>, SnapshotError> {
     let words = len.div_ceil(64);
     // The words are about to be read from the payload; bounding the
     // allocation by the bytes actually present keeps a corrupted
@@ -737,14 +747,14 @@ fn decode_table(dec: &mut Dec<'_>, schema_len: usize) -> Result<SimilarityTable,
     Ok(SimilarityTable::from_raw_parts(pairs, n))
 }
 
-fn encode_pair_set(enc: &mut Enc, set: &PairSet) {
+pub(crate) fn encode_pair_set(enc: &mut Enc, set: &PairSet) {
     enc.u64(set.words().len() as u64);
     for &word in set.words() {
         enc.u64(word);
     }
 }
 
-fn decode_pair_set(dec: &mut Dec<'_>, n: usize) -> Result<PairSet, SnapshotError> {
+pub(crate) fn decode_pair_set(dec: &mut Dec<'_>, n: usize) -> Result<PairSet, SnapshotError> {
     let words_len = dec.count()?;
     let mut words = Vec::with_capacity(words_len);
     for _ in 0..words_len {
@@ -785,6 +795,7 @@ fn decode_type_record(record: &[u8]) -> Result<(String, PreparedType), SnapshotE
             index: Some(Arc::new(index)),
             arena,
             vector_entries,
+            region: None,
         },
     ))
 }
@@ -793,6 +804,35 @@ fn decode_index(dec: &mut Dec<'_>, schema_len: usize) -> Result<CandidateIndex, 
     let value_pairs = decode_pair_set(dec, schema_len)?;
     let link_pairs = decode_pair_set(dec, schema_len)?;
     Ok(CandidateIndex::from_parts(value_pairs, link_pairs))
+}
+
+/// Writes `bytes` to `path` atomically: the bytes land in a temporary
+/// sibling file (`.{name}.tmp-{pid}-{seq}`) which is renamed into place, so
+/// a concurrent reader sees either the old file or the new one, never a
+/// torn write. Shared by the snapshot (v3 and v4) and journal save paths.
+///
+/// The temp name is unique per *call*, not just per process: two threads
+/// spilling the same corpus concurrently (a warm racing an eviction) would
+/// otherwise interleave writes into one temp file and rename garbage into
+/// place. A crash between write and rename strands the temp file — the
+/// registry sweeps `.tmp-` leftovers from its snapshot directory at
+/// startup.
+pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)?;
+    }
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| SnapshotError::Malformed(format!("bad target path {path:?}")))?;
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_file_name(format!(".{file_name}.tmp-{}-{seq}", std::process::id()));
+    let result = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result.map_err(SnapshotError::from)
 }
 
 // ---------------------------------------------------------------------------
@@ -902,6 +942,12 @@ impl EngineSnapshot {
         }
         let field = |offset: usize, len: usize| &header[offset..offset + len];
         let version = u32::from_le_bytes(field(8, 4).try_into().expect("4 bytes"));
+        if version == crate::direct::DIRECT_FORMAT_VERSION {
+            // The directly-addressable form: same framing, sectioned
+            // payload. Decoded here into fully heap-owned artifacts — the
+            // zero-copy path is `crate::direct::MappedSnapshot::open`.
+            return crate::direct::decode_owned(bytes);
+        }
         if version != FORMAT_VERSION {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
@@ -987,25 +1033,7 @@ impl EngineSnapshot {
                 "Engine snapshots written to disk.",
             )
             .inc();
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            fs::create_dir_all(parent)?;
-        }
-        let file_name = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .ok_or_else(|| SnapshotError::Malformed(format!("bad snapshot path {path:?}")))?;
-        // The temp name must be unique per *call*, not just per process:
-        // two threads spilling the same corpus concurrently (a warm racing
-        // an eviction) would otherwise interleave writes into one temp file
-        // and rename garbage into place.
-        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let tmp = path.with_file_name(format!(".{file_name}.tmp-{}-{seq}", std::process::id()));
-        let result = fs::write(&tmp, self.to_bytes()).and_then(|()| fs::rename(&tmp, path));
-        if result.is_err() {
-            let _ = fs::remove_file(&tmp);
-        }
-        result.map_err(SnapshotError::from)
+        write_atomically(path, &self.to_bytes())
     }
 
     /// Loads a snapshot from `path`.
@@ -1018,6 +1046,26 @@ impl EngineSnapshot {
             )
             .inc();
         Self::from_bytes(&fs::read(path)?)
+    }
+
+    /// Reads just the 36-byte header of a snapshot file and returns its
+    /// `(format_version, corpus_fingerprint)` — enough to decide whether a
+    /// disk snapshot is already current without decoding (or even reading)
+    /// the payload. Validates the magic only; the payload is untouched, so
+    /// a torn or corrupt file can still pass this peek and must be fully
+    /// validated by whichever loader follows.
+    pub fn peek_header(path: &Path) -> Result<(u32, u64), SnapshotError> {
+        use std::io::Read as _;
+        let mut file = fs::File::open(path)?;
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header)
+            .map_err(|_| SnapshotError::Truncated)?;
+        if header[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        let fingerprint = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        Ok((version, fingerprint))
     }
 }
 
@@ -1367,21 +1415,7 @@ impl DeltaJournal {
     /// like [`EngineSnapshot::save`]) — the compaction path, which rewrites
     /// the journal as empty (or short) against a freshly saved base.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            fs::create_dir_all(parent)?;
-        }
-        let file_name = path
-            .file_name()
-            .and_then(|n| n.to_str())
-            .ok_or_else(|| SnapshotError::Malformed(format!("bad journal path {path:?}")))?;
-        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let tmp = path.with_file_name(format!(".{file_name}.tmp-{}-{seq}", std::process::id()));
-        let result = fs::write(&tmp, self.to_bytes()).and_then(|()| fs::rename(&tmp, path));
-        if result.is_err() {
-            let _ = fs::remove_file(&tmp);
-        }
-        result.map_err(SnapshotError::from)
+        write_atomically(path, &self.to_bytes())
     }
 
     /// Appends one record to the journal file at `path`, creating the file
@@ -1524,6 +1558,7 @@ mod tests {
                     index: Some(Arc::new(index)),
                     arena,
                     vector_entries,
+                    region: None,
                 },
             )],
         };
@@ -1561,12 +1596,15 @@ mod tests {
     #[test]
     fn version_bumps_and_bad_magic_are_rejected() {
         let (_, bytes) = snapshot_bytes();
+        // +1 lands on the directly-addressable v4 version, which the reader
+        // *accepts* (and then rejects as malformed, since the payload is a
+        // v3 stream); +2 is the first genuinely unknown version.
         let mut bumped = bytes.clone();
-        bumped[8] = bumped[8].wrapping_add(1);
+        bumped[8] = bumped[8].wrapping_add(2);
         assert!(matches!(
             EngineSnapshot::from_bytes(&bumped),
             Err(SnapshotError::UnsupportedVersion { found, supported })
-                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+                if found == FORMAT_VERSION + 2 && supported == FORMAT_VERSION
         ));
         let mut wrong_magic = bytes;
         wrong_magic[0] = b'X';

@@ -9,6 +9,7 @@
 //!        [--mode pruned|dense|filtered[:T]|lsh[:BxR]]
 //!        [--tiers tiny,small,medium,large,xlarge]
 //!        [--warm corpus[,corpus...]] [--snapshot-dir DIR] [--persist]
+//!        [--max-resident-mb N]
 //!        [--log-level off|error|info|debug] [--slow-ms N]
 //! ```
 
@@ -47,6 +48,13 @@ OPTIONS:
     --persist          also snapshot every resident session on graceful
                        shutdown (requires --snapshot-dir), so the next
                        start serves from disk without rebuilding
+    --max-resident-mb N
+                       out-of-core serving (requires --snapshot-dir):
+                       snapshots are written in the directly-addressable
+                       format and memory-mapped on load, and sessions are
+                       evicted (their maps dropped) whenever materialized
+                       bytes across residents exceed N megabytes, keeping
+                       at least the most recent session resident
     --log-level LEVEL  access-log verbosity: off | error | info | debug
                        (default error: 5xx and slow requests only; the
                        WIKIMATCH_LOG env var sets the default, the flag
@@ -86,6 +94,7 @@ fn main() -> ExitCode {
     let mut warm = Vec::new();
     let mut snapshot_dir: Option<String> = None;
     let mut persist = false;
+    let mut max_resident_mb: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -124,6 +133,11 @@ fn main() -> ExitCode {
                 warm.extend(v.split(',').map(|s| s.trim().to_string()));
             }),
             "--snapshot-dir" => value("--snapshot-dir").map(|v| snapshot_dir = Some(v)),
+            "--max-resident-mb" => value("--max-resident-mb").and_then(|v| {
+                v.parse()
+                    .map(|n| max_resident_mb = Some(n))
+                    .map_err(|_| format!("bad --max-resident-mb {v:?}"))
+            }),
             "--log-level" => value("--log-level").and_then(|v| {
                 v.parse()
                     .map(|l| config.log_level = l)
@@ -164,9 +178,15 @@ fn main() -> ExitCode {
     if persist && snapshot_dir.is_none() {
         return fail("--persist requires --snapshot-dir");
     }
+    if max_resident_mb.is_some() && snapshot_dir.is_none() {
+        return fail("--max-resident-mb requires --snapshot-dir");
+    }
     let mut registry = Registry::new(capacity, mode);
     if let Some(dir) = &snapshot_dir {
         registry = registry.with_snapshot_dir(dir);
+    }
+    if let Some(mb) = max_resident_mb {
+        registry = registry.with_resident_budget_mb(mb);
     }
     let registry = Arc::new(registry);
     registry.register_all(specs);
@@ -197,7 +217,7 @@ fn main() -> ExitCode {
         Err(err) => return fail(&format!("failed to bind: {err}")),
     };
     eprintln!(
-        "matchd: listening on http://{} ({} workers, capacity {}, mode {}, corpora: {}{})",
+        "matchd: listening on http://{} ({} workers, capacity {}, mode {}, corpora: {}{}{})",
         server.addr(),
         workers,
         registry.capacity(),
@@ -205,6 +225,10 @@ fn main() -> ExitCode {
         registry.names().join(", "),
         match registry.snapshot_dir() {
             Some(dir) => format!(", snapshots in {}", dir.display()),
+            None => String::new(),
+        },
+        match max_resident_mb {
+            Some(mb) => format!(", resident budget {mb} MB"),
             None => String::new(),
         }
     );

@@ -32,6 +32,20 @@
 //! never trusted: the snapshot layer validates a corpus fingerprint, format
 //! version and checksum, and any rejection simply falls back to building.
 //!
+//! ## The out-of-core tier
+//!
+//! [`Registry::with_resident_budget_mb`] turns the disk tier into a real
+//! out-of-core store: spills are written in the directly-addressable (v4)
+//! snapshot format, cold loads **memory-map** those files instead of
+//! decoding them onto the heap (artifacts borrow from the mapping and
+//! materialize lazily per channel on first touch), and whenever the total
+//! *materialized* bytes across resident sessions exceed the budget, LRU
+//! sessions are evicted by dropping their maps — the disk file already
+//! holds their artifacts, so re-opening is another cheap map, not a
+//! rebuild. A registry can thereby advertise a corpus set many times its
+//! budget while its heap working set stays bounded. Orphaned `.tmp` files
+//! from a crashed save are swept at startup.
+//!
 //! ## Live corpora
 //!
 //! [`Registry::mutate`] applies a [`CorpusDelta`] to the resident session
@@ -59,10 +73,10 @@ use serde::{Deserialize, Serialize};
 
 use wiki_corpus::{Dataset, Language, ScaleTier, SyntheticConfig};
 use wiki_query::CorrespondenceDictionary;
-use wikimatch::snapshot::EngineSnapshot;
+use wikimatch::snapshot::{EngineSnapshot, FORMAT_VERSION};
 use wikimatch::{
     corpus_fingerprint, ComputeMode, CorpusDelta, DeltaJournal, DeltaReport, EngineStats,
-    MatchEngine, SnapshotError,
+    MappedSnapshot, MatchEngine, SnapshotError, DIRECT_FORMAT_VERSION,
 };
 
 /// Journal length at which [`Registry::mutate`] compacts: the whole chain
@@ -83,13 +97,45 @@ enum SpillMode {
     Background,
 }
 
+/// On-disk encoding the registry spills sessions in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SnapshotFormat {
+    /// The compact varint wire/archive encoding (format v3).
+    Compact,
+    /// The directly-addressable layout (format v4), memory-mappable by the
+    /// out-of-core tier.
+    Direct,
+}
+
+impl SnapshotFormat {
+    fn version(self) -> u32 {
+        match self {
+            SnapshotFormat::Compact => FORMAT_VERSION,
+            SnapshotFormat::Direct => DIRECT_FORMAT_VERSION,
+        }
+    }
+}
+
 /// Captures and saves one session's artifacts, bumping the corpus'
 /// `snapshot_saves` on success. Failures are reported and swallowed:
 /// persistence is an optimisation, never a serving error.
-fn spill_to(path: &Path, entry: &CorpusEntry, engine: &MatchEngine) {
+fn spill_to(path: &Path, entry: &CorpusEntry, engine: &MatchEngine, format: SnapshotFormat) {
+    // A disk snapshot already at the engine's fingerprint, in the wanted
+    // format, makes the capture redundant — the common case when a mapped,
+    // never-mutated session is evicted under the resident budget: dropping
+    // the map *is* the spill.
+    if let Ok((version, fingerprint)) = EngineSnapshot::peek_header(path) {
+        if version == format.version() && fingerprint == engine.fingerprint() {
+            return;
+        }
+    }
     // Sparse-mode engines (`--mode filtered` / `--mode lsh`) refuse
     // capture: their registries simply run without a disk tier.
-    match EngineSnapshot::capture(engine).and_then(|snapshot| snapshot.save(path)) {
+    let result = EngineSnapshot::capture(engine).and_then(|snapshot| match format {
+        SnapshotFormat::Compact => snapshot.save(path),
+        SnapshotFormat::Direct => snapshot.save_direct(path),
+    });
+    match result {
         Ok(()) => {
             entry.snapshot_saves.fetch_add(1, Ordering::Relaxed);
         }
@@ -331,6 +377,16 @@ pub struct CorpusStats {
     pub journal_bytes: u64,
     /// Times the journal was compacted into a single composed record.
     pub compactions: u64,
+    /// Heap bytes held by the resident session's artifacts (0 while cold).
+    /// For a mapped session this counts only what has been *materialized* —
+    /// the working set the `--max-resident-mb` budget evicts against.
+    pub resident_bytes: u64,
+    /// Bytes of memory-mapped snapshot backing the resident session (0
+    /// while cold, or when the session owns its artifacts on the heap).
+    pub mapped_bytes: u64,
+    /// Lazy materialisations of mapped channels since the session was
+    /// opened (0 for owned sessions).
+    pub page_ins: u64,
     /// Activity counters of the resident engine (`None` while cold).
     pub engine: Option<EngineStats>,
 }
@@ -344,8 +400,17 @@ pub struct RegistryStats {
     pub mode: ComputeMode,
     /// Directory of the snapshot disk tier (`None` when disabled).
     pub snapshot_dir: Option<String>,
+    /// Resident-bytes budget of the out-of-core tier, in bytes (`None`
+    /// when unlimited).
+    pub resident_budget_bytes: Option<u64>,
     /// Currently resident sessions.
     pub resident: usize,
+    /// Total artifact heap bytes across resident sessions.
+    pub resident_bytes: u64,
+    /// Total memory-mapped snapshot bytes across resident sessions.
+    pub mapped_bytes: u64,
+    /// Total lazy page-ins across resident sessions.
+    pub page_ins: u64,
     /// Per-corpus stats, in registration order.
     pub corpora: Vec<CorpusStats>,
 }
@@ -360,6 +425,9 @@ pub struct Registry {
     mode: ComputeMode,
     /// Directory of the snapshot disk tier; `None` disables persistence.
     snapshot_dir: Option<PathBuf>,
+    /// Resident-bytes budget of the out-of-core tier, in bytes; `None`
+    /// means unlimited (the LRU capacity is the only bound).
+    resident_budget: Option<u64>,
     /// Registered corpora; `Vec` keeps registration order for `/stats`.
     entries: RwLock<Vec<Arc<CorpusEntry>>>,
     /// LRU bookkeeping: name → last-used tick, for resident corpora only.
@@ -380,6 +448,7 @@ impl Registry {
             capacity: capacity.max(1),
             mode,
             snapshot_dir: None,
+            resident_budget: None,
             entries: RwLock::new(Vec::new()),
             lru: Mutex::new(LruState::default()),
         }
@@ -390,9 +459,73 @@ impl Registry {
     /// spill their artifacts there, and [`warm`](Self::warm) writes
     /// through. See [`wikimatch::snapshot`] for the file format and its
     /// validation (fingerprint, version, checksum).
+    ///
+    /// Orphaned temporary files from a save that crashed mid-write (the
+    /// atomic-save protocol writes `.{name}.tmp-{pid}-{seq}` siblings and
+    /// renames them into place) are swept from `dir` here, so they cannot
+    /// accumulate across restarts.
     pub fn with_snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.snapshot_dir = Some(dir.into());
+        let dir = dir.into();
+        Self::sweep_orphaned_tmp(&dir);
+        self.snapshot_dir = Some(dir);
         self
+    }
+
+    /// Enables the out-of-core resident-bytes budget: snapshots are written
+    /// in the directly-addressable (v4) format, cold loads memory-map them
+    /// instead of decoding onto the heap, and whenever the *materialized*
+    /// bytes across resident sessions exceed `mb` megabytes, least-recently
+    /// used sessions are evicted (their maps dropped) until the total is
+    /// back under budget — always keeping at least the most recent session
+    /// resident. Requires a snapshot directory, which is where the mapped
+    /// files live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshot directory is configured; call
+    /// [`with_snapshot_dir`](Self::with_snapshot_dir) first.
+    pub fn with_resident_budget_mb(mut self, mb: u64) -> Self {
+        assert!(
+            self.snapshot_dir.is_some(),
+            "a resident budget requires a snapshot directory (call with_snapshot_dir first)"
+        );
+        self.resident_budget = Some(mb.saturating_mul(1024 * 1024));
+        self
+    }
+
+    /// Removes orphaned snapshot/journal temp files (left by a crash
+    /// between the temp write and the rename) from the disk-tier directory.
+    fn sweep_orphaned_tmp(dir: &Path) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return; // Directory not created yet: nothing to sweep.
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with('.') && name.contains(".tmp-") {
+                let path = entry.path();
+                match std::fs::remove_file(&path) {
+                    Ok(()) => {
+                        eprintln!("info: swept orphaned snapshot temp file {}", path.display())
+                    }
+                    Err(err) => eprintln!(
+                        "warning: failed to sweep orphaned temp file {}: {err}",
+                        path.display()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// The format [`spill_to`] writes: directly-addressable under a
+    /// resident budget (so the next cold load can map it), compact
+    /// otherwise.
+    fn snapshot_format(&self) -> SnapshotFormat {
+        if self.resident_budget.is_some() {
+            SnapshotFormat::Direct
+        } else {
+            SnapshotFormat::Compact
+        }
     }
 
     /// The snapshot directory of the disk tier, if enabled.
@@ -531,7 +664,21 @@ impl Registry {
         let mut journal = self.resident_journal(entry, base_fingerprint);
 
         let snapshot = self.snapshot_path(&entry.spec.name).and_then(|path| {
-            match EngineSnapshot::load(&path) {
+            // Under a resident budget the out-of-core open is preferred:
+            // a directly-addressable (v4) file is validated and *mapped* —
+            // its artifacts borrow from the file and materialize lazily. A
+            // compact (v3) file falls back to the owned decoder; the next
+            // spill rewrites it in the direct form.
+            let loaded = if self.resident_budget.is_some() {
+                match MappedSnapshot::open(&path) {
+                    Ok(mapped) => Ok(mapped.snapshot),
+                    Err(SnapshotError::UnsupportedVersion { .. }) => EngineSnapshot::load(&path),
+                    Err(err) => Err(err),
+                }
+            } else {
+                EngineSnapshot::load(&path)
+            };
+            match loaded {
                 Ok(snapshot) => Some(snapshot),
                 // No snapshot yet: the common cold-start case, not an error.
                 Err(SnapshotError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => None,
@@ -646,7 +793,7 @@ impl Registry {
         let Some(path) = self.snapshot_path(&entry.spec.name) else {
             return;
         };
-        spill_to(&path, entry, engine);
+        spill_to(&path, entry, engine, self.snapshot_format());
     }
 
     /// Spills every currently resident session to the disk tier — the
@@ -767,6 +914,11 @@ impl Registry {
         if built_here {
             self.enforce_capacity();
         }
+        // The budget is enforced on every access, not just on builds:
+        // mapped sessions grow their materialized working set lazily as
+        // channels are touched, so a hit can tip the total over as surely
+        // as a build can.
+        self.enforce_budget();
         Ok(cached)
     }
 
@@ -934,15 +1086,18 @@ impl Registry {
             // session meanwhile — the artifacts are identical either way,
             // and the save is atomic).
             if let Some(path) = self.snapshot_path(name) {
+                let format = self.snapshot_format();
                 match mode {
-                    SpillMode::Synchronous => spill_to(&path, &entry, cached.engine()),
+                    SpillMode::Synchronous => spill_to(&path, &entry, cached.engine(), format),
                     // LRU pressure evicts on whatever worker thread tipped
                     // the capacity — that request must not pay for a
                     // multi-megabyte serialization of an unrelated corpus,
                     // so the spill moves to a background thread.
                     SpillMode::Background => {
                         let entry = Arc::clone(&entry);
-                        std::thread::spawn(move || spill_to(&path, &entry, cached.engine()));
+                        std::thread::spawn(move || {
+                            spill_to(&path, &entry, cached.engine(), format)
+                        });
                     }
                 }
             }
@@ -998,6 +1153,53 @@ impl Registry {
         }
     }
 
+    /// Evicts least-recently-used sessions (dropping their maps — the disk
+    /// file already holds their artifacts) while the total *materialized*
+    /// bytes across resident sessions exceed the resident budget, keeping a
+    /// floor of one resident session so the corpus just served always
+    /// survives. No-op without a budget.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.resident_budget else {
+            return;
+        };
+        loop {
+            let entries: Vec<Arc<CorpusEntry>> = recover(self.entries.read()).clone();
+            let mut resident: Vec<(String, u64)> = Vec::new();
+            for entry in &entries {
+                if let Some(cached) = entry.resident() {
+                    resident.push((
+                        entry.spec.name.clone(),
+                        cached.engine().stats().resident_bytes,
+                    ));
+                }
+            }
+            let total: u64 = resident.iter().map(|(_, bytes)| bytes).sum();
+            if resident.len() <= 1 || total <= budget {
+                return;
+            }
+            // Same victim rule as `enforce_capacity`: the global-oldest
+            // entry by (tick, name), so concurrent enforcers agree.
+            let victim = {
+                let lru = recover(self.lru.lock());
+                resident
+                    .iter()
+                    .min_by_key(|(name, _)| {
+                        (lru.last_used.get(name).copied().unwrap_or(0), name.clone())
+                    })
+                    .map(|(name, _)| name.clone())
+            };
+            match victim {
+                Some(name) => {
+                    if self.evict_spilling(&name, SpillMode::Background).is_err() {
+                        let mut lru = recover(self.lru.lock());
+                        lru.last_used.remove(&name);
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+
     /// A point-in-time snapshot of the registry.
     pub fn stats(&self) -> RegistryStats {
         let entries = recover(self.entries.read());
@@ -1014,9 +1216,10 @@ impl Registry {
                         _ => (0, 0),
                     }
                 };
+                let engine = resident.map(|cached| cached.engine().stats());
                 CorpusStats {
                     name: entry.spec.name.clone(),
-                    resident: resident.is_some(),
+                    resident: engine.is_some(),
                     hits: entry.hits.load(Ordering::Relaxed),
                     misses: entry.misses.load(Ordering::Relaxed),
                     builds: entry.builds.load(Ordering::Relaxed),
@@ -1026,7 +1229,10 @@ impl Registry {
                     journal_records,
                     journal_bytes,
                     compactions: entry.compactions.load(Ordering::Relaxed),
-                    engine: resident.map(|cached| cached.engine().stats()),
+                    resident_bytes: engine.as_ref().map_or(0, |e| e.resident_bytes),
+                    mapped_bytes: engine.as_ref().map_or(0, |e| e.mapped_bytes),
+                    page_ins: engine.as_ref().map_or(0, |e| e.page_ins),
+                    engine,
                 }
             })
             .collect();
@@ -1037,7 +1243,11 @@ impl Registry {
                 .snapshot_dir
                 .as_ref()
                 .map(|dir| dir.display().to_string()),
+            resident_budget_bytes: self.resident_budget,
             resident: corpora.iter().filter(|c| c.resident).count(),
+            resident_bytes: corpora.iter().map(|c| c.resident_bytes).sum(),
+            mapped_bytes: corpora.iter().map(|c| c.mapped_bytes).sum(),
+            page_ins: corpora.iter().map(|c| c.page_ins).sum(),
             corpora,
         }
     }
@@ -1523,6 +1733,110 @@ mod tests {
         assert_eq!(restored.engine().fingerprint(), report.fingerprint);
         assert_eq!(restored.engine().stats().deltas_applied, 1);
         assert_eq!(second.stats().corpora[0].snapshot_loads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_swept_at_startup() {
+        let dir = snapshot_dir("sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Orphans in the atomic-save naming scheme, plus files that must
+        // survive: a real snapshot, a journal, and a dot-file that is not
+        // a save temp.
+        std::fs::write(dir.join(".a.snap.tmp-12345-0"), b"torn").unwrap();
+        std::fs::write(dir.join(".b.journal.tmp-9-17"), b"torn").unwrap();
+        std::fs::write(dir.join("a.snap"), b"keep").unwrap();
+        std::fs::write(dir.join("a.journal"), b"keep").unwrap();
+        std::fs::write(dir.join(".hidden"), b"keep").unwrap();
+        let _registry = registry_with(&["a"], 1).with_snapshot_dir(&dir);
+        let mut files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        files.sort();
+        assert_eq!(files, [".hidden", "a.journal", "a.snap"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_budgeted_registry_maps_snapshots_and_reports_residency() {
+        let dir = snapshot_dir("mapped");
+        // Warm under a generous budget: the write-through spill lands in
+        // the directly-addressable format.
+        let first = registry_with(&["a"], 1)
+            .with_snapshot_dir(&dir)
+            .with_resident_budget_mb(1024);
+        let warmed = first.warm("a").unwrap();
+        let reference = warmed.engine().align("film").unwrap().cross_pairs();
+        drop(warmed);
+        let (version, _) = EngineSnapshot::peek_header(&dir.join("a.snap")).unwrap();
+        assert_eq!(version, DIRECT_FORMAT_VERSION);
+
+        // A restarted budgeted registry memory-maps the file: zero artifact
+        // builds, mapped bytes reported, page-ins grow as channels are
+        // touched — and the alignments are identical.
+        let second = registry_with(&["a"], 1)
+            .with_snapshot_dir(&dir)
+            .with_resident_budget_mb(1024);
+        let restored = second.corpus("a").unwrap();
+        assert_eq!(restored.engine().stats().artifact_builds, 0);
+        let stats = second.stats();
+        assert_eq!(stats.resident_budget_bytes, Some(1024 * 1024 * 1024));
+        assert_eq!(stats.corpora[0].snapshot_loads, 1);
+        assert!(
+            stats.corpora[0].mapped_bytes > 0,
+            "budgeted load did not map: {stats:?}"
+        );
+        let pages_before = stats.corpora[0].page_ins;
+        assert_eq!(
+            restored.engine().align("film").unwrap().cross_pairs(),
+            reference
+        );
+        let after = second.stats();
+        assert!(
+            after.corpora[0].page_ins > pages_before,
+            "align paged nothing in"
+        );
+        assert!(after.corpora[0].resident_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_resident_budget_evicts_down_to_a_floor_of_one() {
+        let dir = snapshot_dir("budget");
+        // Capacity would allow 4 residents, but a zero-MB budget forces
+        // every access to evict back down to the floor of one.
+        let registry = registry_with(&["a", "b", "c"], 4)
+            .with_snapshot_dir(&dir)
+            .with_resident_budget_mb(0);
+        registry.corpus("a").unwrap();
+        registry
+            .corpus("a")
+            .unwrap()
+            .engine()
+            .align("film")
+            .unwrap();
+        assert_eq!(registry.stats().resident, 1);
+        registry.corpus("b").unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.resident, 1, "budget kept two residents: {stats:?}");
+        let by_name = |n: &str| stats.corpora.iter().find(|c| c.name == n).unwrap().clone();
+        assert!(!by_name("a").resident);
+        assert!(by_name("b").resident);
+        assert_eq!(by_name("a").evictions, 1);
+        // The evicted corpus comes back from its mapped spill, not a
+        // rebuild. The background spill races this reload, so wait for
+        // the snapshot file to appear before asking for the corpus again.
+        let path = dir.join("a.snap");
+        for _ in 0..200 {
+            if path.is_file() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(path.is_file(), "eviction never spilled a.snap");
+        let restored = registry.corpus("a").unwrap();
+        assert_eq!(restored.engine().stats().artifact_builds, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

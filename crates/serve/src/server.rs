@@ -735,6 +735,26 @@ fn handle_metrics(shared: &Shared) -> Response {
     registry
         .gauge("wm_registry_capacity", "Maximum resident engine sessions.")
         .set(stats.capacity as i64);
+    registry
+        .gauge(
+            "wm_registry_resident_bytes",
+            "Total materialized artifact heap bytes across resident sessions.",
+        )
+        .set(stats.resident_bytes as i64);
+    registry
+        .gauge(
+            "wm_registry_mapped_bytes",
+            "Total memory-mapped snapshot bytes across resident sessions.",
+        )
+        .set(stats.mapped_bytes as i64);
+    if let Some(budget) = stats.resident_budget_bytes {
+        registry
+            .gauge(
+                "wm_registry_resident_budget_bytes",
+                "Resident-bytes budget of the out-of-core tier.",
+            )
+            .set(budget as i64);
+    }
     for corpus in &stats.corpora {
         registry
             .gauge_with(
@@ -757,6 +777,27 @@ fn handle_metrics(shared: &Shared) -> Response {
                 &[("corpus", &corpus.name)],
             )
             .store(corpus.builds);
+        registry
+            .gauge_with(
+                "wm_corpus_resident_bytes",
+                "Materialized artifact heap bytes of the corpus' resident session.",
+                &[("corpus", &corpus.name)],
+            )
+            .set(corpus.resident_bytes as i64);
+        registry
+            .gauge_with(
+                "wm_corpus_mapped_bytes",
+                "Memory-mapped snapshot bytes backing the corpus' resident session.",
+                &[("corpus", &corpus.name)],
+            )
+            .set(corpus.mapped_bytes as i64);
+        registry
+            .counter_with(
+                "wm_corpus_page_ins_total",
+                "Lazy materialisations of mapped channels for the corpus.",
+                &[("corpus", &corpus.name)],
+            )
+            .store(corpus.page_ins);
     }
     Response::text(200, registry.render())
 }

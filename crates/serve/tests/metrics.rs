@@ -159,6 +159,104 @@ fn metrics_exposition_is_valid_and_aligns_move_the_request_histogram() {
     server.shutdown();
 }
 
+/// Out-of-core gauges over the wire: a budgeted server mapping a v4
+/// snapshot must report `resident_bytes` / `mapped_bytes` / `page_ins` per
+/// corpus both in the `/stats` JSON and as `/metrics` gauges.
+#[test]
+fn out_of_core_gauges_are_served_in_stats_and_metrics() {
+    let name = "pt-tiny-ooc";
+    let dir = std::env::temp_dir().join(format!("wm-metrics-ooc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Seed the disk tier with a directly-addressable snapshot.
+    {
+        let seed = Registry::new(2, ComputeMode::default())
+            .with_snapshot_dir(&dir)
+            .with_resident_budget_mb(1024);
+        seed.register(tiny_spec(name));
+        seed.warm(name)
+            .expect("warm writes the v4 snapshot through");
+    }
+
+    // A fresh budgeted server over the same directory memory-maps it.
+    let registry = Arc::new(
+        Registry::new(2, ComputeMode::default())
+            .with_snapshot_dir(&dir)
+            .with_resident_budget_mb(1024),
+    );
+    registry.register(tiny_spec(name));
+    let server =
+        MatchServer::start(registry, default_config()).expect("server binds an ephemeral port");
+    let mut client = MatchClient::new(server.addr()).expect("client resolves the server address");
+
+    let response = client
+        .post(
+            "/align",
+            &AlignRequest {
+                corpus: name.to_string(),
+                type_id: Some("film".to_string()),
+            },
+        )
+        .expect("align request");
+    assert!(response.is_success(), "{}", response.body);
+
+    // `/stats`: the per-corpus and registry-wide residency fields.
+    let stats: StatsResponse = client
+        .get("/stats")
+        .expect("GET /stats")
+        .json()
+        .expect("stats parses");
+    assert_eq!(
+        stats.registry.resident_budget_bytes,
+        Some(1024 * 1024 * 1024)
+    );
+    let corpus = stats
+        .registry
+        .corpora
+        .iter()
+        .find(|c| c.name == name)
+        .expect("registered corpus in /stats");
+    assert_eq!(corpus.snapshot_loads, 1, "server did not load the snapshot");
+    assert!(corpus.mapped_bytes > 0, "session not mapped: {corpus:?}");
+    assert!(corpus.resident_bytes > 0, "align materialized nothing");
+    assert!(corpus.page_ins > 0, "align paged nothing in");
+    assert_eq!(stats.registry.mapped_bytes, corpus.mapped_bytes);
+
+    // `/metrics`: the same values as labelled gauges/counters.
+    let (text, samples) = scrape(&mut client);
+    for family in [
+        "# TYPE wm_corpus_resident_bytes gauge",
+        "# TYPE wm_corpus_mapped_bytes gauge",
+        "# TYPE wm_corpus_page_ins_total counter",
+        "# TYPE wm_registry_resident_bytes gauge",
+        "# TYPE wm_registry_mapped_bytes gauge",
+        "# TYPE wm_registry_resident_budget_bytes gauge",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+    let labelled = |metric: &str| -> f64 {
+        samples
+            .iter()
+            .find(|s| s.name == metric && s.label("corpus") == Some(name))
+            .unwrap_or_else(|| panic!("{metric}{{corpus={name}}} missing"))
+            .value
+    };
+    assert_eq!(
+        labelled("wm_corpus_mapped_bytes"),
+        corpus.mapped_bytes as f64
+    );
+    assert!(labelled("wm_corpus_resident_bytes") > 0.0);
+    assert!(labelled("wm_corpus_page_ins_total") > 0.0);
+    let budget = samples
+        .iter()
+        .find(|s| s.name == "wm_registry_resident_budget_bytes")
+        .expect("budget gauge present")
+        .value;
+    assert_eq!(budget, (1024u64 * 1024 * 1024) as f64);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn stats_reports_uptime_workers_and_queue_gauge() {
     let (server, mut client) = boot("pt-tiny-statsobs", default_config());

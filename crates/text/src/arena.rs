@@ -21,18 +21,72 @@
 //! term occurrences cheaply), and [`TermArenaBuilder::freeze`] sorts the
 //! vocabulary once, producing the arena plus the provisional → final id
 //! remap.
+//!
+//! ## Owned vs mapped storage
+//!
+//! An arena normally owns its string table on the heap. It can instead be a
+//! zero-copy *view* over an externally-owned [`ByteRegion`]
+//! ([`TermArena::from_mapped`]): a `(len + 1)`-entry little-endian `u32`
+//! offset table plus the concatenated UTF-8 term bytes. `resolve` then
+//! slices straight out of the region — no per-term allocation ever happens,
+//! so a mapped arena contributes zero resident heap bytes
+//! ([`TermArena::heap_bytes`]). All order/UTF-8 invariants are validated
+//! once at construction; lookups stay infallible. Rust's `str` ordering is
+//! plain byte-wise comparison, so the sortedness check over raw bytes is
+//! exactly the invariant `intern`'s binary search needs.
 
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::{Arc, OnceLock};
+
+use crate::region::ByteRegion;
+
+/// Backing storage of a [`TermArena`]: heap-owned strings or a zero-copy
+/// view into an externally-owned byte region.
+#[derive(Debug, Clone)]
+enum Store {
+    /// Strictly sorted, duplicate-free terms; index = id.
+    Owned(Vec<String>),
+    /// Borrowed view: `offsets` holds `(len + 1)` little-endian `u32`s into
+    /// `bytes` (both ranges index into the region), validated at
+    /// construction to be monotone, in-bounds, UTF-8 and strictly sorted.
+    Mapped {
+        region: Arc<dyn ByteRegion>,
+        offsets: Range<usize>,
+        bytes: Range<usize>,
+        len: usize,
+    },
+}
 
 /// A frozen, lexicographically sorted vocabulary assigning dense `u32` term
 /// ids in term order (see the module docs for the id-order invariant).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone)]
 pub struct TermArena {
-    /// Strictly sorted, duplicate-free terms; index = id.
-    terms: Vec<String>,
-    /// Total bytes of interned term text (the memory-footprint gauge).
+    store: Store,
+    /// Total bytes of term text (the memory-footprint gauge), whether the
+    /// text lives on the heap or in the mapped region.
     bytes: usize,
+}
+
+impl Default for TermArena {
+    fn default() -> Self {
+        TermArena {
+            store: Store::Owned(Vec::new()),
+            bytes: 0,
+        }
+    }
+}
+
+impl PartialEq for TermArena {
+    fn eq(&self, other: &Self) -> bool {
+        // Owned/owned is the common case and compares the vectors directly;
+        // any mapped side falls back to the term walk (identical content is
+        // equal regardless of where the bytes live).
+        if let (Store::Owned(a), Store::Owned(b)) = (&self.store, &other.store) {
+            return a == b;
+        }
+        self.len() == other.len() && self.terms().eq(other.terms())
+    }
 }
 
 impl TermArena {
@@ -52,16 +106,122 @@ impl TermArena {
             return None;
         }
         let bytes = terms.iter().map(String::len).sum();
-        Some(TermArena { terms, bytes })
+        Some(TermArena {
+            store: Store::Owned(terms),
+            bytes,
+        })
+    }
+
+    /// Builds a zero-copy arena view over `region`: `offsets` is the byte
+    /// range of a `(len + 1)`-entry little-endian `u32` offset table into
+    /// the term text at `bytes` (offsets are relative to the start of the
+    /// `bytes` range). Returns `None` unless every invariant holds: ranges
+    /// in bounds, offset table exactly sized, offsets monotone from `0` to
+    /// `bytes.len()`, every term valid UTF-8, and the terms strictly sorted
+    /// — after which `resolve`/`intern` are infallible and allocation-free.
+    pub fn from_mapped(
+        region: Arc<dyn ByteRegion>,
+        offsets: Range<usize>,
+        bytes: Range<usize>,
+        len: usize,
+    ) -> Option<TermArena> {
+        let data = region.bytes();
+        if offsets.end > data.len() || offsets.start > offsets.end {
+            return None;
+        }
+        if bytes.end > data.len() || bytes.start > bytes.end {
+            return None;
+        }
+        if offsets.len() != len.checked_add(1)?.checked_mul(4)? {
+            return None;
+        }
+        let text_len = bytes.len();
+        let offset_at = |i: usize| -> usize {
+            let at = offsets.start + i * 4;
+            u32::from_le_bytes(data[at..at + 4].try_into().expect("4-byte slice")) as usize
+        };
+        if len == 0 {
+            if offset_at(0) != 0 || text_len != 0 {
+                return None;
+            }
+            return Some(TermArena {
+                store: Store::Mapped {
+                    region,
+                    offsets,
+                    bytes,
+                    len,
+                },
+                bytes: 0,
+            });
+        }
+        if offset_at(0) != 0 || offset_at(len) != text_len {
+            return None;
+        }
+        let mut prev: Option<&[u8]> = None;
+        for i in 0..len {
+            let (start, end) = (offset_at(i), offset_at(i + 1));
+            if start > end || end > text_len {
+                return None;
+            }
+            let term = &data[bytes.start + start..bytes.start + end];
+            if std::str::from_utf8(term).is_err() {
+                return None;
+            }
+            // Strict byte-wise sortedness == strict `str` sortedness.
+            if prev.is_some_and(|p| p >= term) {
+                return None;
+            }
+            prev = Some(term);
+        }
+        Some(TermArena {
+            store: Store::Mapped {
+                region,
+                offsets,
+                bytes,
+                len,
+            },
+            bytes: text_len,
+        })
+    }
+
+    /// The term at index `i`, from either store.
+    #[inline]
+    fn term_at(&self, i: usize) -> &str {
+        match &self.store {
+            Store::Owned(terms) => &terms[i],
+            Store::Mapped {
+                region,
+                offsets,
+                bytes,
+                ..
+            } => {
+                let data = region.bytes();
+                let at = offsets.start + i * 4;
+                let lo =
+                    u32::from_le_bytes(data[at..at + 4].try_into().expect("4-byte slice")) as usize;
+                let hi = u32::from_le_bytes(data[at + 4..at + 8].try_into().expect("4-byte slice"))
+                    as usize;
+                std::str::from_utf8(&data[bytes.start + lo..bytes.start + hi])
+                    .expect("validated UTF-8 at construction")
+            }
+        }
     }
 
     /// The id of `term`, or `None` when the term is not in the vocabulary.
     #[inline]
     pub fn intern(&self, term: &str) -> Option<u32> {
-        self.terms
-            .binary_search_by(|t| t.as_str().cmp(term))
-            .ok()
-            .map(|i| i as u32)
+        // Manual binary search over `term_at` so both stores share one
+        // lookup path (the owned store's slice search would be identical).
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.term_at(mid).cmp(term) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid as u32),
+            }
+        }
+        None
     }
 
     /// The term behind `id`.
@@ -71,27 +231,47 @@ impl TermArena {
     /// arena's builder, so an out-of-range id is a logic error.
     #[inline]
     pub fn resolve(&self, id: u32) -> &str {
-        &self.terms[id as usize]
+        self.term_at(id as usize)
     }
 
     /// Number of distinct terms.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        match &self.store {
+            Store::Owned(terms) => terms.len(),
+            Store::Mapped { len, .. } => *len,
+        }
     }
 
     /// True when the arena holds no terms.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.len() == 0
     }
 
-    /// Total bytes of interned term text (excluding per-`String` overhead).
+    /// Total bytes of interned term text (excluding per-`String` overhead),
+    /// wherever the text lives.
     pub fn term_bytes(&self) -> usize {
         self.bytes
     }
 
+    /// Bytes of term text held on the *heap*: equal to
+    /// [`term_bytes`](Self::term_bytes) for an owned arena, `0` for a
+    /// mapped view (its text belongs to the region) — the split the
+    /// out-of-core accounting reports as resident vs mapped.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.store {
+            Store::Owned(_) => self.bytes,
+            Store::Mapped { .. } => 0,
+        }
+    }
+
+    /// True when the string table is a zero-copy view into a byte region.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.store, Store::Mapped { .. })
+    }
+
     /// Iterates over the terms in id (= lexicographic) order.
     pub fn terms(&self) -> impl Iterator<Item = &str> {
-        self.terms.iter().map(String::as_str)
+        (0..self.len()).map(|i| self.term_at(i))
     }
 
     /// Builds the sorted union of this arena's vocabulary and `new_terms`
@@ -105,7 +285,8 @@ impl TermArena {
     /// `remap`, so term vectors migrate to the extended arena with one
     /// linear pass and no re-sorting — the operation delta ingestion uses to
     /// keep clean vectors bit-identical while new terms join the
-    /// vocabulary.
+    /// vocabulary. The extended arena always owns its table (it carries
+    /// terms the region does not have).
     pub fn extended_with<I, S>(&self, new_terms: I) -> (Arc<TermArena>, Vec<u32>)
     where
         I: IntoIterator<Item = S>,
@@ -119,31 +300,46 @@ impl TermArena {
         additions.sort_unstable();
         additions.dedup();
 
-        let mut terms = Vec::with_capacity(self.terms.len() + additions.len());
-        let mut remap = Vec::with_capacity(self.terms.len());
+        let mut terms = Vec::with_capacity(self.len() + additions.len());
+        let mut remap = Vec::with_capacity(self.len());
         let mut extra = additions.into_iter().peekable();
-        for old in &self.terms {
-            while extra.peek().is_some_and(|t| t.as_str() < old.as_str()) {
+        for old in self.terms() {
+            while extra.peek().is_some_and(|t| t.as_str() < old) {
                 terms.push(extra.next().expect("peeked"));
             }
             remap.push(terms.len() as u32);
-            terms.push(old.clone());
+            terms.push(old.to_string());
         }
         terms.extend(extra);
         let bytes = terms.iter().map(String::len).sum();
-        (Arc::new(TermArena { terms, bytes }), remap)
+        (
+            Arc::new(TermArena {
+                store: Store::Owned(terms),
+                bytes,
+            }),
+            remap,
+        )
     }
 
     /// Inserts `term` at its sorted position, returning its id. Existing ids
     /// at or after that position shift up by one — callers holding entry
     /// lists must remap them. Only used by the copy-on-write `add` path of
-    /// [`crate::TermVector`]; frozen shared arenas are never mutated.
+    /// [`crate::TermVector`]; frozen shared arenas are never mutated. A
+    /// mapped view converts to an owned table first (mutation cannot touch
+    /// the region).
     pub(crate) fn insert(&mut self, term: String) -> (u32, bool) {
-        match self.terms.binary_search_by(|t| t.as_str().cmp(&term)) {
+        if let Store::Mapped { .. } = self.store {
+            let owned: Vec<String> = self.terms().map(str::to_string).collect();
+            self.store = Store::Owned(owned);
+        }
+        let Store::Owned(terms) = &mut self.store else {
+            unreachable!("mapped store converted above");
+        };
+        match terms.binary_search_by(|t| t.as_str().cmp(&term)) {
             Ok(i) => (i as u32, false),
             Err(i) => {
                 self.bytes += term.len();
-                self.terms.insert(i, term);
+                terms.insert(i, term);
                 (i as u32, true)
             }
         }
@@ -222,7 +418,7 @@ impl TermArenaBuilder {
         let bytes = sorted.iter().map(String::len).sum();
         (
             Arc::new(TermArena {
-                terms: sorted,
+                store: Store::Owned(sorted),
                 bytes,
             }),
             remap,
@@ -253,6 +449,8 @@ mod tests {
         assert_eq!(arena.intern("mango"), Some(remap[mango as usize]));
         assert_eq!(arena.intern("missing"), None);
         assert_eq!(arena.term_bytes(), "applemangozebra".len());
+        assert_eq!(arena.heap_bytes(), arena.term_bytes());
+        assert!(!arena.is_mapped());
     }
 
     #[test]
@@ -304,5 +502,88 @@ mod tests {
         let b = TermArena::empty();
         assert!(Arc::ptr_eq(&a, &b));
         assert!(a.is_empty());
+    }
+
+    /// Serializes an arena into the mapped layout: `(len + 1)` LE u32
+    /// offsets followed by the term bytes, returning the two ranges.
+    fn mapped_layout(terms: &[&str]) -> (Vec<u8>, Range<usize>, Range<usize>) {
+        let mut buf = Vec::new();
+        let mut offset = 0u32;
+        buf.extend_from_slice(&offset.to_le_bytes());
+        for t in terms {
+            offset += t.len() as u32;
+            buf.extend_from_slice(&offset.to_le_bytes());
+        }
+        let offsets = 0..buf.len();
+        let start = buf.len();
+        for t in terms {
+            buf.extend_from_slice(t.as_bytes());
+        }
+        (buf.clone(), offsets, start..buf.len())
+    }
+
+    #[test]
+    fn mapped_view_resolves_interns_and_compares_like_the_owned_arena() {
+        let terms = ["apple", "mango", "zebra"];
+        let (buf, offsets, bytes) = mapped_layout(&terms);
+        let region: Arc<dyn ByteRegion> = Arc::new(buf);
+        let mapped = TermArena::from_mapped(region, offsets, bytes, terms.len()).unwrap();
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.len(), 3);
+        assert_eq!(mapped.resolve(1), "mango");
+        assert_eq!(mapped.intern("zebra"), Some(2));
+        assert_eq!(mapped.intern("missing"), None);
+        assert_eq!(mapped.term_bytes(), "applemangozebra".len());
+        assert_eq!(mapped.heap_bytes(), 0);
+        let owned =
+            TermArena::from_sorted_terms(terms.iter().map(|t| t.to_string()).collect()).unwrap();
+        assert_eq!(mapped, owned);
+        assert_eq!(owned, mapped);
+    }
+
+    #[test]
+    fn mapped_view_rejects_broken_invariants() {
+        let terms = ["apple", "mango", "zebra"];
+        let (buf, offsets, bytes) = mapped_layout(&terms);
+        let region: Arc<dyn ByteRegion> = Arc::new(buf.clone());
+        // Wrong length, out-of-bounds ranges, short offset tables.
+        assert!(
+            TermArena::from_mapped(Arc::clone(&region), offsets.clone(), bytes.clone(), 4)
+                .is_none()
+        );
+        assert!(TermArena::from_mapped(
+            Arc::clone(&region),
+            offsets.clone(),
+            bytes.start..bytes.end + 8,
+            3
+        )
+        .is_none());
+        assert!(TermArena::from_mapped(
+            Arc::clone(&region),
+            offsets.start..offsets.end - 4,
+            bytes.clone(),
+            3
+        )
+        .is_none());
+        // Unsorted terms are rejected.
+        let (ubuf, uoff, ubytes) = mapped_layout(&["zebra", "apple"]);
+        assert!(TermArena::from_mapped(Arc::new(ubuf), uoff, ubytes, 2).is_none());
+        // Invalid UTF-8 in the text section is rejected.
+        let mut bad = buf;
+        bad[bytes.start] = 0xff;
+        assert!(TermArena::from_mapped(Arc::new(bad), offsets, bytes, 3).is_none());
+    }
+
+    #[test]
+    fn mapped_insert_converts_to_owned_first() {
+        let (buf, offsets, bytes) = mapped_layout(&["b", "d"]);
+        let mut arena = TermArena::from_mapped(Arc::new(buf), offsets, bytes, 2).unwrap();
+        let (id, inserted) = arena.insert("c".to_string());
+        assert!(inserted);
+        assert_eq!(id, 1);
+        assert!(!arena.is_mapped());
+        let terms: Vec<&str> = arena.terms().collect();
+        assert_eq!(terms, vec!["b", "c", "d"]);
+        assert_eq!(arena.heap_bytes(), 3);
     }
 }

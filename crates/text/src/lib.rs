@@ -15,6 +15,9 @@
 //!   value vectors.
 //! * [`vector`] — sparse term-frequency vectors with cosine similarity, the
 //!   workhorse of the paper's `vsim`/`lsim` measures.
+//! * [`region`] — the [`ByteRegion`] handle that lets arenas and vectors
+//!   *borrow* their storage from an externally-owned byte buffer (a mapped
+//!   snapshot) instead of owning heap copies.
 //! * [`strsim`] — classic string-similarity functions (Levenshtein,
 //!   Jaro-Winkler, character n-grams, token overlap) needed by the
 //!   COMA++-style name matcher baseline.
@@ -30,6 +33,7 @@
 
 pub mod arena;
 pub mod normalize;
+pub mod region;
 pub mod strsim;
 pub mod tokenize;
 pub mod value;
@@ -37,6 +41,7 @@ pub mod vector;
 
 pub use arena::{TermArena, TermArenaBuilder};
 pub use normalize::{fold_diacritics, normalize, normalize_label};
+pub use region::ByteRegion;
 pub use strsim::{jaro_winkler, levenshtein, ngram_similarity, token_overlap};
 pub use tokenize::{tokenize_value, tokenize_words};
 pub use value::{parse_value, CanonicalValue};

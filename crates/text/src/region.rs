@@ -1,0 +1,47 @@
+//! Externally-owned byte regions that mapped artifacts can borrow from.
+//!
+//! The snapshot layer (in `wikimatch`) can map a v4 snapshot file into
+//! memory and hand its artifacts *views* into that mapping instead of heap
+//! copies. This crate must not know anything about files or `mmap`; it only
+//! needs a handle that (a) keeps the backing bytes alive for as long as any
+//! view exists and (b) lets views report when they materialize data out of
+//! the region (the "page-in" observability hook). [`ByteRegion`] is that
+//! handle.
+//!
+//! `Vec<u8>` implements the trait so tests (and any caller without an
+//! actual mapping) can back mapped-layout artifacts with plain heap bytes.
+
+use std::fmt::Debug;
+
+/// An immutable, externally-owned byte buffer that outlives every view into
+/// it. Implementors are shared behind `Arc<dyn ByteRegion>`; dropping the
+/// last `Arc` releases the backing storage (heap bytes, an `mmap`, ...).
+pub trait ByteRegion: Send + Sync + Debug {
+    /// The full backing byte slice. Stable for the lifetime of `self`.
+    fn bytes(&self) -> &[u8];
+
+    /// Observability hook: a view materialized `bytes` bytes out of the
+    /// region into owned memory (a lazy page-in). Default: ignored.
+    fn note_page_in(&self, bytes: usize) {
+        let _ = bytes;
+    }
+}
+
+impl ByteRegion for Vec<u8> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn vec_backs_a_region() {
+        let region: Arc<dyn ByteRegion> = Arc::new(vec![1u8, 2, 3]);
+        assert_eq!(region.bytes(), &[1, 2, 3]);
+        region.note_page_in(3); // default hook is a no-op
+    }
+}

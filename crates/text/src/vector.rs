@@ -32,12 +32,27 @@
 //! Bulk construction should go through [`TermVectorBuilder`], which
 //! accumulates unsorted and sorts once instead of paying `add`'s ordered
 //! insert per term.
+//!
+//! ## Owned vs mapped entries
+//!
+//! A vector normally owns its entry list. It can instead *borrow* its id
+//! and weight streams from an externally-owned [`ByteRegion`]
+//! ([`TermVector::from_mapped`]) — the storage mode mapped snapshots use.
+//! A mapped vector holds only two byte ranges until something actually
+//! reads its entries; the first read materializes the `(id, weight)` list
+//! into a once-cell (reporting the page-in through
+//! [`ByteRegion::note_page_in`]) and every later read hits that cache.
+//! Ids are validated strictly increasing and in-arena at construction, so
+//! materialization is infallible and the result is entry-for-entry
+//! bit-identical to an owned decode of the same streams.
 
-use std::sync::Arc;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize, Value};
 
 use crate::arena::TermArena;
+use crate::region::ByteRegion;
 
 /// A sparse vector keyed by interned term id, storing raw frequencies
 /// (`tf`) resolved against a shared [`TermArena`].
@@ -51,15 +66,56 @@ pub struct TermVector {
     /// The vocabulary the ids below resolve against.
     arena: Arc<TermArena>,
     /// `(term id, weight)` entries sorted by id, one entry per distinct
-    /// term.
-    entries: Vec<(u32, f64)>,
+    /// term — heap-owned or lazily materialized out of a byte region.
+    store: EntryStore,
+}
+
+/// Backing storage of a vector's entry list.
+#[derive(Debug, Clone)]
+enum EntryStore {
+    /// Heap-owned entries.
+    Owned(Vec<(u32, f64)>),
+    /// Entries borrowed from a byte region: `ids` is `len` little-endian
+    /// `u32`s, `weights` is `len` little-endian `u64`s carrying `f64` bits.
+    /// `cache` materializes on first read (the page-in event).
+    Mapped {
+        region: Arc<dyn ByteRegion>,
+        ids: Range<usize>,
+        weights: Range<usize>,
+        len: usize,
+        cache: OnceLock<Vec<(u32, f64)>>,
+    },
+}
+
+impl EntryStore {
+    /// Decodes the `(id, weight)` list out of a mapped store's streams.
+    fn decode_mapped(
+        region: &dyn ByteRegion,
+        ids: &Range<usize>,
+        weights: &Range<usize>,
+        len: usize,
+    ) -> Vec<(u32, f64)> {
+        let data = region.bytes();
+        (0..len)
+            .map(|i| {
+                let id_at = ids.start + i * 4;
+                let w_at = weights.start + i * 8;
+                let id =
+                    u32::from_le_bytes(data[id_at..id_at + 4].try_into().expect("4-byte slice"));
+                let w = f64::from_bits(u64::from_le_bytes(
+                    data[w_at..w_at + 8].try_into().expect("8-byte slice"),
+                ));
+                (id, w)
+            })
+            .collect()
+    }
 }
 
 impl Default for TermVector {
     fn default() -> Self {
         Self {
             arena: TermArena::empty(),
-            entries: Vec::new(),
+            store: EntryStore::Owned(Vec::new()),
         }
     }
 }
@@ -68,15 +124,15 @@ impl PartialEq for TermVector {
     /// Term-wise equality: two vectors are equal when they hold the same
     /// `(term, weight)` entries, regardless of which arena backs them.
     fn eq(&self, other: &Self) -> bool {
-        if self.entries.len() != other.entries.len() {
+        let (xs, ys) = (self.entries(), other.entries());
+        if xs.len() != ys.len() {
             return false;
         }
         if Arc::ptr_eq(&self.arena, &other.arena) {
-            return self.entries == other.entries;
+            return xs == ys;
         }
-        self.entries
-            .iter()
-            .zip(&other.entries)
+        xs.iter()
+            .zip(ys)
             .all(|(a, b)| a.1 == b.1 && self.arena.resolve(a.0) == other.arena.resolve(b.0))
     }
 }
@@ -93,7 +149,102 @@ impl TermVector {
     pub fn in_arena(arena: Arc<TermArena>) -> Self {
         Self {
             arena,
-            entries: Vec::new(),
+            store: EntryStore::Owned(Vec::new()),
+        }
+    }
+
+    /// The entry slice, materializing a mapped store on first touch.
+    ///
+    /// Every read path funnels through here, so a mapped vector pays its
+    /// decode exactly once (the page-in, reported to the region) and is
+    /// indistinguishable from an owned vector afterwards.
+    #[inline]
+    fn entries(&self) -> &[(u32, f64)] {
+        match &self.store {
+            EntryStore::Owned(entries) => entries,
+            EntryStore::Mapped {
+                region,
+                ids,
+                weights,
+                len,
+                cache,
+            } => cache.get_or_init(|| {
+                region.note_page_in(ids.len() + weights.len());
+                EntryStore::decode_mapped(region.as_ref(), ids, weights, *len)
+            }),
+        }
+    }
+
+    /// The entry list for mutation; a mapped store converts to owned first
+    /// (mutation can never touch the region).
+    fn entries_mut(&mut self) -> &mut Vec<(u32, f64)> {
+        if let EntryStore::Mapped { .. } = self.store {
+            let owned = self.entries().to_vec();
+            self.store = EntryStore::Owned(owned);
+        }
+        match &mut self.store {
+            EntryStore::Owned(entries) => entries,
+            EntryStore::Mapped { .. } => unreachable!("mapped store converted above"),
+        }
+    }
+
+    /// Rebuilds a vector whose entry streams live in `region`: `ids` is the
+    /// byte range of `len` little-endian `u32` term ids, `weights` the byte
+    /// range of `len` little-endian `u64`s carrying the raw `f64` weight
+    /// bits. Returns `None` unless the ranges are in bounds and exactly
+    /// sized and the ids are strictly increasing within `arena` — the same
+    /// invariant [`from_ids`](Self::from_ids) checks, validated here once
+    /// so the lazy materialization is infallible. No entry is decoded until
+    /// the first read.
+    pub fn from_mapped(
+        arena: Arc<TermArena>,
+        region: Arc<dyn ByteRegion>,
+        ids: Range<usize>,
+        weights: Range<usize>,
+        len: usize,
+    ) -> Option<Self> {
+        let data = region.bytes();
+        if ids.start > ids.end || ids.end > data.len() {
+            return None;
+        }
+        if weights.start > weights.end || weights.end > data.len() {
+            return None;
+        }
+        if ids.len() != len.checked_mul(4)? || weights.len() != len.checked_mul(8)? {
+            return None;
+        }
+        let id_at = |i: usize| -> u32 {
+            let at = ids.start + i * 4;
+            u32::from_le_bytes(data[at..at + 4].try_into().expect("4-byte slice"))
+        };
+        let mut prev: Option<u32> = None;
+        for i in 0..len {
+            let id = id_at(i);
+            if prev.is_some_and(|p| p >= id) || id as usize >= arena.len() {
+                return None;
+            }
+            prev = Some(id);
+        }
+        Some(Self {
+            arena,
+            store: EntryStore::Mapped {
+                region,
+                ids,
+                weights,
+                len,
+                cache: OnceLock::new(),
+            },
+        })
+    }
+
+    /// True when the entry list is heap-resident: always for an owned
+    /// vector, and for a mapped vector once something read it. The
+    /// out-of-core accounting uses this to split resident from
+    /// merely-mapped bytes.
+    pub fn is_materialized(&self) -> bool {
+        match &self.store {
+            EntryStore::Owned(_) => true,
+            EntryStore::Mapped { cache, .. } => cache.get().is_some(),
         }
     }
 
@@ -134,7 +285,10 @@ impl TermVector {
                 _ => entries.push((id, 1.0)),
             }
         }
-        Self { arena, entries }
+        Self {
+            arena,
+            store: EntryStore::Owned(entries),
+        }
     }
 
     /// Rebuilds a vector from `(term, weight)` entries that are **already
@@ -156,7 +310,7 @@ impl TermVector {
         let arena = TermArena::from_sorted_terms(arena_terms)?;
         Some(Self {
             arena: Arc::new(arena),
-            entries: ids,
+            store: EntryStore::Owned(ids),
         })
     }
 
@@ -174,7 +328,10 @@ impl TermVector {
         {
             return None;
         }
-        Some(Self { arena, entries })
+        Some(Self {
+            arena,
+            store: EntryStore::Owned(entries),
+        })
     }
 
     /// The arena this vector's ids resolve against.
@@ -191,7 +348,7 @@ impl TermVector {
     /// original.
     pub fn remapped(&self, arena: Arc<TermArena>, remap: &[u32]) -> TermVector {
         let entries: Vec<(u32, f64)> = self
-            .entries
+            .entries()
             .iter()
             .map(|&(id, w)| (remap[id as usize], w))
             .collect();
@@ -200,12 +357,16 @@ impl TermVector {
             .last()
             .map(|&(id, _)| (id as usize) < arena.len())
             .unwrap_or(true));
-        Self { arena, entries }
+        Self {
+            arena,
+            store: EntryStore::Owned(entries),
+        }
     }
 
-    /// The raw `(term id, weight)` entries in ascending id order.
+    /// The raw `(term id, weight)` entries in ascending id order
+    /// (materializing a mapped vector on first call).
     pub fn id_entries(&self) -> &[(u32, f64)] {
-        &self.entries
+        self.entries()
     }
 
     /// Adds `weight` occurrences of `term`.
@@ -221,9 +382,10 @@ impl TermVector {
         }
         let term = term.into();
         if let Some(id) = self.arena.intern(&term) {
-            match self.entries.binary_search_by_key(&id, |(i, _)| *i) {
-                Ok(i) => self.entries[i].1 += weight,
-                Err(i) => self.entries.insert(i, (id, weight)),
+            let entries = self.entries_mut();
+            match entries.binary_search_by_key(&id, |(i, _)| *i) {
+                Ok(i) => entries[i].1 += weight,
+                Err(i) => entries.insert(i, (id, weight)),
             }
             return;
         }
@@ -232,16 +394,14 @@ impl TermVector {
         let arena = Arc::make_mut(&mut self.arena);
         let (id, inserted) = arena.insert(term);
         debug_assert!(inserted, "intern() above said the term was absent");
-        for (entry_id, _) in self.entries.iter_mut() {
+        let entries = self.entries_mut();
+        for (entry_id, _) in entries.iter_mut() {
             if *entry_id >= id {
                 *entry_id += 1;
             }
         }
-        let at = self
-            .entries
-            .binary_search_by_key(&id, |(i, _)| *i)
-            .unwrap_err();
-        self.entries.insert(at, (id, weight));
+        let at = entries.binary_search_by_key(&id, |(i, _)| *i).unwrap_err();
+        entries.insert(at, (id, weight));
     }
 
     /// Merges another vector into this one (component-wise sum), as an
@@ -251,7 +411,7 @@ impl TermVector {
             return;
         }
         if Arc::ptr_eq(&self.arena, &other.arena) {
-            let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+            let mut merged = Vec::with_capacity(self.len() + other.len());
             merge_join(self, other, |step| match step {
                 MergeStep::Left(a) => merged.push(*a),
                 // A zero-weight entry never creates a new term (matching the
@@ -266,13 +426,12 @@ impl TermVector {
                     merged.push((*ia, sum));
                 }
             });
-            self.entries = merged;
+            self.store = EntryStore::Owned(merged);
             return;
         }
         // Different arenas: walk the resolved terms (same order, same float
         // operations) and rebuild on a fresh union arena.
-        let mut merged: Vec<(String, f64)> =
-            Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut merged: Vec<(String, f64)> = Vec::with_capacity(self.len() + other.len());
         merge_join(self, other, |step| match step {
             MergeStep::Left((id, w)) => merged.push((self.arena.resolve(*id).to_string(), *w)),
             MergeStep::Right((id, w)) => {
@@ -294,39 +453,48 @@ impl TermVector {
         self.arena
             .intern(term)
             .and_then(|id| {
-                self.entries
+                let entries = self.entries();
+                entries
                     .binary_search_by_key(&id, |(i, _)| *i)
                     .ok()
-                    .map(|i| self.entries[i].1)
+                    .map(|i| entries[i].1)
             })
             .unwrap_or(0.0)
     }
 
-    /// Number of distinct terms.
+    /// Number of distinct terms (without materializing a mapped store —
+    /// the length is part of the layout).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        match &self.store {
+            EntryStore::Owned(entries) => entries.len(),
+            EntryStore::Mapped { len, .. } => *len,
+        }
     }
 
     /// True when the vector has no terms.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Sum of all frequencies.
     pub fn total(&self) -> f64 {
-        self.entries.iter().map(|(_, w)| w).sum()
+        self.entries().iter().map(|(_, w)| w).sum()
     }
 
     /// Iterates over `(term, frequency)` pairs in term order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.entries
+        self.entries()
             .iter()
             .map(|(id, w)| (self.arena.resolve(*id), *w))
     }
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f64 {
-        self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
+        self.entries()
+            .iter()
+            .map(|(_, w)| w * w)
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Dot product with another vector, computed as an O(n + m) merge walk
@@ -340,7 +508,7 @@ impl TermVector {
     /// bit-identical to each other and to the pre-kernel implementation.
     pub fn dot(&self, other: &TermVector) -> f64 {
         if Arc::ptr_eq(&self.arena, &other.arena) {
-            return dot_id_entries(&self.entries, &other.entries);
+            return dot_id_entries(self.entries(), other.entries());
         }
         let mut sum = 0.0;
         merge_join(self, other, |step| {
@@ -451,8 +619,8 @@ impl TermVector {
     where
         F: FnMut(&str) -> Option<String>,
     {
-        let mut builder = TermVectorBuilder::with_capacity(self.entries.len());
-        for (id, w) in &self.entries {
+        let mut builder = TermVectorBuilder::with_capacity(self.len());
+        for (id, w) in self.entries() {
             let term = self.arena.resolve(*id);
             match f(term) {
                 Some(new_term) => builder.push(new_term, *w),
@@ -464,7 +632,7 @@ impl TermVector {
 
     /// Returns the `k` most frequent terms (ties broken by term order).
     pub fn top_terms(&self, k: usize) -> Vec<(&str, f64)> {
-        let mut entries: Vec<(u32, f64)> = self.entries.clone();
+        let mut entries: Vec<(u32, f64)> = self.entries().to_vec();
         // `total_cmp` (not `partial_cmp`) so the ranking is a total order
         // even for pathological weights, with the term as a stable
         // tie-break — id order is term order within one arena.
@@ -543,7 +711,7 @@ impl TermVectorBuilder {
             .expect("sorted deduplicated terms satisfy the arena invariant");
         TermVector {
             arena: Arc::new(arena),
-            entries,
+            store: EntryStore::Owned(entries),
         }
     }
 }
@@ -570,7 +738,7 @@ enum MergeStep<'a> {
 /// instantiates this single walk, so the sorted-entries invariant has
 /// exactly one consumer to update if the representation ever changes.
 fn merge_join<'a>(a: &'a TermVector, b: &'a TermVector, mut f: impl FnMut(MergeStep<'a>)) {
-    let (xs, ys) = (&a.entries, &b.entries);
+    let (xs, ys) = (a.entries(), b.entries());
     let (mut i, mut j) = (0, 0);
     if Arc::ptr_eq(&a.arena, &b.arena) {
         while i < xs.len() && j < ys.len() {
@@ -1041,6 +1209,140 @@ mod tests {
         let value = v.serialize_value();
         let back = TermVector::deserialize_value(&value).unwrap();
         assert_eq!(back, v);
+    }
+
+    /// Serializes a vector's entries into the mapped layout (`len` LE u32
+    /// ids, then `len` LE u64 weight bits), returning the two ranges.
+    fn mapped_entry_layout(entries: &[(u32, f64)]) -> (Vec<u8>, Range<usize>, Range<usize>) {
+        let mut buf = Vec::new();
+        for (id, _) in entries {
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+        let ids = 0..buf.len();
+        let start = buf.len();
+        for (_, w) in entries {
+            buf.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+        (buf.clone(), ids, start..buf.len())
+    }
+
+    /// A region that counts page-in notifications, standing in for the
+    /// mmap-backed region of the snapshot layer.
+    #[derive(Debug, Default)]
+    struct CountingRegion {
+        data: Vec<u8>,
+        page_ins: std::sync::atomic::AtomicUsize,
+        paged_bytes: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ByteRegion for CountingRegion {
+        fn bytes(&self) -> &[u8] {
+            &self.data
+        }
+        fn note_page_in(&self, bytes: usize) {
+            use std::sync::atomic::Ordering;
+            self.page_ins.fetch_add(1, Ordering::Relaxed);
+            self.paged_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn mapped_vector_materializes_lazily_and_matches_owned_bit_for_bit() {
+        use std::sync::atomic::Ordering;
+        let owned = TermVector::from_terms(["apple", "mango", "mango", "zebra"]);
+        let entries: Vec<(u32, f64)> = owned.id_entries().to_vec();
+        let (buf, ids, weights) = mapped_entry_layout(&entries);
+        let region = Arc::new(CountingRegion {
+            data: buf,
+            ..CountingRegion::default()
+        });
+        let mapped = TermVector::from_mapped(
+            Arc::clone(owned.arena()),
+            Arc::clone(&region) as Arc<dyn ByteRegion>,
+            ids.clone(),
+            weights.clone(),
+            entries.len(),
+        )
+        .expect("valid layout");
+        // Length is part of the layout: no page-in yet.
+        assert_eq!(mapped.len(), owned.len());
+        assert!(!mapped.is_materialized());
+        assert_eq!(region.page_ins.load(Ordering::Relaxed), 0);
+        // First read materializes once and reports the page-in.
+        for ((ta, wa), (tb, wb)) in mapped.iter().zip(owned.iter()) {
+            assert_eq!(ta, tb);
+            assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+        assert!(mapped.is_materialized());
+        assert_eq!(mapped.dot(&owned).to_bits(), owned.dot(&owned).to_bits());
+        assert_eq!(mapped, owned);
+        assert_eq!(region.page_ins.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            region.paged_bytes.load(Ordering::Relaxed),
+            ids.len() + weights.len()
+        );
+    }
+
+    #[test]
+    fn mapped_vector_rejects_broken_streams() {
+        let owned = TermVector::from_terms(["a", "b", "c"]);
+        let entries: Vec<(u32, f64)> = owned.id_entries().to_vec();
+        let (buf, ids, weights) = mapped_entry_layout(&entries);
+        let region: Arc<dyn ByteRegion> = Arc::new(buf.clone());
+        let arena = Arc::clone(owned.arena());
+        // Wrong length / out-of-bounds ranges.
+        assert!(TermVector::from_mapped(
+            Arc::clone(&arena),
+            Arc::clone(&region),
+            ids.clone(),
+            weights.clone(),
+            entries.len() + 1
+        )
+        .is_none());
+        assert!(TermVector::from_mapped(
+            Arc::clone(&arena),
+            Arc::clone(&region),
+            ids.clone(),
+            weights.start..weights.end + 8,
+            entries.len()
+        )
+        .is_none());
+        // Non-increasing ids are rejected at construction.
+        let mut dup = buf.clone();
+        dup[ids.start + 4..ids.start + 8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(TermVector::from_mapped(
+            Arc::clone(&arena),
+            Arc::new(dup),
+            ids.clone(),
+            weights.clone(),
+            entries.len()
+        )
+        .is_none());
+        // Ids past the arena are rejected.
+        let mut oob = buf;
+        oob[ids.start + 8..ids.start + 12].copy_from_slice(&9u32.to_le_bytes());
+        assert!(
+            TermVector::from_mapped(arena, Arc::new(oob), ids, weights, entries.len()).is_none()
+        );
+    }
+
+    #[test]
+    fn mutating_a_mapped_vector_converts_it_to_owned() {
+        let owned = TermVector::from_terms(["a", "b"]);
+        let entries: Vec<(u32, f64)> = owned.id_entries().to_vec();
+        let (buf, ids, weights) = mapped_entry_layout(&entries);
+        let mut mapped = TermVector::from_mapped(
+            Arc::clone(owned.arena()),
+            Arc::new(buf),
+            ids,
+            weights,
+            entries.len(),
+        )
+        .unwrap();
+        mapped.add("b", 2.0);
+        assert!(mapped.is_materialized());
+        assert_eq!(mapped.get("b"), 3.0);
+        assert_eq!(mapped.get("a"), 1.0);
     }
 
     #[test]

@@ -138,14 +138,21 @@ fn truncated_corrupted_and_version_bumped_files_are_rejected() {
         Err(SnapshotError::ChecksumMismatch { .. })
     ));
 
-    // A bumped format version is refused before any payload decoding.
+    // An unknown format version is refused before any payload decoding.
+    // (FORMAT_VERSION + 1 is the directly-addressable v4 sibling, which
+    // the loader accepts, so the first *unknown* version is +2.)
     let mut bumped = bytes.clone();
-    bumped[8] = bumped[8].wrapping_add(1);
+    bumped[8] = bumped[8].wrapping_add(2);
     assert!(matches!(
         EngineSnapshot::from_bytes(&bumped),
         Err(SnapshotError::UnsupportedVersion { found, supported })
-            if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+            if found == FORMAT_VERSION + 2 && supported == FORMAT_VERSION
     ));
+    // v3 bytes stamped as v4 are structurally invalid for the direct
+    // layout and must still be rejected, never misread.
+    let mut cross_stamped = bytes.clone();
+    cross_stamped[8] = cross_stamped[8].wrapping_add(1);
+    assert!(EngineSnapshot::from_bytes(&cross_stamped).is_err());
 
     // And a snapshot of corpus A never restores against corpus B.
     let snapshot = EngineSnapshot::from_bytes(&bytes).unwrap();
