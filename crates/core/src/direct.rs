@@ -217,6 +217,7 @@ impl EngineSnapshot {
     /// restores bit-identical artifacts.
     pub fn to_direct_bytes(&self) -> Vec<u8> {
         let _span = wiki_obs::Span::enter("snapshot_encode_direct");
+        wiki_fault::pause("snapshot.encode");
         // Dictionary section: the compact v3 encoding (sorted entries for
         // a canonical byte stream) — it is decoded eagerly either way.
         let mut dict = Enc::new();
@@ -285,7 +286,7 @@ impl EngineSnapshot {
                 "Engine snapshots written to disk.",
             )
             .inc();
-        write_atomically(path, &self.to_direct_bytes())
+        write_atomically(path, &self.to_direct_bytes(), "snapshot.save.write")
     }
 }
 
@@ -755,6 +756,7 @@ impl MappedSnapshot {
     /// [`EngineSnapshot::save_direct`].
     pub fn open(path: &Path) -> Result<Self, SnapshotError> {
         let _span = wiki_obs::Span::enter("snapshot_map");
+        wiki_fault::check_io("snapshot.map.open")?;
         let region = Arc::new(MappedRegion::map_file(path)?);
         let snapshot = decode_mapped(Arc::clone(&region))?;
         Ok(Self { snapshot, region })

@@ -817,7 +817,17 @@ fn decode_index(dec: &mut Dec<'_>, schema_len: usize) -> Result<CandidateIndex, 
 /// place. A crash between write and rename strands the temp file — the
 /// registry sweeps `.tmp-` leftovers from its snapshot directory at
 /// startup.
-pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+///
+/// `failpoint` names the fault-injection hook covering the temp-file write
+/// (e.g. `snapshot.save.write`); a torn write or abort injected there
+/// strands a torn *temp* file while the target stays intact — exactly the
+/// guarantee the rename protocol exists to provide, and what the chaos
+/// harness verifies.
+pub(crate) fn write_atomically(
+    path: &Path,
+    bytes: &[u8],
+    failpoint: &str,
+) -> Result<(), SnapshotError> {
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         fs::create_dir_all(parent)?;
     }
@@ -828,7 +838,9 @@ pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), Snapshot
     static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let tmp = path.with_file_name(format!(".{file_name}.tmp-{}-{seq}", std::process::id()));
-    let result = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, path));
+    let result = fs::File::create(&tmp)
+        .and_then(|mut file| wiki_fault::write_all(failpoint, &mut file, bytes))
+        .and_then(|()| fs::rename(&tmp, path));
     if result.is_err() {
         let _ = fs::remove_file(&tmp);
     }
@@ -884,6 +896,7 @@ impl EngineSnapshot {
     /// payload).
     pub fn to_bytes(&self) -> Vec<u8> {
         let _span = wiki_obs::Span::enter("snapshot_encode");
+        wiki_fault::pause("snapshot.encode");
         let mut enc = Enc::new();
         // Dictionary: entries sorted by key for a canonical byte stream.
         enc.str(self.dictionary.source().code());
@@ -1033,7 +1046,7 @@ impl EngineSnapshot {
                 "Engine snapshots written to disk.",
             )
             .inc();
-        write_atomically(path, &self.to_bytes())
+        write_atomically(path, &self.to_bytes(), "snapshot.save.write")
     }
 
     /// Loads a snapshot from `path`.
@@ -1045,7 +1058,9 @@ impl EngineSnapshot {
                 "Engine snapshots read from disk.",
             )
             .inc();
-        Self::from_bytes(&fs::read(path)?)
+        let mut bytes = fs::read(path)?;
+        wiki_fault::filter_read("snapshot.load.read", &mut bytes)?;
+        Self::from_bytes(&bytes)
     }
 
     /// Reads just the 36-byte header of a snapshot file and returns its
@@ -1403,19 +1418,23 @@ impl DeltaJournal {
 
     /// Loads a journal from `path` (strict).
     pub fn load(path: &Path) -> Result<Self, SnapshotError> {
-        Self::from_bytes(&fs::read(path)?)
+        let mut bytes = fs::read(path)?;
+        wiki_fault::filter_read("journal.load.read", &mut bytes)?;
+        Self::from_bytes(&bytes)
     }
 
     /// Loads a journal from `path` leniently (see [`recover`](Self::recover)).
     pub fn load_recovering(path: &Path) -> Result<(Self, bool), SnapshotError> {
-        Self::recover(&fs::read(path)?)
+        let mut bytes = fs::read(path)?;
+        wiki_fault::filter_read("journal.load.read", &mut bytes)?;
+        Self::recover(&bytes)
     }
 
     /// Saves the whole journal to `path` atomically (temp file + rename,
     /// like [`EngineSnapshot::save`]) — the compaction path, which rewrites
     /// the journal as empty (or short) against a freshly saved base.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
-        write_atomically(path, &self.to_bytes())
+        write_atomically(path, &self.to_bytes(), "journal.save.write")
     }
 
     /// Appends one record to the journal file at `path`, creating the file
@@ -1436,14 +1455,23 @@ impl DeltaJournal {
             .create(true)
             .append(true)
             .open(path)?;
-        if needs_header {
-            let mut header = Vec::with_capacity(JOURNAL_HEADER_LEN);
-            header.extend_from_slice(&JOURNAL_MAGIC);
-            header.extend_from_slice(&JOURNAL_FORMAT_VERSION.to_le_bytes());
-            header.extend_from_slice(&base_fingerprint.to_le_bytes());
-            file.write_all(&header)?;
-        }
-        file.write_all(&encode_journal_record(record))?;
+        // Header (when the file is fresh) and record go out in ONE buffer
+        // through one failpoint-instrumented write, so an injected torn
+        // write or mid-append abort tears exactly where a real crash
+        // would: anywhere inside the appended span, never before it.
+        let record_bytes = encode_journal_record(record);
+        let mut buf;
+        let out = if needs_header {
+            buf = Vec::with_capacity(JOURNAL_HEADER_LEN + record_bytes.len());
+            buf.extend_from_slice(&JOURNAL_MAGIC);
+            buf.extend_from_slice(&JOURNAL_FORMAT_VERSION.to_le_bytes());
+            buf.extend_from_slice(&base_fingerprint.to_le_bytes());
+            buf.extend_from_slice(&record_bytes);
+            &buf
+        } else {
+            &record_bytes
+        };
+        wiki_fault::write_all("journal.append.write", &mut file, out)?;
         Ok(())
     }
 }

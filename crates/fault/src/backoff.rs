@@ -1,0 +1,141 @@
+//! Seeded, jittered, capped exponential backoff for retry loops.
+//!
+//! The registry's degraded paths (spill retries, journal repair) need to
+//! back off without thundering-herd alignment across workers, and the test
+//! suite needs those delays to be *reproducible*. So the jitter source is a
+//! tiny seeded xorshift generator rather than wall-clock entropy: the same
+//! seed always yields the same delay sequence, and two different seeds
+//! (e.g. hashed from the corpus name) decorrelate.
+//!
+//! The schedule is *equal jitter* over a doubling, capped envelope:
+//!
+//! ```text
+//! envelope(n) = min(cap, base << n)          // monotone, saturating
+//! delay(n)    = envelope(n)/2 + uniform(0 ..= envelope(n)/2)
+//! ```
+//!
+//! so every delay is within `[envelope/2, envelope]` — never zero (for
+//! `base >= 2`), never above the cap, and on average three quarters of the
+//! envelope. The proptest suite in `tests/backoff_props.rs` pins these
+//! bounds.
+
+use std::time::Duration;
+
+/// Deterministic jittered exponential backoff.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// `base_ms` is the first attempt's envelope, `cap_ms` the ceiling every
+    /// later envelope saturates at. A zero `base_ms`/`cap_ms` is clamped to
+    /// 1 so the schedule is never degenerate.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            attempt: 0,
+            // xorshift must not start at 0; fold the seed through a
+            // splitmix-style scramble that maps 0 somewhere useful.
+            rng: splitmix(seed ^ 0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The deterministic upper bound for attempt `n` (0-based):
+    /// `min(cap, base << n)`, saturating on overflow.
+    pub fn envelope_ms(&self, attempt: u32) -> u64 {
+        let doubled = if attempt >= 63 {
+            u64::MAX
+        } else {
+            self.base_ms.saturating_mul(1u64 << attempt)
+        };
+        doubled.min(self.cap_ms)
+    }
+
+    /// Number of delays handed out so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Next delay in the schedule. Always within
+    /// `[envelope/2, envelope]` of the current attempt's envelope.
+    pub fn next_delay(&mut self) -> Duration {
+        let envelope = self.envelope_ms(self.attempt);
+        self.attempt = self.attempt.saturating_add(1);
+        let half = envelope / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            self.next_u64() % (half + 1)
+        };
+        Duration::from_millis(half + jitter)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — tiny, std-only, more than random enough for jitter.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let out = z ^ (z >> 31);
+    if out == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        out
+    }
+}
+
+/// Stable 64-bit FNV-1a over a name — the conventional way call sites derive
+/// a backoff seed from a corpus or file name so retries decorrelate across
+/// corpora but stay reproducible for one.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_doubles_then_caps() {
+        let b = Backoff::new(10, 80, 7);
+        let envelopes: Vec<u64> = (0..6).map(|n| b.envelope_ms(n)).collect();
+        assert_eq!(envelopes, vec![10, 20, 40, 80, 80, 80]);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Backoff::new(5, 500, 42);
+        let mut b = Backoff::new(5, 500, 42);
+        for _ in 0..16 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn zero_base_is_clamped() {
+        let mut b = Backoff::new(0, 0, 1);
+        // envelope = 1ms, half = 0 → delay is exactly 0ms; just must not panic.
+        let d = b.next_delay();
+        assert!(d <= Duration::from_millis(1));
+    }
+}

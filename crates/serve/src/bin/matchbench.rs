@@ -20,6 +20,8 @@
 //! whose attribute values change on every request, so each request applies
 //! a real incremental delta to the live corpus.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -477,7 +479,8 @@ fn main() -> ExitCode {
     if config.json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&summary).expect("summary serializes")
+            serde_json::to_string_pretty(&summary)
+                .unwrap_or_else(|err| format!("{{\"error\":\"summary serialization: {err}\"}}"))
         );
     } else {
         println!(

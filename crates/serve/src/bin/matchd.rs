@@ -10,8 +10,11 @@
 //!        [--tiers tiny,small,medium,large,xlarge]
 //!        [--warm corpus[,corpus...]] [--snapshot-dir DIR] [--persist]
 //!        [--max-resident-mb N]
+//!        [--deadline-ms N] [--shed-queue-ms N] [--enable-failpoints]
 //!        [--log-level off|error|info|debug] [--slow-ms N]
 //! ```
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -55,6 +58,19 @@ OPTIONS:
                        evicted (their maps dropped) whenever materialized
                        bytes across residents exceed N megabytes, keeping
                        at least the most recent session resident
+    --deadline-ms N    per-request compute deadline: a request still inside
+                       the pipeline after N milliseconds answers 504 with a
+                       structured body at the next phase boundary
+                       (default 0: no deadline)
+    --shed-queue-ms N  admission control: a compute request whose measured
+                       queue wait exceeded N milliseconds is shed with
+                       503 + Retry-After instead of computing on stale
+                       demand (default 0: never shed); /readyz reports
+                       degraded while shedding
+    --enable-failpoints
+                       serve the test-only /failpoints endpoint for
+                       runtime fault injection (the WIKIMATCH_FAILPOINTS
+                       env var arms failpoints at startup regardless)
     --log-level LEVEL  access-log verbosity: off | error | info | debug
                        (default error: 5xx and slow requests only; the
                        WIKIMATCH_LOG env var sets the default, the flag
@@ -65,8 +81,9 @@ OPTIONS:
     --help             print this help
 
 ENDPOINTS (JSON unless noted):
-    GET  /healthz /stats /corpora /matchers
+    GET  /healthz /livez /readyz /stats /corpora /matchers
     GET  /metrics          Prometheus text exposition
+    GET/POST/DELETE /failpoints   fault injection (--enable-failpoints only)
     POST /align            {\"corpus\": \"pt-medium\", \"type_id\": \"film\"?}
     POST /matchers         {\"corpus\": ..., \"matcher\": \"Bouma\", \"type_id\"?}
     POST /translate-query  {\"corpus\": ..., \"query\": \"filme(direção=?)\", \"top_k\"?}
@@ -79,6 +96,9 @@ fn fail(message: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Arm any WIKIMATCH_FAILPOINTS-specified failpoints before anything
+    // that passes a hook (corpus warming journals through them).
+    wiki_fault::init_env();
     let mut addr = "127.0.0.1:8743".to_string();
     let mut config = ServerConfig::default();
     // WIKIMATCH_LOG sets the default level; an explicit --log-level wins.
@@ -148,6 +168,20 @@ fn main() -> ExitCode {
                     .map(|n| config.slow_millis = n)
                     .map_err(|_| format!("bad --slow-ms {v:?}"))
             }),
+            "--deadline-ms" => value("--deadline-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.deadline_millis = n)
+                    .map_err(|_| format!("bad --deadline-ms {v:?}"))
+            }),
+            "--shed-queue-ms" => value("--shed-queue-ms").and_then(|v| {
+                v.parse()
+                    .map(|n| config.shed_queue_millis = n)
+                    .map_err(|_| format!("bad --shed-queue-ms {v:?}"))
+            }),
+            "--enable-failpoints" => {
+                config.failpoints_endpoint = true;
+                Ok(())
+            }
             "--persist" => {
                 persist = true;
                 Ok(())

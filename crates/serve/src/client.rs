@@ -19,12 +19,23 @@ pub struct ClientResponse {
     pub status: u16,
     /// Body text.
     pub body: String,
+    /// Response headers, lower-cased names, arrival order.
+    pub headers: Vec<(String, String)>,
 }
 
 impl ClientResponse {
     /// True for 2xx statuses.
     pub fn is_success(&self) -> bool {
         (200..300).contains(&self.status)
+    }
+
+    /// First value of a response header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let wanted = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == wanted)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Deserializes the body, mapping protocol errors (non-2xx with the
@@ -72,7 +83,11 @@ impl MatchClient {
             stream.set_nodelay(true)?;
             self.connection = Some(BufReader::new(stream));
         }
-        Ok(self.connection.as_mut().expect("connection just opened"))
+        // Infallible (the slot was just filled), but kept panic-free: the
+        // crate denies unwrap/expect outside tests.
+        self.connection
+            .as_mut()
+            .ok_or_else(|| io::Error::other("connection slot empty after open"))
     }
 
     /// Issues one request. **`GET`s** are retried once on a fresh
@@ -162,6 +177,7 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(ClientRespons
         .ok_or_else(|| io::Error::other(format!("malformed status line {status_line:?}")))?;
     let mut content_length = 0usize;
     let mut close = false;
+    let mut headers = Vec::new();
     loop {
         let line = read_line(reader)?;
         if line.is_empty() {
@@ -179,12 +195,20 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(ClientRespons
         } else if name == "connection" && value.eq_ignore_ascii_case("close") {
             close = true;
         }
+        headers.push((name, value.to_string()));
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body)
         .map_err(|_| io::Error::other("response body is not valid UTF-8"))?;
-    Ok((ClientResponse { status, body }, close))
+    Ok((
+        ClientResponse {
+            status,
+            body,
+            headers,
+        },
+        close,
+    ))
 }
 
 fn read_line(reader: &mut BufReader<TcpStream>) -> io::Result<String> {

@@ -207,6 +207,9 @@ pub struct Response {
     pub body: String,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers beyond the framing set (e.g. `Retry-After` on a shed
+    /// 503). Values must already be valid header text.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -216,6 +219,7 @@ impl Response {
             status,
             body: body.into(),
             content_type: "application/json",
+            headers: Vec::new(),
         }
     }
 
@@ -226,6 +230,7 @@ impl Response {
             status,
             body: body.into(),
             content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
         }
     }
 
@@ -238,6 +243,12 @@ impl Response {
         Self::json(status, body)
     }
 
+    /// Adds an extra response header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
     /// Writes the response with correct framing; `keep_alive` controls the
     /// `Connection` header.
     pub fn write(&self, writer: &mut impl Write, keep_alive: bool) -> io::Result<()> {
@@ -245,13 +256,17 @@ impl Response {
         let connection = if keep_alive { "keep-alive" } else { "close" };
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason,
             self.content_type,
             self.body.len(),
             connection
         )?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
         writer.write_all(self.body.as_bytes())?;
         writer.flush()
     }
@@ -262,13 +277,16 @@ pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }

@@ -47,6 +47,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A long-lived daemon must not die on a recoverable error: every panic
+// path in production code is either removed or explicitly allowed with a
+// written justification. Tests opt back in (a failed test *should* panic).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod http;

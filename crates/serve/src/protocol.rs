@@ -207,10 +207,76 @@ pub struct ServerCounters {
     pub handled: u64,
     /// Connections rejected with 503 because the request queue was full.
     pub rejected: u64,
+    /// Requests answered 503 by admission control because their measured
+    /// queue wait exceeded the `--shed-queue-ms` budget (counted separately
+    /// from queue-full `rejected`).
+    pub shed: u64,
+    /// Requests answered 504 because the `--deadline-ms` compute deadline
+    /// expired between pipeline phases.
+    pub deadline_expired: u64,
     /// Connections dropped outside the normal request/response flow:
     /// accept errors, failed stream clones, mid-request read failures and
     /// response write failures (`/metrics` splits these by `reason`).
     pub connections_dropped: u64,
+}
+
+/// `GET /readyz` response (also the degraded 503 body).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadyResponse {
+    /// `"ready"` (200) or `"degraded"` (503).
+    pub status: String,
+    /// Why readiness degraded (empty when ready): e.g.
+    /// `"shed 3 requests in the last 5s"` or `"queue 64/64"`.
+    pub reason: String,
+    /// Connections currently waiting in the queue.
+    pub queue_len: u64,
+    /// Bound of the pending-connection queue.
+    pub queue_depth: usize,
+    /// Requests shed by admission control since startup.
+    pub shed: u64,
+}
+
+/// Structured body of a 504 deadline expiry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeadlineExceededBody {
+    /// The standard error envelope text.
+    pub error: String,
+    /// The configured per-request budget.
+    pub deadline_ms: u64,
+    /// Time actually elapsed when the deadline check fired.
+    pub elapsed_ms: u64,
+    /// Pipeline phase boundary that observed the expiry
+    /// (`"lookup"`, `"compute"`, `"serialize"`).
+    pub phase: String,
+}
+
+/// `POST /failpoints` request: arm failpoints from a spec string (see
+/// `wiki_fault` for the `name=action[*T][/E]` syntax). Test-only; the
+/// endpoint answers 403 unless matchd runs with `--enable-failpoints`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailpointsRequest {
+    /// Spec string, e.g. `"journal.append.write=torn(12)*1"`.
+    pub spec: String,
+}
+
+/// One armed failpoint, as listed by `GET /failpoints`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailpointStatus {
+    /// Failpoint name.
+    pub name: String,
+    /// Re-parseable armed spec, e.g. `"torn(12)*1"`.
+    pub spec: String,
+    /// Hook evaluations observed while armed.
+    pub hits: u64,
+    /// Times the action actually fired.
+    pub fired: u64,
+}
+
+/// Response of `GET`/`POST`/`DELETE /failpoints`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailpointsResponse {
+    /// Every currently armed failpoint.
+    pub points: Vec<FailpointStatus>,
 }
 
 /// `GET /stats` response.

@@ -66,7 +66,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 use serde::{Deserialize, Serialize};
@@ -116,9 +116,69 @@ impl SnapshotFormat {
     }
 }
 
+/// Attempts a spill makes before declaring the disk tier degraded for
+/// this snapshot and quarantining the (now unrefreshable) target.
+const SPILL_ATTEMPTS: u32 = 3;
+/// First-retry backoff envelope of a failed spill, in milliseconds.
+const SPILL_BACKOFF_BASE_MS: u64 = 5;
+/// Backoff-envelope cap of a failed spill, in milliseconds.
+const SPILL_BACKOFF_CAP_MS: u64 = 50;
+
+/// Counts one graceful-degradation event in the process-wide metrics
+/// registry (`wm_degraded_events_total{kind=…}`).
+fn degraded_event(kind: &str) {
+    wiki_obs::registry()
+        .counter_with(
+            "wm_degraded_events_total",
+            "Graceful-degradation events by kind (spill_failure, \
+             snapshot_load_failure, journal_quarantine, snapshot_quarantine, \
+             mutation_not_durable).",
+            &[("kind", kind)],
+        )
+        .inc();
+}
+
+/// Moves a disk artifact aside to `<path>.corrupt` so it can never be
+/// loaded again (while staying available for post-mortem inspection),
+/// bumping the corpus' quarantine counter. `copy` preserves the original
+/// in place too — used when the caller is about to rewrite `path` with a
+/// repaired version and only wants the pre-repair bytes kept.
+fn quarantine(path: &Path, entry: &CorpusEntry, kind: &str, copy: bool) {
+    let mut target = path.as_os_str().to_owned();
+    target.push(".corrupt");
+    let target = PathBuf::from(target);
+    let moved = if copy {
+        std::fs::copy(path, &target).map(|_| ())
+    } else {
+        std::fs::rename(path, &target)
+    };
+    match moved {
+        Ok(()) => {
+            eprintln!(
+                "warning: quarantined {} artifact {} -> {}",
+                kind,
+                path.display(),
+                target.display()
+            );
+            entry.quarantines.fetch_add(1, Ordering::Relaxed);
+            degraded_event(kind);
+        }
+        Err(err) => eprintln!(
+            "warning: failed to quarantine {} artifact {}: {err}",
+            kind,
+            path.display()
+        ),
+    }
+}
+
 /// Captures and saves one session's artifacts, bumping the corpus'
-/// `snapshot_saves` on success. Failures are reported and swallowed:
-/// persistence is an optimisation, never a serving error.
+/// `snapshot_saves` on success. Failures are reported and swallowed —
+/// persistence is an optimisation, never a serving error — but not
+/// silently accepted: a failed write is retried under a seeded,
+/// jittered, capped exponential backoff, and when every attempt fails
+/// the stale target (which the journal may have moved past, and which
+/// this process can evidently no longer refresh) is quarantined so the
+/// next cold load rebuilds instead of resurrecting it.
 fn spill_to(path: &Path, entry: &CorpusEntry, engine: &MatchEngine, format: SnapshotFormat) {
     // A disk snapshot already at the engine's fingerprint, in the wanted
     // format, makes the capture redundant — the common case when a mapped,
@@ -129,20 +189,45 @@ fn spill_to(path: &Path, entry: &CorpusEntry, engine: &MatchEngine, format: Snap
             return;
         }
     }
-    // Sparse-mode engines (`--mode filtered` / `--mode lsh`) refuse
-    // capture: their registries simply run without a disk tier.
-    let result = EngineSnapshot::capture(engine).and_then(|snapshot| match format {
-        SnapshotFormat::Compact => snapshot.save(path),
-        SnapshotFormat::Direct => snapshot.save_direct(path),
-    });
-    match result {
-        Ok(()) => {
-            entry.snapshot_saves.fetch_add(1, Ordering::Relaxed);
+    let mut backoff = wiki_fault::Backoff::new(
+        SPILL_BACKOFF_BASE_MS,
+        SPILL_BACKOFF_CAP_MS,
+        wiki_fault::seed_from_name(&entry.spec.name),
+    );
+    for attempt in 1..=SPILL_ATTEMPTS {
+        if attempt > 1 {
+            std::thread::sleep(backoff.next_delay());
         }
-        Err(err) => eprintln!(
-            "warning: failed to persist snapshot for corpus {:?}: {err}",
-            entry.spec.name
-        ),
+        // Sparse-mode engines (`--mode filtered` / `--mode lsh`) refuse
+        // capture: their registries simply run without a disk tier.
+        let result = wiki_fault::check_io("registry.spill")
+            .map_err(SnapshotError::Io)
+            .and_then(|()| EngineSnapshot::capture(engine))
+            .and_then(|snapshot| match format {
+                SnapshotFormat::Compact => snapshot.save(path),
+                SnapshotFormat::Direct => snapshot.save_direct(path),
+            });
+        match result {
+            Ok(()) => {
+                entry.snapshot_saves.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(SnapshotError::InexactMode(_)) => {
+                // Deterministic refusal, not a transient fault: retrying
+                // (or quarantining a snapshot that cannot exist) is noise.
+                return;
+            }
+            Err(err) => eprintln!(
+                "warning: failed to persist snapshot for corpus {:?} \
+                 (attempt {attempt}/{SPILL_ATTEMPTS}): {err}",
+                entry.spec.name
+            ),
+        }
+    }
+    entry.spill_failures.fetch_add(1, Ordering::Relaxed);
+    degraded_event("spill_failure");
+    if path.exists() {
+        quarantine(path, entry, "snapshot_quarantine", false);
     }
 }
 
@@ -207,12 +292,29 @@ impl CorpusSpec {
 pub enum RegistryError {
     /// No corpus with the given name is registered.
     UnknownCorpus(String),
+    /// A mutation was applied to the live session but could not be made
+    /// durable: both the write-ahead append and the full-journal rewrite
+    /// failed. The caller must not ack the mutation as persisted — the
+    /// server answers 503 with `Retry-After` so the (idempotent) delta is
+    /// retried once the disk recovers; the entry stays marked dirty and
+    /// the next successful mutation rewrites the whole chain.
+    MutationNotDurable {
+        /// Corpus the mutation targeted.
+        corpus: String,
+        /// The underlying persistence error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RegistryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RegistryError::UnknownCorpus(name) => write!(f, "unknown corpus {name:?}"),
+            RegistryError::MutationNotDurable { corpus, detail } => write!(
+                f,
+                "mutation applied to corpus {corpus:?} but not yet durable \
+                 (journal write failed: {detail}); retry to re-persist"
+            ),
         }
     }
 }
@@ -313,6 +415,15 @@ struct CorpusEntry {
     snapshot_loads: AtomicU64,
     snapshot_saves: AtomicU64,
     compactions: AtomicU64,
+    snapshot_load_failures: AtomicU64,
+    spill_failures: AtomicU64,
+    quarantines: AtomicU64,
+    mutations_not_durable: AtomicU64,
+    /// Set when a write-ahead journal append failed after the in-memory
+    /// journal (and the live engine) already advanced: the on-disk chain
+    /// is behind or broken, so the next journal write must be a full
+    /// rewrite, not an append. Read and written under the journal lock.
+    journal_dirty: AtomicBool,
     /// `Some(slot)` while resident or being built; `None` when evicted.
     /// Concurrent cold requests clone the same slot and coalesce on its
     /// `OnceLock`.
@@ -336,6 +447,11 @@ impl CorpusEntry {
             snapshot_loads: AtomicU64::new(0),
             snapshot_saves: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            snapshot_load_failures: AtomicU64::new(0),
+            spill_failures: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            mutations_not_durable: AtomicU64::new(0),
+            journal_dirty: AtomicBool::new(false),
             session: Mutex::new(None),
             journal: Mutex::new(None),
         }
@@ -377,6 +493,18 @@ pub struct CorpusStats {
     pub journal_bytes: u64,
     /// Times the journal was compacted into a single composed record.
     pub compactions: u64,
+    /// Disk-tier loads that failed and degraded to a rebuild: unreadable
+    /// or off-chain snapshots, and snapshots the engine rejected.
+    pub snapshot_load_failures: u64,
+    /// Spills abandoned after every backoff retry failed (the session
+    /// keeps serving from memory; the stale target is quarantined).
+    pub spill_failures: u64,
+    /// Disk artifacts moved aside to `*.corrupt` (unreadable journals,
+    /// torn-tail originals, unrefreshable snapshots).
+    pub quarantines: u64,
+    /// Mutations applied to the live session that could not be journaled
+    /// to disk and were answered [`RegistryError::MutationNotDurable`].
+    pub mutations_not_durable: u64,
     /// Heap bytes held by the resident session's artifacts (0 while cold).
     /// For a mapped session this counts only what has been *materialized* —
     /// the working set the `--max-resident-mb` budget evicts against.
@@ -594,6 +722,10 @@ impl Registry {
                             path.display(),
                             journal.len()
                         );
+                        // Keep the pre-repair bytes for inspection, then
+                        // rewrite the file as the verified prefix so the
+                        // torn suffix cannot resurface.
+                        quarantine(&path, entry, "journal_quarantine", true);
                         if let Err(err) = journal.save(&path) {
                             eprintln!(
                                 "warning: failed to rewrite recovered journal {}: {err}",
@@ -603,19 +735,32 @@ impl Registry {
                     }
                     resolved = journal;
                 }
-                Ok((journal, _)) => eprintln!(
-                    "warning: journal {} is rooted at {:016x}, expected {:016x}; \
-                     ignoring its {} records",
-                    path.display(),
-                    journal.base_fingerprint,
-                    base_fingerprint,
-                    journal.len()
-                ),
+                Ok((journal, _)) => {
+                    eprintln!(
+                        "warning: journal {} is rooted at {:016x}, expected {:016x}; \
+                         quarantining its {} records",
+                        path.display(),
+                        journal.base_fingerprint,
+                        base_fingerprint,
+                        journal.len()
+                    );
+                    // An off-lineage journal must leave the append path:
+                    // writing this corpus' records after its foreign
+                    // header would corrupt both chains.
+                    quarantine(&path, entry, "journal_quarantine", false);
+                }
                 Err(SnapshotError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => {}
-                Err(err) => eprintln!(
-                    "warning: ignoring unreadable journal {}: {err}",
-                    path.display()
-                ),
+                Err(err) => {
+                    // Nothing recoverable at all (e.g. a torn *header*
+                    // from a crash inside the first append). Move the
+                    // garbage aside: appending acked records after it
+                    // would make every one of them unrecoverable.
+                    eprintln!(
+                        "warning: quarantining unreadable journal {}: {err}",
+                        path.display()
+                    );
+                    quarantine(&path, entry, "journal_quarantine", false);
+                }
             }
         }
         *slot = Some(resolved.clone());
@@ -683,11 +828,17 @@ impl Registry {
                 // No snapshot yet: the common cold-start case, not an error.
                 Err(SnapshotError::Io(err)) if err.kind() == std::io::ErrorKind::NotFound => None,
                 Err(err) => {
+                    // Degrade to a rebuild and quarantine the file: a
+                    // snapshot that failed validation once will fail it
+                    // on every future cold load too.
                     eprintln!(
-                        "warning: ignoring unreadable snapshot {} for corpus {:?}: {err}",
+                        "warning: unreadable snapshot {} for corpus {:?}: {err}; rebuilding",
                         path.display(),
                         entry.spec.name
                     );
+                    entry.snapshot_load_failures.fetch_add(1, Ordering::Relaxed);
+                    degraded_event("snapshot_load_failure");
+                    quarantine(&path, entry, "snapshot_quarantine", false);
                     None
                 }
             }
@@ -712,6 +863,8 @@ impl Registry {
                  fingerprint chain; rebuilding",
                 entry.spec.name
             );
+            entry.snapshot_load_failures.fetch_add(1, Ordering::Relaxed);
+            degraded_event("snapshot_load_failure");
         }
 
         if let (Some(snapshot), Some(at)) = (snapshot, position) {
@@ -743,10 +896,14 @@ impl Registry {
                         // rebuild cold over the verified prefix instead.
                         self.truncate_journal(entry, &mut journal, reached);
                     }
-                    Err(err) => eprintln!(
-                        "warning: snapshot rejected for corpus {:?}: {err}; rebuilding",
-                        entry.spec.name
-                    ),
+                    Err(err) => {
+                        eprintln!(
+                            "warning: snapshot rejected for corpus {:?}: {err}; rebuilding",
+                            entry.spec.name
+                        );
+                        entry.snapshot_load_failures.fetch_add(1, Ordering::Relaxed);
+                        degraded_event("snapshot_load_failure");
+                    }
                 }
             }
         }
@@ -776,6 +933,12 @@ impl Registry {
         );
         journal.records.truncate(keep);
         if let Some(path) = self.journal_path(&entry.spec.name) {
+            // Preserve the pre-truncation bytes: the dropped suffix is
+            // evidence of a divergence the checksummed format should have
+            // made unreachable.
+            if path.exists() {
+                quarantine(&path, entry, "journal_quarantine", true);
+            }
             if let Err(err) = journal.save(&path) {
                 eprintln!(
                     "warning: failed to rewrite truncated journal {}: {err}",
@@ -963,6 +1126,27 @@ impl Registry {
         let mut journal_slot = recover(entry.journal.lock());
         let report = cached.engine().apply_delta(delta);
         if report.fingerprint == report.fingerprint_before {
+            // The retry of a mutation answered `MutationNotDurable` lands
+            // here (upserts are idempotent, so the replayed delta is a
+            // fingerprint no-op): the chain on disk is still behind the
+            // engine, so repair it before acking, or keep refusing.
+            if entry.journal_dirty.load(Ordering::Relaxed) {
+                if let (Some(path), Some(journal)) =
+                    (self.journal_path(name), journal_slot.as_ref())
+                {
+                    match journal.save(&path) {
+                        Ok(()) => entry.journal_dirty.store(false, Ordering::Relaxed),
+                        Err(err) => {
+                            entry.mutations_not_durable.fetch_add(1, Ordering::Relaxed);
+                            degraded_event("mutation_not_durable");
+                            return Err(RegistryError::MutationNotDurable {
+                                corpus: name.to_string(),
+                                detail: err.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
             return Ok(report);
         }
         let journal =
@@ -982,20 +1166,52 @@ impl Registry {
             *journal = DeltaJournal::new(report.fingerprint_before);
         }
         let record = journal.append(delta.clone(), report.fingerprint).clone();
+        let mut not_durable: Option<String> = None;
         if let Some(path) = self.journal_path(name) {
-            if let Err(err) =
-                DeltaJournal::append_record_to(&path, journal.base_fingerprint, &record)
-            {
-                eprintln!("warning: failed to journal delta for corpus {name:?}: {err}");
+            // A dirty chain (an earlier append failed after the in-memory
+            // journal advanced) cannot be appended to — the file is behind
+            // or torn — so the whole verified chain is rewritten instead.
+            let written = if entry.journal_dirty.load(Ordering::Relaxed) {
+                journal.save(&path)
+            } else {
+                DeltaJournal::append_record_to(&path, journal.base_fingerprint, &record).or_else(
+                    |err| {
+                        eprintln!(
+                            "warning: failed to journal delta for corpus {name:?}: {err}; \
+                             rewriting the full journal"
+                        );
+                        journal.save(&path)
+                    },
+                )
+            };
+            match written {
+                Ok(()) => entry.journal_dirty.store(false, Ordering::Relaxed),
+                Err(err) => {
+                    entry.journal_dirty.store(true, Ordering::Relaxed);
+                    entry.mutations_not_durable.fetch_add(1, Ordering::Relaxed);
+                    degraded_event("mutation_not_durable");
+                    not_durable = Some(err.to_string());
+                }
             }
         }
         // Swap the residency's cache shell: the engine (with its patched
         // artifacts) carries over, the stale memoised responses do not.
+        // This happens even when the append failed — the live session has
+        // moved, so stale caches would serve pre-delta answers.
         {
             let mut session = recover(entry.session.lock());
             let slot: Arc<OnceLock<Arc<CachedCorpus>>> = Arc::default();
             let _ = slot.set(Arc::new(CachedCorpus::sharing(Arc::clone(cached.engine()))));
             *session = Some(slot);
+        }
+        if let Some(detail) = not_durable {
+            // No compaction while not durable: compacting rewrites the
+            // disk chain, and the priority is answering the caller that
+            // their ack is withheld.
+            return Err(RegistryError::MutationNotDurable {
+                corpus: name.to_string(),
+                detail,
+            });
         }
         if journal.len() >= COMPACTION_THRESHOLD && self.compact(&entry, journal, cached.engine()) {
             entry.compactions.fetch_add(1, Ordering::Relaxed);
@@ -1066,6 +1282,9 @@ impl Registry {
 
     fn evict_spilling(&self, name: &str, mode: SpillMode) -> Result<bool, RegistryError> {
         let entry = self.entry(name)?;
+        // Chaos hook: delay (or abort) an eviction between the session
+        // drop and the spill, the window crash-consistency cares about.
+        wiki_fault::pause("registry.evict");
         let dropped = {
             let mut session = recover(entry.session.lock());
             // Only drop *completed* sessions: evicting an in-flight build
@@ -1229,6 +1448,10 @@ impl Registry {
                     journal_records,
                     journal_bytes,
                     compactions: entry.compactions.load(Ordering::Relaxed),
+                    snapshot_load_failures: entry.snapshot_load_failures.load(Ordering::Relaxed),
+                    spill_failures: entry.spill_failures.load(Ordering::Relaxed),
+                    quarantines: entry.quarantines.load(Ordering::Relaxed),
+                    mutations_not_durable: entry.mutations_not_durable.load(Ordering::Relaxed),
                     resident_bytes: engine.as_ref().map_or(0, |e| e.resident_bytes),
                     mapped_bytes: engine.as_ref().map_or(0, |e| e.mapped_bytes),
                     page_ins: engine.as_ref().map_or(0, |e| e.page_ins),

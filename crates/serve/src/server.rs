@@ -36,11 +36,12 @@ use wikimatch::MatchEngine;
 use crate::http::{read_request, Request, RequestError, Response};
 use crate::matchers::MatcherRegistry;
 use crate::protocol::{
-    AlignRequest, AlignResponse, CorporaResponse, CorpusRequest, DeleteRequest, EvictResponse,
-    HealthResponse, MatcherRequest, MatchersResponse, MutateRequest, MutateResponse,
+    AlignRequest, AlignResponse, CorporaResponse, CorpusRequest, DeadlineExceededBody,
+    DeleteRequest, EvictResponse, FailpointStatus, FailpointsRequest, FailpointsResponse,
+    HealthResponse, MatcherRequest, MatchersResponse, MutateRequest, MutateResponse, ReadyResponse,
     ServerCounters, StatsResponse, TranslateRequest, TranslateResponse, TypePairs, WarmResponse,
 };
-use crate::registry::{CachedCorpus, Registry};
+use crate::registry::{CachedCorpus, Registry, RegistryError};
 use wikimatch::CorpusDelta;
 
 /// How long a worker blocks waiting for the *first* byte of the next
@@ -83,6 +84,18 @@ pub struct ServerConfig {
     /// stderr per `log_level`/`slow_millis`. Tests inject
     /// [`RequestLog::in_memory`] sinks here.
     pub access_log: Option<Arc<RequestLog>>,
+    /// Per-request compute deadline (`matchd --deadline-ms`), checked at
+    /// pipeline phase boundaries; expiry answers 504 with a structured
+    /// body. 0 disables deadlines.
+    pub deadline_millis: u64,
+    /// Admission-control budget (`matchd --shed-queue-ms`): a
+    /// compute-bearing request whose connection waited longer than this in
+    /// the accept queue is answered 503 + `Retry-After` instead of being
+    /// served stale. 0 disables shedding.
+    pub shed_queue_millis: u64,
+    /// Enables the test-only `/failpoints` endpoint
+    /// (`matchd --enable-failpoints`); when off the endpoint answers 403.
+    pub failpoints_endpoint: bool,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +110,9 @@ impl Default for ServerConfig {
             log_level: LogLevel::Error,
             slow_millis: 500,
             access_log: None,
+            deadline_millis: 0,
+            shed_queue_millis: 0,
+            failpoints_endpoint: false,
         }
     }
 }
@@ -105,7 +121,9 @@ impl Default for ServerConfig {
 /// hot-path counters, so recording is a relaxed atomic add with no
 /// registry lookup.
 struct ServerMetrics {
-    rejected: wiki_obs::Counter,
+    rejected_queue_full: wiki_obs::Counter,
+    rejected_shed: wiki_obs::Counter,
+    deadline_expired: wiki_obs::Counter,
     dropped_accept: wiki_obs::Counter,
     dropped_clone: wiki_obs::Counter,
     dropped_read: wiki_obs::Counter,
@@ -122,10 +140,20 @@ impl ServerMetrics {
                 &[("reason", reason)],
             )
         };
-        Self {
-            rejected: registry.counter(
+        let rejected = |reason| {
+            registry.counter_with(
                 "wm_http_requests_rejected_total",
-                "Connections answered 503 at the door because the request queue was full.",
+                "Requests answered 503 without being served, by reason: \
+                 queue_full (acceptor door) or shed (admission control).",
+                &[("reason", reason)],
+            )
+        };
+        Self {
+            rejected_queue_full: rejected("queue_full"),
+            rejected_shed: rejected("shed"),
+            deadline_expired: registry.counter(
+                "wm_deadline_expired_total",
+                "Requests answered 504 because the per-request compute deadline expired.",
             ),
             dropped_accept: dropped("accept_error"),
             dropped_clone: dropped("clone_error"),
@@ -134,6 +162,14 @@ impl ServerMetrics {
         }
     }
 }
+
+/// How recently a shed must have happened for `/readyz` to report
+/// `degraded`: shedding is a transient pressure signal, and readiness
+/// should recover on its own once the queue drains.
+const READINESS_SHED_WINDOW: Duration = Duration::from_secs(5);
+
+/// Sentinel for "never shed" in [`Shared::last_shed_nanos`].
+const NEVER_SHED: u64 = u64::MAX;
 
 /// State shared by the acceptor, the workers and the handle.
 struct Shared {
@@ -144,11 +180,19 @@ struct Shared {
     accepted: AtomicU64,
     handled: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
+    /// Nanoseconds since `started` of the most recent shed ([`NEVER_SHED`]
+    /// until the first one) — drives readiness degradation.
+    last_shed_nanos: AtomicU64,
     dropped: AtomicU64,
     queue_len: AtomicU64,
     started: Instant,
     workers: usize,
     queue_depth: usize,
+    deadline_millis: u64,
+    shed_queue_millis: u64,
+    failpoints_endpoint: bool,
     log: Arc<RequestLog>,
     metrics: ServerMetrics,
 }
@@ -159,6 +203,8 @@ impl Shared {
             accepted: self.accepted.load(Ordering::Relaxed),
             handled: self.handled.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             connections_dropped: self.dropped.load(Ordering::Relaxed),
         }
     }
@@ -168,6 +214,36 @@ impl Shared {
     fn drop_connection(&self, reason: &wiki_obs::Counter) {
         self.dropped.fetch_add(1, Ordering::Relaxed);
         reason.inc();
+    }
+
+    /// Counts one admission-control shed and stamps the readiness window.
+    fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.rejected_shed.inc();
+        let nanos = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(NEVER_SHED - 1);
+        self.last_shed_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Readiness verdict: `None` when ready, `Some(reason)` when degraded
+    /// (queue saturated, or shed pressure within the recent window).
+    fn degraded_reason(&self) -> Option<String> {
+        let queue_len = self.queue_len.load(Ordering::Relaxed);
+        if queue_len >= self.queue_depth as u64 {
+            return Some(format!("queue {queue_len}/{}", self.queue_depth));
+        }
+        let last = self.last_shed_nanos.load(Ordering::Relaxed);
+        if last != NEVER_SHED {
+            let now = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let window = u64::try_from(READINESS_SHED_WINDOW.as_nanos()).unwrap_or(u64::MAX);
+            if now.saturating_sub(last) <= window {
+                return Some(format!(
+                    "shed pressure within the last {}s ({} total)",
+                    READINESS_SHED_WINDOW.as_secs(),
+                    self.shed.load(Ordering::Relaxed),
+                ));
+            }
+        }
+        None
     }
 }
 
@@ -209,34 +285,45 @@ impl MatchServer {
             accepted: AtomicU64::new(0),
             handled: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            last_shed_nanos: AtomicU64::new(NEVER_SHED),
             dropped: AtomicU64::new(0),
             queue_len: AtomicU64::new(0),
             started: Instant::now(),
             workers,
             queue_depth,
+            deadline_millis: config.deadline_millis,
+            shed_queue_millis: config.shed_queue_millis,
+            failpoints_endpoint: config.failpoints_endpoint,
             log,
             metrics: ServerMetrics::new(),
         });
 
         let (tx, rx) = mpsc::sync_channel::<(TcpStream, Instant)>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                thread::Builder::new()
-                    .name(format!("matchd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
+        // Spawn failures (thread limits, memory pressure) surface as the
+        // start error instead of panicking the caller. Workers already
+        // spawned are cleaned up by `shutdown`'s flag + join on drop of the
+        // partially built pool being unreachable — but simplest is to fail
+        // the whole start before the acceptor exists: no connection has
+        // been accepted yet, so stranded workers just block on a channel
+        // whose sender is dropped right here and exit.
+        let mut worker_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            let handle = thread::Builder::new()
+                .name(format!("matchd-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &rx))?;
+            worker_handles.push(handle);
+        }
 
         let acceptor = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
                 .name("matchd-acceptor".to_string())
-                .spawn(move || acceptor_loop(&shared, listener, tx))
-                .expect("failed to spawn acceptor thread")
+                .spawn(move || acceptor_loop(&shared, listener, tx))?
         };
 
         Ok(Self {
@@ -311,13 +398,17 @@ fn acceptor_loop(shared: &Shared, listener: TcpListener, tx: SyncSender<(TcpStre
             }
             Err(TrySendError::Full((mut stream, _))) => {
                 shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-                // Bounded queue: shed load at the door instead of queueing
+                // Bounded queue: reject load at the door instead of queueing
                 // unboundedly. The write is timeout-guarded — the acceptor
-                // must never block on a slow peer.
+                // must never block on a slow peer. `Retry-After` tells
+                // well-behaved clients to back off instead of hammering a
+                // saturated queue.
                 shared.rejected.fetch_add(1, Ordering::Relaxed);
-                shared.metrics.rejected.inc();
+                shared.metrics.rejected_queue_full.inc();
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                let _ = Response::error(503, "request queue full").write(&mut stream, false);
+                let _ = Response::error(503, "request queue full")
+                    .with_header("Retry-After", "1")
+                    .write(&mut stream, false);
             }
             Err(TrySendError::Disconnected(_)) => break,
         }
@@ -433,7 +524,8 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, queue_wait: Duration
         // Open the per-request observability context: finished spans from
         // here to the response append their exclusive time as segments.
         wiki_obs::request::begin();
-        if let Some(wait) = queue_wait.take() {
+        let request_queue_wait = queue_wait.take();
+        if let Some(wait) = request_queue_wait {
             wiki_obs::record_phase(
                 "req_queue_wait",
                 u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
@@ -444,7 +536,7 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, queue_wait: Duration
         match read_request(&mut deadline_reader) {
             Ok(request) => {
                 parse_span.finish();
-                let response = route_with_panic_barrier(shared, &request);
+                let response = admitted_response(shared, &request, request_queue_wait, started);
                 // Evaluated *after* routing so a request that initiates
                 // shutdown (POST /shutdown) is itself answered with
                 // `Connection: close` instead of a keep-alive promise the
@@ -489,7 +581,9 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, queue_wait: Duration
 /// The bounded-cardinality endpoint label of a request path.
 fn endpoint_name(path: &str) -> &'static str {
     match path {
-        "/healthz" => "healthz",
+        "/healthz" | "/livez" => "healthz",
+        "/readyz" => "readyz",
+        "/failpoints" => "failpoints",
         "/stats" => "stats",
         "/metrics" => "metrics",
         "/corpora" => "corpora",
@@ -594,22 +688,113 @@ fn method_label(method: &str) -> &'static str {
     }
 }
 
+/// Endpoints admission control may shed: the compute-bearing ones. Health,
+/// readiness, stats, metrics and control endpoints always get through —
+/// shedding the probes that diagnose an overload would blind the operator
+/// exactly when the signal matters.
+fn sheddable(endpoint: &'static str) -> bool {
+    matches!(
+        endpoint,
+        "align" | "matchers" | "translate_query" | "warm" | "entities"
+    )
+}
+
+/// Per-request compute deadline, checked between pipeline phases. Started
+/// at request-read completion; `budget == None` disables every check.
+#[derive(Clone, Copy)]
+struct RequestDeadline {
+    started: Instant,
+    budget: Option<Duration>,
+}
+
+impl RequestDeadline {
+    /// `Some(504)` when the budget is spent, counting the expiry; `phase`
+    /// names the boundary that observed it.
+    fn expired(&self, shared: &Shared, phase: &str) -> Option<Response> {
+        let budget = self.budget?;
+        let elapsed = self.started.elapsed();
+        if elapsed < budget {
+            return None;
+        }
+        shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.deadline_expired.inc();
+        let body = serde_json::to_string(&DeadlineExceededBody {
+            error: format!(
+                "deadline of {}ms exceeded after {}ms at the {phase} phase",
+                budget.as_millis(),
+                elapsed.as_millis()
+            ),
+            deadline_ms: budget.as_millis() as u64,
+            elapsed_ms: elapsed.as_millis() as u64,
+            phase: phase.to_string(),
+        })
+        .unwrap_or_else(|_| "{\"error\":\"deadline exceeded\"}".to_string());
+        Some(Response::json(504, body))
+    }
+}
+
+/// The admission layer in front of the router: the `worker.request`
+/// failpoint, then queue-wait shedding, then routing under the configured
+/// compute deadline.
+fn admitted_response(
+    shared: &Shared,
+    request: &Request,
+    queue_wait: Option<Duration>,
+    started: Instant,
+) -> Response {
+    // Chaos hook for the request path itself: an injected error answers
+    // 500 before any handler runs; an injected sleep stalls the worker
+    // (deliberately — that is how the bench manufactures queue pressure).
+    if let Err(err) = wiki_fault::check_io("worker.request") {
+        return Response::error(500, &err.to_string());
+    }
+    let endpoint = endpoint_name(&request.path);
+    if shared.shed_queue_millis > 0 && sheddable(endpoint) {
+        if let Some(wait) = queue_wait {
+            let budget = Duration::from_millis(shared.shed_queue_millis);
+            if wait > budget {
+                shared.record_shed();
+                return Response::error(
+                    503,
+                    &format!(
+                        "shed: queued {}ms, admission budget is {}ms",
+                        wait.as_millis(),
+                        budget.as_millis()
+                    ),
+                )
+                .with_header("Retry-After", "1");
+            }
+        }
+    }
+    let deadline = RequestDeadline {
+        started,
+        budget: (shared.deadline_millis > 0).then(|| Duration::from_millis(shared.deadline_millis)),
+    };
+    route_with_panic_barrier(shared, request, &deadline)
+}
+
 /// Routes a request behind a panic barrier: whatever a handler does with
 /// request-derived data, a panic becomes a 500 JSON response instead of
 /// killing the worker thread (a pool that loses a worker per bad request
 /// would eventually stop serving entirely). The shared state is safe to
 /// keep using afterwards — registry and engine locks recover from
 /// poisoning, and every cache slot is an idempotent once-cell.
-fn route_with_panic_barrier(shared: &Shared, request: &Request) -> Response {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(shared, request)))
-        .unwrap_or_else(|panic| {
-            let detail = panic
-                .downcast_ref::<&str>()
-                .copied()
-                .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
-                .unwrap_or("unknown panic");
-            Response::error(500, &format!("internal error: {detail}"))
-        })
+fn route_with_panic_barrier(
+    shared: &Shared,
+    request: &Request,
+    deadline: &RequestDeadline,
+) -> Response {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        route(shared, request, deadline)
+    }))
+    .unwrap_or_else(|panic| {
+        let detail = panic
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("unknown panic");
+        Response::error(500, &format!("internal error: {detail}"))
+    })
 }
 
 /// Parses a JSON request body, mapping failures to a 400 response.
@@ -638,13 +823,20 @@ fn resolve_corpus(shared: &Shared, name: &str) -> Result<Arc<CachedCorpus>, Box<
 }
 
 /// Routes one request. Every branch returns a JSON response.
-fn route(shared: &Shared, request: &Request) -> Response {
+fn route(shared: &Shared, request: &Request, deadline: &RequestDeadline) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => json_200(&HealthResponse {
+        // `/healthz` is liveness (with `/livez` as the explicit alias): it
+        // answers `ok` as long as the process serves requests at all, even
+        // degraded. `/readyz` is readiness: it turns 503 under shed
+        // pressure or a saturated queue so load balancers steer traffic
+        // away while the process works the backlog off.
+        ("GET", "/healthz" | "/livez") => json_200(&HealthResponse {
             status: "ok".to_string(),
             service: "matchd".to_string(),
             version: env!("CARGO_PKG_VERSION").to_string(),
         }),
+        ("GET", "/readyz") => handle_readyz(shared),
+        ("GET" | "POST" | "DELETE", "/failpoints") => handle_failpoints(shared, request),
         ("GET", "/stats") => json_200(&StatsResponse {
             server: shared.counters(),
             uptime_secs: shared.started.elapsed().as_secs(),
@@ -660,10 +852,10 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/matchers") => json_200(&MatchersResponse {
             matchers: shared.matchers.names(),
         }),
-        ("POST", "/align") => handle_align(shared, request),
-        ("POST", "/matchers") => handle_matchers(shared, request),
-        ("POST", "/translate-query") => handle_translate(shared, request),
-        ("POST", "/warm") => handle_warm(shared, request),
+        ("POST", "/align") => handle_align(shared, request, deadline),
+        ("POST", "/matchers") => handle_matchers(shared, request, deadline),
+        ("POST", "/translate-query") => handle_translate(shared, request, deadline),
+        ("POST", "/warm") => handle_warm(shared, request, deadline),
         ("POST", "/evict") => handle_evict(shared, request),
         ("POST", "/shutdown") => {
             // Flip the flag, then wake the acceptor out of its blocking
@@ -674,18 +866,76 @@ fn route(shared: &Shared, request: &Request) -> Response {
         }
         (
             _,
-            "/healthz" | "/stats" | "/metrics" | "/corpora" | "/matchers" | "/align"
-            | "/translate-query" | "/warm" | "/evict" | "/shutdown",
+            "/healthz" | "/livez" | "/readyz" | "/failpoints" | "/stats" | "/metrics" | "/corpora"
+            | "/matchers" | "/align" | "/translate-query" | "/warm" | "/evict" | "/shutdown",
         ) => Response::error(405, &format!("method {} not allowed here", request.method)),
         (method, path) => match entities_corpus(path) {
             Some(name) => match method {
-                "POST" => handle_mutate(shared, request, name),
-                "DELETE" => handle_delete(shared, request, name),
+                "POST" => handle_mutate(shared, request, name, deadline),
+                "DELETE" => handle_delete(shared, request, name, deadline),
                 _ => Response::error(405, &format!("method {method} not allowed here")),
             },
             None => Response::error(404, &format!("unknown route {path}")),
         },
     }
+}
+
+/// `GET /readyz`: 200 `ready` or 503 `degraded` with the reason.
+fn handle_readyz(shared: &Shared) -> Response {
+    let reason = shared.degraded_reason();
+    let body = ReadyResponse {
+        status: if reason.is_some() {
+            "degraded"
+        } else {
+            "ready"
+        }
+        .to_string(),
+        reason: reason.clone().unwrap_or_default(),
+        queue_len: shared.queue_len.load(Ordering::Relaxed),
+        queue_depth: shared.queue_depth,
+        shed: shared.shed.load(Ordering::Relaxed),
+    };
+    let status = if reason.is_some() { 503 } else { 200 };
+    match serde_json::to_string(&body) {
+        Ok(body) => Response::json(status, body),
+        Err(err) => Response::error(500, &format!("serialization failed: {err}")),
+    }
+}
+
+/// `/failpoints` (test-only, gated by `--enable-failpoints`): `GET` lists
+/// the armed points, `POST {"spec": "..."}` arms from a spec string,
+/// `DELETE` disarms everything. Every verb answers with the current list.
+fn handle_failpoints(shared: &Shared, request: &Request) -> Response {
+    if !shared.failpoints_endpoint {
+        return Response::error(
+            403,
+            "failpoints endpoint is disabled; start matchd with --enable-failpoints",
+        );
+    }
+    match request.method.as_str() {
+        "POST" => {
+            let req: FailpointsRequest = match parse_body(request) {
+                Ok(req) => req,
+                Err(response) => return *response,
+            };
+            if let Err(err) = wiki_fault::arm(&req.spec) {
+                return Response::error(400, &format!("bad failpoint spec: {err}"));
+            }
+        }
+        "DELETE" => wiki_fault::disarm_all(),
+        _ => {}
+    }
+    json_200(&FailpointsResponse {
+        points: wiki_fault::list()
+            .into_iter()
+            .map(|p| FailpointStatus {
+                name: p.name,
+                spec: p.spec,
+                hits: p.hits,
+                fired: p.fired,
+            })
+            .collect(),
+    })
 }
 
 /// `GET /metrics`: the Prometheus text exposition of the process-wide
@@ -823,12 +1073,14 @@ fn json_200<T: serde::Serialize>(body: &T) -> Response {
 /// validate the optional type, then serve the serialized [`AlignResponse`]
 /// from the residency's response cache (memoised under `cache_key`; on a
 /// cold key `align_one` / `align_all` compute the pairs).
+#[allow(clippy::too_many_arguments)] // Both call sites pass every field.
 fn aligned_response(
     shared: &Shared,
     corpus_name: &str,
     type_id: Option<&str>,
     matcher_label: &str,
     cache_key: String,
+    deadline: &RequestDeadline,
     align_one: impl Fn(&MatchEngine, &str) -> Option<Vec<(String, String)>>,
     align_all: impl Fn(&MatchEngine) -> Vec<TypePairs>,
 ) -> Response {
@@ -836,6 +1088,9 @@ fn aligned_response(
         Ok(corpus) => corpus,
         Err(response) => return *response,
     };
+    if let Some(response) = deadline.expired(shared, "lookup") {
+        return response;
+    }
     if let Some(type_id) = type_id {
         if corpus.engine().dataset().type_pairing(type_id).is_none() {
             return Response::error(
@@ -845,6 +1100,10 @@ fn aligned_response(
         }
     }
     let compute_span = Span::enter("req_compute");
+    // Latency hook for the compute phase: an injected sleep here is what
+    // the deadline tests (and the `degrade` bench) use to manufacture a
+    // slow pipeline without touching the engine.
+    wiki_fault::pause("serve.compute");
     let body = corpus.response(&cache_key, || {
         let engine = corpus.engine();
         let alignments = match type_id {
@@ -872,6 +1131,12 @@ fn aligned_response(
         body
     });
     compute_span.finish();
+    // The memoised body is kept even when this particular request blew its
+    // budget — the *next* request gets the cached answer instantly, which
+    // is exactly what a deadline-respecting retry wants.
+    if let Some(response) = deadline.expired(shared, "compute") {
+        return response;
+    }
     match body {
         Ok(body) => Response::json(200, body.as_str()),
         Err(detail) => Response::error(500, &detail),
@@ -881,7 +1146,7 @@ fn aligned_response(
 /// `POST /align`: the engine's WikiMatch configuration over one type or all
 /// types. Responses are memoised per `(corpus, type)` residency — repeated
 /// warm requests are a cache lookup plus one buffer copy.
-fn handle_align(shared: &Shared, request: &Request) -> Response {
+fn handle_align(shared: &Shared, request: &Request, deadline: &RequestDeadline) -> Response {
     let req: AlignRequest = match parse_body(request) {
         Ok(req) => req,
         Err(response) => return *response,
@@ -893,6 +1158,7 @@ fn handle_align(shared: &Shared, request: &Request) -> Response {
         type_id,
         "WikiMatch",
         format!("align|{}", type_id.unwrap_or("*")),
+        deadline,
         |engine, type_id| {
             engine
                 .align(type_id)
@@ -912,7 +1178,7 @@ fn handle_align(shared: &Shared, request: &Request) -> Response {
 }
 
 /// `POST /matchers`: any registered [`wikimatch::SchemaMatcher`] by name.
-fn handle_matchers(shared: &Shared, request: &Request) -> Response {
+fn handle_matchers(shared: &Shared, request: &Request, deadline: &RequestDeadline) -> Response {
     let req: MatcherRequest = match parse_body(request) {
         Ok(req) => req,
         Err(response) => return *response,
@@ -934,6 +1200,7 @@ fn handle_matchers(shared: &Shared, request: &Request) -> Response {
         type_id,
         &label,
         format!("matcher|{label}|{}", type_id.unwrap_or("*")),
+        deadline,
         |engine, type_id| engine.align_with(matcher, type_id),
         |engine| {
             engine
@@ -948,7 +1215,7 @@ fn handle_matchers(shared: &Shared, request: &Request) -> Response {
 /// `POST /translate-query`: WikiQuery-style translation through the
 /// corpus' derived correspondences, optionally answering the translated
 /// query against the English edition.
-fn handle_translate(shared: &Shared, request: &Request) -> Response {
+fn handle_translate(shared: &Shared, request: &Request, deadline: &RequestDeadline) -> Response {
     let req: TranslateRequest = match parse_body(request) {
         Ok(req) => req,
         Err(response) => return *response,
@@ -957,10 +1224,14 @@ fn handle_translate(shared: &Shared, request: &Request) -> Response {
         Ok(corpus) => corpus,
         Err(response) => return *response,
     };
+    if let Some(response) = deadline.expired(shared, "lookup") {
+        return response;
+    }
     let Some(source) = CQuery::parse(&req.query) else {
         return Response::error(400, &format!("unparseable c-query {:?}", req.query));
     };
     let compute_span = Span::enter("req_compute");
+    wiki_fault::pause("serve.compute");
     let (translated, stats) = corpus.dictionary().translate_query(&source);
     let top_k = req.top_k.unwrap_or(0);
     let answers = if top_k > 0 {
@@ -973,6 +1244,9 @@ fn handle_translate(shared: &Shared, request: &Request) -> Response {
         Vec::new()
     };
     compute_span.finish();
+    if let Some(response) = deadline.expired(shared, "compute") {
+        return response;
+    }
     json_200(&TranslateResponse {
         corpus: req.corpus.clone(),
         source,
@@ -984,7 +1258,7 @@ fn handle_translate(shared: &Shared, request: &Request) -> Response {
 }
 
 /// `POST /warm`: build the session and every per-type artifact now.
-fn handle_warm(shared: &Shared, request: &Request) -> Response {
+fn handle_warm(shared: &Shared, request: &Request, deadline: &RequestDeadline) -> Response {
     let req: CorpusRequest = match parse_body(request) {
         Ok(req) => req,
         Err(response) => return *response,
@@ -993,6 +1267,9 @@ fn handle_warm(shared: &Shared, request: &Request) -> Response {
     let compute_span = Span::enter("req_compute");
     let warmed = shared.registry.warm(&req.corpus);
     compute_span.finish();
+    if let Some(response) = deadline.expired(shared, "compute") {
+        return response;
+    }
     match warmed {
         Ok(cached) => json_200(&WarmResponse {
             corpus: req.corpus,
@@ -1019,11 +1296,21 @@ fn handle_evict(shared: &Shared, request: &Request) -> Response {
 
 /// Applies a mutation delta through [`Registry::mutate`] and shapes the
 /// report into the shared [`MutateResponse`] of both mutation endpoints.
-fn mutated_response(shared: &Shared, name: &str, delta: &CorpusDelta) -> Response {
+fn mutated_response(
+    shared: &Shared,
+    name: &str,
+    delta: &CorpusDelta,
+    deadline: &RequestDeadline,
+) -> Response {
     wiki_obs::request::note_corpus(name);
     let compute_span = Span::enter("req_compute");
     let mutated = shared.registry.mutate(name, delta);
     compute_span.finish();
+    if let Some(response) = deadline.expired(shared, "compute") {
+        // The mutation (if it succeeded) is applied and journaled — a 504
+        // only means the caller's budget ran out waiting for the report.
+        return response;
+    }
     match mutated {
         Ok(report) => json_200(&MutateResponse {
             corpus: name.to_string(),
@@ -1035,12 +1322,23 @@ fn mutated_response(shared: &Shared, name: &str, delta: &CorpusDelta) -> Respons
             fingerprint_before: format!("{:016x}", report.fingerprint_before),
             fingerprint: format!("{:016x}", report.fingerprint),
         }),
+        // A mutation that applied in memory but could not be made durable
+        // is NOT acknowledged: 503 tells the client to retry (the upsert
+        // is idempotent), and Retry-After paces the retries.
+        Err(err @ RegistryError::MutationNotDurable { .. }) => {
+            Response::error(503, &err.to_string()).with_header("Retry-After", "1")
+        }
         Err(err) => Response::error(404, &err.to_string()),
     }
 }
 
 /// `POST /corpora/{name}/entities`: upsert entities as one journaled delta.
-fn handle_mutate(shared: &Shared, request: &Request, name: &str) -> Response {
+fn handle_mutate(
+    shared: &Shared,
+    request: &Request,
+    name: &str,
+    deadline: &RequestDeadline,
+) -> Response {
     let req: MutateRequest = match parse_body(request) {
         Ok(req) => req,
         Err(response) => return *response,
@@ -1052,12 +1350,17 @@ fn handle_mutate(shared: &Shared, request: &Request, name: &str) -> Response {
     for article in req.entities {
         delta.push(wikimatch::DeltaOp::Upsert(article));
     }
-    mutated_response(shared, name, &delta)
+    mutated_response(shared, name, &delta, deadline)
 }
 
 /// `DELETE /corpora/{name}/entities`: tombstone entities as one journaled
 /// delta.
-fn handle_delete(shared: &Shared, request: &Request, name: &str) -> Response {
+fn handle_delete(
+    shared: &Shared,
+    request: &Request,
+    name: &str,
+    deadline: &RequestDeadline,
+) -> Response {
     let req: DeleteRequest = match parse_body(request) {
         Ok(req) => req,
         Err(response) => return *response,
@@ -1072,5 +1375,5 @@ fn handle_delete(shared: &Shared, request: &Request, name: &str) -> Response {
             title: key.title,
         });
     }
-    mutated_response(shared, name, &delta)
+    mutated_response(shared, name, &delta, deadline)
 }
